@@ -1,0 +1,165 @@
+//! Grover's database-search circuits (the paper's Fig. 6 and Table I
+//! benchmarks).
+//!
+//! Layout: `n` search qubits (indices `0..n`) plus one oracle ancilla
+//! (index `n`) prepared in |−⟩ for phase kickback — `n + 1` qubits total,
+//! matching the paper's `grover_23 … grover_29` naming where the number
+//! counts all qubits.
+
+use ddsim_circuit::Circuit;
+
+/// Parameters of a generated Grover instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GroverInstance {
+    /// Search-space qubits (`n`).
+    pub search_qubits: u32,
+    /// Total circuit qubits (`n + 1`).
+    pub total_qubits: u32,
+    /// The marked element the oracle recognizes.
+    pub marked: u64,
+    /// Number of Grover iterations, `⌊π/4 · √(2^n)⌋` (at least 1).
+    pub iterations: u32,
+}
+
+impl GroverInstance {
+    /// Computes the instance for `total_qubits` (= search + 1 ancilla) and a
+    /// marked element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_qubits < 3` or `marked` is out of range.
+    pub fn new(total_qubits: u32, marked: u64) -> Self {
+        assert!(total_qubits >= 3, "grover needs at least 2 search qubits");
+        let search_qubits = total_qubits - 1;
+        assert!(
+            search_qubits < 63 && marked < (1u64 << search_qubits),
+            "marked element out of range"
+        );
+        let iterations =
+            ((std::f64::consts::FRAC_PI_4) * ((1u64 << search_qubits) as f64).sqrt()).floor()
+                as u32;
+        GroverInstance {
+            search_qubits,
+            total_qubits,
+            marked,
+            iterations: iterations.max(1),
+        }
+    }
+}
+
+/// The oracle: flips the ancilla's phase iff the search register holds the
+/// marked element (an MCX into the |−⟩ ancilla).
+fn append_oracle(circuit: &mut Circuit, inst: GroverInstance) {
+    let n = inst.search_qubits;
+    // Conjugate with X so that every control fires on the marked pattern.
+    let zero_bits: Vec<u32> = (0..n)
+        .filter(|&q| (inst.marked >> (n - 1 - q)) & 1 == 0)
+        .collect();
+    for &q in &zero_bits {
+        circuit.x(q);
+    }
+    let controls: Vec<u32> = (0..n).collect();
+    circuit.mcx(&controls, n);
+    for &q in &zero_bits {
+        circuit.x(q);
+    }
+}
+
+/// The diffusion operator `H^n X^n (MCZ) X^n H^n` on the search register.
+fn append_diffusion(circuit: &mut Circuit, inst: GroverInstance) {
+    let n = inst.search_qubits;
+    for q in 0..n {
+        circuit.h(q);
+    }
+    for q in 0..n {
+        circuit.x(q);
+    }
+    // Multi-controlled Z on the all-ones pattern: controls 0..n-1, target n-1.
+    let controls: Vec<u32> = (0..n - 1).collect();
+    circuit.mcz(&controls, n - 1);
+    for q in 0..n {
+        circuit.x(q);
+    }
+    for q in 0..n {
+        circuit.h(q);
+    }
+}
+
+/// One Grover iteration (oracle + diffusion) as a standalone circuit.
+pub fn grover_iteration(inst: GroverInstance) -> Circuit {
+    let mut c = Circuit::new(inst.total_qubits);
+    append_oracle(&mut c, inst);
+    append_diffusion(&mut c, inst);
+    c
+}
+
+/// The full Grover circuit: state preparation followed by the iteration
+/// wrapped in an [`Operation::Repeat`](ddsim_circuit::Operation::Repeat)
+/// block — the structure the *DD-repeating* strategy caches.
+///
+/// Named `grover_<total_qubits>`.
+pub fn grover_circuit(inst: GroverInstance) -> Circuit {
+    let mut c = Circuit::new(inst.total_qubits);
+    c.set_name(format!("grover_{}", inst.total_qubits));
+    // Uniform superposition over the search register; ancilla in |−⟩.
+    for q in 0..inst.search_qubits {
+        c.h(q);
+    }
+    c.x(inst.search_qubits);
+    c.h(inst.search_qubits);
+    let body = grover_iteration(inst);
+    c.repeat(&body, inst.iterations);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddsim_circuit::Operation;
+
+    #[test]
+    fn iteration_count_scales_with_sqrt() {
+        let small = GroverInstance::new(5, 0);
+        let large = GroverInstance::new(7, 0);
+        // Doubling search qubits squares the space: iterations double.
+        assert_eq!(large.iterations, small.iterations * 2);
+    }
+
+    #[test]
+    fn circuit_has_repeat_block() {
+        let inst = GroverInstance::new(5, 3);
+        let c = grover_circuit(inst);
+        let repeats: Vec<_> = c
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, Operation::Repeat { .. }))
+            .collect();
+        assert_eq!(repeats.len(), 1);
+        if let Operation::Repeat { times, .. } = repeats[0] {
+            assert_eq!(*times, inst.iterations);
+        }
+    }
+
+    #[test]
+    fn oracle_conjugation_restores_x_gates() {
+        // marked = 0 → every search qubit gets X-conjugated.
+        let inst = GroverInstance::new(4, 0);
+        let iter = grover_iteration(inst);
+        let x_count = iter
+            .ops()
+            .iter()
+            .filter(|op| {
+                matches!(op, Operation::Gate(g)
+                    if g.gate == ddsim_circuit::StandardGate::X && g.controls.is_empty())
+            })
+            .count();
+        // Oracle: 2·3 X; diffusion: 2·3 X.
+        assert_eq!(x_count, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn marked_element_must_fit() {
+        let _ = GroverInstance::new(4, 8);
+    }
+}

@@ -1,0 +1,22 @@
+//! Benchmark circuit generators and classical post-processing for the
+//! paper's evaluation: Grover (Table I), Shor/Beauregard (Table II),
+//! supremacy-style random circuits (Figs. 5, 8, 9), plus QFT, GHZ,
+//! Bernstein–Vazirani, and phase-estimation utilities.
+//!
+//! # Examples
+//!
+//! ```
+//! use ddsim_algorithms::grover::{grover_circuit, GroverInstance};
+//!
+//! let circuit = grover_circuit(GroverInstance::new(5, 0b0110));
+//! assert_eq!(circuit.name(), "grover_5");
+//! ```
+
+pub mod grover;
+pub mod numtheory;
+pub mod qaoa;
+pub mod qft;
+pub mod shor;
+pub mod simon;
+pub mod simple;
+pub mod supremacy;

@@ -1,0 +1,339 @@
+//! Classical number theory used by Shor's algorithm: modular arithmetic,
+//! primality, continued fractions, and order-to-factor extraction.
+
+/// Greatest common divisor (Euclid).
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Modular multiplication without overflow (via `u128`).
+///
+/// # Panics
+///
+/// Panics if `modulus` is zero.
+pub fn mul_mod(a: u64, b: u64, modulus: u64) -> u64 {
+    assert!(modulus > 0, "modulus must be positive");
+    ((u128::from(a) * u128::from(b)) % u128::from(modulus)) as u64
+}
+
+/// Modular exponentiation `base^exp mod modulus`.
+///
+/// # Panics
+///
+/// Panics if `modulus` is zero.
+pub fn pow_mod(mut base: u64, mut exp: u64, modulus: u64) -> u64 {
+    assert!(modulus > 0, "modulus must be positive");
+    if modulus == 1 {
+        return 0;
+    }
+    let mut result = 1u64;
+    base %= modulus;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = mul_mod(result, base, modulus);
+        }
+        base = mul_mod(base, base, modulus);
+        exp >>= 1;
+    }
+    result
+}
+
+/// Modular inverse `a^{-1} mod modulus`, if it exists (`gcd(a, m) = 1`).
+pub fn inverse_mod(a: u64, modulus: u64) -> Option<u64> {
+    // Extended Euclid over signed 128-bit intermediates.
+    let (mut old_r, mut r) = (i128::from(a % modulus), i128::from(modulus));
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+    }
+    if old_r != 1 {
+        return None;
+    }
+    let m = i128::from(modulus);
+    Some((((old_s % m) + m) % m) as u64)
+}
+
+/// Deterministic Miller–Rabin primality test, valid for all `u64`.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    // This witness set is deterministic for all 64-bit integers.
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Number of bits needed to represent `n` (`0` needs `1`).
+pub fn bit_length(n: u64) -> u32 {
+    if n == 0 {
+        1
+    } else {
+        64 - n.leading_zeros()
+    }
+}
+
+/// The multiplicative order of `a` modulo `n`: the least `r ≥ 1` with
+/// `a^r ≡ 1 (mod n)`.
+///
+/// Brute force — intended for validating quantum results on benchmark-sized
+/// inputs, not for cryptographic sizes.
+///
+/// # Panics
+///
+/// Panics if `gcd(a, n) != 1` (no order exists).
+pub fn multiplicative_order(a: u64, n: u64) -> u64 {
+    assert_eq!(gcd(a, n), 1, "order undefined unless gcd(a, n) = 1");
+    let mut x = a % n;
+    let mut r = 1u64;
+    while x != 1 {
+        x = mul_mod(x, a, n);
+        r += 1;
+    }
+    r
+}
+
+/// One convergent `p/q` of a continued-fraction expansion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Convergent {
+    /// Numerator.
+    pub numerator: u64,
+    /// Denominator.
+    pub denominator: u64,
+}
+
+/// The continued-fraction convergents of `x / 2^bits` — the classical
+/// post-processing step of Shor's algorithm that recovers the order `r`
+/// from a phase measurement.
+///
+/// Denominators are strictly increasing; the list stops when a denominator
+/// would exceed `max_denominator`.
+pub fn convergents(x: u64, bits: u32, max_denominator: u64) -> Vec<Convergent> {
+    let mut result = Vec::new();
+    if x == 0 {
+        return result;
+    }
+    let mut num = x;
+    let mut den = 1u64 << bits;
+    // Previous two convergents (p_{-1}/q_{-1} = 1/0, p_0/q_0 = a0/1).
+    let (mut p_prev, mut q_prev) = (1u64, 0u64);
+    let (mut p, mut q) = (num / den, 1u64);
+    result.push(Convergent {
+        numerator: p,
+        denominator: q,
+    });
+    let mut rem = num % den;
+    while rem != 0 {
+        num = den;
+        den = rem;
+        let a = num / den;
+        rem = num % den;
+        let p_next = a.checked_mul(p).and_then(|v| v.checked_add(p_prev));
+        let q_next = a.checked_mul(q).and_then(|v| v.checked_add(q_prev));
+        let (Some(p_next), Some(q_next)) = (p_next, q_next) else {
+            break;
+        };
+        if q_next > max_denominator {
+            break;
+        }
+        (p_prev, q_prev) = (p, q);
+        (p, q) = (p_next, q_next);
+        result.push(Convergent {
+            numerator: p,
+            denominator: q,
+        });
+    }
+    result
+}
+
+/// Attempts to extract a nontrivial factor of `n` from a measured phase
+/// `x / 2^bits` produced by order finding with base `a`.
+///
+/// Tries each continued-fraction denominator `q ≤ n` (and small multiples)
+/// as a candidate order; an even candidate `r` with `a^{r/2} ≢ -1 (mod n)`
+/// yields factors `gcd(a^{r/2} ± 1, n)`.
+pub fn factor_from_phase(n: u64, a: u64, x: u64, bits: u32) -> Option<u64> {
+    for conv in convergents(x, bits, n) {
+        if conv.denominator == 0 {
+            continue;
+        }
+        // The true order may be a small multiple of the recovered
+        // denominator (when numerator and order share a factor).
+        for multiple in 1..=4u64 {
+            let r = conv.denominator.checked_mul(multiple)?;
+            if r == 0 || r > n {
+                break;
+            }
+            if pow_mod(a, r, n) != 1 {
+                continue;
+            }
+            if let Some(f) = factor_from_order(n, a, r) {
+                return Some(f);
+            }
+        }
+    }
+    None
+}
+
+/// Extracts a nontrivial factor of `n` from a verified order `r` of `a`.
+pub fn factor_from_order(n: u64, a: u64, r: u64) -> Option<u64> {
+    if r % 2 != 0 {
+        return None;
+    }
+    let half = pow_mod(a, r / 2, n);
+    if half == n - 1 {
+        return None;
+    }
+    for candidate in [gcd(half + 1, n), gcd(half.wrapping_sub(1), n)] {
+        if candidate > 1 && candidate < n {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(17, 5), 1);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(7, 0), 7);
+    }
+
+    #[test]
+    fn pow_mod_matches_naive() {
+        for base in 1..20u64 {
+            for exp in 0..10u64 {
+                let naive = (0..exp).fold(1u64, |acc, _| acc * base % 1009);
+                assert_eq!(pow_mod(base, exp, 1009), naive);
+            }
+        }
+    }
+
+    #[test]
+    fn pow_mod_handles_large_operands() {
+        // Large inputs exercise the u128 path.
+        let m = (1u64 << 62) - 57;
+        assert_eq!(pow_mod(2, 0, m), 1);
+        let x = pow_mod(0x0123_4567_89ab_cdef, 0xfedc_ba98, m);
+        assert!(x < m);
+    }
+
+    #[test]
+    fn inverse_mod_roundtrips() {
+        for a in 1..50u64 {
+            if gcd(a, 101) == 1 {
+                let inv = inverse_mod(a, 101).expect("101 is prime");
+                assert_eq!(mul_mod(a, inv, 101), 1);
+            }
+        }
+        assert_eq!(inverse_mod(6, 9), None);
+    }
+
+    #[test]
+    fn primality_small_values() {
+        let primes: Vec<u64> = (0..60).filter(|&n| is_prime(n)).collect();
+        assert_eq!(
+            primes,
+            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]
+        );
+    }
+
+    #[test]
+    fn primality_benchmark_moduli_are_composite() {
+        // The paper's Table II moduli must be composite (factorable).
+        for n in [1007u64, 1851, 2561, 7361, 5513, 8193, 11623] {
+            assert!(!is_prime(n), "{n} must be composite");
+        }
+        assert_eq!(1007, 19 * 53);
+        assert_eq!(11623, 59 * 197);
+    }
+
+    #[test]
+    fn order_divides_carmichael() {
+        // ord(2 mod 15) = 4: 2,4,8,1.
+        assert_eq!(multiplicative_order(2, 15), 4);
+        assert_eq!(multiplicative_order(7, 15), 4);
+        assert_eq!(multiplicative_order(4, 15), 2);
+    }
+
+    #[test]
+    fn convergents_of_known_fraction() {
+        // 85/256 ≈ 1/3: convergents 0/1, 1/3, 84/253 (42/128 reduced? no:
+        // continued fraction of 85/256 = [0;3,85] → 0/1, 1/3, 85/256).
+        let cs = convergents(85, 8, 300);
+        assert_eq!(cs[0], Convergent { numerator: 0, denominator: 1 });
+        assert_eq!(cs[1], Convergent { numerator: 1, denominator: 3 });
+        assert_eq!(*cs.last().expect("nonempty"), Convergent { numerator: 85, denominator: 256 });
+    }
+
+    #[test]
+    fn convergents_respect_max_denominator() {
+        let cs = convergents(85, 8, 10);
+        assert!(cs.iter().all(|c| c.denominator <= 10));
+        assert_eq!(cs.len(), 2);
+    }
+
+    #[test]
+    fn factor_from_order_on_15() {
+        // a=7, N=15, r=4: 7² = 49 ≡ 4; gcd(5,15)=5, gcd(3,15)=3.
+        let f = factor_from_order(15, 7, 4).expect("even order factors 15");
+        assert!(f == 3 || f == 5);
+    }
+
+    #[test]
+    fn factor_from_phase_recovers_factor() {
+        // Ideal phase measurement for N=15, a=7 (r=4) with 8 bits:
+        // x = 2^8 * k / 4 for k=1 → 64.
+        let f = factor_from_phase(15, 7, 64, 8).expect("phase 64/256 = 1/4");
+        assert!(f == 3 || f == 5);
+    }
+
+    #[test]
+    fn factor_from_phase_handles_zero() {
+        assert_eq!(factor_from_phase(15, 7, 0, 8), None);
+    }
+
+    #[test]
+    fn bit_length_values() {
+        assert_eq!(bit_length(0), 1);
+        assert_eq!(bit_length(1), 1);
+        assert_eq!(bit_length(2), 2);
+        assert_eq!(bit_length(1007), 10);
+        assert_eq!(bit_length(u64::MAX), 64);
+    }
+}

@@ -1,0 +1,161 @@
+//! QAOA (quantum approximate optimization) circuits for MaxCut — a
+//! variational workload whose diagonal cost layers are DD-friendly while
+//! its mixer layers are not, making it a useful stress profile for the
+//! combining strategies.
+
+use ddsim_circuit::Circuit;
+
+/// An undirected graph given as an edge list over `vertices` nodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    /// Number of vertices (= qubits).
+    pub vertices: u32,
+    /// Undirected edges (pairs of distinct vertices).
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl Graph {
+    /// Validates and creates a graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a vertex out of range or is a
+    /// self-loop.
+    pub fn new(vertices: u32, edges: Vec<(u32, u32)>) -> Self {
+        assert!(vertices >= 2, "graph needs at least two vertices");
+        for &(a, b) in &edges {
+            assert!(a < vertices && b < vertices, "edge vertex out of range");
+            assert_ne!(a, b, "self-loops are not allowed");
+        }
+        Graph { vertices, edges }
+    }
+
+    /// The ring (cycle) graph `C_n`.
+    pub fn ring(vertices: u32) -> Self {
+        let edges = (0..vertices).map(|v| (v, (v + 1) % vertices)).collect();
+        Graph::new(vertices, edges)
+    }
+
+    /// The cut value of an assignment (bit `vertices-1-v` of `assignment`
+    /// is the side of vertex `v`, matching the simulator's basis-index
+    /// convention).
+    pub fn cut_value(&self, assignment: u64) -> u32 {
+        let side = |v: u32| (assignment >> (self.vertices - 1 - v)) & 1;
+        self.edges
+            .iter()
+            .filter(|&&(a, b)| side(a) != side(b))
+            .count() as u32
+    }
+
+    /// The maximum cut value over all assignments (brute force; intended
+    /// for test-sized graphs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than 24 vertices.
+    pub fn max_cut(&self) -> u32 {
+        assert!(self.vertices <= 24, "brute force limited to 24 vertices");
+        (0..(1u64 << self.vertices))
+            .map(|a| self.cut_value(a))
+            .max()
+            .expect("non-empty range")
+    }
+}
+
+/// QAOA parameters: one (γ, β) pair per layer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QaoaParameters {
+    /// Cost angles γ, one per layer.
+    pub gammas: Vec<f64>,
+    /// Mixer angles β, one per layer.
+    pub betas: Vec<f64>,
+}
+
+impl QaoaParameters {
+    /// Creates a parameter set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths or are empty.
+    pub fn new(gammas: Vec<f64>, betas: Vec<f64>) -> Self {
+        assert_eq!(gammas.len(), betas.len(), "γ and β must pair up");
+        assert!(!gammas.is_empty(), "at least one layer required");
+        QaoaParameters { gammas, betas }
+    }
+
+    /// Number of layers `p`.
+    pub fn layers(&self) -> usize {
+        self.gammas.len()
+    }
+}
+
+/// Builds the QAOA MaxCut circuit: `H^{⊗n}` then `p` layers of
+/// `e^{-iγ C}` (ZZ cost phases per edge) and `e^{-iβ B}` (X mixers per
+/// vertex), named `qaoa_<vertices>`.
+pub fn qaoa_maxcut_circuit(graph: &Graph, params: &QaoaParameters) -> Circuit {
+    let n = graph.vertices;
+    let mut c = Circuit::new(n);
+    c.set_name(format!("qaoa_{n}"));
+    for q in 0..n {
+        c.h(q);
+    }
+    for layer in 0..params.layers() {
+        let gamma = params.gammas[layer];
+        let beta = params.betas[layer];
+        // Cost: e^{-iγ/2 (1 - Z_a Z_b)} per edge, as CX·Rz·CX.
+        for &(a, b) in &graph.edges {
+            c.cx(a, b);
+            c.rz(gamma, b);
+            c.cx(a, b);
+        }
+        // Mixer: Rx(2β) per vertex.
+        for q in 0..n {
+            c.rx(2.0 * beta, q);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_graph_structure() {
+        let g = Graph::ring(5);
+        assert_eq!(g.edges.len(), 5);
+        assert_eq!(g.max_cut(), 4); // odd ring: n - 1
+        let g6 = Graph::ring(6);
+        assert_eq!(g6.max_cut(), 6); // even ring: n
+    }
+
+    #[test]
+    fn cut_value_counts_crossing_edges() {
+        let g = Graph::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        // Partition {0, 2} vs {1, 3}: assignment bits (v0..v3) = 1,0,1,0.
+        let assignment = 0b1010;
+        assert_eq!(g.cut_value(assignment), 4); // all ring edges cross, (0,2) doesn't
+    }
+
+    #[test]
+    fn circuit_gate_counts() {
+        let g = Graph::ring(4);
+        let params = QaoaParameters::new(vec![0.3, 0.5], vec![0.2, 0.4]);
+        let c = qaoa_maxcut_circuit(&g, &params);
+        // 4 H + 2 layers × (4 edges × 3 + 4 mixers).
+        assert_eq!(c.elementary_count(), 4 + 2 * (4 * 3 + 4));
+        assert_eq!(c.qubits(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loops_rejected() {
+        let _ = Graph::new(3, vec![(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn mismatched_parameters_rejected() {
+        let _ = QaoaParameters::new(vec![0.1], vec![0.1, 0.2]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Quantum Fourier transform circuits.
+
+use std::f64::consts::PI;
+
+use ddsim_circuit::Circuit;
+
+/// Appends the QFT on the given qubit slice (most significant first),
+/// without the final bit-reversal swaps.
+///
+/// Omitting the swaps is the usual convention inside arithmetic circuits
+/// (Draper adders): the surrounding code simply indexes the register in
+/// reversed order.
+pub fn append_qft_no_swap(circuit: &mut Circuit, qubits: &[u32]) {
+    let m = qubits.len();
+    for i in 0..m {
+        circuit.h(qubits[i]);
+        for j in (i + 1)..m {
+            let angle = PI / f64::from(1u32 << (j - i));
+            circuit.cphase(angle, qubits[j], qubits[i]);
+        }
+    }
+}
+
+/// Appends the inverse QFT on the given qubit slice, without swaps.
+pub fn append_iqft_no_swap(circuit: &mut Circuit, qubits: &[u32]) {
+    let m = qubits.len();
+    for i in (0..m).rev() {
+        for j in ((i + 1)..m).rev() {
+            let angle = -PI / f64::from(1u32 << (j - i));
+            circuit.cphase(angle, qubits[j], qubits[i]);
+        }
+        circuit.h(qubits[i]);
+    }
+}
+
+/// Appends the full QFT (with bit-reversal swaps) on the qubit slice.
+pub fn append_qft(circuit: &mut Circuit, qubits: &[u32]) {
+    append_qft_no_swap(circuit, qubits);
+    let m = qubits.len();
+    for i in 0..m / 2 {
+        circuit.swap(qubits[i], qubits[m - 1 - i]);
+    }
+}
+
+/// Appends the full inverse QFT (with bit-reversal swaps) on the qubit
+/// slice.
+pub fn append_iqft(circuit: &mut Circuit, qubits: &[u32]) {
+    let m = qubits.len();
+    for i in 0..m / 2 {
+        circuit.swap(qubits[i], qubits[m - 1 - i]);
+    }
+    append_iqft_no_swap(circuit, qubits);
+}
+
+/// A standalone `n`-qubit QFT circuit named `qft_n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn qft_circuit(n: u32) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.set_name(format!("qft_{n}"));
+    let qubits: Vec<u32> = (0..n).collect();
+    append_qft(&mut c, &qubits);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qft_gate_counts() {
+        // n H gates + n(n-1)/2 controlled phases + floor(n/2) swaps (3 CX each).
+        let c = qft_circuit(5);
+        assert_eq!(c.elementary_count(), 5 + 10 + 2 * 3);
+    }
+
+    #[test]
+    fn qft_followed_by_iqft_has_mirrored_structure() {
+        let mut c = Circuit::new(4);
+        let qubits: Vec<u32> = (0..4).collect();
+        append_qft_no_swap(&mut c, &qubits);
+        let forward_len = c.ops().len();
+        append_iqft_no_swap(&mut c, &qubits);
+        assert_eq!(c.ops().len(), 2 * forward_len);
+    }
+}

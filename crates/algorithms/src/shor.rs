@@ -1,0 +1,418 @@
+//! Beauregard's 2n+3-qubit circuit for Shor's algorithm (the paper's
+//! reference \[27\]) — the Table II benchmark generator.
+//!
+//! Register layout (qubit 0 topmost, n = bit length of N):
+//!
+//! | qubits        | role                                                    |
+//! |---------------|---------------------------------------------------------|
+//! | `0`           | semiclassical control qubit, measured and reset 2n times |
+//! | `1 ..= n`     | `x` register (running product), MSB first               |
+//! | `n+1 ..= 2n+1`| `b` register (n+1-bit adder target), MSB first          |
+//! | `2n+2`        | comparison flag ancilla                                  |
+//!
+//! The circuit is the semiclassical (one-control-qubit) variant of the
+//! paper's Fig. 7: 2n rounds of `H · C-U_{a^{2^k}} · (phase corrections) ·
+//! H · measure · reset`, which is exactly how the 2n+3 qubit count is
+//! achieved (paper footnote 7). Measured bits m_0..m_{2n-1} form the phase
+//! estimate `x = Σ m_i 2^i`; classical post-processing
+//! ([`crate::numtheory::factor_from_phase`]) recovers the factors.
+
+use std::f64::consts::PI;
+
+use ddsim_circuit::{Circuit, StandardGate};
+use ddsim_dd::Control;
+
+use crate::numtheory::{bit_length, gcd, inverse_mod, pow_mod};
+use crate::qft::{append_iqft_no_swap, append_qft_no_swap};
+
+/// A Shor order-finding instance: the number to factor and the co-prime
+/// base, as in the paper's `shor_N_a_qubits` benchmark names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShorInstance {
+    /// The composite to factor.
+    pub modulus: u64,
+    /// The base whose multiplicative order is sought.
+    pub base: u64,
+}
+
+impl ShorInstance {
+    /// Validates and creates an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus < 3`, `base` is not in `2..modulus`, or
+    /// `gcd(base, modulus) != 1` (a shared factor makes the quantum part
+    /// pointless — `gcd` already factors N).
+    pub fn new(modulus: u64, base: u64) -> Self {
+        assert!(modulus >= 3, "modulus too small");
+        assert!(base >= 2 && base < modulus, "base out of range");
+        assert_eq!(
+            gcd(base, modulus),
+            1,
+            "base shares a factor with the modulus"
+        );
+        ShorInstance { modulus, base }
+    }
+
+    /// Bit length `n` of the modulus.
+    pub fn n_bits(&self) -> u32 {
+        bit_length(self.modulus)
+    }
+
+    /// Total qubits of the Beauregard circuit (`2n + 3`).
+    pub fn total_qubits(&self) -> u32 {
+        2 * self.n_bits() + 3
+    }
+
+    /// Number of measurement rounds / phase bits (`2n`).
+    pub fn phase_bits(&self) -> u32 {
+        2 * self.n_bits()
+    }
+
+    /// The paper's benchmark name, `shor_N_a_qubits`.
+    pub fn name(&self) -> String {
+        format!("shor_{}_{}_{}", self.modulus, self.base, self.total_qubits())
+    }
+}
+
+/// Qubit-index bookkeeping for the Beauregard layout.
+#[derive(Clone, Debug)]
+struct Layout {
+    n: u32,
+    control: u32,
+    x_msb_first: Vec<u32>,
+    b_msb_first: Vec<u32>,
+    flag: u32,
+}
+
+impl Layout {
+    fn new(n: u32) -> Self {
+        Layout {
+            n,
+            control: 0,
+            x_msb_first: (1..=n).collect(),
+            b_msb_first: (n + 1..=2 * n + 1).collect(),
+            flag: 2 * n + 2,
+        }
+    }
+
+    /// Qubit holding bit `k` (LSB = 0) of the x register.
+    fn x_bit(&self, k: u32) -> u32 {
+        self.x_msb_first[(self.n - 1 - k) as usize]
+    }
+
+    /// Qubit holding bit `k` (LSB = 0) of the (n+1)-bit b register.
+    fn b_bit(&self, k: u32) -> u32 {
+        self.b_msb_first[(self.n - k) as usize]
+    }
+
+    /// The b register's most significant (overflow) qubit.
+    fn b_msb(&self) -> u32 {
+        self.b_msb_first[0]
+    }
+}
+
+/// Appends the Draper φ-adder of the classical constant `a` (mod `2^m`) to
+/// a Fourier-space register listed MSB first, guarded by `controls`.
+///
+/// In Fourier space, qubit `j` (MSB first among `m`) carries the phase
+/// `e^{2πi b / 2^{m-j}}`; adding `a` multiplies it by `e^{2πi a / 2^{m-j}}`
+/// — one (controlled) phase gate per qubit.
+fn append_phi_add(
+    circuit: &mut Circuit,
+    register_msb_first: &[u32],
+    a: u64,
+    subtract: bool,
+    controls: &[Control],
+) {
+    let m = register_msb_first.len() as u32;
+    for (j, &qubit) in register_msb_first.iter().enumerate() {
+        let denom_bits = m - j as u32;
+        let reduced = if denom_bits >= 64 {
+            a
+        } else {
+            a % (1u64 << denom_bits)
+        };
+        if reduced == 0 {
+            continue;
+        }
+        let mut angle = 2.0 * PI * (reduced as f64) / (1u64 << denom_bits) as f64;
+        if subtract {
+            angle = -angle;
+        }
+        if controls.is_empty() {
+            circuit.phase(angle, qubit);
+        } else {
+            circuit.controlled_gate(StandardGate::Phase(angle), controls.to_vec(), qubit);
+        }
+    }
+}
+
+/// Appends Beauregard's doubly controlled modular adder
+/// `|b⟩ → |b + a mod N⟩` on the Fourier-space b register.
+///
+/// Requires `a < N`, `b < N` on entry; the flag ancilla starts and ends in
+/// |0⟩.
+fn append_phi_add_mod(
+    circuit: &mut Circuit,
+    layout: &Layout,
+    a: u64,
+    modulus: u64,
+    controls: &[Control],
+) {
+    let b = &layout.b_msb_first;
+    let flag = layout.flag;
+    debug_assert!(a < modulus);
+
+    append_phi_add(circuit, b, a, false, controls);
+    append_phi_add(circuit, b, modulus, true, &[]);
+    append_iqft_no_swap(circuit, b);
+    // b - a - N < 0 ⟺ MSB set after two's-complement wrap: record in flag.
+    circuit.cx(layout.b_msb(), flag);
+    append_qft_no_swap(circuit, b);
+    append_phi_add(circuit, b, modulus, false, &[Control::pos(flag)]);
+    // Uncompute the flag: after subtracting a again, the MSB is clear
+    // exactly when the first comparison had set the flag.
+    append_phi_add(circuit, b, a, true, controls);
+    append_iqft_no_swap(circuit, b);
+    circuit.x(layout.b_msb());
+    circuit.cx(layout.b_msb(), flag);
+    circuit.x(layout.b_msb());
+    append_qft_no_swap(circuit, b);
+    append_phi_add(circuit, b, a, false, controls);
+}
+
+/// Appends the controlled modular product accumulator
+/// `|x⟩|b⟩ → |x⟩|b + a·x mod N⟩` (control: the top qubit).
+fn append_cmult(circuit: &mut Circuit, layout: &Layout, a: u64, modulus: u64) {
+    append_qft_no_swap(circuit, &layout.b_msb_first);
+    for k in 0..layout.n {
+        let addend = pow_mod(2, u64::from(k), modulus);
+        let addend = crate::numtheory::mul_mod(addend, a, modulus);
+        append_phi_add_mod(
+            circuit,
+            layout,
+            addend,
+            modulus,
+            &[Control::pos(layout.control), Control::pos(layout.x_bit(k))],
+        );
+    }
+    append_iqft_no_swap(circuit, &layout.b_msb_first);
+}
+
+/// The controlled modular multiplier `C-U_a : |x⟩ → |a·x mod N⟩` as a
+/// standalone circuit fragment over the full 2n+3 layout, controlled by
+/// qubit 0. Exposed for tests and for building custom schedules.
+///
+/// # Panics
+///
+/// Panics if `a` is not invertible mod `N`.
+pub fn controlled_modular_multiplier(inst: ShorInstance, a: u64) -> Circuit {
+    let n = inst.n_bits();
+    let layout = Layout::new(n);
+    let a = a % inst.modulus;
+    let a_inv = inverse_mod(a, inst.modulus).expect("multiplier must be invertible mod N");
+    let mut c = Circuit::new(inst.total_qubits());
+
+    // |x⟩|0⟩ → |x⟩|a·x mod N⟩
+    append_cmult(&mut c, &layout, a, inst.modulus);
+    // Controlled swap x ↔ low n bits of b.
+    for k in 0..n {
+        c.cswap(layout.control, layout.x_bit(k), layout.b_bit(k));
+    }
+    // |a·x⟩|x⟩ → |a·x⟩|x - a⁻¹·(a·x)⟩ = |a·x⟩|0⟩, via the inverse of CMULT(a⁻¹).
+    let mut uncompute = Circuit::new(inst.total_qubits());
+    append_cmult(&mut uncompute, &layout, a_inv, inst.modulus);
+    let inverse = uncompute
+        .inverse()
+        .expect("cmult fragment is purely unitary");
+    c.append(&inverse);
+    c
+}
+
+/// The full semiclassical Beauregard circuit for an instance: 2n
+/// measure-and-reset rounds over 2n+3 qubits, named `shor_N_a_qubits`.
+pub fn shor_circuit(inst: ShorInstance) -> Circuit {
+    let n = inst.n_bits();
+    let layout = Layout::new(n);
+    let rounds = inst.phase_bits();
+    let mut c = Circuit::with_cbits(inst.total_qubits(), rounds as usize);
+    c.set_name(inst.name());
+
+    // x register starts at |1⟩ (bit 0 set).
+    c.x(layout.x_bit(0));
+
+    for i in 0..rounds {
+        let exponent = 1u64 << (rounds - 1 - i);
+        let multiplier = pow_mod(inst.base, exponent, inst.modulus);
+        c.h(layout.control);
+        let cua = controlled_modular_multiplier(inst, multiplier);
+        c.append(&cua);
+        // Semiclassical inverse-QFT phase corrections from earlier bits.
+        for j in 0..i {
+            let angle = -PI / f64::from(1u32 << (i - j));
+            c.classical_gate(StandardGate::Phase(angle), layout.control, j as usize, true);
+        }
+        c.h(layout.control);
+        c.measure(layout.control, i as usize);
+        // Reset the control for the next round.
+        c.classical_gate(StandardGate::X, layout.control, i as usize, true);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddsim_circuit::{lower_swap, Operation};
+    use ddsim_complex::Complex;
+    use ddsim_dd::reference::DenseVector;
+
+    /// Applies a unitary circuit fragment to a dense state (tests only).
+    fn apply_dense(circuit: &Circuit, state: &mut DenseVector) {
+        for op in circuit.flattened().ops() {
+            match op {
+                Operation::Gate(g) => {
+                    let controls: Vec<u32> = g
+                        .controls
+                        .iter()
+                        .map(|ctl| {
+                            assert_eq!(ctl.polarity, ddsim_dd::ControlPolarity::Positive);
+                            ctl.qubit
+                        })
+                        .collect();
+                    state.apply_single_qubit(g.gate.matrix(), g.target, &controls);
+                }
+                Operation::Swap { a, b, controls } => {
+                    for g in lower_swap(*a, *b, controls) {
+                        let controls: Vec<u32> =
+                            g.controls.iter().map(|ctl| ctl.qubit).collect();
+                        state.apply_single_qubit(g.gate.matrix(), g.target, &controls);
+                    }
+                }
+                Operation::Barrier => {}
+                other => panic!("non-unitary op in fragment: {other:?}"),
+            }
+        }
+    }
+
+    /// Basis index for |control⟩|x⟩|b⟩|flag⟩ in the Beauregard layout.
+    fn basis(inst: ShorInstance, control: u64, x: u64, b: u64, flag: u64) -> u64 {
+        let n = inst.n_bits();
+        let total = inst.total_qubits();
+        // Qubit q occupies bit (total-1-q) of the index.
+        let mut index = 0u64;
+        let mut set = |qubit: u32, value: u64| {
+            if value & 1 == 1 {
+                index |= 1 << (total - 1 - qubit);
+            }
+        };
+        set(0, control);
+        for k in 0..n {
+            set(n - k, (x >> k) & 1); // x_bit(k) = qubit n-k
+        }
+        for k in 0..=n {
+            set(2 * n + 1 - k, (b >> k) & 1); // b_bit(k) = qubit 2n+1-k
+        }
+        set(2 * n + 2, flag);
+        index
+    }
+
+    #[test]
+    fn instance_validation_and_naming() {
+        let inst = ShorInstance::new(15, 7);
+        assert_eq!(inst.n_bits(), 4);
+        assert_eq!(inst.total_qubits(), 11);
+        assert_eq!(inst.name(), "shor_15_7_11");
+        let big = ShorInstance::new(1007, 602);
+        assert_eq!(big.total_qubits(), 23, "matches the paper's shor_1007_602_23");
+    }
+
+    #[test]
+    #[should_panic(expected = "shares a factor")]
+    fn rejects_non_coprime_base() {
+        let _ = ShorInstance::new(15, 6);
+    }
+
+    #[test]
+    fn phi_adder_adds_constants() {
+        // Register of 4 qubits; check b + a mod 16 for several pairs.
+        let m = 4u32;
+        for (b0, a) in [(3u64, 5u64), (0, 7), (9, 9), (15, 1)] {
+            let mut c = Circuit::new(m);
+            let regs: Vec<u32> = (0..m).collect();
+            append_qft_no_swap(&mut c, &regs);
+            append_phi_add(&mut c, &regs, a, false, &[]);
+            append_iqft_no_swap(&mut c, &regs);
+            let mut state = DenseVector::basis(m, b0);
+            apply_dense(&c, &mut state);
+            let want = (b0 + a) % 16;
+            let amp = state.amplitudes()[want as usize];
+            assert!(
+                amp.approx_eq(Complex::ONE, 1e-8) || amp.abs() > 0.999,
+                "b={b0}, a={a}: amplitude at {want} is {amp}"
+            );
+        }
+    }
+
+    #[test]
+    fn phi_adder_subtracts_with_wraparound() {
+        let m = 4u32;
+        let mut c = Circuit::new(m);
+        let regs: Vec<u32> = (0..m).collect();
+        append_qft_no_swap(&mut c, &regs);
+        append_phi_add(&mut c, &regs, 5, true, &[]);
+        append_iqft_no_swap(&mut c, &regs);
+        let mut state = DenseVector::basis(m, 2);
+        apply_dense(&c, &mut state);
+        // 2 - 5 mod 16 = 13.
+        assert!(state.amplitudes()[13].abs() > 0.999);
+    }
+
+    #[test]
+    fn controlled_multiplier_maps_x_to_ax_mod_n() {
+        let inst = ShorInstance::new(15, 7);
+        let cua = controlled_modular_multiplier(inst, 7);
+        for x in [1u64, 2, 4, 7, 11, 13] {
+            let mut state = DenseVector::basis(inst.total_qubits(), basis(inst, 1, x, 0, 0));
+            apply_dense(&cua, &mut state);
+            let want = basis(inst, 1, (7 * x) % 15, 0, 0);
+            let amp = state.amplitudes()[want as usize];
+            assert!(
+                amp.abs() > 0.999,
+                "x={x}: |{want:b}⟩ amplitude is {amp}, state norm {}",
+                state.norm_sqr()
+            );
+        }
+    }
+
+    #[test]
+    fn multiplier_is_identity_when_control_is_zero() {
+        let inst = ShorInstance::new(15, 7);
+        let cua = controlled_modular_multiplier(inst, 7);
+        for x in [1u64, 5, 8] {
+            let mut state = DenseVector::basis(inst.total_qubits(), basis(inst, 0, x, 0, 0));
+            apply_dense(&cua, &mut state);
+            let want = basis(inst, 0, x, 0, 0);
+            assert!(
+                state.amplitudes()[want as usize].abs() > 0.999,
+                "control=0 must leave |x={x}⟩ unchanged"
+            );
+        }
+    }
+
+    #[test]
+    fn full_circuit_structure() {
+        let inst = ShorInstance::new(15, 7);
+        let c = shor_circuit(inst);
+        assert_eq!(c.qubits(), 11);
+        assert_eq!(c.cbits(), 8);
+        let measures = c
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, Operation::Measure { .. }))
+            .count();
+        assert_eq!(measures, 8, "2n measurement rounds");
+        assert!(c.has_nonunitary());
+    }
+}

@@ -1,0 +1,219 @@
+//! Simon's algorithm: a hidden XOR-mask period found with `O(n)` quantum
+//! queries, plus the classical GF(2) linear algebra that recovers the
+//! secret from the measured constraints.
+
+use ddsim_circuit::Circuit;
+
+/// A Simon instance over `n` input qubits with hidden period `secret`
+/// (`f(x) = f(y) ⟺ y = x ⊕ secret`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimonInstance {
+    /// Input width in qubits.
+    pub n: u32,
+    /// The hidden nonzero period.
+    pub secret: u64,
+}
+
+impl SimonInstance {
+    /// Validates and creates an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range or `secret` is zero or does not fit in
+    /// `n` bits.
+    pub fn new(n: u32, secret: u64) -> Self {
+        assert!(n >= 2 && n <= 31, "input width out of range");
+        assert!(
+            secret != 0 && secret < (1u64 << n),
+            "secret must be a nonzero n-bit value"
+        );
+        SimonInstance { n, secret }
+    }
+
+    /// The concrete 2-to-1 function realized by the oracle:
+    /// `f(x) = x` if the pivot bit of `x` is clear, else `x ⊕ secret`.
+    /// Satisfies `f(x) = f(x ⊕ secret)` for all `x`.
+    pub fn function(&self, x: u64) -> u64 {
+        if x & self.pivot() == 0 {
+            x
+        } else {
+            x ^ self.secret
+        }
+    }
+
+    /// The lowest set bit of the secret (the branch selector).
+    fn pivot(&self) -> u64 {
+        self.secret & self.secret.wrapping_neg()
+    }
+}
+
+/// One Simon round: `H^{⊗n}` on the input register (qubits `0..n`), the
+/// XOR-mask oracle into the output register (qubits `n..2n`), `H^{⊗n}`
+/// again. Measuring the input register yields a uniformly random `y` with
+/// `y · secret ≡ 0 (mod 2)`.
+pub fn simon_circuit(inst: SimonInstance) -> Circuit {
+    let n = inst.n;
+    let mut c = Circuit::new(2 * n);
+    c.set_name(format!("simon_{}", 2 * n));
+    for q in 0..n {
+        c.h(q);
+    }
+    // Copy x into the output register: f(x) = x part.
+    for k in 0..n {
+        c.cx(k, n + k);
+    }
+    // Conditionally XOR the secret: if the pivot bit of x is set, flip the
+    // output bits where the secret has ones.
+    let pivot_qubit = {
+        let pivot_bit = inst.pivot().trailing_zeros();
+        n - 1 - pivot_bit
+    };
+    for k in 0..n {
+        let bit = n - 1 - k; // qubit k holds bit (n-1-k) of x
+        if (inst.secret >> bit) & 1 == 1 {
+            c.cx(pivot_qubit, n + k);
+        }
+    }
+    for q in 0..n {
+        c.h(q);
+    }
+    c
+}
+
+/// GF(2) linear algebra for Simon post-processing.
+pub mod gf2 {
+    /// Row-reduces the system and returns its rank.
+    ///
+    /// Rows are bit vectors over `n` columns (bit `n-1` = leftmost).
+    pub fn rank(rows: &[u64], n: u32) -> u32 {
+        let mut rows = rows.to_vec();
+        let mut rank = 0u32;
+        for col in (0..n).rev() {
+            let Some(pivot_idx) =
+                (rank as usize..rows.len()).find(|&i| (rows[i] >> col) & 1 == 1)
+            else {
+                continue;
+            };
+            rows.swap(rank as usize, pivot_idx);
+            let pivot_row = rows[rank as usize];
+            for (i, row) in rows.iter_mut().enumerate() {
+                if i != rank as usize && (*row >> col) & 1 == 1 {
+                    *row ^= pivot_row;
+                }
+            }
+            rank += 1;
+        }
+        rank
+    }
+
+    /// Finds a nonzero vector `s` with `row · s ≡ 0 (mod 2)` for every row,
+    /// if the nullspace is one-dimensional (rank = n − 1). Returns `None`
+    /// when the constraints are insufficient or contradictory.
+    pub fn nullspace_vector(rows: &[u64], n: u32) -> Option<u64> {
+        if rank(rows, n) != n - 1 {
+            return None;
+        }
+        // Reduced row-echelon form, then read the free column.
+        let mut reduced = rows.to_vec();
+        let mut pivot_cols = Vec::new();
+        let mut r = 0usize;
+        for col in (0..n).rev() {
+            let Some(pivot_idx) = (r..reduced.len()).find(|&i| (reduced[i] >> col) & 1 == 1)
+            else {
+                continue;
+            };
+            reduced.swap(r, pivot_idx);
+            let pivot_row = reduced[r];
+            for (i, row) in reduced.iter_mut().enumerate() {
+                if i != r && (*row >> col) & 1 == 1 {
+                    *row ^= pivot_row;
+                }
+            }
+            pivot_cols.push(col);
+            r += 1;
+        }
+        let free_col = (0..n).rev().find(|c| !pivot_cols.contains(c))?;
+        // Set the free variable to 1 and back-substitute.
+        let mut s = 1u64 << free_col;
+        for (&col, row) in pivot_cols.iter().zip(reduced.iter()) {
+            if (row & s).count_ones() % 2 == 1 {
+                s |= 1 << col;
+            }
+        }
+        Some(s)
+    }
+}
+
+/// Recovers the secret from measured constraint vectors (each satisfying
+/// `y · s ≡ 0`). Returns `None` until the samples span an
+/// (n−1)-dimensional space.
+pub fn recover_secret(samples: &[u64], n: u32) -> Option<u64> {
+    gf2::nullspace_vector(samples, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn function_is_two_to_one_with_period() {
+        let inst = SimonInstance::new(5, 0b10110);
+        for x in 0u64..32 {
+            assert_eq!(
+                inst.function(x),
+                inst.function(x ^ inst.secret),
+                "period property at x={x}"
+            );
+        }
+        // Exactly 16 distinct images.
+        let images: std::collections::HashSet<u64> = (0..32).map(|x| inst.function(x)).collect();
+        assert_eq!(images.len(), 16);
+    }
+
+    #[test]
+    fn circuit_structure() {
+        let inst = SimonInstance::new(4, 0b1010);
+        let c = simon_circuit(inst);
+        assert_eq!(c.qubits(), 8);
+        // 2n H + n copy-CX + popcount(s) mask-CX.
+        assert_eq!(c.elementary_count(), 8 + 4 + 2);
+    }
+
+    #[test]
+    fn gf2_rank_basics() {
+        assert_eq!(gf2::rank(&[0b100, 0b010, 0b001], 3), 3);
+        assert_eq!(gf2::rank(&[0b110, 0b011, 0b101], 3), 2); // third = sum
+        assert_eq!(gf2::rank(&[0, 0], 3), 0);
+    }
+
+    #[test]
+    fn gf2_nullspace_recovers_known_secret() {
+        // Constraints orthogonal to s = 0b101: y ∈ {000, 010, 101, 111}.
+        let samples = [0b010u64, 0b111];
+        assert_eq!(gf2::nullspace_vector(&samples, 3), Some(0b101));
+    }
+
+    #[test]
+    fn gf2_nullspace_requires_full_rank() {
+        assert_eq!(gf2::nullspace_vector(&[0b010], 3), None);
+        assert_eq!(gf2::nullspace_vector(&[], 3), None);
+    }
+
+    #[test]
+    fn recovered_secret_is_orthogonal_to_all_samples() {
+        let n = 6u32;
+        let secret = 0b110101u64;
+        // All y with y·s = 0.
+        let samples: Vec<u64> = (0..64)
+            .filter(|y| (y & secret).count_ones() % 2 == 0)
+            .collect();
+        let s = recover_secret(&samples, n).expect("full constraint set");
+        assert_eq!(s, secret);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_secret_rejected() {
+        let _ = SimonInstance::new(4, 0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Small standard circuits: GHZ / entanglement, Bernstein–Vazirani, and
+//! quantum phase estimation.
+
+use std::f64::consts::PI;
+
+use ddsim_circuit::Circuit;
+
+use crate::qft::append_iqft;
+
+/// The `n`-qubit GHZ (entanglement) circuit `H(0); CX(0→1); …; CX(n-2→n-1)`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn ghz_circuit(n: u32) -> Circuit {
+    assert!(n >= 2, "GHZ needs at least two qubits");
+    let mut c = Circuit::new(n);
+    c.set_name(format!("ghz_{n}"));
+    c.h(0);
+    for q in 1..n {
+        c.cx(q - 1, q);
+    }
+    c
+}
+
+/// Bernstein–Vazirani over `n` input qubits with the given hidden bit
+/// string (bit `n-1-q` of `secret` belongs to qubit `q`); one ancilla at
+/// the bottom. A single run reads the secret off the input register.
+///
+/// # Panics
+///
+/// Panics if `secret` does not fit in `n` bits or `n == 0`.
+pub fn bernstein_vazirani_circuit(n: u32, secret: u64) -> Circuit {
+    assert!(n >= 1 && n < 63 && secret < (1u64 << n), "secret out of range");
+    let mut c = Circuit::new(n + 1);
+    c.set_name(format!("bv_{}", n + 1));
+    for q in 0..n {
+        c.h(q);
+    }
+    c.x(n);
+    c.h(n);
+    for q in 0..n {
+        if (secret >> (n - 1 - q)) & 1 == 1 {
+            c.cx(q, n);
+        }
+    }
+    for q in 0..n {
+        c.h(q);
+    }
+    c
+}
+
+/// Quantum phase estimation of the phase gate `diag(1, e^{2πi·phase})`,
+/// with `precision` counting qubits (indices `0..precision`) and the
+/// eigenstate qubit at the bottom (prepared in |1⟩).
+///
+/// A final measurement of the counting register (most significant qubit 0)
+/// approximates `phase` to `precision` bits.
+///
+/// # Panics
+///
+/// Panics if `precision == 0` or `phase` is outside `[0, 1)`.
+pub fn phase_estimation_circuit(precision: u32, phase: f64) -> Circuit {
+    assert!(precision >= 1, "need at least one counting qubit");
+    assert!((0.0..1.0).contains(&phase), "phase must lie in [0, 1)");
+    let mut c = Circuit::new(precision + 1);
+    c.set_name(format!("qpe_{}", precision + 1));
+    let target = precision;
+    c.x(target); // eigenstate |1⟩ of diag(1, e^{2πiφ})
+    for q in 0..precision {
+        c.h(q);
+    }
+    // Counting qubit q accumulates 2^(precision-1-q) applications.
+    for q in 0..precision {
+        let reps = 1u64 << (precision - 1 - q);
+        let angle = 2.0 * PI * phase * reps as f64;
+        c.cphase(angle, q, target);
+    }
+    let counting: Vec<u32> = (0..precision).collect();
+    append_iqft(&mut c, &counting);
+    c
+}
+
+/// The Boolean function flavor a Deutsch–Jozsa oracle implements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeutschJozsaOracle {
+    /// `f(x) = 0` for all inputs.
+    Constant,
+    /// `f(x) = parity(x & mask)` — balanced whenever `mask != 0`.
+    BalancedParity {
+        /// Mask selecting the bits whose parity defines `f`.
+        mask: u64,
+    },
+}
+
+/// Deutsch–Jozsa over `n` input qubits plus one ancilla: decides whether
+/// the oracle is constant (all-zeros measurement on the input register) or
+/// balanced (any other outcome) with a single query.
+///
+/// # Panics
+///
+/// Panics if `n` is 0, too large, a balanced mask is zero, or the mask does
+/// not fit in `n` bits.
+pub fn deutsch_jozsa_circuit(n: u32, oracle: DeutschJozsaOracle) -> Circuit {
+    assert!(n >= 1 && n < 63, "input width out of range");
+    if let DeutschJozsaOracle::BalancedParity { mask } = oracle {
+        assert!(mask != 0, "a zero mask is constant, not balanced");
+        assert!(mask < (1u64 << n), "mask out of range");
+    }
+    let mut c = Circuit::new(n + 1);
+    c.set_name(format!("dj_{}", n + 1));
+    for q in 0..n {
+        c.h(q);
+    }
+    c.x(n);
+    c.h(n);
+    if let DeutschJozsaOracle::BalancedParity { mask } = oracle {
+        for q in 0..n {
+            if (mask >> (n - 1 - q)) & 1 == 1 {
+                c.cx(q, n);
+            }
+        }
+    }
+    for q in 0..n {
+        c.h(q);
+    }
+    c
+}
+
+/// The `n`-qubit W state `(|10…0⟩ + |01…0⟩ + … + |0…01⟩)/√n` via the
+/// cascade of controlled rotations.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn w_state_circuit(n: u32) -> Circuit {
+    assert!(n >= 2, "W state needs at least two qubits");
+    let mut c = Circuit::new(n);
+    c.set_name(format!("wstate_{n}"));
+    // Distribute the single excitation: qubit 0 starts with it; each step
+    // moves part of the amplitude down with a controlled-Ry + CX pair.
+    c.x(0);
+    for q in 1..n {
+        // Remaining share: after step q, qubit q-1 keeps 1/(n-q+1) of the
+        // excitation mass still held.
+        let remaining = f64::from(n - q);
+        let theta = 2.0 * (1.0 / (remaining + 1.0).sqrt()).acos();
+        c.controlled_gate(
+            ddsim_circuit::StandardGate::Ry(theta),
+            vec![ddsim_dd::Control::pos(q - 1)],
+            q,
+        );
+        c.cx(q, q - 1);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ghz_gate_count() {
+        let c = ghz_circuit(6);
+        assert_eq!(c.elementary_count(), 6);
+        assert_eq!(c.qubits(), 6);
+    }
+
+    #[test]
+    fn bv_encodes_secret_in_cx_pattern() {
+        let c = bernstein_vazirani_circuit(4, 0b1010);
+        // 2 CX gates for the two set bits.
+        let cx_count = c
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, ddsim_circuit::Operation::Gate(g) if !g.controls.is_empty()))
+            .count();
+        assert_eq!(cx_count, 2);
+    }
+
+    #[test]
+    fn qpe_sizes() {
+        let c = phase_estimation_circuit(4, 0.3125);
+        assert_eq!(c.qubits(), 5);
+        assert!(c.elementary_count() > 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase must lie")]
+    fn qpe_rejects_out_of_range_phase() {
+        let _ = phase_estimation_circuit(3, 1.5);
+    }
+
+    #[test]
+    fn dj_constant_oracle_has_no_cx() {
+        let c = deutsch_jozsa_circuit(5, DeutschJozsaOracle::Constant);
+        let cx = c
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, ddsim_circuit::Operation::Gate(g) if !g.controls.is_empty()))
+            .count();
+        assert_eq!(cx, 0);
+    }
+
+    #[test]
+    fn dj_balanced_oracle_counts_mask_bits() {
+        let c = deutsch_jozsa_circuit(5, DeutschJozsaOracle::BalancedParity { mask: 0b10110 });
+        let cx = c
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, ddsim_circuit::Operation::Gate(g) if !g.controls.is_empty()))
+            .count();
+        assert_eq!(cx, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant, not balanced")]
+    fn dj_rejects_zero_mask() {
+        let _ = deutsch_jozsa_circuit(4, DeutschJozsaOracle::BalancedParity { mask: 0 });
+    }
+
+    #[test]
+    fn w_state_structure() {
+        let c = w_state_circuit(4);
+        // 1 X + 3 × (CRy + CX).
+        assert_eq!(c.ops().len(), 7);
+        assert_eq!(c.qubits(), 4);
+    }
+}

@@ -1,0 +1,237 @@
+//! Random-circuit-sampling benchmarks in the style of the Google quantum
+//! supremacy proposal (Boixo et al., the paper's reference \[11\]).
+//!
+//! The exact instances used by the paper are not published with it, so this
+//! generator reproduces the published *rule set* with a seeded PRNG
+//! (substitution documented in DESIGN.md): qubits on a 2D grid, an initial
+//! layer of H, then `depth` clock cycles, each applying one of eight
+//! staggered CZ tilings plus single-qubit gates from {T, √X, √Y} under the
+//! no-repeat / T-first rules. These rules are what make the intermediate
+//! states dense and DD-hostile — the regime of the paper's Example 3.
+
+use ddsim_circuit::{Circuit, StandardGate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a supremacy-style instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SupremacyInstance {
+    /// Grid rows.
+    pub rows: u32,
+    /// Grid columns.
+    pub cols: u32,
+    /// Number of clock cycles after the initial H layer.
+    pub depth: u32,
+    /// PRNG seed for gate choices.
+    pub seed: u64,
+}
+
+impl SupremacyInstance {
+    /// A grid instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is degenerate (fewer than 2 qubits) or too large
+    /// for a simulable circuit (> 36 qubits).
+    pub fn new(rows: u32, cols: u32, depth: u32, seed: u64) -> Self {
+        assert!(rows * cols >= 2, "grid must have at least two qubits");
+        assert!(rows * cols <= 36, "grid too large");
+        SupremacyInstance {
+            rows,
+            cols,
+            depth,
+            seed,
+        }
+    }
+
+    /// Total qubit count.
+    pub fn qubits(&self) -> u32 {
+        self.rows * self.cols
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LastGate {
+    None,
+    T,
+    SqrtX,
+    SqrtY,
+}
+
+/// Generates the circuit for an instance, named
+/// `supremacy_<depth>_<qubits>` in the paper's scheme.
+pub fn supremacy_circuit(inst: SupremacyInstance) -> Circuit {
+    let n = inst.qubits();
+    let mut c = Circuit::new(n);
+    c.set_name(format!("supremacy_{}_{}", inst.depth, n));
+    let mut rng = StdRng::seed_from_u64(inst.seed);
+
+    let index = |r: u32, col: u32| r * inst.cols + col;
+
+    // Initial Hadamard layer.
+    for q in 0..n {
+        c.h(q);
+    }
+
+    let mut last_gate = vec![LastGate::None; n as usize];
+    let mut had_t = vec![false; n as usize];
+    let mut in_cz_prev = vec![false; n as usize];
+
+    // Alternating vertical/horizontal staggered tilings (8 patterns).
+    let pattern_order = [0u32, 4, 1, 5, 2, 6, 3, 7];
+
+    for cycle in 0..inst.depth {
+        let pattern = pattern_order[(cycle % 8) as usize];
+        let mut in_cz_now = vec![false; n as usize];
+
+        // CZ layer.
+        if pattern < 4 {
+            // Vertical couplers (r, c)-(r+1, c).
+            for r in 0..inst.rows.saturating_sub(1) {
+                for col in 0..inst.cols {
+                    if (r + 2 * (col % 2)) % 4 == pattern {
+                        let a = index(r, col);
+                        let b = index(r + 1, col);
+                        c.cz(a, b);
+                        in_cz_now[a as usize] = true;
+                        in_cz_now[b as usize] = true;
+                    }
+                }
+            }
+        } else {
+            // Horizontal couplers (r, c)-(r, c+1).
+            for r in 0..inst.rows {
+                for col in 0..inst.cols.saturating_sub(1) {
+                    if (col + 2 * (r % 2)) % 4 == pattern - 4 {
+                        let a = index(r, col);
+                        let b = index(r, col + 1);
+                        c.cz(a, b);
+                        in_cz_now[a as usize] = true;
+                        in_cz_now[b as usize] = true;
+                    }
+                }
+            }
+        }
+
+        // Single-qubit layer: only on qubits idle this cycle that were
+        // entangled in the previous one; T first, then no-repeat {√X, √Y}.
+        for q in 0..n as usize {
+            if in_cz_now[q] || !in_cz_prev[q] {
+                continue;
+            }
+            let gate = if !had_t[q] {
+                had_t[q] = true;
+                last_gate[q] = LastGate::T;
+                StandardGate::T
+            } else {
+                let pick_sqrt_y = match last_gate[q] {
+                    LastGate::SqrtX => true,
+                    LastGate::SqrtY => false,
+                    _ => rng.gen_bool(0.5),
+                };
+                if pick_sqrt_y {
+                    last_gate[q] = LastGate::SqrtY;
+                    StandardGate::SqrtY
+                } else {
+                    last_gate[q] = LastGate::SqrtX;
+                    StandardGate::SqrtX
+                }
+            };
+            c.gate(gate, q as u32);
+        }
+
+        in_cz_prev = in_cz_now;
+    }
+
+    // Closing Hadamard layer (measurement in the X basis convention).
+    for q in 0..n {
+        c.h(q);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddsim_circuit::Operation;
+
+    #[test]
+    fn determinism_under_seed() {
+        let a = supremacy_circuit(SupremacyInstance::new(3, 3, 12, 42));
+        let b = supremacy_circuit(SupremacyInstance::new(3, 3, 12, 42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = supremacy_circuit(SupremacyInstance::new(3, 3, 12, 1));
+        let b = supremacy_circuit(SupremacyInstance::new(3, 3, 12, 2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn every_cycle_has_cz_gates() {
+        let inst = SupremacyInstance::new(4, 4, 16, 7);
+        let c = supremacy_circuit(inst);
+        let cz_count = c
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, Operation::Gate(g) if !g.controls.is_empty()))
+            .count();
+        // Each of the 16 cycles activates at least one coupler on a 4x4 grid.
+        assert!(cz_count >= 16, "only {cz_count} CZ gates");
+    }
+
+    #[test]
+    fn t_appears_before_other_single_qubit_gates() {
+        let inst = SupremacyInstance::new(3, 3, 20, 5);
+        let c = supremacy_circuit(inst);
+        let mut seen_t = vec![false; 9];
+        for op in c.ops() {
+            if let Operation::Gate(g) = op {
+                if g.controls.is_empty() {
+                    match g.gate {
+                        StandardGate::T => seen_t[g.target as usize] = true,
+                        StandardGate::SqrtX | StandardGate::SqrtY => {
+                            assert!(
+                                seen_t[g.target as usize],
+                                "√X/√Y before T on qubit {}",
+                                g.target
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_repeated_sqrt_gates_per_qubit() {
+        let inst = SupremacyInstance::new(4, 4, 24, 11);
+        let c = supremacy_circuit(inst);
+        let mut last: Vec<Option<StandardGate>> = vec![None; 16];
+        for op in c.ops() {
+            if let Operation::Gate(g) = op {
+                if g.controls.is_empty()
+                    && matches!(g.gate, StandardGate::SqrtX | StandardGate::SqrtY)
+                {
+                    assert_ne!(
+                        last[g.target as usize],
+                        Some(g.gate),
+                        "repeated {:?} on qubit {}",
+                        g.gate,
+                        g.target
+                    );
+                    last[g.target as usize] = Some(g.gate);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn naming_convention() {
+        let c = supremacy_circuit(SupremacyInstance::new(4, 5, 25, 0));
+        assert_eq!(c.name(), "supremacy_25_20");
+    }
+}

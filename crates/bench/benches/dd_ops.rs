@@ -1,0 +1,86 @@
+//! Microbenchmarks of the DD package primitives: the ablation data behind
+//! the paper's Section III cost argument (MxM on small gate DDs vs. MxV
+//! through a large state DD).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddsim_algorithms::supremacy::{supremacy_circuit, SupremacyInstance};
+use ddsim_complex::Complex;
+use ddsim_dd::{Control, DdManager, VecEdge};
+use ddsim_core::{simulate, SimOptions};
+
+fn h_gate() -> ddsim_dd::Matrix2 {
+    let s = Complex::SQRT2_INV;
+    [[s, s], [s, -s]]
+}
+
+fn x_gate() -> ddsim_dd::Matrix2 {
+    [
+        [Complex::ZERO, Complex::ONE],
+        [Complex::ONE, Complex::ZERO],
+    ]
+}
+
+/// A "large" state DD: final state of a supremacy-style circuit.
+fn dense_state(dd: &mut DdManager, n: u32) -> VecEdge {
+    let rows = 2;
+    let cols = n / 2;
+    let circuit = supremacy_circuit(SupremacyInstance::new(rows, cols, 10, 1));
+    let (sim, _) = simulate(&circuit, SimOptions::default()).expect("width matches");
+    let amps = sim.dd().vec_to_amplitudes(sim.state());
+    dd.vec_from_amplitudes(&amps)
+}
+
+fn gate_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_construction");
+    for n in [8u32, 12, 16] {
+        group.bench_with_input(BenchmarkId::new("single_qubit_h", n), &n, |b, &n| {
+            let mut dd = DdManager::new();
+            b.iter(|| dd.mat_single_qubit(n, n / 2, h_gate()));
+        });
+        group.bench_with_input(BenchmarkId::new("toffoli", n), &n, |b, &n| {
+            let mut dd = DdManager::new();
+            b.iter(|| dd.mat_controlled(n, &[Control::pos(0), Control::pos(1)], n - 1, x_gate()));
+        });
+    }
+    group.finish();
+}
+
+fn mxv_vs_mxm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mxv_vs_mxm_section3");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let n = 12u32;
+
+    // MxV of an elementary gate against a large state DD.
+    group.bench_function("mxv_gate_times_large_state", |b| {
+        let mut dd = DdManager::new();
+        let state = dense_state(&mut dd, n);
+        dd.inc_ref_vec(state);
+        let gate = dd.mat_controlled(n, &[Control::pos(3)], 7, x_gate());
+        dd.inc_ref_mat(gate);
+        b.iter(|| {
+            // Fresh manager caches would amortize; clear to measure raw cost.
+            dd.collect_garbage();
+            dd.mat_vec_mul(gate, state)
+        });
+    });
+
+    // MxM of two elementary gates (small DDs).
+    group.bench_function("mxm_gate_times_gate", |b| {
+        let mut dd = DdManager::new();
+        let g1 = dd.mat_controlled(n, &[Control::pos(3)], 7, x_gate());
+        let g2 = dd.mat_single_qubit(n, 5, h_gate());
+        dd.inc_ref_mat(g1);
+        dd.inc_ref_mat(g2);
+        b.iter(|| {
+            dd.collect_garbage();
+            dd.mat_mat_mul(g2, g1)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, gate_construction, mxv_vs_mxm);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for Fig. 8: k-operations across the k sweep on the
+//! quick suite. One Criterion group per benchmark circuit; the series
+//! across `k` is the figure's x-axis (k = 1 is the sequential baseline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddsim_bench::{sweep_suite, Scale};
+use ddsim_core::{simulate, SimOptions, Strategy};
+
+fn fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_k_operations");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for workload in sweep_suite(Scale::Quick).into_iter().step_by(2) {
+        let circuit = workload.circuit();
+        for k in [1usize, 2, 4, 8, 16, 32] {
+            group.bench_with_input(
+                BenchmarkId::new(workload.name(), k),
+                &k,
+                |b, &k| {
+                    b.iter(|| {
+                        let strategy = if k == 1 {
+                            Strategy::Sequential
+                        } else {
+                            Strategy::KOperations { k }
+                        };
+                        simulate(&circuit, SimOptions::with_strategy(strategy))
+                            .expect("width matches")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

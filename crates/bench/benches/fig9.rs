@@ -1,0 +1,37 @@
+//! Criterion bench for Fig. 9: max-size across the s_max sweep on the
+//! quick suite (s_max = 0 row is the sequential baseline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddsim_bench::{sweep_suite, Scale};
+use ddsim_core::{simulate, SimOptions, Strategy};
+
+fn fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_max_size");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for workload in sweep_suite(Scale::Quick).into_iter().step_by(2) {
+        let circuit = workload.circuit();
+        for s_max in [0usize, 16, 64, 256] {
+            group.bench_with_input(
+                BenchmarkId::new(workload.name(), s_max),
+                &s_max,
+                |b, &s_max| {
+                    b.iter(|| {
+                        let strategy = if s_max == 0 {
+                            Strategy::Sequential
+                        } else {
+                            Strategy::MaxSize { s_max }
+                        };
+                        simulate(&circuit, SimOptions::with_strategy(strategy))
+                            .expect("width matches")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

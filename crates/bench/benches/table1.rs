@@ -1,0 +1,37 @@
+//! Criterion bench for Table I: grover under sequential (t_sota),
+//! k-operations (t_general), and DD-repeating (t_DD-repeating).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddsim_bench::{grover_suite, Scale};
+use ddsim_core::{simulate, SimOptions, Strategy};
+
+fn table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_grover");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let columns = [
+        ("t_sota", Strategy::Sequential),
+        ("t_general", Strategy::KOperations { k: 8 }),
+        ("t_dd_repeating", Strategy::DdRepeating { k: 8 }),
+    ];
+    for workload in grover_suite(Scale::Quick) {
+        let circuit = workload.circuit();
+        for (label, strategy) in columns {
+            group.bench_with_input(
+                BenchmarkId::new(workload.name(), label),
+                &strategy,
+                |b, &strategy| {
+                    b.iter(|| {
+                        simulate(&circuit, SimOptions::with_strategy(strategy))
+                            .expect("width matches")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for Table II: shor under sequential (t_sota),
+//! k-operations (t_general), and DD-construct (t_DD-construct).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddsim_algorithms::shor::ShorInstance;
+use ddsim_bench::{shor_suite, Scale, Workload};
+use ddsim_core::{run_shor_dd_construct, simulate, SimOptions, Strategy};
+
+fn table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_shor");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for workload in shor_suite(Scale::Quick) {
+        let Workload::Shor { modulus, base } = workload else {
+            unreachable!("shor_suite only yields shor workloads");
+        };
+        let circuit = workload.circuit();
+        for (label, strategy) in [
+            ("t_sota", Strategy::Sequential),
+            ("t_general", Strategy::KOperations { k: 16 }),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(workload.name(), label),
+                &strategy,
+                |b, &strategy| {
+                    b.iter(|| {
+                        simulate(&circuit, SimOptions::with_strategy(strategy))
+                            .expect("width matches")
+                    });
+                },
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new(workload.name(), "t_dd_construct"),
+            &(modulus, base),
+            |b, &(modulus, base)| {
+                b.iter(|| run_shor_dd_construct(ShorInstance::new(modulus, base), 0));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Regenerates the evidence behind Example 3 / Fig. 5: on a supremacy-style
+//! circuit, the DDs of elementary operations stay tiny while the
+//! intermediate state DDs are large — so combining two operations by a
+//! matrix-matrix multiplication (touching only small DDs) is cheaper than
+//! two matrix-vector multiplications (each touching the large state DD).
+//!
+//! Usage: `cargo run --release -p ddsim-bench --bin example3_trace [--full]`
+
+use ddsim_bench::{maybe_run_child, parse_harness_options, Scale, Workload};
+use ddsim_core::{simulate, SimOptions, Strategy};
+
+fn main() {
+    maybe_run_child();
+    let options = parse_harness_options();
+    let workload = match options.scale {
+        Scale::Quick => Workload::Supremacy { rows: 4, cols: 4, depth: 10, seed: 42 },
+        Scale::Paper => Workload::Supremacy { rows: 4, cols: 5, depth: 12, seed: 42 },
+    };
+    let circuit = workload.circuit();
+    println!("# Example 3 / Fig. 5 — DD sizes during simulation of {}", workload.name());
+
+    let trace_options = |strategy| SimOptions {
+        strategy,
+        collect_trace: true,
+        ..SimOptions::default()
+    };
+
+    let (_, seq) = simulate(&circuit, trace_options(Strategy::Sequential)).expect("run");
+    let (_, combined) =
+        simulate(&circuit, trace_options(Strategy::KOperations { k: 2 })).expect("run");
+
+    println!("\n## Sequential (Eq. 1): per-gate matrix vs. state DD sizes");
+    println!("{:<8} {:>14} {:>14}", "gate", "matrix_nodes", "state_nodes");
+    for t in seq.trace.iter().rev().take(12).rev() {
+        println!("{:<8} {:>14} {:>14}", t.gate_index, t.matrix_nodes, t.state_nodes);
+    }
+    let avg_matrix: f64 =
+        seq.trace.iter().map(|t| t.matrix_nodes as f64).sum::<f64>() / seq.trace.len() as f64;
+    let max_state = seq.trace.iter().map(|t| t.state_nodes).max().unwrap_or(0);
+    println!(
+        "# average elementary-matrix DD: {avg_matrix:.1} nodes; peak state DD: {max_state} nodes"
+    );
+
+    println!("\n## Combined (Eq. 2, k=2): the large state DD is touched half as often");
+    println!(
+        "applications: sequential={} combined={}",
+        seq.trace.len(),
+        combined.trace.len()
+    );
+    println!(
+        "mult recursions: sequential={} combined={}",
+        seq.mult_recursions, combined.mult_recursions
+    );
+    println!(
+        "add recursions:  sequential={} combined={}",
+        seq.add_recursions, combined.add_recursions
+    );
+    let seq_cost = seq.mult_recursions + seq.add_recursions;
+    let comb_cost = combined.mult_recursions + combined.add_recursions;
+    println!(
+        "# total recursive steps: {seq_cost} vs {comb_cost} ({:.2}x)",
+        seq_cost as f64 / comb_cost as f64
+    );
+}

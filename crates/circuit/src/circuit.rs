@@ -1,0 +1,526 @@
+//! The [`Circuit`] container and builder.
+
+use std::fmt;
+
+use ddsim_dd::Control;
+
+use crate::gate::StandardGate;
+use crate::operation::{GateOp, Operation};
+
+/// Error returned when inverting a circuit containing non-unitary
+/// operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvertCircuitError;
+
+impl fmt::Display for InvertCircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("circuit contains non-unitary operations and cannot be inverted")
+    }
+}
+
+impl std::error::Error for InvertCircuitError {}
+
+/// A quantum circuit: a qubit register, a classical register, and an ordered
+/// list of [`Operation`]s.
+///
+/// Qubit 0 is the topmost (most significant) line, matching the paper's
+/// circuit figures.
+///
+/// # Examples
+///
+/// ```
+/// use ddsim_circuit::Circuit;
+///
+/// // The paper's Fig. 1: |01⟩, H on q0, CX(q0 → q1).
+/// let mut c = Circuit::new(2);
+/// c.x(1).h(0).cx(0, 1);
+/// assert_eq!(c.elementary_count(), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Circuit {
+    n_qubits: u32,
+    n_cbits: usize,
+    name: String,
+    ops: Vec<Operation>,
+}
+
+impl Circuit {
+    /// An empty circuit over `n_qubits` qubits and no classical bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` is zero.
+    pub fn new(n_qubits: u32) -> Self {
+        Self::with_cbits(n_qubits, 0)
+    }
+
+    /// An empty circuit with a classical register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` is zero.
+    pub fn with_cbits(n_qubits: u32, n_cbits: usize) -> Self {
+        assert!(n_qubits >= 1, "circuit needs at least one qubit");
+        Circuit {
+            n_qubits,
+            n_cbits,
+            name: String::new(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Sets a human-readable benchmark name (e.g. `grover_23`).
+    pub fn set_name(&mut self, name: impl Into<String>) -> &mut Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The benchmark name (empty if unset).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of qubits.
+    pub fn qubits(&self) -> u32 {
+        self.n_qubits
+    }
+
+    /// Number of classical bits.
+    pub fn cbits(&self) -> usize {
+        self.n_cbits
+    }
+
+    /// The operation list.
+    pub fn ops(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Total elementary gate count after flattening repeats and lowering
+    /// swaps.
+    pub fn elementary_count(&self) -> u64 {
+        self.ops.iter().map(|op| op.elementary_count()).sum()
+    }
+
+    /// Whether the circuit contains measurements, resets, or classically
+    /// controlled gates.
+    pub fn has_nonunitary(&self) -> bool {
+        fn check(ops: &[Operation]) -> bool {
+            ops.iter().any(|op| match op {
+                Operation::Measure { .. }
+                | Operation::Reset { .. }
+                | Operation::Classical { .. } => true,
+                Operation::Repeat { body, .. } => check(body),
+                _ => false,
+            })
+        }
+        check(&self.ops)
+    }
+
+    // ------------------------------------------------------------------
+    // Builder methods
+    // ------------------------------------------------------------------
+
+    /// Appends a raw operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation references qubits or classical bits outside
+    /// the registers.
+    pub fn push(&mut self, op: Operation) -> &mut Self {
+        if let Some(q) = op.max_qubit() {
+            assert!(q < self.n_qubits, "operation references qubit {q} out of range");
+        }
+        if let Some(c) = op.max_cbit() {
+            assert!(c < self.n_cbits, "operation references cbit {c} out of range");
+        }
+        self.ops.push(op);
+        self
+    }
+
+    /// Appends an uncontrolled standard gate.
+    pub fn gate(&mut self, gate: StandardGate, target: u32) -> &mut Self {
+        self.push(Operation::Gate(GateOp::new(gate, target)))
+    }
+
+    /// Appends a controlled standard gate.
+    pub fn controlled_gate(
+        &mut self,
+        gate: StandardGate,
+        controls: Vec<Control>,
+        target: u32,
+    ) -> &mut Self {
+        self.push(Operation::Gate(GateOp::controlled(gate, controls, target)))
+    }
+
+    /// Pauli-X on `target`.
+    pub fn x(&mut self, target: u32) -> &mut Self {
+        self.gate(StandardGate::X, target)
+    }
+
+    /// Pauli-Y on `target`.
+    pub fn y(&mut self, target: u32) -> &mut Self {
+        self.gate(StandardGate::Y, target)
+    }
+
+    /// Pauli-Z on `target`.
+    pub fn z(&mut self, target: u32) -> &mut Self {
+        self.gate(StandardGate::Z, target)
+    }
+
+    /// Hadamard on `target`.
+    pub fn h(&mut self, target: u32) -> &mut Self {
+        self.gate(StandardGate::H, target)
+    }
+
+    /// Phase gate S on `target`.
+    pub fn s(&mut self, target: u32) -> &mut Self {
+        self.gate(StandardGate::S, target)
+    }
+
+    /// Inverse phase gate S† on `target`.
+    pub fn sdg(&mut self, target: u32) -> &mut Self {
+        self.gate(StandardGate::Sdg, target)
+    }
+
+    /// T gate on `target`.
+    pub fn t(&mut self, target: u32) -> &mut Self {
+        self.gate(StandardGate::T, target)
+    }
+
+    /// T† gate on `target`.
+    pub fn tdg(&mut self, target: u32) -> &mut Self {
+        self.gate(StandardGate::Tdg, target)
+    }
+
+    /// X rotation by `theta` on `target`.
+    pub fn rx(&mut self, theta: f64, target: u32) -> &mut Self {
+        self.gate(StandardGate::Rx(theta), target)
+    }
+
+    /// Y rotation by `theta` on `target`.
+    pub fn ry(&mut self, theta: f64, target: u32) -> &mut Self {
+        self.gate(StandardGate::Ry(theta), target)
+    }
+
+    /// Z rotation by `theta` on `target`.
+    pub fn rz(&mut self, theta: f64, target: u32) -> &mut Self {
+        self.gate(StandardGate::Rz(theta), target)
+    }
+
+    /// Phase gate `diag(1, e^{iθ})` on `target`.
+    pub fn phase(&mut self, theta: f64, target: u32) -> &mut Self {
+        self.gate(StandardGate::Phase(theta), target)
+    }
+
+    /// Controlled-X with positive control.
+    pub fn cx(&mut self, control: u32, target: u32) -> &mut Self {
+        self.controlled_gate(StandardGate::X, vec![Control::pos(control)], target)
+    }
+
+    /// Controlled-Z with positive control.
+    pub fn cz(&mut self, control: u32, target: u32) -> &mut Self {
+        self.controlled_gate(StandardGate::Z, vec![Control::pos(control)], target)
+    }
+
+    /// Controlled phase gate.
+    pub fn cphase(&mut self, theta: f64, control: u32, target: u32) -> &mut Self {
+        self.controlled_gate(StandardGate::Phase(theta), vec![Control::pos(control)], target)
+    }
+
+    /// Toffoli (doubly controlled X).
+    pub fn ccx(&mut self, c0: u32, c1: u32, target: u32) -> &mut Self {
+        self.controlled_gate(
+            StandardGate::X,
+            vec![Control::pos(c0), Control::pos(c1)],
+            target,
+        )
+    }
+
+    /// Multi-controlled X with arbitrary positive controls.
+    pub fn mcx(&mut self, controls: &[u32], target: u32) -> &mut Self {
+        let controls = controls.iter().map(|&q| Control::pos(q)).collect();
+        self.controlled_gate(StandardGate::X, controls, target)
+    }
+
+    /// Multi-controlled Z with arbitrary positive controls.
+    pub fn mcz(&mut self, controls: &[u32], target: u32) -> &mut Self {
+        let controls = controls.iter().map(|&q| Control::pos(q)).collect();
+        self.controlled_gate(StandardGate::Z, controls, target)
+    }
+
+    /// Swap of two qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn swap(&mut self, a: u32, b: u32) -> &mut Self {
+        assert_ne!(a, b, "swap requires distinct qubits");
+        self.push(Operation::Swap {
+            a,
+            b,
+            controls: Vec::new(),
+        })
+    }
+
+    /// Controlled swap (Fredkin when one control).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn cswap(&mut self, control: u32, a: u32, b: u32) -> &mut Self {
+        assert_ne!(a, b, "swap requires distinct qubits");
+        self.push(Operation::Swap {
+            a,
+            b,
+            controls: vec![Control::pos(control)],
+        })
+    }
+
+    /// Measurement of `qubit` into classical bit `cbit`.
+    pub fn measure(&mut self, qubit: u32, cbit: usize) -> &mut Self {
+        self.push(Operation::Measure { qubit, cbit })
+    }
+
+    /// Reset of `qubit` to |0⟩.
+    pub fn reset(&mut self, qubit: u32) -> &mut Self {
+        self.push(Operation::Reset { qubit })
+    }
+
+    /// Gate applied only when classical bit `cbit` equals `value`.
+    pub fn classical_gate(
+        &mut self,
+        gate: StandardGate,
+        target: u32,
+        cbit: usize,
+        value: bool,
+    ) -> &mut Self {
+        self.push(Operation::Classical {
+            gate: GateOp::new(gate, target),
+            cbit,
+            value,
+        })
+    }
+
+    /// Scheduling barrier (strategies never combine across it).
+    pub fn barrier(&mut self) -> &mut Self {
+        self.push(Operation::Barrier)
+    }
+
+    /// Appends another circuit's operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` uses more qubits or classical bits than `self`.
+    pub fn append(&mut self, other: &Circuit) -> &mut Self {
+        assert!(other.n_qubits <= self.n_qubits, "appended circuit too wide");
+        assert!(other.n_cbits <= self.n_cbits, "appended circuit has too many cbits");
+        self.ops.extend(other.ops.iter().cloned());
+        self
+    }
+
+    /// Appends `body` as a [`Operation::Repeat`] block executed `times`
+    /// times — the structure the *DD-repeating* strategy caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `body` is wider than `self` or `times` is zero.
+    pub fn repeat(&mut self, body: &Circuit, times: u32) -> &mut Self {
+        assert!(times >= 1, "repeat count must be positive");
+        assert!(body.n_qubits <= self.n_qubits, "repeated circuit too wide");
+        assert!(body.n_cbits <= self.n_cbits, "repeated circuit has too many cbits");
+        self.push(Operation::Repeat {
+            body: body.ops.clone(),
+            times,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Transformations
+    // ------------------------------------------------------------------
+
+    /// The inverse circuit (gates reversed and inverted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvertCircuitError`] if the circuit contains measurements,
+    /// resets, or classically controlled gates.
+    pub fn inverse(&self) -> Result<Circuit, InvertCircuitError> {
+        fn invert_ops(ops: &[Operation]) -> Result<Vec<Operation>, InvertCircuitError> {
+            let mut out = Vec::with_capacity(ops.len());
+            for op in ops.iter().rev() {
+                out.push(match op {
+                    Operation::Gate(g) => Operation::Gate(g.inverse()),
+                    Operation::Swap { a, b, controls } => Operation::Swap {
+                        a: *a,
+                        b: *b,
+                        controls: controls.clone(),
+                    },
+                    Operation::Repeat { body, times } => Operation::Repeat {
+                        body: invert_ops(body)?,
+                        times: *times,
+                    },
+                    Operation::Barrier => Operation::Barrier,
+                    Operation::Measure { .. }
+                    | Operation::Reset { .. }
+                    | Operation::Classical { .. } => return Err(InvertCircuitError),
+                });
+            }
+            Ok(out)
+        }
+        Ok(Circuit {
+            n_qubits: self.n_qubits,
+            n_cbits: self.n_cbits,
+            name: format!("{}_inverse", self.name),
+            ops: invert_ops(&self.ops)?,
+        })
+    }
+
+    /// A flattened copy: repeats expanded, structure otherwise preserved.
+    pub fn flattened(&self) -> Circuit {
+        fn flatten(ops: &[Operation], out: &mut Vec<Operation>) {
+            for op in ops {
+                match op {
+                    Operation::Repeat { body, times } => {
+                        for _ in 0..*times {
+                            flatten(body, out);
+                        }
+                    }
+                    other => out.push(other.clone()),
+                }
+            }
+        }
+        let mut ops = Vec::new();
+        flatten(&self.ops, &mut ops);
+        Circuit {
+            n_qubits: self.n_qubits,
+            n_cbits: self.n_cbits,
+            name: self.name.clone(),
+            ops,
+        }
+    }
+}
+
+/// Lowers a (controlled) swap into three CX-family gates.
+///
+/// Uses the Fredkin identity `CSWAP(C; a,b) = CX(b→a) · MCX(C∪{a}→b) ·
+/// CX(b→a)`: only the middle gate carries the external controls (the outer
+/// pair cancels when they are inactive). With no controls this reduces to
+/// the textbook three-CX swap.
+pub fn lower_swap(a: u32, b: u32, controls: &[Control]) -> Vec<GateOp> {
+    let mut middle_controls = controls.to_vec();
+    middle_controls.push(Control::pos(a));
+    vec![
+        GateOp::controlled(StandardGate::X, vec![Control::pos(b)], a),
+        GateOp::controlled(StandardGate::X, middle_controls, b),
+        GateOp::controlled(StandardGate::X, vec![Control::pos(b)], a),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains_and_counts() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ccx(0, 1, 2).swap(1, 2).barrier().z(2);
+        assert_eq!(c.ops().len(), 6);
+        // swap counts 3 elementary, barrier 0.
+        assert_eq!(c.elementary_count(), 1 + 1 + 1 + 3 + 0 + 1);
+        assert!(!c.has_nonunitary());
+    }
+
+    #[test]
+    fn measurement_flags_nonunitary() {
+        let mut c = Circuit::with_cbits(2, 1);
+        c.h(0).measure(0, 0);
+        assert!(c.has_nonunitary());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_qubit_rejected() {
+        let mut c = Circuit::new(2);
+        c.x(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_cbit_rejected() {
+        let mut c = Circuit::with_cbits(2, 1);
+        c.measure(0, 1);
+    }
+
+    #[test]
+    fn inverse_reverses_and_inverts() {
+        let mut c = Circuit::new(2);
+        c.h(0).s(1).cx(0, 1);
+        let inv = c.inverse().expect("unitary circuit inverts");
+        assert_eq!(inv.ops().len(), 3);
+        match &inv.ops()[0] {
+            Operation::Gate(g) => {
+                assert_eq!(g.gate, StandardGate::X);
+                assert_eq!(g.target, 1);
+            }
+            other => panic!("unexpected op {other:?}"),
+        }
+        match &inv.ops()[1] {
+            Operation::Gate(g) => assert_eq!(g.gate, StandardGate::Sdg),
+            other => panic!("unexpected op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inverse_rejects_measurement() {
+        let mut c = Circuit::with_cbits(1, 1);
+        c.measure(0, 0);
+        assert_eq!(c.inverse(), Err(InvertCircuitError));
+    }
+
+    #[test]
+    fn repeat_flattens_to_expanded_sequence() {
+        let mut body = Circuit::new(2);
+        body.h(0).cx(0, 1);
+        let mut c = Circuit::new(2);
+        c.x(0).repeat(&body, 3);
+        assert_eq!(c.elementary_count(), 1 + 3 * 2);
+        let flat = c.flattened();
+        assert_eq!(flat.ops().len(), 1 + 3 * 2);
+        assert!(flat
+            .ops()
+            .iter()
+            .all(|op| !matches!(op, Operation::Repeat { .. })));
+    }
+
+    #[test]
+    fn nested_repeat_counts() {
+        let mut inner = Circuit::new(1);
+        inner.x(0);
+        let mut middle = Circuit::new(1);
+        middle.repeat(&inner, 2).h(0);
+        let mut outer = Circuit::new(1);
+        outer.repeat(&middle, 3);
+        assert_eq!(outer.elementary_count(), 3 * (2 + 1));
+        assert_eq!(outer.flattened().ops().len(), 9);
+    }
+
+    #[test]
+    fn lower_swap_produces_three_cx() {
+        let gates = lower_swap(0, 1, &[]);
+        assert_eq!(gates.len(), 3);
+        for g in &gates {
+            assert_eq!(g.gate, StandardGate::X);
+            assert_eq!(g.controls.len(), 1);
+        }
+    }
+
+    #[test]
+    fn append_concatenates() {
+        let mut a = Circuit::new(2);
+        a.h(0);
+        let mut b = Circuit::new(2);
+        b.cx(0, 1);
+        a.append(&b);
+        assert_eq!(a.ops().len(), 2);
+    }
+}

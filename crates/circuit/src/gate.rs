@@ -1,0 +1,294 @@
+//! The standard gate set and its 2x2 unitary matrices.
+
+use std::fmt;
+
+use ddsim_complex::Complex;
+use ddsim_dd::Matrix2;
+
+/// A single-qubit gate from the standard set (possibly parameterized).
+///
+/// Angles are in radians. `U` is the general single-qubit unitary with the
+/// OpenQASM `u3(theta, phi, lambda)` convention.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StandardGate {
+    /// Identity.
+    I,
+    /// Pauli-X (negation, the paper's `X`).
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Hadamard (the paper's `H`).
+    H,
+    /// Phase gate `S = diag(1, i)` (the paper's phase shift).
+    S,
+    /// Inverse phase gate `S† = diag(1, -i)`.
+    Sdg,
+    /// `T = diag(1, e^{iπ/4})`.
+    T,
+    /// `T† = diag(1, e^{-iπ/4})`.
+    Tdg,
+    /// Square root of X (`X^{1/2}`, used in the supremacy circuits).
+    SqrtX,
+    /// Inverse square root of X.
+    SqrtXdg,
+    /// Square root of Y (`Y^{1/2}`, used in the supremacy circuits).
+    SqrtY,
+    /// Inverse square root of Y.
+    SqrtYdg,
+    /// Rotation about X by the given angle.
+    Rx(f64),
+    /// Rotation about Y by the given angle.
+    Ry(f64),
+    /// Rotation about Z by the given angle.
+    Rz(f64),
+    /// Phase gate `diag(1, e^{iθ})` (OpenQASM `u1`); the QFT's controlled
+    /// rotations use this kind.
+    Phase(f64),
+    /// General single-qubit unitary, OpenQASM `u3(θ, φ, λ)` convention.
+    U(f64, f64, f64),
+}
+
+impl StandardGate {
+    /// The gate's 2x2 unitary matrix.
+    pub fn matrix(self) -> Matrix2 {
+        use StandardGate::*;
+        let zero = Complex::ZERO;
+        let one = Complex::ONE;
+        let i = Complex::I;
+        match self {
+            I => [[one, zero], [zero, one]],
+            X => [[zero, one], [one, zero]],
+            Y => [[zero, -i], [i, zero]],
+            Z => [[one, zero], [zero, -one]],
+            H => {
+                let s = Complex::SQRT2_INV;
+                [[s, s], [s, -s]]
+            }
+            S => [[one, zero], [zero, i]],
+            Sdg => [[one, zero], [zero, -i]],
+            T => [[one, zero], [zero, Complex::cis(std::f64::consts::FRAC_PI_4)]],
+            Tdg => [[one, zero], [zero, Complex::cis(-std::f64::consts::FRAC_PI_4)]],
+            SqrtX => {
+                // (I + iX)/√2 up to global phase: the common convention
+                // [[(1+i)/2, (1-i)/2], [(1-i)/2, (1+i)/2]].
+                let p = Complex::new(0.5, 0.5);
+                let m = Complex::new(0.5, -0.5);
+                [[p, m], [m, p]]
+            }
+            SqrtXdg => {
+                let p = Complex::new(0.5, 0.5);
+                let m = Complex::new(0.5, -0.5);
+                [[m, p], [p, m]]
+            }
+            SqrtY => {
+                // [[(1+i)/2, -(1+i)/2], [(1+i)/2, (1+i)/2]].
+                let p = Complex::new(0.5, 0.5);
+                [[p, -p], [p, p]]
+            }
+            SqrtYdg => {
+                let m = Complex::new(0.5, -0.5);
+                [[m, m], [-m, m]]
+            }
+            Rx(theta) => {
+                let (s2, c2) = (theta / 2.0).sin_cos();
+                [
+                    [Complex::real(c2), Complex::new(0.0, -s2)],
+                    [Complex::new(0.0, -s2), Complex::real(c2)],
+                ]
+            }
+            Ry(theta) => {
+                let (s2, c2) = (theta / 2.0).sin_cos();
+                [
+                    [Complex::real(c2), Complex::real(-s2)],
+                    [Complex::real(s2), Complex::real(c2)],
+                ]
+            }
+            Rz(theta) => [
+                [Complex::cis(-theta / 2.0), zero],
+                [zero, Complex::cis(theta / 2.0)],
+            ],
+            Phase(theta) => [[one, zero], [zero, Complex::cis(theta)]],
+            U(theta, phi, lambda) => {
+                let (s2, c2) = (theta / 2.0).sin_cos();
+                [
+                    [Complex::real(c2), -Complex::cis(lambda) * s2],
+                    [Complex::cis(phi) * s2, Complex::cis(phi + lambda) * c2],
+                ]
+            }
+        }
+    }
+
+    /// The inverse gate (`G†`), again from the standard set.
+    pub fn inverse(self) -> StandardGate {
+        use StandardGate::*;
+        match self {
+            I | X | Y | Z | H => self,
+            S => Sdg,
+            Sdg => S,
+            T => Tdg,
+            Tdg => T,
+            SqrtX => SqrtXdg,
+            SqrtXdg => SqrtX,
+            SqrtY => SqrtYdg,
+            SqrtYdg => SqrtY,
+            Rx(t) => Rx(-t),
+            Ry(t) => Ry(-t),
+            Rz(t) => Rz(-t),
+            Phase(t) => Phase(-t),
+            U(theta, phi, lambda) => U(-theta, -lambda, -phi),
+        }
+    }
+
+    /// Whether the gate is diagonal in the computational basis.
+    pub fn is_diagonal(self) -> bool {
+        use StandardGate::*;
+        matches!(self, I | Z | S | Sdg | T | Tdg | Rz(_) | Phase(_))
+    }
+
+    /// Short lowercase mnemonic, matching OpenQASM where one exists.
+    pub fn name(self) -> &'static str {
+        use StandardGate::*;
+        match self {
+            I => "id",
+            X => "x",
+            Y => "y",
+            Z => "z",
+            H => "h",
+            S => "s",
+            Sdg => "sdg",
+            T => "t",
+            Tdg => "tdg",
+            SqrtX => "sx",
+            SqrtXdg => "sxdg",
+            SqrtY => "sy",
+            SqrtYdg => "sydg",
+            Rx(_) => "rx",
+            Ry(_) => "ry",
+            Rz(_) => "rz",
+            Phase(_) => "u1",
+            U(..) => "u3",
+        }
+    }
+}
+
+impl fmt::Display for StandardGate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use StandardGate::*;
+        match self {
+            Rx(t) | Ry(t) | Rz(t) | Phase(t) => write!(f, "{}({t:.6})", self.name()),
+            U(t, p, l) => write!(f, "u3({t:.6},{p:.6},{l:.6})"),
+            _ => f.write_str(self.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat_mul(a: Matrix2, b: Matrix2) -> Matrix2 {
+        let mut out = [[Complex::ZERO; 2]; 2];
+        for r in 0..2 {
+            for c in 0..2 {
+                for k in 0..2 {
+                    out[r][c] += a[r][k] * b[k][c];
+                }
+            }
+        }
+        out
+    }
+
+    fn approx_identity(m: Matrix2, tol: f64) -> bool {
+        m[0][0].approx_eq(Complex::ONE, tol)
+            && m[0][1].approx_eq(Complex::ZERO, tol)
+            && m[1][0].approx_eq(Complex::ZERO, tol)
+            && m[1][1].approx_eq(Complex::ONE, tol)
+    }
+
+    fn all_gates() -> Vec<StandardGate> {
+        use StandardGate::*;
+        vec![
+            I, X, Y, Z, H, S, Sdg, T, Tdg, SqrtX, SqrtXdg, SqrtY, SqrtYdg,
+            Rx(0.37), Ry(-1.2), Rz(2.5), Phase(0.9), U(0.5, 1.5, -0.5),
+        ]
+    }
+
+    #[test]
+    fn every_gate_is_unitary() {
+        for g in all_gates() {
+            let m = g.matrix();
+            let dagger = [
+                [m[0][0].conj(), m[1][0].conj()],
+                [m[0][1].conj(), m[1][1].conj()],
+            ];
+            assert!(
+                approx_identity(mat_mul(dagger, m), 1e-12),
+                "{g} is not unitary"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        for g in all_gates() {
+            let p = mat_mul(g.inverse().matrix(), g.matrix());
+            assert!(approx_identity(p, 1e-12), "{g} inverse is wrong");
+        }
+    }
+
+    #[test]
+    fn sqrt_gates_square_correctly() {
+        let xx = mat_mul(StandardGate::SqrtX.matrix(), StandardGate::SqrtX.matrix());
+        assert!(xx[0][1].approx_eq(Complex::ONE, 1e-12));
+        assert!(xx[1][0].approx_eq(Complex::ONE, 1e-12));
+        let yy = mat_mul(StandardGate::SqrtY.matrix(), StandardGate::SqrtY.matrix());
+        let y = StandardGate::Y.matrix();
+        // SqrtY² equals Y up to a global phase; compare ratios.
+        let phase = yy[1][0] / y[1][0];
+        assert!((phase.abs() - 1.0).abs() < 1e-12);
+        assert!((yy[0][1] / y[0][1]).approx_eq(phase, 1e-12));
+    }
+
+    #[test]
+    fn s_is_t_squared() {
+        let tt = mat_mul(StandardGate::T.matrix(), StandardGate::T.matrix());
+        let s = StandardGate::S.matrix();
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!(tt[r][c].approx_eq(s[r][c], 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn phase_matches_rz_up_to_global_phase() {
+        let theta = 1.234;
+        let p = StandardGate::Phase(theta).matrix();
+        let rz = StandardGate::Rz(theta).matrix();
+        let ratio = p[0][0] / rz[0][0];
+        assert!((p[1][1] / rz[1][1]).approx_eq(ratio, 1e-12));
+    }
+
+    #[test]
+    fn u3_specializations() {
+        use std::f64::consts::{FRAC_PI_2, PI};
+        // u3(π/2, 0, π) = H.
+        let u = StandardGate::U(FRAC_PI_2, 0.0, PI).matrix();
+        let h = StandardGate::H.matrix();
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!(u[r][c].approx_eq(h[r][c], 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_classification() {
+        assert!(StandardGate::Z.is_diagonal());
+        assert!(StandardGate::Phase(0.1).is_diagonal());
+        assert!(!StandardGate::X.is_diagonal());
+        assert!(!StandardGate::H.is_diagonal());
+    }
+}

@@ -1,0 +1,32 @@
+//! Quantum-circuit intermediate representation.
+//!
+//! A [`Circuit`] is an ordered list of [`Operation`]s over a qubit register
+//! (qubit 0 topmost, as in the paper's figures) and an optional classical
+//! register. The IR keeps the structure the paper's strategies exploit:
+//! [`Operation::Repeat`] marks repeated blocks (for *DD-repeating*) and
+//! [`Operation::Barrier`] bounds combining. Measurement, reset, and
+//! classically controlled gates support the semiclassical Shor circuit.
+//!
+//! The [`qasm`] module reads and writes an OpenQASM 2.0 subset.
+//!
+//! # Examples
+//!
+//! ```
+//! use ddsim_circuit::{Circuit, StandardGate};
+//!
+//! let mut bell = Circuit::new(2);
+//! bell.h(0).cx(0, 1);
+//! assert_eq!(bell.elementary_count(), 2);
+//! let inverse = bell.inverse()?;
+//! assert_eq!(inverse.elementary_count(), 2);
+//! # Ok::<(), ddsim_circuit::InvertCircuitError>(())
+//! ```
+
+mod circuit;
+mod gate;
+mod operation;
+pub mod qasm;
+
+pub use circuit::{lower_swap, Circuit, InvertCircuitError};
+pub use gate::StandardGate;
+pub use operation::{GateOp, Operation};

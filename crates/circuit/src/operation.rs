@@ -1,0 +1,171 @@
+//! Circuit operations: gates with controls, measurement, reset, classical
+//! control, and repeated blocks.
+
+use std::fmt;
+
+use ddsim_dd::Control;
+
+use crate::gate::StandardGate;
+
+/// A (possibly multi-)controlled single-qubit gate application.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateOp {
+    /// The base single-qubit gate.
+    pub gate: StandardGate,
+    /// Target qubit (0 = topmost / most significant, as in the paper).
+    pub target: u32,
+    /// Controls (positive or negative), any positions.
+    pub controls: Vec<Control>,
+}
+
+impl GateOp {
+    /// An uncontrolled gate on `target`.
+    pub fn new(gate: StandardGate, target: u32) -> Self {
+        GateOp {
+            gate,
+            target,
+            controls: Vec::new(),
+        }
+    }
+
+    /// A controlled gate.
+    pub fn controlled(gate: StandardGate, controls: Vec<Control>, target: u32) -> Self {
+        GateOp {
+            gate,
+            target,
+            controls,
+        }
+    }
+
+    /// The inverse application (`G†` with the same controls).
+    pub fn inverse(&self) -> GateOp {
+        GateOp {
+            gate: self.gate.inverse(),
+            target: self.target,
+            controls: self.controls.clone(),
+        }
+    }
+
+    /// Highest qubit index referenced.
+    pub fn max_qubit(&self) -> u32 {
+        self.controls
+            .iter()
+            .map(|c| c.qubit)
+            .chain(std::iter::once(self.target))
+            .max()
+            .expect("iterator is never empty")
+    }
+}
+
+impl fmt::Display for GateOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.controls {
+            match c.polarity {
+                ddsim_dd::ControlPolarity::Positive => write!(f, "c{}·", c.qubit)?,
+                ddsim_dd::ControlPolarity::Negative => write!(f, "c̄{}·", c.qubit)?,
+            }
+        }
+        write!(f, "{} q{}", self.gate, self.target)
+    }
+}
+
+/// One step of a quantum circuit.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Operation {
+    /// A unitary gate application.
+    Gate(GateOp),
+    /// Swap two qubits (optionally controlled). Lowered to three CX gates
+    /// when a unitary DD is built.
+    Swap {
+        /// First qubit.
+        a: u32,
+        /// Second qubit.
+        b: u32,
+        /// Controls guarding the swap.
+        controls: Vec<Control>,
+    },
+    /// Measure a qubit into a classical bit (destructive, collapsing).
+    Measure {
+        /// Measured qubit.
+        qubit: u32,
+        /// Classical bit receiving the outcome.
+        cbit: usize,
+    },
+    /// Reset a qubit to |0⟩ (measure and flip if 1).
+    Reset {
+        /// Qubit to reset.
+        qubit: u32,
+    },
+    /// A gate applied only if a classical bit has the given value — the
+    /// primitive behind semiclassical (measurement-feedback) circuits such
+    /// as the single-control-qubit Shor variant (paper footnote 7).
+    Classical {
+        /// The guarded gate.
+        gate: GateOp,
+        /// Classical bit examined.
+        cbit: usize,
+        /// Required value for the gate to fire.
+        value: bool,
+    },
+    /// A block repeated a fixed number of times — the structure the
+    /// *DD-repeating* strategy exploits (e.g. the Grover iteration).
+    Repeat {
+        /// The repeated operations.
+        body: Vec<Operation>,
+        /// Number of repetitions.
+        times: u32,
+    },
+    /// A scheduling barrier; strategies never combine across it.
+    Barrier,
+}
+
+impl Operation {
+    /// Whether the operation is a unitary gate (combinable by the paper's
+    /// strategies).
+    pub fn is_unitary(&self) -> bool {
+        matches!(
+            self,
+            Operation::Gate(_) | Operation::Swap { .. } | Operation::Repeat { .. }
+        )
+    }
+
+    /// Highest qubit index referenced (`None` for barriers).
+    pub fn max_qubit(&self) -> Option<u32> {
+        match self {
+            Operation::Gate(g) => Some(g.max_qubit()),
+            Operation::Swap { a, b, controls } => controls
+                .iter()
+                .map(|c| c.qubit)
+                .chain([*a, *b])
+                .max(),
+            Operation::Measure { qubit, .. } | Operation::Reset { qubit } => Some(*qubit),
+            Operation::Classical { gate, .. } => Some(gate.max_qubit()),
+            Operation::Repeat { body, .. } => body.iter().filter_map(|op| op.max_qubit()).max(),
+            Operation::Barrier => None,
+        }
+    }
+
+    /// Highest classical bit referenced, if any.
+    pub fn max_cbit(&self) -> Option<usize> {
+        match self {
+            Operation::Measure { cbit, .. } | Operation::Classical { cbit, .. } => Some(*cbit),
+            Operation::Repeat { body, .. } => body.iter().filter_map(|op| op.max_cbit()).max(),
+            _ => None,
+        }
+    }
+
+    /// Number of elementary gates after flattening repeats and lowering
+    /// swaps (barriers count zero, measurements/resets count one).
+    pub fn elementary_count(&self) -> u64 {
+        match self {
+            Operation::Gate(_) | Operation::Classical { .. } => 1,
+            Operation::Swap { .. } => 3,
+            Operation::Measure { .. } | Operation::Reset { .. } => 1,
+            Operation::Repeat { body, times } => {
+                let inner: u64 = body.iter().map(|op| op.elementary_count()).sum();
+                inner * u64::from(*times)
+            }
+            Operation::Barrier => 0,
+        }
+    }
+}

@@ -1,0 +1,699 @@
+//! OpenQASM 2.0 subset reader and writer.
+//!
+//! Supported statements: the `OPENQASM 2.0;` header, `include` (ignored),
+//! one `qreg` and at most one `creg`, the standard gates
+//! `id x y z h s sdg t tdg sx rx ry rz u1 u2 u3 cx cz ccx cswap swap`,
+//! controlled phases `cu1`, plus `measure`, `reset`, `barrier`, and
+//! single-bit `if (c == k)` conditionals on a size-1 classical register.
+//! Comments (`//`) are stripped. Expressions in parameters support
+//! `pi`, numeric literals, unary minus, `+ - * /`, and parentheses.
+
+use std::fmt;
+
+
+use crate::circuit::Circuit;
+use crate::gate::StandardGate;
+use crate::operation::{GateOp, Operation};
+
+/// Error produced when parsing OpenQASM input.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseQasmError {
+    /// 1-based line of the offending statement.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseQasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseQasmError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseQasmError {
+    ParseQasmError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses an OpenQASM 2.0 subset program into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`ParseQasmError`] on unsupported or malformed statements.
+///
+/// # Examples
+///
+/// ```
+/// use ddsim_circuit::qasm::parse;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n";
+/// let circuit = parse(program)?;
+/// assert_eq!(circuit.qubits(), 2);
+/// assert_eq!(circuit.elementary_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(source: &str) -> Result<Circuit, ParseQasmError> {
+    let mut circuit: Option<Circuit> = None;
+    let mut qreg_name = String::new();
+    let mut creg_name = String::new();
+    let mut creg_size = 0usize;
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw_line.find("//") {
+            Some(pos) => &raw_line[..pos],
+            None => raw_line,
+        };
+        for stmt in line.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            if stmt.starts_with("OPENQASM") || stmt.starts_with("include") {
+                continue;
+            }
+            if let Some(rest) = stmt.strip_prefix("qreg") {
+                let (name, size) = parse_reg_decl(rest, line_no)?;
+                if circuit.is_some() {
+                    return Err(err(line_no, "multiple qreg declarations are not supported"));
+                }
+                qreg_name = name;
+                circuit = Some(Circuit::with_cbits(
+                    u32::try_from(size).map_err(|_| err(line_no, "qreg too large"))?,
+                    creg_size,
+                ));
+                continue;
+            }
+            if let Some(rest) = stmt.strip_prefix("creg") {
+                let (name, size) = parse_reg_decl(rest, line_no)?;
+                creg_name = name;
+                creg_size = size;
+                if let Some(c) = circuit.take() {
+                    let mut grown = Circuit::with_cbits(c.qubits(), creg_size);
+                    grown.append(&c);
+                    circuit = Some(grown);
+                }
+                continue;
+            }
+            let circuit_ref = circuit
+                .as_mut()
+                .ok_or_else(|| err(line_no, "statement before qreg declaration"))?;
+            parse_statement(
+                stmt,
+                line_no,
+                &qreg_name,
+                &creg_name,
+                creg_size,
+                circuit_ref,
+            )?;
+        }
+    }
+    circuit.ok_or_else(|| err(0, "no qreg declaration found"))
+}
+
+fn parse_reg_decl(rest: &str, line: usize) -> Result<(String, usize), ParseQasmError> {
+    let rest = rest.trim();
+    let open = rest.find('[').ok_or_else(|| err(line, "missing [ in register"))?;
+    let close = rest.find(']').ok_or_else(|| err(line, "missing ] in register"))?;
+    let name = rest[..open].trim().to_string();
+    let size: usize = rest[open + 1..close]
+        .trim()
+        .parse()
+        .map_err(|_| err(line, "bad register size"))?;
+    if name.is_empty() || size == 0 {
+        return Err(err(line, "bad register declaration"));
+    }
+    Ok((name, size))
+}
+
+fn parse_statement(
+    stmt: &str,
+    line: usize,
+    qreg: &str,
+    creg: &str,
+    creg_size: usize,
+    circuit: &mut Circuit,
+) -> Result<(), ParseQasmError> {
+    // Conditional: if (c == k) <gate statement>
+    if let Some(rest) = stmt.strip_prefix("if") {
+        let rest = rest.trim_start();
+        let rest = rest
+            .strip_prefix('(')
+            .ok_or_else(|| err(line, "expected ( after if"))?;
+        let close = rest.find(')').ok_or_else(|| err(line, "missing ) in if"))?;
+        let condition = &rest[..close];
+        let body = rest[close + 1..].trim();
+        let parts: Vec<&str> = condition.split("==").map(str::trim).collect();
+        if parts.len() != 2 || parts[0] != creg {
+            return Err(err(line, "if condition must compare the creg with =="));
+        }
+        let value: u64 = parts[1]
+            .parse()
+            .map_err(|_| err(line, "bad comparison value in if"))?;
+        if creg_size != 1 || value > 1 {
+            return Err(err(
+                line,
+                "only single-bit conditionals (creg of size 1, value 0/1) are supported",
+            ));
+        }
+        let (gate, args) = parse_gate_call(body, line)?;
+        let (kind, params) = split_params(&gate, line)?;
+        let standard = standard_gate(&kind, &params, line)?;
+        let targets = parse_qubit_args(&args, qreg, line)?;
+        if targets.len() != 1 {
+            return Err(err(line, "conditional gates must be single-qubit"));
+        }
+        circuit.push(Operation::Classical {
+            gate: GateOp::new(standard, targets[0]),
+            cbit: 0,
+            value: value == 1,
+        });
+        return Ok(());
+    }
+
+    if stmt.starts_with("barrier") {
+        circuit.barrier();
+        return Ok(());
+    }
+    if let Some(rest) = stmt.strip_prefix("measure") {
+        let parts: Vec<&str> = rest.split("->").map(str::trim).collect();
+        if parts.len() != 2 {
+            return Err(err(line, "measure requires `q[i] -> c[j]`"));
+        }
+        let qubit = parse_indexed(parts[0], qreg, line)?;
+        let cbit = parse_indexed(parts[1], creg, line)? as usize;
+        circuit.measure(qubit, cbit);
+        return Ok(());
+    }
+    if let Some(rest) = stmt.strip_prefix("reset") {
+        let qubit = parse_indexed(rest.trim(), qreg, line)?;
+        circuit.reset(qubit);
+        return Ok(());
+    }
+
+    let (gate, args) = parse_gate_call(stmt, line)?;
+    let (kind, params) = split_params(&gate, line)?;
+    let qubits = parse_qubit_args(&args, qreg, line)?;
+    match (kind.as_str(), qubits.as_slice()) {
+        ("cx", [c, t]) => {
+            circuit.cx(*c, *t);
+        }
+        ("cz", [c, t]) => {
+            circuit.cz(*c, *t);
+        }
+        ("ccx", [c0, c1, t]) => {
+            circuit.ccx(*c0, *c1, *t);
+        }
+        ("swap", [a, b]) => {
+            circuit.swap(*a, *b);
+        }
+        ("cswap", [c, a, b]) => {
+            circuit.cswap(*c, *a, *b);
+        }
+        ("cu1", [c, t]) => {
+            if params.len() != 1 {
+                return Err(err(line, "cu1 takes one parameter"));
+            }
+            circuit.cphase(params[0], *c, *t);
+        }
+        (_, [t]) => {
+            let standard = standard_gate(&kind, &params, line)?;
+            circuit.gate(standard, *t);
+        }
+        _ => {
+            return Err(err(line, format!("unsupported gate `{kind}` or arity")));
+        }
+    }
+    Ok(())
+}
+
+fn parse_gate_call(stmt: &str, line: usize) -> Result<(String, String), ParseQasmError> {
+    // The gate token ends at the first whitespace *outside* parentheses.
+    let mut depth = 0usize;
+    for (i, ch) in stmt.char_indices() {
+        match ch {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            c if c.is_whitespace() && depth == 0 => {
+                return Ok((
+                    stmt[..i].trim().to_string(),
+                    stmt[i..].trim().to_string(),
+                ));
+            }
+            _ => {}
+        }
+    }
+    Err(err(line, "gate statement missing operands"))
+}
+
+fn split_params(gate: &str, line: usize) -> Result<(String, Vec<f64>), ParseQasmError> {
+    match gate.find('(') {
+        None => Ok((gate.to_string(), Vec::new())),
+        Some(open) => {
+            let close = gate
+                .rfind(')')
+                .ok_or_else(|| err(line, "missing ) in gate parameters"))?;
+            let kind = gate[..open].trim().to_string();
+            let params = gate[open + 1..close]
+                .split(',')
+                .map(|p| eval_expr(p.trim(), line))
+                .collect::<Result<Vec<f64>, _>>()?;
+            Ok((kind, params))
+        }
+    }
+}
+
+fn standard_gate(kind: &str, params: &[f64], line: usize) -> Result<StandardGate, ParseQasmError> {
+    let need = |n: usize| -> Result<(), ParseQasmError> {
+        if params.len() == n {
+            Ok(())
+        } else {
+            Err(err(line, format!("gate `{kind}` takes {n} parameter(s)")))
+        }
+    };
+    Ok(match kind {
+        "id" => StandardGate::I,
+        "x" => StandardGate::X,
+        "y" => StandardGate::Y,
+        "z" => StandardGate::Z,
+        "h" => StandardGate::H,
+        "s" => StandardGate::S,
+        "sdg" => StandardGate::Sdg,
+        "t" => StandardGate::T,
+        "tdg" => StandardGate::Tdg,
+        "sx" => StandardGate::SqrtX,
+        "sxdg" => StandardGate::SqrtXdg,
+        "rx" => {
+            need(1)?;
+            StandardGate::Rx(params[0])
+        }
+        "ry" => {
+            need(1)?;
+            StandardGate::Ry(params[0])
+        }
+        "rz" => {
+            need(1)?;
+            StandardGate::Rz(params[0])
+        }
+        "u1" | "p" => {
+            need(1)?;
+            StandardGate::Phase(params[0])
+        }
+        "u2" => {
+            need(2)?;
+            StandardGate::U(std::f64::consts::FRAC_PI_2, params[0], params[1])
+        }
+        "u3" | "u" => {
+            need(3)?;
+            StandardGate::U(params[0], params[1], params[2])
+        }
+        other => return Err(err(line, format!("unsupported gate `{other}`"))),
+    })
+}
+
+fn parse_qubit_args(args: &str, qreg: &str, line: usize) -> Result<Vec<u32>, ParseQasmError> {
+    args.split(',')
+        .map(|a| parse_indexed(a.trim(), qreg, line))
+        .collect()
+}
+
+fn parse_indexed(text: &str, reg: &str, line: usize) -> Result<u32, ParseQasmError> {
+    let open = text
+        .find('[')
+        .ok_or_else(|| err(line, format!("expected `{reg}[i]`, got `{text}`")))?;
+    let close = text
+        .find(']')
+        .ok_or_else(|| err(line, "missing ] in operand"))?;
+    let name = text[..open].trim();
+    if name != reg {
+        return Err(err(line, format!("unknown register `{name}`")));
+    }
+    text[open + 1..close]
+        .trim()
+        .parse()
+        .map_err(|_| err(line, "bad operand index"))
+}
+
+// ----------------------------------------------------------------------
+// Tiny arithmetic-expression evaluator for gate parameters.
+// ----------------------------------------------------------------------
+
+fn eval_expr(text: &str, line: usize) -> Result<f64, ParseQasmError> {
+    let tokens = tokenize(text, line)?;
+    let mut pos = 0usize;
+    let value = eval_sum(&tokens, &mut pos, line)?;
+    if pos != tokens.len() {
+        return Err(err(line, format!("trailing tokens in expression `{text}`")));
+    }
+    Ok(value)
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Token {
+    Number(f64),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Open,
+    Close,
+}
+
+fn tokenize(text: &str, line: usize) -> Result<Vec<Token>, ParseQasmError> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' => i += 1,
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::Open);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::Close);
+                i += 1;
+            }
+            'p' if text[i..].starts_with("pi") => {
+                out.push(Token::Number(std::f64::consts::PI));
+                i += 2;
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && i > start
+                            && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+                {
+                    i += 1;
+                }
+                let num: f64 = text[start..i]
+                    .parse()
+                    .map_err(|_| err(line, format!("bad number in `{text}`")))?;
+                out.push(Token::Number(num));
+            }
+            other => return Err(err(line, format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+fn eval_sum(tokens: &[Token], pos: &mut usize, line: usize) -> Result<f64, ParseQasmError> {
+    let mut value = eval_product(tokens, pos, line)?;
+    while *pos < tokens.len() {
+        match tokens[*pos] {
+            Token::Plus => {
+                *pos += 1;
+                value += eval_product(tokens, pos, line)?;
+            }
+            Token::Minus => {
+                *pos += 1;
+                value -= eval_product(tokens, pos, line)?;
+            }
+            _ => break,
+        }
+    }
+    Ok(value)
+}
+
+fn eval_product(tokens: &[Token], pos: &mut usize, line: usize) -> Result<f64, ParseQasmError> {
+    let mut value = eval_atom(tokens, pos, line)?;
+    while *pos < tokens.len() {
+        match tokens[*pos] {
+            Token::Star => {
+                *pos += 1;
+                value *= eval_atom(tokens, pos, line)?;
+            }
+            Token::Slash => {
+                *pos += 1;
+                let divisor = eval_atom(tokens, pos, line)?;
+                if divisor == 0.0 {
+                    return Err(err(line, "division by zero in parameter"));
+                }
+                value /= divisor;
+            }
+            _ => break,
+        }
+    }
+    Ok(value)
+}
+
+fn eval_atom(tokens: &[Token], pos: &mut usize, line: usize) -> Result<f64, ParseQasmError> {
+    match tokens.get(*pos) {
+        Some(Token::Number(v)) => {
+            *pos += 1;
+            Ok(*v)
+        }
+        Some(Token::Minus) => {
+            *pos += 1;
+            Ok(-eval_atom(tokens, pos, line)?)
+        }
+        Some(Token::Plus) => {
+            *pos += 1;
+            eval_atom(tokens, pos, line)
+        }
+        Some(Token::Open) => {
+            *pos += 1;
+            let value = eval_sum(tokens, pos, line)?;
+            if tokens.get(*pos) != Some(&Token::Close) {
+                return Err(err(line, "missing ) in expression"));
+            }
+            *pos += 1;
+            Ok(value)
+        }
+        _ => Err(err(line, "malformed expression")),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Writer
+// ----------------------------------------------------------------------
+
+/// Serializes a circuit to the supported OpenQASM 2.0 subset.
+///
+/// Repeats are flattened; multi-controlled gates beyond the named forms
+/// (`cx`, `cz`, `ccx`, `cu1`, `cswap`) are rejected.
+///
+/// # Errors
+///
+/// Returns a message naming the first unserializable operation.
+pub fn write(circuit: &Circuit) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let flat = circuit.flattened();
+    let mut out = String::new();
+    let _ = writeln!(out, "OPENQASM 2.0;");
+    let _ = writeln!(out, "include \"qelib1.inc\";");
+    let _ = writeln!(out, "qreg q[{}];", flat.qubits());
+    if flat.cbits() > 0 {
+        let _ = writeln!(out, "creg c[{}];", flat.cbits());
+    }
+    for op in flat.ops() {
+        match op {
+            Operation::Gate(g) => write_gate(&mut out, g)?,
+            Operation::Swap { a, b, controls } => {
+                if controls.is_empty() {
+                    let _ = writeln!(out, "swap q[{a}],q[{b}];");
+                } else if controls.len() == 1
+                    && controls[0].polarity == ddsim_dd::ControlPolarity::Positive
+                {
+                    let _ = writeln!(out, "cswap q[{}],q[{a}],q[{b}];", controls[0].qubit);
+                } else {
+                    return Err("cannot serialize multiply/negatively controlled swap".into());
+                }
+            }
+            Operation::Measure { qubit, cbit } => {
+                let _ = writeln!(out, "measure q[{qubit}] -> c[{cbit}];");
+            }
+            Operation::Reset { qubit } => {
+                let _ = writeln!(out, "reset q[{qubit}];");
+            }
+            Operation::Classical { gate, cbit, value } => {
+                if flat.cbits() != 1 || *cbit != 0 || !gate.controls.is_empty() {
+                    return Err(
+                        "only single-bit conditionals on a size-1 creg can be serialized".into(),
+                    );
+                }
+                let mut body = String::new();
+                write_gate(&mut body, gate)?;
+                let _ = write!(out, "if (c == {}) {}", u8::from(*value), body);
+            }
+            Operation::Barrier => {
+                let _ = writeln!(out, "barrier q;");
+            }
+            Operation::Repeat { .. } => unreachable!("flattened() removed repeats"),
+        }
+    }
+    Ok(out)
+}
+
+fn write_gate(out: &mut String, g: &GateOp) -> Result<(), String> {
+    use std::fmt::Write as _;
+    let positive = g
+        .controls
+        .iter()
+        .all(|c| c.polarity == ddsim_dd::ControlPolarity::Positive);
+    if !positive {
+        return Err(format!("cannot serialize negative control in `{g}`"));
+    }
+    let params = |gate: StandardGate| -> String {
+        match gate {
+            StandardGate::Rx(t) | StandardGate::Ry(t) | StandardGate::Rz(t) => format!("({t})"),
+            StandardGate::Phase(t) => format!("({t})"),
+            StandardGate::U(t, p, l) => format!("({t},{p},{l})"),
+            _ => String::new(),
+        }
+    };
+    match (g.controls.len(), g.gate) {
+        (0, gate) => {
+            let _ = writeln!(out, "{}{} q[{}];", gate.name(), params(gate), g.target);
+        }
+        (1, StandardGate::X) => {
+            let _ = writeln!(out, "cx q[{}],q[{}];", g.controls[0].qubit, g.target);
+        }
+        (1, StandardGate::Z) => {
+            let _ = writeln!(out, "cz q[{}],q[{}];", g.controls[0].qubit, g.target);
+        }
+        (1, StandardGate::Phase(t)) => {
+            let _ = writeln!(out, "cu1({t}) q[{}],q[{}];", g.controls[0].qubit, g.target);
+        }
+        (2, StandardGate::X) => {
+            let _ = writeln!(
+                out,
+                "ccx q[{}],q[{}],q[{}];",
+                g.controls[0].qubit, g.controls[1].qubit, g.target
+            );
+        }
+        _ => return Err(format!("cannot serialize `{g}` to OpenQASM 2.0 subset")),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_program() {
+        let src = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nh q[0];\ncx q[0],q[1];\nccx q[0],q[1],q[2];\n";
+        let c = parse(src).expect("valid program");
+        assert_eq!(c.qubits(), 3);
+        assert_eq!(c.ops().len(), 3);
+    }
+
+    #[test]
+    fn parse_parameterized_gates() {
+        let src = "OPENQASM 2.0;\nqreg q[1];\nrx(pi/2) q[0];\nrz(-pi/4) q[0];\nu1(0.5) q[0];\nu3(pi, 0, pi) q[0];\n";
+        let c = parse(src).expect("valid program");
+        assert_eq!(c.ops().len(), 4);
+        match &c.ops()[0] {
+            Operation::Gate(g) => match g.gate {
+                StandardGate::Rx(t) => {
+                    assert!((t - std::f64::consts::FRAC_PI_2).abs() < 1e-12)
+                }
+                other => panic!("wrong gate {other:?}"),
+            },
+            other => panic!("wrong op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_expressions() {
+        let src = "OPENQASM 2.0;\nqreg q[1];\nrz(2*pi/(4+4)) q[0];\nrz(1.5e-1) q[0];\n";
+        let c = parse(src).expect("valid program");
+        match &c.ops()[0] {
+            Operation::Gate(g) => match g.gate {
+                StandardGate::Rz(t) => {
+                    assert!((t - std::f64::consts::PI / 4.0).abs() < 1e-12)
+                }
+                other => panic!("wrong gate {other:?}"),
+            },
+            other => panic!("wrong op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_measure_reset_conditional() {
+        let src = "OPENQASM 2.0;\nqreg q[2];\ncreg c[1];\nh q[0];\nmeasure q[0] -> c[0];\nif (c == 1) x q[1];\nreset q[0];\n";
+        let c = parse(src).expect("valid program");
+        assert_eq!(c.cbits(), 1);
+        assert!(matches!(c.ops()[1], Operation::Measure { qubit: 0, cbit: 0 }));
+        assert!(matches!(
+            c.ops()[2],
+            Operation::Classical { cbit: 0, value: true, .. }
+        ));
+        assert!(matches!(c.ops()[3], Operation::Reset { qubit: 0 }));
+    }
+
+    #[test]
+    fn parse_comments_and_blank_lines() {
+        let src = "// header\nOPENQASM 2.0;\n\nqreg q[1]; // register\nx q[0]; // flip\n";
+        let c = parse(src).expect("valid program");
+        assert_eq!(c.ops().len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let src = "OPENQASM 2.0;\nqreg q[1];\nfrobnicate q[0];\n";
+        let e = parse(src).expect_err("unknown gate");
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn parse_rejects_gate_before_qreg() {
+        let src = "OPENQASM 2.0;\nx q[0];\n";
+        let e = parse(src).expect_err("gate before register");
+        assert!(e.message.contains("before qreg"));
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let mut c = Circuit::with_cbits(3, 1);
+        c.h(0)
+            .cx(0, 1)
+            .ccx(0, 1, 2)
+            .rz(0.25, 2)
+            .cphase(0.5, 0, 2)
+            .swap(1, 2)
+            .measure(2, 0);
+        let qasm = write(&c).expect("serializable");
+        let back = parse(&qasm).expect("roundtrip parse");
+        assert_eq!(back.qubits(), 3);
+        assert_eq!(back.elementary_count(), c.elementary_count());
+    }
+
+    #[test]
+    fn writer_rejects_negative_controls() {
+        use ddsim_dd::Control;
+        let mut c = Circuit::new(2);
+        c.controlled_gate(StandardGate::X, vec![Control::neg(0)], 1);
+        assert!(write(&c).is_err());
+    }
+}

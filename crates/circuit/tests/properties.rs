@@ -1,0 +1,142 @@
+//! Property-based tests for the circuit IR and the OpenQASM subset.
+
+use ddsim_circuit::{qasm, Circuit, Operation, StandardGate};
+use proptest::prelude::*;
+
+/// Gates the QASM writer can serialize losslessly.
+fn serializable_gate() -> impl Strategy<Value = StandardGate> {
+    prop_oneof![
+        Just(StandardGate::X),
+        Just(StandardGate::Y),
+        Just(StandardGate::Z),
+        Just(StandardGate::H),
+        Just(StandardGate::S),
+        Just(StandardGate::Sdg),
+        Just(StandardGate::T),
+        Just(StandardGate::Tdg),
+        (-3.0f64..3.0).prop_map(StandardGate::Rx),
+        (-3.0f64..3.0).prop_map(StandardGate::Ry),
+        (-3.0f64..3.0).prop_map(StandardGate::Rz),
+        (-3.0f64..3.0).prop_map(StandardGate::Phase),
+    ]
+}
+
+const N: u32 = 5;
+
+#[derive(Clone, Debug)]
+enum Step {
+    Single(StandardGate, u32),
+    Cx(u32, u32),
+    Cz(u32, u32),
+    Ccx(u32, u32, u32),
+    Swap(u32, u32),
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (serializable_gate(), 0..N).prop_map(|(g, t)| Step::Single(g, t)),
+        (0..N, 0..N)
+            .prop_filter("distinct", |(a, b)| a != b)
+            .prop_map(|(a, b)| Step::Cx(a, b)),
+        (0..N, 0..N)
+            .prop_filter("distinct", |(a, b)| a != b)
+            .prop_map(|(a, b)| Step::Cz(a, b)),
+        (0..N, 0..N, 0..N)
+            .prop_filter("distinct", |(a, b, c)| a != b && b != c && a != c)
+            .prop_map(|(a, b, c)| Step::Ccx(a, b, c)),
+        (0..N, 0..N)
+            .prop_filter("distinct", |(a, b)| a != b)
+            .prop_map(|(a, b)| Step::Swap(a, b)),
+    ]
+}
+
+fn build(steps: &[Step]) -> Circuit {
+    let mut c = Circuit::new(N);
+    for s in steps {
+        match *s {
+            Step::Single(g, t) => {
+                c.gate(g, t);
+            }
+            Step::Cx(a, b) => {
+                c.cx(a, b);
+            }
+            Step::Cz(a, b) => {
+                c.cz(a, b);
+            }
+            Step::Ccx(a, b, t) => {
+                c.ccx(a, b, t);
+            }
+            Step::Swap(a, b) => {
+                c.swap(a, b);
+            }
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn qasm_roundtrip_preserves_structure(steps in proptest::collection::vec(step(), 1..40)) {
+        let circuit = build(&steps);
+        let text = qasm::write(&circuit).expect("all generated gates serialize");
+        let back = qasm::parse(&text).expect("writer output parses");
+        prop_assert_eq!(back.qubits(), circuit.qubits());
+        prop_assert_eq!(back.elementary_count(), circuit.elementary_count());
+        prop_assert_eq!(back.ops().len(), circuit.ops().len());
+        // Re-serializing is a fixpoint.
+        let text2 = qasm::write(&back).expect("reserialize");
+        prop_assert_eq!(text, text2);
+    }
+
+    #[test]
+    fn inverse_is_an_involution(steps in proptest::collection::vec(step(), 1..30)) {
+        let circuit = build(&steps);
+        let twice = circuit
+            .inverse()
+            .expect("unitary")
+            .inverse()
+            .expect("unitary");
+        // Double inversion restores the exact op sequence (angles negate
+        // twice, order reverses twice).
+        prop_assert_eq!(twice.ops(), circuit.ops());
+    }
+
+    #[test]
+    fn flattening_preserves_elementary_count(
+        steps in proptest::collection::vec(step(), 1..15),
+        times in 1u32..5,
+    ) {
+        let body = build(&steps);
+        let mut c = Circuit::new(N);
+        c.repeat(&body, times);
+        prop_assert_eq!(
+            c.elementary_count(),
+            body.elementary_count() * u64::from(times)
+        );
+        let flat = c.flattened();
+        prop_assert_eq!(flat.elementary_count(), c.elementary_count());
+        let no_repeats = flat
+            .ops()
+            .iter()
+            .all(|op| !matches!(op, Operation::Repeat { .. }));
+        prop_assert!(no_repeats);
+    }
+
+    #[test]
+    fn appended_circuits_concatenate(
+        a in proptest::collection::vec(step(), 0..10),
+        b in proptest::collection::vec(step(), 0..10),
+    ) {
+        let ca = build(&a);
+        let cb = build(&b);
+        let mut joined = Circuit::new(N);
+        joined.append(&ca).append(&cb);
+        prop_assert_eq!(joined.ops().len(), ca.ops().len() + cb.ops().len());
+        prop_assert_eq!(
+            joined.elementary_count(),
+            ca.elementary_count() + cb.elementary_count()
+        );
+    }
+}

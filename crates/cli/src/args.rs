@@ -1,0 +1,263 @@
+//! Hand-rolled argument parsing for the `ddsim` binary (no external
+//! dependencies beyond the approved set).
+
+use std::fmt;
+
+use ddsim_core::Strategy;
+
+/// Where the circuit comes from.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CircuitSource {
+    /// An OpenQASM 2.0 file.
+    QasmFile(String),
+    /// A built-in benchmark generator spec like `grover:13:5`,
+    /// `shor:55:17`, `supremacy:4:4:12:42`, `ghz:8`, `qft:6`,
+    /// `bv:8:37`, `qaoa-ring:6:0.6:0.3`.
+    Generator(String),
+}
+
+/// What the run should print.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutputMode {
+    /// Sampled measurement counts (`--shots`).
+    Counts,
+    /// The nonzero amplitudes (small registers only).
+    Amplitudes,
+    /// Statistics only.
+    Stats,
+}
+
+/// Parsed command line.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Circuit source.
+    pub source: CircuitSource,
+    /// Combining strategy.
+    pub strategy: Strategy,
+    /// Measurement seed.
+    pub seed: u64,
+    /// Shots for `--counts`.
+    pub shots: u32,
+    /// Output mode.
+    pub output: OutputMode,
+    /// Export the final state DD as Graphviz DOT to this path.
+    pub dot_out: Option<String>,
+    /// Record and print the per-step trace.
+    pub trace: bool,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseArgsError(pub String);
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseArgsError {}
+
+/// Usage text shown on `--help` or errors.
+pub const USAGE: &str = "\
+ddsim — DD-based quantum-circuit simulator (DATE'19 reproduction)
+
+USAGE:
+    ddsim <circuit.qasm | --generate SPEC> [OPTIONS]
+
+CIRCUIT SOURCES:
+    circuit.qasm             OpenQASM 2.0 subset file
+    --generate grover:Q:M    Grover with Q total qubits, marked element M
+    --generate shor:N:A      Beauregard Shor circuit for N with base A
+    --generate supremacy:R:C:D:S   RxC grid, depth D, seed S
+    --generate ghz:N | qft:N | bv:N:SECRET | qaoa-ring:N:GAMMA:BETA
+
+OPTIONS:
+    --strategy sequential | kops:K | maxsize:S | ddrepeating:K | adaptive
+                             combining strategy [default: sequential]
+    --seed N                 measurement seed [default: 0]
+    --shots N                samples for --counts [default: 1024]
+    --counts | --amplitudes | --stats
+                             output mode [default: counts]
+    --dot FILE               write the final state DD as Graphviz DOT
+    --trace                  print the per-step DD-size trace
+    --help                   show this text
+";
+
+/// Parses argv (excluding the program name).
+///
+/// # Errors
+///
+/// Returns a message describing the first problem encountered.
+pub fn parse(argv: &[String]) -> Result<Args, ParseArgsError> {
+    let mut source: Option<CircuitSource> = None;
+    let mut strategy = Strategy::Sequential;
+    let mut seed = 0u64;
+    let mut shots = 1024u32;
+    let mut output = OutputMode::Counts;
+    let mut dot_out = None;
+    let mut trace = false;
+
+    let mut i = 0usize;
+    while i < argv.len() {
+        let arg = argv[i].as_str();
+        match arg {
+            "--help" | "-h" => return Err(ParseArgsError(USAGE.to_string())),
+            "--generate" => {
+                let spec = argv
+                    .get(i + 1)
+                    .ok_or_else(|| ParseArgsError("--generate needs a spec".into()))?;
+                source = Some(CircuitSource::Generator(spec.clone()));
+                i += 1;
+            }
+            "--strategy" => {
+                let spec = argv
+                    .get(i + 1)
+                    .ok_or_else(|| ParseArgsError("--strategy needs a value".into()))?;
+                strategy = parse_strategy(spec)?;
+                i += 1;
+            }
+            "--seed" => {
+                seed = parse_value(argv.get(i + 1), "--seed")?;
+                i += 1;
+            }
+            "--shots" => {
+                shots = parse_value(argv.get(i + 1), "--shots")?;
+                i += 1;
+            }
+            "--counts" => output = OutputMode::Counts,
+            "--amplitudes" => output = OutputMode::Amplitudes,
+            "--stats" => output = OutputMode::Stats,
+            "--dot" => {
+                let path = argv
+                    .get(i + 1)
+                    .ok_or_else(|| ParseArgsError("--dot needs a path".into()))?;
+                dot_out = Some(path.clone());
+                i += 1;
+            }
+            "--trace" => trace = true,
+            other if !other.starts_with('-') => {
+                if source.is_some() {
+                    return Err(ParseArgsError(format!(
+                        "unexpected extra positional argument `{other}`"
+                    )));
+                }
+                source = Some(CircuitSource::QasmFile(other.to_string()));
+            }
+            other => {
+                return Err(ParseArgsError(format!("unknown option `{other}`")));
+            }
+        }
+        i += 1;
+    }
+
+    let source = source.ok_or_else(|| {
+        ParseArgsError(format!("no circuit given\n\n{USAGE}"))
+    })?;
+    Ok(Args {
+        source,
+        strategy,
+        seed,
+        shots,
+        output,
+        dot_out,
+        trace,
+    })
+}
+
+fn parse_value<T: std::str::FromStr>(
+    raw: Option<&String>,
+    flag: &str,
+) -> Result<T, ParseArgsError> {
+    raw.ok_or_else(|| ParseArgsError(format!("{flag} needs a value")))?
+        .parse()
+        .map_err(|_| ParseArgsError(format!("bad value for {flag}")))
+}
+
+fn parse_strategy(spec: &str) -> Result<Strategy, ParseArgsError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["sequential"] => Ok(Strategy::Sequential),
+        ["kops", k] => k
+            .parse()
+            .map(|k| Strategy::KOperations { k })
+            .map_err(|_| ParseArgsError("bad k for kops".into())),
+        ["maxsize", s] => s
+            .parse()
+            .map(|s_max| Strategy::MaxSize { s_max })
+            .map_err(|_| ParseArgsError("bad s_max for maxsize".into())),
+        ["ddrepeating", k] => k
+            .parse()
+            .map(|k| Strategy::DdRepeating { k })
+            .map_err(|_| ParseArgsError("bad k for ddrepeating".into())),
+        ["adaptive"] => Ok(Strategy::adaptive()),
+        _ => Err(ParseArgsError(format!(
+            "unknown strategy `{spec}` (see --help)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_qasm_file_with_defaults() {
+        let a = parse(&argv(&["bell.qasm"])).expect("valid");
+        assert_eq!(a.source, CircuitSource::QasmFile("bell.qasm".into()));
+        assert_eq!(a.strategy, Strategy::Sequential);
+        assert_eq!(a.output, OutputMode::Counts);
+        assert_eq!(a.shots, 1024);
+    }
+
+    #[test]
+    fn parses_generator_and_strategy() {
+        let a = parse(&argv(&[
+            "--generate",
+            "grover:13:5",
+            "--strategy",
+            "ddrepeating:8",
+            "--stats",
+        ]))
+        .expect("valid");
+        assert_eq!(a.source, CircuitSource::Generator("grover:13:5".into()));
+        assert_eq!(a.strategy, Strategy::DdRepeating { k: 8 });
+        assert_eq!(a.output, OutputMode::Stats);
+    }
+
+    #[test]
+    fn parses_all_strategies() {
+        for (spec, want) in [
+            ("sequential", Strategy::Sequential),
+            ("kops:16", Strategy::KOperations { k: 16 }),
+            ("maxsize:512", Strategy::MaxSize { s_max: 512 }),
+            ("adaptive", Strategy::adaptive()),
+        ] {
+            let a = parse(&argv(&["x.qasm", "--strategy", spec])).expect("valid");
+            assert_eq!(a.strategy, want, "{spec}");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        let e = parse(&argv(&["x.qasm", "--frobnicate"])).expect_err("invalid");
+        assert!(e.0.contains("unknown option"));
+    }
+
+    #[test]
+    fn rejects_missing_source() {
+        let e = parse(&argv(&["--stats"])).expect_err("invalid");
+        assert!(e.0.contains("no circuit given"));
+    }
+
+    #[test]
+    fn seed_and_shots() {
+        let a = parse(&argv(&["x.qasm", "--seed", "7", "--shots", "99"])).expect("valid");
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.shots, 99);
+    }
+}

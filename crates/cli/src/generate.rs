@@ -1,0 +1,84 @@
+//! Built-in circuit generators for the `--generate` flag.
+
+use ddsim_algorithms::grover::{grover_circuit, GroverInstance};
+use ddsim_algorithms::qaoa::{qaoa_maxcut_circuit, Graph, QaoaParameters};
+use ddsim_algorithms::qft::qft_circuit;
+use ddsim_algorithms::shor::{shor_circuit, ShorInstance};
+use ddsim_algorithms::simple::{bernstein_vazirani_circuit, ghz_circuit};
+use ddsim_algorithms::supremacy::{supremacy_circuit, SupremacyInstance};
+use ddsim_circuit::Circuit;
+
+use crate::args::ParseArgsError;
+
+/// Builds a circuit from a generator spec like `grover:13:5`.
+///
+/// # Errors
+///
+/// Returns a user-facing message for malformed specs.
+pub fn generate(spec: &str) -> Result<Circuit, ParseArgsError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let bad = |msg: &str| ParseArgsError(format!("bad generator spec `{spec}`: {msg}"));
+    let num = |s: &str| -> Result<u64, ParseArgsError> {
+        s.parse().map_err(|_| bad("expected an integer"))
+    };
+    let fnum = |s: &str| -> Result<f64, ParseArgsError> {
+        s.parse().map_err(|_| bad("expected a number"))
+    };
+    match parts.as_slice() {
+        ["grover", q, m] => Ok(grover_circuit(GroverInstance::new(
+            num(q)? as u32,
+            num(m)?,
+        ))),
+        ["shor", n, a] => Ok(shor_circuit(ShorInstance::new(num(n)?, num(a)?))),
+        ["supremacy", r, c, d, s] => Ok(supremacy_circuit(SupremacyInstance::new(
+            num(r)? as u32,
+            num(c)? as u32,
+            num(d)? as u32,
+            num(s)?,
+        ))),
+        ["ghz", n] => Ok(ghz_circuit(num(n)? as u32)),
+        ["qft", n] => Ok(qft_circuit(num(n)? as u32)),
+        ["bv", n, secret] => Ok(bernstein_vazirani_circuit(num(n)? as u32, num(secret)?)),
+        ["qaoa-ring", n, gamma, beta] => {
+            let graph = Graph::ring(num(n)? as u32);
+            let params = QaoaParameters::new(vec![fnum(gamma)?], vec![fnum(beta)?]);
+            Ok(qaoa_maxcut_circuit(&graph, &params))
+        }
+        _ => Err(bad(
+            "known kinds: grover:Q:M, shor:N:A, supremacy:R:C:D:S, ghz:N, qft:N, bv:N:SECRET, qaoa-ring:N:GAMMA:BETA",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_each_kind() {
+        for spec in [
+            "grover:7:3",
+            "shor:15:7",
+            "supremacy:2:3:6:1",
+            "ghz:5",
+            "qft:4",
+            "bv:5:9",
+            "qaoa-ring:4:0.5:0.25",
+        ] {
+            let c = generate(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert!(c.qubits() >= 2, "{spec}");
+            assert!(c.elementary_count() > 0, "{spec}");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_kind() {
+        assert!(generate("teleport:3").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_numbers() {
+        assert!(generate("ghz:five").is_err());
+        assert!(generate("qaoa-ring:4:x:y").is_err());
+    }
+}

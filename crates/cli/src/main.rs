@@ -1,0 +1,153 @@
+//! `ddsim` — command-line DD-based quantum-circuit simulator.
+//!
+//! ```text
+//! ddsim bell.qasm --counts --shots 2048
+//! ddsim --generate grover:13:5 --strategy ddrepeating:8 --stats
+//! ddsim --generate shor:55:17 --strategy kops:16 --stats
+//! ```
+
+mod args;
+mod generate;
+
+use std::process::ExitCode;
+
+use ddsim_circuit::{qasm, Circuit};
+use ddsim_core::{SimOptions, Simulator};
+
+use crate::args::{Args, CircuitSource, OutputMode};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::parse(&argv) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&parsed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_circuit(source: &CircuitSource) -> Result<Circuit, Box<dyn std::error::Error>> {
+    match source {
+        CircuitSource::QasmFile(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            Ok(qasm::parse(&text)?)
+        }
+        CircuitSource::Generator(spec) => Ok(generate::generate(spec)?),
+    }
+}
+
+fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = load_circuit(&args.source)?;
+    let name = if circuit.name().is_empty() {
+        "circuit".to_string()
+    } else {
+        circuit.name().to_string()
+    };
+    eprintln!(
+        "{name}: {} qubits, {} classical bits, {} elementary gates",
+        circuit.qubits(),
+        circuit.cbits(),
+        circuit.elementary_count()
+    );
+
+    let options = SimOptions {
+        strategy: args.strategy,
+        seed: args.seed,
+        collect_trace: args.trace,
+        ..SimOptions::default()
+    };
+    let mut sim = Simulator::with_options(circuit.qubits(), options);
+    let stats = sim.run(&circuit)?;
+
+    eprintln!(
+        "strategy {}: {:?}, {} MxV, {} MxM, final DD {} nodes",
+        args.strategy,
+        stats.wall_time,
+        stats.mat_vec_mults,
+        stats.mat_mat_mults,
+        stats.final_state_nodes
+    );
+
+    if args.trace {
+        println!("step_gate combined matrix_nodes state_nodes");
+        for t in &stats.trace {
+            println!(
+                "{:<9} {:<8} {:<12} {}",
+                t.gate_index, t.combined_gates, t.matrix_nodes, t.state_nodes
+            );
+        }
+    }
+
+    if circuit.cbits() > 0 {
+        let bits: String = sim
+            .classical_bits()
+            .iter()
+            .rev()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
+        println!("classical register: {bits} (decimal {})", sim.classical_value());
+    }
+
+    match args.output {
+        OutputMode::Counts => {
+            let mut counts: Vec<(u64, u32)> =
+                sim.sample_counts(args.shots).into_iter().collect();
+            counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            println!("outcome  count  (of {} shots)", args.shots);
+            for (outcome, count) in counts.iter().take(32) {
+                println!(
+                    "{outcome:0width$b}  {count}",
+                    width = circuit.qubits() as usize
+                );
+            }
+            if counts.len() > 32 {
+                println!("… {} more distinct outcomes", counts.len() - 32);
+            }
+        }
+        OutputMode::Amplitudes => {
+            let n = circuit.qubits();
+            if n > 16 {
+                return Err("--amplitudes is limited to 16 qubits (65536 rows)".into());
+            }
+            println!("basis  amplitude  probability");
+            for idx in 0..(1u64 << n) {
+                let a = sim.amplitude(idx);
+                if a.norm_sqr() > 1e-12 {
+                    println!(
+                        "{idx:0width$b}  {a}  {:.6}",
+                        a.norm_sqr(),
+                        width = n as usize
+                    );
+                }
+            }
+        }
+        OutputMode::Stats => {
+            println!("wall_time_s        {:.6}", stats.wall_time.as_secs_f64());
+            println!("elementary_gates   {}", stats.elementary_gates);
+            println!("mat_vec_mults      {}", stats.mat_vec_mults);
+            println!("mat_mat_mults      {}", stats.mat_mat_mults);
+            println!("mult_recursions    {}", stats.mult_recursions);
+            println!("add_recursions     {}", stats.add_recursions);
+            println!("peak_state_nodes   {}", stats.peak_state_nodes);
+            println!("peak_matrix_nodes  {}", stats.peak_matrix_nodes);
+            println!("final_state_nodes  {}", stats.final_state_nodes);
+            println!("gc_runs            {}", stats.gc_runs);
+        }
+    }
+
+    if let Some(path) = &args.dot_out {
+        let dot = sim.dd().vec_to_dot(sim.state());
+        std::fs::write(path, dot).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("final state DD written to {path}");
+    }
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! Complex arithmetic and tolerance-aware value interning for DD-based
+//! quantum-circuit simulation.
+//!
+//! Two items matter to downstream crates:
+//!
+//! * [`Complex`] — a small `Copy` complex number over `f64`.
+//! * [`ComplexTable`] — interning of complex values up to a tolerance, so the
+//!   decision-diagram unique tables can key nodes on compact, canonical
+//!   [`ComplexId`]s instead of raw floating-point pairs.
+//!
+//! # Examples
+//!
+//! ```
+//! use ddsim_complex::{Complex, ComplexTable};
+//!
+//! let mut table = ComplexTable::new();
+//! let h = table.lookup(Complex::SQRT2_INV);
+//! let half = table.mul(h, h);
+//! assert_eq!(half, table.lookup(Complex::real(0.5)));
+//! ```
+
+mod table;
+mod value;
+
+pub use table::{ComplexId, ComplexTable};
+pub use value::{Complex, DEFAULT_TOLERANCE};

@@ -1,0 +1,399 @@
+//! Tolerance-aware interning of complex values.
+//!
+//! Decision-diagram canonicity depends on *identical* edge weights hashing
+//! identically. Floating-point arithmetic produces values such as
+//! `1/√2 · 1/√2` and `0.5` that are mathematically equal but bit-wise
+//! different; without unification the unique table would treat them as
+//! distinct and node sharing would collapse (see footnote 2 of the paper and
+//! its reference [21]). The [`ComplexTable`] assigns a stable [`ComplexId`]
+//! to every value, mapping any value within the configured tolerance of an
+//! already-stored representative onto that representative.
+//!
+//! The tolerance is **absolute** and tight (default `1e-13`, ~500 f64
+//! epsilons): two values unify when their components differ by at most the
+//! tolerance. The choice is deliberate, measured both ways on this code
+//! base (see DESIGN.md §6): a *relative* tolerance fails to re-merge the
+//! cancellation noise that iterated algorithms (Grover) produce on small
+//! amplitudes, splitting mathematically-equal nodes until the diagram and
+//! the distinct-weight population explode; a *loose absolute* tolerance
+//! (1e-10) destroys the relative precision of structurally tiny weights.
+//! Tight-absolute is the working middle ground, matching mature QMDD
+//! packages.
+
+use std::collections::HashMap;
+
+use crate::value::{Complex, DEFAULT_TOLERANCE};
+
+/// Handle to an interned complex value inside a [`ComplexTable`].
+///
+/// Ids are only meaningful relative to the table that produced them. The two
+/// distinguished values zero and one have fixed ids in every table so that
+/// hot-path checks need no table access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComplexId(u32);
+
+impl ComplexId {
+    /// The id of the additive identity in every table.
+    pub const ZERO: ComplexId = ComplexId(0);
+    /// The id of the multiplicative identity in every table.
+    pub const ONE: ComplexId = ComplexId(1);
+
+    /// Whether this id denotes exactly zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self == ComplexId::ZERO
+    }
+
+    /// Whether this id denotes exactly one.
+    #[inline]
+    pub fn is_one(self) -> bool {
+        self == ComplexId::ONE
+    }
+
+    /// The raw index (for diagnostics / serialization).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bucket key: grid coordinates at the tolerance scale.
+type BucketKey = (i64, i64);
+
+/// Interning table unifying complex values up to an absolute tolerance.
+///
+/// # Examples
+///
+/// ```
+/// use ddsim_complex::{Complex, ComplexTable};
+///
+/// let mut table = ComplexTable::new();
+/// let a = table.lookup(Complex::SQRT2_INV * Complex::SQRT2_INV);
+/// let b = table.lookup(Complex::real(0.5));
+/// assert_eq!(a, b);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ComplexTable {
+    values: Vec<Complex>,
+    buckets: HashMap<BucketKey, Vec<u32>>,
+    tolerance: f64,
+}
+
+impl ComplexTable {
+    /// Creates a table with the [`DEFAULT_TOLERANCE`].
+    pub fn new() -> Self {
+        Self::with_tolerance(DEFAULT_TOLERANCE)
+    }
+
+    /// Creates a table with a caller-chosen absolute tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is not a finite positive number below 0.1.
+    pub fn with_tolerance(tolerance: f64) -> Self {
+        assert!(
+            tolerance.is_finite() && tolerance > 0.0 && tolerance < 0.1,
+            "tolerance must be finite, positive, and small"
+        );
+        let mut table = ComplexTable {
+            values: Vec::with_capacity(1024),
+            buckets: HashMap::with_capacity(1024),
+            tolerance,
+        };
+        // Ids 0 and 1 are pinned (see `ComplexId::{ZERO, ONE}`).
+        table.insert_raw(Complex::ZERO);
+        table.insert_raw(Complex::ONE);
+        table
+    }
+
+    /// The unification tolerance (absolute).
+    #[inline]
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// Number of distinct stored values (including zero and one).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the table holds only the two pinned values.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.len() <= 2
+    }
+
+    /// The value a given id denotes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was produced by a different table (index out of range).
+    #[inline]
+    pub fn value(&self, id: ComplexId) -> Complex {
+        self.values[id.index()]
+    }
+
+    /// Absolute equality at this table's tolerance.
+    #[inline]
+    fn matches(&self, a: Complex, b: Complex) -> bool {
+        (a.re - b.re).abs() <= self.tolerance && (a.im - b.im).abs() <= self.tolerance
+    }
+
+    /// Interns `c`, returning the id of its representative.
+    ///
+    /// Values within the tolerance of zero or one collapse onto the pinned
+    /// ids; any other value within the tolerance of an existing
+    /// representative reuses that representative's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not finite — non-finite edge weights indicate a bug
+    /// upstream (e.g. division by a zero weight) and must not be interned.
+    pub fn lookup(&mut self, c: Complex) -> ComplexId {
+        assert!(c.is_finite(), "cannot intern non-finite complex value {c:?}");
+        if c.approx_zero(self.tolerance) {
+            return ComplexId::ZERO;
+        }
+        if c.approx_one(self.tolerance) {
+            return ComplexId::ONE;
+        }
+        let (qre, qim) = self.grid_coords(c);
+        for dre in -1..=1 {
+            for dim in -1..=1 {
+                if let Some(ids) = self.buckets.get(&(qre + dre, qim + dim)) {
+                    for &raw in ids {
+                        if self.matches(self.values[raw as usize], c) {
+                            return ComplexId(raw);
+                        }
+                    }
+                }
+            }
+        }
+        self.insert_raw(c)
+    }
+
+    /// Interns the product of two interned values.
+    #[inline]
+    pub fn mul(&mut self, a: ComplexId, b: ComplexId) -> ComplexId {
+        if a.is_zero() || b.is_zero() {
+            return ComplexId::ZERO;
+        }
+        if a.is_one() {
+            return b;
+        }
+        if b.is_one() {
+            return a;
+        }
+        let product = self.value(a) * self.value(b);
+        self.lookup(product)
+    }
+
+    /// Interns the sum of two interned values.
+    #[inline]
+    pub fn add(&mut self, a: ComplexId, b: ComplexId) -> ComplexId {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let sum = self.value(a) + self.value(b);
+        self.lookup(sum)
+    }
+
+    /// Interns the quotient `a / b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` denotes zero.
+    #[inline]
+    pub fn div(&mut self, a: ComplexId, b: ComplexId) -> ComplexId {
+        assert!(!b.is_zero(), "division by interned zero");
+        if a.is_zero() {
+            return ComplexId::ZERO;
+        }
+        if b.is_one() {
+            return a;
+        }
+        if a == b {
+            return ComplexId::ONE;
+        }
+        let quotient = self.value(a) / self.value(b);
+        self.lookup(quotient)
+    }
+
+    /// Interns the negation of an interned value.
+    #[inline]
+    pub fn neg(&mut self, a: ComplexId) -> ComplexId {
+        if a.is_zero() {
+            return ComplexId::ZERO;
+        }
+        let negated = -self.value(a);
+        self.lookup(negated)
+    }
+
+    /// Interns the conjugate of an interned value.
+    #[inline]
+    pub fn conj(&mut self, a: ComplexId) -> ComplexId {
+        if a.is_zero() || a.is_one() {
+            return a;
+        }
+        let conjugated = self.value(a).conj();
+        self.lookup(conjugated)
+    }
+
+    fn grid_coords(&self, c: Complex) -> (i64, i64) {
+        // Grid width 2 · tolerance: any two matching values sit in the same
+        // or adjacent cells, so a 3x3 probe finds every candidate.
+        let width = 2.0 * self.tolerance;
+        ((c.re / width).floor() as i64, (c.im / width).floor() as i64)
+    }
+
+    fn insert_raw(&mut self, c: Complex) -> ComplexId {
+        let raw = u32::try_from(self.values.len()).expect("complex table overflow");
+        self.values.push(c);
+        let key = self.grid_coords(c);
+        self.buckets.entry(key).or_default().push(raw);
+        ComplexId(raw)
+    }
+}
+
+impl Default for ComplexTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_ids() {
+        let mut t = ComplexTable::new();
+        assert_eq!(t.lookup(Complex::ZERO), ComplexId::ZERO);
+        assert_eq!(t.lookup(Complex::ONE), ComplexId::ONE);
+        assert_eq!(t.lookup(Complex::new(1e-16, -1e-16)), ComplexId::ZERO);
+        assert_eq!(t.lookup(Complex::new(1.0 + 1e-15, 0.0)), ComplexId::ONE);
+    }
+
+    #[test]
+    fn unifies_within_tolerance() {
+        let mut t = ComplexTable::with_tolerance(1e-10);
+        let a = t.lookup(Complex::new(0.5, 0.25));
+        let b = t.lookup(Complex::new(0.5 + 1e-12, 0.25 - 1e-12));
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn tiny_values_keep_their_relative_identity_at_tight_tolerance() {
+        // At the tight default (1e-13), values of magnitude ~1e-7 (Grover
+        // diffusion entries at n=22) with a 1e-6 relative difference stay
+        // distinct, preserving the precision of structurally tiny weights.
+        let mut t = ComplexTable::new();
+        let v = 4.768e-7;
+        let a = t.lookup(Complex::real(v));
+        let b = t.lookup(Complex::real(v * (1.0 + 1e-12)));
+        assert_eq!(a, b, "FP-noise-level differences must unify");
+        let c = t.lookup(Complex::real(v * (1.0 + 1e-6)));
+        assert_ne!(a, c, "genuinely distinct tiny values must stay distinct");
+    }
+
+    #[test]
+    fn distinguishes_beyond_tolerance() {
+        let mut t = ComplexTable::new();
+        let a = t.lookup(Complex::real(0.5));
+        let b = t.lookup(Complex::real(0.5001));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hadamard_product_unifies_with_half() {
+        let mut t = ComplexTable::new();
+        let h = t.lookup(Complex::SQRT2_INV);
+        let prod = t.mul(h, h);
+        let half = t.lookup(Complex::real(0.5));
+        assert_eq!(prod, half);
+    }
+
+    #[test]
+    fn arithmetic_shortcuts() {
+        let mut t = ComplexTable::new();
+        let z = t.lookup(Complex::new(0.3, -0.4));
+        assert_eq!(t.mul(ComplexId::ZERO, z), ComplexId::ZERO);
+        assert_eq!(t.mul(ComplexId::ONE, z), z);
+        assert_eq!(t.add(ComplexId::ZERO, z), z);
+        assert_eq!(t.div(z, ComplexId::ONE), z);
+        assert_eq!(t.div(z, z), ComplexId::ONE);
+        let minus = t.neg(z);
+        assert!(t.value(minus).approx_eq(Complex::new(-0.3, 0.4), 1e-12));
+        let back = t.neg(minus);
+        assert_eq!(back, z);
+    }
+
+    #[test]
+    fn division_roundtrip() {
+        let mut t = ComplexTable::new();
+        let a = t.lookup(Complex::new(0.7, 0.1));
+        let b = t.lookup(Complex::new(-0.2, 0.9));
+        let q = t.div(a, b);
+        let back = t.mul(q, b);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn conjugation() {
+        let mut t = ComplexTable::new();
+        let z = t.lookup(Complex::new(0.6, 0.8));
+        let c = t.conj(z);
+        assert!(t.value(c).approx_eq(Complex::new(0.6, -0.8), 1e-12));
+        assert_eq!(t.conj(c), z);
+        assert_eq!(t.conj(ComplexId::ONE), ComplexId::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by interned zero")]
+    fn division_by_zero_panics() {
+        let mut t = ComplexTable::new();
+        let a = t.lookup(Complex::real(2.0));
+        let _ = t.div(a, ComplexId::ZERO);
+    }
+
+    #[test]
+    fn values_straddling_a_grid_cell_unify() {
+        let mut t = ComplexTable::with_tolerance(1e-10);
+        let a = t.lookup(Complex::real(2.0 - 1e-12));
+        let b = t.lookup(Complex::real(2.0 + 1e-12));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn grid_boundary_values_unify() {
+        let mut t = ComplexTable::with_tolerance(1e-10);
+        // Construct two values straddling a quantization-cell edge.
+        let width = 2e-10;
+        let edge = 1234.0 * width;
+        let a = t.lookup(Complex::real(edge - 1e-14));
+        let b = t.lookup(Complex::real(edge + 1e-14));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn widely_separated_scales_coexist() {
+        // Stay above the zero floor (the tolerance, 1e-13): 2^-40 ≈ 9e-13.
+        let mut t = ComplexTable::new();
+        let ids: Vec<ComplexId> = (0..40)
+            .map(|k| t.lookup(Complex::real(2f64.powi(-k))))
+            .collect();
+        // 2^0 is ONE; all others distinct.
+        for (i, &a) in ids.iter().enumerate() {
+            for (j, &b) in ids.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b, "2^-{i} vs 2^-{j}");
+                }
+            }
+        }
+    }
+}

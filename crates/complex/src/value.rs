@@ -1,0 +1,343 @@
+//! The [`Complex`] value type used throughout the DD package.
+//!
+//! This is a deliberately small, `Copy`, `f64`-based complex number. It is
+//! *not* a general-purpose numerics type: it provides exactly the operations
+//! a decision-diagram package needs (ring arithmetic, conjugation, magnitude,
+//! polar construction, and tolerance-aware comparison).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// The default absolute tolerance used when deciding whether two
+/// floating-point complex values denote the same mathematical value
+/// (see [`ComplexTable`](crate::ComplexTable)).
+///
+/// Tight (~500 f64 epsilons): large enough to re-merge rounding noise from
+/// different computation orders, small enough to preserve the relative
+/// precision of the smallest structurally meaningful edge weights. See
+/// DESIGN.md §6 for the measured failure modes on either side.
+pub const DEFAULT_TOLERANCE: f64 = 1e-13;
+
+/// A complex number with `f64` components.
+///
+/// # Examples
+///
+/// ```
+/// use ddsim_complex::Complex;
+///
+/// let h = Complex::new(std::f64::consts::FRAC_1_SQRT_2, 0.0);
+/// assert!((h * h).approx_eq(Complex::new(0.5, 0.0), 1e-12));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// Multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+    /// `1/sqrt(2)`, the Hadamard factor.
+    pub const SQRT2_INV: Complex = Complex {
+        re: std::f64::consts::FRAC_1_SQRT_2,
+        im: 0.0,
+    };
+
+    /// Creates a complex number from Cartesian components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a real-valued complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar form `r * e^{iθ}`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ddsim_complex::Complex;
+    /// let v = Complex::from_polar(1.0, std::f64::consts::PI);
+    /// assert!(v.approx_eq(Complex::real(-1.0), 1e-12));
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// `e^{iθ}` — a point on the unit circle.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex::from_polar(1.0, theta)
+    }
+
+    /// The primitive `2^n`-th root of unity raised to the `k`-th power,
+    /// `exp(2πi · k / 2^n)`. This is the phase that appears throughout the
+    /// quantum Fourier transform.
+    #[inline]
+    pub fn root_of_unity(k: i64, n: u32) -> Self {
+        let denom = (1u64 << n) as f64;
+        Complex::cis(2.0 * std::f64::consts::PI * (k as f64) / denom)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in radians.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `z` is exactly zero; in release builds the
+    /// result contains infinities, as for `f64` division by zero.
+    #[inline]
+    pub fn recip(self) -> Self {
+        debug_assert!(
+            self.norm_sqr() > 0.0,
+            "attempted to invert a zero complex value"
+        );
+        let d = self.norm_sqr();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// Whether both components are exactly zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.re == 0.0 && self.im == 0.0
+    }
+
+    /// Whether the value is within `tol` of zero (component-wise).
+    #[inline]
+    pub fn approx_zero(self, tol: f64) -> bool {
+        self.re.abs() <= tol && self.im.abs() <= tol
+    }
+
+    /// Whether the value is within `tol` of one (component-wise).
+    #[inline]
+    pub fn approx_one(self, tol: f64) -> bool {
+        (self.re - 1.0).abs() <= tol && self.im.abs() <= tol
+    }
+
+    /// Component-wise tolerance comparison.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ddsim_complex::Complex;
+    /// assert!(Complex::new(0.1 + 0.2, 0.0).approx_eq(Complex::new(0.3, 0.0), 1e-12));
+    /// ```
+    #[inline]
+    pub fn approx_eq(self, other: Complex, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+
+    /// Whether both components are finite (no NaN / infinity).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+impl From<(f64, f64)> for Complex {
+    fn from((re, im): (f64, f64)) -> Self {
+        Complex::new(re, im)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im == 0.0 {
+            write!(f, "{}", self.re)
+        } else if self.re == 0.0 {
+            write!(f, "{}i", self.im)
+        } else if self.im < 0.0 {
+            write!(f, "{}{}i", self.re, self.im)
+        } else {
+            write!(f, "{}+{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(Complex::ZERO + Complex::ONE, Complex::ONE);
+        assert_eq!(Complex::I * Complex::I, Complex::real(-1.0));
+        assert!((Complex::SQRT2_INV.norm_sqr() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(1.25, -0.5);
+        assert_eq!(z + Complex::ZERO, z);
+        assert_eq!(z * Complex::ONE, z);
+        assert_eq!(z - z, Complex::ZERO);
+        assert!((z * z.recip()).approx_eq(Complex::ONE, 1e-12));
+        assert_eq!(-(-z), z);
+    }
+
+    #[test]
+    fn conjugate_and_norm() {
+        let z = Complex::new(3.0, 4.0);
+        assert_eq!(z.conj(), Complex::new(3.0, -4.0));
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.abs(), 5.0);
+        assert!((z * z.conj()).approx_eq(Complex::real(25.0), 1e-12));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex::from_polar(2.0, 0.7);
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roots_of_unity() {
+        // exp(2πi·1/2) = -1, exp(2πi·1/4) = i.
+        assert!(Complex::root_of_unity(1, 1).approx_eq(Complex::real(-1.0), 1e-12));
+        assert!(Complex::root_of_unity(1, 2).approx_eq(Complex::I, 1e-12));
+        // k = 2^n wraps to 1.
+        assert!(Complex::root_of_unity(8, 3).approx_eq(Complex::ONE, 1e-12));
+    }
+
+    #[test]
+    fn division() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-0.5, 0.25);
+        assert!(((a / b) * b).approx_eq(a, 1e-12));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Complex::real(1.5).to_string(), "1.5");
+        assert_eq!(Complex::new(0.0, -2.0).to_string(), "-2i");
+        assert_eq!(Complex::new(1.0, 1.0).to_string(), "1+1i");
+        assert_eq!(Complex::new(1.0, -1.0).to_string(), "1-1i");
+    }
+
+    #[test]
+    fn approx_predicates() {
+        assert!(Complex::new(1e-12, -1e-12).approx_zero(1e-10));
+        assert!(!Complex::new(1e-9, 0.0).approx_zero(1e-10));
+        assert!(Complex::new(1.0 + 1e-12, -1e-12).approx_one(1e-10));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for complex arithmetic and the interning table.
+
+use ddsim_complex::{Complex, ComplexTable};
+use proptest::prelude::*;
+
+fn small_complex() -> impl Strategy<Value = Complex> {
+    (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(re, im)| Complex::new(re, im))
+}
+
+fn nonzero_complex() -> impl Strategy<Value = Complex> {
+    small_complex().prop_filter("must not be close to zero", |c| c.abs() > 1e-3)
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(a in small_complex(), b in small_complex()) {
+        prop_assert!((a + b).approx_eq(b + a, 1e-12));
+    }
+
+    #[test]
+    fn multiplication_commutes(a in small_complex(), b in small_complex()) {
+        prop_assert!((a * b).approx_eq(b * a, 1e-9));
+    }
+
+    #[test]
+    fn multiplication_associates(
+        a in small_complex(),
+        b in small_complex(),
+        c in small_complex(),
+    ) {
+        prop_assert!(((a * b) * c).approx_eq(a * (b * c), 1e-7));
+    }
+
+    #[test]
+    fn distributivity(a in small_complex(), b in small_complex(), c in small_complex()) {
+        prop_assert!((a * (b + c)).approx_eq(a * b + a * c, 1e-7));
+    }
+
+    #[test]
+    fn conjugation_is_involution(a in small_complex()) {
+        prop_assert_eq!(a.conj().conj(), a);
+    }
+
+    #[test]
+    fn norm_is_multiplicative(a in small_complex(), b in small_complex()) {
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn reciprocal_inverts(a in nonzero_complex()) {
+        prop_assert!((a * a.recip()).approx_eq(Complex::ONE, 1e-9));
+    }
+
+    #[test]
+    fn polar_roundtrip(r in 0.01f64..10.0, theta in -3.1f64..3.1) {
+        let z = Complex::from_polar(r, theta);
+        prop_assert!((z.abs() - r).abs() < 1e-9);
+        prop_assert!((z.arg() - theta).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_lookup_is_idempotent(a in small_complex()) {
+        let mut t = ComplexTable::new();
+        let id1 = t.lookup(a);
+        let id2 = t.lookup(a);
+        prop_assert_eq!(id1, id2);
+        // The representative is within tolerance of the input.
+        prop_assert!(t.value(id1).approx_eq(a, t.tolerance()));
+    }
+
+    #[test]
+    fn table_mul_matches_value_mul(a in small_complex(), b in small_complex()) {
+        let mut t = ComplexTable::new();
+        let ia = t.lookup(a);
+        let ib = t.lookup(b);
+        let ip = t.mul(ia, ib);
+        // Representatives drift by at most the tolerance per operand.
+        prop_assert!(t.value(ip).approx_eq(a * b, 1e-6));
+    }
+
+    #[test]
+    fn table_add_matches_value_add(a in small_complex(), b in small_complex()) {
+        let mut t = ComplexTable::new();
+        let ia = t.lookup(a);
+        let ib = t.lookup(b);
+        let is = t.add(ia, ib);
+        prop_assert!(t.value(is).approx_eq(a + b, 1e-6));
+    }
+
+    #[test]
+    fn table_div_then_mul_roundtrips(a in small_complex(), b in nonzero_complex()) {
+        let mut t = ComplexTable::new();
+        let ia = t.lookup(a);
+        let ib = t.lookup(b);
+        let iq = t.div(ia, ib);
+        let back = t.mul(iq, ib);
+        prop_assert!(t.value(back).approx_eq(a, 1e-6));
+    }
+
+    #[test]
+    fn perturbations_below_tolerance_unify(a in nonzero_complex()) {
+        let mut t = ComplexTable::new();
+        let id = t.lookup(a);
+        // Absolute jitter one order below the absolute tolerance.
+        let jittered = a + Complex::new(1e-14, -1e-14);
+        prop_assert_eq!(t.lookup(jittered), id);
+    }
+}

@@ -1,0 +1,542 @@
+//! The simulation engine: streams a [`Circuit`] through the DD package
+//! under a configurable combining [`Strategy`].
+
+use std::fmt;
+use std::time::Instant;
+
+use ddsim_circuit::{lower_swap, Circuit, GateOp, Operation};
+use ddsim_complex::Complex;
+use ddsim_dd::{DdConfig, DdManager, MatEdge, VecEdge};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::stats::{RunStats, StepTrace};
+use crate::strategy::Strategy;
+
+/// Error returned when a circuit does not fit the simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimulateCircuitError {
+    expected_qubits: u32,
+    found_qubits: u32,
+}
+
+impl fmt::Display for SimulateCircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "circuit has {} qubits but the simulator was built for {}",
+            self.found_qubits, self.expected_qubits
+        )
+    }
+}
+
+impl std::error::Error for SimulateCircuitError {}
+
+/// Options controlling a simulation run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimOptions {
+    /// The combining strategy (paper Section IV).
+    pub strategy: Strategy,
+    /// Seed for measurement sampling (runs are deterministic per seed).
+    pub seed: u64,
+    /// Record a per-step [`StepTrace`] (costs one DD traversal per applied
+    /// multiplication).
+    pub collect_trace: bool,
+    /// DD-manager configuration (tolerance, GC threshold).
+    pub dd_config: DdConfig,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            strategy: Strategy::Sequential,
+            seed: 0,
+            collect_trace: false,
+            dd_config: DdConfig::default(),
+        }
+    }
+}
+
+impl SimOptions {
+    /// Options with a given strategy and defaults elsewhere.
+    pub fn with_strategy(strategy: Strategy) -> Self {
+        SimOptions {
+            strategy,
+            ..SimOptions::default()
+        }
+    }
+}
+
+/// A DD-based quantum-circuit simulator.
+///
+/// # Examples
+///
+/// ```
+/// use ddsim_circuit::Circuit;
+/// use ddsim_core::{SimOptions, Simulator, Strategy};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// let mut sim = Simulator::with_options(2, SimOptions::with_strategy(Strategy::Sequential));
+/// sim.run(&bell)?;
+/// assert!((sim.probability_of(0b00) - 0.5).abs() < 1e-10);
+/// assert!((sim.probability_of(0b11) - 0.5).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Simulator {
+    dd: DdManager,
+    n: u32,
+    state: VecEdge,
+    classical: Vec<bool>,
+    rng: StdRng,
+    options: SimOptions,
+    // Accumulated, not-yet-applied product of combined gate matrices.
+    pending: Option<MatEdge>,
+    pending_gates: u64,
+    // State DD size as of the last application (drives Strategy::Adaptive).
+    cached_state_nodes: usize,
+    stats: RunStats,
+}
+
+impl Simulator {
+    /// A simulator over `n` qubits in |0…0⟩ with default options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or greater than 63.
+    pub fn new(n: u32) -> Self {
+        Self::with_options(n, SimOptions::default())
+    }
+
+    /// A simulator with explicit options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or greater than 63.
+    pub fn with_options(n: u32, options: SimOptions) -> Self {
+        let mut dd = DdManager::with_config(options.dd_config);
+        let state = dd.vec_zero_state(n);
+        dd.inc_ref_vec(state);
+        Simulator {
+            dd,
+            n,
+            state,
+            classical: Vec::new(),
+            rng: StdRng::seed_from_u64(options.seed),
+            options,
+            pending: None,
+            pending_gates: 0,
+            cached_state_nodes: 1,
+            stats: RunStats::default(),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn qubits(&self) -> u32 {
+        self.n
+    }
+
+    /// The classical bits written by measurements so far.
+    pub fn classical_bits(&self) -> &[bool] {
+        &self.classical
+    }
+
+    /// The classical register interpreted as an integer,
+    /// `Σ bit_i · 2^i`.
+    pub fn classical_value(&self) -> u64 {
+        self.classical
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| 1u64 << i)
+            .sum()
+    }
+
+    /// Immutable access to the DD manager (node counts, exports, …).
+    pub fn dd(&self) -> &DdManager {
+        &self.dd
+    }
+
+    /// The current state-vector edge.
+    pub fn state(&self) -> VecEdge {
+        self.state
+    }
+
+    /// The amplitude of a basis state.
+    pub fn amplitude(&self, index: u64) -> Complex {
+        self.dd.vec_amplitude(self.state, index)
+    }
+
+    /// The probability of observing a full basis state.
+    pub fn probability_of(&self, index: u64) -> f64 {
+        self.amplitude(index).norm_sqr()
+    }
+
+    /// The probability of qubit `q` measuring 1.
+    pub fn prob_one(&self, q: u32) -> f64 {
+        self.dd.prob_one(self.state, q)
+    }
+
+    /// Node count of the current state DD.
+    pub fn state_nodes(&self) -> usize {
+        self.dd.vec_node_count(self.state)
+    }
+
+    /// Samples a full measurement (without collapsing).
+    pub fn sample(&mut self) -> u64 {
+        let rng = &mut self.rng;
+        let mut draw = || rng.gen::<f64>();
+        self.dd.sample(self.state, &mut draw)
+    }
+
+    /// Samples `shots` full measurements and returns outcome counts —
+    /// the typical read-out a hardware backend would give.
+    pub fn sample_counts(&mut self, shots: u32) -> std::collections::HashMap<u64, u32> {
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..shots {
+            *counts.entry(self.sample()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Runs a circuit to completion under the configured strategy,
+    /// returning the run statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulateCircuitError`] if the circuit's qubit count does
+    /// not match the simulator's.
+    pub fn run(&mut self, circuit: &Circuit) -> Result<RunStats, SimulateCircuitError> {
+        if circuit.qubits() != self.n {
+            return Err(SimulateCircuitError {
+                expected_qubits: self.n,
+                found_qubits: circuit.qubits(),
+            });
+        }
+        if self.classical.len() < circuit.cbits() {
+            self.classical.resize(circuit.cbits(), false);
+        }
+        let started = Instant::now();
+        self.stats = RunStats::default();
+        self.process_ops(circuit.ops());
+        self.flush();
+        self.stats.wall_time = started.elapsed();
+        self.stats.final_state_nodes = self.dd.vec_node_count(self.state);
+        if self.stats.peak_state_nodes < self.stats.final_state_nodes {
+            self.stats.peak_state_nodes = self.stats.final_state_nodes;
+        }
+        Ok(self.stats.clone())
+    }
+
+    // ------------------------------------------------------------------
+    // Operation dispatch
+    // ------------------------------------------------------------------
+
+    fn process_ops(&mut self, ops: &[Operation]) {
+        for op in ops {
+            match op {
+                Operation::Gate(g) => {
+                    let m = self.gate_matrix(g);
+                    self.feed(m);
+                }
+                Operation::Swap { a, b, controls } => {
+                    for g in lower_swap(*a, *b, controls) {
+                        let m = self.gate_matrix(&g);
+                        self.feed(m);
+                    }
+                }
+                Operation::Barrier => self.flush(),
+                Operation::Measure { qubit, cbit } => {
+                    self.flush();
+                    let outcome = self.measure(*qubit);
+                    self.classical[*cbit] = outcome;
+                }
+                Operation::Reset { qubit } => {
+                    self.flush();
+                    let outcome = self.measure(*qubit);
+                    if outcome {
+                        let g = GateOp::new(ddsim_circuit::StandardGate::X, *qubit);
+                        let m = self.gate_matrix(&g);
+                        self.apply_now(m, 1);
+                    }
+                }
+                Operation::Classical { gate, cbit, value } => {
+                    // The condition is already known classically, so the
+                    // gate either joins the stream or vanishes.
+                    if self.classical[*cbit] == *value {
+                        let m = self.gate_matrix(gate);
+                        self.feed(m);
+                    }
+                }
+                Operation::Repeat { body, times } => self.process_repeat(body, *times),
+            }
+        }
+    }
+
+    fn process_repeat(&mut self, body: &[Operation], times: u32) {
+        let reuse = matches!(self.options.strategy, Strategy::DdRepeating { .. });
+        if reuse {
+            if let Some(block) = self.combine_unitary_block(body) {
+                // DD-repeating: one combined matrix, re-applied for every
+                // iteration with zero further matrix-matrix work. The block
+                // arrives holding one reference, released below.
+                self.flush();
+                let block_gates: u64 = body.iter().map(|op| op.elementary_count()).sum();
+                for _ in 0..times {
+                    self.stats.elementary_gates += block_gates;
+                    self.apply_now(block, block_gates);
+                }
+                self.dd.dec_ref_mat(block);
+                return;
+            }
+        }
+        // Fallback: expand the block.
+        for _ in 0..times {
+            self.process_ops(body);
+        }
+    }
+
+    /// Multiplies all gates of a purely unitary block into one matrix DD.
+    /// Returns `None` if the block contains non-unitary operations; on
+    /// success the returned edge holds one reference the caller must
+    /// release with `dec_ref_mat`.
+    fn combine_unitary_block(&mut self, ops: &[Operation]) -> Option<MatEdge> {
+        let before = self.dd.stats();
+        let mut product = self.dd.mat_identity(self.n);
+        self.dd.inc_ref_mat(product);
+        let fold = |sim: &mut Self, product: &mut MatEdge, m: MatEdge| {
+            let next = sim.dd.mat_mat_mul(m, *product);
+            sim.dd.inc_ref_mat(next);
+            sim.dd.dec_ref_mat(*product);
+            *product = next;
+        };
+        for op in ops {
+            match op {
+                Operation::Gate(g) => {
+                    let m = self.gate_matrix(g);
+                    fold(self, &mut product, m);
+                }
+                Operation::Swap { a, b, controls } => {
+                    for g in lower_swap(*a, *b, controls) {
+                        let m = self.gate_matrix(&g);
+                        fold(self, &mut product, m);
+                    }
+                }
+                Operation::Barrier => {}
+                Operation::Repeat { body, times } => {
+                    let inner = self.combine_unitary_block(body)?;
+                    self.dd.inc_ref_mat(inner);
+                    for _ in 0..*times {
+                        fold(self, &mut product, inner);
+                    }
+                    self.dd.dec_ref_mat(inner);
+                }
+                Operation::Measure { .. }
+                | Operation::Reset { .. }
+                | Operation::Classical { .. } => {
+                    self.dd.dec_ref_mat(product);
+                    return None;
+                }
+            }
+        }
+        let after = self.dd.stats();
+        self.stats.absorb_dd_delta(before, after);
+        let nodes = self.dd.mat_node_count(product);
+        if nodes > self.stats.peak_matrix_nodes {
+            self.stats.peak_matrix_nodes = nodes;
+        }
+        Some(product)
+    }
+
+    // ------------------------------------------------------------------
+    // Combining core
+    // ------------------------------------------------------------------
+
+    fn gate_matrix(&mut self, g: &GateOp) -> MatEdge {
+        let before = self.dd.stats();
+        let m = self
+            .dd
+            .mat_controlled(self.n, &g.controls, g.target, g.gate.matrix());
+        let after = self.dd.stats();
+        // Gate construction may perform one small matrix addition; its
+        // recursions are bookkeeping, not simulation cost, but the counters
+        // must stay consistent.
+        self.stats.absorb_dd_delta(before, after);
+        m
+    }
+
+    /// Feeds one elementary gate matrix into the strategy.
+    fn feed(&mut self, m: MatEdge) {
+        self.stats.elementary_gates += 1;
+        match self.options.strategy {
+            Strategy::Sequential => {
+                self.apply_now(m, 1);
+            }
+            Strategy::KOperations { k } | Strategy::DdRepeating { k } => {
+                if k <= 1 {
+                    self.apply_now(m, 1);
+                    return;
+                }
+                self.accumulate(m);
+                if self.pending_gates >= k as u64 {
+                    self.flush();
+                }
+            }
+            Strategy::MaxSize { s_max } => {
+                self.accumulate(m);
+                let nodes = self
+                    .pending
+                    .map(|p| self.dd.mat_node_count(p))
+                    .unwrap_or(0);
+                if nodes > self.stats.peak_matrix_nodes {
+                    self.stats.peak_matrix_nodes = nodes;
+                }
+                if nodes > s_max {
+                    self.flush();
+                }
+            }
+            Strategy::Adaptive { ratio_millis, cap } => {
+                self.accumulate(m);
+                let nodes = self
+                    .pending
+                    .map(|p| self.dd.mat_node_count(p))
+                    .unwrap_or(0);
+                if nodes > self.stats.peak_matrix_nodes {
+                    self.stats.peak_matrix_nodes = nodes;
+                }
+                // Section III's condition: combining pays while the product
+                // DD stays small relative to the state DD it would
+                // otherwise be multiplied into repeatedly.
+                let budget = (self.cached_state_nodes as u64)
+                    .saturating_mul(u64::from(ratio_millis))
+                    / 1000;
+                if nodes as u64 > budget.max(4) || nodes > cap {
+                    self.flush();
+                }
+            }
+        }
+    }
+
+    fn accumulate(&mut self, m: MatEdge) {
+        let before = self.dd.stats();
+        let next = match self.pending {
+            None => m,
+            Some(p) => {
+                let product = self.dd.mat_mat_mul(m, p);
+                self.dd.dec_ref_mat(p);
+                product
+            }
+        };
+        self.dd.inc_ref_mat(next);
+        self.pending = Some(next);
+        self.pending_gates += 1;
+        let after = self.dd.stats();
+        self.stats.absorb_dd_delta(before, after);
+    }
+
+    /// Applies any accumulated product to the state.
+    fn flush(&mut self) {
+        if let Some(p) = self.pending.take() {
+            let gates = self.pending_gates;
+            self.pending_gates = 0;
+            if self.options.collect_trace || matches!(self.options.strategy, Strategy::MaxSize { .. })
+            {
+                let nodes = self.dd.mat_node_count(p);
+                if nodes > self.stats.peak_matrix_nodes {
+                    self.stats.peak_matrix_nodes = nodes;
+                }
+            }
+            self.apply_now(p, gates);
+            self.dd.dec_ref_mat(p);
+        }
+    }
+
+    /// One matrix-vector application, with bookkeeping.
+    fn apply_now(&mut self, m: MatEdge, combined_gates: u64) {
+        let before = self.dd.stats();
+        let next = self.dd.mat_vec_mul(m, self.state);
+        self.dd.inc_ref_vec(next);
+        self.dd.dec_ref_vec(self.state);
+        self.state = next;
+        let after = self.dd.stats();
+        self.stats.absorb_dd_delta(before, after);
+        if matches!(self.options.strategy, Strategy::Adaptive { .. }) {
+            self.cached_state_nodes = self.dd.vec_node_count(self.state);
+        }
+        if self.options.collect_trace {
+            let matrix_nodes = self.dd.mat_node_count(m);
+            let state_nodes = self.dd.vec_node_count(self.state);
+            if state_nodes > self.stats.peak_state_nodes {
+                self.stats.peak_state_nodes = state_nodes;
+            }
+            if matrix_nodes > self.stats.peak_matrix_nodes {
+                self.stats.peak_matrix_nodes = matrix_nodes;
+            }
+            self.stats.trace.push(StepTrace {
+                gate_index: self.stats.elementary_gates,
+                combined_gates,
+                matrix_nodes,
+                state_nodes,
+            });
+        }
+        self.collect_if_needed();
+    }
+
+    fn measure(&mut self, qubit: u32) -> bool {
+        let draw = self.rng.gen::<f64>();
+        let (outcome, collapsed) = self.dd.measure_qubit(self.state, qubit, draw);
+        self.dd.inc_ref_vec(collapsed);
+        self.dd.dec_ref_vec(self.state);
+        self.state = collapsed;
+        self.collect_if_needed();
+        outcome
+    }
+
+    fn collect_if_needed(&mut self) {
+        // `pending` and `state` hold references, so collection is safe here.
+        self.dd.maybe_collect();
+    }
+}
+
+impl fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("qubits", &self.n)
+            .field("strategy", &self.options.strategy)
+            .field("state_nodes", &self.dd.vec_node_count(self.state))
+            .field("classical", &self.classical)
+            .finish()
+    }
+}
+
+/// Convenience one-shot simulation.
+///
+/// # Errors
+///
+/// Returns [`SimulateCircuitError`] if the circuit width mismatches.
+///
+/// # Examples
+///
+/// ```
+/// use ddsim_circuit::Circuit;
+/// use ddsim_core::{simulate, SimOptions, Strategy};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut ghz = Circuit::new(3);
+/// ghz.h(0).cx(0, 1).cx(1, 2);
+/// let (sim, stats) = simulate(&ghz, SimOptions::with_strategy(Strategy::KOperations { k: 3 }))?;
+/// assert!((sim.probability_of(0b000) - 0.5).abs() < 1e-10);
+/// assert!(stats.mat_vec_mults < 3, "combining must reduce MxV count");
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate(
+    circuit: &Circuit,
+    options: SimOptions,
+) -> Result<(Simulator, RunStats), SimulateCircuitError> {
+    let mut sim = Simulator::with_options(circuit.qubits(), options);
+    let stats = sim.run(circuit)?;
+    Ok((sim, stats))
+}

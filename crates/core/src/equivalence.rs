@@ -1,0 +1,297 @@
+//! DD-based circuit equivalence checking.
+//!
+//! Building the full unitary of a circuit as a matrix DD (exactly what the
+//! paper's Eq. 2 extreme does) turns equivalence checking into a pointer
+//! comparison: canonical DDs represent equal-up-to-scalar matrices by the
+//! *same node*, so two circuits are equivalent up to global phase iff their
+//! unitaries' root nodes coincide and the weight ratio has modulus one.
+//! This is the classic QMDD verification application, and doubles as an
+//! independent oracle for the engine's strategy correctness.
+
+use ddsim_circuit::{lower_swap, Circuit, Operation};
+use ddsim_complex::Complex;
+use ddsim_dd::{DdManager, MatEdge};
+
+/// Outcome of an equivalence check.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Equivalence {
+    /// The unitaries are identical.
+    Equal,
+    /// The unitaries differ only by the given global phase factor
+    /// (modulus 1).
+    EqualUpToGlobalPhase(Complex),
+    /// The unitaries differ.
+    Different,
+}
+
+impl Equivalence {
+    /// Whether the circuits implement the same physical operation
+    /// (equal, possibly up to global phase).
+    pub fn is_equivalent(self) -> bool {
+        !matches!(self, Equivalence::Different)
+    }
+}
+
+/// Error for equivalence checks on unsupported inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckEquivalenceError {
+    /// The circuits act on different numbers of qubits.
+    WidthMismatch,
+    /// A circuit contains measurements / resets / classical control and has
+    /// no single unitary.
+    NonUnitary,
+}
+
+impl std::fmt::Display for CheckEquivalenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckEquivalenceError::WidthMismatch => {
+                f.write_str("circuits act on different numbers of qubits")
+            }
+            CheckEquivalenceError::NonUnitary => {
+                f.write_str("circuit contains non-unitary operations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckEquivalenceError {}
+
+/// Builds the full unitary of a purely unitary circuit as a matrix DD
+/// (the paper's Eq. 2 taken to the limit).
+///
+/// # Errors
+///
+/// Returns [`CheckEquivalenceError::NonUnitary`] if the circuit contains
+/// measurements, resets, or classically controlled gates.
+pub fn circuit_unitary(
+    dd: &mut DdManager,
+    circuit: &Circuit,
+) -> Result<MatEdge, CheckEquivalenceError> {
+    fold_ops(dd, circuit.qubits(), circuit.ops())
+}
+
+fn fold_ops(
+    dd: &mut DdManager,
+    n: u32,
+    ops: &[Operation],
+) -> Result<MatEdge, CheckEquivalenceError> {
+    let mut product = dd.mat_identity(n);
+    dd.inc_ref_mat(product);
+    let fold = |dd: &mut DdManager, product: &mut MatEdge, m: MatEdge| {
+        let next = dd.mat_mat_mul(m, *product);
+        dd.inc_ref_mat(next);
+        dd.dec_ref_mat(*product);
+        *product = next;
+    };
+    for op in ops {
+        match op {
+            Operation::Gate(g) => {
+                let m = dd.mat_controlled(n, &g.controls, g.target, g.gate.matrix());
+                fold(dd, &mut product, m);
+            }
+            Operation::Swap { a, b, controls } => {
+                for g in lower_swap(*a, *b, controls) {
+                    let m = dd.mat_controlled(n, &g.controls, g.target, g.gate.matrix());
+                    fold(dd, &mut product, m);
+                }
+            }
+            Operation::Barrier => {}
+            Operation::Repeat { body, times } => {
+                let inner = fold_ops(dd, n, body)?;
+                for _ in 0..*times {
+                    fold(dd, &mut product, inner);
+                }
+                dd.dec_ref_mat(inner);
+            }
+            Operation::Measure { .. } | Operation::Reset { .. } | Operation::Classical { .. } => {
+                dd.dec_ref_mat(product);
+                return Err(CheckEquivalenceError::NonUnitary);
+            }
+        }
+    }
+    // Caller owns the final reference.
+    Ok(product)
+}
+
+/// Compares two matrix DDs for equality up to a global phase.
+///
+/// With canonical DDs this is O(1): same node required; the weight ratio
+/// decides between exact equality, phase equivalence, and difference.
+pub fn mat_equivalence(dd: &mut DdManager, a: MatEdge, b: MatEdge) -> Equivalence {
+    if a == b {
+        return Equivalence::Equal;
+    }
+    if a.node != b.node {
+        return Equivalence::Different;
+    }
+    let wa = dd.complex_value(a.weight);
+    let wb = dd.complex_value(b.weight);
+    if wb.is_zero() {
+        return Equivalence::Different;
+    }
+    let ratio = wa / wb;
+    let tol = dd.config().tolerance;
+    if (ratio.abs() - 1.0).abs() <= 100.0 * tol {
+        if ratio.approx_eq(Complex::ONE, 100.0 * tol) {
+            Equivalence::Equal
+        } else {
+            Equivalence::EqualUpToGlobalPhase(ratio)
+        }
+    } else {
+        Equivalence::Different
+    }
+}
+
+/// Checks whether two circuits implement the same unitary (up to global
+/// phase).
+///
+/// # Errors
+///
+/// Returns an error if the circuits have different widths or contain
+/// non-unitary operations.
+///
+/// # Examples
+///
+/// ```
+/// use ddsim_circuit::Circuit;
+/// use ddsim_core::equivalence::check_equivalence;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A swap and its three-CX decomposition.
+/// let mut direct = Circuit::new(2);
+/// direct.swap(0, 1);
+/// let mut decomposed = Circuit::new(2);
+/// decomposed.cx(0, 1).cx(1, 0).cx(0, 1);
+/// assert!(check_equivalence(&direct, &decomposed)?.is_equivalent());
+/// # Ok(())
+/// # }
+/// ```
+pub fn check_equivalence(
+    a: &Circuit,
+    b: &Circuit,
+) -> Result<Equivalence, CheckEquivalenceError> {
+    if a.qubits() != b.qubits() {
+        return Err(CheckEquivalenceError::WidthMismatch);
+    }
+    let mut dd = DdManager::new();
+    let ua = circuit_unitary(&mut dd, a)?;
+    let ub = circuit_unitary(&mut dd, b)?;
+    let result = mat_equivalence(&mut dd, ua, ub);
+    dd.dec_ref_mat(ua);
+    dd.dec_ref_mat(ub);
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddsim_circuit::StandardGate;
+
+    #[test]
+    fn identical_circuits_are_equal() {
+        let mut a = Circuit::new(3);
+        a.h(0).cx(0, 1).t(2);
+        assert_eq!(check_equivalence(&a, &a), Ok(Equivalence::Equal));
+    }
+
+    #[test]
+    fn hxh_equals_z() {
+        let mut a = Circuit::new(1);
+        a.h(0).x(0).h(0);
+        let mut b = Circuit::new(1);
+        b.z(0);
+        assert_eq!(check_equivalence(&a, &b), Ok(Equivalence::Equal));
+    }
+
+    #[test]
+    fn cz_is_symmetric() {
+        let mut a = Circuit::new(2);
+        a.cz(0, 1);
+        let mut b = Circuit::new(2);
+        b.cz(1, 0);
+        assert_eq!(check_equivalence(&a, &b), Ok(Equivalence::Equal));
+    }
+
+    #[test]
+    fn swap_decomposition_checks_out() {
+        let mut a = Circuit::new(2);
+        a.swap(0, 1);
+        let mut b = Circuit::new(2);
+        b.cx(0, 1).cx(1, 0).cx(0, 1);
+        assert_eq!(check_equivalence(&a, &b), Ok(Equivalence::Equal));
+    }
+
+    #[test]
+    fn rz_vs_phase_differ_by_global_phase() {
+        let theta = 0.731;
+        let mut a = Circuit::new(1);
+        a.rz(theta, 0);
+        let mut b = Circuit::new(1);
+        b.phase(theta, 0);
+        let result = check_equivalence(&a, &b).expect("both unitary");
+        match result {
+            Equivalence::EqualUpToGlobalPhase(phase) => {
+                assert!((phase.abs() - 1.0).abs() < 1e-9);
+                assert!((phase.arg() + theta / 2.0).abs() < 1e-9);
+            }
+            other => panic!("expected phase equivalence, got {other:?}"),
+        }
+        assert!(result.is_equivalent());
+    }
+
+    #[test]
+    fn different_circuits_differ() {
+        let mut a = Circuit::new(2);
+        a.cx(0, 1);
+        let mut b = Circuit::new(2);
+        b.cx(1, 0);
+        assert_eq!(check_equivalence(&a, &b), Ok(Equivalence::Different));
+    }
+
+    #[test]
+    fn inverse_composition_is_identity() {
+        let mut a = Circuit::new(3);
+        a.h(0).cx(0, 1).t(1).ccx(0, 1, 2).s(2);
+        let inv = a.inverse().expect("unitary");
+        let mut composed = Circuit::new(3);
+        composed.append(&a).append(&inv);
+        let identity = Circuit::new(3);
+        assert_eq!(
+            check_equivalence(&composed, &identity),
+            Ok(Equivalence::Equal)
+        );
+    }
+
+    #[test]
+    fn repeat_blocks_are_unrolled() {
+        let mut body = Circuit::new(1);
+        body.gate(StandardGate::T, 0);
+        let mut repeated = Circuit::new(1);
+        repeated.repeat(&body, 2);
+        let mut direct = Circuit::new(1);
+        direct.s(0);
+        assert_eq!(check_equivalence(&repeated, &direct), Ok(Equivalence::Equal));
+    }
+
+    #[test]
+    fn width_mismatch_is_an_error() {
+        let a = Circuit::new(2);
+        let b = Circuit::new(3);
+        assert_eq!(
+            check_equivalence(&a, &b),
+            Err(CheckEquivalenceError::WidthMismatch)
+        );
+    }
+
+    #[test]
+    fn measurement_is_an_error() {
+        let mut a = Circuit::with_cbits(1, 1);
+        a.measure(0, 0);
+        let b = Circuit::with_cbits(1, 1);
+        assert_eq!(
+            check_equivalence(&a, &b),
+            Err(CheckEquivalenceError::NonUnitary)
+        );
+    }
+}

@@ -1,0 +1,307 @@
+//! The paper's *DD-construct* strategy for Shor's algorithm (Section IV-B,
+//! Table II).
+//!
+//! Instead of decomposing the modular-exponentiation oracle into elementary
+//! gates over 2n+3 qubits (the Beauregard circuit simulated by the general
+//! engine), the controlled modular multiplication `C-U_a : |x⟩ → |a·x mod N⟩`
+//! is constructed *directly* as a permutation-matrix DD. This removes every
+//! working qubit — only `n + 1` qubits remain (one semiclassical control
+//! plus the n-qubit register) — and reduces each of the 2n order-finding
+//! rounds to a handful of multiplications.
+
+use std::collections::HashMap;
+use std::f64::consts::PI;
+use std::time::Instant;
+
+use ddsim_algorithms::numtheory::{factor_from_phase, mul_mod, pow_mod};
+use ddsim_algorithms::shor::ShorInstance;
+use ddsim_complex::Complex;
+use ddsim_dd::{DdManager, MatEdge, Matrix2, VecEdge};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::stats::RunStats;
+
+/// Result of one DD-construct order-finding run.
+#[derive(Clone, Debug)]
+pub struct ShorOutcome {
+    /// The instance that was run.
+    pub instance: ShorInstance,
+    /// The measured phase numerator `x` (phase ≈ `x / 2^{2n}`).
+    pub measured_phase: u64,
+    /// Bits of the phase, round by round (`m_0` = least significant).
+    pub phase_bits: Vec<bool>,
+    /// A nontrivial factor recovered by continued fractions, if the run's
+    /// measurement admitted one.
+    pub factor: Option<u64>,
+    /// Qubits used (`n + 1`, versus the circuit's `2n + 3`).
+    pub qubits: u32,
+    /// Run statistics.
+    pub stats: RunStats,
+}
+
+fn h_matrix() -> Matrix2 {
+    let s = Complex::SQRT2_INV;
+    [[s, s], [s, -s]]
+}
+
+fn x_matrix() -> Matrix2 {
+    [
+        [Complex::ZERO, Complex::ONE],
+        [Complex::ONE, Complex::ZERO],
+    ]
+}
+
+/// The semiclassical, direct-DD order-finding simulator.
+pub struct ShorDdConstruct {
+    instance: ShorInstance,
+    dd: DdManager,
+    rng: StdRng,
+    /// Cached controlled-multiplication DDs per multiplier.
+    multiplier_cache: HashMap<u64, MatEdge>,
+}
+
+impl ShorDdConstruct {
+    /// Creates a simulator for an instance with a measurement seed.
+    pub fn new(instance: ShorInstance, seed: u64) -> Self {
+        ShorDdConstruct {
+            instance,
+            dd: DdManager::new(),
+            rng: StdRng::seed_from_u64(seed),
+            multiplier_cache: HashMap::new(),
+        }
+    }
+
+    /// Total qubits: one control plus the n-bit register.
+    pub fn qubits(&self) -> u32 {
+        self.instance.n_bits() + 1
+    }
+
+    /// Builds (or fetches) the controlled modular-multiplication DD for a
+    /// multiplier: the permutation on `control ⊗ register` that maps
+    /// `|1⟩|x⟩ → |1⟩|a·x mod N⟩` (identity for `x ≥ N` and for control 0).
+    fn controlled_mult(&mut self, multiplier: u64) -> MatEdge {
+        if let Some(&m) = self.multiplier_cache.get(&multiplier) {
+            return m;
+        }
+        let n = self.instance.n_bits();
+        let modulus = self.instance.modulus;
+        let total = n + 1;
+        let register_mask = (1u64 << n) - 1;
+        let control_bit = 1u64 << n; // qubit 0 is the top bit of the index
+        let m = self.dd.mat_permutation(total, |index| {
+            if index & control_bit == 0 {
+                return index;
+            }
+            let x = index & register_mask;
+            if x >= modulus {
+                return index;
+            }
+            control_bit | mul_mod(multiplier, x, modulus)
+        });
+        self.dd.inc_ref_mat(m);
+        self.multiplier_cache.insert(multiplier, m);
+        m
+    }
+
+    /// Runs the full 2n-round semiclassical order finding and classical
+    /// post-processing.
+    pub fn run(&mut self) -> ShorOutcome {
+        let started = Instant::now();
+        let n = self.instance.n_bits();
+        let total = n + 1;
+        let rounds = self.instance.phase_bits();
+        let mut stats = RunStats::default();
+
+        let dd_before = self.dd.stats();
+
+        // |0⟩_control |1⟩_register — register LSB is the bottom qubit.
+        let mut state = self.dd.vec_basis(total, 1);
+        self.dd.inc_ref_vec(state);
+
+        let h_gate = self.dd.mat_single_qubit(total, 0, h_matrix());
+        self.dd.inc_ref_mat(h_gate);
+        let x_gate = self.dd.mat_single_qubit(total, 0, x_matrix());
+        self.dd.inc_ref_mat(x_gate);
+
+        let apply = |dd: &mut DdManager, state: &mut VecEdge, m: MatEdge| {
+            let next = dd.mat_vec_mul(m, *state);
+            dd.inc_ref_vec(next);
+            dd.dec_ref_vec(*state);
+            *state = next;
+        };
+
+        let mut bits: Vec<bool> = Vec::with_capacity(rounds as usize);
+        for i in 0..rounds {
+            let exponent = 1u64 << (rounds - 1 - i);
+            let multiplier = pow_mod(self.instance.base, exponent, self.instance.modulus);
+            let cmul = self.controlled_mult(multiplier);
+
+            apply(&mut self.dd, &mut state, h_gate);
+            apply(&mut self.dd, &mut state, cmul);
+
+            // Semiclassical inverse-QFT correction: one phase gate whose
+            // angle folds in every previously measured bit.
+            let mut angle = 0.0f64;
+            for (j, &bit) in bits.iter().enumerate() {
+                if bit {
+                    angle -= PI / f64::from(1u32 << (i as usize - j));
+                }
+            }
+            if angle != 0.0 {
+                let phase_gate = self.dd.mat_single_qubit(
+                    total,
+                    0,
+                    [
+                        [Complex::ONE, Complex::ZERO],
+                        [Complex::ZERO, Complex::cis(angle)],
+                    ],
+                );
+                apply(&mut self.dd, &mut state, phase_gate);
+            }
+            apply(&mut self.dd, &mut state, h_gate);
+
+            let draw = self.rng.gen::<f64>();
+            let (outcome, collapsed) = self.dd.measure_qubit(state, 0, draw);
+            self.dd.inc_ref_vec(collapsed);
+            self.dd.dec_ref_vec(state);
+            state = collapsed;
+            if outcome {
+                apply(&mut self.dd, &mut state, x_gate);
+            }
+            bits.push(outcome);
+
+            let nodes = self.dd.vec_node_count(state);
+            if nodes > stats.peak_state_nodes {
+                stats.peak_state_nodes = nodes;
+            }
+            self.dd.maybe_collect();
+        }
+
+        let measured_phase: u64 = bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| 1u64 << i)
+            .sum();
+        let factor = factor_from_phase(
+            self.instance.modulus,
+            self.instance.base,
+            measured_phase,
+            rounds,
+        );
+
+        let dd_after = self.dd.stats();
+        stats.absorb_dd_delta(dd_before, dd_after);
+        stats.elementary_gates = u64::from(rounds) * 4;
+        stats.final_state_nodes = self.dd.vec_node_count(state);
+        stats.wall_time = started.elapsed();
+        self.dd.dec_ref_vec(state);
+
+        ShorOutcome {
+            instance: self.instance,
+            measured_phase,
+            phase_bits: bits,
+            factor,
+            qubits: total,
+            stats,
+        }
+    }
+}
+
+/// One-shot DD-construct run.
+///
+/// # Examples
+///
+/// ```
+/// use ddsim_algorithms::shor::ShorInstance;
+/// use ddsim_core::run_shor_dd_construct;
+///
+/// let outcome = run_shor_dd_construct(ShorInstance::new(15, 7), 1);
+/// assert_eq!(outcome.qubits, 5); // n+1, versus 11 for the full circuit
+/// ```
+pub fn run_shor_dd_construct(instance: ShorInstance, seed: u64) -> ShorOutcome {
+    ShorDdConstruct::new(instance, seed).run()
+}
+
+/// Runs DD-construct order finding repeatedly (fresh measurement seeds)
+/// until a factor is found or `max_attempts` is exhausted.
+pub fn factor_with_dd_construct(
+    instance: ShorInstance,
+    seed: u64,
+    max_attempts: u32,
+) -> (Option<u64>, Vec<ShorOutcome>) {
+    let mut outcomes = Vec::new();
+    for attempt in 0..max_attempts {
+        let outcome = run_shor_dd_construct(instance, seed.wrapping_add(u64::from(attempt)));
+        let factor = outcome.factor;
+        outcomes.push(outcome);
+        if factor.is_some() {
+            return (factor, outcomes);
+        }
+    }
+    (None, outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_fifteen() {
+        let inst = ShorInstance::new(15, 7);
+        let (factor, outcomes) = factor_with_dd_construct(inst, 3, 10);
+        let f = factor.expect("15 factors within a few attempts");
+        assert!(f == 3 || f == 5);
+        assert!(!outcomes.is_empty());
+        assert_eq!(outcomes[0].qubits, 5);
+        assert_eq!(outcomes[0].phase_bits.len(), 8);
+    }
+
+    #[test]
+    fn factors_twentyone() {
+        let inst = ShorInstance::new(21, 2);
+        let (factor, _) = factor_with_dd_construct(inst, 1, 20);
+        let f = factor.expect("21 factors");
+        assert!(f == 3 || f == 7);
+    }
+
+    #[test]
+    fn phase_concentrates_on_multiples_of_order() {
+        // For N=15, a=7 the order is 4: ideal phases are k/4, so measured
+        // x/2^8 should be near multiples of 64.
+        let inst = ShorInstance::new(15, 7);
+        let mut near = 0;
+        for seed in 0..20 {
+            let outcome = run_shor_dd_construct(inst, seed);
+            let x = outcome.measured_phase;
+            let distance = (0..=4u64)
+                .map(|k| (x as i64 - (k * 64) as i64).unsigned_abs())
+                .min()
+                .expect("range is non-empty");
+            if distance <= 2 {
+                near += 1;
+            }
+        }
+        assert!(near >= 18, "only {near}/20 runs near ideal phases");
+    }
+
+    #[test]
+    fn multiplier_cache_is_reused() {
+        let inst = ShorInstance::new(15, 7);
+        let mut sim = ShorDdConstruct::new(inst, 0);
+        let _ = sim.run();
+        // Multipliers 7^(2^k) mod 15 cycle through {7, 4, 1}: the cache
+        // must stay small even over 8 rounds.
+        assert!(sim.multiplier_cache.len() <= 3);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let inst = ShorInstance::new(15, 2);
+        let a = run_shor_dd_construct(inst, 42);
+        let b = run_shor_dd_construct(inst, 42);
+        assert_eq!(a.measured_phase, b.measured_phase);
+        assert_eq!(a.factor, b.factor);
+    }
+}

@@ -1,0 +1,93 @@
+//! Per-run statistics and the Example-3-style step trace.
+
+use std::time::Duration;
+
+use ddsim_dd::DdStats;
+
+/// DD sizes observed around one applied multiplication — the data behind
+/// the paper's Fig. 5 comparison of intermediate representations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StepTrace {
+    /// Index of the elementary gate that *ended* this step (for combined
+    /// steps, the last gate folded into the applied matrix).
+    pub gate_index: u64,
+    /// Gates folded into the applied matrix (1 for sequential steps).
+    pub combined_gates: u64,
+    /// Node count of the applied matrix DD.
+    pub matrix_nodes: usize,
+    /// Node count of the state-vector DD *after* the application.
+    pub state_nodes: usize,
+}
+
+/// Aggregate statistics of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Wall-clock duration of the run.
+    pub wall_time: Duration,
+    /// Elementary gates processed (after flattening and swap lowering).
+    pub elementary_gates: u64,
+    /// Matrix-vector multiplications performed.
+    pub mat_vec_mults: u64,
+    /// Matrix-matrix multiplications performed.
+    pub mat_mat_mults: u64,
+    /// Recursive multiply steps (machine-independent cost proxy).
+    pub mult_recursions: u64,
+    /// Recursive add steps.
+    pub add_recursions: u64,
+    /// Largest state-vector DD observed (nodes).
+    pub peak_state_nodes: usize,
+    /// Largest accumulated-product matrix DD observed (nodes).
+    pub peak_matrix_nodes: usize,
+    /// Node count of the final state DD.
+    pub final_state_nodes: usize,
+    /// Garbage collections run.
+    pub gc_runs: u64,
+    /// Optional per-step trace (populated when requested).
+    pub trace: Vec<StepTrace>,
+}
+
+impl RunStats {
+    /// Folds a [`DdStats`] delta (after − before) into this run's counters.
+    pub(crate) fn absorb_dd_delta(&mut self, before: DdStats, after: DdStats) {
+        self.mat_vec_mults += after.mat_vec_mults - before.mat_vec_mults;
+        self.mat_mat_mults += after.mat_mat_mults - before.mat_mat_mults;
+        self.mult_recursions += after.mult_recursions - before.mult_recursions;
+        self.add_recursions += after.add_recursions - before.add_recursions;
+        self.gc_runs += after.gc_runs - before.gc_runs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_delta_accumulates() {
+        let mut stats = RunStats::default();
+        let before = DdStats {
+            mat_vec_mults: 2,
+            mat_mat_mults: 1,
+            mult_recursions: 10,
+            add_recursions: 5,
+            compute_hits: 0,
+            compute_lookups: 0,
+            gc_runs: 0,
+        };
+        let after = DdStats {
+            mat_vec_mults: 5,
+            mat_mat_mults: 4,
+            mult_recursions: 30,
+            add_recursions: 11,
+            compute_hits: 3,
+            compute_lookups: 9,
+            gc_runs: 1,
+        };
+        stats.absorb_dd_delta(before, after);
+        stats.absorb_dd_delta(before, after);
+        assert_eq!(stats.mat_vec_mults, 6);
+        assert_eq!(stats.mat_mat_mults, 6);
+        assert_eq!(stats.mult_recursions, 40);
+        assert_eq!(stats.add_recursions, 12);
+        assert_eq!(stats.gc_runs, 2);
+    }
+}

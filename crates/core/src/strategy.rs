@@ -1,0 +1,101 @@
+//! The paper's operation-combining strategies (Section IV).
+
+use std::fmt;
+
+/// How the simulator schedules matrix-matrix combination versus
+/// matrix-vector application (the paper's Section IV-A/B strategies).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// One matrix-vector multiplication per elementary gate — Eq. 1, the
+    /// state-of-the-art baseline (`t_sota` in Tables I/II).
+    Sequential,
+    /// Combine `k` consecutive gates into one matrix before applying it
+    /// (the paper's *k-operations*, Fig. 8). `k = 1` degenerates to
+    /// [`Sequential`](Strategy::Sequential).
+    KOperations {
+        /// Gates per combined matrix.
+        k: usize,
+    },
+    /// Combine gates until the product DD exceeds `s_max` nodes, then apply
+    /// (the paper's *max-size*, Fig. 9).
+    MaxSize {
+        /// Node-count bound on the accumulated product.
+        s_max: usize,
+    },
+    /// Combine each [`Repeat`](ddsim_circuit::Operation::Repeat) block into
+    /// a single matrix *once* and re-apply the cached matrix every
+    /// iteration (the paper's *DD-repeating*, Table I). Gates outside
+    /// repeat blocks fall back to [`KOperations`](Strategy::KOperations)
+    /// with the given `k`.
+    DdRepeating {
+        /// Fallback combination width outside repeat blocks.
+        k: usize,
+    },
+    /// An extension beyond the paper: keep folding gates while the
+    /// accumulated product stays small *relative to the current state DD*
+    /// (the condition under which Section III argues MxM wins), bounded by
+    /// an absolute node cap. Parameter-free in spirit — the defaults
+    /// `ratio = 1.0`, `cap = 4096` work across the benchmark families.
+    Adaptive {
+        /// Flush once `product_nodes > ratio × state_nodes` (per-mille to
+        /// keep the type `Eq`/`Hash`-friendly: 1000 = 1.0).
+        ratio_millis: u32,
+        /// Absolute node cap on the accumulated product.
+        cap: usize,
+    },
+}
+
+impl Strategy {
+    /// The adaptive extension with its default parameters.
+    pub fn adaptive() -> Strategy {
+        Strategy::Adaptive {
+            ratio_millis: 1000,
+            cap: 4096,
+        }
+    }
+}
+
+impl Strategy {
+    /// Short label used in benchmark output.
+    pub fn label(self) -> String {
+        match self {
+            Strategy::Sequential => "sequential".to_string(),
+            Strategy::KOperations { k } => format!("k-operations(k={k})"),
+            Strategy::MaxSize { s_max } => format!("max-size(s_max={s_max})"),
+            Strategy::DdRepeating { k } => format!("dd-repeating(k={k})"),
+            Strategy::Adaptive { ratio_millis, cap } => {
+                format!("adaptive(ratio={:.2},cap={cap})", ratio_millis as f64 / 1000.0)
+            }
+        }
+    }
+}
+
+impl Default for Strategy {
+    fn default() -> Self {
+        Strategy::Sequential
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct_and_parameterized() {
+        assert_eq!(Strategy::Sequential.label(), "sequential");
+        assert_eq!(Strategy::KOperations { k: 4 }.label(), "k-operations(k=4)");
+        assert_eq!(Strategy::MaxSize { s_max: 64 }.label(), "max-size(s_max=64)");
+        assert_eq!(Strategy::DdRepeating { k: 2 }.label(), "dd-repeating(k=2)");
+    }
+
+    #[test]
+    fn default_is_the_sota_baseline() {
+        assert_eq!(Strategy::default(), Strategy::Sequential);
+    }
+}

@@ -1,0 +1,52 @@
+//! Memoization caches ("compute tables") for DD operations.
+//!
+//! Multiplication caches key on node ids only: for edges `w_a·A` and `w_b·B`
+//! the product is `w_a·w_b · (A×B)`, so the weights factor out and one cache
+//! entry serves every weighted occurrence of the same node pair. Addition
+//! does not factor this way, so its cache keys include a weight ratio-free
+//! canonical form: the full `(node, weight)` pairs, ordered.
+
+use std::collections::HashMap;
+
+use crate::edge::{MatEdge, NodeId, VecEdge};
+
+/// All operation caches of a manager.
+#[derive(Debug, Default)]
+pub(crate) struct ComputeTables {
+    pub add_vec: HashMap<(VecEdge, VecEdge), VecEdge>,
+    pub add_mat: HashMap<(MatEdge, MatEdge), MatEdge>,
+    pub mat_vec: HashMap<(NodeId, NodeId), VecEdge>,
+    pub mat_mat: HashMap<(NodeId, NodeId), MatEdge>,
+    pub conj_transpose: HashMap<NodeId, MatEdge>,
+    pub kron_vec: HashMap<(NodeId, VecEdge), VecEdge>,
+    pub kron_mat: HashMap<(NodeId, MatEdge), MatEdge>,
+}
+
+impl ComputeTables {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops every cached entry. Must be called whenever nodes may be
+    /// reclaimed (cached results hold no references).
+    pub fn clear(&mut self) {
+        self.add_vec.clear();
+        self.add_mat.clear();
+        self.mat_vec.clear();
+        self.mat_mat.clear();
+        self.conj_transpose.clear();
+        self.kron_vec.clear();
+        self.kron_mat.clear();
+    }
+
+    /// Total number of cached entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.add_vec.len()
+            + self.add_mat.len()
+            + self.mat_vec.len()
+            + self.mat_mat.len()
+            + self.conj_transpose.len()
+            + self.kron_vec.len()
+            + self.kron_mat.len()
+    }
+}

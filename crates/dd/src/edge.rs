@@ -1,0 +1,105 @@
+//! Edge and node-handle types shared by vector and matrix decision diagrams.
+
+use ddsim_complex::ComplexId;
+
+/// A level in the decision diagram.
+///
+/// Level `0` is the terminal; levels `1..=n` are qubit levels with level `n`
+/// at the top (the paper's most significant qubit `q0`). A qubit index `q`
+/// (0-based from the top) in an `n`-qubit system lives at level `n - q`.
+pub type Level = u32;
+
+/// Index of a node inside a [`DdManager`](crate::DdManager) arena.
+///
+/// The terminal node is the sentinel [`NodeId::TERMINAL`]; it is shared by
+/// all diagrams and carries no storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The shared terminal node.
+    pub const TERMINAL: NodeId = NodeId(u32::MAX);
+
+    /// Whether this id denotes the terminal.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self == NodeId::TERMINAL
+    }
+
+    /// Raw index into the arena (meaningless for the terminal).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A weighted edge of a *vector* decision diagram.
+///
+/// An edge at level `ℓ` denotes a vector of dimension `2^ℓ`: the edge weight
+/// times the vector encoded by the target node. The zero vector is encoded as
+/// a weight-zero edge to the terminal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct VecEdge {
+    /// Target node (terminal for scalars / the zero vector).
+    pub node: NodeId,
+    /// Interned edge weight.
+    pub weight: ComplexId,
+}
+
+impl VecEdge {
+    /// The canonical zero-vector edge.
+    pub const ZERO: VecEdge = VecEdge {
+        node: NodeId::TERMINAL,
+        weight: ComplexId::ZERO,
+    };
+
+    /// A terminal edge with the given weight (a scalar / dimension-1 vector).
+    #[inline]
+    pub fn terminal(weight: ComplexId) -> Self {
+        VecEdge {
+            node: NodeId::TERMINAL,
+            weight,
+        }
+    }
+
+    /// Whether this is the zero vector.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.weight.is_zero()
+    }
+}
+
+/// A weighted edge of a *matrix* decision diagram.
+///
+/// An edge at level `ℓ` denotes a `2^ℓ × 2^ℓ` matrix. Children are ordered
+/// row-major over (row bit, column bit): `[M00, M01, M10, M11]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MatEdge {
+    /// Target node (terminal for scalars / the zero matrix).
+    pub node: NodeId,
+    /// Interned edge weight.
+    pub weight: ComplexId,
+}
+
+impl MatEdge {
+    /// The canonical zero-matrix edge.
+    pub const ZERO: MatEdge = MatEdge {
+        node: NodeId::TERMINAL,
+        weight: ComplexId::ZERO,
+    };
+
+    /// A terminal edge with the given weight (a scalar / 1x1 matrix).
+    #[inline]
+    pub fn terminal(weight: ComplexId) -> Self {
+        MatEdge {
+            node: NodeId::TERMINAL,
+            weight,
+        }
+    }
+
+    /// Whether this is the zero matrix.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.weight.is_zero()
+    }
+}

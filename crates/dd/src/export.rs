@@ -1,0 +1,142 @@
+//! Graphviz DOT export for visual inspection of decision diagrams — the
+//! tool behind figures like the paper's Fig. 2 and Fig. 5.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::edge::{MatEdge, NodeId, VecEdge};
+use crate::manager::DdManager;
+
+impl DdManager {
+    /// Renders a vector DD as a Graphviz DOT digraph.
+    pub fn vec_to_dot(&self, e: VecEdge) -> String {
+        let mut out = String::from("digraph vectordd {\n  rankdir=TB;\n");
+        let _ = writeln!(out, "  root [shape=point];");
+        let mut names = HashMap::new();
+        self.vec_dot_node(e.node, &mut names, &mut out);
+        let w = self.complex_value(e.weight);
+        let _ = writeln!(
+            out,
+            "  root -> {} [label=\"{w}\"];",
+            dot_name(e.node, &names)
+        );
+        out.push_str("}\n");
+        out
+    }
+
+    fn vec_dot_node(
+        &self,
+        node: NodeId,
+        names: &mut HashMap<NodeId, usize>,
+        out: &mut String,
+    ) {
+        if node.is_terminal() || names.contains_key(&node) {
+            return;
+        }
+        let id = names.len();
+        names.insert(node, id);
+        let n = *self.vec_node(node);
+        let _ = writeln!(out, "  n{id} [label=\"q (level {})\"];", n.level);
+        for (i, child) in n.edges.iter().enumerate() {
+            if child.is_zero() {
+                let _ = writeln!(out, "  z{id}_{i} [label=\"0\", shape=box];");
+                let _ = writeln!(out, "  n{id} -> z{id}_{i} [style=dashed];");
+                continue;
+            }
+            self.vec_dot_node(child.node, names, out);
+            let w = self.complex_value(child.weight);
+            let _ = writeln!(
+                out,
+                "  n{id} -> {} [label=\"{}: {w}\"];",
+                dot_name(child.node, names),
+                i
+            );
+        }
+    }
+
+    /// Renders a matrix DD as a Graphviz DOT digraph.
+    pub fn mat_to_dot(&self, e: MatEdge) -> String {
+        let mut out = String::from("digraph matrixdd {\n  rankdir=TB;\n");
+        let _ = writeln!(out, "  root [shape=point];");
+        let mut names = HashMap::new();
+        self.mat_dot_node(e.node, &mut names, &mut out);
+        let w = self.complex_value(e.weight);
+        let _ = writeln!(
+            out,
+            "  root -> {} [label=\"{w}\"];",
+            dot_name(e.node, &names)
+        );
+        out.push_str("}\n");
+        out
+    }
+
+    fn mat_dot_node(
+        &self,
+        node: NodeId,
+        names: &mut HashMap<NodeId, usize>,
+        out: &mut String,
+    ) {
+        if node.is_terminal() || names.contains_key(&node) {
+            return;
+        }
+        let id = names.len();
+        names.insert(node, id);
+        let n = *self.mat_node(node);
+        let _ = writeln!(out, "  n{id} [label=\"q (level {})\"];", n.level);
+        for (i, child) in n.edges.iter().enumerate() {
+            if child.is_zero() {
+                continue;
+            }
+            self.mat_dot_node(child.node, names, out);
+            let w = self.complex_value(child.weight);
+            let _ = writeln!(
+                out,
+                "  n{id} -> {} [label=\"{:02b}: {w}\"];",
+                dot_name(child.node, names),
+                i
+            );
+        }
+    }
+}
+
+fn dot_name(node: NodeId, names: &HashMap<NodeId, usize>) -> String {
+    if node.is_terminal() {
+        "terminal".to_string()
+    } else {
+        format!("n{}", names[&node])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_dot_contains_nodes_and_root() {
+        let mut dd = DdManager::new();
+        let v = dd.vec_basis(2, 0b01);
+        let dot = dd.vec_to_dot(v);
+        assert!(dot.starts_with("digraph vectordd"));
+        assert!(dot.contains("root ->"));
+        assert!(dot.contains("level 2"));
+        assert!(dot.contains("level 1"));
+    }
+
+    #[test]
+    fn matrix_dot_renders_identity() {
+        let mut dd = DdManager::new();
+        let m = dd.mat_identity(2);
+        let dot = dd.mat_to_dot(m);
+        assert!(dot.starts_with("digraph matrixdd"));
+        // Diagonal edges labelled 00 and 11 must appear.
+        assert!(dot.contains("00:"));
+        assert!(dot.contains("11:"));
+    }
+
+    #[test]
+    fn terminal_only_edge_renders() {
+        let dd = DdManager::new();
+        let dot = dd.vec_to_dot(crate::edge::VecEdge::ZERO);
+        assert!(dot.contains("root -> terminal"));
+    }
+}

@@ -1,0 +1,533 @@
+//! The [`DdManager`]: arenas, unique tables, normalization, reference
+//! counting, and garbage collection for vector and matrix decision diagrams.
+//!
+//! All DD operations go through a manager; edges returned by one manager must
+//! never be fed to another. Nodes are arena-allocated and hash-consed through
+//! the unique tables, so structural equality of sub-diagrams is pointer
+//! (index) equality — the property that makes memoized DD operations sound.
+
+use std::collections::HashMap;
+
+use ddsim_complex::{Complex, ComplexId, ComplexTable};
+
+use crate::edge::{Level, MatEdge, NodeId, VecEdge};
+
+/// A vector-DD node: two successors (upper / lower half of the sub-vector).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct VecNode {
+    pub level: Level,
+    pub edges: [VecEdge; 2],
+}
+
+/// A matrix-DD node: four successors (the four quadrants, row-major).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct MatNode {
+    pub level: Level,
+    pub edges: [MatEdge; 4],
+}
+
+/// One arena slot; freed slots are chained through the free list.
+#[derive(Clone, Copy, Debug)]
+enum Slot<N> {
+    Occupied(N),
+    Free,
+}
+
+struct Arena<N> {
+    slots: Vec<Slot<N>>,
+    refcounts: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl<N: Copy> Arena<N> {
+    fn new() -> Self {
+        Arena {
+            slots: Vec::new(),
+            refcounts: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn get(&self, id: NodeId) -> &N {
+        match &self.slots[id.index()] {
+            Slot::Occupied(n) => n,
+            Slot::Free => panic!("use-after-free of DD node {id:?}"),
+        }
+    }
+
+    fn alloc(&mut self, node: N) -> NodeId {
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx as usize] = Slot::Occupied(node);
+            self.refcounts[idx as usize] = 0;
+            NodeId(idx)
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("DD arena overflow");
+            self.slots.push(Slot::Occupied(node));
+            self.refcounts.push(0);
+            NodeId(idx)
+        }
+    }
+
+    fn free_slot(&mut self, id: NodeId) -> N {
+        let slot = std::mem::replace(&mut self.slots[id.index()], Slot::Free);
+        self.free.push(id.0);
+        match slot {
+            Slot::Occupied(n) => n,
+            Slot::Free => panic!("double free of DD node {id:?}"),
+        }
+    }
+
+    fn live_count(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+}
+
+/// Cumulative operation statistics, used by the paper's Example-3-style
+/// traces and by the benchmark harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DdStats {
+    /// Matrix-vector multiplications performed (top-level calls).
+    pub mat_vec_mults: u64,
+    /// Matrix-matrix multiplications performed (top-level calls).
+    pub mat_mat_mults: u64,
+    /// Recursive multiply steps (both kinds), a machine-independent cost proxy.
+    pub mult_recursions: u64,
+    /// Recursive addition steps.
+    pub add_recursions: u64,
+    /// Compute-table hits across all operation caches.
+    pub compute_hits: u64,
+    /// Compute-table lookups across all operation caches.
+    pub compute_lookups: u64,
+    /// Garbage collections run.
+    pub gc_runs: u64,
+}
+
+/// Configuration for a [`DdManager`].
+#[derive(Clone, Copy, Debug)]
+pub struct DdConfig {
+    /// Numerical tolerance for unifying edge weights.
+    pub tolerance: f64,
+    /// Run garbage collection once the live node count exceeds this value
+    /// (checked only inside [`DdManager::maybe_collect`]).
+    pub gc_threshold: usize,
+}
+
+impl Default for DdConfig {
+    fn default() -> Self {
+        DdConfig {
+            tolerance: ddsim_complex::DEFAULT_TOLERANCE,
+            gc_threshold: 250_000,
+        }
+    }
+}
+
+/// Owner of all decision-diagram state: node arenas, unique tables, the
+/// complex-weight table, memoization caches, and statistics.
+///
+/// # Examples
+///
+/// ```
+/// use ddsim_dd::DdManager;
+///
+/// let mut dd = DdManager::new();
+/// let state = dd.vec_basis(3, 0b010);
+/// assert_eq!(dd.vec_node_count(state), 3);
+/// ```
+pub struct DdManager {
+    pub(crate) complex: ComplexTable,
+    vec_arena: Arena<VecNode>,
+    mat_arena: Arena<MatNode>,
+    vec_unique: HashMap<(Level, [VecEdge; 2]), NodeId>,
+    mat_unique: HashMap<(Level, [MatEdge; 4]), NodeId>,
+    pub(crate) compute: crate::compute::ComputeTables,
+    pub(crate) stats: DdStats,
+    config: DdConfig,
+}
+
+impl DdManager {
+    /// Creates a manager with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(DdConfig::default())
+    }
+
+    /// Creates a manager with an explicit configuration.
+    pub fn with_config(config: DdConfig) -> Self {
+        DdManager {
+            complex: ComplexTable::with_tolerance(config.tolerance),
+            vec_arena: Arena::new(),
+            mat_arena: Arena::new(),
+            vec_unique: HashMap::new(),
+            mat_unique: HashMap::new(),
+            compute: crate::compute::ComputeTables::new(),
+            stats: DdStats::default(),
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> DdConfig {
+        self.config
+    }
+
+    /// Cumulative operation statistics.
+    pub fn stats(&self) -> DdStats {
+        self.stats
+    }
+
+    /// Resets the statistics counters (the diagrams are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = DdStats::default();
+    }
+
+    /// Interns a raw complex value, returning its canonical id.
+    pub fn intern(&mut self, c: Complex) -> ComplexId {
+        self.complex.lookup(c)
+    }
+
+    /// The complex value behind an interned id.
+    pub fn complex_value(&self, id: ComplexId) -> Complex {
+        self.complex.value(id)
+    }
+
+    /// Number of live (allocated, not freed) vector nodes.
+    pub fn live_vec_nodes(&self) -> usize {
+        self.vec_arena.live_count()
+    }
+
+    /// Number of live (allocated, not freed) matrix nodes.
+    pub fn live_mat_nodes(&self) -> usize {
+        self.mat_arena.live_count()
+    }
+
+    /// Total entries across all memoization caches (diagnostics).
+    pub fn compute_table_entries(&self) -> usize {
+        self.compute.len()
+    }
+
+    /// Number of distinct interned edge weights (diagnostics).
+    pub fn distinct_weights(&self) -> usize {
+        self.complex.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Node access
+    // ------------------------------------------------------------------
+
+    pub(crate) fn vec_node(&self, id: NodeId) -> &VecNode {
+        self.vec_arena.get(id)
+    }
+
+    pub(crate) fn mat_node(&self, id: NodeId) -> &MatNode {
+        self.mat_arena.get(id)
+    }
+
+    /// The level of a vector edge (0 for terminal edges).
+    pub fn vec_level(&self, e: VecEdge) -> Level {
+        if e.node.is_terminal() {
+            0
+        } else {
+            self.vec_node(e.node).level
+        }
+    }
+
+    /// The level of a matrix edge (0 for terminal edges).
+    pub fn mat_level(&self, e: MatEdge) -> Level {
+        if e.node.is_terminal() {
+            0
+        } else {
+            self.mat_node(e.node).level
+        }
+    }
+
+    /// The two children of a vector edge's node, with the edge weight
+    /// already multiplied in.
+    pub(crate) fn vec_children_weighted(&mut self, e: VecEdge) -> [VecEdge; 2] {
+        debug_assert!(!e.node.is_terminal());
+        let node = *self.vec_node(e.node);
+        let mut out = node.edges;
+        for child in &mut out {
+            child.weight = self.complex.mul(e.weight, child.weight);
+        }
+        out
+    }
+
+    /// The four children of a matrix edge's node, with the edge weight
+    /// already multiplied in.
+    pub(crate) fn mat_children_weighted(&mut self, e: MatEdge) -> [MatEdge; 4] {
+        debug_assert!(!e.node.is_terminal());
+        let node = *self.mat_node(e.node);
+        let mut out = node.edges;
+        for child in &mut out {
+            child.weight = self.complex.mul(e.weight, child.weight);
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Normalizing constructors
+    // ------------------------------------------------------------------
+
+    /// Creates (or reuses) the canonical vector node at `level` with the
+    /// given children, returning a normalized edge to it.
+    ///
+    /// Normalization pushes the largest-magnitude child weight (ties broken
+    /// by child order) onto the returned edge so that structurally equal
+    /// sub-vectors (up to a scalar) share one node. Normalizing by the
+    /// *largest* weight keeps all stored weights at magnitude ≤ 1, where the
+    /// absolute unification tolerance is meaningful — normalizing by an
+    /// arbitrary (e.g. leftmost) weight lets magnitudes drift across scales
+    /// and the distinct-weight population explode.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if a nonzero child is not exactly one level
+    /// below `level` (QMDDs never skip levels).
+    pub fn make_vec_node(&mut self, level: Level, mut edges: [VecEdge; 2]) -> VecEdge {
+        debug_assert!(level >= 1);
+        for e in &edges {
+            debug_assert!(
+                e.is_zero() || self.vec_level(*e) == level - 1,
+                "child level mismatch when building vector node"
+            );
+        }
+        // Zero children must be the canonical zero edge.
+        for e in &mut edges {
+            if e.weight.is_zero() {
+                *e = VecEdge::ZERO;
+            }
+        }
+        let top = match self.pivot_weight(edges.iter().map(|e| e.weight)) {
+            Some(w) => w,
+            None => return VecEdge::ZERO,
+        };
+        for e in &mut edges {
+            if !e.is_zero() {
+                e.weight = self.complex.div(e.weight, top);
+            }
+        }
+        let key = (level, edges);
+        let node = match self.vec_unique.get(&key) {
+            Some(&id) => id,
+            None => {
+                let id = self.vec_arena.alloc(VecNode { level, edges });
+                self.vec_unique.insert(key, id);
+                // Structural references to children.
+                for e in &edges {
+                    self.inc_ref_node_vec(e.node);
+                }
+                id
+            }
+        };
+        VecEdge { node, weight: top }
+    }
+
+    /// Creates (or reuses) the canonical matrix node at `level` with the
+    /// given quadrant children, returning a normalized edge to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if a nonzero child is not exactly one level
+    /// below `level`.
+    pub fn make_mat_node(&mut self, level: Level, mut edges: [MatEdge; 4]) -> MatEdge {
+        debug_assert!(level >= 1);
+        for e in &edges {
+            debug_assert!(
+                e.is_zero() || self.mat_level(*e) == level - 1,
+                "child level mismatch when building matrix node"
+            );
+        }
+        for e in &mut edges {
+            if e.weight.is_zero() {
+                *e = MatEdge::ZERO;
+            }
+        }
+        let top = match self.pivot_weight(edges.iter().map(|e| e.weight)) {
+            Some(w) => w,
+            None => return MatEdge::ZERO,
+        };
+        for e in &mut edges {
+            if !e.is_zero() {
+                e.weight = self.complex.div(e.weight, top);
+            }
+        }
+        let key = (level, edges);
+        let node = match self.mat_unique.get(&key) {
+            Some(&id) => id,
+            None => {
+                let id = self.mat_arena.alloc(MatNode { level, edges });
+                self.mat_unique.insert(key, id);
+                for e in &edges {
+                    self.inc_ref_node_mat(e.node);
+                }
+                id
+            }
+        };
+        MatEdge { node, weight: top }
+    }
+
+    /// The normalization pivot: the first weight of strictly maximal
+    /// magnitude (`None` if all are zero). Deterministic given interned
+    /// child ids, which keeps node construction canonical.
+    fn pivot_weight(&self, weights: impl Iterator<Item = ComplexId>) -> Option<ComplexId> {
+        let mut best: Option<(ComplexId, f64)> = None;
+        for w in weights {
+            if w.is_zero() {
+                continue;
+            }
+            let mag = self.complex.value(w).norm_sqr();
+            match best {
+                Some((_, best_mag)) if best_mag >= mag => {}
+                _ => best = Some((w, mag)),
+            }
+        }
+        best.map(|(w, _)| w)
+    }
+
+    // ------------------------------------------------------------------
+    // Reference counting & garbage collection
+    // ------------------------------------------------------------------
+
+    fn inc_ref_node_vec(&mut self, id: NodeId) {
+        if !id.is_terminal() {
+            self.vec_arena.refcounts[id.index()] += 1;
+        }
+    }
+
+    fn inc_ref_node_mat(&mut self, id: NodeId) {
+        if !id.is_terminal() {
+            self.mat_arena.refcounts[id.index()] += 1;
+        }
+    }
+
+    /// Registers an external reference to a vector edge's root node,
+    /// protecting the whole sub-diagram from garbage collection.
+    pub fn inc_ref_vec(&mut self, e: VecEdge) {
+        self.inc_ref_node_vec(e.node);
+    }
+
+    /// Releases an external reference previously taken with
+    /// [`inc_ref_vec`](Self::inc_ref_vec).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node's reference count is already zero.
+    pub fn dec_ref_vec(&mut self, e: VecEdge) {
+        if !e.node.is_terminal() {
+            let rc = &mut self.vec_arena.refcounts[e.node.index()];
+            assert!(*rc > 0, "vector refcount underflow");
+            *rc -= 1;
+        }
+    }
+
+    /// Registers an external reference to a matrix edge's root node.
+    pub fn inc_ref_mat(&mut self, e: MatEdge) {
+        self.inc_ref_node_mat(e.node);
+    }
+
+    /// Releases an external reference previously taken with
+    /// [`inc_ref_mat`](Self::inc_ref_mat).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node's reference count is already zero.
+    pub fn dec_ref_mat(&mut self, e: MatEdge) {
+        if !e.node.is_terminal() {
+            let rc = &mut self.mat_arena.refcounts[e.node.index()];
+            assert!(*rc > 0, "matrix refcount underflow");
+            *rc -= 1;
+        }
+    }
+
+    /// Runs garbage collection if the live node count exceeds the configured
+    /// threshold. Returns whether a collection ran.
+    ///
+    /// Must only be called between operations: any edge not protected by an
+    /// external reference (via [`inc_ref_vec`](Self::inc_ref_vec) /
+    /// [`inc_ref_mat`](Self::inc_ref_mat)) is reclaimed.
+    pub fn maybe_collect(&mut self) -> bool {
+        if self.vec_arena.live_count() + self.mat_arena.live_count() > self.config.gc_threshold {
+            self.collect_garbage();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Unconditionally reclaims every node whose reference count is zero
+    /// (cascading), and clears all memoization caches.
+    pub fn collect_garbage(&mut self) {
+        self.stats.gc_runs += 1;
+        self.compute.clear();
+
+        // Sweep vector nodes to a fixpoint.
+        let mut worklist: Vec<u32> = (0..self.vec_arena.slots.len() as u32)
+            .filter(|&i| {
+                matches!(self.vec_arena.slots[i as usize], Slot::Occupied(_))
+                    && self.vec_arena.refcounts[i as usize] == 0
+            })
+            .collect();
+        while let Some(idx) = worklist.pop() {
+            let id = NodeId(idx);
+            if matches!(self.vec_arena.slots[idx as usize], Slot::Free)
+                || self.vec_arena.refcounts[idx as usize] != 0
+            {
+                continue;
+            }
+            let node = self.vec_arena.free_slot(id);
+            self.vec_unique.remove(&(node.level, node.edges));
+            for e in node.edges {
+                if !e.node.is_terminal() {
+                    let rc = &mut self.vec_arena.refcounts[e.node.index()];
+                    *rc -= 1;
+                    if *rc == 0 {
+                        worklist.push(e.node.0);
+                    }
+                }
+            }
+        }
+
+        // Sweep matrix nodes to a fixpoint.
+        let mut worklist: Vec<u32> = (0..self.mat_arena.slots.len() as u32)
+            .filter(|&i| {
+                matches!(self.mat_arena.slots[i as usize], Slot::Occupied(_))
+                    && self.mat_arena.refcounts[i as usize] == 0
+            })
+            .collect();
+        while let Some(idx) = worklist.pop() {
+            let id = NodeId(idx);
+            if matches!(self.mat_arena.slots[idx as usize], Slot::Free)
+                || self.mat_arena.refcounts[idx as usize] != 0
+            {
+                continue;
+            }
+            let node = self.mat_arena.free_slot(id);
+            self.mat_unique.remove(&(node.level, node.edges));
+            for e in node.edges {
+                if !e.node.is_terminal() {
+                    let rc = &mut self.mat_arena.refcounts[e.node.index()];
+                    *rc -= 1;
+                    if *rc == 0 {
+                        worklist.push(e.node.0);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Default for DdManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for DdManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DdManager")
+            .field("live_vec_nodes", &self.live_vec_nodes())
+            .field("live_mat_nodes", &self.live_mat_nodes())
+            .field("distinct_weights", &self.complex.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}

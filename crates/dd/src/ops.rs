@@ -1,0 +1,740 @@
+//! The DD operations at the heart of the paper: addition, matrix-vector
+//! multiplication (Fig. 3/4), matrix-matrix multiplication, conjugate
+//! transpose, and Kronecker products.
+//!
+//! All operations are memoized. Multiplication caches key on node-id pairs
+//! only — edge weights factor out of products, so one entry serves every
+//! weighted occurrence of the same node pair. The recursion counters in
+//! [`DdStats`](crate::DdStats) give the machine-independent cost measure the
+//! paper's Section III reasons about: MxM on two small gate DDs takes more
+//! steps *per node* but touches far fewer nodes than MxV through a large
+//! state DD.
+
+use ddsim_complex::ComplexId;
+
+use crate::edge::{MatEdge, VecEdge};
+use crate::manager::DdManager;
+
+impl DdManager {
+    // ------------------------------------------------------------------
+    // Addition
+    // ------------------------------------------------------------------
+
+    /// Adds two vector DDs of equal level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the (nonzero) operands have different levels.
+    pub fn add_vec(&mut self, a: VecEdge, b: VecEdge) -> VecEdge {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        assert_eq!(
+            self.vec_level(a),
+            self.vec_level(b),
+            "adding vectors of different levels"
+        );
+        // Commutative: canonical operand order doubles the cache hit rate.
+        let (a, b) = if (a.node, a.weight) <= (b.node, b.weight) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        // Factor the first operand's weight out so the cache key carries
+        // only the weight *ratio*.
+        let ratio = self.complex.div(b.weight, a.weight);
+        let key = (
+            VecEdge {
+                node: a.node,
+                weight: ComplexId::ONE,
+            },
+            VecEdge {
+                node: b.node,
+                weight: ratio,
+            },
+        );
+        self.stats.compute_lookups += 1;
+        if let Some(&cached) = self.compute.add_vec.get(&key) {
+            self.stats.compute_hits += 1;
+            return VecEdge {
+                node: cached.node,
+                weight: self.complex.mul(cached.weight, a.weight),
+            };
+        }
+        let result = self.add_vec_rec(key.0, key.1);
+        self.compute.add_vec.insert(key, result);
+        VecEdge {
+            node: result.node,
+            weight: self.complex.mul(result.weight, a.weight),
+        }
+    }
+
+    fn add_vec_rec(&mut self, a: VecEdge, b: VecEdge) -> VecEdge {
+        self.stats.add_recursions += 1;
+        if a.node.is_terminal() && b.node.is_terminal() {
+            return VecEdge::terminal(self.complex.add(a.weight, b.weight));
+        }
+        let level = self.vec_level(a);
+        let ac = self.vec_children_weighted(a);
+        let bc = self.vec_children_weighted(b);
+        let lo = self.add_vec_inner(ac[0], bc[0]);
+        let hi = self.add_vec_inner(ac[1], bc[1]);
+        self.make_vec_node(level, [lo, hi])
+    }
+
+    /// Like [`add_vec`](Self::add_vec) but without the level assertion
+    /// (children of validated parents are already consistent).
+    fn add_vec_inner(&mut self, a: VecEdge, b: VecEdge) -> VecEdge {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let (a, b) = if (a.node, a.weight) <= (b.node, b.weight) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let ratio = self.complex.div(b.weight, a.weight);
+        let key = (
+            VecEdge {
+                node: a.node,
+                weight: ComplexId::ONE,
+            },
+            VecEdge {
+                node: b.node,
+                weight: ratio,
+            },
+        );
+        self.stats.compute_lookups += 1;
+        if let Some(&cached) = self.compute.add_vec.get(&key) {
+            self.stats.compute_hits += 1;
+            return VecEdge {
+                node: cached.node,
+                weight: self.complex.mul(cached.weight, a.weight),
+            };
+        }
+        let result = self.add_vec_rec(key.0, key.1);
+        self.compute.add_vec.insert(key, result);
+        VecEdge {
+            node: result.node,
+            weight: self.complex.mul(result.weight, a.weight),
+        }
+    }
+
+    /// Adds two matrix DDs of equal level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the (nonzero) operands have different levels.
+    pub fn add_mat(&mut self, a: MatEdge, b: MatEdge) -> MatEdge {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        assert_eq!(
+            self.mat_level(a),
+            self.mat_level(b),
+            "adding matrices of different levels"
+        );
+        self.add_mat_inner(a, b)
+    }
+
+    fn add_mat_inner(&mut self, a: MatEdge, b: MatEdge) -> MatEdge {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let (a, b) = if (a.node, a.weight) <= (b.node, b.weight) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let ratio = self.complex.div(b.weight, a.weight);
+        let key = (
+            MatEdge {
+                node: a.node,
+                weight: ComplexId::ONE,
+            },
+            MatEdge {
+                node: b.node,
+                weight: ratio,
+            },
+        );
+        self.stats.compute_lookups += 1;
+        if let Some(&cached) = self.compute.add_mat.get(&key) {
+            self.stats.compute_hits += 1;
+            return MatEdge {
+                node: cached.node,
+                weight: self.complex.mul(cached.weight, a.weight),
+            };
+        }
+        let result = self.add_mat_rec(key.0, key.1);
+        self.compute.add_mat.insert(key, result);
+        MatEdge {
+            node: result.node,
+            weight: self.complex.mul(result.weight, a.weight),
+        }
+    }
+
+    fn add_mat_rec(&mut self, a: MatEdge, b: MatEdge) -> MatEdge {
+        self.stats.add_recursions += 1;
+        if a.node.is_terminal() && b.node.is_terminal() {
+            return MatEdge::terminal(self.complex.add(a.weight, b.weight));
+        }
+        let level = self.mat_level(a);
+        let ac = self.mat_children_weighted(a);
+        let bc = self.mat_children_weighted(b);
+        let mut children = [MatEdge::ZERO; 4];
+        for i in 0..4 {
+            children[i] = self.add_mat_inner(ac[i], bc[i]);
+        }
+        self.make_mat_node(level, children)
+    }
+
+    // ------------------------------------------------------------------
+    // Matrix-vector multiplication (the simulation step, Eq. 1)
+    // ------------------------------------------------------------------
+
+    /// Computes `M × v` (Fig. 3 of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the (nonzero) operands have different levels.
+    pub fn mat_vec_mul(&mut self, m: MatEdge, v: VecEdge) -> VecEdge {
+        if m.is_zero() || v.is_zero() {
+            return VecEdge::ZERO;
+        }
+        assert_eq!(
+            self.mat_level(m),
+            self.vec_level(v),
+            "matrix and vector levels differ"
+        );
+        self.stats.mat_vec_mults += 1;
+        self.mat_vec_inner(m, v)
+    }
+
+    fn mat_vec_inner(&mut self, m: MatEdge, v: VecEdge) -> VecEdge {
+        if m.is_zero() || v.is_zero() {
+            return VecEdge::ZERO;
+        }
+        // Weights factor out: cache on the node pair with unit tops.
+        let outer = self.complex.mul(m.weight, v.weight);
+        if m.node.is_terminal() && v.node.is_terminal() {
+            return VecEdge::terminal(outer);
+        }
+        let key = (m.node, v.node);
+        self.stats.compute_lookups += 1;
+        let unit = if let Some(&cached) = self.compute.mat_vec.get(&key) {
+            self.stats.compute_hits += 1;
+            cached
+        } else {
+            let computed = self.mat_vec_rec(m.node, v.node);
+            self.compute.mat_vec.insert(key, computed);
+            computed
+        };
+        VecEdge {
+            node: unit.node,
+            weight: self.complex.mul(unit.weight, outer),
+        }
+    }
+
+    fn mat_vec_rec(&mut self, m_node: crate::edge::NodeId, v_node: crate::edge::NodeId) -> VecEdge {
+        self.stats.mult_recursions += 1;
+        let mn = *self.mat_node(m_node);
+        let vn = *self.vec_node(v_node);
+        debug_assert_eq!(mn.level, vn.level);
+        let level = mn.level;
+        // [M00 M01; M10 M11] × [v0; v1] = [M00·v0 + M01·v1; M10·v0 + M11·v1]
+        // (the paper's Fig. 3, with the two intermediate vectors fused into
+        // pairwise additions of the sub-products).
+        let x0 = self.mat_vec_inner(mn.edges[0], vn.edges[0]);
+        let y0 = self.mat_vec_inner(mn.edges[1], vn.edges[1]);
+        let lo = self.add_vec_inner(x0, y0);
+        let x1 = self.mat_vec_inner(mn.edges[2], vn.edges[0]);
+        let y1 = self.mat_vec_inner(mn.edges[3], vn.edges[1]);
+        let hi = self.add_vec_inner(x1, y1);
+        self.make_vec_node(level, [lo, hi])
+    }
+
+    // ------------------------------------------------------------------
+    // Matrix-matrix multiplication (combining operations, Eq. 2)
+    // ------------------------------------------------------------------
+
+    /// Computes the matrix product `A × B` (apply `B` first, then `A`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the (nonzero) operands have different levels.
+    pub fn mat_mat_mul(&mut self, a: MatEdge, b: MatEdge) -> MatEdge {
+        if a.is_zero() || b.is_zero() {
+            return MatEdge::ZERO;
+        }
+        assert_eq!(
+            self.mat_level(a),
+            self.mat_level(b),
+            "matrix operand levels differ"
+        );
+        self.stats.mat_mat_mults += 1;
+        self.mat_mat_inner(a, b)
+    }
+
+    fn mat_mat_inner(&mut self, a: MatEdge, b: MatEdge) -> MatEdge {
+        if a.is_zero() || b.is_zero() {
+            return MatEdge::ZERO;
+        }
+        let outer = self.complex.mul(a.weight, b.weight);
+        if a.node.is_terminal() && b.node.is_terminal() {
+            return MatEdge::terminal(outer);
+        }
+        let key = (a.node, b.node);
+        self.stats.compute_lookups += 1;
+        let unit = if let Some(&cached) = self.compute.mat_mat.get(&key) {
+            self.stats.compute_hits += 1;
+            cached
+        } else {
+            let computed = self.mat_mat_rec(a.node, b.node);
+            self.compute.mat_mat.insert(key, computed);
+            computed
+        };
+        MatEdge {
+            node: unit.node,
+            weight: self.complex.mul(unit.weight, outer),
+        }
+    }
+
+    fn mat_mat_rec(&mut self, a_node: crate::edge::NodeId, b_node: crate::edge::NodeId) -> MatEdge {
+        self.stats.mult_recursions += 1;
+        let an = *self.mat_node(a_node);
+        let bn = *self.mat_node(b_node);
+        debug_assert_eq!(an.level, bn.level);
+        let level = an.level;
+        let mut children = [MatEdge::ZERO; 4];
+        for r in 0..2usize {
+            for c in 0..2usize {
+                // (A×B)_{rc} = A_{r0}·B_{0c} + A_{r1}·B_{1c}
+                let p0 = self.mat_mat_inner(an.edges[2 * r], bn.edges[c]);
+                let p1 = self.mat_mat_inner(an.edges[2 * r + 1], bn.edges[2 + c]);
+                children[2 * r + c] = self.add_mat_inner(p0, p1);
+            }
+        }
+        self.make_mat_node(level, children)
+    }
+
+    // ------------------------------------------------------------------
+    // Conjugate transpose
+    // ------------------------------------------------------------------
+
+    /// Computes the conjugate transpose `M†` (e.g. for inverse circuits and
+    /// unitarity checks).
+    pub fn mat_conj_transpose(&mut self, m: MatEdge) -> MatEdge {
+        if m.is_zero() {
+            return MatEdge::ZERO;
+        }
+        let w = self.complex.conj(m.weight);
+        if m.node.is_terminal() {
+            return MatEdge::terminal(w);
+        }
+        self.stats.compute_lookups += 1;
+        let unit = if let Some(&cached) = self.compute.conj_transpose.get(&m.node) {
+            self.stats.compute_hits += 1;
+            cached
+        } else {
+            let node = *self.mat_node(m.node);
+            let children = [
+                self.mat_conj_transpose(node.edges[0]),
+                // Transpose swaps the off-diagonal quadrants.
+                self.mat_conj_transpose(node.edges[2]),
+                self.mat_conj_transpose(node.edges[1]),
+                self.mat_conj_transpose(node.edges[3]),
+            ];
+            let computed = self.make_mat_node(node.level, children);
+            self.compute.conj_transpose.insert(m.node, computed);
+            computed
+        };
+        MatEdge {
+            node: unit.node,
+            weight: self.complex.mul(unit.weight, w),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Kronecker products
+    // ------------------------------------------------------------------
+
+    /// Computes `a ⊗ b` for vectors (`a` supplies the upper levels).
+    pub fn kron_vec(&mut self, a: VecEdge, b: VecEdge) -> VecEdge {
+        if a.is_zero() || b.is_zero() {
+            return VecEdge::ZERO;
+        }
+        let outer = a.weight;
+        let unit = self.kron_vec_unit(
+            VecEdge {
+                node: a.node,
+                weight: ComplexId::ONE,
+            },
+            b,
+        );
+        VecEdge {
+            node: unit.node,
+            weight: self.complex.mul(unit.weight, outer),
+        }
+    }
+
+    fn kron_vec_unit(&mut self, a: VecEdge, b: VecEdge) -> VecEdge {
+        if a.node.is_terminal() {
+            return VecEdge {
+                node: b.node,
+                weight: self.complex.mul(a.weight, b.weight),
+            };
+        }
+        let key = (a.node, b);
+        if let Some(&cached) = self.compute.kron_vec.get(&key) {
+            return cached;
+        }
+        let node = *self.vec_node(a.node);
+        let b_level = self.vec_level(b);
+        let lo = self.kron_vec_unit(node.edges[0], b);
+        let hi = self.kron_vec_unit(node.edges[1], b);
+        let result = self.make_vec_node(node.level + b_level, [lo, hi]);
+        self.compute.kron_vec.insert(key, result);
+        result
+    }
+
+    /// Computes `a ⊗ b` for matrices (`a` supplies the upper levels) — the
+    /// operation behind the paper's `H ⊗ I` example in Section II-A.
+    pub fn kron_mat(&mut self, a: MatEdge, b: MatEdge) -> MatEdge {
+        if a.is_zero() || b.is_zero() {
+            return MatEdge::ZERO;
+        }
+        let outer = a.weight;
+        let unit = self.kron_mat_unit(
+            MatEdge {
+                node: a.node,
+                weight: ComplexId::ONE,
+            },
+            b,
+        );
+        MatEdge {
+            node: unit.node,
+            weight: self.complex.mul(unit.weight, outer),
+        }
+    }
+
+    fn kron_mat_unit(&mut self, a: MatEdge, b: MatEdge) -> MatEdge {
+        if a.node.is_terminal() {
+            return MatEdge {
+                node: b.node,
+                weight: self.complex.mul(a.weight, b.weight),
+            };
+        }
+        let key = (a.node, b);
+        if let Some(&cached) = self.compute.kron_mat.get(&key) {
+            return cached;
+        }
+        let node = *self.mat_node(a.node);
+        let b_level = self.mat_level(b);
+        let mut children = [MatEdge::ZERO; 4];
+        for i in 0..4 {
+            children[i] = self.kron_mat_unit(node.edges[i], b);
+        }
+        let result = self.make_mat_node(node.level + b_level, children);
+        self.compute.kron_mat.insert(key, result);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{Control, Matrix2};
+    use ddsim_complex::Complex;
+
+    fn h_gate() -> Matrix2 {
+        let h = Complex::SQRT2_INV;
+        [[h, h], [h, -h]]
+    }
+
+    fn x_gate() -> Matrix2 {
+        [
+            [Complex::ZERO, Complex::ONE],
+            [Complex::ONE, Complex::ZERO],
+        ]
+    }
+
+    /// Dense reference multiplication for validation.
+    fn dense_mat_vec(m: &[Vec<Complex>], v: &[Complex]) -> Vec<Complex> {
+        m.iter()
+            .map(|row| {
+                row.iter()
+                    .zip(v.iter())
+                    .fold(Complex::ZERO, |acc, (a, b)| acc + *a * *b)
+            })
+            .collect()
+    }
+
+    fn dense_mat_mat(a: &[Vec<Complex>], b: &[Vec<Complex>]) -> Vec<Vec<Complex>> {
+        let n = a.len();
+        (0..n)
+            .map(|r| {
+                (0..n)
+                    .map(|c| {
+                        (0..n).fold(Complex::ZERO, |acc, k| acc + a[r][k] * b[k][c])
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn paper_example1_bell_state() {
+        // Fig. 1: |ψ⟩ = |01⟩, H on q0, CX(q0→q1) ⇒ (|01⟩ + |10⟩)/√2.
+        let mut dd = DdManager::new();
+        let v0 = dd.vec_basis(2, 0b01);
+        let h = dd.mat_single_qubit(2, 0, h_gate());
+        let cx = dd.mat_controlled(2, &[Control::pos(0)], 1, x_gate());
+        let v1 = dd.mat_vec_mul(h, v0);
+        let v2 = dd.mat_vec_mul(cx, v1);
+        let amps = dd.vec_to_amplitudes(v2);
+        let s = Complex::SQRT2_INV;
+        assert!(amps[0b00].approx_eq(Complex::ZERO, 1e-12));
+        assert!(amps[0b01].approx_eq(s, 1e-12));
+        assert!(amps[0b10].approx_eq(s, 1e-12));
+        assert!(amps[0b11].approx_eq(Complex::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn combining_matches_sequential_paper_eq1_vs_eq2() {
+        // (M2 × M1) × v == M2 × (M1 × v) — the paper's core identity.
+        let mut dd = DdManager::new();
+        let v0 = dd.vec_basis(3, 0b010);
+        let m1 = dd.mat_single_qubit(3, 0, h_gate());
+        let m2 = dd.mat_controlled(3, &[Control::pos(0)], 2, x_gate());
+
+        let seq = {
+            let t = dd.mat_vec_mul(m1, v0);
+            dd.mat_vec_mul(m2, t)
+        };
+        let combined = {
+            let p = dd.mat_mat_mul(m2, m1);
+            dd.mat_vec_mul(p, v0)
+        };
+        // Canonicity: identical states are identical edges.
+        assert_eq!(seq, combined);
+    }
+
+    #[test]
+    fn mat_vec_matches_dense_reference() {
+        let mut dd = DdManager::new();
+        let rows = vec![
+            vec![Complex::new(0.5, 0.1), Complex::ZERO, Complex::I, Complex::real(0.2)],
+            vec![Complex::ZERO, Complex::real(-1.0), Complex::ZERO, Complex::new(0.1, 0.1)],
+            vec![Complex::real(0.3), Complex::ZERO, Complex::real(0.5), Complex::ZERO],
+            vec![Complex::new(0.5, 0.5), Complex::ZERO, Complex::ZERO, Complex::real(2.0)],
+        ];
+        let v = vec![
+            Complex::new(0.1, 0.2),
+            Complex::real(0.4),
+            Complex::new(-0.3, 0.1),
+            Complex::I,
+        ];
+        let m_dd = dd.mat_from_dense(&rows);
+        let v_dd = dd.vec_from_amplitudes(&v);
+        let r_dd = dd.mat_vec_mul(m_dd, v_dd);
+        let got = dd.vec_to_amplitudes(r_dd);
+        let want = dense_mat_vec(&rows, &v);
+        for i in 0..4 {
+            assert!(got[i].approx_eq(want[i], 1e-9), "index {i}");
+        }
+    }
+
+    #[test]
+    fn mat_mat_matches_dense_reference() {
+        let mut dd = DdManager::new();
+        let a = vec![
+            vec![Complex::real(1.0), Complex::I, Complex::ZERO, Complex::ZERO],
+            vec![Complex::ZERO, Complex::real(0.5), Complex::real(0.5), Complex::ZERO],
+            vec![Complex::new(0.2, -0.1), Complex::ZERO, Complex::ONE, Complex::ZERO],
+            vec![Complex::ZERO, Complex::ZERO, Complex::ZERO, Complex::new(0.0, -1.0)],
+        ];
+        let b = vec![
+            vec![Complex::real(0.3), Complex::ZERO, Complex::ZERO, Complex::ONE],
+            vec![Complex::ZERO, Complex::I, Complex::ZERO, Complex::ZERO],
+            vec![Complex::ONE, Complex::ZERO, Complex::real(-0.5), Complex::ZERO],
+            vec![Complex::ZERO, Complex::real(0.7), Complex::ZERO, Complex::real(0.2)],
+        ];
+        let a_dd = dd.mat_from_dense(&a);
+        let b_dd = dd.mat_from_dense(&b);
+        let p_dd = dd.mat_mat_mul(a_dd, b_dd);
+        let got = dd.mat_to_dense(p_dd);
+        let want = dense_mat_mat(&a, &b);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert!(got[r][c].approx_eq(want[r][c], 1e-9), "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn addition_matches_dense_reference() {
+        let mut dd = DdManager::new();
+        let a = vec![Complex::real(0.25); 8];
+        let mut b = vec![Complex::ZERO; 8];
+        b[3] = Complex::new(0.5, -0.5);
+        b[6] = Complex::I;
+        let a_dd = dd.vec_from_amplitudes(&a);
+        let b_dd = dd.vec_from_amplitudes(&b);
+        let s_dd = dd.add_vec(a_dd, b_dd);
+        let got = dd.vec_to_amplitudes(s_dd);
+        for i in 0..8 {
+            assert!(got[i].approx_eq(a[i] + b[i], 1e-10), "index {i}");
+        }
+    }
+
+    #[test]
+    fn addition_is_commutative_on_dds() {
+        let mut dd = DdManager::new();
+        let a = dd.vec_basis(3, 1);
+        let b = dd.vec_basis(3, 5);
+        let ab = dd.add_vec(a, b);
+        let ba = dd.add_vec(b, a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn identity_is_multiplicative_neutral() {
+        let mut dd = DdManager::new();
+        let id = dd.mat_identity(4);
+        let h = dd.mat_single_qubit(4, 2, h_gate());
+        let left = dd.mat_mat_mul(id, h);
+        let right = dd.mat_mat_mul(h, id);
+        assert_eq!(left, h);
+        assert_eq!(right, h);
+
+        let v = dd.vec_basis(4, 7);
+        let iv = dd.mat_vec_mul(id, v);
+        assert_eq!(iv, v);
+    }
+
+    #[test]
+    fn hadamard_squares_to_identity() {
+        let mut dd = DdManager::new();
+        let h = dd.mat_single_qubit(3, 1, h_gate());
+        let hh = dd.mat_mat_mul(h, h);
+        let id = dd.mat_identity(3);
+        assert_eq!(hh, id);
+    }
+
+    #[test]
+    fn unitarity_u_dagger_u_is_identity() {
+        let mut dd = DdManager::new();
+        let cx = dd.mat_controlled(3, &[Control::pos(2)], 0, x_gate());
+        let h = dd.mat_single_qubit(3, 1, h_gate());
+        let u = dd.mat_mat_mul(cx, h);
+        let udag = dd.mat_conj_transpose(u);
+        let product = dd.mat_mat_mul(udag, u);
+        let id = dd.mat_identity(3);
+        assert_eq!(product, id);
+    }
+
+    #[test]
+    fn conj_transpose_is_involution() {
+        let mut dd = DdManager::new();
+        let s_gate: Matrix2 = [
+            [Complex::ONE, Complex::ZERO],
+            [Complex::ZERO, Complex::I],
+        ];
+        let m = dd.mat_single_qubit(2, 0, s_gate);
+        let back = {
+            let t = dd.mat_conj_transpose(m);
+            dd.mat_conj_transpose(t)
+        };
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn kron_matches_paper_h_tensor_i() {
+        // Section II-A: H ⊗ I₂ as the 4x4 matrix in Example 1.
+        let mut dd = DdManager::new();
+        let h1 = dd.mat_single_qubit(1, 0, h_gate());
+        let i1 = dd.mat_identity(1);
+        let hi = dd.kron_mat(h1, i1);
+        let h_top = dd.mat_single_qubit(2, 0, h_gate());
+        assert_eq!(hi, h_top);
+    }
+
+    #[test]
+    fn kron_vec_composes_basis_states() {
+        let mut dd = DdManager::new();
+        let a = dd.vec_basis(2, 0b10);
+        let b = dd.vec_basis(3, 0b011);
+        let ab = dd.kron_vec(a, b);
+        let direct = dd.vec_basis(5, 0b10011);
+        assert_eq!(ab, direct);
+    }
+
+    #[test]
+    fn multiplication_stats_are_counted() {
+        let mut dd = DdManager::new();
+        dd.reset_stats();
+        let v = dd.vec_basis(2, 0);
+        let h = dd.mat_single_qubit(2, 0, h_gate());
+        let _ = dd.mat_vec_mul(h, v);
+        let _ = dd.mat_mat_mul(h, h);
+        let stats = dd.stats();
+        assert_eq!(stats.mat_vec_mults, 1);
+        assert_eq!(stats.mat_mat_mults, 1);
+        assert!(stats.mult_recursions > 0);
+    }
+
+    #[test]
+    fn compute_cache_hits_on_repetition() {
+        let mut dd = DdManager::new();
+        let v = dd.vec_basis(6, 0);
+        let h = dd.mat_single_qubit(6, 3, h_gate());
+        let r1 = dd.mat_vec_mul(h, v);
+        let before = dd.stats().mult_recursions;
+        let r2 = dd.mat_vec_mul(h, v);
+        let after = dd.stats().mult_recursions;
+        assert_eq!(r1, r2);
+        assert_eq!(before, after, "second multiply must be fully cached");
+    }
+
+    #[test]
+    fn gc_reclaims_unreferenced_nodes() {
+        let mut dd = DdManager::new();
+        let keep = dd.vec_basis(5, 3);
+        dd.inc_ref_vec(keep);
+        // Create garbage.
+        for i in 0..20 {
+            let _ = dd.vec_basis(5, i);
+        }
+        let before = dd.live_vec_nodes();
+        dd.collect_garbage();
+        let after = dd.live_vec_nodes();
+        assert!(after < before);
+        // The protected state is intact.
+        assert!((dd.vec_norm_sqr(keep) - 1.0).abs() < 1e-12);
+        assert!(dd
+            .vec_amplitude(keep, 3)
+            .approx_eq(Complex::ONE, 1e-12));
+    }
+
+    #[test]
+    fn gc_then_rebuild_is_consistent() {
+        let mut dd = DdManager::new();
+        let a = dd.vec_basis(4, 9);
+        dd.inc_ref_vec(a);
+        dd.collect_garbage();
+        let b = dd.vec_basis(4, 9);
+        assert_eq!(a, b, "rebuilding after GC must reuse the protected nodes");
+    }
+}

@@ -1,0 +1,254 @@
+//! Dense (array-based) reference implementations.
+//!
+//! These are the "conventional" exponential representations the paper's
+//! introduction contrasts DDs against. They serve two purposes here:
+//! cross-validating every DD operation in tests, and acting as an honest
+//! array-based baseline in ablation benchmarks.
+
+use ddsim_complex::Complex;
+
+/// A dense state vector over `n` qubits (length `2^n`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseVector {
+    amplitudes: Vec<Complex>,
+}
+
+impl DenseVector {
+    /// The basis state `|index⟩` over `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^n` or `n` is 0 or too large to allocate.
+    pub fn basis(n: u32, index: u64) -> Self {
+        assert!(n >= 1 && n <= 30, "qubit count out of range for dense vector");
+        assert!(index < (1u64 << n));
+        let mut amplitudes = vec![Complex::ZERO; 1usize << n];
+        amplitudes[index as usize] = Complex::ONE;
+        DenseVector { amplitudes }
+    }
+
+    /// Wraps raw amplitudes (length must be a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two ≥ 2.
+    pub fn from_amplitudes(amplitudes: Vec<Complex>) -> Self {
+        assert!(amplitudes.len().is_power_of_two() && amplitudes.len() >= 2);
+        DenseVector { amplitudes }
+    }
+
+    /// Number of qubits.
+    pub fn qubits(&self) -> u32 {
+        self.amplitudes.len().trailing_zeros()
+    }
+
+    /// Read-only amplitudes.
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amplitudes
+    }
+
+    /// Squared L2 norm.
+    pub fn norm_sqr(&self) -> f64 {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Applies a dense matrix: `self ← m × self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions mismatch.
+    pub fn apply(&mut self, m: &DenseMatrix) {
+        assert_eq!(m.dim(), self.amplitudes.len());
+        let mut out = vec![Complex::ZERO; self.amplitudes.len()];
+        for (r, row) in m.rows.iter().enumerate() {
+            let mut acc = Complex::ZERO;
+            for (c, v) in row.iter().enumerate() {
+                if !v.is_zero() {
+                    acc += *v * self.amplitudes[c];
+                }
+            }
+            out[r] = acc;
+        }
+        self.amplitudes = out;
+    }
+
+    /// Applies the 2x2 matrix `u` to `target` with the given positive
+    /// controls, without materializing the full operator — the standard
+    /// array-simulator kernel (paper's footnote 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit index is out of range.
+    pub fn apply_single_qubit(
+        &mut self,
+        u: [[Complex; 2]; 2],
+        target: u32,
+        positive_controls: &[u32],
+    ) {
+        let n = self.qubits();
+        assert!(target < n);
+        for &c in positive_controls {
+            assert!(c < n && c != target);
+        }
+        // Qubit q occupies bit (n-1-q) of the basis index.
+        let t_bit = 1usize << (n - 1 - target);
+        let control_mask: usize = positive_controls
+            .iter()
+            .map(|&c| 1usize << (n - 1 - c))
+            .sum();
+        for i in 0..self.amplitudes.len() {
+            if i & t_bit == 0 && (i & control_mask) == control_mask {
+                let j = i | t_bit;
+                let a = self.amplitudes[i];
+                let b = self.amplitudes[j];
+                self.amplitudes[i] = u[0][0] * a + u[0][1] * b;
+                self.amplitudes[j] = u[1][0] * a + u[1][1] * b;
+            }
+        }
+    }
+}
+
+/// A dense square matrix of power-of-two dimension.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseMatrix {
+    rows: Vec<Vec<Complex>>,
+}
+
+impl DenseMatrix {
+    /// The identity over `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or too large to allocate.
+    pub fn identity(n: u32) -> Self {
+        assert!(n >= 1 && n <= 14, "qubit count out of range for dense matrix");
+        let dim = 1usize << n;
+        let mut rows = vec![vec![Complex::ZERO; dim]; dim];
+        for (i, row) in rows.iter_mut().enumerate() {
+            row[i] = Complex::ONE;
+        }
+        DenseMatrix { rows }
+    }
+
+    /// Wraps raw rows (must be square, power-of-two dimension).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-square or non-power-of-two input.
+    pub fn from_rows(rows: Vec<Vec<Complex>>) -> Self {
+        let dim = rows.len();
+        assert!(dim.is_power_of_two() && dim >= 2);
+        for row in &rows {
+            assert_eq!(row.len(), dim);
+        }
+        DenseMatrix { rows }
+    }
+
+    /// Dimension (`2^n`).
+    pub fn dim(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Read-only rows.
+    pub fn rows(&self) -> &[Vec<Complex>] {
+        &self.rows
+    }
+
+    /// Matrix product `self × other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions mismatch.
+    pub fn mul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.dim(), other.dim());
+        let dim = self.dim();
+        let mut rows = vec![vec![Complex::ZERO; dim]; dim];
+        for r in 0..dim {
+            for k in 0..dim {
+                let v = self.rows[r][k];
+                if v.is_zero() {
+                    continue;
+                }
+                for c in 0..dim {
+                    rows[r][c] += v * other.rows[k][c];
+                }
+            }
+        }
+        DenseMatrix { rows }
+    }
+
+    /// Maximum component-wise deviation from another matrix.
+    pub fn max_deviation(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!(self.dim(), other.dim());
+        let mut max = 0.0f64;
+        for (ra, rb) in self.rows.iter().zip(other.rows.iter()) {
+            for (a, b) in ra.iter().zip(rb.iter()) {
+                max = max.max((*a - *b).abs());
+            }
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h() -> [[Complex; 2]; 2] {
+        let s = Complex::SQRT2_INV;
+        [[s, s], [s, -s]]
+    }
+
+    fn x() -> [[Complex; 2]; 2] {
+        [
+            [Complex::ZERO, Complex::ONE],
+            [Complex::ONE, Complex::ZERO],
+        ]
+    }
+
+    #[test]
+    fn basis_is_normalized() {
+        let v = DenseVector::basis(4, 11);
+        assert!((v.norm_sqr() - 1.0).abs() < 1e-15);
+        assert!(v.amplitudes()[11].approx_eq(Complex::ONE, 1e-15));
+    }
+
+    #[test]
+    fn bell_state_via_kernels() {
+        // Same Example 1 flow as the DD test, on the dense backend.
+        let mut v = DenseVector::basis(2, 0b01);
+        v.apply_single_qubit(h(), 0, &[]);
+        v.apply_single_qubit(x(), 1, &[0]);
+        let s = Complex::SQRT2_INV;
+        assert!(v.amplitudes()[0b01].approx_eq(s, 1e-12));
+        assert!(v.amplitudes()[0b10].approx_eq(s, 1e-12));
+    }
+
+    #[test]
+    fn matrix_identity_is_neutral() {
+        let id = DenseMatrix::identity(3);
+        let mut v = DenseVector::basis(3, 5);
+        v.apply(&id);
+        assert!(v.amplitudes()[5].approx_eq(Complex::ONE, 1e-12));
+        let p = id.mul(&id);
+        assert!(p.max_deviation(&id) < 1e-15);
+    }
+
+    #[test]
+    fn controlled_kernel_matches_full_matrix() {
+        // CX(control 0, target 1) as kernel vs. explicit matrix.
+        let cx = DenseMatrix::from_rows(vec![
+            vec![Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::ZERO],
+            vec![Complex::ZERO, Complex::ONE, Complex::ZERO, Complex::ZERO],
+            vec![Complex::ZERO, Complex::ZERO, Complex::ZERO, Complex::ONE],
+            vec![Complex::ZERO, Complex::ZERO, Complex::ONE, Complex::ZERO],
+        ]);
+        for idx in 0..4u64 {
+            let mut a = DenseVector::basis(2, idx);
+            a.apply_single_qubit(x(), 1, &[0]);
+            let mut b = DenseVector::basis(2, idx);
+            b.apply(&cx);
+            assert_eq!(a, b, "basis input {idx}");
+        }
+    }
+}

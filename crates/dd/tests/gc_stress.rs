@@ -1,0 +1,213 @@
+//! Garbage-collection stress tests: random op interleavings with
+//! collections forced between every step must never corrupt protected
+//! diagrams.
+
+use ddsim_complex::Complex;
+use ddsim_dd::{Control, DdConfig, DdManager, Matrix2, VecEdge};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn h_gate() -> Matrix2 {
+    let s = Complex::SQRT2_INV;
+    [[s, s], [s, -s]]
+}
+
+fn x_gate() -> Matrix2 {
+    [
+        [Complex::ZERO, Complex::ONE],
+        [Complex::ONE, Complex::ZERO],
+    ]
+}
+
+fn t_gate() -> Matrix2 {
+    [
+        [Complex::ONE, Complex::ZERO],
+        [Complex::ZERO, Complex::cis(std::f64::consts::FRAC_PI_4)],
+    ]
+}
+
+/// Applies a random gate, collecting garbage after every single step, and
+/// checks the state remains normalized and reproducible.
+#[test]
+fn collect_after_every_gate_preserves_the_state() {
+    let n = 6u32;
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dd = DdManager::new();
+        let mut state = dd.vec_zero_state(n);
+        dd.inc_ref_vec(state);
+
+        let mut gate_log: Vec<(u8, u32, u32)> = Vec::new();
+        for _ in 0..60 {
+            let kind = rng.gen_range(0..3u8);
+            let target = rng.gen_range(0..n);
+            let control = (target + rng.gen_range(1..n)) % n;
+            gate_log.push((kind, target, control));
+
+            let m = match kind {
+                0 => dd.mat_single_qubit(n, target, h_gate()),
+                1 => dd.mat_single_qubit(n, target, t_gate()),
+                _ => dd.mat_controlled(n, &[Control::pos(control)], target, x_gate()),
+            };
+            let next = dd.mat_vec_mul(m, state);
+            dd.inc_ref_vec(next);
+            dd.dec_ref_vec(state);
+            state = next;
+            // The hostile part: collect after EVERY operation.
+            dd.collect_garbage();
+            let norm = dd.vec_norm_sqr(state);
+            assert!(
+                (norm - 1.0).abs() < 1e-8,
+                "seed {seed}: norm drifted to {norm}"
+            );
+        }
+
+        // Replay without mid-run collections; the final states must agree.
+        let mut dd2 = DdManager::new();
+        let mut replay = dd2.vec_zero_state(n);
+        dd2.inc_ref_vec(replay);
+        for &(kind, target, control) in &gate_log {
+            let m = match kind {
+                0 => dd2.mat_single_qubit(n, target, h_gate()),
+                1 => dd2.mat_single_qubit(n, target, t_gate()),
+                _ => dd2.mat_controlled(n, &[Control::pos(control)], target, x_gate()),
+            };
+            let next = dd2.mat_vec_mul(m, replay);
+            dd2.inc_ref_vec(next);
+            dd2.dec_ref_vec(replay);
+            replay = next;
+        }
+        for idx in 0..(1u64 << n) {
+            let a = dd.vec_amplitude(state, idx);
+            let b = dd2.vec_amplitude(replay, idx);
+            assert!(
+                a.approx_eq(b, 1e-8),
+                "seed {seed}: amplitude {idx} diverged ({a} vs {b})"
+            );
+        }
+    }
+}
+
+/// A tiny GC threshold forces constant collection through a long run.
+#[test]
+fn aggressive_gc_threshold_still_computes_correctly() {
+    let n = 5u32;
+    let config = DdConfig {
+        gc_threshold: 50, // pathologically small
+        ..DdConfig::default()
+    };
+    let mut dd = DdManager::with_config(config);
+    let mut state = dd.vec_zero_state(n);
+    dd.inc_ref_vec(state);
+    // Build a GHZ state with constant collections.
+    let h = dd.mat_single_qubit(n, 0, h_gate());
+    dd.inc_ref_mat(h);
+    let next = dd.mat_vec_mul(h, state);
+    dd.inc_ref_vec(next);
+    dd.dec_ref_vec(state);
+    state = next;
+    dd.maybe_collect();
+    for q in 1..n {
+        let cx = dd.mat_controlled(n, &[Control::pos(q - 1)], q, x_gate());
+        let next = dd.mat_vec_mul(cx, state);
+        dd.inc_ref_vec(next);
+        dd.dec_ref_vec(state);
+        state = next;
+        dd.maybe_collect();
+    }
+    let all_ones = (1u64 << n) - 1;
+    assert!((dd.vec_amplitude(state, 0).norm_sqr() - 0.5).abs() < 1e-9);
+    assert!((dd.vec_amplitude(state, all_ones).norm_sqr() - 0.5).abs() < 1e-9);
+    assert!(dd.stats().gc_runs >= 1, "tiny threshold must trigger GC at least once");
+}
+
+/// Protected matrices survive collections triggered by unrelated garbage.
+#[test]
+fn protected_matrices_survive_unrelated_churn() {
+    let n = 5u32;
+    let mut dd = DdManager::new();
+    let keep = dd.mat_controlled(n, &[Control::pos(0), Control::pos(2)], 4, x_gate());
+    dd.inc_ref_mat(keep);
+    let reference = dd.mat_to_dense(keep);
+
+    for round in 0..10 {
+        // Churn: unprotected junk.
+        for i in 0..20u64 {
+            let _ = dd.vec_basis(n, (round * 20 + i) % (1 << n));
+            let _ = dd.mat_single_qubit(n, (i % u64::from(n)) as u32, t_gate());
+        }
+        dd.collect_garbage();
+        let now = dd.mat_to_dense(keep);
+        for r in 0..(1usize << n) {
+            for c in 0..(1usize << n) {
+                assert!(
+                    now[r][c].approx_eq(reference[r][c], 1e-12),
+                    "round {round}: entry ({r},{c}) changed"
+                );
+            }
+        }
+    }
+}
+
+/// Dropping the last reference makes a diagram collectible; taking a new
+/// reference first must keep it alive.
+#[test]
+fn refcount_lifecycle() {
+    let mut dd = DdManager::new();
+    let a = dd.vec_basis(4, 9);
+    dd.inc_ref_vec(a);
+    let before = dd.live_vec_nodes();
+    dd.collect_garbage();
+    assert_eq!(dd.live_vec_nodes(), before, "referenced state must survive");
+
+    dd.dec_ref_vec(a);
+    dd.collect_garbage();
+    assert!(
+        dd.live_vec_nodes() < before,
+        "unreferenced state must be reclaimed"
+    );
+}
+
+/// Rebuilding an identical state after GC must reproduce identical
+/// amplitudes (the unique tables were properly cleaned).
+#[test]
+fn unique_table_is_consistent_after_collection() {
+    let mut dd = DdManager::new();
+    let a = dd.vec_basis(6, 33);
+    dd.inc_ref_vec(a);
+    dd.collect_garbage();
+    let b = dd.vec_basis(6, 33);
+    assert_eq!(a, b, "canonical rebuild must share the protected nodes");
+
+    dd.dec_ref_vec(a);
+    dd.collect_garbage();
+    let c = dd.vec_basis(6, 33);
+    assert!(c.weight.is_one());
+    assert!(dd.vec_amplitude(c, 33).approx_eq(Complex::ONE, 1e-12));
+}
+
+/// Zero-probability branches never resurrect freed nodes.
+#[test]
+fn collapse_then_collect_is_safe() {
+    let mut dd = DdManager::new();
+    let h = dd.mat_single_qubit(3, 0, h_gate());
+    let z = dd.vec_zero_state(3);
+    let s = dd.mat_vec_mul(h, z);
+    dd.inc_ref_vec(s);
+    let collapsed = dd.collapse(s, 0, true);
+    dd.inc_ref_vec(collapsed);
+    dd.dec_ref_vec(s);
+    dd.collect_garbage();
+    assert!((dd.vec_norm_sqr(collapsed) - 1.0).abs() < 1e-9);
+    assert!((dd.prob_one(collapsed, 0) - 1.0).abs() < 1e-9);
+}
+
+/// `VecEdge::ZERO` is inert under every lifecycle operation.
+#[test]
+fn zero_edge_is_gc_inert() {
+    let mut dd = DdManager::new();
+    dd.inc_ref_vec(VecEdge::ZERO);
+    dd.dec_ref_vec(VecEdge::ZERO);
+    dd.collect_garbage();
+    assert_eq!(dd.vec_node_count(VecEdge::ZERO), 0);
+}

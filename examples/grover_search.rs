@@ -1,0 +1,68 @@
+//! Grover's database search (the paper's Fig. 6 / Table I workload):
+//! simulate the full circuit with the *DD-repeating* strategy, read out the
+//! marked element, and compare against the general strategies.
+//!
+//! Run with `cargo run --release --example grover_search [qubits] [marked]`.
+
+use ddsim_repro::algorithms::grover::{grover_circuit, GroverInstance};
+use ddsim_repro::core::{simulate, SimOptions, Strategy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let qubits: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(13);
+    let marked: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    let inst = GroverInstance::new(qubits, marked);
+    let circuit = grover_circuit(inst);
+    println!(
+        "{}: searching 2^{} entries for {marked}, {} iterations, {} gates",
+        circuit.name(),
+        inst.search_qubits,
+        inst.iterations,
+        circuit.elementary_count()
+    );
+
+    for strategy in [
+        Strategy::Sequential,
+        Strategy::KOperations { k: 8 },
+        Strategy::DdRepeating { k: 8 },
+    ] {
+        let (sim, stats) = simulate(&circuit, SimOptions::with_strategy(strategy))?;
+        // The ancilla (bottom qubit) is in |−⟩: sum both branches.
+        let p = sim.probability_of(marked << 1) + sim.probability_of((marked << 1) | 1);
+        println!(
+            "{:<22} P(marked) = {:.4}  time = {:>10?}  MxV = {:<6} MxM = {:<6}",
+            strategy.label(),
+            p,
+            stats.wall_time,
+            stats.mat_vec_mults,
+            stats.mat_mat_mults
+        );
+    }
+
+    // Extension beyond the paper: DD-construct for Grover — oracle and
+    // diffusion built directly as DDs, one MxM for the whole iteration.
+    let outcome = ddsim_repro::core::run_grover_dd_construct(inst);
+    println!(
+        "{:<22} P(marked) = {:.4}  time = {:>10?}  MxV = {:<6} MxM = {:<6} ({} qubits)",
+        "dd-construct (ext.)",
+        outcome.probability_of_marked,
+        outcome.stats.wall_time,
+        outcome.stats.mat_vec_mults,
+        outcome.stats.mat_mat_mults,
+        outcome.qubits
+    );
+
+    // Sample measurements from the final state.
+    let (mut sim, _) = simulate(&circuit, SimOptions::default())?;
+    let mut hits = 0;
+    let shots = 100;
+    for _ in 0..shots {
+        let sample = sim.sample() >> 1; // drop the ancilla bit
+        if sample == marked {
+            hits += 1;
+        }
+    }
+    println!("measurement: {hits}/{shots} shots returned the marked element");
+    Ok(())
+}

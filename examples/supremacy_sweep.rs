@@ -1,0 +1,58 @@
+//! Sweep the combining parameter on a supremacy-style random circuit —
+//! reproducing, on one instance, the rise-and-fall shape of the paper's
+//! Figs. 8 and 9 (combining helps up to a point, then the product DDs get
+//! too large).
+//!
+//! Run with `cargo run --release --example supremacy_sweep [rows] [cols] [depth]`.
+
+use ddsim_repro::algorithms::supremacy::{supremacy_circuit, SupremacyInstance};
+use ddsim_repro::core::{simulate, SimOptions, Strategy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let rows: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let cols: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let depth: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(12);
+
+    let inst = SupremacyInstance::new(rows, cols, depth, 42);
+    let circuit = supremacy_circuit(inst);
+    println!(
+        "{}: {}x{} grid, depth {}, {} gates",
+        circuit.name(),
+        rows,
+        cols,
+        depth,
+        circuit.elementary_count()
+    );
+
+    let (_, baseline) = simulate(&circuit, SimOptions::default())?;
+    let base_secs = baseline.wall_time.as_secs_f64();
+    println!(
+        "\nsequential baseline: {:?} ({} MxV)\n",
+        baseline.wall_time, baseline.mat_vec_mults
+    );
+    println!("{:<24} {:>10} {:>8} {:>8} {:>10}", "strategy", "time", "MxV", "MxM", "speed-up");
+
+    for strategy in [
+        Strategy::KOperations { k: 2 },
+        Strategy::KOperations { k: 4 },
+        Strategy::KOperations { k: 8 },
+        Strategy::KOperations { k: 16 },
+        Strategy::MaxSize { s_max: 64 },
+        Strategy::MaxSize { s_max: 256 },
+        Strategy::MaxSize { s_max: 1024 },
+    ] {
+        let (_, stats) = simulate(&circuit, SimOptions::with_strategy(strategy))?;
+        let secs = stats.wall_time.as_secs_f64();
+        println!(
+            "{:<24} {:>10.3}s {:>8} {:>8} {:>9.2}x",
+            strategy.label(),
+            secs,
+            stats.mat_vec_mults,
+            stats.mat_mat_mults,
+            base_secs / secs
+        );
+    }
+    println!("\nexpected shape: speed-up rises for moderate combining, falls when products grow");
+    Ok(())
+}

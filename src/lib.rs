@@ -1,0 +1,17 @@
+//! Umbrella crate for the DD-based simulation reproduction.
+//!
+//! Re-exports the workspace crates so examples and integration tests can use
+//! a single dependency. See the individual crates for the actual
+//! implementation:
+//!
+//! * [`ddsim_complex`] — complex arithmetic and the tolerance-aware value table
+//! * [`ddsim_dd`] — the decision-diagram package (vector & matrix DDs)
+//! * [`ddsim_circuit`] — circuit IR and OpenQASM subset I/O
+//! * [`ddsim_algorithms`] — benchmark circuit generators (Grover, Shor, …)
+//! * [`ddsim_core`] — the simulation engine and the paper's combining strategies
+
+pub use ddsim_algorithms as algorithms;
+pub use ddsim_circuit as circuit;
+pub use ddsim_complex as complex;
+pub use ddsim_core as core;
+pub use ddsim_dd as dd;

@@ -1,0 +1,124 @@
+//! Semantic correctness of every benchmark generator, verified through the
+//! DD simulator.
+
+use ddsim_repro::algorithms::qft::qft_circuit;
+use ddsim_repro::algorithms::simple::{
+    bernstein_vazirani_circuit, deutsch_jozsa_circuit, ghz_circuit, w_state_circuit,
+    DeutschJozsaOracle,
+};
+use ddsim_repro::complex::Complex;
+use ddsim_repro::core::{simulate, SimOptions};
+
+#[test]
+fn ghz_state_is_an_equal_cat_pair() {
+    for n in [2u32, 4, 8, 12] {
+        let (sim, _) = simulate(&ghz_circuit(n), SimOptions::default()).expect("run");
+        let all_ones = (1u64 << n) - 1;
+        assert!((sim.probability_of(0) - 0.5).abs() < 1e-10, "n={n}");
+        assert!((sim.probability_of(all_ones) - 0.5).abs() < 1e-10, "n={n}");
+        // GHZ DDs are linear in n: one root plus two nodes per lower level.
+        assert_eq!(sim.state_nodes(), 2 * n as usize - 1, "n={n}");
+    }
+}
+
+#[test]
+fn qft_of_zero_is_uniform() {
+    let n = 6u32;
+    let (sim, _) = simulate(&qft_circuit(n), SimOptions::default()).expect("run");
+    let want = 1.0 / f64::from(1u32 << n);
+    for idx in 0..(1u64 << n) {
+        assert!(
+            (sim.probability_of(idx) - want).abs() < 1e-9,
+            "index {idx}: {}",
+            sim.probability_of(idx)
+        );
+    }
+    // The uniform superposition is one node per level.
+    assert_eq!(sim.state_nodes(), n as usize);
+}
+
+#[test]
+fn qft_of_basis_state_has_linear_phases() {
+    // QFT|x⟩ amplitudes: ω^{x·y}/√N with ω = e^{2πi/N}.
+    let n = 4u32;
+    let x = 5u64;
+    let mut c = ddsim_repro::circuit::Circuit::new(n);
+    for q in 0..n {
+        if (x >> (n - 1 - q)) & 1 == 1 {
+            c.x(q);
+        }
+    }
+    let qubits: Vec<u32> = (0..n).collect();
+    ddsim_repro::algorithms::qft::append_qft(&mut c, &qubits);
+    let (sim, _) = simulate(&c, SimOptions::default()).expect("run");
+    let size = 1u64 << n;
+    let scale = 1.0 / (size as f64).sqrt();
+    for y in 0..size {
+        let want = Complex::root_of_unity((x * y) as i64, n) * scale;
+        let got = sim.amplitude(y);
+        assert!(got.approx_eq(want, 1e-9), "y={y}: {got} vs {want}");
+    }
+}
+
+#[test]
+fn deutsch_jozsa_separates_constant_from_balanced() {
+    let n = 6u32;
+    // Constant: the input register must read all zeros with certainty.
+    let constant = deutsch_jozsa_circuit(n, DeutschJozsaOracle::Constant);
+    let (sim, _) = simulate(&constant, SimOptions::default()).expect("run");
+    let p_zero: f64 = sim.probability_of(0) + sim.probability_of(1);
+    assert!(p_zero > 0.999, "constant oracle: P(0…0) = {p_zero}");
+
+    // Balanced: all zeros must have probability 0.
+    let balanced =
+        deutsch_jozsa_circuit(n, DeutschJozsaOracle::BalancedParity { mask: 0b101101 });
+    let (sim, _) = simulate(&balanced, SimOptions::default()).expect("run");
+    let p_zero: f64 = sim.probability_of(0) + sim.probability_of(1);
+    assert!(p_zero < 1e-10, "balanced oracle: P(0…0) = {p_zero}");
+    // In fact the parity mask is read out deterministically (like BV).
+    let p_mask = sim.probability_of(0b101101 << 1) + sim.probability_of((0b101101 << 1) | 1);
+    assert!(p_mask > 0.999);
+}
+
+#[test]
+fn w_state_spreads_one_excitation_uniformly() {
+    for n in [2u32, 3, 5, 8] {
+        let (sim, _) = simulate(&w_state_circuit(n), SimOptions::default()).expect("run");
+        let want = 1.0 / f64::from(n);
+        let mut total = 0.0;
+        for q in 0..n {
+            let idx = 1u64 << (n - 1 - q);
+            let p = sim.probability_of(idx);
+            assert!(
+                (p - want).abs() < 1e-9,
+                "n={n}: P(excitation at {q}) = {p}, want {want}"
+            );
+            total += p;
+        }
+        assert!((total - 1.0).abs() < 1e-9, "n={n}: total {total}");
+    }
+}
+
+#[test]
+fn bernstein_vazirani_works_for_every_secret_width() {
+    for (n, secret) in [(3u32, 0b101u64), (5, 0b11111), (8, 0b10000001)] {
+        let circuit = bernstein_vazirani_circuit(n, secret);
+        let (sim, _) = simulate(&circuit, SimOptions::default()).expect("run");
+        let p = sim.probability_of(secret << 1) + sim.probability_of((secret << 1) | 1);
+        assert!(p > 0.999, "n={n}, secret={secret:b}: P = {p}");
+    }
+}
+
+#[test]
+fn qft_circuit_is_its_own_inverse_composition() {
+    let n = 5u32;
+    let qft = qft_circuit(n);
+    let iqft = qft.inverse().expect("qft is unitary");
+    let mut roundtrip = ddsim_repro::circuit::Circuit::new(n);
+    // Start from a non-trivial basis state.
+    roundtrip.x(1).x(3);
+    roundtrip.append(&qft);
+    roundtrip.append(&iqft);
+    let (sim, _) = simulate(&roundtrip, SimOptions::default()).expect("run");
+    assert!(sim.probability_of(0b01010) > 1.0 - 1e-9);
+}

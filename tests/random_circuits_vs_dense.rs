@@ -1,0 +1,128 @@
+//! Randomized cross-validation: the DD simulator under every strategy must
+//! agree with a dense array-based simulation on random circuits.
+
+use ddsim_repro::circuit::{Circuit, StandardGate};
+use ddsim_repro::complex::Complex;
+use ddsim_repro::core::{simulate, SimOptions, Strategy};
+use ddsim_repro::dd::reference::DenseVector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random circuit over `n` qubits with `gates` gates.
+fn random_circuit(n: u32, gates: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for _ in 0..gates {
+        let target = rng.gen_range(0..n);
+        match rng.gen_range(0..10) {
+            0 => c.x(target),
+            1 => c.y(target),
+            2 => c.z(target),
+            3 => c.h(target),
+            4 => c.s(target),
+            5 => c.t(target),
+            6 => c.rx(rng.gen_range(0.0..std::f64::consts::TAU), target),
+            7 => c.rz(rng.gen_range(0.0..std::f64::consts::TAU), target),
+            8 | 9 => {
+                let control = (target + rng.gen_range(1..n)) % n;
+                if rng.gen_bool(0.5) {
+                    c.cx(control, target)
+                } else {
+                    c.cz(control, target)
+                }
+            }
+            _ => unreachable!("range is 0..10"),
+        };
+    }
+    c
+}
+
+/// Dense reference simulation of a unitary-only circuit.
+fn dense_reference(c: &Circuit) -> DenseVector {
+    use ddsim_repro::circuit::Operation;
+    let mut v = DenseVector::basis(c.qubits(), 0);
+    for op in c.flattened().ops() {
+        match op {
+            Operation::Gate(g) => {
+                let controls: Vec<u32> = g.controls.iter().map(|ctl| ctl.qubit).collect();
+                v.apply_single_qubit(g.gate.matrix(), g.target, &controls);
+            }
+            other => panic!("random circuits are unitary, got {other:?}"),
+        }
+    }
+    v
+}
+
+fn check_agreement(n: u32, gates: usize, seed: u64, strategy: Strategy) {
+    let circuit = random_circuit(n, gates, seed);
+    let dense = dense_reference(&circuit);
+    let (sim, _) = simulate(&circuit, SimOptions::with_strategy(strategy)).expect("run");
+    for (i, want) in dense.amplitudes().iter().enumerate() {
+        let got = sim.amplitude(i as u64);
+        assert!(
+            got.approx_eq(*want, 1e-6),
+            "seed {seed}, {strategy}, amplitude {i}: {got} vs {want}"
+        );
+    }
+}
+
+#[test]
+fn sequential_matches_dense_on_random_circuits() {
+    for seed in 0..8 {
+        check_agreement(6, 60, seed, Strategy::Sequential);
+    }
+}
+
+#[test]
+fn k_operations_matches_dense_on_random_circuits() {
+    for seed in 0..8 {
+        check_agreement(6, 60, seed, Strategy::KOperations { k: 5 });
+    }
+}
+
+#[test]
+fn max_size_matches_dense_on_random_circuits() {
+    for seed in 0..8 {
+        check_agreement(6, 60, seed, Strategy::MaxSize { s_max: 48 });
+    }
+}
+
+#[test]
+fn deep_circuit_stays_normalized() {
+    let circuit = random_circuit(8, 400, 123);
+    let (sim, _) = simulate(&circuit, SimOptions::with_strategy(Strategy::KOperations { k: 8 }))
+        .expect("run");
+    let norm = sim.dd().vec_norm_sqr(sim.state());
+    assert!((norm - 1.0).abs() < 1e-6, "norm drifted to {norm}");
+}
+
+#[test]
+fn wide_circuit_with_diagonal_tail_is_exact() {
+    // Diagonal gates commute; an easy exactness check on a larger register.
+    let n = 12u32;
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for q in 0..n {
+        c.t(q);
+        c.z(q);
+    }
+    let (sim, _) = simulate(&c, SimOptions::with_strategy(Strategy::KOperations { k: 6 }))
+        .expect("run");
+    // Every amplitude has magnitude 2^{-n/2}.
+    let want_mag = (1.0f64 / (1u64 << n) as f64).sqrt();
+    for idx in [0u64, 1, 77, 4095] {
+        let a = sim.amplitude(idx);
+        assert!(
+            (a.abs() - want_mag).abs() < 1e-9,
+            "amplitude {idx} magnitude {}",
+            a.abs()
+        );
+    }
+    // And the T/Z phases are as predicted: phase = (π/4 + π) · popcount.
+    let idx = 0b101u64;
+    let phase = Complex::cis((std::f64::consts::FRAC_PI_4 + std::f64::consts::PI) * 2.0);
+    let want = phase * want_mag;
+    assert!(sim.amplitude(idx).approx_eq(want, 1e-9));
+}

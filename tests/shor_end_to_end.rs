@@ -1,0 +1,113 @@
+//! End-to-end Shor's algorithm: the full Beauregard 2n+3-qubit circuit
+//! simulated with the general engine (the paper's `t_sota` / `t_general`
+//! paths) must factor, and must agree with the n+1-qubit DD-construct path
+//! (`t_DD-construct`).
+
+use ddsim_repro::algorithms::numtheory::factor_from_phase;
+use ddsim_repro::algorithms::shor::{shor_circuit, ShorInstance};
+use ddsim_repro::core::{
+    run_shor_dd_construct, simulate, SimOptions, Strategy,
+};
+
+/// Runs the full Beauregard circuit and post-processes the measured phase.
+fn factor_via_circuit(inst: ShorInstance, strategy: Strategy, max_attempts: u32) -> Option<u64> {
+    let circuit = shor_circuit(inst);
+    for seed in 0..max_attempts {
+        let (sim, _) = simulate(
+            &circuit,
+            SimOptions {
+                strategy,
+                seed: u64::from(seed),
+                ..SimOptions::default()
+            },
+        )
+        .expect("matching widths");
+        let phase = sim.classical_value();
+        if let Some(f) = factor_from_phase(inst.modulus, inst.base, phase, inst.phase_bits()) {
+            return Some(f);
+        }
+    }
+    None
+}
+
+#[test]
+fn beauregard_circuit_factors_15_sequentially() {
+    let inst = ShorInstance::new(15, 7);
+    let f = factor_via_circuit(inst, Strategy::Sequential, 8).expect("factor of 15");
+    assert!(f == 3 || f == 5, "got {f}");
+}
+
+#[test]
+fn beauregard_circuit_factors_15_with_k_operations() {
+    let inst = ShorInstance::new(15, 7);
+    let f =
+        factor_via_circuit(inst, Strategy::KOperations { k: 8 }, 8).expect("factor of 15");
+    assert!(f == 3 || f == 5, "got {f}");
+}
+
+#[test]
+fn beauregard_circuit_factors_15_with_max_size() {
+    let inst = ShorInstance::new(15, 7);
+    let f =
+        factor_via_circuit(inst, Strategy::MaxSize { s_max: 128 }, 8).expect("factor of 15");
+    assert!(f == 3 || f == 5, "got {f}");
+}
+
+#[test]
+fn circuit_and_dd_construct_sample_the_same_phase_distribution() {
+    // For N=15, a=7 (order 4) the ideal phases are k/4, k ∈ {0..3}: both
+    // paths must land on (or within rounding of) multiples of 2^{2n}/4 = 64.
+    let inst = ShorInstance::new(15, 7);
+    let circuit = shor_circuit(inst);
+    let near_ideal = |x: u64| (0..=4u64).any(|k| (x as i64 - (k * 64) as i64).unsigned_abs() <= 2);
+
+    for seed in 0..6 {
+        let (sim, _) = simulate(
+            &circuit,
+            SimOptions {
+                seed,
+                ..SimOptions::default()
+            },
+        )
+        .expect("run");
+        let phase = sim.classical_value();
+        assert!(near_ideal(phase), "circuit path: phase {phase} not near k·64");
+
+        let outcome = run_shor_dd_construct(inst, seed);
+        assert!(
+            near_ideal(outcome.measured_phase),
+            "dd-construct path: phase {} not near k·64",
+            outcome.measured_phase
+        );
+    }
+}
+
+#[test]
+fn dd_construct_uses_far_fewer_qubits_and_multiplications() {
+    let inst = ShorInstance::new(21, 2);
+    let circuit = shor_circuit(inst);
+    assert_eq!(circuit.qubits(), 13); // 2n+3 with n=5
+
+    let (_, general) = simulate(
+        &circuit,
+        SimOptions::with_strategy(Strategy::KOperations { k: 8 }),
+    )
+    .expect("run");
+
+    let outcome = run_shor_dd_construct(inst, 0);
+    assert_eq!(outcome.qubits, 6); // n+1
+
+    let circuit_mults = general.mat_vec_mults + general.mat_mat_mults;
+    let construct_mults = outcome.stats.mat_vec_mults + outcome.stats.mat_mat_mults;
+    assert!(
+        construct_mults * 50 < circuit_mults,
+        "DD-construct must save orders of magnitude: {construct_mults} vs {circuit_mults}"
+    );
+}
+
+#[test]
+fn factors_21_via_full_circuit() {
+    let inst = ShorInstance::new(21, 2);
+    let f = factor_via_circuit(inst, Strategy::KOperations { k: 16 }, 10).expect("factor of 21");
+    assert!(f == 3 || f == 7, "got {f}");
+}

@@ -1,0 +1,129 @@
+//! End-to-end runs of Simon's algorithm and QAOA through the DD simulator.
+
+use ddsim_repro::algorithms::qaoa::{qaoa_maxcut_circuit, Graph, QaoaParameters};
+use ddsim_repro::algorithms::simon::{recover_secret, simon_circuit, SimonInstance};
+use ddsim_repro::core::{simulate, SimOptions, Strategy};
+
+#[test]
+fn simon_constraints_are_orthogonal_to_secret() {
+    let inst = SimonInstance::new(5, 0b10110);
+    let circuit = simon_circuit(inst);
+    let (mut sim, _) = simulate(&circuit, SimOptions::default()).expect("run");
+    for _ in 0..40 {
+        // The input register occupies the top n qubits of each sample.
+        let y = sim.sample() >> inst.n;
+        assert_eq!(
+            (y & inst.secret).count_ones() % 2,
+            0,
+            "sampled constraint y={y:b} not orthogonal to the secret"
+        );
+    }
+}
+
+#[test]
+fn simon_recovers_the_secret_from_samples() {
+    let inst = SimonInstance::new(6, 0b101101);
+    let circuit = simon_circuit(inst);
+    let (mut sim, _) = simulate(&circuit, SimOptions::default()).expect("run");
+    let mut samples = Vec::new();
+    let mut recovered = None;
+    // Expected O(n) samples; allow a generous budget before giving up.
+    for _ in 0..200 {
+        let y = sim.sample() >> inst.n;
+        if y != 0 {
+            samples.push(y);
+        }
+        if let Some(s) = recover_secret(&samples, inst.n) {
+            recovered = Some(s);
+            break;
+        }
+    }
+    assert_eq!(recovered, Some(inst.secret));
+}
+
+#[test]
+fn simon_works_under_combining_strategies() {
+    let inst = SimonInstance::new(4, 0b0110);
+    let circuit = simon_circuit(inst);
+    for strategy in [
+        Strategy::Sequential,
+        Strategy::KOperations { k: 4 },
+        Strategy::MaxSize { s_max: 64 },
+    ] {
+        let (mut sim, _) =
+            simulate(&circuit, SimOptions::with_strategy(strategy)).expect("run");
+        for _ in 0..20 {
+            let y = sim.sample() >> inst.n;
+            assert_eq!((y & inst.secret).count_ones() % 2, 0, "{strategy}");
+        }
+    }
+}
+
+/// Expected cut value of the QAOA output distribution, computed exactly
+/// from the final amplitudes.
+fn expected_cut(graph: &Graph, params: &QaoaParameters) -> f64 {
+    let circuit = qaoa_maxcut_circuit(graph, params);
+    let (sim, _) = simulate(&circuit, SimOptions::default()).expect("run");
+    let mut expectation = 0.0;
+    for a in 0..(1u64 << graph.vertices) {
+        expectation += sim.probability_of(a) * f64::from(graph.cut_value(a));
+    }
+    expectation
+}
+
+#[test]
+fn qaoa_beats_random_guessing_on_a_ring() {
+    // A coarse variational sweep (the classical outer loop of QAOA): the
+    // best (γ, β) must clearly beat random guessing and approach the p=1
+    // optimum of 3/4 of the edges on a 2-regular graph.
+    let graph = Graph::ring(6);
+    let mut best = 0.0f64;
+    for gi in 1..8 {
+        for bi in 1..8 {
+            let gamma = std::f64::consts::PI * f64::from(gi) / 8.0;
+            let beta = std::f64::consts::FRAC_PI_2 * f64::from(bi) / 8.0;
+            let params = QaoaParameters::new(vec![gamma], vec![beta]);
+            best = best.max(expected_cut(&graph, &params));
+        }
+    }
+    let m = graph.edges.len() as f64;
+    let random = m / 2.0;
+    assert!(
+        best > random + 0.5,
+        "best QAOA expectation {best:.3} vs random {random:.3}"
+    );
+    // p=1 on a ring is bounded by 3/4 of the edges (plus sweep slack).
+    assert!(best <= 0.76 * m, "best {best:.3} exceeds the p=1 bound");
+}
+
+#[test]
+fn qaoa_zero_angles_is_uniform() {
+    let graph = Graph::ring(4);
+    let params = QaoaParameters::new(vec![0.0], vec![0.0]);
+    let circuit = qaoa_maxcut_circuit(&graph, &params);
+    let (sim, _) = simulate(&circuit, SimOptions::default()).expect("run");
+    let want = 1.0 / 16.0;
+    for a in 0..16u64 {
+        assert!((sim.probability_of(a) - want).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn qaoa_strategies_agree() {
+    let graph = Graph::ring(5);
+    let params = QaoaParameters::new(vec![0.6, 0.4], vec![0.3, 0.2]);
+    let circuit = qaoa_maxcut_circuit(&graph, &params);
+    let (reference, _) = simulate(&circuit, SimOptions::default()).expect("run");
+    for strategy in [
+        Strategy::KOperations { k: 8 },
+        Strategy::MaxSize { s_max: 128 },
+        Strategy::adaptive(),
+    ] {
+        let (sim, _) = simulate(&circuit, SimOptions::with_strategy(strategy)).expect("run");
+        for a in 0..32u64 {
+            let want = reference.amplitude(a);
+            let got = sim.amplitude(a);
+            assert!(got.approx_eq(want, 1e-8), "{strategy}: amplitude {a}");
+        }
+    }
+}

@@ -35,9 +35,8 @@ impl GroverInstance {
             search_qubits < 63 && marked < (1u64 << search_qubits),
             "marked element out of range"
         );
-        let iterations =
-            ((std::f64::consts::FRAC_PI_4) * ((1u64 << search_qubits) as f64).sqrt()).floor()
-                as u32;
+        let iterations = ((std::f64::consts::FRAC_PI_4) * ((1u64 << search_qubits) as f64).sqrt())
+            .floor() as u32;
         GroverInstance {
             search_qubits,
             total_qubits,

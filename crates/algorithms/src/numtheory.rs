@@ -67,13 +67,13 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     let mut d = n - 1;
     let mut r = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         r += 1;
     }
@@ -207,19 +207,16 @@ pub fn factor_from_phase(n: u64, a: u64, x: u64, bits: u32) -> Option<u64> {
 
 /// Extracts a nontrivial factor of `n` from a verified order `r` of `a`.
 pub fn factor_from_order(n: u64, a: u64, r: u64) -> Option<u64> {
-    if r % 2 != 0 {
+    if !r.is_multiple_of(2) {
         return None;
     }
     let half = pow_mod(a, r / 2, n);
     if half == n - 1 {
         return None;
     }
-    for candidate in [gcd(half + 1, n), gcd(half.wrapping_sub(1), n)] {
-        if candidate > 1 && candidate < n {
-            return Some(candidate);
-        }
-    }
-    None
+    [gcd(half + 1, n), gcd(half.wrapping_sub(1), n)]
+        .into_iter()
+        .find(|&candidate| candidate > 1 && candidate < n)
 }
 
 #[cfg(test)]
@@ -296,9 +293,27 @@ mod tests {
         // 85/256 ≈ 1/3: convergents 0/1, 1/3, 84/253 (42/128 reduced? no:
         // continued fraction of 85/256 = [0;3,85] → 0/1, 1/3, 85/256).
         let cs = convergents(85, 8, 300);
-        assert_eq!(cs[0], Convergent { numerator: 0, denominator: 1 });
-        assert_eq!(cs[1], Convergent { numerator: 1, denominator: 3 });
-        assert_eq!(*cs.last().expect("nonempty"), Convergent { numerator: 85, denominator: 256 });
+        assert_eq!(
+            cs[0],
+            Convergent {
+                numerator: 0,
+                denominator: 1
+            }
+        );
+        assert_eq!(
+            cs[1],
+            Convergent {
+                numerator: 1,
+                denominator: 3
+            }
+        );
+        assert_eq!(
+            *cs.last().expect("nonempty"),
+            Convergent {
+                numerator: 85,
+                denominator: 256
+            }
+        );
     }
 
     #[test]

@@ -71,7 +71,12 @@ impl ShorInstance {
 
     /// The paper's benchmark name, `shor_N_a_qubits`.
     pub fn name(&self) -> String {
-        format!("shor_{}_{}_{}", self.modulus, self.base, self.total_qubits())
+        format!(
+            "shor_{}_{}_{}",
+            self.modulus,
+            self.base,
+            self.total_qubits()
+        )
     }
 }
 
@@ -285,8 +290,7 @@ mod tests {
                 }
                 Operation::Swap { a, b, controls } => {
                     for g in lower_swap(*a, *b, controls) {
-                        let controls: Vec<u32> =
-                            g.controls.iter().map(|ctl| ctl.qubit).collect();
+                        let controls: Vec<u32> = g.controls.iter().map(|ctl| ctl.qubit).collect();
                         state.apply_single_qubit(g.gate.matrix(), g.target, &controls);
                     }
                 }
@@ -325,7 +329,11 @@ mod tests {
         assert_eq!(inst.total_qubits(), 11);
         assert_eq!(inst.name(), "shor_15_7_11");
         let big = ShorInstance::new(1007, 602);
-        assert_eq!(big.total_qubits(), 23, "matches the paper's shor_1007_602_23");
+        assert_eq!(
+            big.total_qubits(),
+            23,
+            "matches the paper's shor_1007_602_23"
+        );
     }
 
     #[test]

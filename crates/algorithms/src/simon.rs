@@ -22,7 +22,7 @@ impl SimonInstance {
     /// Panics if `n` is out of range or `secret` is zero or does not fit in
     /// `n` bits.
     pub fn new(n: u32, secret: u64) -> Self {
-        assert!(n >= 2 && n <= 31, "input width out of range");
+        assert!((2..=31).contains(&n), "input width out of range");
         assert!(
             secret != 0 && secret < (1u64 << n),
             "secret must be a nonzero n-bit value"
@@ -89,8 +89,7 @@ pub mod gf2 {
         let mut rows = rows.to_vec();
         let mut rank = 0u32;
         for col in (0..n).rev() {
-            let Some(pivot_idx) =
-                (rank as usize..rows.len()).find(|&i| (rows[i] >> col) & 1 == 1)
+            let Some(pivot_idx) = (rank as usize..rows.len()).find(|&i| (rows[i] >> col) & 1 == 1)
             else {
                 continue;
             };
@@ -118,8 +117,7 @@ pub mod gf2 {
         let mut pivot_cols = Vec::new();
         let mut r = 0usize;
         for col in (0..n).rev() {
-            let Some(pivot_idx) = (r..reduced.len()).find(|&i| (reduced[i] >> col) & 1 == 1)
-            else {
+            let Some(pivot_idx) = (r..reduced.len()).find(|&i| (reduced[i] >> col) & 1 == 1) else {
                 continue;
             };
             reduced.swap(r, pivot_idx);
@@ -205,7 +203,7 @@ mod tests {
         let secret = 0b110101u64;
         // All y with y·s = 0.
         let samples: Vec<u64> = (0..64)
-            .filter(|y| (y & secret).count_ones() % 2 == 0)
+            .filter(|y| (y & secret).count_ones().is_multiple_of(2))
             .collect();
         let s = recover_secret(&samples, n).expect("full constraint set");
         assert_eq!(s, secret);

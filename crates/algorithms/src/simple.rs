@@ -31,7 +31,10 @@ pub fn ghz_circuit(n: u32) -> Circuit {
 ///
 /// Panics if `secret` does not fit in `n` bits or `n == 0`.
 pub fn bernstein_vazirani_circuit(n: u32, secret: u64) -> Circuit {
-    assert!(n >= 1 && n < 63 && secret < (1u64 << n), "secret out of range");
+    assert!(
+        (1..63).contains(&n) && secret < (1u64 << n),
+        "secret out of range"
+    );
     let mut c = Circuit::new(n + 1);
     c.set_name(format!("bv_{}", n + 1));
     for q in 0..n {
@@ -102,7 +105,7 @@ pub enum DeutschJozsaOracle {
 /// Panics if `n` is 0, too large, a balanced mask is zero, or the mask does
 /// not fit in `n` bits.
 pub fn deutsch_jozsa_circuit(n: u32, oracle: DeutschJozsaOracle) -> Circuit {
-    assert!(n >= 1 && n < 63, "input width out of range");
+    assert!((1..63).contains(&n), "input width out of range");
     if let DeutschJozsaOracle::BalancedParity { mask } = oracle {
         assert!(mask != 0, "a zero mask is constant, not balanced");
         assert!(mask < (1u64 << n), "mask out of range");

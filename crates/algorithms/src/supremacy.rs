@@ -186,7 +186,7 @@ mod tests {
     fn t_appears_before_other_single_qubit_gates() {
         let inst = SupremacyInstance::new(3, 3, 20, 5);
         let c = supremacy_circuit(inst);
-        let mut seen_t = vec![false; 9];
+        let mut seen_t = [false; 9];
         for op in c.ops() {
             if let Operation::Gate(g) = op {
                 if g.controls.is_empty() {

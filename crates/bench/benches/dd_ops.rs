@@ -3,10 +3,11 @@
 //! through a large state DD).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddsim_algorithms::grover::{grover_circuit, GroverInstance};
 use ddsim_algorithms::supremacy::{supremacy_circuit, SupremacyInstance};
 use ddsim_complex::Complex;
+use ddsim_core::{simulate, DdConfig, SimOptions};
 use ddsim_dd::{Control, DdManager, VecEdge};
-use ddsim_core::{simulate, SimOptions};
 
 fn h_gate() -> ddsim_dd::Matrix2 {
     let s = Complex::SQRT2_INV;
@@ -14,10 +15,7 @@ fn h_gate() -> ddsim_dd::Matrix2 {
 }
 
 fn x_gate() -> ddsim_dd::Matrix2 {
-    [
-        [Complex::ZERO, Complex::ONE],
-        [Complex::ONE, Complex::ZERO],
-    ]
+    [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]]
 }
 
 /// A "large" state DD: final state of a supremacy-style circuit.
@@ -60,7 +58,9 @@ fn mxv_vs_mxm(c: &mut Criterion) {
         let gate = dd.mat_controlled(n, &[Control::pos(3)], 7, x_gate());
         dd.inc_ref_mat(gate);
         b.iter(|| {
-            // Fresh manager caches would amortize; clear to measure raw cost.
+            // GC frees the previous iteration's (unreferenced) result,
+            // invalidating its cache entries, so the multiply is re-measured
+            // rather than served whole from the compute table.
             dd.collect_garbage();
             dd.mat_vec_mul(gate, state)
         });
@@ -82,5 +82,36 @@ fn mxv_vs_mxm(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, gate_construction, mxv_vs_mxm);
+/// Whole-run simulation under frequent garbage collection: many Grover
+/// iterations with a tiny `gc_threshold`, so the run's cost is dominated by
+/// how much memoized work survives each collection. Before the epoch
+/// scheme every GC emptied the compute tables; now entries whose diagrams
+/// survive keep their hits, which is exactly what this group measures
+/// against the default (rare-GC) configuration.
+fn cache_pressure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_pressure");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let circuit = grover_circuit(GroverInstance::new(9, 5));
+
+    for (label, gc_threshold) in [
+        ("gc_rare_default", 250_000usize),
+        ("gc_every_2k_nodes", 2_000),
+    ] {
+        group.bench_function(format!("grover9/{label}"), |b| {
+            let options = SimOptions {
+                dd_config: DdConfig {
+                    gc_threshold,
+                    ..DdConfig::default()
+                },
+                ..SimOptions::default()
+            };
+            b.iter(|| simulate(&circuit, options).expect("width matches"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, gate_construction, mxv_vs_mxm, cache_pressure);
 criterion_main!(benches);

@@ -14,21 +14,16 @@ fn fig8(c: &mut Criterion) {
     for workload in sweep_suite(Scale::Quick).into_iter().step_by(2) {
         let circuit = workload.circuit();
         for k in [1usize, 2, 4, 8, 16, 32] {
-            group.bench_with_input(
-                BenchmarkId::new(workload.name(), k),
-                &k,
-                |b, &k| {
-                    b.iter(|| {
-                        let strategy = if k == 1 {
-                            Strategy::Sequential
-                        } else {
-                            Strategy::KOperations { k }
-                        };
-                        simulate(&circuit, SimOptions::with_strategy(strategy))
-                            .expect("width matches")
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(workload.name(), k), &k, |b, &k| {
+                b.iter(|| {
+                    let strategy = if k == 1 {
+                        Strategy::Sequential
+                    } else {
+                        Strategy::KOperations { k }
+                    };
+                    simulate(&circuit, SimOptions::with_strategy(strategy)).expect("width matches")
+                });
+            });
         }
     }
     group.finish();

@@ -47,7 +47,10 @@ fn main() {
     }
 
     println!("\n# Ablation 2 — complex-table tolerance (supremacy_12_16, sequential)");
-    println!("{:<12} {:>12} {:>16}", "tolerance", "seconds", "final_nodes");
+    println!(
+        "{:<12} {:>12} {:>16}",
+        "tolerance", "seconds", "final_nodes"
+    );
     let workload = &suite[suite.len() - 1];
     let circuit = workload.circuit();
     for tolerance in [1e-6, 1e-8, 1e-10, 1e-12, 1e-14] {

@@ -13,11 +13,24 @@ fn main() {
     maybe_run_child();
     let options = parse_harness_options();
     let workload = match options.scale {
-        Scale::Quick => Workload::Supremacy { rows: 4, cols: 4, depth: 10, seed: 42 },
-        Scale::Paper => Workload::Supremacy { rows: 4, cols: 5, depth: 12, seed: 42 },
+        Scale::Quick => Workload::Supremacy {
+            rows: 4,
+            cols: 4,
+            depth: 10,
+            seed: 42,
+        },
+        Scale::Paper => Workload::Supremacy {
+            rows: 4,
+            cols: 5,
+            depth: 12,
+            seed: 42,
+        },
     };
     let circuit = workload.circuit();
-    println!("# Example 3 / Fig. 5 — DD sizes during simulation of {}", workload.name());
+    println!(
+        "# Example 3 / Fig. 5 — DD sizes during simulation of {}",
+        workload.name()
+    );
 
     let trace_options = |strategy| SimOptions {
         strategy,
@@ -32,7 +45,10 @@ fn main() {
     println!("\n## Sequential (Eq. 1): per-gate matrix vs. state DD sizes");
     println!("{:<8} {:>14} {:>14}", "gate", "matrix_nodes", "state_nodes");
     for t in seq.trace.iter().rev().take(12).rev() {
-        println!("{:<8} {:>14} {:>14}", t.gate_index, t.matrix_nodes, t.state_nodes);
+        println!(
+            "{:<8} {:>14} {:>14}",
+            t.gate_index, t.matrix_nodes, t.state_nodes
+        );
     }
     let avg_matrix: f64 =
         seq.trace.iter().map(|t| t.matrix_nodes as f64).sum::<f64>() / seq.trace.len() as f64;

@@ -5,8 +5,8 @@
 //! [--timeout SECS] [--seed N]`
 
 use ddsim_bench::{
-    geometric_mean_speedup, maybe_run_child, parse_harness_options, run_measured, sweep_suite,
-    Measurement,
+    geometric_mean_speedup, maybe_run_child, parse_harness_options, run_json, run_measured,
+    sweep_suite, Measurement,
 };
 
 fn main() {
@@ -28,6 +28,7 @@ fn main() {
     for w in &suite {
         let m = run_measured(w, "sequential", options.seed, options.timeout);
         println!("# baseline {:<22} {:>10}s", w.name(), m.display());
+        println!("{}", run_json(&w.name(), "sequential", &m));
         baselines.push(m);
     }
 
@@ -41,17 +42,23 @@ fn main() {
     let mut per_k_pairs: Vec<Vec<(Measurement, Measurement)>> = vec![Vec::new(); ks.len()];
     for (w, baseline) in suite.iter().zip(baselines.iter()) {
         print!("{:<22}", w.name());
+        let mut json_lines = Vec::new();
         for (ki, &k) in ks.iter().enumerate() {
-            let m = run_measured(w, &format!("kops;{k}"), options.seed, options.timeout);
+            let token = format!("kops;{k}");
+            let m = run_measured(w, &token, options.seed, options.timeout);
             let cell = match (baseline.seconds(), m.seconds()) {
                 (Some(b), Some(c)) => format!("{:.2}x", b / c),
                 (_, None) => "t/o".to_string(),
                 (None, Some(_)) => "inf".to_string(),
             };
             print!(" {cell:<9}");
+            json_lines.push(run_json(&w.name(), &token, &m));
             per_k_pairs[ki].push((baseline.clone(), m));
         }
         println!();
+        for line in json_lines {
+            println!("{line}");
+        }
     }
 
     print!("{:<22}", "AVERAGE (geo-mean)");

@@ -5,7 +5,9 @@
 //! Usage: `cargo run --release -p ddsim-bench --bin table1 [--full]
 //! [--timeout SECS] [--seed N]`
 
-use ddsim_bench::{grover_suite, maybe_run_child, parse_harness_options, run_measured, Measurement};
+use ddsim_bench::{
+    grover_suite, maybe_run_child, parse_harness_options, run_measured, Measurement,
+};
 
 fn main() {
     maybe_run_child();
@@ -35,7 +37,7 @@ fn main() {
             general = Some(match (general, m.seconds()) {
                 (None, _) => m,
                 (Some(best), Some(c)) => {
-                    if best.seconds().map_or(true, |b| c < b) {
+                    if best.seconds().is_none_or(|b| c < b) {
                         m
                     } else {
                         best

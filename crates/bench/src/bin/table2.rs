@@ -5,7 +5,9 @@
 //! Usage: `cargo run --release -p ddsim-bench --bin table2 [--full]
 //! [--timeout SECS] [--seed N]`
 
-use ddsim_bench::{maybe_run_child, parse_harness_options, run_measured, shor_suite, Measurement};
+use ddsim_bench::{
+    maybe_run_child, parse_harness_options, run_json, run_measured, shor_suite, Measurement,
+};
 
 fn main() {
     maybe_run_child();
@@ -26,14 +28,16 @@ fn main() {
 
     for w in &suite {
         let sota = run_measured(w, "sequential", options.seed, options.timeout);
+        println!("{}", run_json(&w.name(), "sequential", &sota));
 
         let mut general: Option<Measurement> = None;
         for token in ["kops;8", "kops;16", "kops;32", "maxsize;256"] {
             let m = run_measured(w, token, options.seed, options.timeout);
+            println!("{}", run_json(&w.name(), token, &m));
             general = Some(match (general, m.seconds()) {
                 (None, _) => m,
                 (Some(best), Some(c)) => {
-                    if best.seconds().map_or(true, |b| c < b) {
+                    if best.seconds().is_none_or(|b| c < b) {
                         m
                     } else {
                         best
@@ -45,6 +49,7 @@ fn main() {
         let general = general.expect("strategy sweep is non-empty");
 
         let construct = run_measured(w, "ddconstruct", options.seed, options.timeout);
+        println!("{}", run_json(&w.name(), "ddconstruct", &construct));
 
         println!(
             "{:<22} {:>12} {:>12} {:>18}",

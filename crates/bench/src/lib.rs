@@ -14,7 +14,7 @@ use ddsim_algorithms::grover::{grover_circuit, GroverInstance};
 use ddsim_algorithms::shor::{shor_circuit, ShorInstance};
 use ddsim_algorithms::supremacy::{supremacy_circuit, SupremacyInstance};
 use ddsim_circuit::Circuit;
-use ddsim_core::{run_shor_dd_construct, simulate, RunStats, SimOptions, Strategy};
+use ddsim_core::{run_shor_dd_construct, simulate, CacheStats, RunStats, SimOptions, Strategy};
 
 /// Benchmark scale: CI-friendly defaults versus paper-sized instances.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -169,20 +169,64 @@ pub fn parse_strategy(spec: &str) -> Strategy {
 pub fn sweep_suite(scale: Scale) -> Vec<Workload> {
     match scale {
         Scale::Quick => vec![
-            Workload::Grover { qubits: 13, marked: 5 },
-            Workload::Grover { qubits: 15, marked: 5 },
-            Workload::Shor { modulus: 33, base: 5 },
-            Workload::Shor { modulus: 55, base: 17 },
-            Workload::Supremacy { rows: 4, cols: 4, depth: 8, seed: 42 },
-            Workload::Supremacy { rows: 4, cols: 4, depth: 12, seed: 42 },
+            Workload::Grover {
+                qubits: 13,
+                marked: 5,
+            },
+            Workload::Grover {
+                qubits: 15,
+                marked: 5,
+            },
+            Workload::Shor {
+                modulus: 33,
+                base: 5,
+            },
+            Workload::Shor {
+                modulus: 55,
+                base: 17,
+            },
+            Workload::Supremacy {
+                rows: 4,
+                cols: 4,
+                depth: 8,
+                seed: 42,
+            },
+            Workload::Supremacy {
+                rows: 4,
+                cols: 4,
+                depth: 12,
+                seed: 42,
+            },
         ],
         Scale::Paper => vec![
-            Workload::Grover { qubits: 19, marked: 5 },
-            Workload::Grover { qubits: 21, marked: 5 },
-            Workload::Shor { modulus: 221, base: 4 },
-            Workload::Shor { modulus: 1007, base: 602 },
-            Workload::Supremacy { rows: 4, cols: 4, depth: 16, seed: 42 },
-            Workload::Supremacy { rows: 4, cols: 5, depth: 10, seed: 42 },
+            Workload::Grover {
+                qubits: 19,
+                marked: 5,
+            },
+            Workload::Grover {
+                qubits: 21,
+                marked: 5,
+            },
+            Workload::Shor {
+                modulus: 221,
+                base: 4,
+            },
+            Workload::Shor {
+                modulus: 1007,
+                base: 602,
+            },
+            Workload::Supremacy {
+                rows: 4,
+                cols: 4,
+                depth: 16,
+                seed: 42,
+            },
+            Workload::Supremacy {
+                rows: 4,
+                cols: 5,
+                depth: 10,
+                seed: 42,
+            },
         ],
     }
 }
@@ -203,18 +247,48 @@ pub fn grover_suite(scale: Scale) -> Vec<Workload> {
 pub fn shor_suite(scale: Scale) -> Vec<Workload> {
     match scale {
         Scale::Quick => vec![
-            Workload::Shor { modulus: 33, base: 5 },
-            Workload::Shor { modulus: 55, base: 17 },
-            Workload::Shor { modulus: 221, base: 4 },
+            Workload::Shor {
+                modulus: 33,
+                base: 5,
+            },
+            Workload::Shor {
+                modulus: 55,
+                base: 17,
+            },
+            Workload::Shor {
+                modulus: 221,
+                base: 4,
+            },
         ],
         Scale::Paper => vec![
-            Workload::Shor { modulus: 1007, base: 602 },
-            Workload::Shor { modulus: 1851, base: 17 },
-            Workload::Shor { modulus: 2561, base: 2409 },
-            Workload::Shor { modulus: 7361, base: 5878 },
-            Workload::Shor { modulus: 5513, base: 3591 },
-            Workload::Shor { modulus: 8193, base: 1024 },
-            Workload::Shor { modulus: 11623, base: 7531 },
+            Workload::Shor {
+                modulus: 1007,
+                base: 602,
+            },
+            Workload::Shor {
+                modulus: 1851,
+                base: 17,
+            },
+            Workload::Shor {
+                modulus: 2561,
+                base: 2409,
+            },
+            Workload::Shor {
+                modulus: 7361,
+                base: 5878,
+            },
+            Workload::Shor {
+                modulus: 5513,
+                base: 3591,
+            },
+            Workload::Shor {
+                modulus: 8193,
+                base: 1024,
+            },
+            Workload::Shor {
+                modulus: 11623,
+                base: 7531,
+            },
         ],
     }
 }
@@ -226,6 +300,9 @@ pub enum Measurement {
     Completed {
         /// Wall-clock seconds.
         seconds: f64,
+        /// Per-table cache counters as a JSON object (the child's `CACHE`
+        /// protocol line), when the run reported them.
+        cache_json: Option<String>,
     },
     /// Exceeded the timeout and was killed (the paper's `>7200.00` rows).
     TimedOut {
@@ -238,7 +315,7 @@ impl Measurement {
     /// Seconds if completed.
     pub fn seconds(&self) -> Option<f64> {
         match self {
-            Measurement::Completed { seconds } => Some(*seconds),
+            Measurement::Completed { seconds, .. } => Some(*seconds),
             Measurement::TimedOut { .. } => None,
         }
     }
@@ -246,10 +323,59 @@ impl Measurement {
     /// Formats like the paper's tables (`>7200.00` for timeouts).
     pub fn display(&self) -> String {
         match self {
-            Measurement::Completed { seconds } => format!("{seconds:.2}"),
+            Measurement::Completed { seconds, .. } => format!("{seconds:.2}"),
             Measurement::TimedOut { limit } => format!(">{limit:.2}"),
         }
     }
+}
+
+/// Serializes per-table cache counters as a JSON object (hand-rolled; the
+/// repo deliberately has no serialization dependency).
+pub fn cache_json(cache: &CacheStats) -> String {
+    let mut parts = Vec::new();
+    for (name, t) in cache.named_compute() {
+        parts.push(format!(
+            "\"{name}\":{{\"lookups\":{},\"hits\":{},\"hit_rate\":{:.4},\"collisions\":{},\"evictions\":{},\"stale\":{}}}",
+            t.lookups,
+            t.hits,
+            t.hit_rate(),
+            t.collisions,
+            t.evictions,
+            t.stale
+        ));
+    }
+    for (name, u) in cache.named_unique() {
+        parts.push(format!(
+            "\"{name}\":{{\"lookups\":{},\"hits\":{},\"hit_rate\":{:.4},\"probes\":{},\"grows\":{},\"rebuilds\":{}}}",
+            u.lookups,
+            u.hits,
+            u.hit_rate(),
+            u.probes,
+            u.grows,
+            u.rebuilds
+        ));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// One run as a self-describing JSON line for downstream tooling:
+/// benchmark, strategy, seconds (null on timeout), and the per-table
+/// `cache` object (null when the run did not report one).
+pub fn run_json(benchmark: &str, strategy: &str, m: &Measurement) -> String {
+    let (seconds, timed_out, cache) = match m {
+        Measurement::Completed {
+            seconds,
+            cache_json,
+        } => (
+            format!("{seconds:.6}"),
+            false,
+            cache_json.clone().unwrap_or_else(|| "null".to_string()),
+        ),
+        Measurement::TimedOut { limit } => (format!("{limit:.6}"), true, "null".to_string()),
+    };
+    format!(
+        "{{\"benchmark\":\"{benchmark}\",\"strategy\":\"{strategy}\",\"seconds\":{seconds},\"timed_out\":{timed_out},\"cache\":{cache}}}"
+    )
 }
 
 /// Executes one workload/strategy pair in-process and returns the stats.
@@ -292,6 +418,7 @@ pub fn maybe_run_child() {
         let started = Instant::now();
         let stats = execute(&workload, strategy, seed);
         println!("mxv={} mxm={}", stats.mat_vec_mults, stats.mat_mat_mults);
+        println!("CACHE {}", cache_json(&stats.cache));
         println!("RESULT {:.6}", started.elapsed().as_secs_f64());
         let _ = std::io::stdout().flush();
         std::process::exit(0);
@@ -347,7 +474,15 @@ pub fn run_measured(
                     .find_map(|l| l.strip_prefix("RESULT "))
                     .and_then(|s| s.trim().parse::<f64>().ok())
                     .unwrap_or_else(|| started.elapsed().as_secs_f64());
-                return Measurement::Completed { seconds };
+                let cache_json = output
+                    .lines()
+                    .rev()
+                    .find_map(|l| l.strip_prefix("CACHE "))
+                    .map(|s| s.trim().to_string());
+                return Measurement::Completed {
+                    seconds,
+                    cache_json,
+                };
             }
             Ok(None) => {
                 if started.elapsed() >= timeout {
@@ -370,9 +505,10 @@ pub fn run_measured(
 
 fn run_in_process(workload: &Workload, strategy_token: &str, seed: u64) -> Measurement {
     let started = Instant::now();
-    let _ = execute(workload, strategy_token, seed);
+    let stats = execute(workload, strategy_token, seed);
     Measurement::Completed {
         seconds: started.elapsed().as_secs_f64(),
+        cache_json: Some(cache_json(&stats.cache)),
     }
 }
 
@@ -447,9 +583,20 @@ mod tests {
     #[test]
     fn workload_spec_roundtrip() {
         for w in [
-            Workload::Grover { qubits: 15, marked: 7 },
-            Workload::Shor { modulus: 33, base: 5 },
-            Workload::Supremacy { rows: 3, cols: 4, depth: 9, seed: 1 },
+            Workload::Grover {
+                qubits: 15,
+                marked: 7,
+            },
+            Workload::Shor {
+                modulus: 33,
+                base: 5,
+            },
+            Workload::Supremacy {
+                rows: 3,
+                cols: 4,
+                depth: 9,
+                seed: 1,
+            },
         ] {
             assert_eq!(parse_workload(&w.spec()), w);
         }
@@ -470,40 +617,64 @@ mod tests {
 
     #[test]
     fn names_follow_paper_convention() {
-        assert_eq!(Workload::Grover { qubits: 23, marked: 0 }.name(), "grover_23");
         assert_eq!(
-            Workload::Shor { modulus: 1007, base: 602 }.name(),
+            Workload::Grover {
+                qubits: 23,
+                marked: 0
+            }
+            .name(),
+            "grover_23"
+        );
+        assert_eq!(
+            Workload::Shor {
+                modulus: 1007,
+                base: 602
+            }
+            .name(),
             "shor_1007_602_23"
         );
         assert_eq!(
-            Workload::Supremacy { rows: 4, cols: 5, depth: 25, seed: 0 }.name(),
+            Workload::Supremacy {
+                rows: 4,
+                cols: 5,
+                depth: 25,
+                seed: 0
+            }
+            .name(),
             "supremacy_25_20"
         );
     }
 
     #[test]
     fn execute_runs_quick_workloads() {
-        let w = Workload::Grover { qubits: 5, marked: 1 };
+        let w = Workload::Grover {
+            qubits: 5,
+            marked: 1,
+        };
         let stats = execute(&w, "sequential", 0);
         assert!(stats.mat_vec_mults > 0);
         let stats = execute(&w, "kops;4", 0);
         assert!(stats.mat_mat_mults > 0);
-        let shor = Workload::Shor { modulus: 15, base: 7 };
+        let shor = Workload::Shor {
+            modulus: 15,
+            base: 7,
+        };
         let stats = execute(&shor, "ddconstruct", 0);
         assert!(stats.mat_vec_mults > 0);
+    }
+
+    fn completed(seconds: f64) -> Measurement {
+        Measurement::Completed {
+            seconds,
+            cache_json: None,
+        }
     }
 
     #[test]
     fn geometric_mean_ignores_timeouts() {
         let pairs = vec![
-            (
-                Measurement::Completed { seconds: 4.0 },
-                Measurement::Completed { seconds: 1.0 },
-            ),
-            (
-                Measurement::Completed { seconds: 1.0 },
-                Measurement::TimedOut { limit: 10.0 },
-            ),
+            (completed(4.0), completed(1.0)),
+            (completed(1.0), Measurement::TimedOut { limit: 10.0 }),
         ];
         let g = geometric_mean_speedup(&pairs).expect("one valid pair");
         assert!((g - 4.0).abs() < 1e-12);
@@ -511,7 +682,55 @@ mod tests {
 
     #[test]
     fn measurement_display_matches_paper_format() {
-        assert_eq!(Measurement::Completed { seconds: 13.77 }.display(), "13.77");
-        assert_eq!(Measurement::TimedOut { limit: 7200.0 }.display(), ">7200.00");
+        assert_eq!(completed(13.77).display(), "13.77");
+        assert_eq!(
+            Measurement::TimedOut { limit: 7200.0 }.display(),
+            ">7200.00"
+        );
+    }
+
+    #[test]
+    fn cache_json_lists_every_table() {
+        let stats = execute(
+            &Workload::Grover {
+                qubits: 5,
+                marked: 1,
+            },
+            "sequential",
+            0,
+        );
+        let json = cache_json(&stats.cache);
+        for table in [
+            "add_vec",
+            "add_mat",
+            "mat_vec",
+            "mat_mat",
+            "conj_transpose",
+            "kron_vec",
+            "kron_mat",
+            "vec_unique",
+            "mat_unique",
+        ] {
+            assert!(json.contains(&format!("\"{table}\":{{")), "missing {table}");
+        }
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        // The gate applications must have hit the MxV cache counters.
+        assert!(stats.cache.mat_vec.lookups > 0);
+    }
+
+    #[test]
+    fn run_json_embeds_the_cache_object() {
+        let m = Measurement::Completed {
+            seconds: 1.25,
+            cache_json: Some("{\"x\":1}".to_string()),
+        };
+        let line = run_json("grover_5", "sequential", &m);
+        assert!(line.contains("\"benchmark\":\"grover_5\""));
+        assert!(line.contains("\"seconds\":1.250000"));
+        assert!(line.contains("\"timed_out\":false"));
+        assert!(line.contains("\"cache\":{\"x\":1}"));
+        let t = run_json("g", "s", &Measurement::TimedOut { limit: 60.0 });
+        assert!(t.contains("\"timed_out\":true"));
+        assert!(t.contains("\"cache\":null"));
     }
 }

@@ -128,10 +128,16 @@ impl Circuit {
     /// the registers.
     pub fn push(&mut self, op: Operation) -> &mut Self {
         if let Some(q) = op.max_qubit() {
-            assert!(q < self.n_qubits, "operation references qubit {q} out of range");
+            assert!(
+                q < self.n_qubits,
+                "operation references qubit {q} out of range"
+            );
         }
         if let Some(c) = op.max_cbit() {
-            assert!(c < self.n_cbits, "operation references cbit {c} out of range");
+            assert!(
+                c < self.n_cbits,
+                "operation references cbit {c} out of range"
+            );
         }
         self.ops.push(op);
         self
@@ -224,7 +230,11 @@ impl Circuit {
 
     /// Controlled phase gate.
     pub fn cphase(&mut self, theta: f64, control: u32, target: u32) -> &mut Self {
-        self.controlled_gate(StandardGate::Phase(theta), vec![Control::pos(control)], target)
+        self.controlled_gate(
+            StandardGate::Phase(theta),
+            vec![Control::pos(control)],
+            target,
+        )
     }
 
     /// Toffoli (doubly controlled X).
@@ -313,7 +323,10 @@ impl Circuit {
     /// Panics if `other` uses more qubits or classical bits than `self`.
     pub fn append(&mut self, other: &Circuit) -> &mut Self {
         assert!(other.n_qubits <= self.n_qubits, "appended circuit too wide");
-        assert!(other.n_cbits <= self.n_cbits, "appended circuit has too many cbits");
+        assert!(
+            other.n_cbits <= self.n_cbits,
+            "appended circuit has too many cbits"
+        );
         self.ops.extend(other.ops.iter().cloned());
         self
     }
@@ -327,7 +340,10 @@ impl Circuit {
     pub fn repeat(&mut self, body: &Circuit, times: u32) -> &mut Self {
         assert!(times >= 1, "repeat count must be positive");
         assert!(body.n_qubits <= self.n_qubits, "repeated circuit too wide");
-        assert!(body.n_cbits <= self.n_cbits, "repeated circuit has too many cbits");
+        assert!(
+            body.n_cbits <= self.n_cbits,
+            "repeated circuit has too many cbits"
+        );
         self.push(Operation::Repeat {
             body: body.ops.clone(),
             times,
@@ -426,7 +442,7 @@ mod tests {
         c.h(0).cx(0, 1).ccx(0, 1, 2).swap(1, 2).barrier().z(2);
         assert_eq!(c.ops().len(), 6);
         // swap counts 3 elementary, barrier 0.
-        assert_eq!(c.elementary_count(), 1 + 1 + 1 + 3 + 0 + 1);
+        assert_eq!(c.elementary_count(), (1 + 1 + 1 + 3) + 1);
         assert!(!c.has_nonunitary());
     }
 

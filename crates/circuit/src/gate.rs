@@ -68,8 +68,14 @@ impl StandardGate {
             }
             S => [[one, zero], [zero, i]],
             Sdg => [[one, zero], [zero, -i]],
-            T => [[one, zero], [zero, Complex::cis(std::f64::consts::FRAC_PI_4)]],
-            Tdg => [[one, zero], [zero, Complex::cis(-std::f64::consts::FRAC_PI_4)]],
+            T => [
+                [one, zero],
+                [zero, Complex::cis(std::f64::consts::FRAC_PI_4)],
+            ],
+            Tdg => [
+                [one, zero],
+                [zero, Complex::cis(-std::f64::consts::FRAC_PI_4)],
+            ],
             SqrtX => {
                 // (I + iX)/√2 up to global phase: the common convention
                 // [[(1+i)/2, (1-i)/2], [(1-i)/2, (1+i)/2]].
@@ -210,8 +216,24 @@ mod tests {
     fn all_gates() -> Vec<StandardGate> {
         use StandardGate::*;
         vec![
-            I, X, Y, Z, H, S, Sdg, T, Tdg, SqrtX, SqrtXdg, SqrtY, SqrtYdg,
-            Rx(0.37), Ry(-1.2), Rz(2.5), Phase(0.9), U(0.5, 1.5, -0.5),
+            I,
+            X,
+            Y,
+            Z,
+            H,
+            S,
+            Sdg,
+            T,
+            Tdg,
+            SqrtX,
+            SqrtXdg,
+            SqrtY,
+            SqrtYdg,
+            Rx(0.37),
+            Ry(-1.2),
+            Rz(2.5),
+            Phase(0.9),
+            U(0.5, 1.5, -0.5),
         ]
     }
 

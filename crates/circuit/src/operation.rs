@@ -133,11 +133,9 @@ impl Operation {
     pub fn max_qubit(&self) -> Option<u32> {
         match self {
             Operation::Gate(g) => Some(g.max_qubit()),
-            Operation::Swap { a, b, controls } => controls
-                .iter()
-                .map(|c| c.qubit)
-                .chain([*a, *b])
-                .max(),
+            Operation::Swap { a, b, controls } => {
+                controls.iter().map(|c| c.qubit).chain([*a, *b]).max()
+            }
             Operation::Measure { qubit, .. } | Operation::Reset { qubit } => Some(*qubit),
             Operation::Classical { gate, .. } => Some(gate.max_qubit()),
             Operation::Repeat { body, .. } => body.iter().filter_map(|op| op.max_qubit()).max(),

@@ -10,7 +10,6 @@
 
 use std::fmt;
 
-
 use crate::circuit::Circuit;
 use crate::gate::StandardGate;
 use crate::operation::{GateOp, Operation};
@@ -26,7 +25,11 @@ pub struct ParseQasmError {
 
 impl fmt::Display for ParseQasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "qasm parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -119,8 +122,12 @@ pub fn parse(source: &str) -> Result<Circuit, ParseQasmError> {
 
 fn parse_reg_decl(rest: &str, line: usize) -> Result<(String, usize), ParseQasmError> {
     let rest = rest.trim();
-    let open = rest.find('[').ok_or_else(|| err(line, "missing [ in register"))?;
-    let close = rest.find(']').ok_or_else(|| err(line, "missing ] in register"))?;
+    let open = rest
+        .find('[')
+        .ok_or_else(|| err(line, "missing [ in register"))?;
+    let close = rest
+        .find(']')
+        .ok_or_else(|| err(line, "missing ] in register"))?;
     let name = rest[..open].trim().to_string();
     let size: usize = rest[open + 1..close]
         .trim()
@@ -241,10 +248,7 @@ fn parse_gate_call(stmt: &str, line: usize) -> Result<(String, String), ParseQas
             '(' => depth += 1,
             ')' => depth = depth.saturating_sub(1),
             c if c.is_whitespace() && depth == 0 => {
-                return Ok((
-                    stmt[..i].trim().to_string(),
-                    stmt[i..].trim().to_string(),
-                ));
+                return Ok((stmt[..i].trim().to_string(), stmt[i..].trim().to_string()));
             }
             _ => {}
         }
@@ -643,10 +647,17 @@ mod tests {
         let src = "OPENQASM 2.0;\nqreg q[2];\ncreg c[1];\nh q[0];\nmeasure q[0] -> c[0];\nif (c == 1) x q[1];\nreset q[0];\n";
         let c = parse(src).expect("valid program");
         assert_eq!(c.cbits(), 1);
-        assert!(matches!(c.ops()[1], Operation::Measure { qubit: 0, cbit: 0 }));
+        assert!(matches!(
+            c.ops()[1],
+            Operation::Measure { qubit: 0, cbit: 0 }
+        ));
         assert!(matches!(
             c.ops()[2],
-            Operation::Classical { cbit: 0, value: true, .. }
+            Operation::Classical {
+                cbit: 0,
+                value: true,
+                ..
+            }
         ));
         assert!(matches!(c.ops()[3], Operation::Reset { qubit: 0 }));
     }

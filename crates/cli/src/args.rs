@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use ddsim_core::Strategy;
+use ddsim_core::{DdConfig, Strategy};
 
 /// Where the circuit comes from.
 #[derive(Clone, Debug, PartialEq)]
@@ -44,6 +44,8 @@ pub struct Args {
     pub dot_out: Option<String>,
     /// Record and print the per-step trace.
     pub trace: bool,
+    /// DD-manager tuning (table sizes, cache switch, GC threshold).
+    pub dd_config: DdConfig,
 }
 
 /// A parse failure with a user-facing message.
@@ -81,6 +83,13 @@ OPTIONS:
                              output mode [default: counts]
     --dot FILE               write the final state DD as Graphviz DOT
     --trace                  print the per-step DD-size trace
+    --ct-bits N              log2 of each compute-table capacity [default: 16]
+    --ut-bits N              log2 of the initial unique-table capacity
+                             [default: 14]
+    --no-cache               disable compute-table memoization (identical
+                             results, for ablation)
+    --gc-threshold N         live-node count that triggers garbage
+                             collection [default: 250000]
     --help                   show this text
 ";
 
@@ -97,6 +106,7 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseArgsError> {
     let mut output = OutputMode::Counts;
     let mut dot_out = None;
     let mut trace = false;
+    let mut dd_config = DdConfig::default();
 
     let mut i = 0usize;
     while i < argv.len() {
@@ -136,6 +146,27 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseArgsError> {
                 i += 1;
             }
             "--trace" => trace = true,
+            "--ct-bits" => {
+                let bits: u32 = parse_value(argv.get(i + 1), "--ct-bits")?;
+                if !(1..=28).contains(&bits) {
+                    return Err(ParseArgsError("--ct-bits must be in 1..=28".into()));
+                }
+                dd_config.compute_table_bits = bits;
+                i += 1;
+            }
+            "--ut-bits" => {
+                let bits: u32 = parse_value(argv.get(i + 1), "--ut-bits")?;
+                if !(1..=28).contains(&bits) {
+                    return Err(ParseArgsError("--ut-bits must be in 1..=28".into()));
+                }
+                dd_config.unique_table_bits = bits;
+                i += 1;
+            }
+            "--no-cache" => dd_config.cache_enabled = false,
+            "--gc-threshold" => {
+                dd_config.gc_threshold = parse_value(argv.get(i + 1), "--gc-threshold")?;
+                i += 1;
+            }
             other if !other.starts_with('-') => {
                 if source.is_some() {
                     return Err(ParseArgsError(format!(
@@ -151,9 +182,7 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseArgsError> {
         i += 1;
     }
 
-    let source = source.ok_or_else(|| {
-        ParseArgsError(format!("no circuit given\n\n{USAGE}"))
-    })?;
+    let source = source.ok_or_else(|| ParseArgsError(format!("no circuit given\n\n{USAGE}")))?;
     Ok(Args {
         source,
         strategy,
@@ -162,6 +191,7 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseArgsError> {
         output,
         dot_out,
         trace,
+        dd_config,
     })
 }
 
@@ -259,5 +289,42 @@ mod tests {
         let a = parse(&argv(&["x.qasm", "--seed", "7", "--shots", "99"])).expect("valid");
         assert_eq!(a.seed, 7);
         assert_eq!(a.shots, 99);
+    }
+
+    #[test]
+    fn dd_config_defaults() {
+        let a = parse(&argv(&["x.qasm"])).expect("valid");
+        let d = DdConfig::default();
+        assert_eq!(a.dd_config.compute_table_bits, d.compute_table_bits);
+        assert_eq!(a.dd_config.unique_table_bits, d.unique_table_bits);
+        assert!(a.dd_config.cache_enabled);
+        assert_eq!(a.dd_config.gc_threshold, d.gc_threshold);
+    }
+
+    #[test]
+    fn dd_config_flags() {
+        let a = parse(&argv(&[
+            "x.qasm",
+            "--ct-bits",
+            "12",
+            "--ut-bits",
+            "10",
+            "--no-cache",
+            "--gc-threshold",
+            "5000",
+        ]))
+        .expect("valid");
+        assert_eq!(a.dd_config.compute_table_bits, 12);
+        assert_eq!(a.dd_config.unique_table_bits, 10);
+        assert!(!a.dd_config.cache_enabled);
+        assert_eq!(a.dd_config.gc_threshold, 5000);
+    }
+
+    #[test]
+    fn rejects_out_of_range_table_bits() {
+        let e = parse(&argv(&["x.qasm", "--ct-bits", "40"])).expect_err("invalid");
+        assert!(e.0.contains("--ct-bits"));
+        let e = parse(&argv(&["x.qasm", "--ut-bits", "0"])).expect_err("invalid");
+        assert!(e.0.contains("--ut-bits"));
     }
 }

@@ -37,8 +37,8 @@ fn main() -> ExitCode {
 fn load_circuit(source: &CircuitSource) -> Result<Circuit, Box<dyn std::error::Error>> {
     match source {
         CircuitSource::QasmFile(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             Ok(qasm::parse(&text)?)
         }
         CircuitSource::Generator(spec) => Ok(generate::generate(spec)?),
@@ -63,7 +63,7 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         strategy: args.strategy,
         seed: args.seed,
         collect_trace: args.trace,
-        ..SimOptions::default()
+        dd_config: args.dd_config,
     };
     let mut sim = Simulator::with_options(circuit.qubits(), options);
     let stats = sim.run(&circuit)?;
@@ -94,13 +94,15 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             .rev()
             .map(|&b| if b { '1' } else { '0' })
             .collect();
-        println!("classical register: {bits} (decimal {})", sim.classical_value());
+        println!(
+            "classical register: {bits} (decimal {})",
+            sim.classical_value()
+        );
     }
 
     match args.output {
         OutputMode::Counts => {
-            let mut counts: Vec<(u64, u32)> =
-                sim.sample_counts(args.shots).into_iter().collect();
+            let mut counts: Vec<(u64, u32)> = sim.sample_counts(args.shots).into_iter().collect();
             counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
             println!("outcome  count  (of {} shots)", args.shots);
             for (outcome, count) in counts.iter().take(32) {
@@ -141,6 +143,33 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             println!("peak_matrix_nodes  {}", stats.peak_matrix_nodes);
             println!("final_state_nodes  {}", stats.final_state_nodes);
             println!("gc_runs            {}", stats.gc_runs);
+            for (name, t) in stats.cache.named_compute() {
+                if t.lookups == 0 {
+                    continue;
+                }
+                println!(
+                    "cache_{name:<14} lookups {} hits {} ({:.1}%) evictions {} stale {}",
+                    t.lookups,
+                    t.hits,
+                    100.0 * t.hit_rate(),
+                    t.evictions,
+                    t.stale
+                );
+            }
+            for (name, u) in stats.cache.named_unique() {
+                if u.lookups == 0 {
+                    continue;
+                }
+                println!(
+                    "{name:<20} lookups {} hits {} ({:.1}%) probes {} grows {} rebuilds {}",
+                    u.lookups,
+                    u.hits,
+                    100.0 * u.hit_rate(),
+                    u.probes,
+                    u.grows,
+                    u.rebuilds
+                );
+            }
         }
     }
 

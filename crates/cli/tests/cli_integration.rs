@@ -21,7 +21,15 @@ fn generates_and_reports_stats() {
 #[test]
 fn counts_mode_shows_ghz_outcomes() {
     let output = ddsim()
-        .args(["--generate", "ghz:4", "--counts", "--shots", "64", "--seed", "3"])
+        .args([
+            "--generate",
+            "ghz:4",
+            "--counts",
+            "--shots",
+            "64",
+            "--seed",
+            "3",
+        ])
         .output()
         .expect("binary runs");
     assert!(output.status.success());
@@ -57,11 +65,8 @@ fn qasm_file_roundtrip() {
     let dir = std::env::temp_dir().join("ddsim_cli_test");
     std::fs::create_dir_all(&dir).expect("mkdir");
     let path = dir.join("bell.qasm");
-    std::fs::write(
-        &path,
-        "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n",
-    )
-    .expect("write qasm");
+    std::fs::write(&path, "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n")
+        .expect("write qasm");
     let output = ddsim()
         .args([path.to_str().expect("utf-8 path"), "--stats"])
         .output()

@@ -151,7 +151,10 @@ impl ComplexTable {
     /// Panics if `c` is not finite — non-finite edge weights indicate a bug
     /// upstream (e.g. division by a zero weight) and must not be interned.
     pub fn lookup(&mut self, c: Complex) -> ComplexId {
-        assert!(c.is_finite(), "cannot intern non-finite complex value {c:?}");
+        assert!(
+            c.is_finite(),
+            "cannot intern non-finite complex value {c:?}"
+        );
         if c.approx_zero(self.tolerance) {
             return ComplexId::ZERO;
         }
@@ -161,7 +164,10 @@ impl ComplexTable {
         let (qre, qim) = self.grid_coords(c);
         for dre in -1..=1 {
             for dim in -1..=1 {
-                if let Some(ids) = self.buckets.get(&(qre + dre, qim + dim)) {
+                // Saturating: huge values (e.g. weight ratios across many
+                // magnitude scales) clamp `grid_coords` to the i64 edge.
+                let key = (qre.saturating_add(dre), qim.saturating_add(dim));
+                if let Some(ids) = self.buckets.get(&key) {
                     for &raw in ids {
                         if self.matches(self.values[raw as usize], c) {
                             return ComplexId(raw);

@@ -42,7 +42,8 @@ pub struct SimOptions {
     /// Record a per-step [`StepTrace`] (costs one DD traversal per applied
     /// multiplication).
     pub collect_trace: bool,
-    /// DD-manager configuration (tolerance, GC threshold).
+    /// DD-manager configuration (tolerance, GC threshold, table capacities,
+    /// cache switch).
     pub dd_config: DdConfig,
 }
 
@@ -386,10 +387,7 @@ impl Simulator {
             }
             Strategy::MaxSize { s_max } => {
                 self.accumulate(m);
-                let nodes = self
-                    .pending
-                    .map(|p| self.dd.mat_node_count(p))
-                    .unwrap_or(0);
+                let nodes = self.pending.map(|p| self.dd.mat_node_count(p)).unwrap_or(0);
                 if nodes > self.stats.peak_matrix_nodes {
                     self.stats.peak_matrix_nodes = nodes;
                 }
@@ -399,19 +397,15 @@ impl Simulator {
             }
             Strategy::Adaptive { ratio_millis, cap } => {
                 self.accumulate(m);
-                let nodes = self
-                    .pending
-                    .map(|p| self.dd.mat_node_count(p))
-                    .unwrap_or(0);
+                let nodes = self.pending.map(|p| self.dd.mat_node_count(p)).unwrap_or(0);
                 if nodes > self.stats.peak_matrix_nodes {
                     self.stats.peak_matrix_nodes = nodes;
                 }
                 // Section III's condition: combining pays while the product
                 // DD stays small relative to the state DD it would
                 // otherwise be multiplied into repeatedly.
-                let budget = (self.cached_state_nodes as u64)
-                    .saturating_mul(u64::from(ratio_millis))
-                    / 1000;
+                let budget =
+                    (self.cached_state_nodes as u64).saturating_mul(u64::from(ratio_millis)) / 1000;
                 if nodes as u64 > budget.max(4) || nodes > cap {
                     self.flush();
                 }
@@ -441,7 +435,8 @@ impl Simulator {
         if let Some(p) = self.pending.take() {
             let gates = self.pending_gates;
             self.pending_gates = 0;
-            if self.options.collect_trace || matches!(self.options.strategy, Strategy::MaxSize { .. })
+            if self.options.collect_trace
+                || matches!(self.options.strategy, Strategy::MaxSize { .. })
             {
                 let nodes = self.dd.mat_node_count(p);
                 if nodes > self.stats.peak_matrix_nodes {
@@ -496,7 +491,14 @@ impl Simulator {
 
     fn collect_if_needed(&mut self) {
         // `pending` and `state` hold references, so collection is safe here.
-        self.dd.maybe_collect();
+        // The collection gets its own stats window: it runs outside the
+        // multiply windows, and without this its gc_runs / unique-table
+        // rebuild counts would never reach RunStats.
+        let before = self.dd.stats();
+        if self.dd.maybe_collect() {
+            let after = self.dd.stats();
+            self.stats.absorb_dd_delta(before, after);
+        }
     }
 }
 

@@ -167,10 +167,7 @@ pub fn mat_equivalence(dd: &mut DdManager, a: MatEdge, b: MatEdge) -> Equivalenc
 /// # Ok(())
 /// # }
 /// ```
-pub fn check_equivalence(
-    a: &Circuit,
-    b: &Circuit,
-) -> Result<Equivalence, CheckEquivalenceError> {
+pub fn check_equivalence(a: &Circuit, b: &Circuit) -> Result<Equivalence, CheckEquivalenceError> {
     if a.qubits() != b.qubits() {
         return Err(CheckEquivalenceError::WidthMismatch);
     }
@@ -271,7 +268,10 @@ mod tests {
         repeated.repeat(&body, 2);
         let mut direct = Circuit::new(1);
         direct.s(0);
-        assert_eq!(check_equivalence(&repeated, &direct), Ok(Equivalence::Equal));
+        assert_eq!(
+            check_equivalence(&repeated, &direct),
+            Ok(Equivalence::Equal)
+        );
     }
 
     #[test]

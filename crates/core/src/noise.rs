@@ -56,11 +56,7 @@ impl NoisyEnsemble {
 /// Inserts random Pauli errors into a copy of the circuit according to the
 /// noise model (one trajectory). Exposed so callers can inspect or re-run
 /// an interesting trajectory.
-pub fn sample_noisy_circuit(
-    circuit: &Circuit,
-    noise: DepolarizingNoise,
-    seed: u64,
-) -> Circuit {
+pub fn sample_noisy_circuit(circuit: &Circuit, noise: DepolarizingNoise, seed: u64) -> Circuit {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut noisy = Circuit::with_cbits(circuit.qubits(), circuit.cbits());
     noisy.set_name(format!("{}_noisy_{seed}", circuit.name()));
@@ -68,12 +64,7 @@ pub fn sample_noisy_circuit(
     noisy
 }
 
-fn insert_noise(
-    ops: &[Operation],
-    noise: DepolarizingNoise,
-    rng: &mut StdRng,
-    out: &mut Circuit,
-) {
+fn insert_noise(ops: &[Operation], noise: DepolarizingNoise, rng: &mut StdRng, out: &mut Circuit) {
     for op in ops {
         out.push(op.clone());
         let touched: Vec<u32> = match op {
@@ -83,11 +74,9 @@ fn insert_noise(
                 .map(|c| c.qubit)
                 .chain(std::iter::once(g.target))
                 .collect(),
-            Operation::Swap { a, b, controls } => controls
-                .iter()
-                .map(|c| c.qubit)
-                .chain([*a, *b])
-                .collect(),
+            Operation::Swap { a, b, controls } => {
+                controls.iter().map(|c| c.qubit).chain([*a, *b]).collect()
+            }
             _ => Vec::new(),
         };
         for q in touched {
@@ -176,8 +165,7 @@ mod tests {
     fn noiseless_ensemble_reproduces_bell_statistics() {
         let mut c = Circuit::new(2);
         c.h(0).cx(0, 1);
-        let ensemble =
-            run_noisy_ensemble(&c, DepolarizingNoise::new(0.0), 200, 7).expect("run");
+        let ensemble = run_noisy_ensemble(&c, DepolarizingNoise::new(0.0), 200, 7).expect("run");
         let p00 = ensemble.probability_of(0b00);
         let p11 = ensemble.probability_of(0b11);
         assert!((p00 + p11 - 1.0).abs() < 1e-9, "only correlated outcomes");

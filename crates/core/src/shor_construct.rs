@@ -46,10 +46,7 @@ fn h_matrix() -> Matrix2 {
 }
 
 fn x_matrix() -> Matrix2 {
-    [
-        [Complex::ZERO, Complex::ONE],
-        [Complex::ONE, Complex::ZERO],
-    ]
+    [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]]
 }
 
 /// The semiclassical, direct-DD order-finding simulator.

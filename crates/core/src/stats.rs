@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use ddsim_dd::DdStats;
+use ddsim_dd::{CacheStats, DdStats};
 
 /// DD sizes observed around one applied multiplication — the data behind
 /// the paper's Fig. 5 comparison of intermediate representations.
@@ -42,6 +42,8 @@ pub struct RunStats {
     pub final_state_nodes: usize,
     /// Garbage collections run.
     pub gc_runs: u64,
+    /// Per-table cache counters (compute and unique tables).
+    pub cache: CacheStats,
     /// Optional per-step trace (populated when requested).
     pub trace: Vec<StepTrace>,
 }
@@ -54,6 +56,7 @@ impl RunStats {
         self.mult_recursions += after.mult_recursions - before.mult_recursions;
         self.add_recursions += after.add_recursions - before.add_recursions;
         self.gc_runs += after.gc_runs - before.gc_runs;
+        self.cache.accumulate(&after.cache.delta(&before.cache));
     }
 }
 
@@ -72,7 +75,11 @@ mod tests {
             compute_hits: 0,
             compute_lookups: 0,
             gc_runs: 0,
+            ..DdStats::default()
         };
+        let mut cache = CacheStats::default();
+        cache.mat_vec.lookups = 9;
+        cache.mat_vec.hits = 3;
         let after = DdStats {
             mat_vec_mults: 5,
             mat_mat_mults: 4,
@@ -81,6 +88,7 @@ mod tests {
             compute_hits: 3,
             compute_lookups: 9,
             gc_runs: 1,
+            cache,
         };
         stats.absorb_dd_delta(before, after);
         stats.absorb_dd_delta(before, after);
@@ -89,5 +97,7 @@ mod tests {
         assert_eq!(stats.mult_recursions, 40);
         assert_eq!(stats.add_recursions, 12);
         assert_eq!(stats.gc_runs, 2);
+        assert_eq!(stats.cache.mat_vec.lookups, 18);
+        assert_eq!(stats.cache.mat_vec.hits, 6);
     }
 }

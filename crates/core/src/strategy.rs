@@ -4,10 +4,11 @@ use std::fmt;
 
 /// How the simulator schedules matrix-matrix combination versus
 /// matrix-vector application (the paper's Section IV-A/B strategies).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Strategy {
     /// One matrix-vector multiplication per elementary gate — Eq. 1, the
     /// state-of-the-art baseline (`t_sota` in Tables I/II).
+    #[default]
     Sequential,
     /// Combine `k` consecutive gates into one matrix before applying it
     /// (the paper's *k-operations*, Fig. 8). `k = 1` degenerates to
@@ -64,15 +65,12 @@ impl Strategy {
             Strategy::MaxSize { s_max } => format!("max-size(s_max={s_max})"),
             Strategy::DdRepeating { k } => format!("dd-repeating(k={k})"),
             Strategy::Adaptive { ratio_millis, cap } => {
-                format!("adaptive(ratio={:.2},cap={cap})", ratio_millis as f64 / 1000.0)
+                format!(
+                    "adaptive(ratio={:.2},cap={cap})",
+                    ratio_millis as f64 / 1000.0
+                )
             }
         }
-    }
-}
-
-impl Default for Strategy {
-    fn default() -> Self {
-        Strategy::Sequential
     }
 }
 
@@ -90,7 +88,10 @@ mod tests {
     fn labels_are_distinct_and_parameterized() {
         assert_eq!(Strategy::Sequential.label(), "sequential");
         assert_eq!(Strategy::KOperations { k: 4 }.label(), "k-operations(k=4)");
-        assert_eq!(Strategy::MaxSize { s_max: 64 }.label(), "max-size(s_max=64)");
+        assert_eq!(
+            Strategy::MaxSize { s_max: 64 }.label(),
+            "max-size(s_max=64)"
+        );
         assert_eq!(Strategy::DdRepeating { k: 2 }.label(), "dd-repeating(k=2)");
     }
 

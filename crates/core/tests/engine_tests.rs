@@ -113,8 +113,11 @@ fn k_operations_trades_mxv_for_mxm() {
     let (_, seq) = simulate(&c, SimOptions::default()).expect("run");
     assert_eq!(seq.mat_vec_mults, gates);
 
-    let (_, combined) =
-        simulate(&c, SimOptions::with_strategy(Strategy::KOperations { k: 8 })).expect("run");
+    let (_, combined) = simulate(
+        &c,
+        SimOptions::with_strategy(Strategy::KOperations { k: 8 }),
+    )
+    .expect("run");
     // ⌈gates / 8⌉ applications; k−1 combinations per full group.
     assert_eq!(combined.mat_vec_mults, gates.div_ceil(8));
     assert!(combined.mat_mat_mults >= gates - combined.mat_vec_mults);
@@ -279,8 +282,11 @@ fn classical_value_assembles_bits() {
 fn barrier_splits_combination_groups() {
     let mut c = Circuit::new(2);
     c.h(0).barrier().h(1);
-    let (_, stats) = simulate(&c, SimOptions::with_strategy(Strategy::KOperations { k: 8 }))
-        .expect("run");
+    let (_, stats) = simulate(
+        &c,
+        SimOptions::with_strategy(Strategy::KOperations { k: 8 }),
+    )
+    .expect("run");
     // The barrier forces two applications despite k = 8.
     assert_eq!(stats.mat_vec_mults, 2);
 }
@@ -321,8 +327,13 @@ fn sample_counts_match_distribution() {
     c.h(0).cx(0, 1); // Bell: only 00 and 11
     let (mut sim, _) = simulate(&c, SimOptions::default()).expect("run");
     let counts = sim.sample_counts(400);
-    assert_eq!(counts.keys().copied().collect::<std::collections::HashSet<u64>>(),
-        [0u64, 3].into_iter().collect());
+    assert_eq!(
+        counts
+            .keys()
+            .copied()
+            .collect::<std::collections::HashSet<u64>>(),
+        [0u64, 3].into_iter().collect()
+    );
     let c00 = counts[&0] as f64;
     assert!((c00 / 400.0 - 0.5).abs() < 0.15, "c00 = {c00}");
 }

@@ -1,0 +1,308 @@
+//! Vendored, dependency-free stand-in for the slice of `criterion` this
+//! workspace uses (`criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`/`bench_with_input`, `Bencher::iter`, `BenchmarkId`,
+//! `black_box`).
+//!
+//! The build environment has no registry access, so the real `criterion`
+//! cannot be fetched. The shim keeps bench sources unchanged and produces
+//! wall-clock timings in a criterion-like format:
+//!
+//! ```text
+//! group/name/param        time: [min 12.34 µs  median 12.50 µs  max 12.91 µs]  (20 samples)
+//! ```
+//!
+//! Methodology: after a warm-up phase, each sample executes a fixed batch
+//! of iterations sized from the warm-up estimate so one sample lasts
+//! roughly `measurement_time / sample_size`; the reported numbers are
+//! per-iteration means of the min / median / max sample. No statistical
+//! regression analysis is performed.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench binaries as `<bin> --bench [FILTER]`; accept
+        // the first positional argument as a substring filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            config: MeasurementConfig::default(),
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        run_benchmark(self, name, MeasurementConfig::default(), f);
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct MeasurementConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for MeasurementConfig {
+    fn default() -> Self {
+        MeasurementConfig {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    config: MeasurementConfig,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(self.criterion, &full, self.config, f);
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(self.criterion, &full, self.config, |b| f(b, input));
+    }
+
+    /// Ends the group (formatting separator only).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// A benchmark identifier, `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion of `&str` / `String` / [`BenchmarkId`] into an id string.
+pub trait IntoBenchmarkId {
+    /// The id as a display string.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the bench closure; [`iter`](Bencher::iter) runs the timed loop.
+pub struct Bencher {
+    config: MeasurementConfig,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, storing per-iteration sample means.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, also estimating the per-iteration cost.
+        let warm_started = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_started.elapsed() < self.config.warm_up_time || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est_iter = warm_started.elapsed().as_secs_f64() / warm_iters as f64;
+
+        let per_sample =
+            self.config.measurement_time.as_secs_f64() / self.config.sample_size as f64;
+        let iters = ((per_sample / est_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.config.sample_size {
+            let started = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples
+                .push(started.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    id: &str,
+    config: MeasurementConfig,
+    mut f: F,
+) {
+    if !criterion.matches(id) {
+        return;
+    }
+    let mut bencher = Bencher {
+        config,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id:<56} (no samples: closure never called iter)");
+        return;
+    }
+    bencher
+        .samples
+        .sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let min = bencher.samples[0];
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let max = bencher.samples[bencher.samples.len() - 1];
+    println!(
+        "{id:<56} time: [{} {} {}]  ({} samples)",
+        format_time(min),
+        format_time(median),
+        format_time(max),
+        bencher.samples.len()
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Defines a function running the given benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_trivial_closure() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(30));
+        group.warm_up_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert!(calls > 3, "closure must run warm-up and samples");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let c = Criterion {
+            filter: Some("wanted".into()),
+        };
+        assert!(c.matches("group/wanted/3"));
+        assert!(!c.matches("group/other/3"));
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(format_time(2.5e-9).ends_with("ns"));
+        assert!(format_time(2.5e-6).ends_with("µs"));
+        assert!(format_time(2.5e-3).ends_with("ms"));
+        assert!(format_time(2.5).ends_with('s'));
+    }
+}

@@ -24,12 +24,7 @@ impl DdManager {
         out
     }
 
-    fn vec_dot_node(
-        &self,
-        node: NodeId,
-        names: &mut HashMap<NodeId, usize>,
-        out: &mut String,
-    ) {
+    fn vec_dot_node(&self, node: NodeId, names: &mut HashMap<NodeId, usize>, out: &mut String) {
         if node.is_terminal() || names.contains_key(&node) {
             return;
         }
@@ -70,12 +65,7 @@ impl DdManager {
         out
     }
 
-    fn mat_dot_node(
-        &self,
-        node: NodeId,
-        names: &mut HashMap<NodeId, usize>,
-        out: &mut String,
-    ) {
+    fn mat_dot_node(&self, node: NodeId, names: &mut HashMap<NodeId, usize>, out: &mut String) {
         if node.is_terminal() || names.contains_key(&node) {
             return;
         }

@@ -41,13 +41,16 @@
 mod compute;
 mod edge;
 mod export;
+mod hash;
 mod manager;
 mod matrix;
 mod measure;
 mod ops;
 pub mod reference;
+mod unique;
 mod vector;
 
+pub use compute::{CacheStats, TableStats, UniqueTableStats};
 pub use edge::{Level, MatEdge, NodeId, VecEdge};
 pub use manager::{DdConfig, DdManager, DdStats};
 pub use matrix::{Control, ControlPolarity, Matrix2};

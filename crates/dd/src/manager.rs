@@ -5,12 +5,24 @@
 //! never be fed to another. Nodes are arena-allocated and hash-consed through
 //! the unique tables, so structural equality of sub-diagrams is pointer
 //! (index) equality — the property that makes memoized DD operations sound.
-
-use std::collections::HashMap;
+//!
+//! # Epochs
+//!
+//! Garbage collection does **not** clear the compute tables. The manager
+//! keeps a monotonically increasing `epoch` (starting at 1); every arena
+//! slot records the epoch at which it was last freed (`free_epoch`, 0 for
+//! never) and every compute-table entry records the epoch at which it was
+//! written. An entry is valid iff every node it references satisfies
+//! `free_epoch[node] < entry.epoch` — i.e. the slot has not been freed
+//! (and possibly reused by an unrelated node) since the entry was written.
+//! Cached results whose diagrams survive a collection keep paying off
+//! across it.
 
 use ddsim_complex::{Complex, ComplexId, ComplexTable};
 
+use crate::compute::{CacheStats, ComputeTables};
 use crate::edge::{Level, MatEdge, NodeId, VecEdge};
+use crate::unique::UniqueTable;
 
 /// A vector-DD node: two successors (upper / lower half of the sub-vector).
 #[derive(Clone, Copy, Debug)]
@@ -28,15 +40,20 @@ pub(crate) struct MatNode {
 
 /// One arena slot; freed slots are chained through the free list.
 #[derive(Clone, Copy, Debug)]
-enum Slot<N> {
+pub(crate) enum Slot<N> {
     Occupied(N),
     Free,
 }
 
-struct Arena<N> {
-    slots: Vec<Slot<N>>,
-    refcounts: Vec<u32>,
-    free: Vec<u32>,
+pub(crate) struct Arena<N> {
+    pub(crate) slots: Vec<Slot<N>>,
+    pub(crate) refcounts: Vec<u32>,
+    pub(crate) free: Vec<u32>,
+    /// Epoch at which each slot was last freed (0 = never). Checked by the
+    /// compute tables to invalidate entries referencing reclaimed nodes;
+    /// deliberately *not* reset when a slot is reused, so stale entries
+    /// can never alias a new resident.
+    pub(crate) free_epoch: Vec<u32>,
 }
 
 impl<N: Copy> Arena<N> {
@@ -45,6 +62,7 @@ impl<N: Copy> Arena<N> {
             slots: Vec::new(),
             refcounts: Vec::new(),
             free: Vec::new(),
+            free_epoch: Vec::new(),
         }
     }
 
@@ -64,13 +82,15 @@ impl<N: Copy> Arena<N> {
             let idx = u32::try_from(self.slots.len()).expect("DD arena overflow");
             self.slots.push(Slot::Occupied(node));
             self.refcounts.push(0);
+            self.free_epoch.push(0);
             NodeId(idx)
         }
     }
 
-    fn free_slot(&mut self, id: NodeId) -> N {
+    fn free_slot(&mut self, id: NodeId, epoch: u32) -> N {
         let slot = std::mem::replace(&mut self.slots[id.index()], Slot::Free);
         self.free.push(id.0);
+        self.free_epoch[id.index()] = epoch;
         match slot {
             Slot::Occupied(n) => n,
             Slot::Free => panic!("double free of DD node {id:?}"),
@@ -79,6 +99,23 @@ impl<N: Copy> Arena<N> {
 
     fn live_count(&self) -> usize {
         self.slots.len() - self.free.len()
+    }
+
+    /// `(key, id)` pairs of every occupied slot, for unique-table rebuilds.
+    fn live_entries<'a, K>(
+        &'a self,
+        key_of: impl Fn(&N) -> K + 'a,
+    ) -> impl Iterator<Item = (K, NodeId)> + 'a
+    where
+        K: 'static,
+    {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, slot)| match slot {
+                Slot::Occupied(n) => Some((key_of(n), NodeId(i as u32))),
+                Slot::Free => None,
+            })
     }
 }
 
@@ -100,6 +137,8 @@ pub struct DdStats {
     pub compute_lookups: u64,
     /// Garbage collections run.
     pub gc_runs: u64,
+    /// Per-table cache counters (compute and unique tables).
+    pub cache: CacheStats,
 }
 
 /// Configuration for a [`DdManager`].
@@ -110,6 +149,16 @@ pub struct DdConfig {
     /// Run garbage collection once the live node count exceeds this value
     /// (checked only inside [`DdManager::maybe_collect`]).
     pub gc_threshold: usize,
+    /// log2 of each compute table's slot count. The tables are
+    /// direct-mapped and lossy, so this bounds cache memory; larger values
+    /// trade memory for fewer collision evictions.
+    pub compute_table_bits: u32,
+    /// log2 of each unique table's *initial* slot count (they grow, and
+    /// GC rebuilds shrink back toward this floor).
+    pub unique_table_bits: u32,
+    /// Disables all compute-table memoization when `false` (the diagrams
+    /// produced are identical; only the work to build them changes).
+    pub cache_enabled: bool,
 }
 
 impl Default for DdConfig {
@@ -117,6 +166,9 @@ impl Default for DdConfig {
         DdConfig {
             tolerance: ddsim_complex::DEFAULT_TOLERANCE,
             gc_threshold: 250_000,
+            compute_table_bits: 16,
+            unique_table_bits: 14,
+            cache_enabled: true,
         }
     }
 }
@@ -135,11 +187,14 @@ impl Default for DdConfig {
 /// ```
 pub struct DdManager {
     pub(crate) complex: ComplexTable,
-    vec_arena: Arena<VecNode>,
-    mat_arena: Arena<MatNode>,
-    vec_unique: HashMap<(Level, [VecEdge; 2]), NodeId>,
-    mat_unique: HashMap<(Level, [MatEdge; 4]), NodeId>,
-    pub(crate) compute: crate::compute::ComputeTables,
+    pub(crate) vec_arena: Arena<VecNode>,
+    pub(crate) mat_arena: Arena<MatNode>,
+    vec_unique: UniqueTable<(Level, [VecEdge; 2])>,
+    mat_unique: UniqueTable<(Level, [MatEdge; 4])>,
+    pub(crate) compute: ComputeTables,
+    /// Current epoch (starts at 1; 0 is the compute tables' empty
+    /// sentinel). Incremented by every garbage collection.
+    pub(crate) epoch: u32,
     pub(crate) stats: DdStats,
     config: DdConfig,
 }
@@ -156,9 +211,10 @@ impl DdManager {
             complex: ComplexTable::with_tolerance(config.tolerance),
             vec_arena: Arena::new(),
             mat_arena: Arena::new(),
-            vec_unique: HashMap::new(),
-            mat_unique: HashMap::new(),
-            compute: crate::compute::ComputeTables::new(),
+            vec_unique: UniqueTable::with_bits(config.unique_table_bits),
+            mat_unique: UniqueTable::with_bits(config.unique_table_bits),
+            compute: ComputeTables::new(config.compute_table_bits, config.cache_enabled),
+            epoch: 1,
             stats: DdStats::default(),
             config,
         }
@@ -169,14 +225,40 @@ impl DdManager {
         self.config
     }
 
-    /// Cumulative operation statistics.
+    /// Cumulative operation statistics, including the per-table cache
+    /// counters (collected live from the tables).
     pub fn stats(&self) -> DdStats {
-        self.stats
+        let cache = self.cache_stats();
+        let totals = cache.compute_total();
+        DdStats {
+            compute_hits: totals.hits,
+            compute_lookups: totals.lookups,
+            cache,
+            ..self.stats
+        }
+    }
+
+    /// Per-table cache counters only.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            add_vec: self.compute.add_vec.stats,
+            add_mat: self.compute.add_mat.stats,
+            mat_vec: self.compute.mat_vec.stats,
+            mat_mat: self.compute.mat_mat.stats,
+            conj_transpose: self.compute.conj_transpose.stats,
+            kron_vec: self.compute.kron_vec.stats,
+            kron_mat: self.compute.kron_mat.stats,
+            vec_unique: self.vec_unique.stats,
+            mat_unique: self.mat_unique.stats,
+        }
     }
 
     /// Resets the statistics counters (the diagrams are untouched).
     pub fn reset_stats(&mut self) {
         self.stats = DdStats::default();
+        self.compute.reset_stats();
+        self.vec_unique.stats = Default::default();
+        self.mat_unique.stats = Default::default();
     }
 
     /// Interns a raw complex value, returning its canonical id.
@@ -202,6 +284,20 @@ impl DdManager {
     /// Total entries across all memoization caches (diagnostics).
     pub fn compute_table_entries(&self) -> usize {
         self.compute.len()
+    }
+
+    /// Total registered nodes across both unique tables (diagnostics).
+    /// Unlike the live counts this includes nodes awaiting collection.
+    pub fn unique_table_entries(&self) -> usize {
+        self.vec_unique.len() + self.mat_unique.len()
+    }
+
+    /// Drops every memoized result (the unique tables and diagrams are
+    /// untouched). Garbage collection does *not* do this — entries are
+    /// invalidated per-node via epochs — so this is a benchmarking /
+    /// diagnostics hook for forcing cold caches.
+    pub fn clear_caches(&mut self) {
+        self.compute.clear();
     }
 
     /// Number of distinct interned edge weights (diagnostics).
@@ -307,7 +403,7 @@ impl DdManager {
         }
         let key = (level, edges);
         let node = match self.vec_unique.get(&key) {
-            Some(&id) => id,
+            Some(id) => id,
             None => {
                 let id = self.vec_arena.alloc(VecNode { level, edges });
                 self.vec_unique.insert(key, id);
@@ -352,7 +448,7 @@ impl DdManager {
         }
         let key = (level, edges);
         let node = match self.mat_unique.get(&key) {
-            Some(&id) => id,
+            Some(id) => id,
             None => {
                 let id = self.mat_arena.alloc(MatNode { level, edges });
                 self.mat_unique.insert(key, id);
@@ -454,12 +550,19 @@ impl DdManager {
     }
 
     /// Unconditionally reclaims every node whose reference count is zero
-    /// (cascading), and clears all memoization caches.
+    /// (cascading) and rebuilds the unique tables over the survivors.
+    ///
+    /// The compute tables are **not** cleared: every slot freed here is
+    /// stamped with the current epoch, which invalidates exactly the
+    /// cached entries referencing it (entries carry their insertion
+    /// epoch; validity is `free_epoch < entry_epoch`). Entries whose
+    /// diagrams survive keep serving hits across the collection.
     pub fn collect_garbage(&mut self) {
         self.stats.gc_runs += 1;
-        self.compute.clear();
+        let free_epoch = self.epoch;
 
-        // Sweep vector nodes to a fixpoint.
+        // Sweep vector nodes to a fixpoint, remembering the freed keys.
+        let mut freed_vec: Vec<(Level, [VecEdge; 2])> = Vec::new();
         let mut worklist: Vec<u32> = (0..self.vec_arena.slots.len() as u32)
             .filter(|&i| {
                 matches!(self.vec_arena.slots[i as usize], Slot::Occupied(_))
@@ -473,8 +576,8 @@ impl DdManager {
             {
                 continue;
             }
-            let node = self.vec_arena.free_slot(id);
-            self.vec_unique.remove(&(node.level, node.edges));
+            let node = self.vec_arena.free_slot(id, free_epoch);
+            freed_vec.push((node.level, node.edges));
             for e in node.edges {
                 if !e.node.is_terminal() {
                     let rc = &mut self.vec_arena.refcounts[e.node.index()];
@@ -487,6 +590,7 @@ impl DdManager {
         }
 
         // Sweep matrix nodes to a fixpoint.
+        let mut freed_mat: Vec<(Level, [MatEdge; 4])> = Vec::new();
         let mut worklist: Vec<u32> = (0..self.mat_arena.slots.len() as u32)
             .filter(|&i| {
                 matches!(self.mat_arena.slots[i as usize], Slot::Occupied(_))
@@ -500,8 +604,8 @@ impl DdManager {
             {
                 continue;
             }
-            let node = self.mat_arena.free_slot(id);
-            self.mat_unique.remove(&(node.level, node.edges));
+            let node = self.mat_arena.free_slot(id, free_epoch);
+            freed_mat.push((node.level, node.edges));
             for e in node.edges {
                 if !e.node.is_terminal() {
                     let rc = &mut self.mat_arena.refcounts[e.node.index()];
@@ -510,6 +614,31 @@ impl DdManager {
                         worklist.push(e.node.0);
                     }
                 }
+            }
+        }
+
+        // Entries written from here on must outrank this collection's
+        // free stamps.
+        self.epoch += 1;
+
+        // A sweep that killed few nodes deletes exactly those keys
+        // (backward-shift, no allocation); a large churn rebuilds the
+        // table over the survivors, which also shrinks it back toward
+        // the configured floor.
+        if freed_vec.len() * 4 >= self.vec_unique.len().max(1) {
+            self.vec_unique
+                .rebuild(self.vec_arena.live_entries(|n| (n.level, n.edges)));
+        } else {
+            for key in &freed_vec {
+                self.vec_unique.remove(key);
+            }
+        }
+        if freed_mat.len() * 4 >= self.mat_unique.len().max(1) {
+            self.mat_unique
+                .rebuild(self.mat_arena.live_entries(|n| (n.level, n.edges)));
+        } else {
+            for key in &freed_mat {
+                self.mat_unique.remove(key);
             }
         }
     }
@@ -527,6 +656,7 @@ impl std::fmt::Debug for DdManager {
             .field("live_vec_nodes", &self.live_vec_nodes())
             .field("live_mat_nodes", &self.live_mat_nodes())
             .field("distinct_weights", &self.complex.len())
+            .field("epoch", &self.epoch)
             .field("stats", &self.stats)
             .finish()
     }

@@ -168,7 +168,10 @@ impl DdManager {
     /// Panics if `f` is not a bijection on the domain, or `n > 28`
     /// (the check materializes the permutation).
     pub fn mat_permutation(&mut self, n: u32, f: impl Fn(u64) -> u64) -> MatEdge {
-        assert!(n >= 1 && n <= 28, "permutation qubit count out of range");
+        assert!(
+            (1..=28).contains(&n),
+            "permutation qubit count out of range"
+        );
         let size = 1u64 << n;
         let mut image = vec![u64::MAX; size as usize];
         let mut seen = vec![false; size as usize];
@@ -206,7 +209,7 @@ impl DdManager {
         default: Complex,
         exceptions: &[(u64, Complex)],
     ) -> MatEdge {
-        assert!(n >= 1 && n <= 63, "qubit count out of range");
+        assert!((1..=63).contains(&n), "qubit count out of range");
         let size = 1u64 << n;
         let mut sorted: Vec<(u64, ComplexId)> = exceptions
             .iter()
@@ -260,7 +263,7 @@ impl DdManager {
     ///
     /// Panics if `n` is 0 or greater than 63.
     pub fn mat_constant(&mut self, n: u32, value: Complex) -> MatEdge {
-        assert!(n >= 1 && n <= 63, "qubit count out of range");
+        assert!((1..=63).contains(&n), "qubit count out of range");
         let w = self.intern(value);
         if w.is_zero() {
             return MatEdge::ZERO;
@@ -294,7 +297,7 @@ impl DdManager {
     ///
     /// Panics if an index is out of range or a position is duplicated.
     pub fn mat_from_sparse(&mut self, n: u32, entries: &[(u64, u64, Complex)]) -> MatEdge {
-        assert!(n >= 1 && n <= 28, "sparse qubit count out of range");
+        assert!((1..=28).contains(&n), "sparse qubit count out of range");
         let size = 1u64 << n;
         let mut sorted: Vec<(u64, u64, ComplexId)> = entries
             .iter()
@@ -314,7 +317,11 @@ impl DdManager {
         self.mat_from_sorted_sparse(&sorted, n)
     }
 
-    fn mat_from_sorted_sparse(&mut self, entries: &[(u64, u64, ComplexId)], level: Level) -> MatEdge {
+    fn mat_from_sorted_sparse(
+        &mut self,
+        entries: &[(u64, u64, ComplexId)],
+        level: Level,
+    ) -> MatEdge {
         if entries.is_empty() {
             return MatEdge::ZERO;
         }
@@ -434,7 +441,7 @@ impl DdManager {
             if child.is_zero() {
                 return Complex::ZERO;
             }
-            weight = weight * self.complex_value(child.weight);
+            weight *= self.complex_value(child.weight);
             node_id = child.node;
             lvl -= 1;
         }
@@ -471,7 +478,10 @@ fn scaled(e: MatEdge, w: ComplexId) -> MatEdge {
     if w.is_zero() {
         MatEdge::ZERO
     } else {
-        MatEdge { node: e.node, weight: w }
+        MatEdge {
+            node: e.node,
+            weight: w,
+        }
     }
 }
 
@@ -481,10 +491,7 @@ mod tests {
     use crate::edge::MatEdge;
 
     fn x_gate() -> Matrix2 {
-        [
-            [Complex::ZERO, Complex::ONE],
-            [Complex::ONE, Complex::ZERO],
-        ]
+        [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]]
     }
 
     fn h_gate() -> Matrix2 {
@@ -630,9 +637,24 @@ mod tests {
         let mut dd = DdManager::new();
         let rows = vec![
             vec![Complex::real(1.0), Complex::ZERO, Complex::I, Complex::ZERO],
-            vec![Complex::ZERO, Complex::real(-1.0), Complex::ZERO, Complex::ZERO],
-            vec![Complex::ZERO, Complex::ZERO, Complex::real(0.5), Complex::ZERO],
-            vec![Complex::new(0.5, 0.5), Complex::ZERO, Complex::ZERO, Complex::real(2.0)],
+            vec![
+                Complex::ZERO,
+                Complex::real(-1.0),
+                Complex::ZERO,
+                Complex::ZERO,
+            ],
+            vec![
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::real(0.5),
+                Complex::ZERO,
+            ],
+            vec![
+                Complex::new(0.5, 0.5),
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::real(2.0),
+            ],
         ];
         let e = dd.mat_from_dense(&rows);
         let back = dd.mat_to_dense(e);
@@ -657,7 +679,10 @@ mod tests {
                 } else {
                     Complex::ONE
                 };
-                assert!(dd.mat_entry(oracle, i, j).approx_eq(want, 1e-12), "({i},{j})");
+                assert!(
+                    dd.mat_entry(oracle, i, j).approx_eq(want, 1e-12),
+                    "({i},{j})"
+                );
             }
         }
         // Direct construction stays near-linear in qubits.

@@ -136,12 +136,7 @@ impl DdManager {
     /// # Panics
     ///
     /// Panics if `qubit` is out of range.
-    pub fn measure_qubit(
-        &mut self,
-        v: VecEdge,
-        qubit: u32,
-        unit_random: f64,
-    ) -> (bool, VecEdge) {
+    pub fn measure_qubit(&mut self, v: VecEdge, qubit: u32, unit_random: f64) -> (bool, VecEdge) {
         let p1 = self.prob_one(v, qubit);
         let outcome = unit_random < p1;
         let collapsed = self.collapse(v, qubit, outcome);

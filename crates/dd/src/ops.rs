@@ -12,8 +12,17 @@
 
 use ddsim_complex::ComplexId;
 
-use crate::edge::{MatEdge, VecEdge};
+use crate::edge::{MatEdge, NodeId, VecEdge};
 use crate::manager::DdManager;
+
+/// Whether a node referenced by a compute-table entry is still the node the
+/// entry saw: its slot must not have been freed at or after the entry was
+/// written (terminals are never freed). See the epoch scheme documented on
+/// [`DdManager::collect_garbage`].
+#[inline]
+fn live(free_epoch: &[u32], id: NodeId, entry_epoch: u32) -> bool {
+    id.is_terminal() || free_epoch[id.index()] < entry_epoch
+}
 
 impl DdManager {
     // ------------------------------------------------------------------
@@ -56,16 +65,18 @@ impl DdManager {
                 weight: ratio,
             },
         );
-        self.stats.compute_lookups += 1;
-        if let Some(&cached) = self.compute.add_vec.get(&key) {
-            self.stats.compute_hits += 1;
+        let fe = &self.vec_arena.free_epoch;
+        if let Some(cached) = self.compute.add_vec.lookup(&key, |k, v, ep| {
+            live(fe, k.0.node, ep) && live(fe, k.1.node, ep) && live(fe, v.node, ep)
+        }) {
             return VecEdge {
                 node: cached.node,
                 weight: self.complex.mul(cached.weight, a.weight),
             };
         }
         let result = self.add_vec_rec(key.0, key.1);
-        self.compute.add_vec.insert(key, result);
+        let epoch = self.epoch;
+        self.compute.add_vec.insert(key, result, epoch);
         VecEdge {
             node: result.node,
             weight: self.complex.mul(result.weight, a.weight),
@@ -110,16 +121,18 @@ impl DdManager {
                 weight: ratio,
             },
         );
-        self.stats.compute_lookups += 1;
-        if let Some(&cached) = self.compute.add_vec.get(&key) {
-            self.stats.compute_hits += 1;
+        let fe = &self.vec_arena.free_epoch;
+        if let Some(cached) = self.compute.add_vec.lookup(&key, |k, v, ep| {
+            live(fe, k.0.node, ep) && live(fe, k.1.node, ep) && live(fe, v.node, ep)
+        }) {
             return VecEdge {
                 node: cached.node,
                 weight: self.complex.mul(cached.weight, a.weight),
             };
         }
         let result = self.add_vec_rec(key.0, key.1);
-        self.compute.add_vec.insert(key, result);
+        let epoch = self.epoch;
+        self.compute.add_vec.insert(key, result, epoch);
         VecEdge {
             node: result.node,
             weight: self.complex.mul(result.weight, a.weight),
@@ -169,16 +182,18 @@ impl DdManager {
                 weight: ratio,
             },
         );
-        self.stats.compute_lookups += 1;
-        if let Some(&cached) = self.compute.add_mat.get(&key) {
-            self.stats.compute_hits += 1;
+        let fe = &self.mat_arena.free_epoch;
+        if let Some(cached) = self.compute.add_mat.lookup(&key, |k, v, ep| {
+            live(fe, k.0.node, ep) && live(fe, k.1.node, ep) && live(fe, v.node, ep)
+        }) {
             return MatEdge {
                 node: cached.node,
                 weight: self.complex.mul(cached.weight, a.weight),
             };
         }
         let result = self.add_mat_rec(key.0, key.1);
-        self.compute.add_mat.insert(key, result);
+        let epoch = self.epoch;
+        self.compute.add_mat.insert(key, result, epoch);
         MatEdge {
             node: result.node,
             weight: self.complex.mul(result.weight, a.weight),
@@ -232,13 +247,16 @@ impl DdManager {
             return VecEdge::terminal(outer);
         }
         let key = (m.node, v.node);
-        self.stats.compute_lookups += 1;
-        let unit = if let Some(&cached) = self.compute.mat_vec.get(&key) {
-            self.stats.compute_hits += 1;
+        let mfe = &self.mat_arena.free_epoch;
+        let vfe = &self.vec_arena.free_epoch;
+        let unit = if let Some(cached) = self.compute.mat_vec.lookup(&key, |k, v, ep| {
+            live(mfe, k.0, ep) && live(vfe, k.1, ep) && live(vfe, v.node, ep)
+        }) {
             cached
         } else {
             let computed = self.mat_vec_rec(m.node, v.node);
-            self.compute.mat_vec.insert(key, computed);
+            let epoch = self.epoch;
+            self.compute.mat_vec.insert(key, computed, epoch);
             computed
         };
         VecEdge {
@@ -296,13 +314,15 @@ impl DdManager {
             return MatEdge::terminal(outer);
         }
         let key = (a.node, b.node);
-        self.stats.compute_lookups += 1;
-        let unit = if let Some(&cached) = self.compute.mat_mat.get(&key) {
-            self.stats.compute_hits += 1;
+        let fe = &self.mat_arena.free_epoch;
+        let unit = if let Some(cached) = self.compute.mat_mat.lookup(&key, |k, v, ep| {
+            live(fe, k.0, ep) && live(fe, k.1, ep) && live(fe, v.node, ep)
+        }) {
             cached
         } else {
             let computed = self.mat_mat_rec(a.node, b.node);
-            self.compute.mat_mat.insert(key, computed);
+            let epoch = self.epoch;
+            self.compute.mat_mat.insert(key, computed, epoch);
             computed
         };
         MatEdge {
@@ -343,9 +363,12 @@ impl DdManager {
         if m.node.is_terminal() {
             return MatEdge::terminal(w);
         }
-        self.stats.compute_lookups += 1;
-        let unit = if let Some(&cached) = self.compute.conj_transpose.get(&m.node) {
-            self.stats.compute_hits += 1;
+        let fe = &self.mat_arena.free_epoch;
+        let unit = if let Some(cached) = self
+            .compute
+            .conj_transpose
+            .lookup(&m.node, |k, v, ep| live(fe, *k, ep) && live(fe, v.node, ep))
+        {
             cached
         } else {
             let node = *self.mat_node(m.node);
@@ -357,7 +380,8 @@ impl DdManager {
                 self.mat_conj_transpose(node.edges[3]),
             ];
             let computed = self.make_mat_node(node.level, children);
-            self.compute.conj_transpose.insert(m.node, computed);
+            let epoch = self.epoch;
+            self.compute.conj_transpose.insert(m.node, computed, epoch);
             computed
         };
         MatEdge {
@@ -397,7 +421,10 @@ impl DdManager {
             };
         }
         let key = (a.node, b);
-        if let Some(&cached) = self.compute.kron_vec.get(&key) {
+        let fe = &self.vec_arena.free_epoch;
+        if let Some(cached) = self.compute.kron_vec.lookup(&key, |k, v, ep| {
+            live(fe, k.0, ep) && live(fe, k.1.node, ep) && live(fe, v.node, ep)
+        }) {
             return cached;
         }
         let node = *self.vec_node(a.node);
@@ -405,7 +432,8 @@ impl DdManager {
         let lo = self.kron_vec_unit(node.edges[0], b);
         let hi = self.kron_vec_unit(node.edges[1], b);
         let result = self.make_vec_node(node.level + b_level, [lo, hi]);
-        self.compute.kron_vec.insert(key, result);
+        let epoch = self.epoch;
+        self.compute.kron_vec.insert(key, result, epoch);
         result
     }
 
@@ -437,17 +465,21 @@ impl DdManager {
             };
         }
         let key = (a.node, b);
-        if let Some(&cached) = self.compute.kron_mat.get(&key) {
+        let fe = &self.mat_arena.free_epoch;
+        if let Some(cached) = self.compute.kron_mat.lookup(&key, |k, v, ep| {
+            live(fe, k.0, ep) && live(fe, k.1.node, ep) && live(fe, v.node, ep)
+        }) {
             return cached;
         }
         let node = *self.mat_node(a.node);
         let b_level = self.mat_level(b);
         let mut children = [MatEdge::ZERO; 4];
-        for i in 0..4 {
-            children[i] = self.kron_mat_unit(node.edges[i], b);
+        for (child, &edge) in children.iter_mut().zip(node.edges.iter()) {
+            *child = self.kron_mat_unit(edge, b);
         }
         let result = self.make_mat_node(node.level + b_level, children);
-        self.compute.kron_mat.insert(key, result);
+        let epoch = self.epoch;
+        self.compute.kron_mat.insert(key, result, epoch);
         result
     }
 }
@@ -464,10 +496,7 @@ mod tests {
     }
 
     fn x_gate() -> Matrix2 {
-        [
-            [Complex::ZERO, Complex::ONE],
-            [Complex::ONE, Complex::ZERO],
-        ]
+        [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]]
     }
 
     /// Dense reference multiplication for validation.
@@ -486,9 +515,7 @@ mod tests {
         (0..n)
             .map(|r| {
                 (0..n)
-                    .map(|c| {
-                        (0..n).fold(Complex::ZERO, |acc, k| acc + a[r][k] * b[k][c])
-                    })
+                    .map(|c| (0..n).fold(Complex::ZERO, |acc, k| acc + a[r][k] * b[k][c]))
                     .collect()
             })
             .collect()
@@ -535,10 +562,30 @@ mod tests {
     fn mat_vec_matches_dense_reference() {
         let mut dd = DdManager::new();
         let rows = vec![
-            vec![Complex::new(0.5, 0.1), Complex::ZERO, Complex::I, Complex::real(0.2)],
-            vec![Complex::ZERO, Complex::real(-1.0), Complex::ZERO, Complex::new(0.1, 0.1)],
-            vec![Complex::real(0.3), Complex::ZERO, Complex::real(0.5), Complex::ZERO],
-            vec![Complex::new(0.5, 0.5), Complex::ZERO, Complex::ZERO, Complex::real(2.0)],
+            vec![
+                Complex::new(0.5, 0.1),
+                Complex::ZERO,
+                Complex::I,
+                Complex::real(0.2),
+            ],
+            vec![
+                Complex::ZERO,
+                Complex::real(-1.0),
+                Complex::ZERO,
+                Complex::new(0.1, 0.1),
+            ],
+            vec![
+                Complex::real(0.3),
+                Complex::ZERO,
+                Complex::real(0.5),
+                Complex::ZERO,
+            ],
+            vec![
+                Complex::new(0.5, 0.5),
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::real(2.0),
+            ],
         ];
         let v = vec![
             Complex::new(0.1, 0.2),
@@ -561,15 +608,45 @@ mod tests {
         let mut dd = DdManager::new();
         let a = vec![
             vec![Complex::real(1.0), Complex::I, Complex::ZERO, Complex::ZERO],
-            vec![Complex::ZERO, Complex::real(0.5), Complex::real(0.5), Complex::ZERO],
-            vec![Complex::new(0.2, -0.1), Complex::ZERO, Complex::ONE, Complex::ZERO],
-            vec![Complex::ZERO, Complex::ZERO, Complex::ZERO, Complex::new(0.0, -1.0)],
+            vec![
+                Complex::ZERO,
+                Complex::real(0.5),
+                Complex::real(0.5),
+                Complex::ZERO,
+            ],
+            vec![
+                Complex::new(0.2, -0.1),
+                Complex::ZERO,
+                Complex::ONE,
+                Complex::ZERO,
+            ],
+            vec![
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::new(0.0, -1.0),
+            ],
         ];
         let b = vec![
-            vec![Complex::real(0.3), Complex::ZERO, Complex::ZERO, Complex::ONE],
+            vec![
+                Complex::real(0.3),
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::ONE,
+            ],
             vec![Complex::ZERO, Complex::I, Complex::ZERO, Complex::ZERO],
-            vec![Complex::ONE, Complex::ZERO, Complex::real(-0.5), Complex::ZERO],
-            vec![Complex::ZERO, Complex::real(0.7), Complex::ZERO, Complex::real(0.2)],
+            vec![
+                Complex::ONE,
+                Complex::ZERO,
+                Complex::real(-0.5),
+                Complex::ZERO,
+            ],
+            vec![
+                Complex::ZERO,
+                Complex::real(0.7),
+                Complex::ZERO,
+                Complex::real(0.2),
+            ],
         ];
         let a_dd = dd.mat_from_dense(&a);
         let b_dd = dd.mat_from_dense(&b);
@@ -648,10 +725,7 @@ mod tests {
     #[test]
     fn conj_transpose_is_involution() {
         let mut dd = DdManager::new();
-        let s_gate: Matrix2 = [
-            [Complex::ONE, Complex::ZERO],
-            [Complex::ZERO, Complex::I],
-        ];
+        let s_gate: Matrix2 = [[Complex::ONE, Complex::ZERO], [Complex::ZERO, Complex::I]];
         let m = dd.mat_single_qubit(2, 0, s_gate);
         let back = {
             let t = dd.mat_conj_transpose(m);
@@ -723,9 +797,7 @@ mod tests {
         assert!(after < before);
         // The protected state is intact.
         assert!((dd.vec_norm_sqr(keep) - 1.0).abs() < 1e-12);
-        assert!(dd
-            .vec_amplitude(keep, 3)
-            .approx_eq(Complex::ONE, 1e-12));
+        assert!(dd.vec_amplitude(keep, 3).approx_eq(Complex::ONE, 1e-12));
     }
 
     #[test]

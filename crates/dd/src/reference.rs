@@ -20,7 +20,10 @@ impl DenseVector {
     ///
     /// Panics if `index >= 2^n` or `n` is 0 or too large to allocate.
     pub fn basis(n: u32, index: u64) -> Self {
-        assert!(n >= 1 && n <= 30, "qubit count out of range for dense vector");
+        assert!(
+            (1..=30).contains(&n),
+            "qubit count out of range for dense vector"
+        );
         assert!(index < (1u64 << n));
         let mut amplitudes = vec![Complex::ZERO; 1usize << n];
         amplitudes[index as usize] = Complex::ONE;
@@ -121,7 +124,10 @@ impl DenseMatrix {
     ///
     /// Panics if `n` is 0 or too large to allocate.
     pub fn identity(n: u32) -> Self {
-        assert!(n >= 1 && n <= 14, "qubit count out of range for dense matrix");
+        assert!(
+            (1..=14).contains(&n),
+            "qubit count out of range for dense matrix"
+        );
         let dim = 1usize << n;
         let mut rows = vec![vec![Complex::ZERO; dim]; dim];
         for (i, row) in rows.iter_mut().enumerate() {
@@ -163,14 +169,14 @@ impl DenseMatrix {
         assert_eq!(self.dim(), other.dim());
         let dim = self.dim();
         let mut rows = vec![vec![Complex::ZERO; dim]; dim];
-        for r in 0..dim {
+        for (r, row) in rows.iter_mut().enumerate() {
             for k in 0..dim {
                 let v = self.rows[r][k];
                 if v.is_zero() {
                     continue;
                 }
-                for c in 0..dim {
-                    rows[r][c] += v * other.rows[k][c];
+                for (cell, &b) in row.iter_mut().zip(other.rows[k].iter()) {
+                    *cell += v * b;
                 }
             }
         }
@@ -200,10 +206,7 @@ mod tests {
     }
 
     fn x() -> [[Complex; 2]; 2] {
-        [
-            [Complex::ZERO, Complex::ONE],
-            [Complex::ONE, Complex::ZERO],
-        ]
+        [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]]
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! Open-addressed unique (hash-consing) tables.
+//!
+//! The unique tables map `(level, children)` to the canonical node id, so
+//! structural equality of sub-diagrams is index equality. They sit on the
+//! allocation path of every node construction; like the compute tables
+//! they use FxHash instead of the standard `HashMap`'s SipHash, with
+//! linear probing and power-of-two capacities.
+//!
+//! Deletions only ever happen at garbage collection, so there are no
+//! tombstones: a sweep that kills few nodes removes exactly those keys
+//! with backward-shift deletion ([`UniqueTable::remove`]), while a large
+//! churn triggers [`UniqueTable::rebuild`] over the survivors, which also
+//! re-sizes the table to the live population.
+
+use std::hash::Hash;
+
+use crate::compute::UniqueTableStats;
+use crate::edge::NodeId;
+use crate::hash::fx_hash;
+
+/// Grow when `len * 4 > capacity * 3` (75 % load).
+const MAX_LOAD_NUM: usize = 3;
+const MAX_LOAD_DEN: usize = 4;
+
+/// An open-addressed hash-consing table from node keys to node ids.
+#[derive(Debug)]
+pub(crate) struct UniqueTable<K> {
+    slots: Vec<Option<(K, NodeId)>>,
+    mask: u64,
+    len: usize,
+    min_bits: u32,
+    pub stats: UniqueTableStats,
+}
+
+impl<K: Copy + PartialEq + Hash> UniqueTable<K> {
+    /// An empty table with `2^bits` slots (also the floor for rebuilds).
+    pub fn with_bits(bits: u32) -> Self {
+        let capacity = 1usize << bits;
+        UniqueTable {
+            slots: vec![None; capacity],
+            mask: (capacity - 1) as u64,
+            len: 0,
+            min_bits: bits,
+            stats: UniqueTableStats::default(),
+        }
+    }
+
+    /// The canonical node for `key`, if one exists.
+    #[inline]
+    pub fn get(&mut self, key: &K) -> Option<NodeId> {
+        self.stats.lookups += 1;
+        let mut slot = (fx_hash(key) & self.mask) as usize;
+        loop {
+            match &self.slots[slot] {
+                None => return None,
+                Some((k, id)) if k == key => {
+                    self.stats.hits += 1;
+                    return Some(*id);
+                }
+                Some(_) => {
+                    self.stats.probes += 1;
+                    slot = (slot + 1) & self.mask as usize;
+                }
+            }
+        }
+    }
+
+    /// Registers `id` as the canonical node for `key`. The caller has
+    /// already established the key is absent (via [`get`](Self::get)).
+    pub fn insert(&mut self, key: K, id: NodeId) {
+        if (self.len + 1) * MAX_LOAD_DEN > self.slots.len() * MAX_LOAD_NUM {
+            self.grow();
+        }
+        self.insert_unchecked(key, id);
+        self.len += 1;
+    }
+
+    /// Probe-and-place without load accounting (capacity already ensured).
+    fn insert_unchecked(&mut self, key: K, id: NodeId) {
+        let mut slot = (fx_hash(&key) & self.mask) as usize;
+        while self.slots[slot].is_some() {
+            debug_assert!(
+                self.slots[slot].map(|(k, _)| k != key).unwrap_or(true),
+                "duplicate unique-table insert"
+            );
+            self.stats.probes += 1;
+            slot = (slot + 1) & self.mask as usize;
+        }
+        self.slots[slot] = Some((key, id));
+    }
+
+    fn grow(&mut self) {
+        self.stats.grows += 1;
+        let old = std::mem::replace(&mut self.slots, vec![None; 0]);
+        self.slots = vec![None; old.len() * 2];
+        self.mask = (self.slots.len() - 1) as u64;
+        for entry in old.into_iter().flatten() {
+            self.insert_unchecked(entry.0, entry.1);
+        }
+    }
+
+    /// Deletes `key` if present, keeping the probe invariant by
+    /// re-placing the cluster that follows the hole (backward-shift
+    /// deletion — no tombstones, so lookups never slow down over time).
+    pub fn remove(&mut self, key: &K) {
+        let mask = self.mask as usize;
+        let mut slot = (fx_hash(key) & self.mask) as usize;
+        loop {
+            match &self.slots[slot] {
+                None => return,
+                Some((k, _)) if k == key => break,
+                Some(_) => slot = (slot + 1) & mask,
+            }
+        }
+        self.slots[slot] = None;
+        self.len -= 1;
+        let mut next = (slot + 1) & mask;
+        while let Some((k, id)) = self.slots[next].take() {
+            let mut dest = (fx_hash(&k) & self.mask) as usize;
+            while self.slots[dest].is_some() {
+                dest = (dest + 1) & mask;
+            }
+            self.slots[dest] = Some((k, id));
+            next = (next + 1) & mask;
+        }
+    }
+
+    /// Replaces the contents with `live` (the nodes surviving a GC sweep),
+    /// sized to the live population but never below the configured floor.
+    pub fn rebuild(&mut self, live: impl Iterator<Item = (K, NodeId)>) {
+        self.stats.rebuilds += 1;
+        let entries: Vec<(K, NodeId)> = live.collect();
+        let mut bits = self.min_bits;
+        // Smallest power of two keeping the load below the growth bound.
+        while (entries.len() * MAX_LOAD_DEN) > ((1usize << bits) * MAX_LOAD_NUM) {
+            bits += 1;
+        }
+        self.slots = vec![None; 1usize << bits];
+        self.mask = (self.slots.len() - 1) as u64;
+        self.len = entries.len();
+        for (key, id) in entries {
+            self.insert_unchecked(key, id);
+        }
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Current slot capacity.
+    #[cfg(test)]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> UniqueTable<(u32, u32)> {
+        UniqueTable::with_bits(2) // 4 slots: growth kicks in fast
+    }
+
+    #[test]
+    fn get_after_insert() {
+        let mut t = table();
+        assert_eq!(t.get(&(1, 2)), None);
+        t.insert((1, 2), NodeId(7));
+        assert_eq!(t.get(&(1, 2)), Some(NodeId(7)));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.stats.hits, 1);
+        assert_eq!(t.stats.lookups, 2);
+    }
+
+    #[test]
+    fn grows_past_load_factor() {
+        let mut t = table();
+        for i in 0..100u32 {
+            assert_eq!(t.get(&(i, i + 1)), None);
+            t.insert((i, i + 1), NodeId(i));
+        }
+        assert!(t.stats.grows >= 5, "4-slot table must double repeatedly");
+        assert!(t.capacity() >= 128);
+        for i in 0..100u32 {
+            assert_eq!(t.get(&(i, i + 1)), Some(NodeId(i)), "key {i}");
+        }
+    }
+
+    #[test]
+    fn rebuild_keeps_only_the_given_entries() {
+        let mut t = table();
+        for i in 0..50u32 {
+            t.insert((i, 0), NodeId(i));
+        }
+        let grown = t.capacity();
+        t.rebuild((0..5u32).map(|i| ((i, 0), NodeId(i))));
+        assert_eq!(t.len(), 5);
+        assert!(
+            t.capacity() < grown,
+            "rebuild shrinks to the live population"
+        );
+        for i in 0..5u32 {
+            assert_eq!(t.get(&(i, 0)), Some(NodeId(i)));
+        }
+        for i in 5..50u32 {
+            assert_eq!(t.get(&(i, 0)), None, "key {i} must be gone");
+        }
+        assert_eq!(t.stats.rebuilds, 1);
+    }
+
+    #[test]
+    fn remove_preserves_probe_chains() {
+        let mut t = table();
+        for i in 0..40u32 {
+            t.insert((i, 0), NodeId(i));
+        }
+        // Delete every third key; the rest must stay reachable even where
+        // the deleted slot sat mid-cluster.
+        for i in (0..40u32).step_by(3) {
+            t.remove(&(i, 0));
+        }
+        t.remove(&(999, 0)); // absent key is a no-op
+        for i in 0..40u32 {
+            let expect = if i % 3 == 0 { None } else { Some(NodeId(i)) };
+            assert_eq!(t.get(&(i, 0)), expect, "key {i}");
+        }
+        assert_eq!(t.len(), 40 - 14);
+    }
+
+    #[test]
+    fn rebuild_respects_the_capacity_floor() {
+        let mut t = table();
+        t.rebuild(std::iter::empty());
+        assert_eq!(t.capacity(), 4);
+    }
+}

@@ -17,7 +17,7 @@ impl DdManager {
     ///
     /// Panics if `index >= 2^n` or `n == 0` or `n > 63`.
     pub fn vec_basis(&mut self, n: u32, index: u64) -> VecEdge {
-        assert!(n >= 1 && n <= 63, "qubit count out of range");
+        assert!((1..=63).contains(&n), "qubit count out of range");
         assert!(index < (1u64 << n), "basis index out of range");
         let mut edge = VecEdge::terminal(ComplexId::ONE);
         for level in 1..=n {
@@ -44,7 +44,7 @@ impl DdManager {
     ///
     /// Panics if `n` is 0 or greater than 63.
     pub fn vec_uniform(&mut self, n: u32) -> VecEdge {
-        assert!(n >= 1 && n <= 63, "qubit count out of range");
+        assert!((1..=63).contains(&n), "qubit count out of range");
         let mut edge = VecEdge::terminal(ComplexId::ONE);
         for level in 1..=n {
             edge = self.make_vec_node(level, [edge, edge]);
@@ -103,7 +103,7 @@ impl DdManager {
             let node = self.vec_node(node_id);
             let bit = (index >> (lvl - 1)) & 1;
             let child = node.edges[bit as usize];
-            weight = weight * self.complex_value(child.weight);
+            weight *= self.complex_value(child.weight);
             node_id = child.node;
             lvl -= 1;
             if child.is_zero() {
@@ -179,8 +179,8 @@ impl DdManager {
         let mut total = 0.0;
         for child in n.edges {
             if !child.is_zero() {
-                total +=
-                    self.complex_value(child.weight).norm_sqr() * self.norm_sqr_rec(child.node, cache);
+                total += self.complex_value(child.weight).norm_sqr()
+                    * self.norm_sqr_rec(child.node, cache);
             }
         }
         cache.insert(node, total);

@@ -13,10 +13,7 @@ fn h_gate() -> Matrix2 {
 }
 
 fn x_gate() -> Matrix2 {
-    [
-        [Complex::ZERO, Complex::ONE],
-        [Complex::ONE, Complex::ZERO],
-    ]
+    [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]]
 }
 
 fn t_gate() -> Matrix2 {
@@ -118,7 +115,10 @@ fn aggressive_gc_threshold_still_computes_correctly() {
     let all_ones = (1u64 << n) - 1;
     assert!((dd.vec_amplitude(state, 0).norm_sqr() - 0.5).abs() < 1e-9);
     assert!((dd.vec_amplitude(state, all_ones).norm_sqr() - 0.5).abs() < 1e-9);
-    assert!(dd.stats().gc_runs >= 1, "tiny threshold must trigger GC at least once");
+    assert!(
+        dd.stats().gc_runs >= 1,
+        "tiny threshold must trigger GC at least once"
+    );
 }
 
 /// Protected matrices survive collections triggered by unrelated garbage.

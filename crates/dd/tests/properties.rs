@@ -3,7 +3,7 @@
 
 use ddsim_complex::Complex;
 use ddsim_dd::reference::{DenseMatrix, DenseVector};
-use ddsim_dd::{Control, DdManager, Matrix2};
+use ddsim_dd::{Control, DdConfig, DdManager, Matrix2};
 use proptest::prelude::*;
 
 const N: u32 = 4; // qubits per generated instance (dense dim 16)
@@ -257,6 +257,111 @@ proptest! {
                 Complex::ZERO
             };
             prop_assert!(got.approx_eq(want, 1e-6), "index {i}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memoization transparency: the compute tables must never change *what* is
+// computed, only how fast. Because recomputation replays the identical
+// arithmetic on identical interned operands and node construction is
+// hash-consed, runs with caches on and off must agree on every amplitude
+// BIT FOR BIT — not just within tolerance.
+// ---------------------------------------------------------------------------
+
+/// A random gate sequence: `(gate, target, optional control)` triples
+/// (a drawn control of `N` means "uncontrolled").
+fn random_ops() -> impl Strategy<Value = Vec<(Matrix2, u32, Option<u32>)>> {
+    proptest::collection::vec(
+        (gate2(), 0u32..N, 0u32..N + 1)
+            .prop_map(|(u, t, c)| (u, t, if c == N { None } else { Some(c) })),
+        1..24,
+    )
+}
+
+/// Applies `ops` to |0…0⟩ under `config`, optionally forcing a garbage
+/// collection after every gate, and returns the final amplitudes.
+fn run_ops(
+    config: DdConfig,
+    ops: &[(Matrix2, u32, Option<u32>)],
+    gc_each_gate: bool,
+) -> Vec<Complex> {
+    let mut dd = DdManager::with_config(config);
+    let mut state = dd.vec_basis(N, 0);
+    dd.inc_ref_vec(state);
+    for (u, target, control) in ops {
+        let gate = match control {
+            Some(c) if c != target => dd.mat_controlled(N, &[Control::pos(*c)], *target, *u),
+            _ => dd.mat_single_qubit(N, *target, *u),
+        };
+        let next = dd.mat_vec_mul(gate, state);
+        dd.dec_ref_vec(state);
+        dd.inc_ref_vec(next);
+        state = next;
+        if gc_each_gate {
+            dd.collect_garbage();
+        }
+    }
+    dd.vec_to_amplitudes(state)
+}
+
+fn assert_bitwise_equal(a: &[Complex], b: &[Complex]) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!(
+            x.re.to_bits(),
+            y.re.to_bits(),
+            "re differs at index {i}: {x} vs {y}"
+        );
+        assert_eq!(
+            x.im.to_bits(),
+            y.im.to_bits(),
+            "im differs at index {i}: {x} vs {y}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn caches_on_and_off_agree_bitwise(ops in random_ops()) {
+        let on = run_ops(DdConfig::default(), &ops, false);
+        let off = run_ops(
+            DdConfig { cache_enabled: false, ..DdConfig::default() },
+            &ops,
+            false,
+        );
+        assert_bitwise_equal(&on, &off);
+    }
+
+    #[test]
+    fn tiny_tables_agree_bitwise(ops in random_ops()) {
+        // 2^2-slot tables evict on almost every insert; lossiness must not
+        // leak into results.
+        let on = run_ops(DdConfig::default(), &ops, false);
+        let tiny = run_ops(
+            DdConfig { compute_table_bits: 2, unique_table_bits: 1, ..DdConfig::default() },
+            &ops,
+            false,
+        );
+        assert_bitwise_equal(&on, &tiny);
+    }
+
+    #[test]
+    fn gc_surviving_caches_stay_correct(ops in random_ops()) {
+        // Collecting after every gate exercises the epoch invalidation on
+        // each step: stale entries must be dropped, surviving ones reused.
+        // Across *different GC schedules* bitwise identity is not expected
+        // — addition canonicalizes operand order by node id, and GC changes
+        // allocation history, so `b/a` may round where the calm run
+        // computed `a/b` — but the amplitudes must agree to far better
+        // than the weight-unification tolerance.
+        let calm = run_ops(DdConfig::default(), &ops, false);
+        let churned = run_ops(DdConfig::default(), &ops, true);
+        prop_assert_eq!(calm.len(), churned.len());
+        for (i, (x, y)) in calm.iter().zip(churned.iter()).enumerate() {
+            prop_assert!(x.approx_eq(*y, 1e-9), "index {i}: {x} vs {y}");
         }
     }
 }

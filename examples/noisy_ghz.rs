@@ -14,10 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let circuit = ghz_circuit(qubits);
     let all_ones = (1u64 << qubits) - 1;
+    println!("GHZ over {qubits} qubits, {trajectories} trajectories per error rate\n");
     println!(
-        "GHZ over {qubits} qubits, {trajectories} trajectories per error rate\n"
+        "{:>10} {:>12} {:>12} {:>14}",
+        "p_error", "P(0…0)", "P(1…1)", "correlated"
     );
-    println!("{:>10} {:>12} {:>12} {:>14}", "p_error", "P(0…0)", "P(1…1)", "correlated");
 
     for p in [0.0, 0.01, 0.05, 0.1, 0.2] {
         let ensemble = run_noisy_ensemble(&circuit, DepolarizingNoise::new(p), trajectories, 11)?;

@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         circuit.h(q);
     }
 
-    println!("circuit: {} qubits, {} gates", circuit.qubits(), circuit.elementary_count());
+    println!(
+        "circuit: {} qubits, {} gates",
+        circuit.qubits(),
+        circuit.elementary_count()
+    );
     println!();
     println!(
         "{:<24} {:>8} {:>8} {:>12} {:>12}",
@@ -49,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Inspect the final state through the DD.
     let (sim, _) = simulate(&circuit, SimOptions::default())?;
     println!();
-    println!("final state DD: {} nodes (vs {} dense amplitudes)", sim.state_nodes(), 1u64 << n);
+    println!(
+        "final state DD: {} nodes (vs {} dense amplitudes)",
+        sim.state_nodes(),
+        1u64 << n
+    );
     println!("P(|0…0⟩) = {:.6}", sim.probability_of(0));
     Ok(())
 }

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let modulus: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(55);
     let base: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(17);
     if gcd(base, modulus) != 1 {
-        println!("gcd({base}, {modulus}) = {} — already a factor!", gcd(base, modulus));
+        println!(
+            "gcd({base}, {modulus}) = {} — already a factor!",
+            gcd(base, modulus)
+        );
         return Ok(());
     }
 
@@ -60,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             started.elapsed(),
             modulus / f
         ),
-        None => println!("[circuit] no factor in 10 attempts ({:?})", started.elapsed()),
+        None => println!(
+            "[circuit] no factor in 10 attempts ({:?})",
+            started.elapsed()
+        ),
     }
 
     // Path 2: DD-construct (n+1 qubits).

@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nsequential baseline: {:?} ({} MxV)\n",
         baseline.wall_time, baseline.mat_vec_mults
     );
-    println!("{:<24} {:>10} {:>8} {:>8} {:>10}", "strategy", "time", "MxV", "MxM", "speed-up");
+    println!(
+        "{:<24} {:>10} {:>8} {:>8} {:>10}",
+        "strategy", "time", "MxV", "MxM", "speed-up"
+    );
 
     for strategy in [
         Strategy::KOperations { k: 2 },

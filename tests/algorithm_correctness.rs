@@ -70,8 +70,7 @@ fn deutsch_jozsa_separates_constant_from_balanced() {
     assert!(p_zero > 0.999, "constant oracle: P(0…0) = {p_zero}");
 
     // Balanced: all zeros must have probability 0.
-    let balanced =
-        deutsch_jozsa_circuit(n, DeutschJozsaOracle::BalancedParity { mask: 0b101101 });
+    let balanced = deutsch_jozsa_circuit(n, DeutschJozsaOracle::BalancedParity { mask: 0b101101 });
     let (sim, _) = simulate(&balanced, SimOptions::default()).expect("run");
     let p_zero: f64 = sim.probability_of(0) + sim.probability_of(1);
     assert!(p_zero < 1e-10, "balanced oracle: P(0…0) = {p_zero}");

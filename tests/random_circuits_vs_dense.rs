@@ -1,7 +1,7 @@
 //! Randomized cross-validation: the DD simulator under every strategy must
 //! agree with a dense array-based simulation on random circuits.
 
-use ddsim_repro::circuit::{Circuit, StandardGate};
+use ddsim_repro::circuit::Circuit;
 use ddsim_repro::complex::Complex;
 use ddsim_repro::core::{simulate, SimOptions, Strategy};
 use ddsim_repro::dd::reference::DenseVector;
@@ -90,8 +90,11 @@ fn max_size_matches_dense_on_random_circuits() {
 #[test]
 fn deep_circuit_stays_normalized() {
     let circuit = random_circuit(8, 400, 123);
-    let (sim, _) = simulate(&circuit, SimOptions::with_strategy(Strategy::KOperations { k: 8 }))
-        .expect("run");
+    let (sim, _) = simulate(
+        &circuit,
+        SimOptions::with_strategy(Strategy::KOperations { k: 8 }),
+    )
+    .expect("run");
     let norm = sim.dd().vec_norm_sqr(sim.state());
     assert!((norm - 1.0).abs() < 1e-6, "norm drifted to {norm}");
 }
@@ -108,8 +111,11 @@ fn wide_circuit_with_diagonal_tail_is_exact() {
         c.t(q);
         c.z(q);
     }
-    let (sim, _) = simulate(&c, SimOptions::with_strategy(Strategy::KOperations { k: 6 }))
-        .expect("run");
+    let (sim, _) = simulate(
+        &c,
+        SimOptions::with_strategy(Strategy::KOperations { k: 6 }),
+    )
+    .expect("run");
     // Every amplitude has magnitude 2^{-n/2}.
     let want_mag = (1.0f64 / (1u64 << n) as f64).sqrt();
     for idx in [0u64, 1, 77, 4095] {

@@ -5,9 +5,7 @@
 
 use ddsim_repro::algorithms::numtheory::factor_from_phase;
 use ddsim_repro::algorithms::shor::{shor_circuit, ShorInstance};
-use ddsim_repro::core::{
-    run_shor_dd_construct, simulate, SimOptions, Strategy,
-};
+use ddsim_repro::core::{run_shor_dd_construct, simulate, SimOptions, Strategy};
 
 /// Runs the full Beauregard circuit and post-processes the measured phase.
 fn factor_via_circuit(inst: ShorInstance, strategy: Strategy, max_attempts: u32) -> Option<u64> {
@@ -40,16 +38,14 @@ fn beauregard_circuit_factors_15_sequentially() {
 #[test]
 fn beauregard_circuit_factors_15_with_k_operations() {
     let inst = ShorInstance::new(15, 7);
-    let f =
-        factor_via_circuit(inst, Strategy::KOperations { k: 8 }, 8).expect("factor of 15");
+    let f = factor_via_circuit(inst, Strategy::KOperations { k: 8 }, 8).expect("factor of 15");
     assert!(f == 3 || f == 5, "got {f}");
 }
 
 #[test]
 fn beauregard_circuit_factors_15_with_max_size() {
     let inst = ShorInstance::new(15, 7);
-    let f =
-        factor_via_circuit(inst, Strategy::MaxSize { s_max: 128 }, 8).expect("factor of 15");
+    let f = factor_via_circuit(inst, Strategy::MaxSize { s_max: 128 }, 8).expect("factor of 15");
     assert!(f == 3 || f == 5, "got {f}");
 }
 
@@ -71,7 +67,10 @@ fn circuit_and_dd_construct_sample_the_same_phase_distribution() {
         )
         .expect("run");
         let phase = sim.classical_value();
-        assert!(near_ideal(phase), "circuit path: phase {phase} not near k·64");
+        assert!(
+            near_ideal(phase),
+            "circuit path: phase {phase} not near k·64"
+        );
 
         let outcome = run_shor_dd_construct(inst, seed);
         assert!(

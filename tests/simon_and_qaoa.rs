@@ -50,8 +50,7 @@ fn simon_works_under_combining_strategies() {
         Strategy::KOperations { k: 4 },
         Strategy::MaxSize { s_max: 64 },
     ] {
-        let (mut sim, _) =
-            simulate(&circuit, SimOptions::with_strategy(strategy)).expect("run");
+        let (mut sim, _) = simulate(&circuit, SimOptions::with_strategy(strategy)).expect("run");
         for _ in 0..20 {
             let y = sim.sample() >> inst.n;
             assert_eq!((y & inst.secret).count_ones() % 2, 0, "{strategy}");

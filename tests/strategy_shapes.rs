@@ -23,8 +23,18 @@ fn section3_gate_dds_are_linear_state_dds_are_not() {
         },
     )
     .expect("run");
-    let max_gate_dd = stats.trace.iter().map(|t| t.matrix_nodes).max().expect("nonempty");
-    let max_state_dd = stats.trace.iter().map(|t| t.state_nodes).max().expect("nonempty");
+    let max_gate_dd = stats
+        .trace
+        .iter()
+        .map(|t| t.matrix_nodes)
+        .max()
+        .expect("nonempty");
+    let max_state_dd = stats
+        .trace
+        .iter()
+        .map(|t| t.state_nodes)
+        .max()
+        .expect("nonempty");
     assert!(
         max_gate_dd <= 2 * 16 + 4,
         "elementary gate DDs must stay near-linear in qubits, got {max_gate_dd}"
@@ -51,7 +61,11 @@ fn fig8_shape_recursion_cost_dips_then_rises() {
         costs.push((k, cost(&stats)));
     }
     let seq = costs[0].1;
-    let best_mid = costs[1..3].iter().map(|&(_, c)| c).min().expect("two entries");
+    let best_mid = costs[1..3]
+        .iter()
+        .map(|&(_, c)| c)
+        .min()
+        .expect("two entries");
     assert!(
         best_mid < seq,
         "moderate combining must beat sequential: {best_mid} vs {seq}"
@@ -68,10 +82,16 @@ fn table1_shape_dd_repeating_minimizes_mxm() {
     let inst = GroverInstance::new(11, 3);
     let circuit = grover_circuit(inst);
     let (_, seq) = simulate(&circuit, SimOptions::default()).expect("run");
-    let (_, kops) = simulate(&circuit, SimOptions::with_strategy(Strategy::KOperations { k: 8 }))
-        .expect("run");
-    let (_, rep) = simulate(&circuit, SimOptions::with_strategy(Strategy::DdRepeating { k: 8 }))
-        .expect("run");
+    let (_, kops) = simulate(
+        &circuit,
+        SimOptions::with_strategy(Strategy::KOperations { k: 8 }),
+    )
+    .expect("run");
+    let (_, rep) = simulate(
+        &circuit,
+        SimOptions::with_strategy(Strategy::DdRepeating { k: 8 }),
+    )
+    .expect("run");
 
     // MxV counts: sequential = gates, k-ops ≈ gates/8, repeating ≈ iterations.
     assert!(kops.mat_vec_mults < seq.mat_vec_mults / 4);
@@ -120,8 +140,7 @@ fn dd_construct_scales_to_paper_sized_moduli() {
 fn dd_construct_factors_paper_benchmark() {
     // At least one of a handful of seeds must factor N=1007 = 19 × 53.
     let inst = ShorInstance::new(1007, 602);
-    let (factor, outcomes) =
-        ddsim_repro::core::factor_with_dd_construct(inst, 0, 10);
+    let (factor, outcomes) = ddsim_repro::core::factor_with_dd_construct(inst, 0, 10);
     let f = factor.expect("1007 factors within 10 attempts");
     assert!(f == 19 || f == 53, "unexpected factor {f}");
     assert!(outcomes.len() <= 10);

@@ -82,6 +82,88 @@ fn mxv_vs_mxm(c: &mut Criterion) {
     group.finish();
 }
 
+/// A deep circuit on ONE active qubit of an ever-wider register: every
+/// level below the target is an untouched identity factor. With identity
+/// skipping the run cost must stay (near-)independent of `n`; without it
+/// every gate pays for the full register width (gate-matrix construction
+/// and descent through the inactive levels).
+fn mxv_identity_heavy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mxv_identity_heavy");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let deep_single_qubit = |n: u32| {
+        let mut circuit = ddsim_circuit::Circuit::new(n);
+        for i in 0..64 {
+            if i % 2 == 0 {
+                circuit.h(0);
+            } else {
+                circuit.t(0);
+            }
+        }
+        circuit
+    };
+    for n in [8u32, 14, 20] {
+        for (label, skip) in [("deep_1q_skip_on", true), ("deep_1q_skip_off", false)] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                let circuit = deep_single_qubit(n);
+                // Small tables: each iteration builds a fresh manager, and
+                // with the default 2^16-slot compute tables the allocation
+                // would dwarf the 64-gate run we are trying to measure.
+                let options = SimOptions {
+                    dd_config: DdConfig {
+                        identity_skip: skip,
+                        compute_table_bits: 12,
+                        unique_table_bits: 10,
+                        ..DdConfig::default()
+                    },
+                    ..SimOptions::default()
+                };
+                b.iter(|| simulate(&circuit, options).expect("width matches"));
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The same controlled gate applied to the same large state through the
+/// generic matrix path (skips ablated away) and through the specialized
+/// kernel — the head-to-head behind the `--no-identity-skip` flag.
+fn specialized_vs_generic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("specialized_vs_generic");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let n = 12u32;
+
+    group.bench_function("generic_matrix_apply", |b| {
+        let mut dd = DdManager::with_config(DdConfig {
+            identity_skip: false,
+            ..DdConfig::default()
+        });
+        let state = dense_state(&mut dd, n);
+        dd.inc_ref_vec(state);
+        let gate = dd.mat_controlled(n, &[Control::pos(3)], 7, x_gate());
+        dd.inc_ref_mat(gate);
+        b.iter(|| {
+            dd.collect_garbage();
+            dd.mat_vec_mul(gate, state)
+        });
+    });
+
+    group.bench_function("specialized_apply", |b| {
+        let mut dd = DdManager::new();
+        let state = dense_state(&mut dd, n);
+        dd.inc_ref_vec(state);
+        b.iter(|| {
+            dd.collect_garbage();
+            dd.apply_controlled(&[Control::pos(3)], 7, x_gate(), state)
+        });
+    });
+
+    group.finish();
+}
+
 /// Whole-run simulation under frequent garbage collection: many Grover
 /// iterations with a tiny `gc_threshold`, so the run's cost is dominated by
 /// how much memoized work survives each collection. Before the epoch
@@ -113,5 +195,12 @@ fn cache_pressure(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, gate_construction, mxv_vs_mxm, cache_pressure);
+criterion_group!(
+    benches,
+    gate_construction,
+    mxv_vs_mxm,
+    mxv_identity_heavy,
+    specialized_vs_generic,
+    cache_pressure
+);
 criterion_main!(benches);

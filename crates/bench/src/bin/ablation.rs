@@ -2,8 +2,10 @@
 //!
 //! 1. strategy comparison including the `Adaptive` extension (is a
 //!    parameter-free rule competitive with hand-tuned k / s_max?),
-//! 2. edge-weight unification tolerance (node sharing vs. accuracy), and
-//! 3. garbage-collection threshold (memory vs. cache-flush cost).
+//! 2. edge-weight unification tolerance (node sharing vs. accuracy),
+//! 3. garbage-collection threshold (memory vs. cache-flush cost), and
+//! 4. identity skipping (short-circuits + specialized apply kernels,
+//!    DESIGN.md §9) on versus off.
 //!
 //! Usage: `cargo run --release -p ddsim-bench --bin ablation [--full]
 //! [--timeout SECS]`
@@ -101,4 +103,39 @@ fn main() {
         );
     }
     println!("# expected: aggressive GC costs time (compute-table flushes); lazy GC costs memory");
+
+    println!("\n# Ablation 4 — identity skipping (sequential, per workload)");
+    println!(
+        "{:<22} {:>12} {:>12} {:>14} {:>14}",
+        "benchmark", "skip_on_s", "skip_off_s", "id_skips", "spec_applies"
+    );
+    for w in &suite {
+        let circuit = w.circuit();
+        let timed = |identity_skip: bool| {
+            let started = Instant::now();
+            let (_, stats) = simulate(
+                &circuit,
+                SimOptions {
+                    dd_config: DdConfig {
+                        identity_skip,
+                        ..DdConfig::default()
+                    },
+                    ..SimOptions::default()
+                },
+            )
+            .expect("width matches");
+            (started.elapsed().as_secs_f64(), stats)
+        };
+        let (on_secs, on_stats) = timed(true);
+        let (off_secs, _) = timed(false);
+        println!(
+            "{:<22} {:>12.3} {:>12.3} {:>14} {:>14}",
+            w.name(),
+            on_secs,
+            off_secs,
+            on_stats.identity_skips,
+            on_stats.specialized_applies
+        );
+    }
+    println!("# expected: skip_on ≤ skip_off everywhere; sequential runs are all specialized");
 }

@@ -2,18 +2,39 @@
 //! sequential baseline, per benchmark and averaged, for k ∈ {1..128}.
 //!
 //! Usage: `cargo run --release -p ddsim-bench --bin fig8 [--full]
-//! [--timeout SECS] [--seed N]`
+//! [--timeout SECS] [--seed N] [--smoke]`
+//!
+//! `--smoke` shrinks the sweep to two tiny instances and two k values — a
+//! seconds-long end-to-end exercise of the harness for CI.
 
 use ddsim_bench::{
     geometric_mean_speedup, maybe_run_child, parse_harness_options, run_json, run_measured,
-    sweep_suite, Measurement,
+    sweep_suite, Measurement, Workload,
 };
 
 fn main() {
     maybe_run_child();
     let options = parse_harness_options();
-    let suite = sweep_suite(options.scale);
-    let ks: &[usize] = &[1, 2, 4, 8, 16, 32, 64, 128];
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let suite = if smoke {
+        vec![
+            Workload::Grover {
+                qubits: 9,
+                marked: 5,
+            },
+            Workload::Shor {
+                modulus: 15,
+                base: 7,
+            },
+        ]
+    } else {
+        sweep_suite(options.scale)
+    };
+    let ks: &[usize] = if smoke {
+        &[1, 4]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64, 128]
+    };
 
     println!("# Fig. 8 — speed-up of k-operations vs. sequential (Eq. 1 baseline)");
     println!(

@@ -303,6 +303,9 @@ pub enum Measurement {
         /// Per-table cache counters as a JSON object (the child's `CACHE`
         /// protocol line), when the run reported them.
         cache_json: Option<String>,
+        /// Top-level multiplication counters as a JSON object (the child's
+        /// `COUNTERS` protocol line), when the run reported them.
+        counters_json: Option<String>,
     },
     /// Exceeded the timeout and was killed (the paper's `>7200.00` rows).
     TimedOut {
@@ -358,23 +361,40 @@ pub fn cache_json(cache: &CacheStats) -> String {
     format!("{{{}}}", parts.join(","))
 }
 
+/// Serializes the run's top-level multiplication counters as a JSON
+/// object — the ablation-relevant numbers next to the wall time.
+pub fn counters_json(stats: &RunStats) -> String {
+    format!(
+        "{{\"mat_vec_mults\":{},\"mat_mat_mults\":{},\"identity_skips\":{},\"specialized_applies\":{}}}",
+        stats.mat_vec_mults, stats.mat_mat_mults, stats.identity_skips, stats.specialized_applies
+    )
+}
+
 /// One run as a self-describing JSON line for downstream tooling:
-/// benchmark, strategy, seconds (null on timeout), and the per-table
-/// `cache` object (null when the run did not report one).
+/// benchmark, strategy, seconds (null on timeout), the per-table
+/// `cache` object, and the top-level `counters` object (null when the run
+/// did not report them).
 pub fn run_json(benchmark: &str, strategy: &str, m: &Measurement) -> String {
-    let (seconds, timed_out, cache) = match m {
+    let (seconds, timed_out, cache, counters) = match m {
         Measurement::Completed {
             seconds,
             cache_json,
+            counters_json,
         } => (
             format!("{seconds:.6}"),
             false,
             cache_json.clone().unwrap_or_else(|| "null".to_string()),
+            counters_json.clone().unwrap_or_else(|| "null".to_string()),
         ),
-        Measurement::TimedOut { limit } => (format!("{limit:.6}"), true, "null".to_string()),
+        Measurement::TimedOut { limit } => (
+            format!("{limit:.6}"),
+            true,
+            "null".to_string(),
+            "null".to_string(),
+        ),
     };
     format!(
-        "{{\"benchmark\":\"{benchmark}\",\"strategy\":\"{strategy}\",\"seconds\":{seconds},\"timed_out\":{timed_out},\"cache\":{cache}}}"
+        "{{\"benchmark\":\"{benchmark}\",\"strategy\":\"{strategy}\",\"seconds\":{seconds},\"timed_out\":{timed_out},\"counters\":{counters},\"cache\":{cache}}}"
     )
 }
 
@@ -418,6 +438,7 @@ pub fn maybe_run_child() {
         let started = Instant::now();
         let stats = execute(&workload, strategy, seed);
         println!("mxv={} mxm={}", stats.mat_vec_mults, stats.mat_mat_mults);
+        println!("COUNTERS {}", counters_json(&stats));
         println!("CACHE {}", cache_json(&stats.cache));
         println!("RESULT {:.6}", started.elapsed().as_secs_f64());
         let _ = std::io::stdout().flush();
@@ -479,9 +500,15 @@ pub fn run_measured(
                     .rev()
                     .find_map(|l| l.strip_prefix("CACHE "))
                     .map(|s| s.trim().to_string());
+                let counters_json = output
+                    .lines()
+                    .rev()
+                    .find_map(|l| l.strip_prefix("COUNTERS "))
+                    .map(|s| s.trim().to_string());
                 return Measurement::Completed {
                     seconds,
                     cache_json,
+                    counters_json,
                 };
             }
             Ok(None) => {
@@ -509,6 +536,7 @@ fn run_in_process(workload: &Workload, strategy_token: &str, seed: u64) -> Measu
     Measurement::Completed {
         seconds: started.elapsed().as_secs_f64(),
         cache_json: Some(cache_json(&stats.cache)),
+        counters_json: Some(counters_json(&stats)),
     }
 }
 
@@ -667,6 +695,7 @@ mod tests {
         Measurement::Completed {
             seconds,
             cache_json: None,
+            counters_json: None,
         }
     }
 
@@ -708,14 +737,36 @@ mod tests {
             "conj_transpose",
             "kron_vec",
             "kron_mat",
+            "apply_gate",
             "vec_unique",
             "mat_unique",
         ] {
             assert!(json.contains(&format!("\"{table}\":{{")), "missing {table}");
         }
         assert!(json.starts_with('{') && json.ends_with('}'));
-        // The gate applications must have hit the MxV cache counters.
-        assert!(stats.cache.mat_vec.lookups > 0);
+        // Sequential gate application routes through the specialized
+        // kernels, so the apply-gate cache must have seen the traffic.
+        assert!(stats.cache.apply_gate.lookups > 0);
+    }
+
+    #[test]
+    fn counters_json_reports_specialized_applies() {
+        let stats = execute(
+            &Workload::Grover {
+                qubits: 5,
+                marked: 1,
+            },
+            "sequential",
+            0,
+        );
+        let json = counters_json(&stats);
+        assert!(json.contains(&format!("\"mat_vec_mults\":{}", stats.mat_vec_mults)));
+        assert!(json.contains(&format!(
+            "\"specialized_applies\":{}",
+            stats.specialized_applies
+        )));
+        assert!(stats.specialized_applies > 0);
+        assert!(json.contains("\"identity_skips\":"));
     }
 
     #[test]
@@ -723,14 +774,17 @@ mod tests {
         let m = Measurement::Completed {
             seconds: 1.25,
             cache_json: Some("{\"x\":1}".to_string()),
+            counters_json: Some("{\"y\":2}".to_string()),
         };
         let line = run_json("grover_5", "sequential", &m);
         assert!(line.contains("\"benchmark\":\"grover_5\""));
         assert!(line.contains("\"seconds\":1.250000"));
         assert!(line.contains("\"timed_out\":false"));
         assert!(line.contains("\"cache\":{\"x\":1}"));
+        assert!(line.contains("\"counters\":{\"y\":2}"));
         let t = run_json("g", "s", &Measurement::TimedOut { limit: 60.0 });
         assert!(t.contains("\"timed_out\":true"));
         assert!(t.contains("\"cache\":null"));
+        assert!(t.contains("\"counters\":null"));
     }
 }

@@ -88,6 +88,8 @@ OPTIONS:
                              [default: 14]
     --no-cache               disable compute-table memoization (identical
                              results, for ablation)
+    --no-identity-skip       disable identity short-circuits and the
+                             specialized gate-apply kernels (for ablation)
     --gc-threshold N         live-node count that triggers garbage
                              collection [default: 250000]
     --help                   show this text
@@ -163,6 +165,7 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseArgsError> {
                 i += 1;
             }
             "--no-cache" => dd_config.cache_enabled = false,
+            "--no-identity-skip" => dd_config.identity_skip = false,
             "--gc-threshold" => {
                 dd_config.gc_threshold = parse_value(argv.get(i + 1), "--gc-threshold")?;
                 i += 1;
@@ -298,6 +301,7 @@ mod tests {
         assert_eq!(a.dd_config.compute_table_bits, d.compute_table_bits);
         assert_eq!(a.dd_config.unique_table_bits, d.unique_table_bits);
         assert!(a.dd_config.cache_enabled);
+        assert!(a.dd_config.identity_skip);
         assert_eq!(a.dd_config.gc_threshold, d.gc_threshold);
     }
 
@@ -310,6 +314,7 @@ mod tests {
             "--ut-bits",
             "10",
             "--no-cache",
+            "--no-identity-skip",
             "--gc-threshold",
             "5000",
         ]))
@@ -317,6 +322,7 @@ mod tests {
         assert_eq!(a.dd_config.compute_table_bits, 12);
         assert_eq!(a.dd_config.unique_table_bits, 10);
         assert!(!a.dd_config.cache_enabled);
+        assert!(!a.dd_config.identity_skip);
         assert_eq!(a.dd_config.gc_threshold, 5000);
     }
 

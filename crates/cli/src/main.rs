@@ -137,6 +137,8 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             println!("elementary_gates   {}", stats.elementary_gates);
             println!("mat_vec_mults      {}", stats.mat_vec_mults);
             println!("mat_mat_mults      {}", stats.mat_mat_mults);
+            println!("identity_skips     {}", stats.identity_skips);
+            println!("specialized_applies {}", stats.specialized_applies);
             println!("mult_recursions    {}", stats.mult_recursions);
             println!("add_recursions     {}", stats.add_recursions);
             println!("peak_state_nodes   {}", stats.peak_state_nodes);

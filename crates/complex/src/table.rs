@@ -75,6 +75,10 @@ type BucketKey = (i64, i64);
 #[derive(Clone, Debug)]
 pub struct ComplexTable {
     values: Vec<Complex>,
+    /// Squared magnitude of each stored value, filled at intern time so
+    /// normalization pivot selection is an array read instead of a complex
+    /// reload plus multiply-adds on every node build.
+    norms: Vec<f64>,
     buckets: HashMap<BucketKey, Vec<u32>>,
     tolerance: f64,
 }
@@ -97,6 +101,7 @@ impl ComplexTable {
         );
         let mut table = ComplexTable {
             values: Vec::with_capacity(1024),
+            norms: Vec::with_capacity(1024),
             buckets: HashMap::with_capacity(1024),
             tolerance,
         };
@@ -132,6 +137,12 @@ impl ComplexTable {
     #[inline]
     pub fn value(&self, id: ComplexId) -> Complex {
         self.values[id.index()]
+    }
+
+    /// Squared magnitude of a stored value, precomputed at intern time.
+    #[inline]
+    pub fn norm_sqr(&self, id: ComplexId) -> f64 {
+        self.norms[id.index()]
     }
 
     /// Absolute equality at this table's tolerance.
@@ -259,6 +270,7 @@ impl ComplexTable {
     fn insert_raw(&mut self, c: Complex) -> ComplexId {
         let raw = u32::try_from(self.values.len()).expect("complex table overflow");
         self.values.push(c);
+        self.norms.push(c.norm_sqr());
         let key = self.grid_coords(c);
         self.buckets.entry(key).or_default().push(raw);
         ComplexId(raw)

@@ -96,6 +96,9 @@ pub struct Simulator {
     // Accumulated, not-yet-applied product of combined gate matrices.
     pending: Option<MatEdge>,
     pending_gates: u64,
+    // The gate behind `pending` while the group holds exactly one gate, so
+    // a single-gate flush can route through the specialized apply kernels.
+    pending_single: Option<GateOp>,
     // State DD size as of the last application (drives Strategy::Adaptive).
     cached_state_nodes: usize,
     stats: RunStats,
@@ -129,6 +132,7 @@ impl Simulator {
             options,
             pending: None,
             pending_gates: 0,
+            pending_single: None,
             cached_state_nodes: 1,
             stats: RunStats::default(),
         }
@@ -238,14 +242,10 @@ impl Simulator {
     fn process_ops(&mut self, ops: &[Operation]) {
         for op in ops {
             match op {
-                Operation::Gate(g) => {
-                    let m = self.gate_matrix(g);
-                    self.feed(m);
-                }
+                Operation::Gate(g) => self.feed_gate(g),
                 Operation::Swap { a, b, controls } => {
                     for g in lower_swap(*a, *b, controls) {
-                        let m = self.gate_matrix(&g);
-                        self.feed(m);
+                        self.feed_gate(&g);
                     }
                 }
                 Operation::Barrier => self.flush(),
@@ -259,16 +259,14 @@ impl Simulator {
                     let outcome = self.measure(*qubit);
                     if outcome {
                         let g = GateOp::new(ddsim_circuit::StandardGate::X, *qubit);
-                        let m = self.gate_matrix(&g);
-                        self.apply_now(m, 1);
+                        self.apply_gate_now(&g);
                     }
                 }
                 Operation::Classical { gate, cbit, value } => {
                     // The condition is already known classically, so the
                     // gate either joins the stream or vanishes.
                     if self.classical[*cbit] == *value {
-                        let m = self.gate_matrix(gate);
-                        self.feed(m);
+                        self.feed_gate(gate);
                     }
                 }
                 Operation::Repeat { body, times } => self.process_repeat(body, *times),
@@ -368,25 +366,32 @@ impl Simulator {
         m
     }
 
-    /// Feeds one elementary gate matrix into the strategy.
-    fn feed(&mut self, m: MatEdge) {
+    /// Whether gate application may bypass matrix construction and go
+    /// through the specialized apply kernels. Tracing needs the gate
+    /// matrix DD for its per-step node counts, so it forces the generic
+    /// path.
+    fn use_specialized(&self) -> bool {
+        self.options.dd_config.identity_skip && !self.options.collect_trace
+    }
+
+    /// Feeds one elementary gate into the strategy.
+    fn feed_gate(&mut self, g: &GateOp) {
         self.stats.elementary_gates += 1;
         match self.options.strategy {
             Strategy::Sequential => {
-                self.apply_now(m, 1);
+                self.apply_gate_now(g);
+            }
+            Strategy::KOperations { k } | Strategy::DdRepeating { k } if k <= 1 => {
+                self.apply_gate_now(g);
             }
             Strategy::KOperations { k } | Strategy::DdRepeating { k } => {
-                if k <= 1 {
-                    self.apply_now(m, 1);
-                    return;
-                }
-                self.accumulate(m);
+                self.accumulate_gate(g);
                 if self.pending_gates >= k as u64 {
                     self.flush();
                 }
             }
             Strategy::MaxSize { s_max } => {
-                self.accumulate(m);
+                self.accumulate_gate(g);
                 let nodes = self.pending.map(|p| self.dd.mat_node_count(p)).unwrap_or(0);
                 if nodes > self.stats.peak_matrix_nodes {
                     self.stats.peak_matrix_nodes = nodes;
@@ -396,7 +401,7 @@ impl Simulator {
                 }
             }
             Strategy::Adaptive { ratio_millis, cap } => {
-                self.accumulate(m);
+                self.accumulate_gate(g);
                 let nodes = self.pending.map(|p| self.dd.mat_node_count(p)).unwrap_or(0);
                 if nodes > self.stats.peak_matrix_nodes {
                     self.stats.peak_matrix_nodes = nodes;
@@ -411,6 +416,18 @@ impl Simulator {
                 }
             }
         }
+    }
+
+    /// Builds the gate's matrix DD and folds it into the pending product,
+    /// remembering the gate itself while the group stays at one gate.
+    fn accumulate_gate(&mut self, g: &GateOp) {
+        self.pending_single = if self.pending.is_none() {
+            Some(g.clone())
+        } else {
+            None
+        };
+        let m = self.gate_matrix(g);
+        self.accumulate(m);
     }
 
     fn accumulate(&mut self, m: MatEdge) {
@@ -432,9 +449,19 @@ impl Simulator {
 
     /// Applies any accumulated product to the state.
     fn flush(&mut self) {
+        let single = self.pending_single.take();
         if let Some(p) = self.pending.take() {
             let gates = self.pending_gates;
             self.pending_gates = 0;
+            if gates == 1 && self.use_specialized() {
+                if let Some(g) = single {
+                    // A one-gate group gains nothing from the matrix DD:
+                    // drop it and descend the state directly.
+                    self.dd.dec_ref_mat(p);
+                    self.apply_gate_now(&g);
+                    return;
+                }
+            }
             if self.options.collect_trace
                 || matches!(self.options.strategy, Strategy::MaxSize { .. })
             {
@@ -446,6 +473,34 @@ impl Simulator {
             self.apply_now(p, gates);
             self.dd.dec_ref_mat(p);
         }
+    }
+
+    /// Applies one elementary gate to the state, preferring the specialized
+    /// kernels (which never build a matrix DD and never touch levels above
+    /// the gate) when [`Self::use_specialized`] allows it.
+    fn apply_gate_now(&mut self, g: &GateOp) {
+        if !self.use_specialized() {
+            let m = self.gate_matrix(g);
+            self.apply_now(m, 1);
+            return;
+        }
+        let before = self.dd.stats();
+        let u = g.gate.matrix();
+        let next = if g.controls.is_empty() {
+            self.dd.apply_single_qubit(g.target, u, self.state)
+        } else {
+            self.dd
+                .apply_controlled(&g.controls, g.target, u, self.state)
+        };
+        self.dd.inc_ref_vec(next);
+        self.dd.dec_ref_vec(self.state);
+        self.state = next;
+        let after = self.dd.stats();
+        self.stats.absorb_dd_delta(before, after);
+        if matches!(self.options.strategy, Strategy::Adaptive { .. }) {
+            self.cached_state_nodes = self.dd.vec_node_count(self.state);
+        }
+        self.collect_if_needed();
     }
 
     /// One matrix-vector application, with bookkeeping.

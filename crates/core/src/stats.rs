@@ -30,6 +30,11 @@ pub struct RunStats {
     pub mat_vec_mults: u64,
     /// Matrix-matrix multiplications performed.
     pub mat_mat_mults: u64,
+    /// Multiplications answered by an identity short-circuit (no recursion).
+    pub identity_skips: u64,
+    /// Matrix-vector multiplications served by the specialized gate-apply
+    /// kernels (counted inside `mat_vec_mults` as well).
+    pub specialized_applies: u64,
     /// Recursive multiply steps (machine-independent cost proxy).
     pub mult_recursions: u64,
     /// Recursive add steps.
@@ -53,6 +58,8 @@ impl RunStats {
     pub(crate) fn absorb_dd_delta(&mut self, before: DdStats, after: DdStats) {
         self.mat_vec_mults += after.mat_vec_mults - before.mat_vec_mults;
         self.mat_mat_mults += after.mat_mat_mults - before.mat_mat_mults;
+        self.identity_skips += after.identity_skips - before.identity_skips;
+        self.specialized_applies += after.specialized_applies - before.specialized_applies;
         self.mult_recursions += after.mult_recursions - before.mult_recursions;
         self.add_recursions += after.add_recursions - before.add_recursions;
         self.gc_runs += after.gc_runs - before.gc_runs;
@@ -87,6 +94,8 @@ mod tests {
             add_recursions: 11,
             compute_hits: 3,
             compute_lookups: 9,
+            identity_skips: 4,
+            specialized_applies: 2,
             gc_runs: 1,
             cache,
         };
@@ -94,6 +103,8 @@ mod tests {
         stats.absorb_dd_delta(before, after);
         assert_eq!(stats.mat_vec_mults, 6);
         assert_eq!(stats.mat_mat_mults, 6);
+        assert_eq!(stats.identity_skips, 8);
+        assert_eq!(stats.specialized_applies, 4);
         assert_eq!(stats.mult_recursions, 40);
         assert_eq!(stats.add_recursions, 12);
         assert_eq!(stats.gc_runs, 2);

@@ -140,6 +140,8 @@ pub struct CacheStats {
     pub kron_vec: TableStats,
     /// Matrix Kronecker-product cache.
     pub kron_mat: TableStats,
+    /// Specialized gate-application cache (identity-skipping kernels).
+    pub apply_gate: TableStats,
     /// Vector unique (hash-consing) table.
     pub vec_unique: UniqueTableStats,
     /// Matrix unique (hash-consing) table.
@@ -149,7 +151,7 @@ pub struct CacheStats {
 impl CacheStats {
     /// The compute tables as `(name, stats)` pairs, in a stable order
     /// (for reports and JSON emission).
-    pub fn named_compute(&self) -> [(&'static str, TableStats); 7] {
+    pub fn named_compute(&self) -> [(&'static str, TableStats); 8] {
         [
             ("add_vec", self.add_vec),
             ("add_mat", self.add_mat),
@@ -158,6 +160,7 @@ impl CacheStats {
             ("conj_transpose", self.conj_transpose),
             ("kron_vec", self.kron_vec),
             ("kron_mat", self.kron_mat),
+            ("apply_gate", self.apply_gate),
         ]
     }
 
@@ -189,6 +192,7 @@ impl CacheStats {
             conj_transpose: self.conj_transpose.delta(&before.conj_transpose),
             kron_vec: self.kron_vec.delta(&before.kron_vec),
             kron_mat: self.kron_mat.delta(&before.kron_mat),
+            apply_gate: self.apply_gate.delta(&before.apply_gate),
             vec_unique: self.vec_unique.delta(&before.vec_unique),
             mat_unique: self.mat_unique.delta(&before.mat_unique),
         }
@@ -203,6 +207,7 @@ impl CacheStats {
         self.conj_transpose.accumulate(&other.conj_transpose);
         self.kron_vec.accumulate(&other.kron_vec);
         self.kron_mat.accumulate(&other.kron_mat);
+        self.apply_gate.accumulate(&other.apply_gate);
         self.vec_unique.accumulate(&other.vec_unique);
         self.mat_unique.accumulate(&other.mat_unique);
     }
@@ -319,6 +324,9 @@ pub(crate) struct ComputeTables {
     pub conj_transpose: ComputeTable<NodeId, MatEdge>,
     pub kron_vec: ComputeTable<(NodeId, VecEdge), VecEdge>,
     pub kron_mat: ComputeTable<(NodeId, MatEdge), MatEdge>,
+    /// Keyed on (interned gate-operation tag, state node); see
+    /// [`DdManager::apply_single_qubit`](crate::DdManager::apply_single_qubit).
+    pub apply_gate: ComputeTable<(u32, NodeId), VecEdge>,
 }
 
 impl ComputeTables {
@@ -334,6 +342,7 @@ impl ComputeTables {
             conj_transpose: ComputeTable::with_bits(bits, enabled, t, zm),
             kron_vec: ComputeTable::with_bits(bits, enabled, (t, zv), zv),
             kron_mat: ComputeTable::with_bits(bits, enabled, (t, zm), zm),
+            apply_gate: ComputeTable::with_bits(bits, enabled, (u32::MAX, t), zv),
         }
     }
 
@@ -347,6 +356,7 @@ impl ComputeTables {
         self.conj_transpose.clear();
         self.kron_vec.clear();
         self.kron_mat.clear();
+        self.apply_gate.clear();
     }
 
     /// Total number of cached entries (diagnostics).
@@ -358,6 +368,7 @@ impl ComputeTables {
             + self.conj_transpose.len()
             + self.kron_vec.len()
             + self.kron_mat.len()
+            + self.apply_gate.len()
     }
 
     /// Zeroes every table's counters.
@@ -369,6 +380,7 @@ impl ComputeTables {
         self.conj_transpose.stats = TableStats::default();
         self.kron_vec.stats = TableStats::default();
         self.kron_mat.stats = TableStats::default();
+        self.apply_gate.stats = TableStats::default();
     }
 }
 

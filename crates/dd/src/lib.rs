@@ -38,6 +38,7 @@
 //! assert!(dd.vec_amplitude(state, 0b10).approx_eq(h, 1e-12));
 //! ```
 
+mod apply;
 mod compute;
 mod edge;
 mod export;

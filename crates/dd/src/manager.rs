@@ -36,6 +36,15 @@ pub(crate) struct VecNode {
 pub(crate) struct MatNode {
     pub level: Level,
     pub edges: [MatEdge; 4],
+    /// Whether this node denotes the identity matrix of its level.
+    ///
+    /// Computed once at construction: the node is an identity iff its
+    /// off-diagonal quadrants are zero and both diagonal edges are the
+    /// *same* unit-weight edge to the identity one level below (or the
+    /// terminal at level 1). Normalization guarantees any scalar multiple
+    /// of the identity canonicalizes to this node with the scalar on the
+    /// incoming edge, which is what makes the O(1) check sound.
+    pub identity: bool,
 }
 
 /// One arena slot; freed slots are chained through the free list.
@@ -135,6 +144,12 @@ pub struct DdStats {
     pub compute_hits: u64,
     /// Compute-table lookups across all operation caches.
     pub compute_lookups: u64,
+    /// Multiplications short-circuited on a recognized identity operand.
+    pub identity_skips: u64,
+    /// Gate applications served by the specialized identity-skipping
+    /// kernels ([`DdManager::apply_single_qubit`] /
+    /// [`DdManager::apply_controlled`]) without building a matrix DD.
+    pub specialized_applies: u64,
     /// Garbage collections run.
     pub gc_runs: u64,
     /// Per-table cache counters (compute and unique tables).
@@ -159,6 +174,11 @@ pub struct DdConfig {
     /// Disables all compute-table memoization when `false` (the diagrams
     /// produced are identical; only the work to build them changes).
     pub cache_enabled: bool,
+    /// Enables identity recognition in the multiplication kernels and the
+    /// specialized gate-application fast paths when `true`. Disabling
+    /// routes everything through the generic recursions (the diagrams
+    /// produced are identical; only the work to build them changes).
+    pub identity_skip: bool,
 }
 
 impl Default for DdConfig {
@@ -169,6 +189,7 @@ impl Default for DdConfig {
             compute_table_bits: 16,
             unique_table_bits: 14,
             cache_enabled: true,
+            identity_skip: true,
         }
     }
 }
@@ -196,7 +217,13 @@ pub struct DdManager {
     /// sentinel). Incremented by every garbage collection.
     pub(crate) epoch: u32,
     pub(crate) stats: DdStats,
-    config: DdConfig,
+    pub(crate) config: DdConfig,
+    /// Canonical identity edges by qubit count (`identity_cache[i]` is the
+    /// identity over `i + 1` qubits). Nodes are ref-pinned so they survive
+    /// garbage collection; all weights are ONE.
+    pub(crate) identity_cache: Vec<MatEdge>,
+    /// Interned specialized gate operations (see `apply.rs`).
+    pub(crate) apply_ops: crate::apply::ApplyOpRegistry,
 }
 
 impl DdManager {
@@ -217,6 +244,8 @@ impl DdManager {
             epoch: 1,
             stats: DdStats::default(),
             config,
+            identity_cache: Vec::new(),
+            apply_ops: crate::apply::ApplyOpRegistry::default(),
         }
     }
 
@@ -248,6 +277,7 @@ impl DdManager {
             conj_transpose: self.compute.conj_transpose.stats,
             kron_vec: self.compute.kron_vec.stats,
             kron_mat: self.compute.kron_mat.stats,
+            apply_gate: self.compute.apply_gate.stats,
             vec_unique: self.vec_unique.stats,
             mat_unique: self.mat_unique.stats,
         }
@@ -450,7 +480,22 @@ impl DdManager {
         let node = match self.mat_unique.get(&key) {
             Some(id) => id,
             None => {
-                let id = self.mat_arena.alloc(MatNode { level, edges });
+                // Identity recognition happens once, here: after
+                // normalization a (scaled) identity always has zero
+                // off-diagonal quadrants and the *same* unit-weight edge to
+                // an identity child in both diagonal slots, so the check is
+                // purely structural and O(1).
+                let identity = edges[1].is_zero()
+                    && edges[2].is_zero()
+                    && edges[0] == edges[3]
+                    && !edges[0].is_zero()
+                    && edges[0].weight.is_one()
+                    && self.is_identity_node(edges[0].node);
+                let id = self.mat_arena.alloc(MatNode {
+                    level,
+                    edges,
+                    identity,
+                });
                 self.mat_unique.insert(key, id);
                 for e in &edges {
                     self.inc_ref_node_mat(e.node);
@@ -459,6 +504,25 @@ impl DdManager {
             }
         };
         MatEdge { node, weight: top }
+    }
+
+    /// Whether `id` denotes an identity matrix node (the terminal counts:
+    /// it is the 1x1 identity when reached with weight ONE). O(1) — reads
+    /// the flag stamped at construction.
+    #[inline]
+    pub(crate) fn is_identity_node(&self, id: NodeId) -> bool {
+        id.is_terminal() || self.mat_node(id).identity
+    }
+
+    /// Whether `e` is *exactly* the identity matrix of its level: a
+    /// unit-weight edge to an identity node. O(1).
+    ///
+    /// Scaled identities (`c·I` with `c ≠ 1`) return `false`; the
+    /// multiplication kernels check the node flag directly because the
+    /// scalar factors out of products anyway.
+    #[inline]
+    pub fn is_identity(&self, e: MatEdge) -> bool {
+        e.weight.is_one() && self.is_identity_node(e.node)
     }
 
     /// The normalization pivot: the first weight of strictly maximal
@@ -470,7 +534,7 @@ impl DdManager {
             if w.is_zero() {
                 continue;
             }
-            let mag = self.complex.value(w).norm_sqr();
+            let mag = self.complex.norm_sqr(w);
             match best {
                 Some((_, best_mag)) if best_mag >= mag => {}
                 _ => best = Some((w, mag)),

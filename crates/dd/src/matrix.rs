@@ -54,12 +54,27 @@ impl Control {
 
 impl DdManager {
     /// The identity matrix DD over `n` qubits (one node per level).
+    ///
+    /// Served from a per-level cache: each level's canonical identity edge
+    /// is built at most once per manager, ref-pinned against garbage
+    /// collection, and returned in O(1) afterwards — repeated calls touch
+    /// neither the arena nor the unique table.
     pub fn mat_identity(&mut self, n: u32) -> MatEdge {
-        let mut edge = MatEdge::terminal(ComplexId::ONE);
-        for level in 1..=n {
-            edge = self.make_mat_node(level, [edge, MatEdge::ZERO, MatEdge::ZERO, edge]);
+        while (self.identity_cache.len() as u32) < n {
+            let level = self.identity_cache.len() as Level + 1;
+            let below = match level {
+                1 => MatEdge::terminal(ComplexId::ONE),
+                _ => self.identity_cache[level as usize - 2],
+            };
+            let edge = self.make_mat_node(level, [below, MatEdge::ZERO, MatEdge::ZERO, below]);
+            debug_assert!(self.is_identity(edge));
+            self.inc_ref_mat(edge);
+            self.identity_cache.push(edge);
         }
-        edge
+        match n {
+            0 => MatEdge::terminal(ComplexId::ONE),
+            _ => self.identity_cache[n as usize - 1],
+        }
     }
 
     /// Builds the `n`-qubit unitary applying the 2x2 matrix `u` to qubit
@@ -511,6 +526,52 @@ mod tests {
                 assert!(v.approx_eq(want, 1e-12));
             }
         }
+    }
+
+    #[test]
+    fn repeated_identity_requests_allocate_nothing() {
+        let mut dd = DdManager::new();
+        let first = dd.mat_identity(8);
+        let smaller = dd.mat_identity(3); // prefix of the same cache
+        let nodes = dd.live_mat_nodes();
+        let lookups = dd.stats().cache.mat_unique.lookups;
+        for _ in 0..16 {
+            assert_eq!(dd.mat_identity(8), first);
+            assert_eq!(dd.mat_identity(3), smaller);
+        }
+        // Cache hits must bypass the unique table entirely.
+        assert_eq!(dd.live_mat_nodes(), nodes);
+        assert_eq!(dd.stats().cache.mat_unique.lookups, lookups);
+    }
+
+    #[test]
+    fn identity_cache_survives_garbage_collection() {
+        let mut dd = DdManager::new();
+        let id = dd.mat_identity(5);
+        dd.collect_garbage();
+        assert_eq!(dd.mat_identity(5), id);
+        assert_eq!(dd.mat_node_count(id), 5);
+    }
+
+    #[test]
+    fn identity_flag_tracks_structure() {
+        let mut dd = DdManager::new();
+        let id = dd.mat_identity(4);
+        assert!(dd.is_identity(id));
+        let h = dd.mat_single_qubit(4, 1, h_gate());
+        assert!(!dd.is_identity(h));
+        // An identity produced by arithmetic (H·H) must be recognized too.
+        let hh = dd.mat_mat_mul(h, h);
+        assert!(dd.is_identity(hh));
+        // A global phase i·I normalizes to the identity node with weight i:
+        // identity structure, but not the multiplicative neutral element.
+        let phased = dd.mat_single_qubit(
+            4,
+            0,
+            [[Complex::I, Complex::ZERO], [Complex::ZERO, Complex::I]],
+        );
+        assert_eq!(phased.node, id.node);
+        assert!(!dd.is_identity(phased));
     }
 
     #[test]

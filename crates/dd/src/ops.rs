@@ -20,7 +20,7 @@ use crate::manager::DdManager;
 /// written (terminals are never freed). See the epoch scheme documented on
 /// [`DdManager::collect_garbage`].
 #[inline]
-fn live(free_epoch: &[u32], id: NodeId, entry_epoch: u32) -> bool {
+pub(crate) fn live(free_epoch: &[u32], id: NodeId, entry_epoch: u32) -> bool {
     id.is_terminal() || free_epoch[id.index()] < entry_epoch
 }
 
@@ -98,7 +98,7 @@ impl DdManager {
 
     /// Like [`add_vec`](Self::add_vec) but without the level assertion
     /// (children of validated parents are already consistent).
-    fn add_vec_inner(&mut self, a: VecEdge, b: VecEdge) -> VecEdge {
+    pub(crate) fn add_vec_inner(&mut self, a: VecEdge, b: VecEdge) -> VecEdge {
         if a.is_zero() {
             return b;
         }
@@ -246,6 +246,15 @@ impl DdManager {
         if m.node.is_terminal() && v.node.is_terminal() {
             return VecEdge::terminal(outer);
         }
+        // I·v = v: the scalar already lives in `outer`, so an identity
+        // operand needs no recursion, no cache entry, and no new nodes.
+        if self.config.identity_skip && self.is_identity_node(m.node) {
+            self.stats.identity_skips += 1;
+            return VecEdge {
+                node: v.node,
+                weight: outer,
+            };
+        }
         let key = (m.node, v.node);
         let mfe = &self.mat_arena.free_epoch;
         let vfe = &self.vec_arena.free_epoch;
@@ -273,13 +282,29 @@ impl DdManager {
         let level = mn.level;
         // [M00 M01; M10 M11] × [v0; v1] = [M00·v0 + M01·v1; M10·v0 + M11·v1]
         // (the paper's Fig. 3, with the two intermediate vectors fused into
-        // pairwise additions of the sub-products).
-        let x0 = self.mat_vec_inner(mn.edges[0], vn.edges[0]);
-        let y0 = self.mat_vec_inner(mn.edges[1], vn.edges[1]);
-        let lo = self.add_vec_inner(x0, y0);
-        let x1 = self.mat_vec_inner(mn.edges[2], vn.edges[0]);
-        let y1 = self.mat_vec_inner(mn.edges[3], vn.edges[1]);
-        let hi = self.add_vec_inner(x1, y1);
+        // pairwise additions of the sub-products). A structural zero in the
+        // matrix row elides its sub-product and the addition outright —
+        // every level of a controlled gate above its target has two zero
+        // children, so this is the common shape — and `x + 0 = x` keeps the
+        // result bitwise identical to the unelided recursion.
+        let lo = if mn.edges[1].is_zero() {
+            self.mat_vec_inner(mn.edges[0], vn.edges[0])
+        } else if mn.edges[0].is_zero() {
+            self.mat_vec_inner(mn.edges[1], vn.edges[1])
+        } else {
+            let x0 = self.mat_vec_inner(mn.edges[0], vn.edges[0]);
+            let y0 = self.mat_vec_inner(mn.edges[1], vn.edges[1]);
+            self.add_vec_inner(x0, y0)
+        };
+        let hi = if mn.edges[3].is_zero() {
+            self.mat_vec_inner(mn.edges[2], vn.edges[0])
+        } else if mn.edges[2].is_zero() {
+            self.mat_vec_inner(mn.edges[3], vn.edges[1])
+        } else {
+            let x1 = self.mat_vec_inner(mn.edges[2], vn.edges[0]);
+            let y1 = self.mat_vec_inner(mn.edges[3], vn.edges[1]);
+            self.add_vec_inner(x1, y1)
+        };
         self.make_vec_node(level, [lo, hi])
     }
 
@@ -313,6 +338,23 @@ impl DdManager {
         if a.node.is_terminal() && b.node.is_terminal() {
             return MatEdge::terminal(outer);
         }
+        // I·B = B and A·I = A, with the scalars already folded into `outer`.
+        if self.config.identity_skip {
+            if self.is_identity_node(a.node) {
+                self.stats.identity_skips += 1;
+                return MatEdge {
+                    node: b.node,
+                    weight: outer,
+                };
+            }
+            if self.is_identity_node(b.node) {
+                self.stats.identity_skips += 1;
+                return MatEdge {
+                    node: a.node,
+                    weight: outer,
+                };
+            }
+        }
         let key = (a.node, b.node);
         let fe = &self.mat_arena.free_epoch;
         let unit = if let Some(cached) = self.compute.mat_mat.lookup(&key, |k, v, ep| {
@@ -340,10 +382,19 @@ impl DdManager {
         let mut children = [MatEdge::ZERO; 4];
         for r in 0..2usize {
             for c in 0..2usize {
-                // (A×B)_{rc} = A_{r0}·B_{0c} + A_{r1}·B_{1c}
-                let p0 = self.mat_mat_inner(an.edges[2 * r], bn.edges[c]);
-                let p1 = self.mat_mat_inner(an.edges[2 * r + 1], bn.edges[2 + c]);
-                children[2 * r + c] = self.add_mat_inner(p0, p1);
+                // (A×B)_{rc} = A_{r0}·B_{0c} + A_{r1}·B_{1c}, with the same
+                // structural-zero elision as the matrix-vector recursion
+                // (gate DDs are mostly zeros, and `x + 0 = x` bitwise).
+                children[2 * r + c] = if an.edges[2 * r + 1].is_zero() || bn.edges[2 + c].is_zero()
+                {
+                    self.mat_mat_inner(an.edges[2 * r], bn.edges[c])
+                } else if an.edges[2 * r].is_zero() || bn.edges[c].is_zero() {
+                    self.mat_mat_inner(an.edges[2 * r + 1], bn.edges[2 + c])
+                } else {
+                    let p0 = self.mat_mat_inner(an.edges[2 * r], bn.edges[c]);
+                    let p1 = self.mat_mat_inner(an.edges[2 * r + 1], bn.edges[2 + c]);
+                    self.add_mat_inner(p0, p1)
+                };
             }
         }
         self.make_mat_node(level, children)
@@ -362,6 +413,14 @@ impl DdManager {
         let w = self.complex.conj(m.weight);
         if m.node.is_terminal() {
             return MatEdge::terminal(w);
+        }
+        // The identity is Hermitian: I† = I, only the weight conjugates.
+        if self.config.identity_skip && self.is_identity_node(m.node) {
+            self.stats.identity_skips += 1;
+            return MatEdge {
+                node: m.node,
+                weight: w,
+            };
         }
         let fe = &self.mat_arena.free_epoch;
         let unit = if let Some(cached) = self
@@ -442,6 +501,22 @@ impl DdManager {
     pub fn kron_mat(&mut self, a: MatEdge, b: MatEdge) -> MatEdge {
         if a.is_zero() || b.is_zero() {
             return MatEdge::ZERO;
+        }
+        // I(k) ⊗ I(l) = I(k+l): serve the canonical identity from the
+        // per-level cache instead of recursing (hash-consing makes the
+        // result identical to what the recursion would build).
+        if self.config.identity_skip
+            && self.is_identity_node(a.node)
+            && self.is_identity_node(b.node)
+        {
+            self.stats.identity_skips += 1;
+            let levels = self.mat_level(a) + self.mat_level(b);
+            let id = self.mat_identity(levels);
+            let weight = self.complex.mul(a.weight, b.weight);
+            return MatEdge {
+                node: id.node,
+                weight,
+            };
         }
         let outer = a.weight;
         let unit = self.kron_mat_unit(

@@ -349,6 +349,66 @@ proptest! {
     }
 
     #[test]
+    fn identity_skip_on_and_off_agree_bitwise(ops in random_ops()) {
+        // The identity short-circuits return exactly the edge the generic
+        // recursion would have produced (the recursion's arithmetic reduces
+        // to `mul(ONE, x) = x` fast paths on identity operands), so skipping
+        // is invisible even at the bit level.
+        let on = run_ops(DdConfig::default(), &ops, false);
+        let off = run_ops(
+            DdConfig { identity_skip: false, ..DdConfig::default() },
+            &ops,
+            false,
+        );
+        assert_bitwise_equal(&on, &off);
+    }
+
+    #[test]
+    fn specialized_kernels_match_generic(ops in random_ops()) {
+        // The specialized apply kernels skip the gate-matrix DD and with it
+        // that DD's normalization pivots, so they associate the same scalar
+        // products differently — e.g. fl(s·v0) + fl(s·v1) where the generic
+        // recursion computes fl(s·(v0 + v1)). Single-step drift is ≤ a few
+        // ulp and usually collapses to the same interned weight, but over a
+        // deep random circuit it can straddle a 1e-13 interning bucket, so
+        // exact edge equality is checked only for shallow circuits (see the
+        // module tests in apply.rs); here the two paths must agree on every
+        // amplitude far below the weight-unification tolerance.
+        let mut dd = DdManager::new();
+        let mut generic = dd.vec_basis(N, 0);
+        let mut fast = generic;
+        dd.inc_ref_vec(generic);
+        dd.inc_ref_vec(fast);
+        for (u, target, control) in &ops {
+            let (gate, next_fast) = match control {
+                Some(c) if c != target => {
+                    let ctrls = [Control::pos(*c)];
+                    (
+                        dd.mat_controlled(N, &ctrls, *target, *u),
+                        dd.apply_controlled(&ctrls, *target, *u, fast),
+                    )
+                }
+                _ => (
+                    dd.mat_single_qubit(N, *target, *u),
+                    dd.apply_single_qubit(*target, *u, fast),
+                ),
+            };
+            let next_generic = dd.mat_vec_mul(gate, generic);
+            dd.dec_ref_vec(generic);
+            dd.dec_ref_vec(fast);
+            dd.inc_ref_vec(next_generic);
+            dd.inc_ref_vec(next_fast);
+            generic = next_generic;
+            fast = next_fast;
+        }
+        let want = dd.vec_to_amplitudes(generic);
+        let got = dd.vec_to_amplitudes(fast);
+        for (i, (x, y)) in want.iter().zip(got.iter()).enumerate() {
+            prop_assert!(x.approx_eq(*y, 1e-10), "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
     fn gc_surviving_caches_stay_correct(ops in random_ops()) {
         // Collecting after every gate exercises the epoch invalidation on
         // each step: stale entries must be dropped, surviving ones reused.

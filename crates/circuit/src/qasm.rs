@@ -2,13 +2,23 @@
 //!
 //! Supported statements: the `OPENQASM 2.0;` header, `include` (ignored),
 //! one `qreg` and at most one `creg`, the standard gates
-//! `id x y z h s sdg t tdg sx rx ry rz u1 u2 u3 cx cz ccx cswap swap`,
-//! controlled phases `cu1`, plus `measure`, `reset`, `barrier`, and
-//! single-bit `if (c == k)` conditionals on a size-1 classical register.
-//! Comments (`//`) are stripped. Expressions in parameters support
-//! `pi`, numeric literals, unary minus, `+ - * /`, and parentheses.
+//! `id x y z h s sdg t tdg sx sxdg sy sydg rx ry rz u1 u2 u3 cx cz ccx
+//! cswap swap`, controlled phases `cu1`, plus `measure`, `reset`,
+//! `barrier`, and `if` conditionals — `if (c == k)` on a size-1 classical
+//! register or the indexed `if (c[j] == k)` on larger ones. Comments
+//! (`//`) are stripped. Expressions in parameters support `pi`, numeric
+//! literals, unary minus, `+ - * /`, and parentheses.
+//!
+//! As an extension for fuzzer repro files, arbitrary controlled gates are
+//! read and written with OpenQASM 3-style modifiers: each leading
+//! `ctrl @` / `negctrl @` adds one positive/negative control, whose qubit
+//! operands precede the base gate's own (`ctrl @ negctrl @ h
+//! q[0],q[2],q[1];` is H on `q[1]`, positively controlled on `q[0]` and
+//! negatively on `q[2]`). The base gate must be single-qubit or `swap`.
 
 use std::fmt;
+
+use ddsim_dd::{Control, ControlPolarity};
 
 use crate::circuit::Circuit;
 use crate::gate::StandardGate;
@@ -147,7 +157,7 @@ fn parse_statement(
     creg_size: usize,
     circuit: &mut Circuit,
 ) -> Result<(), ParseQasmError> {
-    // Conditional: if (c == k) <gate statement>
+    // Conditional: if (c == k) or if (c[j] == k), then a gate statement.
     if let Some(rest) = stmt.strip_prefix("if") {
         let rest = rest.trim_start();
         let rest = rest
@@ -157,17 +167,31 @@ fn parse_statement(
         let condition = &rest[..close];
         let body = rest[close + 1..].trim();
         let parts: Vec<&str> = condition.split("==").map(str::trim).collect();
-        if parts.len() != 2 || parts[0] != creg {
+        if parts.len() != 2 {
             return Err(err(line, "if condition must compare the creg with =="));
         }
+        let cbit = if parts[0] == creg {
+            if creg_size != 1 {
+                return Err(err(
+                    line,
+                    "whole-register conditionals need a size-1 creg; use `if (c[j] == k)`",
+                ));
+            }
+            0
+        } else if parts[0].contains('[') {
+            let bit = parse_indexed(parts[0], creg, line)? as usize;
+            if bit >= creg_size {
+                return Err(err(line, "conditional bit index out of range"));
+            }
+            bit
+        } else {
+            return Err(err(line, "if condition must compare the creg with =="));
+        };
         let value: u64 = parts[1]
             .parse()
             .map_err(|_| err(line, "bad comparison value in if"))?;
-        if creg_size != 1 || value > 1 {
-            return Err(err(
-                line,
-                "only single-bit conditionals (creg of size 1, value 0/1) are supported",
-            ));
+        if value > 1 {
+            return Err(err(line, "conditional value must be 0 or 1"));
         }
         let (gate, args) = parse_gate_call(body, line)?;
         let (kind, params) = split_params(&gate, line)?;
@@ -178,7 +202,7 @@ fn parse_statement(
         }
         circuit.push(Operation::Classical {
             gate: GateOp::new(standard, targets[0]),
-            cbit: 0,
+            cbit,
             value: value == 1,
         });
         return Ok(());
@@ -204,9 +228,63 @@ fn parse_statement(
         return Ok(());
     }
 
-    let (gate, args) = parse_gate_call(stmt, line)?;
+    // OpenQASM 3-style control modifiers (see module docs): peel leading
+    // `ctrl @` / `negctrl @` prefixes, which claim the leading operands.
+    let mut polarities: Vec<ControlPolarity> = Vec::new();
+    let mut body = stmt;
+    loop {
+        let trimmed = body.trim_start();
+        let (polarity, rest) = if let Some(rest) = trimmed.strip_prefix("negctrl") {
+            (ControlPolarity::Negative, rest)
+        } else if let Some(rest) = trimmed.strip_prefix("ctrl") {
+            (ControlPolarity::Positive, rest)
+        } else {
+            break;
+        };
+        let rest = rest
+            .trim_start()
+            .strip_prefix('@')
+            .ok_or_else(|| err(line, "expected @ after control modifier"))?;
+        polarities.push(polarity);
+        body = rest;
+    }
+
+    let (gate, args) = parse_gate_call(body.trim_start(), line)?;
     let (kind, params) = split_params(&gate, line)?;
     let qubits = parse_qubit_args(&args, qreg, line)?;
+
+    if !polarities.is_empty() {
+        if qubits.len() < polarities.len() + 1 {
+            return Err(err(line, "not enough operands for control modifiers"));
+        }
+        let controls: Vec<Control> = polarities
+            .iter()
+            .zip(&qubits)
+            .map(|(&polarity, &qubit)| Control { qubit, polarity })
+            .collect();
+        let rest = &qubits[polarities.len()..];
+        match (kind.as_str(), rest) {
+            ("swap", [a, b]) => {
+                circuit.push(Operation::Swap {
+                    a: *a,
+                    b: *b,
+                    controls,
+                });
+            }
+            (_, [t]) => {
+                let standard = standard_gate(&kind, &params, line)?;
+                circuit.controlled_gate(standard, controls, *t);
+            }
+            _ => {
+                return Err(err(
+                    line,
+                    "control modifiers need a single-qubit base gate or swap",
+                ));
+            }
+        }
+        return Ok(());
+    }
+
     match (kind.as_str(), qubits.as_slice()) {
         ("cx", [c, t]) => {
             circuit.cx(*c, *t);
@@ -293,6 +371,8 @@ fn standard_gate(kind: &str, params: &[f64], line: usize) -> Result<StandardGate
         "tdg" => StandardGate::Tdg,
         "sx" => StandardGate::SqrtX,
         "sxdg" => StandardGate::SqrtXdg,
+        "sy" => StandardGate::SqrtY,
+        "sydg" => StandardGate::SqrtYdg,
         "rx" => {
             need(1)?;
             StandardGate::Rx(params[0])
@@ -502,12 +582,15 @@ fn eval_atom(tokens: &[Token], pos: &mut usize, line: usize) -> Result<f64, Pars
 
 /// Serializes a circuit to the supported OpenQASM 2.0 subset.
 ///
-/// Repeats are flattened; multi-controlled gates beyond the named forms
-/// (`cx`, `cz`, `ccx`, `cu1`, `cswap`) are rejected.
+/// Repeats are flattened. Controlled gates use the named forms (`cx`,
+/// `cz`, `ccx`, `cu1`, `cswap`) where one exists and `ctrl @` /
+/// `negctrl @` modifiers (see the module docs) otherwise, so every
+/// control pattern the IR can express round-trips through [`parse`].
 ///
 /// # Errors
 ///
-/// Returns a message naming the first unserializable operation.
+/// Returns a message naming the first unserializable operation
+/// (currently only conditionals whose gate itself carries controls).
 pub fn write(circuit: &Circuit) -> Result<String, String> {
     use std::fmt::Write as _;
     let flat = circuit.flattened();
@@ -524,12 +607,13 @@ pub fn write(circuit: &Circuit) -> Result<String, String> {
             Operation::Swap { a, b, controls } => {
                 if controls.is_empty() {
                     let _ = writeln!(out, "swap q[{a}],q[{b}];");
-                } else if controls.len() == 1
-                    && controls[0].polarity == ddsim_dd::ControlPolarity::Positive
-                {
+                } else if controls.len() == 1 && controls[0].polarity == ControlPolarity::Positive {
                     let _ = writeln!(out, "cswap q[{}],q[{a}],q[{b}];", controls[0].qubit);
                 } else {
-                    return Err("cannot serialize multiply/negatively controlled swap".into());
+                    write_modifiers(&mut out, controls);
+                    let _ = write!(out, "swap ");
+                    write_control_operands(&mut out, controls);
+                    let _ = writeln!(out, "q[{a}],q[{b}];");
                 }
             }
             Operation::Measure { qubit, cbit } => {
@@ -539,14 +623,16 @@ pub fn write(circuit: &Circuit) -> Result<String, String> {
                 let _ = writeln!(out, "reset q[{qubit}];");
             }
             Operation::Classical { gate, cbit, value } => {
-                if flat.cbits() != 1 || *cbit != 0 || !gate.controls.is_empty() {
-                    return Err(
-                        "only single-bit conditionals on a size-1 creg can be serialized".into(),
-                    );
+                if !gate.controls.is_empty() {
+                    return Err("cannot serialize a conditional controlled gate".into());
                 }
                 let mut body = String::new();
                 write_gate(&mut body, gate)?;
-                let _ = write!(out, "if (c == {}) {}", u8::from(*value), body);
+                if flat.cbits() == 1 && *cbit == 0 {
+                    let _ = write!(out, "if (c == {}) {}", u8::from(*value), body);
+                } else {
+                    let _ = write!(out, "if (c[{cbit}] == {}) {}", u8::from(*value), body);
+                }
             }
             Operation::Barrier => {
                 let _ = writeln!(out, "barrier q;");
@@ -557,15 +643,34 @@ pub fn write(circuit: &Circuit) -> Result<String, String> {
     Ok(out)
 }
 
+fn write_modifiers(out: &mut String, controls: &[Control]) {
+    use std::fmt::Write as _;
+    for c in controls {
+        let _ = write!(
+            out,
+            "{} @ ",
+            if c.polarity == ControlPolarity::Positive {
+                "ctrl"
+            } else {
+                "negctrl"
+            }
+        );
+    }
+}
+
+fn write_control_operands(out: &mut String, controls: &[Control]) {
+    use std::fmt::Write as _;
+    for c in controls {
+        let _ = write!(out, "q[{}],", c.qubit);
+    }
+}
+
 fn write_gate(out: &mut String, g: &GateOp) -> Result<(), String> {
     use std::fmt::Write as _;
     let positive = g
         .controls
         .iter()
-        .all(|c| c.polarity == ddsim_dd::ControlPolarity::Positive);
-    if !positive {
-        return Err(format!("cannot serialize negative control in `{g}`"));
-    }
+        .all(|c| c.polarity == ControlPolarity::Positive);
     let params = |gate: StandardGate| -> String {
         match gate {
             StandardGate::Rx(t) | StandardGate::Ry(t) | StandardGate::Rz(t) => format!("({t})"),
@@ -574,27 +679,43 @@ fn write_gate(out: &mut String, g: &GateOp) -> Result<(), String> {
             _ => String::new(),
         }
     };
-    match (g.controls.len(), g.gate) {
-        (0, gate) => {
+    match (g.controls.len(), g.gate, positive) {
+        (0, gate, _) => {
             let _ = writeln!(out, "{}{} q[{}];", gate.name(), params(gate), g.target);
         }
-        (1, StandardGate::X) => {
+        (1, StandardGate::X, true) => {
             let _ = writeln!(out, "cx q[{}],q[{}];", g.controls[0].qubit, g.target);
         }
-        (1, StandardGate::Z) => {
+        (1, StandardGate::Z, true) => {
             let _ = writeln!(out, "cz q[{}],q[{}];", g.controls[0].qubit, g.target);
         }
-        (1, StandardGate::Phase(t)) => {
+        (1, StandardGate::Phase(t), true) => {
             let _ = writeln!(out, "cu1({t}) q[{}],q[{}];", g.controls[0].qubit, g.target);
         }
-        (2, StandardGate::X) => {
+        (2, StandardGate::X, true) => {
             let _ = writeln!(
                 out,
                 "ccx q[{}],q[{}],q[{}];",
                 g.controls[0].qubit, g.controls[1].qubit, g.target
             );
         }
-        _ => return Err(format!("cannot serialize `{g}` to OpenQASM 2.0 subset")),
+        (_, gate, _) => {
+            // General form: control modifiers, control operands in list
+            // order, then the target.
+            write_modifiers(out, &g.controls);
+            let _ = writeln!(
+                out,
+                "{}{} {}q[{}];",
+                gate.name(),
+                params(gate),
+                {
+                    let mut s = String::new();
+                    write_control_operands(&mut s, &g.controls);
+                    s
+                },
+                g.target
+            );
+        }
     }
     Ok(())
 }
@@ -701,10 +822,52 @@ mod tests {
     }
 
     #[test]
-    fn writer_rejects_negative_controls() {
-        use ddsim_dd::Control;
-        let mut c = Circuit::new(2);
+    fn modifier_form_round_trips_negative_and_multi_controls() {
+        let mut c = Circuit::new(4);
         c.controlled_gate(StandardGate::X, vec![Control::neg(0)], 1);
-        assert!(write(&c).is_err());
+        c.controlled_gate(
+            StandardGate::Rz(0.75),
+            vec![Control::pos(2), Control::neg(3)],
+            1,
+        );
+        c.push(Operation::Swap {
+            a: 2,
+            b: 3,
+            controls: vec![Control::neg(0), Control::pos(1)],
+        });
+        let qasm = write(&c).expect("modifier form serializes everything");
+        assert!(qasm.contains("negctrl @ x q[0],q[1];"));
+        assert!(qasm.contains("ctrl @ negctrl @ rz(0.75) q[2],q[3],q[1];"));
+        assert!(qasm.contains("negctrl @ ctrl @ swap q[0],q[1],q[2],q[3];"));
+        let back = parse(&qasm).expect("modifier form parses");
+        assert_eq!(back.ops(), c.ops());
+        // Fixpoint: a second emit is byte-identical.
+        assert_eq!(write(&back).expect("re-emit"), qasm);
+    }
+
+    #[test]
+    fn indexed_conditional_round_trips_on_wide_creg() {
+        let mut c = Circuit::with_cbits(2, 3);
+        c.measure(0, 2);
+        c.push(Operation::Classical {
+            gate: GateOp::new(StandardGate::H, 1),
+            cbit: 2,
+            value: false,
+        });
+        let qasm = write(&c).expect("indexed conditional serializes");
+        assert!(qasm.contains("if (c[2] == 0) h q[1];"));
+        let back = parse(&qasm).expect("indexed conditional parses");
+        assert_eq!(back.ops(), c.ops());
+        assert_eq!(back.cbits(), 3);
+    }
+
+    #[test]
+    fn sqrt_y_gates_round_trip() {
+        let mut c = Circuit::new(1);
+        c.gate(StandardGate::SqrtY, 0)
+            .gate(StandardGate::SqrtYdg, 0);
+        let qasm = write(&c).expect("serializable");
+        let back = parse(&qasm).expect("sy/sydg parse");
+        assert_eq!(back.ops(), c.ops());
     }
 }

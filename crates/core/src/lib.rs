@@ -45,7 +45,7 @@ pub mod shor_construct;
 mod stats;
 mod strategy;
 
-pub use ddsim_dd::{CacheStats, DdConfig, TableStats, UniqueTableStats};
+pub use ddsim_dd::{CacheStats, DdConfig, FaultKind, TableStats, UniqueTableStats};
 pub use engine::{simulate, SimOptions, SimulateCircuitError, Simulator};
 pub use grover_construct::{run_grover_dd_construct, GroverOutcome};
 pub use shor_construct::{

@@ -147,9 +147,16 @@ impl DdManager {
         u: Matrix2,
     ) -> ApplyOp {
         let target_level = n - target;
+        let force_positive = self.config.fault == crate::FaultKind::NegativeControlsIgnored;
         let mut ctrls: Vec<(Level, bool)> = controls
             .iter()
-            .map(|c| (n - c.qubit, c.polarity == ControlPolarity::Positive))
+            .map(|c| {
+                // Injected fault: every control fires on |1⟩.
+                (
+                    n - c.qubit,
+                    force_positive || c.polarity == ControlPolarity::Positive,
+                )
+            })
             .collect();
         // Stable sort: the first listed control wins on (pathological)
         // duplicate qubits, matching `mat_controlled`'s `find`.

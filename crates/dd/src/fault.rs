@@ -1,0 +1,94 @@
+//! Test-only fault injection for validating the differential-testing
+//! harness.
+//!
+//! The fuzzing oracle in `ddsim-fuzz` is only trustworthy if it can be
+//! shown to *catch* engine defects. [`FaultKind`] lets the harness's
+//! `--self-check` mode deliberately break one engine invariant at a time —
+//! behind an explicit [`DdConfig`](crate::DdConfig) knob that defaults to
+//! [`FaultKind::None`] — and then assert that the cross-checks flag the
+//! resulting bit-drift. Each variant targets a distinct optimization added
+//! in earlier PRs (lossy caches, identity short-circuits, specialized
+//! apply kernels, measurement collapse), so the self-check exercises every
+//! class of silent corruption the harness exists to detect.
+//!
+//! Nothing in the production paths ever sets a fault; the injection sites
+//! are single branch comparisons against `None` on cold paths.
+
+/// A deliberate, test-only engine defect.
+///
+/// `FaultKind::None` (the default) leaves the engine untouched. Every
+/// other variant corrupts exactly one invariant so the fuzzing harness can
+/// prove its oracles detect that class of bug.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// No fault: production behavior.
+    #[default]
+    None,
+    /// The matrix-vector compute table keys on the matrix node only,
+    /// dropping the vector operand — stale results are served whenever the
+    /// same gate matrix meets a different state. Requires the cache to be
+    /// enabled to manifest.
+    MatVecCacheKeyDropsVector,
+    /// Identity recognition accepts any block-diagonal node, so diagonal
+    /// gates (Z, S, T, Rz, …) are skipped as if they were the identity in
+    /// the multiplication kernels. Requires `identity_skip` to manifest.
+    DiagonalCountsAsIdentity,
+    /// [`DdManager::collapse`](crate::DdManager::collapse) skips the
+    /// `1/√p` rescale after projection, leaving the post-measurement state
+    /// un-normalized. Manifests only on measurement/reset-bearing
+    /// circuits.
+    CollapseSkipsRenormalize,
+    /// The specialized apply kernels treat every control as positive,
+    /// firing negative-controlled gates on the wrong basis half. Requires
+    /// `identity_skip` (which routes gates through the specialized path)
+    /// and a circuit with negative controls to manifest.
+    NegativeControlsIgnored,
+}
+
+impl FaultKind {
+    /// Every injectable fault (excluding `None`).
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::MatVecCacheKeyDropsVector,
+        FaultKind::DiagonalCountsAsIdentity,
+        FaultKind::CollapseSkipsRenormalize,
+        FaultKind::NegativeControlsIgnored,
+    ];
+
+    /// Stable lowercase label for CLI output and repro file names.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::None => "none",
+            FaultKind::MatVecCacheKeyDropsVector => "matvec-cache-key-drops-vector",
+            FaultKind::DiagonalCountsAsIdentity => "diagonal-counts-as-identity",
+            FaultKind::CollapseSkipsRenormalize => "collapse-skips-renormalize",
+            FaultKind::NegativeControlsIgnored => "negative-controls-ignored",
+        }
+    }
+
+    /// Parses a label produced by [`label`](Self::label).
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "none" => Some(FaultKind::None),
+            "matvec-cache-key-drops-vector" => Some(FaultKind::MatVecCacheKeyDropsVector),
+            "diagonal-counts-as-identity" => Some(FaultKind::DiagonalCountsAsIdentity),
+            "collapse-skips-renormalize" => Some(FaultKind::CollapseSkipsRenormalize),
+            "negative-controls-ignored" => Some(FaultKind::NegativeControlsIgnored),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        assert_eq!(FaultKind::parse("none"), Some(FaultKind::None));
+        for f in FaultKind::ALL {
+            assert_eq!(FaultKind::parse(f.label()), Some(f));
+            assert_ne!(f, FaultKind::None);
+        }
+        assert_eq!(FaultKind::parse("bogus"), None);
+    }
+}

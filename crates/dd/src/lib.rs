@@ -42,6 +42,7 @@ mod apply;
 mod compute;
 mod edge;
 mod export;
+mod fault;
 mod hash;
 mod manager;
 mod matrix;
@@ -53,5 +54,6 @@ mod vector;
 
 pub use compute::{CacheStats, TableStats, UniqueTableStats};
 pub use edge::{Level, MatEdge, NodeId, VecEdge};
+pub use fault::FaultKind;
 pub use manager::{DdConfig, DdManager, DdStats};
 pub use matrix::{Control, ControlPolarity, Matrix2};

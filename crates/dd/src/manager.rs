@@ -179,6 +179,10 @@ pub struct DdConfig {
     /// routes everything through the generic recursions (the diagrams
     /// produced are identical; only the work to build them changes).
     pub identity_skip: bool,
+    /// Test-only fault injection used by the fuzzing harness's
+    /// `--self-check` to prove its oracles catch engine defects. Must stay
+    /// [`FaultKind::None`] everywhere else.
+    pub fault: crate::FaultKind,
 }
 
 impl Default for DdConfig {
@@ -190,6 +194,7 @@ impl Default for DdConfig {
             unique_table_bits: 14,
             cache_enabled: true,
             identity_skip: true,
+            fault: crate::FaultKind::None,
         }
     }
 }
@@ -485,12 +490,18 @@ impl DdManager {
                 // off-diagonal quadrants and the *same* unit-weight edge to
                 // an identity child in both diagonal slots, so the check is
                 // purely structural and O(1).
-                let identity = edges[1].is_zero()
-                    && edges[2].is_zero()
-                    && edges[0] == edges[3]
-                    && !edges[0].is_zero()
-                    && edges[0].weight.is_one()
-                    && self.is_identity_node(edges[0].node);
+                let identity = if self.config.fault == crate::FaultKind::DiagonalCountsAsIdentity {
+                    // Injected fault: any block-diagonal node passes, so
+                    // diagonal gates get skipped as identities downstream.
+                    edges[1].is_zero() && edges[2].is_zero() && !edges[0].is_zero()
+                } else {
+                    edges[1].is_zero()
+                        && edges[2].is_zero()
+                        && edges[0] == edges[3]
+                        && !edges[0].is_zero()
+                        && edges[0].weight.is_one()
+                        && self.is_identity_node(edges[0].node)
+                };
                 let id = self.mat_arena.alloc(MatNode {
                     level,
                     edges,

@@ -85,6 +85,11 @@ impl DdManager {
         let target_level = n - qubit;
         let mut memo = HashMap::new();
         let projected = self.project_rec(v, target_level, outcome, &mut memo);
+        if self.config.fault == crate::FaultKind::CollapseSkipsRenormalize {
+            // Injected fault: return the bare projection, leaving the
+            // state with norm p instead of 1.
+            return projected;
+        }
         // Renormalize: divide the root weight by sqrt(p).
         let scale = self.intern(Complex::real(1.0 / p.sqrt()));
         VecEdge {

@@ -255,11 +255,23 @@ impl DdManager {
                 weight: outer,
             };
         }
-        let key = (m.node, v.node);
+        let faulted = self.config.fault == crate::FaultKind::MatVecCacheKeyDropsVector;
+        let key = if faulted {
+            // Injected fault: the vector operand is dropped from the cache
+            // key, so a hit can return the product for a *different* state.
+            (m.node, m.node)
+        } else {
+            (m.node, v.node)
+        };
         let mfe = &self.mat_arena.free_epoch;
         let vfe = &self.vec_arena.free_epoch;
         let unit = if let Some(cached) = self.compute.mat_vec.lookup(&key, |k, v, ep| {
-            live(mfe, k.0, ep) && live(vfe, k.1, ep) && live(vfe, v.node, ep)
+            let second_live = if faulted {
+                live(mfe, k.1, ep)
+            } else {
+                live(vfe, k.1, ep)
+            };
+            live(mfe, k.0, ep) && second_live && live(vfe, v.node, ep)
         }) {
             cached
         } else {

@@ -7,6 +7,8 @@
 
 use ddsim_complex::Complex;
 
+use crate::matrix::{Control, ControlPolarity};
+
 /// A dense state vector over `n` qubits (length `2^n`).
 #[derive(Clone, Debug, PartialEq)]
 pub struct DenseVector {
@@ -108,6 +110,108 @@ impl DenseVector {
                 self.amplitudes[j] = u[1][0] * a + u[1][1] * b;
             }
         }
+    }
+
+    /// Like [`apply_single_qubit`](Self::apply_single_qubit) but with
+    /// polarity-aware controls: positive controls gate on |1⟩, negative
+    /// controls on |0⟩.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit index is out of range or collides with the target.
+    pub fn apply_controlled(&mut self, u: [[Complex; 2]; 2], target: u32, controls: &[Control]) {
+        let n = self.qubits();
+        assert!(target < n);
+        let mut pos_mask = 0usize;
+        let mut neg_mask = 0usize;
+        for c in controls {
+            assert!(c.qubit < n && c.qubit != target);
+            let bit = 1usize << (n - 1 - c.qubit);
+            match c.polarity {
+                ControlPolarity::Positive => pos_mask |= bit,
+                ControlPolarity::Negative => neg_mask |= bit,
+            }
+        }
+        let t_bit = 1usize << (n - 1 - target);
+        for i in 0..self.amplitudes.len() {
+            if i & t_bit == 0 && (i & pos_mask) == pos_mask && (i & neg_mask) == 0 {
+                let j = i | t_bit;
+                let a = self.amplitudes[i];
+                let b = self.amplitudes[j];
+                self.amplitudes[i] = u[0][0] * a + u[0][1] * b;
+                self.amplitudes[j] = u[1][0] * a + u[1][1] * b;
+            }
+        }
+    }
+
+    /// Probability that measuring `qubit` (0 = topmost) yields `1`,
+    /// normalized by the total norm (matching
+    /// [`DdManager::prob_one`](crate::DdManager::prob_one) semantics on
+    /// normalized states).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range.
+    pub fn prob_one(&self, qubit: u32) -> f64 {
+        let n = self.qubits();
+        assert!(qubit < n, "measured qubit out of range");
+        let q_bit = 1usize << (n - 1 - qubit);
+        self.amplitudes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & q_bit != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Projects onto `qubit = outcome` and renormalizes, mirroring
+    /// [`DdManager::collapse`](crate::DdManager::collapse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range or the outcome has (numerically)
+    /// zero probability.
+    pub fn collapse(&mut self, qubit: u32, outcome: bool) {
+        let n = self.qubits();
+        assert!(qubit < n, "measured qubit out of range");
+        let p1 = self.prob_one(qubit);
+        let p = if outcome { p1 } else { 1.0 - p1 };
+        assert!(
+            p > 1e-15,
+            "collapse onto an outcome with zero probability (p = {p})"
+        );
+        let q_bit = 1usize << (n - 1 - qubit);
+        let scale = Complex::real(1.0 / p.sqrt());
+        for (i, a) in self.amplitudes.iter_mut().enumerate() {
+            if (i & q_bit != 0) == outcome {
+                *a *= scale;
+            } else {
+                *a = Complex::ZERO;
+            }
+        }
+    }
+
+    /// Measures `qubit`, choosing the outcome with `unit_random ∈ [0, 1)`
+    /// exactly as [`DdManager::measure_qubit`](crate::DdManager::measure_qubit)
+    /// does (outcome is `1` iff `unit_random < P(1)`), collapses the state,
+    /// and returns the outcome. Feeding both backends the same random
+    /// stream therefore yields the same outcome sequence.
+    pub fn measure(&mut self, qubit: u32, unit_random: f64) -> bool {
+        let outcome = unit_random < self.prob_one(qubit);
+        self.collapse(qubit, outcome);
+        outcome
+    }
+
+    /// Resets `qubit` to |0⟩ by measuring it (consuming `unit_random`) and
+    /// flipping on outcome `1`, mirroring the DD engine's Reset lowering.
+    /// Returns the pre-reset measurement outcome.
+    pub fn reset(&mut self, qubit: u32, unit_random: f64) -> bool {
+        let outcome = self.measure(qubit, unit_random);
+        if outcome {
+            let x = [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]];
+            self.apply_single_qubit(x, qubit, &[]);
+        }
+        outcome
     }
 }
 
@@ -235,6 +339,56 @@ mod tests {
         assert!(v.amplitudes()[5].approx_eq(Complex::ONE, 1e-12));
         let p = id.mul(&id);
         assert!(p.max_deviation(&id) < 1e-15);
+    }
+
+    #[test]
+    fn negative_control_fires_on_zero() {
+        // negctrl(q0) X(q1): |00⟩ → |01⟩, |10⟩ stays.
+        let mut v = DenseVector::basis(2, 0b00);
+        v.apply_controlled(x(), 1, &[Control::neg(0)]);
+        assert!(v.amplitudes()[0b01].approx_eq(Complex::ONE, 1e-12));
+        let mut w = DenseVector::basis(2, 0b10);
+        w.apply_controlled(x(), 1, &[Control::neg(0)]);
+        assert!(w.amplitudes()[0b10].approx_eq(Complex::ONE, 1e-12));
+    }
+
+    #[test]
+    fn measurement_matches_dd_engine_stream() {
+        use crate::DdManager;
+        // Bell pair, then measure q0 with the same draw on both backends.
+        for &draw in &[0.1, 0.9] {
+            let mut dense = DenseVector::basis(2, 0);
+            dense.apply_single_qubit(h(), 0, &[]);
+            dense.apply_single_qubit(x(), 1, &[0]);
+
+            let mut dd = DdManager::new();
+            let mut s = dd.vec_basis(2, 0);
+            let hm = dd.mat_single_qubit(2, 0, h());
+            let cx = dd.mat_controlled(2, &[crate::Control::pos(0)], 1, x());
+            s = dd.mat_vec_mul(hm, s);
+            s = dd.mat_vec_mul(cx, s);
+
+            let outcome_dense = dense.measure(0, draw);
+            let (outcome_dd, s) = dd.measure_qubit(s, 0, draw);
+            assert_eq!(outcome_dense, outcome_dd);
+            assert!((dense.norm_sqr() - 1.0).abs() < 1e-12);
+            for (idx, a) in dense.amplitudes().iter().enumerate() {
+                assert!(
+                    dd.vec_amplitude(s, idx as u64).approx_eq(*a, 1e-10),
+                    "amplitude {idx} after draw {draw}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reset_returns_qubit_to_zero() {
+        let mut v = DenseVector::basis(2, 0);
+        v.apply_single_qubit(h(), 0, &[]);
+        let outcome = v.reset(0, 0.2); // draw 0.2 < p1 = 0.5 → outcome 1
+        assert!(outcome);
+        assert!(v.prob_one(0) < 1e-12);
+        assert!((v.norm_sqr() - 1.0).abs() < 1e-12);
     }
 
     #[test]

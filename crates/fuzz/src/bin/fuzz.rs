@@ -1,0 +1,337 @@
+//! Differential fuzzing CLI.
+//!
+//! ```text
+//! fuzz                        # bounded fuzz run (quick lattice)
+//! fuzz --smoke --seed 0xDD51  # time-boxed full-lattice sweep (CI)
+//! fuzz --self-check           # prove the oracles catch injected faults
+//! fuzz --replay repro.qasm    # re-run one minimized repro
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = disagreement found (or an injected fault
+//! went uncaught), 2 = usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use ddsim_circuit::{qasm, Circuit};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ddsim_fuzz::generator::{generate, GenConfig, Profile};
+use ddsim_fuzz::oracle::{check_circuit, CheckSettings};
+use ddsim_fuzz::selfcheck::run_self_check;
+use ddsim_fuzz::shrink::shrink_circuit;
+
+const USAGE: &str = "\
+Usage: fuzz [OPTIONS]
+
+Modes (default: bounded fuzz run):
+  --smoke              time-boxed sweep over the full config lattice
+  --self-check         verify every injected engine fault is caught
+  --replay FILE        re-check one OpenQASM repro against the oracles
+
+Options:
+  --cases N            circuits to try (default 200; ignored by --smoke)
+  --seed SEED          base seed, decimal or 0x-hex (default 0xDD51)
+  --profile NAME       fix the shape profile: mixed | shallow-wide |
+                       deep-narrow | clifford-heavy | oracle-like
+                       (default: cycle through all)
+  --unitary-only       generate no measurement / reset / classical control
+  --lattice KIND       quick | full (default: quick; --smoke forces full)
+  --budget-secs S      wall-clock budget for --smoke (default 60)
+  --shrink-budget N    max oracle batteries spent minimizing (default 400)
+  --repro-dir DIR      where minimized repros are written (default .)
+  --help               this text
+";
+
+struct Options {
+    cases: usize,
+    seed: u64,
+    profile: Option<Profile>,
+    unitary_only: bool,
+    full_lattice: bool,
+    smoke: bool,
+    budget: Duration,
+    shrink_budget: usize,
+    self_check: bool,
+    replay: Option<PathBuf>,
+    repro_dir: PathBuf,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            cases: 200,
+            seed: 0xDD51,
+            profile: None,
+            unitary_only: false,
+            full_lattice: false,
+            smoke: false,
+            budget: Duration::from_secs(60),
+            shrink_budget: 400,
+            self_check: false,
+            replay: None,
+            repro_dir: PathBuf::from("."),
+        }
+    }
+}
+
+fn parse_seed(s: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|_| format!("invalid seed '{s}'"))
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    fn value(flag: &str, args: &mut dyn Iterator<Item = String>) -> Result<String, String> {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cases" => {
+                let v = value("--cases", &mut args)?;
+                opts.cases = v.parse().map_err(|_| format!("invalid count '{v}'"))?;
+            }
+            "--seed" => opts.seed = parse_seed(&value("--seed", &mut args)?)?,
+            "--profile" => {
+                let v = value("--profile", &mut args)?;
+                opts.profile =
+                    Some(Profile::parse(&v).ok_or_else(|| format!("unknown profile '{v}'"))?);
+            }
+            "--unitary-only" => opts.unitary_only = true,
+            "--lattice" => {
+                let v = value("--lattice", &mut args)?;
+                opts.full_lattice = match v.as_str() {
+                    "quick" => false,
+                    "full" => true,
+                    other => return Err(format!("unknown lattice '{other}'")),
+                };
+            }
+            "--smoke" => opts.smoke = true,
+            "--budget-secs" => {
+                let v = value("--budget-secs", &mut args)?;
+                let secs: u64 = v.parse().map_err(|_| format!("invalid budget '{v}'"))?;
+                opts.budget = Duration::from_secs(secs);
+            }
+            "--shrink-budget" => {
+                let v = value("--shrink-budget", &mut args)?;
+                opts.shrink_budget = v.parse().map_err(|_| format!("invalid budget '{v}'"))?;
+            }
+            "--self-check" => opts.self_check = true,
+            "--replay" => opts.replay = Some(PathBuf::from(value("--replay", &mut args)?)),
+            "--repro-dir" => opts.repro_dir = PathBuf::from(value("--repro-dir", &mut args)?),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if opts.smoke {
+        opts.full_lattice = true;
+    }
+    Ok(opts)
+}
+
+fn case_seed(base: u64, case: usize) -> u64 {
+    base.wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Writes the minimized repro and prints the one-line replay command.
+fn report_failure(
+    circuit: &Circuit,
+    settings: &CheckSettings,
+    opts: &Options,
+    tag: &str,
+) -> ExitCode {
+    let failures = check_circuit(circuit, settings);
+    for f in &failures {
+        eprintln!("  {f}");
+    }
+    let minimal = shrink_circuit(
+        circuit,
+        |c| !check_circuit(c, settings).is_empty(),
+        opts.shrink_budget,
+    );
+    eprintln!(
+        "shrunk {} -> {} ops over {} qubit(s)",
+        circuit.ops().len(),
+        minimal.ops().len(),
+        minimal.qubits()
+    );
+    match qasm::write(&minimal) {
+        Ok(text) => {
+            let path = opts.repro_dir.join(format!("fuzz-repro-{tag}.qasm"));
+            match std::fs::write(&path, &text) {
+                Ok(()) => {
+                    eprintln!("minimized repro written to {}", path.display());
+                    eprintln!(
+                        "replay with: fuzz --replay {} --seed {:#x} --lattice {}",
+                        path.display(),
+                        settings.seed,
+                        if settings.full_lattice {
+                            "full"
+                        } else {
+                            "quick"
+                        }
+                    );
+                }
+                Err(e) => {
+                    eprintln!("could not write repro: {e}");
+                    eprintln!("--- minimized repro ---\n{text}");
+                }
+            }
+        }
+        Err(e) => eprintln!("could not serialize repro: {e}"),
+    }
+    ExitCode::from(1)
+}
+
+fn fuzz_loop(opts: &Options) -> ExitCode {
+    let started = Instant::now();
+    let mut case = 0usize;
+    let mut total_ops = 0u64;
+    loop {
+        if opts.smoke {
+            if started.elapsed() >= opts.budget {
+                break;
+            }
+        } else if case >= opts.cases {
+            break;
+        }
+        let seed = case_seed(opts.seed, case);
+        let profile = opts
+            .profile
+            .unwrap_or(Profile::ALL[case % Profile::ALL.len()]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = GenConfig::sample(&mut rng, profile, !opts.unitary_only);
+        let circuit = generate(&mut rng, &cfg);
+        total_ops += circuit.elementary_count();
+        let settings = CheckSettings {
+            seed,
+            full_lattice: opts.full_lattice,
+            ..CheckSettings::default()
+        };
+        let failures = check_circuit(&circuit, &settings);
+        if !failures.is_empty() {
+            eprintln!(
+                "case {case} (profile {}, seed {seed:#x}): {} oracle disagreement(s)",
+                profile.label(),
+                failures.len()
+            );
+            return report_failure(&circuit, &settings, opts, &format!("{seed:x}"));
+        }
+        case += 1;
+    }
+    println!(
+        "fuzz: {case} circuit(s), {total_ops} elementary gates, {} lattice, clean in {:.1}s",
+        if opts.full_lattice { "full" } else { "quick" },
+        started.elapsed().as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}
+
+fn replay(path: &PathBuf, opts: &Options) -> ExitCode {
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let circuit = match qasm::parse(&source) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot parse {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let settings = CheckSettings {
+        seed: opts.seed,
+        full_lattice: opts.full_lattice,
+        ..CheckSettings::default()
+    };
+    let failures = check_circuit(&circuit, &settings);
+    if failures.is_empty() {
+        println!(
+            "replay: {} passes every oracle (seed {:#x}, {} lattice)",
+            path.display(),
+            opts.seed,
+            if opts.full_lattice { "full" } else { "quick" }
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("replay: {} still fails:", path.display());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        ExitCode::from(1)
+    }
+}
+
+fn self_check(opts: &Options) -> ExitCode {
+    println!(
+        "self-check: injecting each engine fault, hunting with the {} lattice",
+        if opts.full_lattice { "full" } else { "quick" }
+    );
+    let outcomes = run_self_check(opts.seed, opts.cases.max(1), opts.full_lattice);
+    let mut all_caught = true;
+    for o in &outcomes {
+        if o.caught {
+            let (before, after) = o.shrunk_ops.unwrap_or((0, 0));
+            println!(
+                "  {:<32} caught after {:>3} case(s) by {} (repro {} -> {} ops)",
+                o.fault.label(),
+                o.cases_tried,
+                o.first_detector.as_deref().unwrap_or("?"),
+                before,
+                after
+            );
+            if let Some(qasm_text) = &o.repro_qasm {
+                let path = opts
+                    .repro_dir
+                    .join(format!("selfcheck-{}.qasm", o.fault.label()));
+                if std::fs::write(&path, qasm_text).is_ok() {
+                    println!("    repro: {}", path.display());
+                }
+            }
+        } else {
+            all_caught = false;
+            println!(
+                "  {:<32} NOT caught in {} case(s) -- the harness is blind to it",
+                o.fault.label(),
+                o.cases_tried
+            );
+        }
+    }
+    if all_caught {
+        println!("self-check: every injected fault was caught and shrunk");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("fuzz: {e}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &opts.replay {
+        return replay(path, &opts);
+    }
+    if opts.self_check {
+        return self_check(&opts);
+    }
+    fuzz_loop(&opts)
+}

@@ -1,0 +1,36 @@
+//! Differential fuzzing harness for the DD simulation engine.
+//!
+//! The paper's correctness claim is that every operation-combining
+//! strategy computes *the same state* while only the multiplication
+//! schedule changes. The optimizations layered on top (lossy compute
+//! caches, identity short-circuits, matrix-free apply kernels, GC) are
+//! each an opportunity for silent bit-drift, so this crate makes
+//! differential testing a first-class subsystem:
+//!
+//! * [`generator`] — seed-deterministic random circuits over the full
+//!   operation surface (every [`StandardGate`](ddsim_circuit::StandardGate),
+//!   multi/negative controls, swaps, mid-circuit measurement, reset,
+//!   classical control, repeated blocks) with tunable shape profiles.
+//! * [`oracle`] — a multi-oracle checker: the dense array reference, a
+//!   config lattice (every `Strategy` × cache on/off × identity-skip
+//!   on/off × table sizes × aggressive GC), and, for unitary circuits, a
+//!   matrix-DD equivalence cross-check.
+//! * [`shrink`] — minimizes failing circuits by gate removal, control
+//!   stripping, parameter snapping, and qubit narrowing, emitting an
+//!   OpenQASM repro.
+//! * [`selfcheck`] — proves the harness catches real defects by injecting
+//!   each [`FaultKind`](ddsim_core::FaultKind) into the engine and
+//!   asserting the oracles flag it.
+//!
+//! The `fuzz` binary wires these together (`fuzz --smoke`,
+//! `fuzz --replay repro.qasm`, `fuzz --self-check`).
+
+pub mod generator;
+pub mod oracle;
+pub mod selfcheck;
+pub mod shrink;
+
+pub use generator::{generate, GenConfig, Profile};
+pub use oracle::{check_circuit, config_lattice, dense_run, CheckSettings, Failure};
+pub use selfcheck::{run_self_check, SelfCheckOutcome};
+pub use shrink::shrink_circuit;

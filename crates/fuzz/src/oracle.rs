@@ -1,0 +1,518 @@
+//! Multi-oracle cross-checking.
+//!
+//! Three independent oracles gang up on each generated circuit:
+//!
+//! 1. **Dense reference** — [`dense_run`] replays the circuit on a flat
+//!    amplitude array, sharing the engine's measurement-outcome stream
+//!    (same seed, one uniform draw per measure/reset, outcome =
+//!    `draw < P(1)`), so even non-unitary circuits compare exactly.
+//! 2. **Config lattice** — [`config_lattice`] enumerates engine
+//!    configurations across every combining strategy, caches on/off,
+//!    identity skipping on/off, shrunken table capacities, and an
+//!    aggressive GC threshold. All points must agree with the dense
+//!    reference amplitude-for-amplitude; the lattice is what turns a
+//!    single differential test into a schedule/caching/GC cross-check.
+//! 3. **Equivalence** — for unitary circuits the full unitary DD is built
+//!    and checked against structural identities (flattening invariance and
+//!    `C·C⁻¹ ≈ I`), catching matrix-construction defects that a single
+//!    state-vector comparison can miss.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+use ddsim_circuit::{lower_swap, Circuit, Operation};
+use ddsim_core::equivalence::{circuit_unitary, mat_equivalence};
+use ddsim_core::{DdConfig, FaultKind, SimOptions, Simulator, Strategy};
+use ddsim_dd::reference::DenseVector;
+use ddsim_dd::{DdManager, MatEdge};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Maximum width for the dense amplitude sweep. The generator never
+/// exceeds this, but replayed circuits might.
+const MAX_DENSE_QUBITS: u32 = 14;
+
+/// Maximum width for building full unitary DDs in the equivalence oracle.
+const MAX_EQUIV_QUBITS: u32 = 7;
+
+/// One engine configuration in the cross-check lattice.
+pub struct LatticePoint {
+    /// Combining strategy.
+    pub strategy: Strategy,
+    /// DD-manager configuration.
+    pub dd_config: DdConfig,
+    /// Human-readable name used in failure reports.
+    pub label: String,
+}
+
+/// Settings for [`check_circuit`].
+#[derive(Clone, Copy, Debug)]
+pub struct CheckSettings {
+    /// Seed shared by the engine and the dense reference.
+    pub seed: u64,
+    /// Maximum tolerated per-amplitude deviation.
+    pub tolerance: f64,
+    /// Use the full lattice (every strategy × every DD variant) instead of
+    /// the quick subset.
+    pub full_lattice: bool,
+    /// Fault injected into every *engine* configuration (never the dense
+    /// reference) — [`FaultKind::None`] outside `--self-check`.
+    pub fault: FaultKind,
+}
+
+impl Default for CheckSettings {
+    fn default() -> Self {
+        CheckSettings {
+            seed: 0,
+            tolerance: 1e-6,
+            full_lattice: false,
+            fault: FaultKind::None,
+        }
+    }
+}
+
+/// One oracle disagreement.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Which lattice point (or pseudo-oracle) disagreed.
+    pub lattice_label: String,
+    /// What went wrong, with enough numbers to eyeball.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.lattice_label, self.detail)
+    }
+}
+
+fn dd_variants(full: bool) -> Vec<(&'static str, DdConfig)> {
+    let base = DdConfig::default();
+    let mut variants = vec![
+        ("dd=default", base),
+        (
+            "dd=no-cache",
+            DdConfig {
+                cache_enabled: false,
+                ..base
+            },
+        ),
+        (
+            "dd=no-idskip",
+            DdConfig {
+                identity_skip: false,
+                ..base
+            },
+        ),
+        (
+            "dd=tiny-gc",
+            DdConfig {
+                gc_threshold: 64,
+                ..base
+            },
+        ),
+    ];
+    if full {
+        variants.extend([
+            (
+                "dd=no-cache-no-idskip",
+                DdConfig {
+                    cache_enabled: false,
+                    identity_skip: false,
+                    ..base
+                },
+            ),
+            (
+                "dd=tiny-tables",
+                DdConfig {
+                    compute_table_bits: 4,
+                    unique_table_bits: 3,
+                    ..base
+                },
+            ),
+            (
+                "dd=tiny-tables-tiny-gc",
+                DdConfig {
+                    compute_table_bits: 4,
+                    unique_table_bits: 3,
+                    gc_threshold: 64,
+                    ..base
+                },
+            ),
+        ]);
+    }
+    variants
+}
+
+/// The engine-configuration lattice: every combining strategy crossed with
+/// the DD-manager variants (quick: 5 × 4 = 20 points; full: 5 × 7 = 35).
+pub fn config_lattice(full: bool) -> Vec<LatticePoint> {
+    let strategies = [
+        Strategy::Sequential,
+        Strategy::KOperations { k: 4 },
+        Strategy::MaxSize { s_max: 32 },
+        Strategy::DdRepeating { k: 4 },
+        Strategy::adaptive(),
+    ];
+    let mut points = Vec::new();
+    for strategy in strategies {
+        for (name, dd_config) in dd_variants(full) {
+            points.push(LatticePoint {
+                strategy,
+                dd_config,
+                label: format!("{} {}", strategy.label(), name),
+            });
+        }
+    }
+    points
+}
+
+/// Replays a circuit on the dense reference backend, mirroring the
+/// engine's measurement-outcome stream: the same `StdRng` seed, exactly
+/// one uniform draw per measure and per reset (in operation order), the
+/// same `draw < P(1)` outcome rule, and classical gates firing on the
+/// recorded bits.
+pub fn dense_run(circuit: &Circuit, seed: u64) -> (DenseVector, Vec<bool>) {
+    let n = circuit.qubits();
+    assert!(
+        n <= MAX_DENSE_QUBITS,
+        "dense reference capped at {MAX_DENSE_QUBITS} qubits"
+    );
+    let mut v = DenseVector::basis(n, 0);
+    let mut classical = vec![false; circuit.cbits()];
+    let mut rng = StdRng::seed_from_u64(seed);
+    for op in circuit.flattened().ops() {
+        match op {
+            Operation::Gate(g) => {
+                v.apply_controlled(g.gate.matrix(), g.target, &g.controls);
+            }
+            Operation::Swap { a, b, controls } => {
+                for g in lower_swap(*a, *b, controls) {
+                    v.apply_controlled(g.gate.matrix(), g.target, &g.controls);
+                }
+            }
+            Operation::Measure { qubit, cbit } => {
+                let draw = rng.gen::<f64>();
+                classical[*cbit] = v.measure(*qubit, draw);
+            }
+            Operation::Reset { qubit } => {
+                let draw = rng.gen::<f64>();
+                v.reset(*qubit, draw);
+            }
+            Operation::Classical { gate, cbit, value } => {
+                if classical[*cbit] == *value {
+                    v.apply_controlled(gate.gate.matrix(), gate.target, &gate.controls);
+                }
+            }
+            Operation::Barrier => {}
+            Operation::Repeat { .. } => unreachable!("flattened() removes repeats"),
+        }
+    }
+    (v, classical)
+}
+
+/// Serializes panic-hook suppression: the hook is process-global, so
+/// concurrent probes (e.g. parallel tests) must not race on swapping it.
+static PANIC_HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+fn probe<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    let guard = PANIC_HOOK_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let saved = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = catch_unwind(AssertUnwindSafe(f));
+    std::panic::set_hook(saved);
+    drop(guard);
+    result.map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            format!("panicked: {s}")
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            format!("panicked: {s}")
+        } else {
+            "panicked".to_string()
+        }
+    })
+}
+
+fn check_point(
+    circuit: &Circuit,
+    point: &LatticePoint,
+    settings: &CheckSettings,
+    reference: &DenseVector,
+    reference_bits: &[bool],
+) -> Option<Failure> {
+    let options = SimOptions {
+        strategy: point.strategy,
+        seed: settings.seed,
+        collect_trace: false,
+        dd_config: DdConfig {
+            fault: settings.fault,
+            ..point.dd_config
+        },
+    };
+    let run = probe(|| {
+        let mut sim = Simulator::with_options(circuit.qubits(), options);
+        sim.run(circuit).map_err(|e| e.to_string())?;
+        let dim = 1u64 << circuit.qubits();
+        let amplitudes: Vec<_> = (0..dim).map(|i| sim.amplitude(i)).collect();
+        Ok::<_, String>((amplitudes, sim.classical_bits().to_vec()))
+    });
+    let (amplitudes, bits) = match run {
+        Ok(Ok(out)) => out,
+        Ok(Err(e)) => {
+            return Some(Failure {
+                lattice_label: point.label.clone(),
+                detail: format!("engine error: {e}"),
+            })
+        }
+        Err(panic) => {
+            return Some(Failure {
+                lattice_label: point.label.clone(),
+                detail: panic,
+            })
+        }
+    };
+    for (cbit, &reference_bit) in reference_bits.iter().enumerate() {
+        let engine = bits.get(cbit).copied().unwrap_or(false);
+        if engine != reference_bit {
+            return Some(Failure {
+                lattice_label: point.label.clone(),
+                detail: format!("classical bit {cbit}: engine={engine} dense={reference_bit}"),
+            });
+        }
+    }
+    for (index, (&expected, &actual)) in reference
+        .amplitudes()
+        .iter()
+        .zip(amplitudes.iter())
+        .enumerate()
+    {
+        let deviation = (actual - expected).abs();
+        // NaN deviations (e.g. from a skipped renormalization dividing by
+        // zero) must register as disagreement, hence the explicit check.
+        if deviation.is_nan() || deviation > settings.tolerance {
+            return Some(Failure {
+                lattice_label: point.label.clone(),
+                detail: format!(
+                    "amplitude {index:#b}: engine={actual} dense={expected} (|Δ|={deviation:.3e})"
+                ),
+            });
+        }
+    }
+    None
+}
+
+/// Numeric matrix equivalence up to global phase: the backstop behind
+/// [`mat_equivalence`]'s pointer comparison. Canonical-DD equality
+/// requires edge weights to intern to identical table entries, but two
+/// mathematically equal products evaluated in different association
+/// orders (structured repeat vs. flattened stream) can drift by an ulp
+/// across a tolerance bucket and land on structurally different nodes.
+/// Before the oracle declares such a pair a failure it compares the dense
+/// matrices entry-for-entry at the differential-testing tolerance.
+fn mats_numerically_equivalent(dd: &DdManager, a: MatEdge, b: MatEdge, tol: f64) -> bool {
+    let da = dd.mat_to_dense(a);
+    let db = dd.mat_to_dense(b);
+    if da.len() != db.len() {
+        return false;
+    }
+    // Anchor the global phase on b's largest-magnitude entry.
+    let (mut bi, mut bj, mut best) = (0usize, 0usize, -1.0f64);
+    for (i, row) in db.iter().enumerate() {
+        for (j, entry) in row.iter().enumerate() {
+            if entry.norm_sqr() > best {
+                best = entry.norm_sqr();
+                (bi, bj) = (i, j);
+            }
+        }
+    }
+    if best <= tol * tol {
+        return da
+            .iter()
+            .flatten()
+            .all(|entry| entry.norm_sqr() <= tol * tol);
+    }
+    let ratio = da[bi][bj] / db[bi][bj];
+    if (ratio.abs() - 1.0).abs() > tol {
+        return false;
+    }
+    da.iter().zip(db.iter()).all(|(ra, rb)| {
+        ra.iter()
+            .zip(rb.iter())
+            .all(|(&ea, &eb)| (ea - ratio * eb).abs() <= tol)
+    })
+}
+
+/// Structural equivalence checks on the full unitary DD (unitary circuits
+/// up to [`MAX_EQUIV_QUBITS`] wide only): the flattened circuit must build
+/// the *same* unitary, and `C⁻¹·C` must be the identity up to global
+/// phase. The DD manager carries the injected fault so matrix-construction
+/// defects surface here even when state-vector runs dodge them.
+fn check_equivalence_oracle(circuit: &Circuit, settings: &CheckSettings) -> Option<Failure> {
+    if circuit.has_nonunitary() || circuit.qubits() > MAX_EQUIV_QUBITS {
+        return None;
+    }
+    let label = "equivalence".to_string();
+    let fault = settings.fault;
+    let result = probe(|| {
+        let mut dd = DdManager::with_config(DdConfig {
+            fault,
+            ..DdConfig::default()
+        });
+        let u = circuit_unitary(&mut dd, circuit).map_err(|e| format!("{e:?}"))?;
+        dd.inc_ref_mat(u);
+        let flat = circuit_unitary(&mut dd, &circuit.flattened()).map_err(|e| format!("{e:?}"))?;
+        dd.inc_ref_mat(flat);
+        let flat_verdict = mat_equivalence(&mut dd, u, flat);
+        if !flat_verdict.is_equivalent()
+            && !mats_numerically_equivalent(&dd, u, flat, settings.tolerance)
+        {
+            return Ok::<_, String>(Some(
+                "flattened circuit builds a different unitary".to_string(),
+            ));
+        }
+        let mut round_trip = circuit.clone();
+        round_trip.append(&circuit.inverse().expect("unitary circuit inverts"));
+        let rt = circuit_unitary(&mut dd, &round_trip).map_err(|e| format!("{e:?}"))?;
+        dd.inc_ref_mat(rt);
+        let identity = dd.mat_identity(circuit.qubits());
+        if !mat_equivalence(&mut dd, rt, identity).is_equivalent()
+            && !mats_numerically_equivalent(&dd, rt, identity, settings.tolerance)
+        {
+            return Ok(Some("C⁻¹·C is not the identity".to_string()));
+        }
+        Ok(None)
+    });
+    match result {
+        Ok(Ok(None)) => None,
+        Ok(Ok(Some(detail))) => Some(Failure {
+            lattice_label: label,
+            detail,
+        }),
+        Ok(Err(e)) => Some(Failure {
+            lattice_label: label,
+            detail: format!("equivalence oracle error: {e}"),
+        }),
+        Err(panic) => Some(Failure {
+            lattice_label: label,
+            detail: panic,
+        }),
+    }
+}
+
+/// Runs every oracle against one circuit and returns all disagreements
+/// (empty = the circuit checks out everywhere).
+pub fn check_circuit(circuit: &Circuit, settings: &CheckSettings) -> Vec<Failure> {
+    if circuit.qubits() > MAX_DENSE_QUBITS {
+        return vec![Failure {
+            lattice_label: "harness".to_string(),
+            detail: format!(
+                "circuit is {} qubits wide; the dense oracle is capped at {MAX_DENSE_QUBITS}",
+                circuit.qubits()
+            ),
+        }];
+    }
+    let reference = probe(|| dense_run(circuit, settings.seed));
+    let (reference, reference_bits) = match reference {
+        Ok(out) => out,
+        Err(panic) => {
+            return vec![Failure {
+                lattice_label: "dense-reference".to_string(),
+                detail: panic,
+            }]
+        }
+    };
+    let mut failures = Vec::new();
+    for point in config_lattice(settings.full_lattice) {
+        if let Some(f) = check_point(circuit, &point, settings, &reference, &reference_bits) {
+            failures.push(f);
+        }
+    }
+    if let Some(f) = check_equivalence_oracle(circuit, settings) {
+        failures.push(f);
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bell_circuit_passes_every_oracle() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let failures = check_circuit(&c, &CheckSettings::default());
+        assert!(failures.is_empty(), "unexpected failures: {failures:?}");
+    }
+
+    #[test]
+    fn teleportation_style_feedback_passes() {
+        // Mid-circuit measurement + classically controlled corrections:
+        // exercises the shared outcome stream on both backends.
+        let mut c = Circuit::with_cbits(3, 2);
+        c.h(1).cx(1, 2); // entangle q1,q2
+        c.rx(0.7, 0); // payload on q0
+        c.cx(0, 1).h(0);
+        c.measure(0, 0).measure(1, 1);
+        c.classical_gate(ddsim_circuit::StandardGate::X, 2, 1, true);
+        c.classical_gate(ddsim_circuit::StandardGate::Z, 2, 0, true);
+        for seed in [0u64, 1, 7, 1234] {
+            let failures = check_circuit(
+                &c,
+                &CheckSettings {
+                    seed,
+                    ..CheckSettings::default()
+                },
+            );
+            assert!(failures.is_empty(), "seed {seed}: {failures:?}");
+        }
+    }
+
+    #[test]
+    fn dense_run_matches_engine_bits() {
+        let mut c = Circuit::with_cbits(2, 2);
+        c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        for seed in 0..8u64 {
+            let (_, dense_bits) = dense_run(&c, seed);
+            let mut sim = Simulator::with_options(
+                2,
+                SimOptions {
+                    seed,
+                    ..SimOptions::default()
+                },
+            );
+            sim.run(&c).unwrap();
+            assert_eq!(sim.classical_bits(), &dense_bits[..], "seed {seed}");
+            // A Bell measurement must be perfectly correlated.
+            assert_eq!(dense_bits[0], dense_bits[1]);
+        }
+    }
+
+    #[test]
+    fn lattice_sizes() {
+        assert_eq!(config_lattice(false).len(), 20);
+        assert_eq!(config_lattice(true).len(), 35);
+    }
+
+    #[test]
+    fn injected_fault_is_flagged() {
+        // Negative-control ignoring flips which branch a negctrl-X fires
+        // on; the dense oracle sees it immediately.
+        let mut c = Circuit::new(2);
+        c.controlled_gate(
+            ddsim_circuit::StandardGate::X,
+            vec![ddsim_dd::Control::neg(0)],
+            1,
+        );
+        let failures = check_circuit(
+            &c,
+            &CheckSettings {
+                fault: FaultKind::NegativeControlsIgnored,
+                ..CheckSettings::default()
+            },
+        );
+        assert!(!failures.is_empty(), "fault went undetected");
+    }
+}

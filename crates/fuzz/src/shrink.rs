@@ -1,0 +1,442 @@
+//! Failing-circuit minimization.
+//!
+//! Greedy ddmin-style reduction: chunked operation removal (granularity
+//! halving), repeat unrolling, control stripping, parameter snapping to
+//! round angles, and qubit/classical-register narrowing, looped to a
+//! fixpoint under a bounded predicate-call budget. The predicate re-runs
+//! the full oracle battery, so every candidate the shrinker keeps is a
+//! genuine still-failing circuit — the final result is directly
+//! replayable.
+
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+use ddsim_circuit::{Circuit, GateOp, Operation, StandardGate};
+
+struct Shrinker<'a> {
+    failing: &'a dyn Fn(&Circuit) -> bool,
+    calls_left: usize,
+}
+
+impl Shrinker<'_> {
+    /// Runs the predicate, spending budget; a spent budget rejects every
+    /// further candidate so the loop winds down with the best-so-far.
+    fn still_fails(&mut self, candidate: &Circuit) -> bool {
+        if self.calls_left == 0 {
+            return false;
+        }
+        self.calls_left -= 1;
+        (self.failing)(candidate)
+    }
+}
+
+fn rebuild(template: &Circuit, ops: Vec<Operation>) -> Circuit {
+    let mut c = Circuit::with_cbits(template.qubits(), template.cbits());
+    for op in ops {
+        c.push(op);
+    }
+    c
+}
+
+/// Chunked removal: drop `chunk`-sized windows of top-level operations,
+/// halving the window until single-op removal stalls.
+fn remove_ops(circuit: &mut Circuit, shrinker: &mut Shrinker) -> bool {
+    let mut changed = false;
+    let mut chunk = (circuit.ops().len() / 2).max(1);
+    loop {
+        let mut start = 0;
+        while start < circuit.ops().len() {
+            let end = (start + chunk).min(circuit.ops().len());
+            let mut ops: Vec<Operation> = circuit.ops().to_vec();
+            ops.drain(start..end);
+            let candidate = rebuild(circuit, ops);
+            if shrinker.still_fails(&candidate) {
+                *circuit = candidate;
+                changed = true;
+                // Same start index now addresses the next window.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+    changed
+}
+
+const SNAP_ANGLES: [f64; 5] = [0.0, FRAC_PI_2, -FRAC_PI_2, PI, FRAC_PI_4];
+
+/// Snap targets strictly simpler than `angle` (earlier in the fixed rank
+/// order), so repeated snapping always terminates.
+fn snap_candidates(angle: f64) -> Vec<f64> {
+    let rank = SNAP_ANGLES
+        .iter()
+        .position(|c| (c - angle).abs() <= 1e-12)
+        .unwrap_or(SNAP_ANGLES.len());
+    SNAP_ANGLES[..rank].to_vec()
+}
+
+fn gate_snaps(gate: StandardGate) -> Vec<StandardGate> {
+    use StandardGate::*;
+    match gate {
+        Rx(t) => snap_candidates(t).into_iter().map(Rx).collect(),
+        Ry(t) => snap_candidates(t).into_iter().map(Ry).collect(),
+        Rz(t) => snap_candidates(t).into_iter().map(Rz).collect(),
+        Phase(t) => snap_candidates(t).into_iter().map(Phase).collect(),
+        U(t, p, l) => {
+            let mut out = Vec::new();
+            for c in snap_candidates(t) {
+                out.push(U(c, p, l));
+            }
+            for c in snap_candidates(p) {
+                out.push(U(t, c, l));
+            }
+            for c in snap_candidates(l) {
+                out.push(U(t, p, c));
+            }
+            out
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Per-operation simplifications: unroll repeats, strip controls one at a
+/// time, snap rotation angles to round values.
+fn simplify_ops(circuit: &mut Circuit, shrinker: &mut Shrinker) -> bool {
+    let mut changed = false;
+    let mut index = 0;
+    while index < circuit.ops().len() {
+        let op = circuit.ops()[index].clone();
+        let mut replacements: Vec<Vec<Operation>> = Vec::new();
+        match &op {
+            Operation::Repeat { body, times } => {
+                if *times > 1 {
+                    replacements.push(vec![Operation::Repeat {
+                        body: body.clone(),
+                        times: 1,
+                    }]);
+                }
+                replacements.push(body.clone());
+            }
+            Operation::Gate(g) => {
+                for skip in 0..g.controls.len() {
+                    let controls = g
+                        .controls
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != skip)
+                        .map(|(_, c)| *c)
+                        .collect();
+                    replacements.push(vec![Operation::Gate(GateOp::controlled(
+                        g.gate, controls, g.target,
+                    ))]);
+                }
+                for snapped in gate_snaps(g.gate) {
+                    replacements.push(vec![Operation::Gate(GateOp::controlled(
+                        snapped,
+                        g.controls.clone(),
+                        g.target,
+                    ))]);
+                }
+            }
+            Operation::Swap { a, b, controls } if !controls.is_empty() => {
+                replacements.push(vec![Operation::Swap {
+                    a: *a,
+                    b: *b,
+                    controls: Vec::new(),
+                }]);
+            }
+            Operation::Classical { gate, .. } => {
+                // An unconditioned gate is simpler than a guarded one.
+                replacements.push(vec![Operation::Gate(gate.clone())]);
+            }
+            _ => {}
+        }
+        let mut replaced = false;
+        for replacement in replacements {
+            let mut ops: Vec<Operation> = circuit.ops().to_vec();
+            ops.splice(index..=index, replacement);
+            let candidate = rebuild(circuit, ops);
+            if shrinker.still_fails(&candidate) {
+                *circuit = candidate;
+                changed = true;
+                replaced = true;
+                break;
+            }
+        }
+        if !replaced {
+            index += 1;
+        }
+        // On replacement, retry the same index: the new op may simplify
+        // further (e.g. strip a second control).
+    }
+    changed
+}
+
+fn remap_qubit(q: u32, map: &[Option<u32>]) -> u32 {
+    map[q as usize].expect("remap covers every used qubit")
+}
+
+fn remap_ops(ops: &[Operation], map: &[Option<u32>]) -> Vec<Operation> {
+    ops.iter()
+        .map(|op| match op {
+            Operation::Gate(g) => Operation::Gate(GateOp::controlled(
+                g.gate,
+                g.controls
+                    .iter()
+                    .map(|c| ddsim_dd::Control {
+                        qubit: remap_qubit(c.qubit, map),
+                        polarity: c.polarity,
+                    })
+                    .collect(),
+                remap_qubit(g.target, map),
+            )),
+            Operation::Swap { a, b, controls } => Operation::Swap {
+                a: remap_qubit(*a, map),
+                b: remap_qubit(*b, map),
+                controls: controls
+                    .iter()
+                    .map(|c| ddsim_dd::Control {
+                        qubit: remap_qubit(c.qubit, map),
+                        polarity: c.polarity,
+                    })
+                    .collect(),
+            },
+            Operation::Measure { qubit, cbit } => Operation::Measure {
+                qubit: remap_qubit(*qubit, map),
+                cbit: *cbit,
+            },
+            Operation::Reset { qubit } => Operation::Reset {
+                qubit: remap_qubit(*qubit, map),
+            },
+            Operation::Classical { gate, cbit, value } => Operation::Classical {
+                gate: GateOp::controlled(
+                    gate.gate,
+                    gate.controls
+                        .iter()
+                        .map(|c| ddsim_dd::Control {
+                            qubit: remap_qubit(c.qubit, map),
+                            polarity: c.polarity,
+                        })
+                        .collect(),
+                    remap_qubit(gate.target, map),
+                ),
+                cbit: *cbit,
+                value: *value,
+            },
+            Operation::Repeat { body, times } => Operation::Repeat {
+                body: remap_ops(body, map),
+                times: *times,
+            },
+            Operation::Barrier => Operation::Barrier,
+        })
+        .collect()
+}
+
+fn used_qubits(ops: &[Operation], n: u32) -> Vec<bool> {
+    let mut used = vec![false; n as usize];
+    fn visit(ops: &[Operation], used: &mut [bool]) {
+        for op in ops {
+            match op {
+                Operation::Gate(g) => {
+                    used[g.target as usize] = true;
+                    for c in &g.controls {
+                        used[c.qubit as usize] = true;
+                    }
+                }
+                Operation::Swap { a, b, controls } => {
+                    used[*a as usize] = true;
+                    used[*b as usize] = true;
+                    for c in controls {
+                        used[c.qubit as usize] = true;
+                    }
+                }
+                Operation::Measure { qubit, .. } | Operation::Reset { qubit } => {
+                    used[*qubit as usize] = true;
+                }
+                Operation::Classical { gate, .. } => {
+                    used[gate.target as usize] = true;
+                    for c in &gate.controls {
+                        used[c.qubit as usize] = true;
+                    }
+                }
+                Operation::Repeat { body, .. } => visit(body, used),
+                Operation::Barrier => {}
+            }
+        }
+    }
+    visit(ops, &mut used);
+    used
+}
+
+/// Drops unused qubit lines (compacting indices) and trims the classical
+/// register to the highest referenced bit.
+fn narrow_registers(circuit: &mut Circuit, shrinker: &mut Shrinker) -> bool {
+    let mut changed = false;
+    let used = used_qubits(circuit.ops(), circuit.qubits());
+    let kept = used.iter().filter(|&&u| u).count().max(1) as u32;
+    if kept < circuit.qubits() {
+        let mut map = vec![None; circuit.qubits() as usize];
+        let mut next = 0u32;
+        for (q, &u) in used.iter().enumerate() {
+            if u {
+                map[q] = Some(next);
+                next += 1;
+            }
+        }
+        let ops = remap_ops(circuit.ops(), &map);
+        let max_cbit = circuit
+            .ops()
+            .iter()
+            .filter_map(|op| op.max_cbit())
+            .max()
+            .map(|c| c + 1)
+            .unwrap_or(0);
+        let mut candidate = Circuit::with_cbits(kept, max_cbit);
+        for op in ops {
+            candidate.push(op);
+        }
+        if shrinker.still_fails(&candidate) {
+            *circuit = candidate;
+            changed = true;
+        }
+    } else {
+        let max_cbit = circuit
+            .ops()
+            .iter()
+            .filter_map(|op| op.max_cbit())
+            .max()
+            .map(|c| c + 1)
+            .unwrap_or(0);
+        if max_cbit < circuit.cbits() {
+            let mut candidate = Circuit::with_cbits(circuit.qubits(), max_cbit);
+            for op in circuit.ops().to_vec() {
+                candidate.push(op);
+            }
+            if shrinker.still_fails(&candidate) {
+                *circuit = candidate;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Minimizes a failing circuit while `failing` keeps returning `true`.
+///
+/// `budget` bounds predicate invocations (each typically a full oracle
+/// battery). The input circuit must itself fail; the result is the
+/// smallest still-failing circuit the greedy passes reached.
+pub fn shrink_circuit(
+    circuit: &Circuit,
+    failing: impl Fn(&Circuit) -> bool,
+    budget: usize,
+) -> Circuit {
+    let mut shrinker = Shrinker {
+        failing: &failing,
+        calls_left: budget,
+    };
+    let mut current = circuit.clone();
+    // Flattening first removes repeat structure when irrelevant to the
+    // failure, exposing every op to chunked removal.
+    let flat = current.flattened();
+    if flat != current && shrinker.still_fails(&flat) {
+        current = flat;
+    }
+    loop {
+        let mut changed = false;
+        changed |= remove_ops(&mut current, &mut shrinker);
+        changed |= simplify_ops(&mut current, &mut shrinker);
+        changed |= narrow_registers(&mut current, &mut shrinker);
+        if !changed || shrinker.calls_left == 0 {
+            break;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contains_y(c: &Circuit) -> bool {
+        c.flattened().ops().iter().any(|op| {
+            matches!(
+                op,
+                Operation::Gate(GateOp {
+                    gate: StandardGate::Y,
+                    ..
+                })
+            )
+        })
+    }
+
+    #[test]
+    fn shrinks_to_single_offending_gate() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).t(2).swap(1, 3).y(2).s(3).ccx(0, 1, 2);
+        let mut body = Circuit::new(4);
+        body.h(3).z(0);
+        c.repeat(&body, 3);
+        assert!(contains_y(&c));
+        let minimal = shrink_circuit(&c, contains_y, 500);
+        assert!(contains_y(&minimal));
+        assert_eq!(minimal.ops().len(), 1, "minimal: {:?}", minimal.ops());
+        // The unused lines must be gone too.
+        assert_eq!(minimal.qubits(), 1);
+    }
+
+    #[test]
+    fn strips_irrelevant_controls() {
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2);
+        let failing = |c: &Circuit| {
+            c.ops().iter().any(|op| {
+                matches!(
+                    op,
+                    Operation::Gate(GateOp {
+                        gate: StandardGate::X,
+                        ..
+                    })
+                )
+            })
+        };
+        let minimal = shrink_circuit(&c, failing, 200);
+        match &minimal.ops()[0] {
+            Operation::Gate(g) => assert!(g.controls.is_empty(), "controls left: {g:?}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(minimal.qubits(), 1);
+    }
+
+    #[test]
+    fn snaps_rotation_angles() {
+        let mut c = Circuit::new(1);
+        c.rz(1.234_567, 0);
+        let failing = |c: &Circuit| {
+            c.ops()
+                .iter()
+                .any(|op| matches!(op, Operation::Gate(g) if matches!(g.gate, StandardGate::Rz(_))))
+        };
+        let minimal = shrink_circuit(&c, failing, 200);
+        match &minimal.ops()[0] {
+            Operation::Gate(g) => match g.gate {
+                StandardGate::Rz(t) => assert_eq!(t, 0.0, "angle not snapped"),
+                other => panic!("unexpected gate {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn respects_budget() {
+        let mut c = Circuit::new(2);
+        for _ in 0..30 {
+            c.h(0).cx(0, 1);
+        }
+        // Budget 0: nothing may change.
+        let untouched = shrink_circuit(&c, |_| true, 0);
+        assert_eq!(untouched.ops().len(), c.ops().len());
+    }
+}

@@ -1,0 +1,86 @@
+//! End-to-end tests of the `fuzz` binary: exit codes, repro emission, and
+//! replay round-trips.
+
+use std::process::Command;
+
+fn fuzz_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fuzz"))
+}
+
+#[test]
+fn bounded_run_is_clean_and_deterministic() {
+    let run = |seed: &str| {
+        let out = fuzz_bin()
+            .args(["--cases", "8", "--seed", seed])
+            .output()
+            .expect("fuzz runs");
+        assert!(
+            out.status.success(),
+            "fuzz failed: {}{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let first = run("0xDD51");
+    let second = run("0xDD51");
+    // Same seed, same circuits, same gate totals. The summary ends with
+    // wall-clock timing ("clean in X.Xs"), which must not participate in
+    // the determinism check.
+    let canon = |s: &str| {
+        s.rsplit_once(" in ")
+            .map(|(head, _)| head.to_owned())
+            .unwrap_or_else(|| s.to_owned())
+    };
+    assert_eq!(canon(&first), canon(&second));
+    assert!(first.contains("clean"));
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = fuzz_bin().arg("--bogus").output().expect("fuzz runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("Usage"));
+}
+
+#[test]
+fn replay_of_missing_file_is_a_usage_error() {
+    let out = fuzz_bin()
+        .args(["--replay", "/nonexistent/repro.qasm"])
+        .output()
+        .expect("fuzz runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn self_check_emits_replayable_repro() {
+    let dir = std::env::temp_dir().join(format!("fuzz-selfcheck-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out = fuzz_bin()
+        .args(["--self-check", "--cases", "30", "--seed", "0xDD51"])
+        .args(["--repro-dir", dir.to_str().expect("utf-8 path")])
+        .output()
+        .expect("fuzz runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "self-check failed: {stdout}{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("every injected fault was caught"));
+    // Each fault leaves a shrunk OpenQASM repro behind; replaying one
+    // against the un-faulted engine must pass every oracle (exit 0).
+    let repro = dir.join("selfcheck-negative-controls-ignored.qasm");
+    assert!(repro.exists(), "missing repro: {stdout}");
+    let replay = fuzz_bin()
+        .args(["--replay", repro.to_str().expect("utf-8 path")])
+        .output()
+        .expect("fuzz runs");
+    assert!(
+        replay.status.success(),
+        "repro fails on the healthy engine: {}{}",
+        String::from_utf8_lossy(&replay.stdout),
+        String::from_utf8_lossy(&replay.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -9,8 +9,12 @@
 //!
 //! Semantics: each test runs `ProptestConfig::cases` random cases from a
 //! deterministic per-test seed (derived from the test's module path and
-//! name). There is no shrinking — a failing case panics with the standard
-//! assert message. `prop_assume!` skips the remainder of the current case.
+//! name). A failing case is greedily shrunk via [`Strategy::shrink`]
+//! (halving for numeric ranges, prefix/element removal for
+//! `collection::vec`, component-wise for tuples), the minimal failing
+//! input is printed, and the test then re-runs it so the standard assert
+//! message points at the shrunk case. `prop_assume!` skips the remainder
+//! of the current case.
 
 /// Runner configuration. Only `cases` is honored.
 #[derive(Clone, Copy, Debug)]
@@ -72,13 +76,20 @@ impl TestRng {
     }
 }
 
-/// A generator of random values (no shrinking).
+/// A generator of random values with optional shrinking.
 pub trait Strategy {
     /// The generated type.
     type Value;
 
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simplifications of `value`, most aggressive first. An
+    /// empty vector (the default) means the value cannot shrink further.
+    /// Every candidate must itself be producible by this strategy.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
@@ -143,6 +154,12 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
         }
         panic!("prop_filter `{}` rejected 1000 candidates", self.whence);
     }
+
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        let mut cands = self.inner.shrink(value);
+        cands.retain(|v| (self.f)(v));
+        cands
+    }
 }
 
 macro_rules! impl_int_strategy {
@@ -153,6 +170,25 @@ macro_rules! impl_int_strategy {
                 assert!(self.start < self.end, "empty range strategy");
                 let span = (self.end as i128 - self.start as i128) as u64;
                 self.start.wrapping_add(rng.below(span) as $t)
+            }
+
+            // Shrink toward the range start: the start itself, the halfway
+            // point, and the predecessor.
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value;
+                if v == self.start {
+                    return Vec::new();
+                }
+                let mut cands = vec![self.start];
+                let half = self.start + (v - self.start) / 2;
+                if half != self.start && half != v {
+                    cands.push(half);
+                }
+                let pred = v - 1;
+                if pred != self.start && pred != half {
+                    cands.push(pred);
+                }
+                cands
             }
         }
     )*};
@@ -166,24 +202,62 @@ impl Strategy for std::ops::Range<f64> {
         assert!(self.start < self.end, "empty range strategy");
         self.start + rng.unit_f64() * (self.end - self.start)
     }
+
+    // Shrink by halving toward 0.0 when the range spans it, otherwise
+    // toward the range start.
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let v = *value;
+        let target = if self.start <= 0.0 && 0.0 < self.end {
+            0.0
+        } else {
+            self.start
+        };
+        if v == target {
+            return Vec::new();
+        }
+        let mut cands = vec![target];
+        let half = target + (v - target) / 2.0;
+        if half != target && half != v {
+            cands.push(half);
+        }
+        cands
+    }
 }
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($name:ident, $idx:tt)),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                #[allow(non_snake_case)]
-                let ($($name,)+) = self;
-                ($($name.generate(rng),)+)
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            // Component-wise: each candidate shrinks one position and
+            // clones the rest.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut cands = Vec::new();
+                $(
+                    for c in self.$idx.shrink(&value.$idx) {
+                        let mut candidate = value.clone();
+                        candidate.$idx = c;
+                        cands.push(candidate);
+                    }
+                )+
+                cands
             }
         }
     };
 }
 
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!((A, 0));
+impl_tuple_strategy!((A, 0), (B, 1));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
 
 /// Object-safe strategy, used by [`Union`] (`prop_oneof!`).
 pub trait DynStrategy {
@@ -284,12 +358,47 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.max_exclusive - self.size.min) as u64;
             let len = self.size.min + rng.below(span.max(1)) as usize;
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        // Aggressive-first: drop the front/back half, then single
+        // elements, then shrink elements in place.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let len = value.len();
+            let min = self.size.min;
+            let mut cands: Vec<Vec<S::Value>> = Vec::new();
+            if len > min {
+                let half = len / 2;
+                if half >= min && half < len {
+                    cands.push(value[len - half..].to_vec());
+                    cands.push(value[..half].to_vec());
+                }
+                // Single-element removals (bounded so huge vectors don't
+                // explode the candidate list).
+                let stride = len.div_ceil(32);
+                for i in (0..len).step_by(stride) {
+                    let mut v = value.clone();
+                    v.remove(i);
+                    cands.push(v);
+                }
+            }
+            let stride = len.div_ceil(16).max(1);
+            for i in (0..len).step_by(stride) {
+                for c in self.element.shrink(&value[i]).into_iter().take(2) {
+                    let mut v = value.clone();
+                    v[i] = c;
+                    cands.push(v);
+                }
+            }
+            cands
         }
     }
 }
@@ -302,8 +411,56 @@ pub mod prelude {
     };
 }
 
+/// Greedily minimizes a failing input: repeatedly takes the first
+/// [`Strategy::shrink`] candidate that still fails `passes`, until no
+/// candidate fails or the attempt budget is spent.
+///
+/// Used by the `proptest!` runner; public so harnesses (and the shim's own
+/// tests) can drive shrinking directly.
+pub fn shrink_failing<S: Strategy>(
+    strategy: &S,
+    failing: S::Value,
+    passes: impl Fn(&S::Value) -> bool,
+) -> S::Value {
+    let mut current = failing;
+    let mut budget = 512usize;
+    loop {
+        let mut improved = false;
+        for cand in strategy.shrink(&current) {
+            if budget == 0 {
+                return current;
+            }
+            budget -= 1;
+            if !passes(&cand) {
+                current = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+/// Runs `f` with the global panic hook replaced by a no-op, restoring it
+/// afterwards, so shrink candidates don't spam panic backtraces.
+///
+/// The hook is process-global: concurrent panics in *other* tests are
+/// silenced for the duration. Shrinking only runs on an already-failing
+/// test, so the trade is acceptable for a test-only shim.
+#[doc(hidden)]
+pub fn with_silent_panics<R>(f: impl FnOnce() -> R) -> R {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
 /// Declares property tests: each `fn name(bindings in strategies) { body }`
-/// becomes a `#[test]` running `cases` random cases.
+/// becomes a `#[test]` running `cases` random cases, shrinking any failing
+/// input before reporting it.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -327,10 +484,49 @@ macro_rules! __proptest_impl {
                     "::",
                     stringify!($name)
                 ));
+                // One tuple strategy over all bindings, so the whole input
+                // shrinks component-wise. Generation order (and hence the
+                // random stream) matches the per-binding draws this macro
+                // previously performed.
+                let __strategy = ($(($strat),)+);
                 for __case in 0..config.cases {
-                    $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
-                    let __run = || { $body };
-                    __run();
+                    let __vals = $crate::Strategy::generate(&__strategy, &mut rng);
+                    let __failed = {
+                        let __probe = ::std::clone::Clone::clone(&__vals);
+                        ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(move || {
+                            let ($($pat,)+) = __probe;
+                            $body
+                        }))
+                        .is_err()
+                    };
+                    if __failed {
+                        let __minimal = $crate::with_silent_panics(|| {
+                            $crate::shrink_failing(&__strategy, __vals, |__cand| {
+                                let __probe = ::std::clone::Clone::clone(__cand);
+                                ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                                    move || {
+                                        let ($($pat,)+) = __probe;
+                                        $body
+                                    },
+                                ))
+                                .is_ok()
+                            })
+                        });
+                        eprintln!(
+                            "proptest: case {} of {} failed; shrunk input: {:?}",
+                            __case + 1,
+                            stringify!($name),
+                            &__minimal
+                        );
+                        // Re-run the minimal input outside catch_unwind so
+                        // the test fails with its own assert message.
+                        let ($($pat,)+) = __minimal;
+                        { $body }
+                        panic!(
+                            "proptest: input failed but its shrunk form passed on re-run \
+                             (flaky or order-dependent property)"
+                        );
+                    }
                 }
             }
         )*
@@ -417,6 +613,66 @@ mod tests {
         }
     }
 
+    #[test]
+    fn int_shrink_finds_boundary() {
+        // Failing set: v >= 17. Greedy shrinking from 83 must land exactly
+        // on the boundary.
+        let strat = 0u32..100;
+        let minimal = crate::shrink_failing(&strat, 83, |v| *v < 17);
+        assert_eq!(minimal, 17);
+    }
+
+    #[test]
+    fn int_shrink_stops_at_start() {
+        let strat = 5u32..100;
+        let minimal = crate::shrink_failing(&strat, 42, |_| false);
+        assert_eq!(minimal, 5, "everything fails, so shrink to the range start");
+        assert!(strat.shrink(&5).is_empty());
+    }
+
+    #[test]
+    fn f64_shrink_prefers_zero() {
+        let strat = -10.0f64..10.0;
+        let minimal = crate::shrink_failing(&strat, 7.25, |_| false);
+        assert_eq!(minimal, 0.0);
+    }
+
+    #[test]
+    fn vec_shrink_isolates_offending_element() {
+        let strat = crate::collection::vec(0u32..10, 0..20usize);
+        let start = vec![1, 7, 3, 7, 9, 2, 4];
+        let minimal = crate::shrink_failing(&strat, start, |v| !v.contains(&7));
+        assert_eq!(minimal, vec![7]);
+    }
+
+    #[test]
+    fn vec_shrink_respects_min_size() {
+        let strat = crate::collection::vec(0u32..10, 3..20usize);
+        let minimal = crate::shrink_failing(&strat, vec![9, 9, 9, 9, 9], |_| false);
+        assert_eq!(minimal.len(), 3, "may not shrink below the minimum size");
+        for c in strat.shrink(&minimal) {
+            assert!(c.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn tuple_shrink_is_component_wise() {
+        let strat = (0u32..100, 0u32..100);
+        let minimal = crate::shrink_failing(&strat, (80, 70), |(a, b)| a + b < 30);
+        assert_eq!(minimal, (0, 30));
+    }
+
+    #[test]
+    fn filter_shrink_keeps_invariant() {
+        let strat = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        let minimal = crate::shrink_failing(&strat, 84, |v| *v < 10);
+        assert_eq!(minimal % 2, 0, "shrink candidates must satisfy the filter");
+        assert!(
+            (10..84).contains(&minimal),
+            "shrunk but still failing: {minimal}"
+        );
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -425,6 +681,12 @@ mod tests {
             prop_assume!(a + b > 0);
             prop_assert!(x.abs() <= 1.0);
             prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn macro_single_binding(v in crate::collection::vec(0u32..7, 1..12usize)) {
+            prop_assert!(!v.is_empty());
+            prop_assert!(v.iter().all(|&x| x < 7));
         }
     }
 }

@@ -1,0 +1,140 @@
+//! OpenQASM round-trip property: for generator-produced circuits over the
+//! full operation surface, `write → parse → write` must reach a fixpoint
+//! after one trip, and the parsed circuit must be semantically identical
+//! to the original (unitary equivalence for unitary circuits, matching
+//! dense runs — including measurement outcomes — otherwise).
+
+use ddsim_fuzz::generator::{generate, GenConfig, Profile};
+use ddsim_fuzz::oracle::dense_run;
+use ddsim_repro::circuit::qasm;
+use ddsim_repro::core::equivalence::{check_equivalence, Equivalence};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn round_trip_case(seed: u64, profile: Profile, nonunitary: bool) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = GenConfig::sample(&mut rng, profile, nonunitary);
+    let circuit = generate(&mut rng, &cfg);
+    let first = qasm::write(&circuit)
+        .unwrap_or_else(|e| panic!("seed {seed} {}: write failed: {e}", profile.label()));
+    let parsed = qasm::parse(&first).unwrap_or_else(|e| {
+        panic!(
+            "seed {seed} {}: parse failed: {e}\n{first}",
+            profile.label()
+        )
+    });
+    let second = qasm::write(&parsed)
+        .unwrap_or_else(|e| panic!("seed {seed} {}: re-write failed: {e}", profile.label()));
+    assert_eq!(
+        first,
+        second,
+        "seed {seed} {}: write/parse/write is not a fixpoint",
+        profile.label()
+    );
+    assert_eq!(parsed.qubits(), circuit.qubits());
+    // Angles are written via f64 `Display` (shortest exact round-trip), so
+    // the parsed circuit must reproduce the flattened operation stream
+    // *exactly* — gate for gate, control for control, bit for bit.
+    assert_eq!(
+        circuit.flattened().ops(),
+        parsed.flattened().ops(),
+        "seed {seed} {}: operation stream changed across the round trip",
+        profile.label()
+    );
+    if circuit.has_nonunitary() {
+        // Measurement statistics (and therefore classical feedback) must
+        // survive the trip: same seed, same draws, same state and bits.
+        for run_seed in [0u64, 17] {
+            let (v_orig, bits_orig) = dense_run(&circuit, run_seed);
+            let (v_parsed, bits_parsed) = dense_run(&parsed, run_seed);
+            assert_eq!(
+                bits_orig,
+                bits_parsed,
+                "seed {seed} {}: classical bits diverge",
+                profile.label()
+            );
+            for (i, (a, b)) in v_orig
+                .amplitudes()
+                .iter()
+                .zip(v_parsed.amplitudes())
+                .enumerate()
+            {
+                assert!(
+                    a.approx_eq(*b, 1e-9),
+                    "seed {seed} {}: amplitude {i}: {a} vs {b}",
+                    profile.label()
+                );
+            }
+        }
+    } else {
+        // Compare the *flattened* original so both sides fold their
+        // unitaries in the same association order; canonical DDs then make
+        // this a pointer comparison that must come out Equal.
+        let verdict =
+            check_equivalence(&circuit.flattened(), &parsed).expect("both circuits are unitary");
+        assert!(
+            matches!(verdict, Equivalence::Equal),
+            "seed {seed} {}: parsed circuit is {verdict:?}, expected Equal",
+            profile.label()
+        );
+    }
+}
+
+#[test]
+fn unitary_circuits_round_trip_exactly() {
+    for profile in Profile::ALL {
+        for seed in 0..12u64 {
+            round_trip_case(
+                seed.wrapping_mul(0x9E37_79B9).wrapping_add(7),
+                profile,
+                false,
+            );
+        }
+    }
+}
+
+#[test]
+fn nonunitary_circuits_round_trip_exactly() {
+    for profile in Profile::ALL {
+        for seed in 0..12u64 {
+            round_trip_case(
+                seed.wrapping_mul(0x517C_C1B7).wrapping_add(3),
+                profile,
+                true,
+            );
+        }
+    }
+}
+
+#[test]
+fn handwritten_modifier_soup_round_trips() {
+    use ddsim_repro::circuit::{Circuit, StandardGate};
+    use ddsim_repro::dd::Control;
+
+    let mut c = Circuit::with_cbits(4, 2);
+    c.h(0);
+    c.controlled_gate(
+        StandardGate::Rz(0.75),
+        vec![Control::neg(0), Control::pos(2)],
+        3,
+    );
+    c.cswap(0, 1, 2);
+    c.push(ddsim_repro::circuit::Operation::Swap {
+        a: 0,
+        b: 3,
+        controls: vec![Control::neg(1)],
+    });
+    c.measure(3, 1);
+    c.classical_gate(StandardGate::SqrtY, 2, 1, true);
+    let text = qasm::write(&c).expect("writes");
+    let parsed = qasm::parse(&text).expect("parses");
+    assert_eq!(qasm::write(&parsed).expect("re-writes"), text);
+    for run_seed in [0u64, 5] {
+        let (v1, b1) = dense_run(&c, run_seed);
+        let (v2, b2) = dense_run(&parsed, run_seed);
+        assert_eq!(b1, b2);
+        for (a, b) in v1.amplitudes().iter().zip(v2.amplitudes()) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+}

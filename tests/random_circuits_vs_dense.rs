@@ -1,20 +1,34 @@
 //! Randomized cross-validation: the DD simulator under every strategy must
 //! agree with a dense array-based simulation on random circuits.
 
-use ddsim_repro::circuit::Circuit;
+use ddsim_repro::circuit::{Circuit, StandardGate};
 use ddsim_repro::complex::Complex;
-use ddsim_repro::core::{simulate, SimOptions, Strategy};
+use ddsim_repro::core::{simulate, DdConfig, SimOptions, Strategy};
 use ddsim_repro::dd::reference::DenseVector;
+use ddsim_repro::dd::Control;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Generates a random circuit over `n` qubits with `gates` gates.
+/// Generates a random circuit over `n` qubits with `gates` gates, drawing
+/// from the full unitary surface: single-qubit gates, rotations, CX/CZ,
+/// swaps, Toffolis, and multi-controlled gates with mixed control
+/// polarities.
 fn random_circuit(n: u32, gates: usize, seed: u64) -> Circuit {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut c = Circuit::new(n);
+    // `count` distinct qubits, the first being the target.
+    let draw_qubits = |rng: &mut StdRng, count: usize| -> Vec<u32> {
+        let mut pool: Vec<u32> = (0..n).collect();
+        for i in 0..count.min(pool.len()) {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        pool.truncate(count.min(n as usize));
+        pool
+    };
     for _ in 0..gates {
         let target = rng.gen_range(0..n);
-        match rng.gen_range(0..10) {
+        match rng.gen_range(0..14) {
             0 => c.x(target),
             1 => c.y(target),
             2 => c.z(target),
@@ -31,21 +45,56 @@ fn random_circuit(n: u32, gates: usize, seed: u64) -> Circuit {
                     c.cz(control, target)
                 }
             }
-            _ => unreachable!("range is 0..10"),
+            10 => {
+                let q = draw_qubits(&mut rng, 2);
+                c.swap(q[0], q[1])
+            }
+            11 if n >= 3 => {
+                let q = draw_qubits(&mut rng, 3);
+                c.ccx(q[1], q[2], q[0])
+            }
+            12 => {
+                // Negative-control single gate.
+                let q = draw_qubits(&mut rng, 2);
+                let gate = if rng.gen_bool(0.5) {
+                    StandardGate::X
+                } else {
+                    StandardGate::H
+                };
+                c.controlled_gate(gate, vec![Control::neg(q[1])], q[0])
+            }
+            _ if n >= 4 => {
+                // Multi-controlled gate with mixed polarities.
+                let q = draw_qubits(&mut rng, 4);
+                let controls = vec![
+                    Control::pos(q[1]),
+                    Control::neg(q[2]),
+                    if rng.gen_bool(0.5) {
+                        Control::pos(q[3])
+                    } else {
+                        Control::neg(q[3])
+                    },
+                ];
+                c.controlled_gate(StandardGate::X, controls, q[0])
+            }
+            _ => c.h(target),
         };
     }
     c
 }
 
-/// Dense reference simulation of a unitary-only circuit.
+/// Dense reference simulation of a unitary-only circuit (polarity-aware
+/// controls, swaps lowered exactly as the engine lowers them).
 fn dense_reference(c: &Circuit) -> DenseVector {
-    use ddsim_repro::circuit::Operation;
+    use ddsim_repro::circuit::{lower_swap, Operation};
     let mut v = DenseVector::basis(c.qubits(), 0);
     for op in c.flattened().ops() {
         match op {
-            Operation::Gate(g) => {
-                let controls: Vec<u32> = g.controls.iter().map(|ctl| ctl.qubit).collect();
-                v.apply_single_qubit(g.gate.matrix(), g.target, &controls);
+            Operation::Gate(g) => v.apply_controlled(g.gate.matrix(), g.target, &g.controls),
+            Operation::Swap { a, b, controls } => {
+                for g in lower_swap(*a, *b, controls) {
+                    v.apply_controlled(g.gate.matrix(), g.target, &g.controls);
+                }
             }
             other => panic!("random circuits are unitary, got {other:?}"),
         }
@@ -53,10 +102,11 @@ fn dense_reference(c: &Circuit) -> DenseVector {
     v
 }
 
-fn check_agreement(n: u32, gates: usize, seed: u64, strategy: Strategy) {
+fn check_agreement_with(n: u32, gates: usize, seed: u64, options: SimOptions) {
     let circuit = random_circuit(n, gates, seed);
     let dense = dense_reference(&circuit);
-    let (sim, _) = simulate(&circuit, SimOptions::with_strategy(strategy)).expect("run");
+    let (sim, _) = simulate(&circuit, options).expect("run");
+    let strategy = options.strategy;
     for (i, want) in dense.amplitudes().iter().enumerate() {
         let got = sim.amplitude(i as u64);
         assert!(
@@ -64,6 +114,10 @@ fn check_agreement(n: u32, gates: usize, seed: u64, strategy: Strategy) {
             "seed {seed}, {strategy}, amplitude {i}: {got} vs {want}"
         );
     }
+}
+
+fn check_agreement(n: u32, gates: usize, seed: u64, strategy: Strategy) {
+    check_agreement_with(n, gates, seed, SimOptions::with_strategy(strategy));
 }
 
 #[test]
@@ -84,6 +138,68 @@ fn k_operations_matches_dense_on_random_circuits() {
 fn max_size_matches_dense_on_random_circuits() {
     for seed in 0..8 {
         check_agreement(6, 60, seed, Strategy::MaxSize { s_max: 48 });
+    }
+}
+
+#[test]
+fn dd_repeating_and_adaptive_match_dense() {
+    for seed in 0..4 {
+        check_agreement(6, 60, seed, Strategy::DdRepeating { k: 4 });
+        check_agreement(6, 60, seed, Strategy::adaptive());
+    }
+}
+
+#[test]
+fn no_cache_matches_dense_on_random_circuits() {
+    // Disabling memoization must change only the work done, never the
+    // diagrams produced.
+    for seed in 0..4 {
+        for strategy in [Strategy::Sequential, Strategy::KOperations { k: 5 }] {
+            let options = SimOptions {
+                strategy,
+                dd_config: DdConfig {
+                    cache_enabled: false,
+                    ..DdConfig::default()
+                },
+                ..SimOptions::default()
+            };
+            check_agreement_with(6, 50, seed, options);
+        }
+    }
+}
+
+#[test]
+fn no_identity_skip_matches_dense_on_random_circuits() {
+    // Disabling identity short-circuits forces the generic recursions and
+    // the matrix-building gate path; results must be bit-compatible.
+    for seed in 0..4 {
+        for strategy in [Strategy::Sequential, Strategy::MaxSize { s_max: 48 }] {
+            let options = SimOptions {
+                strategy,
+                dd_config: DdConfig {
+                    identity_skip: false,
+                    ..DdConfig::default()
+                },
+                ..SimOptions::default()
+            };
+            check_agreement_with(6, 50, seed, options);
+        }
+    }
+}
+
+#[test]
+fn no_cache_no_identity_skip_matches_dense() {
+    for seed in 0..3 {
+        let options = SimOptions {
+            strategy: Strategy::KOperations { k: 3 },
+            dd_config: DdConfig {
+                cache_enabled: false,
+                identity_skip: false,
+                ..DdConfig::default()
+            },
+            ..SimOptions::default()
+        };
+        check_agreement_with(5, 40, seed, options);
     }
 }
 

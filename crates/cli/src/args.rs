@@ -2,6 +2,7 @@
 //! dependencies beyond the approved set).
 
 use std::fmt;
+use std::time::Duration;
 
 use ddsim_core::{DdConfig, Strategy};
 
@@ -44,8 +45,17 @@ pub struct Args {
     pub dot_out: Option<String>,
     /// Record and print the per-step trace.
     pub trace: bool,
-    /// DD-manager tuning (table sizes, cache switch, GC threshold).
+    /// DD-manager tuning (table sizes, cache switch, GC threshold,
+    /// resource budgets).
     pub dd_config: DdConfig,
+    /// Wall-clock budget for the run (`--deadline`, seconds).
+    pub deadline: Option<Duration>,
+    /// Write a checkpoint every this many executed ops (0 = never).
+    pub checkpoint_every: u64,
+    /// Checkpoint destination (`--checkpoint-file`).
+    pub checkpoint_file: String,
+    /// Resume from this snapshot instead of starting fresh.
+    pub resume: Option<String>,
 }
 
 /// A parse failure with a user-facing message.
@@ -93,6 +103,28 @@ OPTIONS:
     --gc-threshold N         live-node count that triggers garbage
                              collection [default: 250000]
     --help                   show this text
+
+RESOURCE LIMITS:
+    --max-nodes N            abort (after degradation) when the DD exceeds
+                             N live nodes
+    --max-table-bytes N      abort (after degradation) when table memory
+                             exceeds N bytes
+    --deadline SECS          wall-clock budget for the run (fractional
+                             seconds allowed)
+    --checkpoint-every OPS   write a resumable snapshot every OPS executed
+                             operations (implies flattened execution)
+    --checkpoint-file FILE   snapshot path [default: ddsim.snapshot]
+    --resume FILE            continue a run from a snapshot written by
+                             --checkpoint-every
+
+EXIT CODES:
+    0  success
+    1  usage, I/O, or parse error
+    2  resource budget exceeded (--max-nodes / --max-table-bytes)
+    3  wall-clock deadline exceeded (--deadline)
+    4  cancelled
+    5  circuit/simulator width mismatch
+    6  checkpoint error (unreadable, corrupt, or wrong circuit)
 ";
 
 /// Parses argv (excluding the program name).
@@ -109,6 +141,10 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseArgsError> {
     let mut dot_out = None;
     let mut trace = false;
     let mut dd_config = DdConfig::default();
+    let mut deadline = None;
+    let mut checkpoint_every = 0u64;
+    let mut checkpoint_file = "ddsim.snapshot".to_string();
+    let mut resume = None;
 
     let mut i = 0usize;
     while i < argv.len() {
@@ -170,6 +206,53 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseArgsError> {
                 dd_config.gc_threshold = parse_value(argv.get(i + 1), "--gc-threshold")?;
                 i += 1;
             }
+            "--max-nodes" => {
+                let nodes: usize = parse_value(argv.get(i + 1), "--max-nodes")?;
+                if nodes == 0 {
+                    return Err(ParseArgsError("--max-nodes must be positive".into()));
+                }
+                dd_config.max_live_nodes = Some(nodes);
+                i += 1;
+            }
+            "--max-table-bytes" => {
+                let bytes: usize = parse_value(argv.get(i + 1), "--max-table-bytes")?;
+                if bytes == 0 {
+                    return Err(ParseArgsError("--max-table-bytes must be positive".into()));
+                }
+                dd_config.max_table_bytes = Some(bytes);
+                i += 1;
+            }
+            "--deadline" => {
+                let secs: f64 = parse_value(argv.get(i + 1), "--deadline")?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(ParseArgsError(
+                        "--deadline needs a positive number of seconds".into(),
+                    ));
+                }
+                deadline = Some(Duration::from_secs_f64(secs));
+                i += 1;
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = parse_value(argv.get(i + 1), "--checkpoint-every")?;
+                if checkpoint_every == 0 {
+                    return Err(ParseArgsError("--checkpoint-every must be positive".into()));
+                }
+                i += 1;
+            }
+            "--checkpoint-file" => {
+                let path = argv
+                    .get(i + 1)
+                    .ok_or_else(|| ParseArgsError("--checkpoint-file needs a path".into()))?;
+                checkpoint_file = path.clone();
+                i += 1;
+            }
+            "--resume" => {
+                let path = argv
+                    .get(i + 1)
+                    .ok_or_else(|| ParseArgsError("--resume needs a path".into()))?;
+                resume = Some(path.clone());
+                i += 1;
+            }
             other if !other.starts_with('-') => {
                 if source.is_some() {
                     return Err(ParseArgsError(format!(
@@ -195,6 +278,10 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseArgsError> {
         dot_out,
         trace,
         dd_config,
+        deadline,
+        checkpoint_every,
+        checkpoint_file,
+        resume,
     })
 }
 
@@ -324,6 +411,58 @@ mod tests {
         assert!(!a.dd_config.cache_enabled);
         assert!(!a.dd_config.identity_skip);
         assert_eq!(a.dd_config.gc_threshold, 5000);
+    }
+
+    #[test]
+    fn budget_flags() {
+        let a = parse(&argv(&[
+            "x.qasm",
+            "--max-nodes",
+            "5000",
+            "--max-table-bytes",
+            "1048576",
+            "--deadline",
+            "2.5",
+        ]))
+        .expect("valid");
+        assert_eq!(a.dd_config.max_live_nodes, Some(5000));
+        assert_eq!(a.dd_config.max_table_bytes, Some(1048576));
+        assert_eq!(a.deadline, Some(Duration::from_secs_f64(2.5)));
+    }
+
+    #[test]
+    fn budget_flags_default_off() {
+        let a = parse(&argv(&["x.qasm"])).expect("valid");
+        assert_eq!(a.dd_config.max_live_nodes, None);
+        assert_eq!(a.dd_config.max_table_bytes, None);
+        assert_eq!(a.deadline, None);
+        assert_eq!(a.checkpoint_every, 0);
+        assert_eq!(a.resume, None);
+    }
+
+    #[test]
+    fn rejects_degenerate_budgets() {
+        assert!(parse(&argv(&["x.qasm", "--max-nodes", "0"])).is_err());
+        assert!(parse(&argv(&["x.qasm", "--deadline", "0"])).is_err());
+        assert!(parse(&argv(&["x.qasm", "--deadline", "-1"])).is_err());
+        assert!(parse(&argv(&["x.qasm", "--checkpoint-every", "0"])).is_err());
+    }
+
+    #[test]
+    fn checkpoint_and_resume_flags() {
+        let a = parse(&argv(&[
+            "x.qasm",
+            "--checkpoint-every",
+            "100",
+            "--checkpoint-file",
+            "/tmp/run.snapshot",
+        ]))
+        .expect("valid");
+        assert_eq!(a.checkpoint_every, 100);
+        assert_eq!(a.checkpoint_file, "/tmp/run.snapshot");
+        let b = parse(&argv(&["x.qasm", "--resume", "old.snapshot"])).expect("valid");
+        assert_eq!(b.resume, Some("old.snapshot".to_string()));
+        assert_eq!(b.checkpoint_file, "ddsim.snapshot");
     }
 
     #[test]

@@ -9,12 +9,27 @@
 mod args;
 mod generate;
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use ddsim_circuit::{qasm, Circuit};
-use ddsim_core::{SimOptions, Simulator};
+use ddsim_core::{CheckpointConfig, SimError, SimOptions, Simulator};
 
 use crate::args::{Args, CircuitSource, OutputMode};
+
+/// Maps a simulation error onto the documented exit codes (see
+/// `args::USAGE`): 2 budget, 3 deadline, 4 cancelled, 5 width mismatch,
+/// 6 checkpoint, 1 everything else.
+fn exit_code_for(e: &SimError) -> u8 {
+    match e {
+        SimError::BudgetExceeded { .. } => 2,
+        SimError::DeadlineExceeded => 3,
+        SimError::Cancelled => 4,
+        SimError::WidthMismatch { .. } => 5,
+        SimError::Snapshot(_) => 6,
+        SimError::Internal(_) => 1,
+    }
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -29,7 +44,8 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            let code = e.downcast_ref::<SimError>().map(exit_code_for).unwrap_or(1);
+            ExitCode::from(code)
         }
     }
 }
@@ -64,9 +80,29 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         seed: args.seed,
         collect_trace: args.trace,
         dd_config: args.dd_config,
+        deadline: args.deadline,
     };
-    let mut sim = Simulator::with_options(circuit.qubits(), options);
-    let stats = sim.run(&circuit)?;
+    let checkpoint_cfg = (args.checkpoint_every > 0).then(|| CheckpointConfig {
+        every_ops: args.checkpoint_every,
+        path: args.checkpoint_file.clone().into(),
+    });
+    let (mut sim, stats) = if let Some(snapshot) = &args.resume {
+        let (mut sim, next_op) = Simulator::resume_from(Path::new(snapshot), &circuit, options)?;
+        eprintln!(
+            "resumed from {snapshot} at op {next_op}/{}",
+            circuit.flattened().ops().len()
+        );
+        let stats = sim.run_from(&circuit, next_op, checkpoint_cfg.as_ref())?;
+        (sim, stats)
+    } else if let Some(cfg) = &checkpoint_cfg {
+        let mut sim = Simulator::with_options(circuit.qubits(), options);
+        let stats = sim.run_from(&circuit, 0, Some(cfg))?;
+        (sim, stats)
+    } else {
+        let mut sim = Simulator::with_options(circuit.qubits(), options);
+        let stats = sim.run(&circuit)?;
+        (sim, stats)
+    };
 
     eprintln!(
         "strategy {}: {:?}, {} MxV, {} MxM, final DD {} nodes",
@@ -145,6 +181,11 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             println!("peak_matrix_nodes  {}", stats.peak_matrix_nodes);
             println!("final_state_nodes  {}", stats.final_state_nodes);
             println!("gc_runs            {}", stats.gc_runs);
+            println!("ladder_gc_rescues  {}", stats.ladder_gc_rescues);
+            println!("ladder_cache_flushes {}", stats.ladder_cache_flushes);
+            println!("ladder_downgrades  {}", stats.ladder_strategy_downgrades);
+            println!("degraded           {}", stats.degraded);
+            println!("checkpoints_written {}", stats.checkpoints_written);
             for (name, t) in stats.cache.named_compute() {
                 if t.lookups == 0 {
                     continue;

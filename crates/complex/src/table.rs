@@ -55,6 +55,16 @@ impl ComplexId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuilds an id from a table index (snapshot restore).
+    ///
+    /// The caller is responsible for the index being in range of the table
+    /// the id will be used with; out-of-range ids panic on first `value`
+    /// lookup rather than aliasing another entry.
+    #[inline]
+    pub fn from_index(index: usize) -> ComplexId {
+        ComplexId(u32::try_from(index).expect("complex table index overflow"))
+    }
 }
 
 /// Bucket key: grid coordinates at the tolerance scale.
@@ -260,6 +270,44 @@ impl ComplexTable {
         self.lookup(conjugated)
     }
 
+    /// All stored values in insertion order (index `i` is the value of
+    /// `ComplexId` with raw index `i`). For snapshot serialization: because
+    /// tolerance bucketing makes representatives depend on insertion
+    /// history, a bitwise-faithful restore must replay the *entire* table,
+    /// not merely the reachable ids.
+    #[inline]
+    pub fn values(&self) -> &[Complex] {
+        &self.values
+    }
+
+    /// Rebuilds a table holding exactly `values`, id-for-id.
+    ///
+    /// `values` must be a sequence previously produced by
+    /// [`values`](Self::values): entry 0 must be zero, entry 1 must be one,
+    /// and every entry must be finite. Values are re-inserted raw, in
+    /// order, so every id, representative, and bucket layout matches the
+    /// captured table exactly and subsequent [`lookup`](Self::lookup) calls
+    /// resolve identically to the original.
+    pub fn from_values(tolerance: f64, values: &[Complex]) -> Result<Self, String> {
+        let mut table = Self::with_tolerance(tolerance);
+        if values.len() < 2 {
+            return Err("complex table dump must contain the pinned zero and one".into());
+        }
+        if values[0] != Complex::ZERO {
+            return Err(format!("entry 0 must be exactly zero, got {:?}", values[0]));
+        }
+        if values[1] != Complex::ONE {
+            return Err(format!("entry 1 must be exactly one, got {:?}", values[1]));
+        }
+        for (i, &c) in values.iter().enumerate().skip(2) {
+            if !c.is_finite() {
+                return Err(format!("entry {i} is not finite: {c:?}"));
+            }
+            table.insert_raw(c);
+        }
+        Ok(table)
+    }
+
     fn grid_coords(&self, c: Complex) -> (i64, i64) {
         // Grid width 2 · tolerance: any two matching values sit in the same
         // or adjacent cells, so a 3x3 probe finds every candidate.
@@ -396,6 +444,51 @@ mod tests {
         let a = t.lookup(Complex::real(edge - 1e-14));
         let b = t.lookup(Complex::real(edge + 1e-14));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_values_restores_ids_and_lookup_behavior() {
+        let mut t = ComplexTable::new();
+        let ids: Vec<ComplexId> = [
+            Complex::SQRT2_INV,
+            Complex::new(0.3, -0.4),
+            Complex::real(0.5),
+            Complex::new(-0.1, 0.2),
+        ]
+        .iter()
+        .map(|&c| t.lookup(c))
+        .collect();
+        let restored = ComplexTable::from_values(t.tolerance(), t.values()).unwrap();
+        assert_eq!(restored.len(), t.len());
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(restored.value(id), t.value(id), "value {i}");
+            assert_eq!(restored.norm_sqr(id), t.norm_sqr(id), "norm {i}");
+        }
+        // Future lookups resolve to the same representatives.
+        let mut a = t.clone();
+        let mut b = restored;
+        let probe = Complex::new(0.3 + 1e-14, -0.4);
+        assert_eq!(a.lookup(probe), b.lookup(probe));
+        let fresh = Complex::new(0.77, 0.12);
+        assert_eq!(a.lookup(fresh), b.lookup(fresh));
+    }
+
+    #[test]
+    fn from_values_rejects_corrupt_dumps() {
+        assert!(ComplexTable::from_values(1e-13, &[]).is_err());
+        assert!(
+            ComplexTable::from_values(1e-13, &[Complex::ONE, Complex::ONE]).is_err(),
+            "entry 0 must be zero"
+        );
+        assert!(
+            ComplexTable::from_values(1e-13, &[Complex::ZERO, Complex::ZERO]).is_err(),
+            "entry 1 must be one"
+        );
+        assert!(ComplexTable::from_values(
+            1e-13,
+            &[Complex::ZERO, Complex::ONE, Complex::new(f64::NAN, 0.0)]
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,36 +1,52 @@
 //! The simulation engine: streams a [`Circuit`] through the DD package
 //! under a configurable combining [`Strategy`].
+//!
+//! # Resource governance
+//!
+//! Runs execute under the budgets configured in
+//! [`DdConfig`](ddsim_dd::DdConfig) (`max_live_nodes`, `max_table_bytes`),
+//! the wall-clock [`SimOptions::deadline`], and an optional cooperative
+//! [`CancelToken`]. When a *budget* trips mid-operation the engine walks a
+//! degradation ladder before giving up:
+//!
+//! 1. **Emergency GC** — collect garbage and retry the operation (sound
+//!    because DD operations are deterministic and any compute-table entry
+//!    written by the aborted attempt is a complete, valid result);
+//! 2. **Cache flush** — drop all compute-table entries, collect again (the
+//!    GC rebuild shrinks the unique tables toward their floor), retry;
+//! 3. **Strategy downgrade** — abandon the accumulated gate product and
+//!    replay its recorded gates one at a time through the specialized
+//!    apply kernels, then continue the rest of the run sequentially
+//!    (matrix products are the memory-hungry part of combining).
+//!
+//! Each rung taken is counted in [`RunStats`]. Only when rung 3 still
+//! cannot fit the state itself does the run end, with a typed
+//! [`SimError::BudgetExceeded`] — never a panic, never unbounded memory.
+//! Deadline expiry and cancellation skip the ladder and unwind promptly.
+//!
+//! # Checkpoint / resume
+//!
+//! [`Simulator::run_from`] can write a versioned binary
+//! [`Snapshot`](ddsim_dd::Snapshot) every *N* ops of the flattened
+//! instruction stream and [`Simulator::resume_from`] rebuilds a simulator
+//! from one, bit-for-bit: the full complex table, the state DD, the
+//! classical register, and the RNG stream position all round-trip exactly.
+//! A checkpoint acts as a barrier (the pending product is flushed first).
 
 use std::fmt;
-use std::time::Instant;
+use std::path::Path;
+use std::time::{Duration, Instant};
 
 use ddsim_circuit::{lower_swap, Circuit, GateOp, Operation};
 use ddsim_complex::Complex;
-use ddsim_dd::{DdConfig, DdManager, MatEdge, VecEdge};
+use ddsim_dd::snapshot::fnv1a;
+use ddsim_dd::{CancelToken, DdConfig, DdError, DdManager, MatEdge, Snapshot, VecEdge};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::error::{widen_dd_error, SimError};
 use crate::stats::{RunStats, StepTrace};
 use crate::strategy::Strategy;
-
-/// Error returned when a circuit does not fit the simulator.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct SimulateCircuitError {
-    expected_qubits: u32,
-    found_qubits: u32,
-}
-
-impl fmt::Display for SimulateCircuitError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "circuit has {} qubits but the simulator was built for {}",
-            self.found_qubits, self.expected_qubits
-        )
-    }
-}
-
-impl std::error::Error for SimulateCircuitError {}
 
 /// Options controlling a simulation run.
 #[derive(Clone, Copy, Debug)]
@@ -43,8 +59,12 @@ pub struct SimOptions {
     /// multiplication).
     pub collect_trace: bool,
     /// DD-manager configuration (tolerance, GC threshold, table capacities,
-    /// cache switch).
+    /// cache switch, resource budgets).
     pub dd_config: DdConfig,
+    /// Wall-clock budget for one `run`/`run_from` call, measured from its
+    /// start. `None` disables the deadline. On expiry the run unwinds with
+    /// [`SimError::DeadlineExceeded`]; a resumed run gets a fresh window.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for SimOptions {
@@ -54,6 +74,7 @@ impl Default for SimOptions {
             seed: 0,
             collect_trace: false,
             dd_config: DdConfig::default(),
+            deadline: None,
         }
     }
 }
@@ -66,6 +87,24 @@ impl SimOptions {
             ..SimOptions::default()
         }
     }
+}
+
+/// Periodic checkpointing plan for [`Simulator::run_from`].
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Write a snapshot after every this many executed ops of the
+    /// flattened stream (0 disables periodic checkpoints).
+    pub every_ops: u64,
+    /// Snapshot destination; overwritten atomically at each checkpoint.
+    pub path: std::path::PathBuf,
+}
+
+/// Stable fingerprint of a circuit's observable behavior (qubits, classical
+/// bits, flattened op stream), used to pair snapshots with their circuit.
+pub fn circuit_fingerprint(circuit: &Circuit) -> u64 {
+    let flat = circuit.flattened();
+    let text = format!("{}|{}|{:?}", flat.qubits(), flat.cbits(), flat.ops());
+    fnv1a(text.as_bytes())
 }
 
 /// A DD-based quantum-circuit simulator.
@@ -99,8 +138,17 @@ pub struct Simulator {
     // The gate behind `pending` while the group holds exactly one gate, so
     // a single-gate flush can route through the specialized apply kernels.
     pending_single: Option<GateOp>,
+    // Every gate folded into `pending`, in application order — the replay
+    // script for ladder rung 3 (drop the product, apply gates one by one).
+    pending_ops: Vec<GateOp>,
     // State DD size as of the last application (drives Strategy::Adaptive).
     cached_state_nodes: usize,
+    // Ladder rung 3 latches this; the rest of the run is sequential.
+    degraded: bool,
+    // Ops of the flattened stream executed so far (checkpoint cursor).
+    ops_executed: u64,
+    // Fingerprint of the circuit the current/last run executed.
+    active_circuit_hash: u64,
     stats: RunStats,
 }
 
@@ -133,7 +181,11 @@ impl Simulator {
             pending: None,
             pending_gates: 0,
             pending_single: None,
+            pending_ops: Vec::new(),
             cached_state_nodes: 1,
+            degraded: false,
+            ops_executed: 0,
+            active_circuit_hash: 0,
             stats: RunStats::default(),
         }
     }
@@ -189,6 +241,20 @@ impl Simulator {
         self.dd.vec_node_count(self.state)
     }
 
+    /// Ops of the flattened instruction stream executed by the current or
+    /// most recent [`run_from`](Self::run_from) call (the checkpoint
+    /// cursor).
+    pub fn ops_executed(&self) -> u64 {
+        self.ops_executed
+    }
+
+    /// Registers (or clears) a cooperative cancellation token. In-flight
+    /// DD work unwinds with [`SimError::Cancelled`] shortly after the
+    /// token latches; the per-op loop observes it immediately.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.dd.set_cancel_token(token);
+    }
+
     /// Samples a full measurement (without collapsing).
     pub fn sample(&mut self) -> u64 {
         let rng = &mut self.rng;
@@ -211,11 +277,183 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns [`SimulateCircuitError`] if the circuit's qubit count does
-    /// not match the simulator's.
-    pub fn run(&mut self, circuit: &Circuit) -> Result<RunStats, SimulateCircuitError> {
+    /// [`SimError::WidthMismatch`] if the circuit's qubit count differs
+    /// from the simulator's; [`SimError::BudgetExceeded`] /
+    /// [`SimError::DeadlineExceeded`] / [`SimError::Cancelled`] if the
+    /// resource governor ends the run. After any error the simulator is
+    /// consistent: the pre-error state survives, pending work is released,
+    /// and the run may be retried under relaxed limits.
+    pub fn run(&mut self, circuit: &Circuit) -> Result<RunStats, SimError> {
+        self.prepare(circuit)?;
+        let started = Instant::now();
+        let result = self.process_ops(circuit.ops()).and_then(|()| self.flush());
+        self.seal(result, started)
+    }
+
+    /// Runs `circuit` starting at op `start_op` of its *flattened*
+    /// instruction stream, optionally writing periodic checkpoints.
+    ///
+    /// Repeats are expanded up front so the instruction pointer is stable
+    /// across runs (this disables the DD-repeating block reuse; use
+    /// [`run`](Self::run) when checkpointing is not needed). `start_op`
+    /// is non-zero only for resumed runs — see
+    /// [`resume_from`](Self::resume_from).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`run`](Self::run) returns, plus
+    /// [`SimError::Snapshot`] when a checkpoint cannot be written or
+    /// `start_op` lies beyond the circuit.
+    pub fn run_from(
+        &mut self,
+        circuit: &Circuit,
+        start_op: u64,
+        checkpoint: Option<&CheckpointConfig>,
+    ) -> Result<RunStats, SimError> {
+        self.prepare(circuit)?;
+        let flat = circuit.flattened();
+        let total = flat.ops().len() as u64;
+        if start_op > total {
+            return Err(SimError::Snapshot(format!(
+                "resume index {start_op} lies beyond the circuit ({total} ops)"
+            )));
+        }
+        let started = Instant::now();
+        self.ops_executed = start_op;
+        let result = (|| {
+            for (i, op) in flat.ops().iter().enumerate().skip(start_op as usize) {
+                // Prompt per-op governor check: deadline and cancellation
+                // are observed here even if every DD op is cache-served.
+                self.dd
+                    .check_interrupts()
+                    .map_err(|e| widen_dd_error(e, &self.dd))?;
+                self.process_ops(std::slice::from_ref(op))?;
+                self.ops_executed = i as u64 + 1;
+                if let Some(cfg) = checkpoint {
+                    let done = self.ops_executed - start_op;
+                    if cfg.every_ops > 0
+                        && done.is_multiple_of(cfg.every_ops)
+                        && self.ops_executed < total
+                    {
+                        self.checkpoint(&cfg.path)?;
+                    }
+                }
+            }
+            self.flush()
+        })();
+        self.seal(result, started)
+    }
+
+    /// Flushes pending work and writes a resumable snapshot to `path`
+    /// (atomically: temp file + rename).
+    ///
+    /// Checkpointing is a barrier: any accumulated gate product is applied
+    /// first, so the snapshot captures a definite state between ops. The
+    /// simulator then reloads itself from the snapshot it just wrote, so
+    /// its own continuation starts from exactly the manager state a future
+    /// [`resume_from`](Self::resume_from) will rebuild — compacted unique
+    /// tables, replayed value table, cold caches. This is what makes an
+    /// interrupted-and-resumed run *bitwise* identical to the
+    /// uninterrupted one: without the reload, the writer's warm caches can
+    /// intern round-off representatives in a different order than a cold
+    /// resumer and drift amplitudes by a few ulps.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Snapshot`] on I/O failure; governor errors if the flush
+    /// itself trips a limit.
+    pub fn checkpoint(&mut self, path: &Path) -> Result<(), SimError> {
+        self.flush()?;
+        let snap = Snapshot::capture(
+            &self.dd,
+            self.state,
+            self.n,
+            self.ops_executed,
+            self.active_circuit_hash,
+            self.rng.state(),
+            self.classical.clone(),
+        );
+        snap.save(path)?;
+        // Reload in place (see above). The governor's deadline and cancel
+        // token live on the manager and must carry over unchanged.
+        let deadline = self.dd.deadline();
+        let cancel = self.dd.cancel_token();
+        let (dd, state) = snap.restore(self.options.dd_config)?;
+        self.dd = dd;
+        self.state = state;
+        self.dd.set_deadline(deadline);
+        self.dd.set_cancel_token(cancel);
+        self.cached_state_nodes = self.dd.vec_node_count(self.state);
+        self.stats.checkpoints_written += 1;
+        Ok(())
+    }
+
+    /// Rebuilds a simulator from a snapshot written by
+    /// [`checkpoint`](Self::checkpoint), positioned to continue `circuit`.
+    ///
+    /// Returns the simulator and the op index to pass to
+    /// [`run_from`](Self::run_from). The restored run is bit-identical to
+    /// an uninterrupted one (modulo the flush barrier the checkpoint
+    /// inserted): amplitudes, classical bits, and the measurement RNG
+    /// stream all round-trip exactly. The snapshot's tolerance overrides
+    /// `options.dd_config.tolerance`; budgets and strategy come from
+    /// `options`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Snapshot`] if the file is unreadable, corrupt, of an
+    /// unsupported version, or was taken from a different circuit;
+    /// [`SimError::WidthMismatch`] if the snapshot's width differs from
+    /// the circuit's.
+    pub fn resume_from(
+        path: &Path,
+        circuit: &Circuit,
+        options: SimOptions,
+    ) -> Result<(Simulator, u64), SimError> {
+        let snap = Snapshot::load(path)?;
+        if snap.qubits != circuit.qubits() {
+            return Err(SimError::WidthMismatch {
+                expected_qubits: snap.qubits,
+                found_qubits: circuit.qubits(),
+            });
+        }
+        let hash = circuit_fingerprint(circuit);
+        if snap.circuit_hash != hash {
+            return Err(SimError::Snapshot(format!(
+                "snapshot was taken from a different circuit \
+                 (hash {:#018x}, offered {hash:#018x})",
+                snap.circuit_hash
+            )));
+        }
+        let (dd, state) = snap.restore(options.dd_config)?;
+        let cached_state_nodes = dd.vec_node_count(state);
+        let sim = Simulator {
+            dd,
+            n: snap.qubits,
+            state,
+            classical: snap.classical_bits.clone(),
+            rng: StdRng::from_state(snap.rng_state),
+            options,
+            pending: None,
+            pending_gates: 0,
+            pending_single: None,
+            pending_ops: Vec::new(),
+            cached_state_nodes,
+            degraded: false,
+            ops_executed: snap.next_op,
+            active_circuit_hash: snap.circuit_hash,
+            stats: RunStats::default(),
+        };
+        Ok((sim, snap.next_op))
+    }
+
+    // ------------------------------------------------------------------
+    // Run lifecycle
+    // ------------------------------------------------------------------
+
+    fn prepare(&mut self, circuit: &Circuit) -> Result<(), SimError> {
         if circuit.qubits() != self.n {
-            return Err(SimulateCircuitError {
+            return Err(SimError::WidthMismatch {
                 expected_qubits: self.n,
                 found_qubits: circuit.qubits(),
             });
@@ -223,130 +461,274 @@ impl Simulator {
         if self.classical.len() < circuit.cbits() {
             self.classical.resize(circuit.cbits(), false);
         }
-        let started = Instant::now();
+        self.active_circuit_hash = circuit_fingerprint(circuit);
+        self.degraded = false;
         self.stats = RunStats::default();
-        self.process_ops(circuit.ops());
-        self.flush();
+        // Always (re)arm: a stale deadline from a previous run must not
+        // leak into this one.
+        self.dd
+            .set_deadline(self.options.deadline.map(|d| Instant::now() + d));
+        Ok(())
+    }
+
+    /// Closes the stats window and, on error, releases pending work so the
+    /// manager stays consistent and garbage-collectable.
+    fn seal(
+        &mut self,
+        result: Result<(), SimError>,
+        started: Instant,
+    ) -> Result<RunStats, SimError> {
+        if result.is_err() {
+            self.abandon_pending();
+        }
         self.stats.wall_time = started.elapsed();
         self.stats.final_state_nodes = self.dd.vec_node_count(self.state);
         if self.stats.peak_state_nodes < self.stats.final_state_nodes {
             self.stats.peak_state_nodes = self.stats.final_state_nodes;
         }
-        Ok(self.stats.clone())
+        self.stats.degraded = self.degraded;
+        result.map(|()| self.stats.clone())
+    }
+
+    /// Drops the accumulated product and its replay script (error unwind).
+    fn abandon_pending(&mut self) {
+        if let Some(p) = self.pending.take() {
+            self.dd.dec_ref_mat(p);
+        }
+        self.pending_gates = 0;
+        self.pending_single = None;
+        self.pending_ops.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Degradation ladder
+    // ------------------------------------------------------------------
+
+    /// Runs `op` under ladder rungs 1–2: on a budget error, emergency-GC
+    /// and retry; still over, flush the compute caches (the following GC
+    /// rebuild also shrinks the unique tables), and retry once more.
+    ///
+    /// Retrying is sound because DD operations are deterministic and every
+    /// compute-table entry written by an aborted attempt is a complete,
+    /// valid result. The caller must keep `op`'s DD operands ref-pinned —
+    /// the emergency collections would otherwise reclaim them.
+    ///
+    /// Deadline and cancellation errors are not resource pressure and pass
+    /// straight through.
+    fn recover<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Self) -> Result<T, DdError>,
+    ) -> Result<T, SimError> {
+        match op(self) {
+            Ok(v) => return Ok(v),
+            Err(e @ (DdError::DeadlineExceeded | DdError::Cancelled)) => {
+                return Err(widen_dd_error(e, &self.dd))
+            }
+            Err(DdError::BudgetExceeded) => {}
+        }
+        self.stats.ladder_gc_rescues += 1;
+        self.dd.collect_garbage();
+        match op(self) {
+            Ok(v) => return Ok(v),
+            Err(e @ (DdError::DeadlineExceeded | DdError::Cancelled)) => {
+                return Err(widen_dd_error(e, &self.dd))
+            }
+            Err(DdError::BudgetExceeded) => {}
+        }
+        self.stats.ladder_cache_flushes += 1;
+        self.dd.clear_caches();
+        self.dd.collect_garbage();
+        match op(self) {
+            Ok(v) => Ok(v),
+            Err(e) => Err(widen_dd_error(e, &self.dd)),
+        }
+    }
+
+    /// Ladder rung 3: abandon the accumulated product and replay its gates
+    /// one at a time through the (cheap) specialized kernels; the rest of
+    /// the run stays sequential.
+    fn degrade_and_replay(&mut self) -> Result<(), SimError> {
+        self.stats.ladder_strategy_downgrades += 1;
+        self.degraded = true;
+        if let Some(p) = self.pending.take() {
+            self.dd.dec_ref_mat(p);
+        }
+        self.pending_gates = 0;
+        self.pending_single = None;
+        let script = std::mem::take(&mut self.pending_ops);
+        for g in &script {
+            self.apply_gate_now(g)?;
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
     // Operation dispatch
     // ------------------------------------------------------------------
 
-    fn process_ops(&mut self, ops: &[Operation]) {
+    fn process_ops(&mut self, ops: &[Operation]) -> Result<(), SimError> {
         for op in ops {
             match op {
-                Operation::Gate(g) => self.feed_gate(g),
+                Operation::Gate(g) => self.feed_gate(g)?,
                 Operation::Swap { a, b, controls } => {
                     for g in lower_swap(*a, *b, controls) {
-                        self.feed_gate(&g);
+                        self.feed_gate(&g)?;
                     }
                 }
-                Operation::Barrier => self.flush(),
+                Operation::Barrier => self.flush()?,
                 Operation::Measure { qubit, cbit } => {
-                    self.flush();
+                    self.flush()?;
                     let outcome = self.measure(*qubit);
                     self.classical[*cbit] = outcome;
                 }
                 Operation::Reset { qubit } => {
-                    self.flush();
+                    self.flush()?;
                     let outcome = self.measure(*qubit);
                     if outcome {
                         let g = GateOp::new(ddsim_circuit::StandardGate::X, *qubit);
-                        self.apply_gate_now(&g);
+                        self.apply_gate_now(&g)?;
                     }
                 }
                 Operation::Classical { gate, cbit, value } => {
                     // The condition is already known classically, so the
                     // gate either joins the stream or vanishes.
                     if self.classical[*cbit] == *value {
-                        self.feed_gate(gate);
+                        self.feed_gate(gate)?;
                     }
                 }
-                Operation::Repeat { body, times } => self.process_repeat(body, *times),
+                Operation::Repeat { body, times } => self.process_repeat(body, *times)?,
             }
         }
+        Ok(())
     }
 
-    fn process_repeat(&mut self, body: &[Operation], times: u32) {
-        let reuse = matches!(self.options.strategy, Strategy::DdRepeating { .. });
+    fn process_repeat(&mut self, body: &[Operation], times: u32) -> Result<(), SimError> {
+        let reuse = matches!(self.effective_strategy(), Strategy::DdRepeating { .. });
         if reuse {
-            if let Some(block) = self.combine_unitary_block(body) {
+            if let Some(block) = self.combine_unitary_block(body)? {
                 // DD-repeating: one combined matrix, re-applied for every
                 // iteration with zero further matrix-matrix work. The block
                 // arrives holding one reference, released below.
-                self.flush();
+                self.flush()?;
                 let block_gates: u64 = body.iter().map(|op| op.elementary_count()).sum();
-                for _ in 0..times {
+                for done in 0..times {
                     self.stats.elementary_gates += block_gates;
-                    self.apply_now(block, block_gates);
+                    match self.apply_now(block, block_gates) {
+                        Ok(()) => {}
+                        Err(SimError::BudgetExceeded { .. }) => {
+                            // Rung 3 for the repeating path: drop the block,
+                            // finish this and the remaining iterations gate
+                            // by gate (they re-count their own gates).
+                            self.stats.elementary_gates -= block_gates;
+                            self.stats.ladder_strategy_downgrades += 1;
+                            self.degraded = true;
+                            self.dd.dec_ref_mat(block);
+                            for _ in done..times {
+                                self.process_ops(body)?;
+                            }
+                            return Ok(());
+                        }
+                        Err(e) => {
+                            self.dd.dec_ref_mat(block);
+                            return Err(e);
+                        }
+                    }
                 }
                 self.dd.dec_ref_mat(block);
-                return;
+                return Ok(());
             }
         }
         // Fallback: expand the block.
         for _ in 0..times {
-            self.process_ops(body);
+            self.process_ops(body)?;
         }
+        Ok(())
     }
 
     /// Multiplies all gates of a purely unitary block into one matrix DD.
-    /// Returns `None` if the block contains non-unitary operations; on
-    /// success the returned edge holds one reference the caller must
-    /// release with `dec_ref_mat`.
-    fn combine_unitary_block(&mut self, ops: &[Operation]) -> Option<MatEdge> {
+    /// Returns `None` if the block contains non-unitary operations, or if
+    /// building the product exhausted ladder rungs 1–2 (the caller then
+    /// expands the block sequentially — rung 3 for this path); on success
+    /// the returned edge holds one reference the caller must release with
+    /// `dec_ref_mat`.
+    fn combine_unitary_block(&mut self, ops: &[Operation]) -> Result<Option<MatEdge>, SimError> {
         let before = self.dd.stats();
         let mut product = self.dd.mat_identity(self.n);
         self.dd.inc_ref_mat(product);
-        let fold = |sim: &mut Self, product: &mut MatEdge, m: MatEdge| {
-            let next = sim.dd.mat_mat_mul(m, *product);
+        let fold = |sim: &mut Self, product: &mut MatEdge, m: MatEdge| -> Result<(), SimError> {
+            // Pin the fresh operand across possible emergency collections.
+            sim.dd.inc_ref_mat(m);
+            let prev = *product;
+            let next = sim.recover(|sim| sim.dd.mat_mat_mul(m, prev));
+            sim.dd.dec_ref_mat(m);
+            let next = next?;
             sim.dd.inc_ref_mat(next);
-            sim.dd.dec_ref_mat(*product);
+            sim.dd.dec_ref_mat(prev);
             *product = next;
+            Ok(())
         };
-        for op in ops {
-            match op {
-                Operation::Gate(g) => {
-                    let m = self.gate_matrix(g);
-                    fold(self, &mut product, m);
-                }
-                Operation::Swap { a, b, controls } => {
-                    for g in lower_swap(*a, *b, controls) {
-                        let m = self.gate_matrix(&g);
-                        fold(self, &mut product, m);
+        let mut build = || -> Result<Option<()>, SimError> {
+            for op in ops {
+                match op {
+                    Operation::Gate(g) => {
+                        let m = self.gate_matrix(g);
+                        fold(self, &mut product, m)?;
                     }
-                }
-                Operation::Barrier => {}
-                Operation::Repeat { body, times } => {
-                    let inner = self.combine_unitary_block(body)?;
-                    self.dd.inc_ref_mat(inner);
-                    for _ in 0..*times {
-                        fold(self, &mut product, inner);
+                    Operation::Swap { a, b, controls } => {
+                        for g in lower_swap(*a, *b, controls) {
+                            let m = self.gate_matrix(&g);
+                            fold(self, &mut product, m)?;
+                        }
                     }
-                    self.dd.dec_ref_mat(inner);
-                }
-                Operation::Measure { .. }
-                | Operation::Reset { .. }
-                | Operation::Classical { .. } => {
-                    self.dd.dec_ref_mat(product);
-                    return None;
+                    Operation::Barrier => {}
+                    Operation::Repeat { body, times } => {
+                        let Some(inner) = self.combine_unitary_block(body)? else {
+                            return Ok(None);
+                        };
+                        self.dd.inc_ref_mat(inner);
+                        let mut iterate = || -> Result<(), SimError> {
+                            for _ in 0..*times {
+                                fold(self, &mut product, inner)?;
+                            }
+                            Ok(())
+                        };
+                        let r = iterate();
+                        self.dd.dec_ref_mat(inner);
+                        r?;
+                    }
+                    Operation::Measure { .. }
+                    | Operation::Reset { .. }
+                    | Operation::Classical { .. } => return Ok(None),
                 }
             }
-        }
+            Ok(Some(()))
+        };
+        let outcome = build();
         let after = self.dd.stats();
         self.stats.absorb_dd_delta(before, after);
-        let nodes = self.dd.mat_node_count(product);
-        if nodes > self.stats.peak_matrix_nodes {
-            self.stats.peak_matrix_nodes = nodes;
+        match outcome {
+            Ok(Some(())) => {
+                let nodes = self.dd.mat_node_count(product);
+                if nodes > self.stats.peak_matrix_nodes {
+                    self.stats.peak_matrix_nodes = nodes;
+                }
+                Ok(Some(product))
+            }
+            Ok(None) => {
+                self.dd.dec_ref_mat(product);
+                Ok(None)
+            }
+            Err(SimError::BudgetExceeded { .. }) => {
+                // The product itself does not fit: fall back to sequential
+                // expansion of the block.
+                self.dd.dec_ref_mat(product);
+                Ok(None)
+            }
+            Err(e) => {
+                self.dd.dec_ref_mat(product);
+                Err(e)
+            }
         }
-        Some(product)
     }
 
     // ------------------------------------------------------------------
@@ -374,34 +756,43 @@ impl Simulator {
         self.options.dd_config.identity_skip && !self.options.collect_trace
     }
 
+    /// The configured strategy, unless ladder rung 3 downgraded the run.
+    fn effective_strategy(&self) -> Strategy {
+        if self.degraded {
+            Strategy::Sequential
+        } else {
+            self.options.strategy
+        }
+    }
+
     /// Feeds one elementary gate into the strategy.
-    fn feed_gate(&mut self, g: &GateOp) {
+    fn feed_gate(&mut self, g: &GateOp) -> Result<(), SimError> {
         self.stats.elementary_gates += 1;
-        match self.options.strategy {
-            Strategy::Sequential => {
-                self.apply_gate_now(g);
-            }
+        match self.effective_strategy() {
+            Strategy::Sequential => self.apply_gate_now(g),
             Strategy::KOperations { k } | Strategy::DdRepeating { k } if k <= 1 => {
-                self.apply_gate_now(g);
+                self.apply_gate_now(g)
             }
             Strategy::KOperations { k } | Strategy::DdRepeating { k } => {
-                self.accumulate_gate(g);
+                self.accumulate_gate(g)?;
                 if self.pending_gates >= k as u64 {
-                    self.flush();
+                    self.flush()?;
                 }
+                Ok(())
             }
             Strategy::MaxSize { s_max } => {
-                self.accumulate_gate(g);
+                self.accumulate_gate(g)?;
                 let nodes = self.pending.map(|p| self.dd.mat_node_count(p)).unwrap_or(0);
                 if nodes > self.stats.peak_matrix_nodes {
                     self.stats.peak_matrix_nodes = nodes;
                 }
                 if nodes > s_max {
-                    self.flush();
+                    self.flush()?;
                 }
+                Ok(())
             }
             Strategy::Adaptive { ratio_millis, cap } => {
-                self.accumulate_gate(g);
+                self.accumulate_gate(g)?;
                 let nodes = self.pending.map(|p| self.dd.mat_node_count(p)).unwrap_or(0);
                 if nodes > self.stats.peak_matrix_nodes {
                     self.stats.peak_matrix_nodes = nodes;
@@ -412,106 +803,150 @@ impl Simulator {
                 let budget =
                     (self.cached_state_nodes as u64).saturating_mul(u64::from(ratio_millis)) / 1000;
                 if nodes as u64 > budget.max(4) || nodes > cap {
-                    self.flush();
+                    self.flush()?;
                 }
+                Ok(())
             }
         }
     }
 
     /// Builds the gate's matrix DD and folds it into the pending product,
-    /// remembering the gate itself while the group stays at one gate.
-    fn accumulate_gate(&mut self, g: &GateOp) {
+    /// remembering the gate itself while the group stays at one gate. On
+    /// budget exhaustion (rungs 1–2 spent) takes rung 3: the recorded
+    /// group — including this gate — replays sequentially.
+    fn accumulate_gate(&mut self, g: &GateOp) -> Result<(), SimError> {
         self.pending_single = if self.pending.is_none() {
             Some(g.clone())
         } else {
             None
         };
+        self.pending_ops.push(g.clone());
         let m = self.gate_matrix(g);
-        self.accumulate(m);
+        match self.accumulate(m) {
+            Ok(()) => Ok(()),
+            Err(SimError::BudgetExceeded { .. }) => self.degrade_and_replay(),
+            Err(e) => Err(e),
+        }
     }
 
-    fn accumulate(&mut self, m: MatEdge) {
+    fn accumulate(&mut self, m: MatEdge) -> Result<(), SimError> {
         let before = self.dd.stats();
-        let next = match self.pending {
-            None => m,
+        let folded = match self.pending {
+            None => Ok(m),
             Some(p) => {
-                let product = self.dd.mat_mat_mul(m, p);
-                self.dd.dec_ref_mat(p);
-                product
+                // Pin the fresh gate matrix: the ladder's emergency GC runs
+                // between retries and must not reclaim an operand.
+                self.dd.inc_ref_mat(m);
+                let r = self.recover(|sim| sim.dd.mat_mat_mul(m, p));
+                self.dd.dec_ref_mat(m);
+                r
             }
         };
+        let after = self.dd.stats();
+        self.stats.absorb_dd_delta(before, after);
+        let next = folded?;
+        if let Some(p) = self.pending.take() {
+            self.dd.dec_ref_mat(p);
+        }
         self.dd.inc_ref_mat(next);
         self.pending = Some(next);
         self.pending_gates += 1;
-        let after = self.dd.stats();
-        self.stats.absorb_dd_delta(before, after);
+        Ok(())
     }
 
-    /// Applies any accumulated product to the state.
-    fn flush(&mut self) {
+    /// Applies any accumulated product to the state; on budget exhaustion
+    /// takes ladder rung 3 (sequential replay of the recorded gates).
+    fn flush(&mut self) -> Result<(), SimError> {
         let single = self.pending_single.take();
-        if let Some(p) = self.pending.take() {
-            let gates = self.pending_gates;
-            self.pending_gates = 0;
-            if gates == 1 && self.use_specialized() {
-                if let Some(g) = single {
-                    // A one-gate group gains nothing from the matrix DD:
-                    // drop it and descend the state directly.
-                    self.dd.dec_ref_mat(p);
-                    self.apply_gate_now(&g);
-                    return;
-                }
+        let Some(p) = self.pending.take() else {
+            self.pending_ops.clear();
+            return Ok(());
+        };
+        let gates = self.pending_gates;
+        self.pending_gates = 0;
+        if gates == 1 && self.use_specialized() {
+            if let Some(g) = single {
+                // A one-gate group gains nothing from the matrix DD:
+                // drop it and descend the state directly.
+                self.dd.dec_ref_mat(p);
+                self.pending_ops.clear();
+                return self.apply_gate_now(&g);
             }
-            if self.options.collect_trace
-                || matches!(self.options.strategy, Strategy::MaxSize { .. })
-            {
-                let nodes = self.dd.mat_node_count(p);
-                if nodes > self.stats.peak_matrix_nodes {
-                    self.stats.peak_matrix_nodes = nodes;
-                }
+        }
+        if self.options.collect_trace || matches!(self.options.strategy, Strategy::MaxSize { .. }) {
+            let nodes = self.dd.mat_node_count(p);
+            if nodes > self.stats.peak_matrix_nodes {
+                self.stats.peak_matrix_nodes = nodes;
             }
-            self.apply_now(p, gates);
-            self.dd.dec_ref_mat(p);
+        }
+        match self.apply_now(p, gates) {
+            Ok(()) => {
+                self.dd.dec_ref_mat(p);
+                self.pending_ops.clear();
+                Ok(())
+            }
+            Err(SimError::BudgetExceeded { .. }) => {
+                // Rung 3: the product · state multiplication does not fit;
+                // replay the recorded gates one at a time instead.
+                self.dd.dec_ref_mat(p);
+                self.degrade_and_replay()
+            }
+            Err(e) => {
+                self.dd.dec_ref_mat(p);
+                self.pending_ops.clear();
+                Err(e)
+            }
         }
     }
 
     /// Applies one elementary gate to the state, preferring the specialized
     /// kernels (which never build a matrix DD and never touch levels above
-    /// the gate) when [`Self::use_specialized`] allows it.
-    fn apply_gate_now(&mut self, g: &GateOp) {
+    /// the gate) when [`Self::use_specialized`] allows it. Runs under
+    /// ladder rungs 1–2.
+    fn apply_gate_now(&mut self, g: &GateOp) -> Result<(), SimError> {
         if !self.use_specialized() {
             let m = self.gate_matrix(g);
-            self.apply_now(m, 1);
-            return;
+            self.dd.inc_ref_mat(m);
+            let r = self.apply_now(m, 1);
+            self.dd.dec_ref_mat(m);
+            return r;
         }
         let before = self.dd.stats();
         let u = g.gate.matrix();
-        let next = if g.controls.is_empty() {
-            self.dd.apply_single_qubit(g.target, u, self.state)
-        } else {
-            self.dd
-                .apply_controlled(&g.controls, g.target, u, self.state)
-        };
+        // `state` is ref-pinned by the simulator, so the ladder may collect
+        // between retries.
+        let next = self.recover(|sim| {
+            if g.controls.is_empty() {
+                sim.dd.apply_single_qubit(g.target, u, sim.state)
+            } else {
+                sim.dd.apply_controlled(&g.controls, g.target, u, sim.state)
+            }
+        });
+        let after = self.dd.stats();
+        self.stats.absorb_dd_delta(before, after);
+        let next = next?;
         self.dd.inc_ref_vec(next);
         self.dd.dec_ref_vec(self.state);
         self.state = next;
-        let after = self.dd.stats();
-        self.stats.absorb_dd_delta(before, after);
         if matches!(self.options.strategy, Strategy::Adaptive { .. }) {
             self.cached_state_nodes = self.dd.vec_node_count(self.state);
         }
         self.collect_if_needed();
+        Ok(())
     }
 
-    /// One matrix-vector application, with bookkeeping.
-    fn apply_now(&mut self, m: MatEdge, combined_gates: u64) {
+    /// One matrix-vector application, with bookkeeping. The caller keeps
+    /// `m` ref-pinned (the ladder may collect between retries). Runs under
+    /// ladder rungs 1–2; rung 3 is the caller's.
+    fn apply_now(&mut self, m: MatEdge, combined_gates: u64) -> Result<(), SimError> {
         let before = self.dd.stats();
-        let next = self.dd.mat_vec_mul(m, self.state);
+        let next = self.recover(|sim| sim.dd.mat_vec_mul(m, sim.state));
+        let after = self.dd.stats();
+        self.stats.absorb_dd_delta(before, after);
+        let next = next?;
         self.dd.inc_ref_vec(next);
         self.dd.dec_ref_vec(self.state);
         self.state = next;
-        let after = self.dd.stats();
-        self.stats.absorb_dd_delta(before, after);
         if matches!(self.options.strategy, Strategy::Adaptive { .. }) {
             self.cached_state_nodes = self.dd.vec_node_count(self.state);
         }
@@ -532,6 +967,7 @@ impl Simulator {
             });
         }
         self.collect_if_needed();
+        Ok(())
     }
 
     fn measure(&mut self, qubit: u32) -> bool {
@@ -540,6 +976,12 @@ impl Simulator {
         self.dd.inc_ref_vec(collapsed);
         self.dd.dec_ref_vec(self.state);
         self.state = collapsed;
+        if matches!(self.options.strategy, Strategy::Adaptive { .. }) {
+            // Keep the adaptive ratio's reference point in sync with every
+            // state change — a checkpoint/resume must observe the same
+            // value an uninterrupted run would.
+            self.cached_state_nodes = self.dd.vec_node_count(self.state);
+        }
         self.collect_if_needed();
         outcome
     }
@@ -572,7 +1014,7 @@ impl fmt::Debug for Simulator {
 ///
 /// # Errors
 ///
-/// Returns [`SimulateCircuitError`] if the circuit width mismatches.
+/// See [`Simulator::run`].
 ///
 /// # Examples
 ///
@@ -589,10 +1031,7 @@ impl fmt::Debug for Simulator {
 /// # Ok(())
 /// # }
 /// ```
-pub fn simulate(
-    circuit: &Circuit,
-    options: SimOptions,
-) -> Result<(Simulator, RunStats), SimulateCircuitError> {
+pub fn simulate(circuit: &Circuit, options: SimOptions) -> Result<(Simulator, RunStats), SimError> {
     let mut sim = Simulator::with_options(circuit.qubits(), options);
     let stats = sim.run(circuit)?;
     Ok((sim, stats))

@@ -10,7 +10,7 @@
 
 use ddsim_circuit::{lower_swap, Circuit, Operation};
 use ddsim_complex::Complex;
-use ddsim_dd::{DdManager, MatEdge};
+use ddsim_dd::{DdError, DdManager, MatEdge};
 
 /// Outcome of an equivalence check.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -40,6 +40,14 @@ pub enum CheckEquivalenceError {
     /// A circuit contains measurements / resets / classical control and has
     /// no single unitary.
     NonUnitary,
+    /// The circuits were compared and found *not* equivalent. Returned only
+    /// by [`require_equivalence`], which turns a [`Equivalence::Different`]
+    /// verdict into a typed error for callers that treat inequivalence as
+    /// failure.
+    NotEquivalent,
+    /// The DD engine's resource governor (budget, deadline, or cancellation)
+    /// ended the check before a verdict was reached.
+    Dd(DdError),
 }
 
 impl std::fmt::Display for CheckEquivalenceError {
@@ -51,11 +59,21 @@ impl std::fmt::Display for CheckEquivalenceError {
             CheckEquivalenceError::NonUnitary => {
                 f.write_str("circuit contains non-unitary operations")
             }
+            CheckEquivalenceError::NotEquivalent => {
+                f.write_str("circuits are not equivalent (not even up to global phase)")
+            }
+            CheckEquivalenceError::Dd(e) => write!(f, "equivalence check interrupted: {e}"),
         }
     }
 }
 
 impl std::error::Error for CheckEquivalenceError {}
+
+impl From<DdError> for CheckEquivalenceError {
+    fn from(e: DdError) -> Self {
+        CheckEquivalenceError::Dd(e)
+    }
+}
 
 /// Builds the full unitary of a purely unitary circuit as a matrix DD
 /// (the paper's Eq. 2 taken to the limit).
@@ -78,40 +96,63 @@ fn fold_ops(
 ) -> Result<MatEdge, CheckEquivalenceError> {
     let mut product = dd.mat_identity(n);
     dd.inc_ref_mat(product);
-    let fold = |dd: &mut DdManager, product: &mut MatEdge, m: MatEdge| {
-        let next = dd.mat_mat_mul(m, *product);
+    match fold_ops_into(dd, n, ops, &mut product) {
+        // Caller owns the final reference.
+        Ok(()) => Ok(product),
+        Err(e) => {
+            dd.dec_ref_mat(product);
+            Err(e)
+        }
+    }
+}
+
+fn fold_ops_into(
+    dd: &mut DdManager,
+    n: u32,
+    ops: &[Operation],
+    product: &mut MatEdge,
+) -> Result<(), CheckEquivalenceError> {
+    let fold = |dd: &mut DdManager,
+                product: &mut MatEdge,
+                m: MatEdge|
+     -> Result<(), CheckEquivalenceError> {
+        let next = dd.mat_mat_mul(m, *product)?;
         dd.inc_ref_mat(next);
         dd.dec_ref_mat(*product);
         *product = next;
+        Ok(())
     };
     for op in ops {
         match op {
             Operation::Gate(g) => {
                 let m = dd.mat_controlled(n, &g.controls, g.target, g.gate.matrix());
-                fold(dd, &mut product, m);
+                fold(dd, product, m)?;
             }
             Operation::Swap { a, b, controls } => {
                 for g in lower_swap(*a, *b, controls) {
                     let m = dd.mat_controlled(n, &g.controls, g.target, g.gate.matrix());
-                    fold(dd, &mut product, m);
+                    fold(dd, product, m)?;
                 }
             }
             Operation::Barrier => {}
             Operation::Repeat { body, times } => {
                 let inner = fold_ops(dd, n, body)?;
-                for _ in 0..*times {
-                    fold(dd, &mut product, inner);
-                }
+                let mut iterate = || -> Result<(), CheckEquivalenceError> {
+                    for _ in 0..*times {
+                        fold(dd, product, inner)?;
+                    }
+                    Ok(())
+                };
+                let r = iterate();
                 dd.dec_ref_mat(inner);
+                r?;
             }
             Operation::Measure { .. } | Operation::Reset { .. } | Operation::Classical { .. } => {
-                dd.dec_ref_mat(product);
                 return Err(CheckEquivalenceError::NonUnitary);
             }
         }
     }
-    // Caller owns the final reference.
-    Ok(product)
+    Ok(())
 }
 
 /// Compares two matrix DDs for equality up to a global phase.
@@ -180,6 +221,25 @@ pub fn check_equivalence(a: &Circuit, b: &Circuit) -> Result<Equivalence, CheckE
     Ok(result)
 }
 
+/// Like [`check_equivalence`], but treats inequivalence itself as a typed
+/// error: callers that *require* the circuits to match (verification
+/// pipelines, transpiler assertions) get
+/// [`CheckEquivalenceError::NotEquivalent`] instead of having to inspect —
+/// or panic on — a [`Equivalence::Different`] verdict.
+///
+/// # Errors
+///
+/// Everything [`check_equivalence`] returns, plus
+/// [`CheckEquivalenceError::NotEquivalent`] when the circuits differ.
+pub fn require_equivalence(a: &Circuit, b: &Circuit) -> Result<Equivalence, CheckEquivalenceError> {
+    let verdict = check_equivalence(a, b)?;
+    if verdict.is_equivalent() {
+        Ok(verdict)
+    } else {
+        Err(CheckEquivalenceError::NotEquivalent)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,21 +280,37 @@ mod tests {
     }
 
     #[test]
-    fn rz_vs_phase_differ_by_global_phase() {
+    fn rz_vs_phase_differ_by_global_phase() -> Result<(), CheckEquivalenceError> {
         let theta = 0.731;
         let mut a = Circuit::new(1);
         a.rz(theta, 0);
         let mut b = Circuit::new(1);
         b.phase(theta, 0);
-        let result = check_equivalence(&a, &b).expect("both unitary");
-        match result {
-            Equivalence::EqualUpToGlobalPhase(phase) => {
-                assert!((phase.abs() - 1.0).abs() < 1e-9);
-                assert!((phase.arg() + theta / 2.0).abs() < 1e-9);
-            }
-            other => panic!("expected phase equivalence, got {other:?}"),
-        }
+        // A failed phase equivalence now surfaces as the typed
+        // `NotEquivalent` error rather than a panic.
+        let result = require_equivalence(&a, &b)?;
+        let Equivalence::EqualUpToGlobalPhase(phase) = result else {
+            // Exact equality would mean the global phase got lost somewhere.
+            return Err(CheckEquivalenceError::NotEquivalent);
+        };
+        assert!((phase.abs() - 1.0).abs() < 1e-9);
+        assert!((phase.arg() + theta / 2.0).abs() < 1e-9);
         assert!(result.is_equivalent());
+        Ok(())
+    }
+
+    #[test]
+    fn require_equivalence_types_the_non_equivalent_path() {
+        let mut a = Circuit::new(2);
+        a.cx(0, 1);
+        let mut b = Circuit::new(2);
+        b.cx(1, 0);
+        assert_eq!(
+            require_equivalence(&a, &b),
+            Err(CheckEquivalenceError::NotEquivalent)
+        );
+        // The equivalent path still returns the verdict.
+        assert_eq!(require_equivalence(&a, &a), Ok(Equivalence::Equal));
     }
 
     #[test]

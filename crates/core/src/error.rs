@@ -1,0 +1,140 @@
+//! The simulator-level error taxonomy.
+//!
+//! Every public fallible path of the engine returns [`SimError`]. Resource
+//! failures originate in the DD package as [`DdError`] and are widened here;
+//! the engine runs its degradation ladder (emergency GC → cache flush →
+//! strategy downgrade, see `Simulator`) before letting a budget error
+//! escape, so a [`SimError::BudgetExceeded`] means the ladder was exhausted.
+
+use ddsim_dd::{DdError, Resource};
+
+/// An error from a simulation run.
+///
+/// The simulator is left consistent after any error: the state DD, the
+/// classical register, and the DD manager remain valid, garbage-collectable,
+/// and (for budget errors) usable for a retry under a relaxed budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A resource budget was exceeded and the degradation ladder could not
+    /// bring consumption back under it.
+    BudgetExceeded {
+        /// Which budget tripped.
+        resource: Resource,
+        /// The configured limit.
+        limit: u64,
+        /// Observed consumption at the failing check.
+        observed: u64,
+    },
+    /// The wall-clock deadline ([`SimOptions::deadline`](crate::SimOptions))
+    /// passed mid-run.
+    DeadlineExceeded,
+    /// The run was cancelled through its
+    /// [`CancelToken`](ddsim_dd::CancelToken).
+    Cancelled,
+    /// The circuit's qubit count does not match the simulator's.
+    WidthMismatch {
+        /// Qubits the simulator was built for.
+        expected_qubits: u32,
+        /// Qubits the circuit acts on.
+        found_qubits: u32,
+    },
+    /// Reading, writing, validating, or resuming a checkpoint failed. The
+    /// message carries the underlying [`SnapshotError`]
+    /// (ddsim_dd::SnapshotError) rendering.
+    Snapshot(String),
+    /// An internal invariant was violated — a bug in the engine, not a
+    /// recoverable condition of the input. The message is diagnostic.
+    Internal(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::BudgetExceeded {
+                resource,
+                limit,
+                observed,
+            } => write!(
+                f,
+                "resource budget exhausted after degradation: {resource} at {observed} \
+                 over limit {limit}"
+            ),
+            SimError::DeadlineExceeded => f.write_str("wall-clock deadline exceeded"),
+            SimError::Cancelled => f.write_str("simulation cancelled"),
+            SimError::WidthMismatch {
+                expected_qubits,
+                found_qubits,
+            } => write!(
+                f,
+                "circuit has {found_qubits} qubits but the simulator was built for \
+                 {expected_qubits}"
+            ),
+            SimError::Snapshot(msg) => write!(f, "checkpoint error: {msg}"),
+            SimError::Internal(msg) => write!(f, "internal simulator error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Widens a [`DdError`] using the breach details the manager recorded.
+///
+/// There is deliberately *no* `From<DdError> for SimError`: the budget
+/// variant's limit/observed live on the [`ddsim_dd::DdManager`] (keeping
+/// the hot-path error one byte), so a context-free conversion would have
+/// to invent them. Every widening goes through here with the manager in
+/// hand.
+pub(crate) fn widen_dd_error(e: DdError, dd: &ddsim_dd::DdManager) -> SimError {
+    match e {
+        DdError::BudgetExceeded => {
+            let b = dd.last_breach().unwrap_or(ddsim_dd::BudgetBreach {
+                resource: Resource::LiveNodes,
+                limit: 0,
+                observed: 0,
+            });
+            SimError::BudgetExceeded {
+                resource: b.resource,
+                limit: b.limit,
+                observed: b.observed,
+            }
+        }
+        DdError::DeadlineExceeded => SimError::DeadlineExceeded,
+        DdError::Cancelled => SimError::Cancelled,
+    }
+}
+
+impl From<ddsim_dd::SnapshotError> for SimError {
+    fn from(e: ddsim_dd::SnapshotError) -> Self {
+        SimError::Snapshot(e.to_string())
+    }
+}
+
+/// Former name of [`SimError`], kept so existing code and doctests compile.
+#[deprecated(note = "renamed to SimError; the width failure is now \
+                     SimError::WidthMismatch")]
+pub type SimulateCircuitError = SimError;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dd_errors_widen_losslessly() {
+        let dd = ddsim_dd::DdManager::new();
+        assert_eq!(widen_dd_error(DdError::Cancelled, &dd), SimError::Cancelled);
+        assert_eq!(
+            widen_dd_error(DdError::DeadlineExceeded, &dd),
+            SimError::DeadlineExceeded
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::WidthMismatch {
+            expected_qubits: 3,
+            found_qubits: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('5'), "{s}");
+    }
+}

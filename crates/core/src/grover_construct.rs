@@ -71,9 +71,13 @@ pub fn run_grover_dd_construct(instance: GroverInstance) -> GroverOutcome {
         let id = dd.mat_identity(n);
         dd.mat_scale(id, Complex::real(-1.0))
     };
-    let diffusion = dd.add_mat(j, neg_id);
+    let diffusion = dd.add_mat(j, neg_id).expect("ungoverned manager");
     // The whole Grover iteration in ONE matrix-matrix multiplication.
-    let iteration = dd.mat_mat_mul(diffusion, oracle);
+    // Invariant: `dd` is private to this function and built without budgets,
+    // deadline, or cancel token, so governed operations cannot fail.
+    let iteration = dd
+        .mat_mat_mul(diffusion, oracle)
+        .expect("ungoverned manager");
     dd.inc_ref_mat(iteration);
 
     let mut state = dd.vec_uniform(n);
@@ -81,7 +85,9 @@ pub fn run_grover_dd_construct(instance: GroverInstance) -> GroverOutcome {
     let mut stats = RunStats::default();
 
     for _ in 0..instance.iterations {
-        let next = dd.mat_vec_mul(iteration, state);
+        let next = dd
+            .mat_vec_mul(iteration, state)
+            .expect("ungoverned manager");
         dd.inc_ref_vec(next);
         dd.dec_ref_vec(state);
         state = next;

@@ -39,14 +39,21 @@
 
 mod engine;
 pub mod equivalence;
+mod error;
 pub mod grover_construct;
 pub mod noise;
 pub mod shor_construct;
 mod stats;
 mod strategy;
 
-pub use ddsim_dd::{CacheStats, DdConfig, FaultKind, TableStats, UniqueTableStats};
-pub use engine::{simulate, SimOptions, SimulateCircuitError, Simulator};
+pub use ddsim_dd::{
+    CacheStats, CancelToken, DdConfig, FaultKind, Resource, Snapshot, SnapshotError, TableStats,
+    UniqueTableStats,
+};
+pub use engine::{circuit_fingerprint, simulate, CheckpointConfig, SimOptions, Simulator};
+pub use error::SimError;
+#[allow(deprecated)]
+pub use error::SimulateCircuitError;
 pub use grover_construct::{run_grover_dd_construct, GroverOutcome};
 pub use shor_construct::{
     factor_with_dd_construct, run_shor_dd_construct, ShorDdConstruct, ShorOutcome,

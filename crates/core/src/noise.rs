@@ -10,7 +10,8 @@ use ddsim_circuit::{Circuit, Operation, StandardGate};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::engine::{SimOptions, SimulateCircuitError, Simulator};
+use crate::engine::{SimOptions, Simulator};
+use crate::error::SimError;
 
 /// A depolarizing-noise model: with probability `probability` after each
 /// elementary gate, each qubit the gate touched suffers a uniformly random
@@ -97,14 +98,15 @@ fn insert_noise(ops: &[Operation], noise: DepolarizingNoise, rng: &mut StdRng, o
 ///
 /// # Errors
 ///
-/// Returns [`SimulateCircuitError`] if the circuit width mismatches the
-/// simulator (cannot happen for circuits built by this crate's generators).
+/// Returns [`SimError`] if a trajectory run fails — a width mismatch cannot
+/// happen for circuits built by this crate's generators, but resource
+/// budgets configured in the default [`SimOptions`] still apply.
 pub fn run_noisy_ensemble(
     circuit: &Circuit,
     noise: DepolarizingNoise,
     trajectories: u32,
     seed: u64,
-) -> Result<NoisyEnsemble, SimulateCircuitError> {
+) -> Result<NoisyEnsemble, SimError> {
     let mut counts = std::collections::HashMap::new();
     for t in 0..trajectories {
         let trajectory_seed = seed.wrapping_add(u64::from(t));

@@ -122,7 +122,10 @@ impl ShorDdConstruct {
         self.dd.inc_ref_mat(x_gate);
 
         let apply = |dd: &mut DdManager, state: &mut VecEdge, m: MatEdge| {
-            let next = dd.mat_vec_mul(m, *state);
+            // Invariant: the DD-construct driver owns its manager and never
+            // configures budgets, a deadline, or a cancel token, so governed
+            // operations cannot fail.
+            let next = dd.mat_vec_mul(m, *state).expect("ungoverned manager");
             dd.inc_ref_vec(next);
             dd.dec_ref_vec(*state);
             *state = next;

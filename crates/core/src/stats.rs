@@ -47,6 +47,19 @@ pub struct RunStats {
     pub final_state_nodes: usize,
     /// Garbage collections run.
     pub gc_runs: u64,
+    /// Degradation-ladder rung 1: emergency collections that rescued an
+    /// operation after a budget trip.
+    pub ladder_gc_rescues: u64,
+    /// Degradation-ladder rung 2: compute-cache flushes (plus a second
+    /// collection) taken when rung 1 was not enough.
+    pub ladder_cache_flushes: u64,
+    /// Degradation-ladder rung 3: combining abandoned in favor of
+    /// sequential replay through the specialized kernels.
+    pub ladder_strategy_downgrades: u64,
+    /// Whether rung 3 latched (the rest of the run executed sequentially).
+    pub degraded: bool,
+    /// Checkpoints written during the run.
+    pub checkpoints_written: u64,
     /// Per-table cache counters (compute and unique tables).
     pub cache: CacheStats,
     /// Optional per-step trace (populated when requested).

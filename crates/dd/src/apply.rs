@@ -24,6 +24,7 @@ use std::collections::HashMap;
 use ddsim_complex::{Complex, ComplexId};
 
 use crate::edge::{Level, NodeId, VecEdge};
+use crate::error::DdError;
 use crate::manager::DdManager;
 use crate::matrix::{Control, ControlPolarity, Matrix2};
 use crate::ops::live;
@@ -77,7 +78,12 @@ impl DdManager {
     /// # Panics
     ///
     /// Panics if `target` is out of range for the state's qubit count.
-    pub fn apply_single_qubit(&mut self, target: u32, u: Matrix2, state: VecEdge) -> VecEdge {
+    pub fn apply_single_qubit(
+        &mut self,
+        target: u32,
+        u: Matrix2,
+        state: VecEdge,
+    ) -> Result<VecEdge, DdError> {
         self.apply_gate(&[], target, u, state)
     }
 
@@ -101,7 +107,7 @@ impl DdManager {
         target: u32,
         u: Matrix2,
         state: VecEdge,
-    ) -> VecEdge {
+    ) -> Result<VecEdge, DdError> {
         self.apply_gate(controls, target, u, state)
     }
 
@@ -111,9 +117,9 @@ impl DdManager {
         target: u32,
         u: Matrix2,
         state: VecEdge,
-    ) -> VecEdge {
+    ) -> Result<VecEdge, DdError> {
         if state.is_zero() {
-            return VecEdge::ZERO;
+            return Ok(VecEdge::ZERO);
         }
         let n = self.vec_level(state);
         assert!(target < n, "target qubit out of range");
@@ -133,6 +139,9 @@ impl DdManager {
         }
         self.stats.mat_vec_mults += 1;
         self.stats.specialized_applies += 1;
+        // Entry-point charge: a fully cache-served gate stream must still
+        // observe budgets/deadline/cancellation within one interval.
+        self.charge()?;
         let op = self.intern_apply_op(n, controls, target, u);
         self.apply_op_edge(&op, state)
     }
@@ -200,9 +209,9 @@ impl DdManager {
 
     /// Weight-factored, memoized application of `op` to a state edge at or
     /// above the target level.
-    fn apply_op_edge(&mut self, op: &ApplyOp, v: VecEdge) -> VecEdge {
+    fn apply_op_edge(&mut self, op: &ApplyOp, v: VecEdge) -> Result<VecEdge, DdError> {
         if v.is_zero() {
-            return VecEdge::ZERO;
+            return Ok(VecEdge::ZERO);
         }
         debug_assert!(self.vec_level(v) >= op.target_level);
         let outer = v.weight;
@@ -215,19 +224,20 @@ impl DdManager {
         {
             cached
         } else {
-            let computed = self.apply_op_rec(op, v.node);
+            let computed = self.apply_op_rec(op, v.node)?;
             let epoch = self.epoch;
             self.compute.apply_gate.insert(key, computed, epoch);
             computed
         };
-        VecEdge {
+        Ok(VecEdge {
             node: unit.node,
             weight: self.complex.mul(unit.weight, outer),
-        }
+        })
     }
 
-    fn apply_op_rec(&mut self, op: &ApplyOp, id: NodeId) -> VecEdge {
+    fn apply_op_rec(&mut self, op: &ApplyOp, id: NodeId) -> Result<VecEdge, DdError> {
         self.stats.mult_recursions += 1;
+        self.charge()?;
         let node = *self.vec_node(id);
         let [v0, v1] = node.edges;
         if node.level == op.target_level {
@@ -237,32 +247,32 @@ impl DdManager {
                 // target is visited.
                 let x0 = self.scale_vec(op.w[0], v0);
                 let y0 = self.scale_vec(op.w[1], v1);
-                let lo = self.add_vec_inner(x0, y0);
+                let lo = self.add_vec_inner(x0, y0)?;
                 let x1 = self.scale_vec(op.w[2], v0);
                 let y1 = self.scale_vec(op.w[3], v1);
-                (lo, self.add_vec_inner(x1, y1))
+                (lo, self.add_vec_inner(x1, y1)?)
             } else {
                 // M = I + P ⊗ (U − I) restricted to the state: with pᵢ the
                 // projection of vᵢ onto the firing control pattern,
                 //   lo = v0 + (u00−1)·p0 + u01·p1
                 //   hi = v1 + u10·p0 + (u11−1)·p1.
-                let p0 = self.apply_project_edge(op, v0);
-                let p1 = self.apply_project_edge(op, v1);
+                let p0 = self.apply_project_edge(op, v0)?;
+                let p1 = self.apply_project_edge(op, v1)?;
                 let lo = {
                     let a = self.scale_vec(op.d[0], p0);
-                    let a = self.add_vec_inner(v0, a);
+                    let a = self.add_vec_inner(v0, a)?;
                     let b = self.scale_vec(op.d[1], p1);
-                    self.add_vec_inner(a, b)
+                    self.add_vec_inner(a, b)?
                 };
                 let hi = {
                     let a = self.scale_vec(op.d[2], p0);
-                    let a = self.add_vec_inner(v1, a);
+                    let a = self.add_vec_inner(v1, a)?;
                     let b = self.scale_vec(op.d[3], p1);
-                    self.add_vec_inner(a, b)
+                    self.add_vec_inner(a, b)?
                 };
                 (lo, hi)
             };
-            return self.make_vec_node(node.level, [lo, hi]);
+            return Ok(self.make_vec_node(node.level, [lo, hi]));
         }
         let ctrl = op
             .ctrls_above
@@ -271,30 +281,33 @@ impl DdManager {
         let (lo, hi) = match ctrl {
             // The gate fires only in the matching branch; the other child
             // passes through untouched.
-            Some(&(_, true)) => (v0, self.apply_op_edge(op, v1)),
-            Some(&(_, false)) => (self.apply_op_edge(op, v0), v1),
+            Some(&(_, true)) => (v0, self.apply_op_edge(op, v1)?),
+            Some(&(_, false)) => (self.apply_op_edge(op, v0)?, v1),
             None => {
-                let lo = self.apply_op_edge(op, v0);
-                (lo, self.apply_op_edge(op, v1))
+                let lo = self.apply_op_edge(op, v0)?;
+                (lo, self.apply_op_edge(op, v1)?)
             }
         };
-        self.make_vec_node(node.level, [lo, hi])
+        Ok(self.make_vec_node(node.level, [lo, hi]))
     }
 
     /// Weight-factored, memoized projection of a below-target state edge
     /// onto `op`'s firing control pattern. Below the lowest control the
     /// projection is the identity and the edge is returned as-is.
-    fn apply_project_edge(&mut self, op: &ApplyOp, v: VecEdge) -> VecEdge {
+    fn apply_project_edge(&mut self, op: &ApplyOp, v: VecEdge) -> Result<VecEdge, DdError> {
         if v.is_zero() {
-            return VecEdge::ZERO;
+            return Ok(VecEdge::ZERO);
         }
+        // Invariant (not a reachable failure): callers only enter the
+        // projection recursion when `ctrls_below` is non-empty — see
+        // `apply_op_rec`'s target-level branch.
         let lowest = op
             .ctrls_below
             .last()
             .expect("projection without below-target controls")
             .0;
         if self.vec_level(v) < lowest {
-            return v;
+            return Ok(v);
         }
         let outer = v.weight;
         let key = (op.tag + 1, v.node);
@@ -306,19 +319,20 @@ impl DdManager {
         {
             cached
         } else {
-            let computed = self.apply_project_rec(op, v.node);
+            let computed = self.apply_project_rec(op, v.node)?;
             let epoch = self.epoch;
             self.compute.apply_gate.insert(key, computed, epoch);
             computed
         };
-        VecEdge {
+        Ok(VecEdge {
             node: unit.node,
             weight: self.complex.mul(unit.weight, outer),
-        }
+        })
     }
 
-    fn apply_project_rec(&mut self, op: &ApplyOp, id: NodeId) -> VecEdge {
+    fn apply_project_rec(&mut self, op: &ApplyOp, id: NodeId) -> Result<VecEdge, DdError> {
         self.stats.mult_recursions += 1;
+        self.charge()?;
         let node = *self.vec_node(id);
         let [v0, v1] = node.edges;
         let ctrl = op
@@ -326,14 +340,14 @@ impl DdManager {
             .iter()
             .find(|&&(level, _)| level == node.level);
         let (lo, hi) = match ctrl {
-            Some(&(_, true)) => (VecEdge::ZERO, self.apply_project_edge(op, v1)),
-            Some(&(_, false)) => (self.apply_project_edge(op, v0), VecEdge::ZERO),
+            Some(&(_, true)) => (VecEdge::ZERO, self.apply_project_edge(op, v1)?),
+            Some(&(_, false)) => (self.apply_project_edge(op, v0)?, VecEdge::ZERO),
             None => {
-                let lo = self.apply_project_edge(op, v0);
-                (lo, self.apply_project_edge(op, v1))
+                let lo = self.apply_project_edge(op, v0)?;
+                (lo, self.apply_project_edge(op, v1)?)
             }
         };
-        self.make_vec_node(node.level, [lo, hi])
+        Ok(self.make_vec_node(node.level, [lo, hi]))
     }
 
     #[inline]
@@ -386,12 +400,12 @@ mod tests {
         // A few layers to give the state structure first.
         for (target, u) in [(0, h_gate()), (3, h_gate()), (5, t_gate())] {
             let m = dd.mat_single_qubit(n, target, u);
-            state = dd.mat_vec_mul(m, state);
+            state = dd.mat_vec_mul(m, state).unwrap();
         }
         for target in 0..n {
             let m = dd.mat_single_qubit(n, target, h_gate());
-            let generic = dd.mat_vec_mul(m, state);
-            let fast = dd.apply_single_qubit(target, h_gate(), state);
+            let generic = dd.mat_vec_mul(m, state).unwrap();
+            let fast = dd.apply_single_qubit(target, h_gate(), state).unwrap();
             assert_eq!(generic, fast, "target {target}");
         }
     }
@@ -403,7 +417,7 @@ mod tests {
         let mut state = dd.vec_basis(n, 0);
         for target in 0..n {
             let m = dd.mat_single_qubit(n, target, h_gate());
-            state = dd.mat_vec_mul(m, state);
+            state = dd.mat_vec_mul(m, state).unwrap();
         }
         let cases: &[(&[Control], u32)] = &[
             (&[Control::pos(0)], 4),                  // control above target
@@ -414,8 +428,10 @@ mod tests {
         ];
         for &(controls, target) in cases {
             let m = dd.mat_controlled(n, controls, target, x_gate());
-            let generic = dd.mat_vec_mul(m, state);
-            let fast = dd.apply_controlled(controls, target, x_gate(), state);
+            let generic = dd.mat_vec_mul(m, state).unwrap();
+            let fast = dd
+                .apply_controlled(controls, target, x_gate(), state)
+                .unwrap();
             assert_eq!(generic, fast, "controls {controls:?} target {target}");
         }
     }
@@ -431,7 +447,7 @@ mod tests {
             let mut dd = DdManager::new();
             let state = dd.vec_basis(n, 0);
             let before = dd.stats().mult_recursions;
-            let _ = dd.apply_single_qubit(0, h_gate(), state);
+            let _ = dd.apply_single_qubit(0, h_gate(), state).unwrap();
             recursions.push(dd.stats().mult_recursions - before);
         }
         assert_eq!(
@@ -445,10 +461,12 @@ mod tests {
             let h = dd.mat_single_qubit(n, 0, h_gate());
             let state = {
                 let s = dd.vec_basis(n, 0);
-                dd.mat_vec_mul(h, s)
+                dd.mat_vec_mul(h, s).unwrap()
             };
             let before = dd.stats().mult_recursions;
-            let _ = dd.apply_controlled(&[Control::pos(0)], 1, x_gate(), state);
+            let _ = dd
+                .apply_controlled(&[Control::pos(0)], 1, x_gate(), state)
+                .unwrap();
             recursions.push(dd.stats().mult_recursions - before);
         }
         assert_eq!(recursions[0], recursions[1], "{recursions:?}");
@@ -469,20 +487,22 @@ mod tests {
             let h = dd.mat_single_qubit(n, 1, h_gate());
             dd.reset_stats();
 
-            let _ = dd.mat_vec_mul(h, state);
+            let _ = dd.mat_vec_mul(h, state).unwrap();
             let s = dd.stats();
             assert_eq!((s.mat_vec_mults, s.mat_mat_mults), (1, 0));
 
-            let _ = dd.mat_mat_mul(h, h);
+            let _ = dd.mat_mat_mul(h, h).unwrap();
             let s = dd.stats();
             assert_eq!((s.mat_vec_mults, s.mat_mat_mults), (1, 1));
 
-            let _ = dd.apply_single_qubit(2, h_gate(), state);
+            let _ = dd.apply_single_qubit(2, h_gate(), state).unwrap();
             let s = dd.stats();
             assert_eq!((s.mat_vec_mults, s.mat_mat_mults), (2, 1));
             assert_eq!(s.specialized_applies, u64::from(identity_skip));
 
-            let _ = dd.apply_controlled(&[Control::pos(0)], 3, x_gate(), state);
+            let _ = dd
+                .apply_controlled(&[Control::pos(0)], 3, x_gate(), state)
+                .unwrap();
             let s = dd.stats();
             assert_eq!((s.mat_vec_mults, s.mat_mat_mults), (3, 1));
             assert_eq!(s.specialized_applies, 2 * u64::from(identity_skip));
@@ -493,9 +513,13 @@ mod tests {
     fn repeated_application_hits_the_apply_cache() {
         let mut dd = DdManager::new();
         let state = dd.vec_basis(6, 0b101101);
-        let first = dd.apply_controlled(&[Control::pos(2)], 4, x_gate(), state);
+        let first = dd
+            .apply_controlled(&[Control::pos(2)], 4, x_gate(), state)
+            .unwrap();
         let before = dd.stats().mult_recursions;
-        let second = dd.apply_controlled(&[Control::pos(2)], 4, x_gate(), state);
+        let second = dd
+            .apply_controlled(&[Control::pos(2)], 4, x_gate(), state)
+            .unwrap();
         assert_eq!(first, second);
         assert_eq!(
             dd.stats().mult_recursions,
@@ -511,7 +535,7 @@ mod tests {
         let mut state = dd.vec_basis(5, 0);
         dd.inc_ref_vec(state);
         for i in 0..5 {
-            let next = dd.apply_single_qubit(i, h_gate(), state);
+            let next = dd.apply_single_qubit(i, h_gate(), state).unwrap();
             dd.inc_ref_vec(next);
             dd.dec_ref_vec(state);
             state = next;

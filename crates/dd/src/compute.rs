@@ -306,6 +306,11 @@ impl<K: Copy + PartialEq + Hash, V: Copy> ComputeTable<K, V> {
         self.entries.iter().filter(|e| e.epoch != 0).count()
     }
 
+    /// Heap bytes held by the entry array (capacity-based, O(1)).
+    pub fn bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<Entry<K, V>>()
+    }
+
     /// Drops every entry (capacity is kept).
     pub fn clear(&mut self) {
         for entry in &mut self.entries {
@@ -357,6 +362,19 @@ impl ComputeTables {
         self.kron_vec.clear();
         self.kron_mat.clear();
         self.apply_gate.clear();
+    }
+
+    /// Total heap bytes across every table (capacity-based, O(1)); feeds
+    /// the governor's `max_table_bytes` accounting.
+    pub fn bytes(&self) -> usize {
+        self.add_vec.bytes()
+            + self.add_mat.bytes()
+            + self.mat_vec.bytes()
+            + self.mat_mat.bytes()
+            + self.conj_transpose.bytes()
+            + self.kron_vec.bytes()
+            + self.kron_mat.bytes()
+            + self.apply_gate.bytes()
     }
 
     /// Total number of cached entries (diagnostics).

@@ -32,15 +32,17 @@
 //!     1,
 //!     [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]],
 //! );
-//! let state = dd.mat_vec_mul(h_gate, state);
-//! let state = dd.mat_vec_mul(cx, state);
+//! let state = dd.mat_vec_mul(h_gate, state)?;
+//! let state = dd.mat_vec_mul(cx, state)?;
 //! assert!(dd.vec_amplitude(state, 0b01).approx_eq(h, 1e-12));
 //! assert!(dd.vec_amplitude(state, 0b10).approx_eq(h, 1e-12));
+//! # Ok::<(), ddsim_dd::DdError>(())
 //! ```
 
 mod apply;
 mod compute;
 mod edge;
+mod error;
 mod export;
 mod fault;
 mod hash;
@@ -49,11 +51,14 @@ mod matrix;
 mod measure;
 mod ops;
 pub mod reference;
+pub mod snapshot;
 mod unique;
 mod vector;
 
 pub use compute::{CacheStats, TableStats, UniqueTableStats};
 pub use edge::{Level, MatEdge, NodeId, VecEdge};
+pub use error::{BudgetBreach, CancelToken, DdError, Resource};
 pub use fault::FaultKind;
 pub use manager::{DdConfig, DdManager, DdStats};
 pub use matrix::{Control, ControlPolarity, Matrix2};
+pub use snapshot::{Snapshot, SnapshotError};

@@ -18,10 +18,13 @@
 //! Cached results whose diagrams survive a collection keep paying off
 //! across it.
 
+use std::time::Instant;
+
 use ddsim_complex::{Complex, ComplexId, ComplexTable};
 
 use crate::compute::{CacheStats, ComputeTables};
 use crate::edge::{Level, MatEdge, NodeId, VecEdge};
+use crate::error::{BudgetBreach, CancelToken, DdError, Resource};
 use crate::unique::UniqueTable;
 
 /// A vector-DD node: two successors (upper / lower half of the sub-vector).
@@ -110,6 +113,15 @@ impl<N: Copy> Arena<N> {
         self.slots.len() - self.free.len()
     }
 
+    /// Heap bytes held by the arena's parallel vectors (capacity-based,
+    /// O(1)); feeds the governor's table-byte accounting.
+    fn bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Slot<N>>()
+            + self.refcounts.capacity() * std::mem::size_of::<u32>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+            + self.free_epoch.capacity() * std::mem::size_of::<u32>()
+    }
+
     /// `(key, id)` pairs of every occupied slot, for unique-table rebuilds.
     fn live_entries<'a, K>(
         &'a self,
@@ -179,6 +191,17 @@ pub struct DdConfig {
     /// routes everything through the generic recursions (the diagrams
     /// produced are identical; only the work to build them changes).
     pub identity_skip: bool,
+    /// Budget on live (allocated, not freed) nodes across both arenas.
+    /// `None` disables the check. Enforced at amortized O(1) cost inside
+    /// the operation recursions (see `DdManager::charge`); overshoot is
+    /// bounded by one check interval of allocations.
+    pub max_live_nodes: Option<usize>,
+    /// Budget on bytes held by the arenas, unique tables, and compute
+    /// tables. `None` disables the check. Because unique-table growth
+    /// stays infallible (a failed rehash mid-insert would strand nodes),
+    /// the budget is enforced at the next amortized check; overshoot is
+    /// bounded by one capacity doubling of the largest table.
+    pub max_table_bytes: Option<usize>,
     /// Test-only fault injection used by the fuzzing harness's
     /// `--self-check` to prove its oracles catch engine defects. Must stay
     /// [`FaultKind::None`] everywhere else.
@@ -194,6 +217,8 @@ impl Default for DdConfig {
             unique_table_bits: 14,
             cache_enabled: true,
             identity_skip: true,
+            max_live_nodes: None,
+            max_table_bytes: None,
             fault: crate::FaultKind::None,
         }
     }
@@ -229,7 +254,33 @@ pub struct DdManager {
     pub(crate) identity_cache: Vec<MatEdge>,
     /// Interned specialized gate operations (see `apply.rs`).
     pub(crate) apply_ops: crate::apply::ApplyOpRegistry,
+    /// Wall-clock deadline; operations unwind with
+    /// [`DdError::DeadlineExceeded`] once it passes.
+    deadline: Option<Instant>,
+    /// Cooperative cancellation flag; operations unwind with
+    /// [`DdError::Cancelled`] once it latches.
+    cancel: Option<CancelToken>,
+    /// Countdown to the next full governor check (see [`charge`](Self::charge)).
+    charge_countdown: u32,
+    /// Depth of governor suspensions: while positive, `charge` never
+    /// fails. Used by infallible constructors (gate building) whose work
+    /// per call is O(qubits) and therefore cannot run away.
+    governor_suspended: u32,
+    /// Cached "any limit configured?" flag: true iff a budget, deadline,
+    /// or cancel token is set. When false, [`charge`](Self::charge) is a
+    /// single predictable branch with no store — ungoverned runs pay
+    /// (nearly) nothing for the governor's existence.
+    governed: bool,
+    /// Details of the most recent budget trip (the matching
+    /// [`DdError::BudgetExceeded`] is a bare discriminant; see
+    /// [`BudgetBreach`]).
+    last_breach: Option<BudgetBreach>,
 }
+
+/// Recursion steps between full governor checks. Keeps the per-step cost
+/// of budget enforcement to a decrement-and-branch while bounding budget
+/// overshoot to one interval's worth of allocations.
+const CHARGE_INTERVAL: u32 = 1024;
 
 impl DdManager {
     /// Creates a manager with the default configuration.
@@ -251,6 +302,12 @@ impl DdManager {
             config,
             identity_cache: Vec::new(),
             apply_ops: crate::apply::ApplyOpRegistry::default(),
+            deadline: None,
+            cancel: None,
+            charge_countdown: CHARGE_INTERVAL,
+            governor_suspended: 0,
+            governed: config.max_live_nodes.is_some() || config.max_table_bytes.is_some(),
+            last_breach: None,
         }
     }
 
@@ -338,6 +395,156 @@ impl DdManager {
     /// Number of distinct interned edge weights (diagnostics).
     pub fn distinct_weights(&self) -> usize {
         self.complex.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Resource governor
+    // ------------------------------------------------------------------
+
+    /// Sets (or clears) the wall-clock deadline. Operations in flight
+    /// unwind with [`DdError::DeadlineExceeded`] at their next governor
+    /// check once the instant passes.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+        self.refresh_governed();
+        // Force the next charge to do a full check so a freshly expired
+        // deadline is observed promptly.
+        self.charge_countdown = self.charge_countdown.min(1);
+    }
+
+    /// The active wall-clock deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Registers (or clears) a cooperative [`CancelToken`]. Operations in
+    /// flight unwind with [`DdError::Cancelled`] at their next governor
+    /// check once the token latches.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+        self.refresh_governed();
+        self.charge_countdown = self.charge_countdown.min(1);
+    }
+
+    /// A clone of the registered [`CancelToken`], if any (clones share the
+    /// latch).
+    pub fn cancel_token(&self) -> Option<CancelToken> {
+        self.cancel.clone()
+    }
+
+    /// Bytes currently held by the node arenas, unique tables, and compute
+    /// tables — the quantity governed by
+    /// [`DdConfig::max_table_bytes`]. O(1): computed from capacities.
+    pub fn tracked_bytes(&self) -> usize {
+        self.vec_arena.bytes()
+            + self.mat_arena.bytes()
+            + self.vec_unique.bytes()
+            + self.mat_unique.bytes()
+            + self.compute.bytes()
+    }
+
+    /// One amortized governor step, called from every operation recursion:
+    /// a decrement-and-branch on the hot path, with a full budget /
+    /// deadline / cancellation check every [`CHARGE_INTERVAL`] steps.
+    #[inline]
+    pub(crate) fn charge(&mut self) -> Result<(), DdError> {
+        if !self.governed {
+            return Ok(());
+        }
+        self.charge_countdown -= 1;
+        if self.charge_countdown == 0 {
+            self.charge_countdown = CHARGE_INTERVAL;
+            self.charge_full()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Records breach details and returns the matching error.
+    fn breach(&mut self, resource: Resource, limit: u64, observed: u64) -> DdError {
+        self.last_breach = Some(BudgetBreach {
+            resource,
+            limit,
+            observed,
+        });
+        DdError::BudgetExceeded
+    }
+
+    /// Details of the most recent [`DdError::BudgetExceeded`] raised by
+    /// this manager, if any.
+    pub fn last_breach(&self) -> Option<BudgetBreach> {
+        self.last_breach
+    }
+
+    /// Recomputes the [`governed`](field@Self::governed) fast-path flag;
+    /// call after any change to budgets, deadline, or cancel token.
+    fn refresh_governed(&mut self) {
+        self.governed = self.cancel.is_some()
+            || self.deadline.is_some()
+            || self.config.max_live_nodes.is_some()
+            || self.config.max_table_bytes.is_some();
+    }
+
+    /// The full governor check (cold path of [`charge`](Self::charge)).
+    /// Kept out of line so the inlined `charge` stays a decrement-and-branch
+    /// at its many recursion call sites.
+    #[cold]
+    #[inline(never)]
+    fn charge_full(&mut self) -> Result<(), DdError> {
+        if self.governor_suspended > 0 {
+            return Ok(());
+        }
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(DdError::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(DdError::DeadlineExceeded);
+            }
+        }
+        if let Some(limit) = self.config.max_live_nodes {
+            let live = self.vec_arena.live_count() + self.mat_arena.live_count();
+            if live > limit {
+                return Err(self.breach(Resource::LiveNodes, limit as u64, live as u64));
+            }
+        }
+        if let Some(limit) = self.config.max_table_bytes {
+            let bytes = self.tracked_bytes();
+            if bytes > limit {
+                return Err(self.breach(Resource::TableBytes, limit as u64, bytes as u64));
+            }
+        }
+        Ok(())
+    }
+
+    /// An immediate full governor check, for callers that sit between
+    /// operations (e.g. the engine's per-op loop) and want prompt deadline
+    /// and cancellation observation without waiting out the amortization
+    /// interval.
+    pub fn check_interrupts(&mut self) -> Result<(), DdError> {
+        self.charge_full()
+    }
+
+    /// Runs `f` with the governor suspended: `charge` cannot fail inside.
+    ///
+    /// Reserved for gate *construction* (`mat_controlled`'s internal
+    /// matrix addition), whose work is O(qubits) per call and therefore
+    /// cannot blow past a budget by more than a gate's worth of nodes —
+    /// the next governed operation observes any excess.
+    pub(crate) fn with_governor_suspended<R>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<R, DdError>,
+    ) -> R {
+        self.governor_suspended += 1;
+        let result = f(self);
+        self.governor_suspended -= 1;
+        match result {
+            Ok(r) => r,
+            // Unreachable: charge_full returns Ok while suspended.
+            Err(e) => unreachable!("governed failure while suspended: {e}"),
+        }
     }
 
     // ------------------------------------------------------------------

@@ -216,7 +216,7 @@ mod tests {
         let mut dd = DdManager::new();
         let v0 = dd.vec_basis(2, 0);
         let h = dd.mat_single_qubit(2, 0, h_gate());
-        let v = dd.mat_vec_mul(h, v0);
+        let v = dd.mat_vec_mul(h, v0).unwrap();
         assert!((dd.prob_one(v, 0) - 0.5).abs() < 1e-12);
         assert!(dd.prob_one(v, 1).abs() < 1e-12);
     }
@@ -226,7 +226,7 @@ mod tests {
         let mut dd = DdManager::new();
         let v0 = dd.vec_basis(2, 0);
         let h = dd.mat_single_qubit(2, 0, h_gate());
-        let v = dd.mat_vec_mul(h, v0);
+        let v = dd.mat_vec_mul(h, v0).unwrap();
         let c = dd.collapse(v, 0, true);
         assert!((dd.vec_norm_sqr(c) - 1.0).abs() < 1e-10);
         assert!((dd.prob_one(c, 0) - 1.0).abs() < 1e-10);

@@ -9,10 +9,18 @@
 //! paper's Section III reasons about: MxM on two small gate DDs takes more
 //! steps *per node* but touches far fewer nodes than MxV through a large
 //! state DD.
+//!
+//! Every operation is *governed*: each recursion step charges the manager's
+//! amortized resource counter and unwinds with a [`DdError`] once a budget,
+//! deadline, or cancellation trips. An unwound operation leaves no dangling
+//! state — partially built nodes carry no external references (the next GC
+//! reclaims them) and every compute-table entry already written is a
+//! complete, valid result, so retrying after recovery is bitwise-safe.
 
 use ddsim_complex::ComplexId;
 
 use crate::edge::{MatEdge, NodeId, VecEdge};
+use crate::error::DdError;
 use crate::manager::DdManager;
 
 /// Whether a node referenced by a compute-table entry is still the node the
@@ -31,21 +39,52 @@ impl DdManager {
 
     /// Adds two vector DDs of equal level.
     ///
+    /// # Errors
+    ///
+    /// Returns a [`DdError`] if a resource budget, the deadline, or a
+    /// cancellation trips mid-operation; the manager stays consistent.
+    ///
     /// # Panics
     ///
     /// Panics if the (nonzero) operands have different levels.
-    pub fn add_vec(&mut self, a: VecEdge, b: VecEdge) -> VecEdge {
+    pub fn add_vec(&mut self, a: VecEdge, b: VecEdge) -> Result<VecEdge, DdError> {
         if a.is_zero() {
-            return b;
+            return Ok(b);
         }
         if b.is_zero() {
-            return a;
+            return Ok(a);
         }
         assert_eq!(
             self.vec_level(a),
             self.vec_level(b),
             "adding vectors of different levels"
         );
+        self.add_vec_inner(a, b)
+    }
+
+    fn add_vec_rec(&mut self, a: VecEdge, b: VecEdge) -> Result<VecEdge, DdError> {
+        self.stats.add_recursions += 1;
+        self.charge()?;
+        if a.node.is_terminal() && b.node.is_terminal() {
+            return Ok(VecEdge::terminal(self.complex.add(a.weight, b.weight)));
+        }
+        let level = self.vec_level(a);
+        let ac = self.vec_children_weighted(a);
+        let bc = self.vec_children_weighted(b);
+        let lo = self.add_vec_inner(ac[0], bc[0])?;
+        let hi = self.add_vec_inner(ac[1], bc[1])?;
+        Ok(self.make_vec_node(level, [lo, hi]))
+    }
+
+    /// Like [`add_vec`](Self::add_vec) but without the level assertion
+    /// (children of validated parents are already consistent).
+    pub(crate) fn add_vec_inner(&mut self, a: VecEdge, b: VecEdge) -> Result<VecEdge, DdError> {
+        if a.is_zero() {
+            return Ok(b);
+        }
+        if b.is_zero() {
+            return Ok(a);
+        }
         // Commutative: canonical operand order doubles the cache hit rate.
         let (a, b) = if (a.node, a.weight) <= (b.node, b.weight) {
             (a, b)
@@ -69,87 +108,36 @@ impl DdManager {
         if let Some(cached) = self.compute.add_vec.lookup(&key, |k, v, ep| {
             live(fe, k.0.node, ep) && live(fe, k.1.node, ep) && live(fe, v.node, ep)
         }) {
-            return VecEdge {
+            return Ok(VecEdge {
                 node: cached.node,
                 weight: self.complex.mul(cached.weight, a.weight),
-            };
+            });
         }
-        let result = self.add_vec_rec(key.0, key.1);
+        let result = self.add_vec_rec(key.0, key.1)?;
         let epoch = self.epoch;
         self.compute.add_vec.insert(key, result, epoch);
-        VecEdge {
+        Ok(VecEdge {
             node: result.node,
             weight: self.complex.mul(result.weight, a.weight),
-        }
-    }
-
-    fn add_vec_rec(&mut self, a: VecEdge, b: VecEdge) -> VecEdge {
-        self.stats.add_recursions += 1;
-        if a.node.is_terminal() && b.node.is_terminal() {
-            return VecEdge::terminal(self.complex.add(a.weight, b.weight));
-        }
-        let level = self.vec_level(a);
-        let ac = self.vec_children_weighted(a);
-        let bc = self.vec_children_weighted(b);
-        let lo = self.add_vec_inner(ac[0], bc[0]);
-        let hi = self.add_vec_inner(ac[1], bc[1]);
-        self.make_vec_node(level, [lo, hi])
-    }
-
-    /// Like [`add_vec`](Self::add_vec) but without the level assertion
-    /// (children of validated parents are already consistent).
-    pub(crate) fn add_vec_inner(&mut self, a: VecEdge, b: VecEdge) -> VecEdge {
-        if a.is_zero() {
-            return b;
-        }
-        if b.is_zero() {
-            return a;
-        }
-        let (a, b) = if (a.node, a.weight) <= (b.node, b.weight) {
-            (a, b)
-        } else {
-            (b, a)
-        };
-        let ratio = self.complex.div(b.weight, a.weight);
-        let key = (
-            VecEdge {
-                node: a.node,
-                weight: ComplexId::ONE,
-            },
-            VecEdge {
-                node: b.node,
-                weight: ratio,
-            },
-        );
-        let fe = &self.vec_arena.free_epoch;
-        if let Some(cached) = self.compute.add_vec.lookup(&key, |k, v, ep| {
-            live(fe, k.0.node, ep) && live(fe, k.1.node, ep) && live(fe, v.node, ep)
-        }) {
-            return VecEdge {
-                node: cached.node,
-                weight: self.complex.mul(cached.weight, a.weight),
-            };
-        }
-        let result = self.add_vec_rec(key.0, key.1);
-        let epoch = self.epoch;
-        self.compute.add_vec.insert(key, result, epoch);
-        VecEdge {
-            node: result.node,
-            weight: self.complex.mul(result.weight, a.weight),
-        }
+        })
     }
 
     /// Adds two matrix DDs of equal level.
     ///
+    /// # Errors
+    ///
+    /// Returns a [`DdError`] if a resource budget, the deadline, or a
+    /// cancellation trips mid-operation; the manager stays consistent.
+    ///
     /// # Panics
     ///
     /// Panics if the (nonzero) operands have different levels.
-    pub fn add_mat(&mut self, a: MatEdge, b: MatEdge) -> MatEdge {
+    pub fn add_mat(&mut self, a: MatEdge, b: MatEdge) -> Result<MatEdge, DdError> {
         if a.is_zero() {
-            return b;
+            return Ok(b);
         }
         if b.is_zero() {
-            return a;
+            return Ok(a);
         }
         assert_eq!(
             self.mat_level(a),
@@ -159,12 +147,12 @@ impl DdManager {
         self.add_mat_inner(a, b)
     }
 
-    fn add_mat_inner(&mut self, a: MatEdge, b: MatEdge) -> MatEdge {
+    pub(crate) fn add_mat_inner(&mut self, a: MatEdge, b: MatEdge) -> Result<MatEdge, DdError> {
         if a.is_zero() {
-            return b;
+            return Ok(b);
         }
         if b.is_zero() {
-            return a;
+            return Ok(a);
         }
         let (a, b) = if (a.node, a.weight) <= (b.node, b.weight) {
             (a, b)
@@ -186,33 +174,34 @@ impl DdManager {
         if let Some(cached) = self.compute.add_mat.lookup(&key, |k, v, ep| {
             live(fe, k.0.node, ep) && live(fe, k.1.node, ep) && live(fe, v.node, ep)
         }) {
-            return MatEdge {
+            return Ok(MatEdge {
                 node: cached.node,
                 weight: self.complex.mul(cached.weight, a.weight),
-            };
+            });
         }
-        let result = self.add_mat_rec(key.0, key.1);
+        let result = self.add_mat_rec(key.0, key.1)?;
         let epoch = self.epoch;
         self.compute.add_mat.insert(key, result, epoch);
-        MatEdge {
+        Ok(MatEdge {
             node: result.node,
             weight: self.complex.mul(result.weight, a.weight),
-        }
+        })
     }
 
-    fn add_mat_rec(&mut self, a: MatEdge, b: MatEdge) -> MatEdge {
+    fn add_mat_rec(&mut self, a: MatEdge, b: MatEdge) -> Result<MatEdge, DdError> {
         self.stats.add_recursions += 1;
+        self.charge()?;
         if a.node.is_terminal() && b.node.is_terminal() {
-            return MatEdge::terminal(self.complex.add(a.weight, b.weight));
+            return Ok(MatEdge::terminal(self.complex.add(a.weight, b.weight)));
         }
         let level = self.mat_level(a);
         let ac = self.mat_children_weighted(a);
         let bc = self.mat_children_weighted(b);
         let mut children = [MatEdge::ZERO; 4];
         for i in 0..4 {
-            children[i] = self.add_mat_inner(ac[i], bc[i]);
+            children[i] = self.add_mat_inner(ac[i], bc[i])?;
         }
-        self.make_mat_node(level, children)
+        Ok(self.make_mat_node(level, children))
     }
 
     // ------------------------------------------------------------------
@@ -221,12 +210,17 @@ impl DdManager {
 
     /// Computes `M × v` (Fig. 3 of the paper).
     ///
+    /// # Errors
+    ///
+    /// Returns a [`DdError`] if a resource budget, the deadline, or a
+    /// cancellation trips mid-operation; the manager stays consistent.
+    ///
     /// # Panics
     ///
     /// Panics if the (nonzero) operands have different levels.
-    pub fn mat_vec_mul(&mut self, m: MatEdge, v: VecEdge) -> VecEdge {
+    pub fn mat_vec_mul(&mut self, m: MatEdge, v: VecEdge) -> Result<VecEdge, DdError> {
         if m.is_zero() || v.is_zero() {
-            return VecEdge::ZERO;
+            return Ok(VecEdge::ZERO);
         }
         assert_eq!(
             self.mat_level(m),
@@ -234,26 +228,27 @@ impl DdManager {
             "matrix and vector levels differ"
         );
         self.stats.mat_vec_mults += 1;
+        self.charge()?;
         self.mat_vec_inner(m, v)
     }
 
-    fn mat_vec_inner(&mut self, m: MatEdge, v: VecEdge) -> VecEdge {
+    fn mat_vec_inner(&mut self, m: MatEdge, v: VecEdge) -> Result<VecEdge, DdError> {
         if m.is_zero() || v.is_zero() {
-            return VecEdge::ZERO;
+            return Ok(VecEdge::ZERO);
         }
         // Weights factor out: cache on the node pair with unit tops.
         let outer = self.complex.mul(m.weight, v.weight);
         if m.node.is_terminal() && v.node.is_terminal() {
-            return VecEdge::terminal(outer);
+            return Ok(VecEdge::terminal(outer));
         }
         // I·v = v: the scalar already lives in `outer`, so an identity
         // operand needs no recursion, no cache entry, and no new nodes.
         if self.config.identity_skip && self.is_identity_node(m.node) {
             self.stats.identity_skips += 1;
-            return VecEdge {
+            return Ok(VecEdge {
                 node: v.node,
                 weight: outer,
-            };
+            });
         }
         let faulted = self.config.fault == crate::FaultKind::MatVecCacheKeyDropsVector;
         let key = if faulted {
@@ -275,19 +270,24 @@ impl DdManager {
         }) {
             cached
         } else {
-            let computed = self.mat_vec_rec(m.node, v.node);
+            let computed = self.mat_vec_rec(m.node, v.node)?;
             let epoch = self.epoch;
             self.compute.mat_vec.insert(key, computed, epoch);
             computed
         };
-        VecEdge {
+        Ok(VecEdge {
             node: unit.node,
             weight: self.complex.mul(unit.weight, outer),
-        }
+        })
     }
 
-    fn mat_vec_rec(&mut self, m_node: crate::edge::NodeId, v_node: crate::edge::NodeId) -> VecEdge {
+    fn mat_vec_rec(
+        &mut self,
+        m_node: crate::edge::NodeId,
+        v_node: crate::edge::NodeId,
+    ) -> Result<VecEdge, DdError> {
         self.stats.mult_recursions += 1;
+        self.charge()?;
         let mn = *self.mat_node(m_node);
         let vn = *self.vec_node(v_node);
         debug_assert_eq!(mn.level, vn.level);
@@ -300,24 +300,24 @@ impl DdManager {
         // children, so this is the common shape — and `x + 0 = x` keeps the
         // result bitwise identical to the unelided recursion.
         let lo = if mn.edges[1].is_zero() {
-            self.mat_vec_inner(mn.edges[0], vn.edges[0])
+            self.mat_vec_inner(mn.edges[0], vn.edges[0])?
         } else if mn.edges[0].is_zero() {
-            self.mat_vec_inner(mn.edges[1], vn.edges[1])
+            self.mat_vec_inner(mn.edges[1], vn.edges[1])?
         } else {
-            let x0 = self.mat_vec_inner(mn.edges[0], vn.edges[0]);
-            let y0 = self.mat_vec_inner(mn.edges[1], vn.edges[1]);
-            self.add_vec_inner(x0, y0)
+            let x0 = self.mat_vec_inner(mn.edges[0], vn.edges[0])?;
+            let y0 = self.mat_vec_inner(mn.edges[1], vn.edges[1])?;
+            self.add_vec_inner(x0, y0)?
         };
         let hi = if mn.edges[3].is_zero() {
-            self.mat_vec_inner(mn.edges[2], vn.edges[0])
+            self.mat_vec_inner(mn.edges[2], vn.edges[0])?
         } else if mn.edges[2].is_zero() {
-            self.mat_vec_inner(mn.edges[3], vn.edges[1])
+            self.mat_vec_inner(mn.edges[3], vn.edges[1])?
         } else {
-            let x1 = self.mat_vec_inner(mn.edges[2], vn.edges[0]);
-            let y1 = self.mat_vec_inner(mn.edges[3], vn.edges[1]);
-            self.add_vec_inner(x1, y1)
+            let x1 = self.mat_vec_inner(mn.edges[2], vn.edges[0])?;
+            let y1 = self.mat_vec_inner(mn.edges[3], vn.edges[1])?;
+            self.add_vec_inner(x1, y1)?
         };
-        self.make_vec_node(level, [lo, hi])
+        Ok(self.make_vec_node(level, [lo, hi]))
     }
 
     // ------------------------------------------------------------------
@@ -326,12 +326,17 @@ impl DdManager {
 
     /// Computes the matrix product `A × B` (apply `B` first, then `A`).
     ///
+    /// # Errors
+    ///
+    /// Returns a [`DdError`] if a resource budget, the deadline, or a
+    /// cancellation trips mid-operation; the manager stays consistent.
+    ///
     /// # Panics
     ///
     /// Panics if the (nonzero) operands have different levels.
-    pub fn mat_mat_mul(&mut self, a: MatEdge, b: MatEdge) -> MatEdge {
+    pub fn mat_mat_mul(&mut self, a: MatEdge, b: MatEdge) -> Result<MatEdge, DdError> {
         if a.is_zero() || b.is_zero() {
-            return MatEdge::ZERO;
+            return Ok(MatEdge::ZERO);
         }
         assert_eq!(
             self.mat_level(a),
@@ -339,32 +344,33 @@ impl DdManager {
             "matrix operand levels differ"
         );
         self.stats.mat_mat_mults += 1;
+        self.charge()?;
         self.mat_mat_inner(a, b)
     }
 
-    fn mat_mat_inner(&mut self, a: MatEdge, b: MatEdge) -> MatEdge {
+    fn mat_mat_inner(&mut self, a: MatEdge, b: MatEdge) -> Result<MatEdge, DdError> {
         if a.is_zero() || b.is_zero() {
-            return MatEdge::ZERO;
+            return Ok(MatEdge::ZERO);
         }
         let outer = self.complex.mul(a.weight, b.weight);
         if a.node.is_terminal() && b.node.is_terminal() {
-            return MatEdge::terminal(outer);
+            return Ok(MatEdge::terminal(outer));
         }
         // I·B = B and A·I = A, with the scalars already folded into `outer`.
         if self.config.identity_skip {
             if self.is_identity_node(a.node) {
                 self.stats.identity_skips += 1;
-                return MatEdge {
+                return Ok(MatEdge {
                     node: b.node,
                     weight: outer,
-                };
+                });
             }
             if self.is_identity_node(b.node) {
                 self.stats.identity_skips += 1;
-                return MatEdge {
+                return Ok(MatEdge {
                     node: a.node,
                     weight: outer,
-                };
+                });
             }
         }
         let key = (a.node, b.node);
@@ -374,19 +380,24 @@ impl DdManager {
         }) {
             cached
         } else {
-            let computed = self.mat_mat_rec(a.node, b.node);
+            let computed = self.mat_mat_rec(a.node, b.node)?;
             let epoch = self.epoch;
             self.compute.mat_mat.insert(key, computed, epoch);
             computed
         };
-        MatEdge {
+        Ok(MatEdge {
             node: unit.node,
             weight: self.complex.mul(unit.weight, outer),
-        }
+        })
     }
 
-    fn mat_mat_rec(&mut self, a_node: crate::edge::NodeId, b_node: crate::edge::NodeId) -> MatEdge {
+    fn mat_mat_rec(
+        &mut self,
+        a_node: crate::edge::NodeId,
+        b_node: crate::edge::NodeId,
+    ) -> Result<MatEdge, DdError> {
         self.stats.mult_recursions += 1;
+        self.charge()?;
         let an = *self.mat_node(a_node);
         let bn = *self.mat_node(b_node);
         debug_assert_eq!(an.level, bn.level);
@@ -399,17 +410,17 @@ impl DdManager {
                 // (gate DDs are mostly zeros, and `x + 0 = x` bitwise).
                 children[2 * r + c] = if an.edges[2 * r + 1].is_zero() || bn.edges[2 + c].is_zero()
                 {
-                    self.mat_mat_inner(an.edges[2 * r], bn.edges[c])
+                    self.mat_mat_inner(an.edges[2 * r], bn.edges[c])?
                 } else if an.edges[2 * r].is_zero() || bn.edges[c].is_zero() {
-                    self.mat_mat_inner(an.edges[2 * r + 1], bn.edges[2 + c])
+                    self.mat_mat_inner(an.edges[2 * r + 1], bn.edges[2 + c])?
                 } else {
-                    let p0 = self.mat_mat_inner(an.edges[2 * r], bn.edges[c]);
-                    let p1 = self.mat_mat_inner(an.edges[2 * r + 1], bn.edges[2 + c]);
-                    self.add_mat_inner(p0, p1)
+                    let p0 = self.mat_mat_inner(an.edges[2 * r], bn.edges[c])?;
+                    let p1 = self.mat_mat_inner(an.edges[2 * r + 1], bn.edges[2 + c])?;
+                    self.add_mat_inner(p0, p1)?
                 };
             }
         }
-        self.make_mat_node(level, children)
+        Ok(self.make_mat_node(level, children))
     }
 
     // ------------------------------------------------------------------
@@ -418,22 +429,28 @@ impl DdManager {
 
     /// Computes the conjugate transpose `M†` (e.g. for inverse circuits and
     /// unitarity checks).
-    pub fn mat_conj_transpose(&mut self, m: MatEdge) -> MatEdge {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DdError`] if a resource budget, the deadline, or a
+    /// cancellation trips mid-operation; the manager stays consistent.
+    pub fn mat_conj_transpose(&mut self, m: MatEdge) -> Result<MatEdge, DdError> {
         if m.is_zero() {
-            return MatEdge::ZERO;
+            return Ok(MatEdge::ZERO);
         }
         let w = self.complex.conj(m.weight);
         if m.node.is_terminal() {
-            return MatEdge::terminal(w);
+            return Ok(MatEdge::terminal(w));
         }
         // The identity is Hermitian: I† = I, only the weight conjugates.
         if self.config.identity_skip && self.is_identity_node(m.node) {
             self.stats.identity_skips += 1;
-            return MatEdge {
+            return Ok(MatEdge {
                 node: m.node,
                 weight: w,
-            };
+            });
         }
+        self.charge()?;
         let fe = &self.mat_arena.free_epoch;
         let unit = if let Some(cached) = self
             .compute
@@ -444,21 +461,21 @@ impl DdManager {
         } else {
             let node = *self.mat_node(m.node);
             let children = [
-                self.mat_conj_transpose(node.edges[0]),
+                self.mat_conj_transpose(node.edges[0])?,
                 // Transpose swaps the off-diagonal quadrants.
-                self.mat_conj_transpose(node.edges[2]),
-                self.mat_conj_transpose(node.edges[1]),
-                self.mat_conj_transpose(node.edges[3]),
+                self.mat_conj_transpose(node.edges[2])?,
+                self.mat_conj_transpose(node.edges[1])?,
+                self.mat_conj_transpose(node.edges[3])?,
             ];
             let computed = self.make_mat_node(node.level, children);
             let epoch = self.epoch;
             self.compute.conj_transpose.insert(m.node, computed, epoch);
             computed
         };
-        MatEdge {
+        Ok(MatEdge {
             node: unit.node,
             weight: self.complex.mul(unit.weight, w),
-        }
+        })
     }
 
     // ------------------------------------------------------------------
@@ -466,9 +483,14 @@ impl DdManager {
     // ------------------------------------------------------------------
 
     /// Computes `a ⊗ b` for vectors (`a` supplies the upper levels).
-    pub fn kron_vec(&mut self, a: VecEdge, b: VecEdge) -> VecEdge {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DdError`] if a resource budget, the deadline, or a
+    /// cancellation trips mid-operation; the manager stays consistent.
+    pub fn kron_vec(&mut self, a: VecEdge, b: VecEdge) -> Result<VecEdge, DdError> {
         if a.is_zero() || b.is_zero() {
-            return VecEdge::ZERO;
+            return Ok(VecEdge::ZERO);
         }
         let outer = a.weight;
         let unit = self.kron_vec_unit(
@@ -477,42 +499,48 @@ impl DdManager {
                 weight: ComplexId::ONE,
             },
             b,
-        );
-        VecEdge {
+        )?;
+        Ok(VecEdge {
             node: unit.node,
             weight: self.complex.mul(unit.weight, outer),
-        }
+        })
     }
 
-    fn kron_vec_unit(&mut self, a: VecEdge, b: VecEdge) -> VecEdge {
+    fn kron_vec_unit(&mut self, a: VecEdge, b: VecEdge) -> Result<VecEdge, DdError> {
         if a.node.is_terminal() {
-            return VecEdge {
+            return Ok(VecEdge {
                 node: b.node,
                 weight: self.complex.mul(a.weight, b.weight),
-            };
+            });
         }
+        self.charge()?;
         let key = (a.node, b);
         let fe = &self.vec_arena.free_epoch;
         if let Some(cached) = self.compute.kron_vec.lookup(&key, |k, v, ep| {
             live(fe, k.0, ep) && live(fe, k.1.node, ep) && live(fe, v.node, ep)
         }) {
-            return cached;
+            return Ok(cached);
         }
         let node = *self.vec_node(a.node);
         let b_level = self.vec_level(b);
-        let lo = self.kron_vec_unit(node.edges[0], b);
-        let hi = self.kron_vec_unit(node.edges[1], b);
+        let lo = self.kron_vec_unit(node.edges[0], b)?;
+        let hi = self.kron_vec_unit(node.edges[1], b)?;
         let result = self.make_vec_node(node.level + b_level, [lo, hi]);
         let epoch = self.epoch;
         self.compute.kron_vec.insert(key, result, epoch);
-        result
+        Ok(result)
     }
 
     /// Computes `a ⊗ b` for matrices (`a` supplies the upper levels) — the
     /// operation behind the paper's `H ⊗ I` example in Section II-A.
-    pub fn kron_mat(&mut self, a: MatEdge, b: MatEdge) -> MatEdge {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DdError`] if a resource budget, the deadline, or a
+    /// cancellation trips mid-operation; the manager stays consistent.
+    pub fn kron_mat(&mut self, a: MatEdge, b: MatEdge) -> Result<MatEdge, DdError> {
         if a.is_zero() || b.is_zero() {
-            return MatEdge::ZERO;
+            return Ok(MatEdge::ZERO);
         }
         // I(k) ⊗ I(l) = I(k+l): serve the canonical identity from the
         // per-level cache instead of recursing (hash-consing makes the
@@ -525,10 +553,10 @@ impl DdManager {
             let levels = self.mat_level(a) + self.mat_level(b);
             let id = self.mat_identity(levels);
             let weight = self.complex.mul(a.weight, b.weight);
-            return MatEdge {
+            return Ok(MatEdge {
                 node: id.node,
                 weight,
-            };
+            });
         }
         let outer = a.weight;
         let unit = self.kron_mat_unit(
@@ -537,43 +565,46 @@ impl DdManager {
                 weight: ComplexId::ONE,
             },
             b,
-        );
-        MatEdge {
+        )?;
+        Ok(MatEdge {
             node: unit.node,
             weight: self.complex.mul(unit.weight, outer),
-        }
+        })
     }
 
-    fn kron_mat_unit(&mut self, a: MatEdge, b: MatEdge) -> MatEdge {
+    fn kron_mat_unit(&mut self, a: MatEdge, b: MatEdge) -> Result<MatEdge, DdError> {
         if a.node.is_terminal() {
-            return MatEdge {
+            return Ok(MatEdge {
                 node: b.node,
                 weight: self.complex.mul(a.weight, b.weight),
-            };
+            });
         }
+        self.charge()?;
         let key = (a.node, b);
         let fe = &self.mat_arena.free_epoch;
         if let Some(cached) = self.compute.kron_mat.lookup(&key, |k, v, ep| {
             live(fe, k.0, ep) && live(fe, k.1.node, ep) && live(fe, v.node, ep)
         }) {
-            return cached;
+            return Ok(cached);
         }
         let node = *self.mat_node(a.node);
         let b_level = self.mat_level(b);
         let mut children = [MatEdge::ZERO; 4];
         for (child, &edge) in children.iter_mut().zip(node.edges.iter()) {
-            *child = self.kron_mat_unit(edge, b);
+            *child = self.kron_mat_unit(edge, b)?;
         }
         let result = self.make_mat_node(node.level + b_level, children);
         let epoch = self.epoch;
         self.compute.kron_mat.insert(key, result, epoch);
-        result
+        Ok(result)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::Resource;
+    use crate::manager::DdConfig;
     use crate::matrix::{Control, Matrix2};
     use ddsim_complex::Complex;
 
@@ -615,8 +646,8 @@ mod tests {
         let v0 = dd.vec_basis(2, 0b01);
         let h = dd.mat_single_qubit(2, 0, h_gate());
         let cx = dd.mat_controlled(2, &[Control::pos(0)], 1, x_gate());
-        let v1 = dd.mat_vec_mul(h, v0);
-        let v2 = dd.mat_vec_mul(cx, v1);
+        let v1 = dd.mat_vec_mul(h, v0).unwrap();
+        let v2 = dd.mat_vec_mul(cx, v1).unwrap();
         let amps = dd.vec_to_amplitudes(v2);
         let s = Complex::SQRT2_INV;
         assert!(amps[0b00].approx_eq(Complex::ZERO, 1e-12));
@@ -634,12 +665,12 @@ mod tests {
         let m2 = dd.mat_controlled(3, &[Control::pos(0)], 2, x_gate());
 
         let seq = {
-            let t = dd.mat_vec_mul(m1, v0);
-            dd.mat_vec_mul(m2, t)
+            let t = dd.mat_vec_mul(m1, v0).unwrap();
+            dd.mat_vec_mul(m2, t).unwrap()
         };
         let combined = {
-            let p = dd.mat_mat_mul(m2, m1);
-            dd.mat_vec_mul(p, v0)
+            let p = dd.mat_mat_mul(m2, m1).unwrap();
+            dd.mat_vec_mul(p, v0).unwrap()
         };
         // Canonicity: identical states are identical edges.
         assert_eq!(seq, combined);
@@ -682,7 +713,7 @@ mod tests {
         ];
         let m_dd = dd.mat_from_dense(&rows);
         let v_dd = dd.vec_from_amplitudes(&v);
-        let r_dd = dd.mat_vec_mul(m_dd, v_dd);
+        let r_dd = dd.mat_vec_mul(m_dd, v_dd).unwrap();
         let got = dd.vec_to_amplitudes(r_dd);
         let want = dense_mat_vec(&rows, &v);
         for i in 0..4 {
@@ -737,7 +768,7 @@ mod tests {
         ];
         let a_dd = dd.mat_from_dense(&a);
         let b_dd = dd.mat_from_dense(&b);
-        let p_dd = dd.mat_mat_mul(a_dd, b_dd);
+        let p_dd = dd.mat_mat_mul(a_dd, b_dd).unwrap();
         let got = dd.mat_to_dense(p_dd);
         let want = dense_mat_mat(&a, &b);
         for r in 0..4 {
@@ -756,7 +787,7 @@ mod tests {
         b[6] = Complex::I;
         let a_dd = dd.vec_from_amplitudes(&a);
         let b_dd = dd.vec_from_amplitudes(&b);
-        let s_dd = dd.add_vec(a_dd, b_dd);
+        let s_dd = dd.add_vec(a_dd, b_dd).unwrap();
         let got = dd.vec_to_amplitudes(s_dd);
         for i in 0..8 {
             assert!(got[i].approx_eq(a[i] + b[i], 1e-10), "index {i}");
@@ -768,8 +799,8 @@ mod tests {
         let mut dd = DdManager::new();
         let a = dd.vec_basis(3, 1);
         let b = dd.vec_basis(3, 5);
-        let ab = dd.add_vec(a, b);
-        let ba = dd.add_vec(b, a);
+        let ab = dd.add_vec(a, b).unwrap();
+        let ba = dd.add_vec(b, a).unwrap();
         assert_eq!(ab, ba);
     }
 
@@ -778,13 +809,13 @@ mod tests {
         let mut dd = DdManager::new();
         let id = dd.mat_identity(4);
         let h = dd.mat_single_qubit(4, 2, h_gate());
-        let left = dd.mat_mat_mul(id, h);
-        let right = dd.mat_mat_mul(h, id);
+        let left = dd.mat_mat_mul(id, h).unwrap();
+        let right = dd.mat_mat_mul(h, id).unwrap();
         assert_eq!(left, h);
         assert_eq!(right, h);
 
         let v = dd.vec_basis(4, 7);
-        let iv = dd.mat_vec_mul(id, v);
+        let iv = dd.mat_vec_mul(id, v).unwrap();
         assert_eq!(iv, v);
     }
 
@@ -792,7 +823,7 @@ mod tests {
     fn hadamard_squares_to_identity() {
         let mut dd = DdManager::new();
         let h = dd.mat_single_qubit(3, 1, h_gate());
-        let hh = dd.mat_mat_mul(h, h);
+        let hh = dd.mat_mat_mul(h, h).unwrap();
         let id = dd.mat_identity(3);
         assert_eq!(hh, id);
     }
@@ -802,9 +833,9 @@ mod tests {
         let mut dd = DdManager::new();
         let cx = dd.mat_controlled(3, &[Control::pos(2)], 0, x_gate());
         let h = dd.mat_single_qubit(3, 1, h_gate());
-        let u = dd.mat_mat_mul(cx, h);
-        let udag = dd.mat_conj_transpose(u);
-        let product = dd.mat_mat_mul(udag, u);
+        let u = dd.mat_mat_mul(cx, h).unwrap();
+        let udag = dd.mat_conj_transpose(u).unwrap();
+        let product = dd.mat_mat_mul(udag, u).unwrap();
         let id = dd.mat_identity(3);
         assert_eq!(product, id);
     }
@@ -815,8 +846,8 @@ mod tests {
         let s_gate: Matrix2 = [[Complex::ONE, Complex::ZERO], [Complex::ZERO, Complex::I]];
         let m = dd.mat_single_qubit(2, 0, s_gate);
         let back = {
-            let t = dd.mat_conj_transpose(m);
-            dd.mat_conj_transpose(t)
+            let t = dd.mat_conj_transpose(m).unwrap();
+            dd.mat_conj_transpose(t).unwrap()
         };
         assert_eq!(back, m);
     }
@@ -827,7 +858,7 @@ mod tests {
         let mut dd = DdManager::new();
         let h1 = dd.mat_single_qubit(1, 0, h_gate());
         let i1 = dd.mat_identity(1);
-        let hi = dd.kron_mat(h1, i1);
+        let hi = dd.kron_mat(h1, i1).unwrap();
         let h_top = dd.mat_single_qubit(2, 0, h_gate());
         assert_eq!(hi, h_top);
     }
@@ -837,7 +868,7 @@ mod tests {
         let mut dd = DdManager::new();
         let a = dd.vec_basis(2, 0b10);
         let b = dd.vec_basis(3, 0b011);
-        let ab = dd.kron_vec(a, b);
+        let ab = dd.kron_vec(a, b).unwrap();
         let direct = dd.vec_basis(5, 0b10011);
         assert_eq!(ab, direct);
     }
@@ -848,8 +879,8 @@ mod tests {
         dd.reset_stats();
         let v = dd.vec_basis(2, 0);
         let h = dd.mat_single_qubit(2, 0, h_gate());
-        let _ = dd.mat_vec_mul(h, v);
-        let _ = dd.mat_mat_mul(h, h);
+        let _ = dd.mat_vec_mul(h, v).unwrap();
+        let _ = dd.mat_mat_mul(h, h).unwrap();
         let stats = dd.stats();
         assert_eq!(stats.mat_vec_mults, 1);
         assert_eq!(stats.mat_mat_mults, 1);
@@ -861,9 +892,9 @@ mod tests {
         let mut dd = DdManager::new();
         let v = dd.vec_basis(6, 0);
         let h = dd.mat_single_qubit(6, 3, h_gate());
-        let r1 = dd.mat_vec_mul(h, v);
+        let r1 = dd.mat_vec_mul(h, v).unwrap();
         let before = dd.stats().mult_recursions;
-        let r2 = dd.mat_vec_mul(h, v);
+        let r2 = dd.mat_vec_mul(h, v).unwrap();
         let after = dd.stats().mult_recursions;
         assert_eq!(r1, r2);
         assert_eq!(before, after, "second multiply must be fully cached");
@@ -895,5 +926,114 @@ mod tests {
         dd.collect_garbage();
         let b = dd.vec_basis(4, 9);
         assert_eq!(a, b, "rebuilding after GC must reuse the protected nodes");
+    }
+
+    // ------------------------------------------------------------------
+    // Governor
+    // ------------------------------------------------------------------
+
+    /// One round of budget-tripping work: H everywhere, then a ladder of
+    /// round-dependent controlled phases. Varying `round` defeats the
+    /// compute caches and keeps allocating fresh nodes and weights, so the
+    /// live-node count and table footprint both keep climbing.
+    fn budget_workload(dd: &mut DdManager, n: u32, round: u32) -> Result<VecEdge, DdError> {
+        let mut v = dd.vec_basis(n, 0);
+        for q in 0..n {
+            let h = dd.mat_single_qubit(n, q, h_gate());
+            v = dd.mat_vec_mul(h, v)?;
+        }
+        for q in 1..n {
+            let theta = 0.37 * (q as f64 + 1.0) + 1e-3 * round as f64;
+            let p: Matrix2 = [
+                [Complex::ONE, Complex::ZERO],
+                [Complex::ZERO, Complex::from_polar(1.0, theta)],
+            ];
+            let g = dd.mat_controlled(n, &[Control::pos(q - 1)], q, p);
+            v = dd.mat_vec_mul(g, v)?;
+        }
+        Ok(v)
+    }
+
+    /// Repeats the workload until the governor trips (or gives up).
+    fn run_until_err(dd: &mut DdManager, n: u32, rounds: u32) -> Result<VecEdge, DdError> {
+        let mut result = Ok(VecEdge::ZERO);
+        for round in 0..rounds {
+            result = budget_workload(dd, n, round);
+            if result.is_err() {
+                break;
+            }
+        }
+        result
+    }
+
+    #[test]
+    fn live_node_budget_trips_with_typed_error() {
+        let config = DdConfig {
+            max_live_nodes: Some(8),
+            ..DdConfig::default()
+        };
+        let mut dd = DdManager::with_config(config);
+        match run_until_err(&mut dd, 12, 200) {
+            Err(DdError::BudgetExceeded) => {
+                let b = dd.last_breach().expect("breach details recorded");
+                assert_eq!((b.resource, b.limit), (Resource::LiveNodes, 8));
+                assert!(b.observed > 8);
+            }
+            other => panic!("expected live-node budget error, got {other:?}"),
+        }
+        // The manager is still consistent: GC runs and fresh work succeeds.
+        dd.collect_garbage();
+        dd.config.max_live_nodes = None;
+        let v = dd.vec_basis(3, 1);
+        let h = dd.mat_single_qubit(3, 0, h_gate());
+        let _ = dd.mat_vec_mul(h, v).unwrap();
+    }
+
+    #[test]
+    fn expired_deadline_trips_promptly() {
+        let mut dd = DdManager::new();
+        dd.set_deadline(Some(std::time::Instant::now()));
+        let err = run_until_err(&mut dd, 10, 4).unwrap_err();
+        assert_eq!(err, DdError::DeadlineExceeded);
+        dd.set_deadline(None);
+        budget_workload(&mut dd, 10, 0).unwrap();
+    }
+
+    #[test]
+    fn cancel_token_unwinds_within_one_interval() {
+        let mut dd = DdManager::new();
+        let token = crate::CancelToken::new();
+        dd.set_cancel_token(Some(token.clone()));
+        budget_workload(&mut dd, 10, 0).unwrap();
+        token.cancel();
+        // An immediate check observes the latch without waiting for the
+        // amortized countdown…
+        assert_eq!(dd.check_interrupts(), Err(DdError::Cancelled));
+        // …and in-flight op streams unwind within one charge interval.
+        let err = run_until_err(&mut dd, 10, 50).unwrap_err();
+        assert_eq!(err, DdError::Cancelled);
+        dd.set_cancel_token(None);
+        budget_workload(&mut dd, 10, 0).unwrap();
+    }
+
+    #[test]
+    fn table_byte_budget_trips_with_typed_error() {
+        // Tiny tables so the baseline fits; growth then trips the budget.
+        let config = DdConfig {
+            compute_table_bits: 4,
+            unique_table_bits: 4,
+            max_table_bytes: Some(64 * 1024),
+            max_live_nodes: None,
+            ..DdConfig::default()
+        };
+        let mut dd = DdManager::with_config(config);
+        match run_until_err(&mut dd, 14, 400) {
+            Err(DdError::BudgetExceeded) => {
+                let b = dd.last_breach().expect("breach details recorded");
+                assert_eq!(b.resource, Resource::TableBytes);
+                assert!(b.observed > b.limit);
+            }
+            other => panic!("expected table-byte budget error, got {other:?}"),
+        }
     }
 }

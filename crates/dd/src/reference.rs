@@ -365,8 +365,8 @@ mod tests {
             let mut s = dd.vec_basis(2, 0);
             let hm = dd.mat_single_qubit(2, 0, h());
             let cx = dd.mat_controlled(2, &[crate::Control::pos(0)], 1, x());
-            s = dd.mat_vec_mul(hm, s);
-            s = dd.mat_vec_mul(cx, s);
+            s = dd.mat_vec_mul(hm, s).unwrap();
+            s = dd.mat_vec_mul(cx, s).unwrap();
 
             let outcome_dense = dense.measure(0, draw);
             let (outcome_dd, s) = dd.measure_qubit(s, 0, draw);

@@ -1,0 +1,648 @@
+//! Versioned binary checkpoints of a simulation's DD state.
+//!
+//! A [`Snapshot`] captures everything needed to resume a run and reproduce
+//! it *bit for bit*:
+//!
+//! * the **entire complex table** in insertion order — not just the weights
+//!   reachable from the state, because tolerance bucketing makes interning
+//!   history-dependent: the first value interned in a bucket becomes the
+//!   representative for every later near-equal value, so replaying with a
+//!   pruned table would intern future weights to different representatives
+//!   and drift the amplitudes;
+//! * the state vector DD as a topologically ordered node list (children
+//!   before parents). Stored pivot child weights are exactly ONE thanks to
+//!   canonical normalization, so rebuilding through
+//!   [`DdManager::make_vec_node`] reproduces the identical diagram with no
+//!   re-normalization drift;
+//! * the engine-level cursor: instruction pointer into the flattened op
+//!   stream, classical bits, and the RNG's raw xoshiro256** state, so
+//!   post-resume measurements consume the same random stream;
+//! * a hash of the circuit source, so a snapshot cannot silently be resumed
+//!   against a different circuit.
+//!
+//! # On-disk format (version 1)
+//!
+//! Little-endian throughout:
+//!
+//! ```text
+//! magic      8 bytes  "DDSNAP01"
+//! version    u32      1
+//! qubits     u32
+//! next_op    u64      index into the flattened op stream
+//! circ_hash  u64      FNV-1a of the circuit's canonical text
+//! rng        4×u64    xoshiro256** state words
+//! tolerance  f64      complex-table tolerance (bit pattern)
+//! #cbits     u32      then one byte per classical bit (0/1)
+//! #weights   u32      then (re: f64, im: f64) per table entry, in order
+//! #nodes     u32      then per node: level u32, 2 × (child u32, weight u32)
+//!                     child == 0xFFFF_FFFF means the terminal node
+//! root       child u32, weight u32
+//! checksum   u64      FNV-1a over every preceding byte
+//! ```
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use ddsim_complex::{Complex, ComplexId, ComplexTable};
+
+use crate::edge::{NodeId, VecEdge};
+use crate::manager::{DdConfig, DdManager};
+
+/// File magic: snapshot format, version baked into the tag for `file(1)`.
+const MAGIC: &[u8; 8] = b"DDSNAP01";
+/// Current format version.
+const VERSION: u32 = 1;
+/// Child reference denoting the terminal node.
+const TERMINAL_REF: u32 = u32::MAX;
+
+/// A serialized edge: index into the snapshot's node list (or
+/// [`TERMINAL_REF`]) plus a complex-table weight id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapEdge {
+    /// Index into [`Snapshot::nodes`], or [`u32::MAX`] for the terminal.
+    pub node: u32,
+    /// Index into [`Snapshot::weights`].
+    pub weight: u32,
+}
+
+/// A serialized vector-DD node. Nodes appear children-before-parents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapNode {
+    /// The node's level (1 = bottommost qubit).
+    pub level: u32,
+    /// The two successor edges (upper / lower half).
+    pub children: [SnapEdge; 2],
+}
+
+/// A resumable checkpoint of a simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// Qubit count of the captured state.
+    pub qubits: u32,
+    /// Index of the next (not yet executed) op in the flattened stream.
+    pub next_op: u64,
+    /// FNV-1a hash of the circuit's canonical text; checked on resume.
+    pub circuit_hash: u64,
+    /// Raw xoshiro256** state of the engine RNG.
+    pub rng_state: [u64; 4],
+    /// Classical register contents.
+    pub classical_bits: Vec<bool>,
+    /// Complex-table tolerance the run was started with.
+    pub tolerance: f64,
+    /// The full complex table in insertion order (bit-exact f64 pairs).
+    pub weights: Vec<Complex>,
+    /// The state DD, topologically ordered (children before parents).
+    pub nodes: Vec<SnapNode>,
+    /// The root edge of the state DD.
+    pub root: SnapEdge,
+}
+
+/// Failure to read, validate, or restore a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with the snapshot magic.
+    BadMagic,
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// Structural validation failed (checksum, dangling reference, bad
+    /// complex table, …). The message names the first violation.
+    Corrupt(String),
+    /// The snapshot's circuit hash does not match the circuit it is being
+    /// resumed against.
+    CircuitMismatch {
+        /// Hash stored in the snapshot.
+        expected: u64,
+        /// Hash of the circuit offered for resumption.
+        actual: u64,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::BadMagic => f.write_str("not a DD snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v} (supported: {VERSION})")
+            }
+            SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            SnapshotError::CircuitMismatch { expected, actual } => write!(
+                f,
+                "snapshot was taken from a different circuit \
+                 (hash {expected:#018x}, offered {actual:#018x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// FNV-1a over a byte slice; also used for the circuit-text hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+impl Snapshot {
+    /// Captures the manager's state DD rooted at `root` plus the
+    /// engine-level cursor fields.
+    ///
+    /// The node list is produced by an iterative post-order walk so deep
+    /// (wide-register) diagrams cannot overflow the thread stack.
+    pub fn capture(
+        dd: &DdManager,
+        root: VecEdge,
+        qubits: u32,
+        next_op: u64,
+        circuit_hash: u64,
+        rng_state: [u64; 4],
+        classical_bits: Vec<bool>,
+    ) -> Snapshot {
+        let mut order: Vec<NodeId> = Vec::new();
+        let mut index_of: std::collections::HashMap<NodeId, u32> = std::collections::HashMap::new();
+        if !root.node.is_terminal() && !root.is_zero() {
+            // Iterative DFS with an explicit "children emitted?" marker.
+            let mut stack: Vec<(NodeId, bool)> = vec![(root.node, false)];
+            while let Some((id, expanded)) = stack.pop() {
+                if index_of.contains_key(&id) {
+                    continue;
+                }
+                if expanded {
+                    index_of.insert(id, order.len() as u32);
+                    order.push(id);
+                } else {
+                    stack.push((id, true));
+                    for child in dd.vec_node(id).edges {
+                        if !child.node.is_terminal() && !index_of.contains_key(&child.node) {
+                            stack.push((child.node, false));
+                        }
+                    }
+                }
+            }
+        }
+        let encode = |e: VecEdge| SnapEdge {
+            node: if e.node.is_terminal() {
+                TERMINAL_REF
+            } else {
+                index_of[&e.node]
+            },
+            weight: e.weight.index() as u32,
+        };
+        let nodes = order
+            .iter()
+            .map(|&id| {
+                let n = dd.vec_node(id);
+                SnapNode {
+                    level: n.level,
+                    children: [encode(n.edges[0]), encode(n.edges[1])],
+                }
+            })
+            .collect();
+        Snapshot {
+            qubits,
+            next_op,
+            circuit_hash,
+            rng_state,
+            classical_bits,
+            tolerance: dd.complex.tolerance(),
+            weights: dd.complex.values().to_vec(),
+            nodes,
+            root: encode(root),
+        }
+    }
+
+    /// Rebuilds a fresh manager holding the captured state.
+    ///
+    /// `config` supplies everything *except* the tolerance, which is taken
+    /// from the snapshot (a different tolerance would re-bucket the table
+    /// and break bit-exactness). Returns the manager and the root edge,
+    /// ref-pinned against garbage collection.
+    pub fn restore(&self, mut config: DdConfig) -> Result<(DdManager, VecEdge), SnapshotError> {
+        self.validate()?;
+        config.tolerance = self.tolerance;
+        let mut dd = DdManager::with_config(config);
+        dd.complex = ComplexTable::from_values(self.tolerance, &self.weights)
+            .map_err(SnapshotError::Corrupt)?;
+        let weight_of = |w: u32| ComplexId::from_index(w as usize);
+        let mut built: Vec<VecEdge> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let decode = |e: SnapEdge| -> VecEdge {
+                if e.node == TERMINAL_REF {
+                    VecEdge {
+                        node: NodeId::TERMINAL,
+                        weight: weight_of(e.weight),
+                    }
+                } else {
+                    let base = built[e.node as usize];
+                    VecEdge {
+                        node: base.node,
+                        weight: weight_of(e.weight),
+                    }
+                }
+            };
+            let children = [decode(node.children[0]), decode(node.children[1])];
+            // Captured nodes are canonical (pivot child weight exactly ONE),
+            // so make_vec_node's normalization is the identity and the edge
+            // it returns has weight ONE: no drift is introduced.
+            built.push(dd.make_vec_node(node.level, children));
+        }
+        let root = if self.root.node == TERMINAL_REF {
+            VecEdge {
+                node: NodeId::TERMINAL,
+                weight: weight_of(self.root.weight),
+            }
+        } else {
+            let base = built[self.root.node as usize];
+            VecEdge {
+                node: base.node,
+                weight: weight_of(self.root.weight),
+            }
+        };
+        dd.inc_ref_vec(root);
+        Ok((dd, root))
+    }
+
+    /// Structural validation: reference ranges, topological order, weight
+    /// table sanity. Called by [`restore`](Self::restore) and
+    /// [`read_from`](Self::read_from).
+    fn validate(&self) -> Result<(), SnapshotError> {
+        let corrupt = |msg: String| Err(SnapshotError::Corrupt(msg));
+        if self.weights.len() < 2 {
+            return corrupt("complex table must hold at least zero and one".into());
+        }
+        let check_edge = |e: SnapEdge, parent: usize| -> Result<(), SnapshotError> {
+            if e.node != TERMINAL_REF && e.node as usize >= parent {
+                return Err(SnapshotError::Corrupt(format!(
+                    "edge to node {} breaks topological order at node {}",
+                    e.node, parent
+                )));
+            }
+            if e.weight as usize >= self.weights.len() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "weight id {} out of range ({} weights)",
+                    e.weight,
+                    self.weights.len()
+                )));
+            }
+            Ok(())
+        };
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.level == 0 || node.level > self.qubits {
+                return corrupt(format!(
+                    "node {} has level {} of {}",
+                    i, node.level, self.qubits
+                ));
+            }
+            check_edge(node.children[0], i)?;
+            check_edge(node.children[1], i)?;
+        }
+        check_edge(self.root, self.nodes.len())?;
+        if self.classical_bits.len() > u32::MAX as usize {
+            return corrupt("classical register too large".into());
+        }
+        if self.rng_state == [0; 4] {
+            return corrupt("all-zero RNG state".into());
+        }
+        Ok(())
+    }
+
+    /// Serializes to the version-1 binary format.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), SnapshotError> {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&self.qubits.to_le_bytes());
+        buf.extend_from_slice(&self.next_op.to_le_bytes());
+        buf.extend_from_slice(&self.circuit_hash.to_le_bytes());
+        for word in self.rng_state {
+            buf.extend_from_slice(&word.to_le_bytes());
+        }
+        buf.extend_from_slice(&self.tolerance.to_bits().to_le_bytes());
+        buf.extend_from_slice(&(self.classical_bits.len() as u32).to_le_bytes());
+        buf.extend(self.classical_bits.iter().map(|&b| b as u8));
+        buf.extend_from_slice(&(self.weights.len() as u32).to_le_bytes());
+        for c in &self.weights {
+            buf.extend_from_slice(&c.re.to_bits().to_le_bytes());
+            buf.extend_from_slice(&c.im.to_bits().to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.nodes.len() as u32).to_le_bytes());
+        for node in &self.nodes {
+            buf.extend_from_slice(&node.level.to_le_bytes());
+            for child in node.children {
+                buf.extend_from_slice(&child.node.to_le_bytes());
+                buf.extend_from_slice(&child.weight.to_le_bytes());
+            }
+        }
+        buf.extend_from_slice(&self.root.node.to_le_bytes());
+        buf.extend_from_slice(&self.root.weight.to_le_bytes());
+        let checksum = fnv1a(&buf);
+        buf.extend_from_slice(&checksum.to_le_bytes());
+        w.write_all(&buf)?;
+        Ok(())
+    }
+
+    /// Deserializes and validates a version-1 snapshot.
+    pub fn read_from(r: &mut impl Read) -> Result<Snapshot, SnapshotError> {
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf)?;
+        if buf.len() < MAGIC.len() + 8 || &buf[..MAGIC.len()] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let (body, tail) = buf.split_at(buf.len() - 8);
+        // `tail` is exactly 8 bytes by construction; the conversion cannot
+        // fail (same for the `take(n)` slices in `Cursor` below).
+        let stored = u64::from_le_bytes(tail.try_into().unwrap());
+        if fnv1a(body) != stored {
+            return Err(SnapshotError::Corrupt("checksum mismatch".into()));
+        }
+        let mut cur = Cursor {
+            buf: body,
+            pos: MAGIC.len(),
+        };
+        let version = cur.u32()?;
+        if version != VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let qubits = cur.u32()?;
+        let next_op = cur.u64()?;
+        let circuit_hash = cur.u64()?;
+        let rng_state = [cur.u64()?, cur.u64()?, cur.u64()?, cur.u64()?];
+        let tolerance = f64::from_bits(cur.u64()?);
+        let n_cbits = cur.u32()? as usize;
+        let mut classical_bits = Vec::with_capacity(n_cbits);
+        for _ in 0..n_cbits {
+            classical_bits.push(cur.u8()? != 0);
+        }
+        let n_weights = cur.u32()? as usize;
+        let mut weights = Vec::with_capacity(n_weights);
+        for _ in 0..n_weights {
+            let re = f64::from_bits(cur.u64()?);
+            let im = f64::from_bits(cur.u64()?);
+            weights.push(Complex::new(re, im));
+        }
+        let n_nodes = cur.u32()? as usize;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let level = cur.u32()?;
+            let mut children = [SnapEdge {
+                node: TERMINAL_REF,
+                weight: 0,
+            }; 2];
+            for child in &mut children {
+                child.node = cur.u32()?;
+                child.weight = cur.u32()?;
+            }
+            nodes.push(SnapNode { level, children });
+        }
+        let root = SnapEdge {
+            node: cur.u32()?,
+            weight: cur.u32()?,
+        };
+        if cur.pos != body.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} trailing bytes",
+                body.len() - cur.pos
+            )));
+        }
+        let snapshot = Snapshot {
+            qubits,
+            next_op,
+            circuit_hash,
+            rng_state,
+            classical_bits,
+            tolerance,
+            weights,
+            nodes,
+            root,
+        };
+        snapshot.validate()?;
+        Ok(snapshot)
+    }
+
+    /// Writes the snapshot to `path` atomically (temp file + rename), so a
+    /// crash mid-checkpoint never leaves a truncated snapshot behind.
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        let tmp = path.with_extension("tmp");
+        let mut file = std::fs::File::create(&tmp)?;
+        self.write_to(&mut file)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and validates a snapshot from `path`.
+    pub fn load(path: &Path) -> Result<Snapshot, SnapshotError> {
+        let mut file = std::fs::File::open(path)?;
+        Snapshot::read_from(&mut file)
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], SnapshotError> {
+        if self.pos + n > self.buf.len() {
+            return Err(SnapshotError::Corrupt("truncated snapshot body".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entangled_state(dd: &mut DdManager, n: u32) -> VecEdge {
+        let h = Complex::SQRT2_INV;
+        let h_gate = [[h, h], [h, -h]];
+        let mut state = dd.vec_zero_state(n);
+        state = dd.apply_single_qubit(0, h_gate, state).unwrap();
+        for q in 1..n {
+            state = dd
+                .apply_controlled(
+                    &[crate::Control::pos(q - 1)],
+                    q,
+                    [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]],
+                    state,
+                )
+                .unwrap();
+        }
+        // A phase layer to get non-trivial weights into the table.
+        for q in 0..n {
+            let phase = Complex::from_polar(1.0, 0.37 * (q as f64 + 1.0));
+            state = dd
+                .apply_single_qubit(
+                    q,
+                    [[Complex::ONE, Complex::ZERO], [Complex::ZERO, phase]],
+                    state,
+                )
+                .unwrap();
+        }
+        state
+    }
+
+    fn capture_of(dd: &DdManager, root: VecEdge, n: u32) -> Snapshot {
+        Snapshot::capture(dd, root, n, 7, 0xfeed, [1, 2, 3, 4], vec![true, false])
+    }
+
+    #[test]
+    fn round_trip_preserves_amplitudes_bit_for_bit() {
+        let mut dd = DdManager::new();
+        let n = 6;
+        let state = entangled_state(&mut dd, n);
+        let before = dd.vec_to_amplitudes(state);
+
+        let snap = capture_of(&dd, state, n);
+        let mut bytes = Vec::new();
+        snap.write_to(&mut bytes).unwrap();
+        let read = Snapshot::read_from(&mut bytes.as_slice()).unwrap();
+        assert_eq!(read, snap);
+
+        let (restored, root) = read.restore(DdConfig::default()).unwrap();
+        let after = restored.vec_to_amplitudes(root);
+        assert_eq!(before.len(), after.len());
+        for (a, b) in before.iter().zip(&after) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits(), "real part drifted");
+            assert_eq!(a.im.to_bits(), b.im.to_bits(), "imaginary part drifted");
+        }
+        assert_eq!(read.next_op, 7);
+        assert_eq!(read.rng_state, [1, 2, 3, 4]);
+        assert_eq!(read.classical_bits, vec![true, false]);
+    }
+
+    #[test]
+    fn restored_manager_interns_to_the_same_representatives() {
+        // The decisive property for bit-exact resume: interning a value
+        // near an existing bucket representative must resolve to the SAME
+        // id in the restored table as in the original.
+        let mut dd = DdManager::new();
+        let n = 4;
+        let state = entangled_state(&mut dd, n);
+        let snap = capture_of(&dd, state, n);
+        let (mut restored, _) = snap.restore(DdConfig::default()).unwrap();
+        let probe = Complex::from_polar(1.0, 0.37); // re-used phase value
+        let a = dd.intern(probe);
+        let b = restored.intern(probe);
+        assert_eq!(a, b, "bucket representatives must survive the round trip");
+        assert_eq!(dd.complex.len(), restored.complex.len());
+    }
+
+    #[test]
+    fn zero_and_terminal_roots_round_trip() {
+        let dd = DdManager::new();
+        let snap = Snapshot::capture(&dd, VecEdge::ZERO, 3, 0, 0, [9, 9, 9, 9], vec![]);
+        assert!(snap.nodes.is_empty());
+        let mut bytes = Vec::new();
+        snap.write_to(&mut bytes).unwrap();
+        let read = Snapshot::read_from(&mut bytes.as_slice()).unwrap();
+        let (restored, r) = read.restore(DdConfig::default()).unwrap();
+        assert!(r.is_zero());
+        drop(restored);
+    }
+
+    #[test]
+    fn corrupt_bytes_are_rejected_with_typed_errors() {
+        let mut dd = DdManager::new();
+        let state = entangled_state(&mut dd, 3);
+        let snap = capture_of(&dd, state, 3);
+        let mut bytes = Vec::new();
+        snap.write_to(&mut bytes).unwrap();
+
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            Snapshot::read_from(&mut bad.as_slice()),
+            Err(SnapshotError::BadMagic)
+        ));
+
+        // Bit flip in the body trips the checksum.
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x10;
+        assert!(matches!(
+            Snapshot::read_from(&mut bad.as_slice()),
+            Err(SnapshotError::Corrupt(_))
+        ));
+
+        // Truncation trips the checksum or the body reader.
+        let bad = &bytes[..bytes.len() - 9];
+        assert!(Snapshot::read_from(&mut &bad[..]).is_err());
+
+        // Future version is refused, not misparsed.
+        let mut bad = bytes.clone();
+        bad[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let body_len = bad.len() - 8;
+        let sum = fnv1a(&bad[..body_len]);
+        let tail = body_len;
+        bad[tail..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            Snapshot::read_from(&mut bad.as_slice()),
+            Err(SnapshotError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_dangling_and_unordered_references() {
+        let mut dd = DdManager::new();
+        let state = entangled_state(&mut dd, 3);
+        let mut snap = capture_of(&dd, state, 3);
+        // Forward reference breaks topological order.
+        snap.nodes[0].children[0].node = snap.nodes.len() as u32 - 1;
+        assert!(matches!(
+            snap.restore(DdConfig::default()),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn save_and_load_via_tempfile() {
+        let mut dd = DdManager::new();
+        let state = entangled_state(&mut dd, 5);
+        let snap = capture_of(&dd, state, 5);
+        let dir = std::env::temp_dir().join("ddsim-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.ddsnap");
+        snap.save(&path).unwrap();
+        let read = Snapshot::load(&path).unwrap();
+        assert_eq!(read, snap);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -148,6 +148,17 @@ impl<K: Copy + PartialEq + Hash> UniqueTable<K> {
         self.len
     }
 
+    /// Heap bytes held by the slot array (capacity-based, O(1)).
+    ///
+    /// This is the accounting point behind `DdConfig::max_table_bytes`:
+    /// [`grow`](Self::grow) itself stays infallible (failing a rehash
+    /// mid-insert would strand a node outside the table), so the byte
+    /// budget is enforced by the manager's amortized governor check right
+    /// after the growth lands, with overshoot bounded by one doubling.
+    pub fn bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Option<(K, NodeId)>>()
+    }
+
     /// Current slot capacity.
     #[cfg(test)]
     pub fn capacity(&self) -> usize {

@@ -1,0 +1,14 @@
+//! The governed recursions return `Result<Edge, DdError>` at every level,
+//! so the error must stay a bare discriminant: any payload (budget
+//! limit/observed details live on the manager instead — see
+//! `DdManager::last_breach`) would push the `Result` past two registers
+//! and tax the success path of every multiply.
+
+use ddsim_dd::{DdError, MatEdge, VecEdge};
+
+#[test]
+fn governor_types_stay_register_sized() {
+    assert_eq!(std::mem::size_of::<DdError>(), 1);
+    assert!(std::mem::size_of::<Result<VecEdge, DdError>>() <= 16);
+    assert!(std::mem::size_of::<Result<MatEdge, DdError>>() <= 16);
+}

@@ -46,7 +46,7 @@ fn collect_after_every_gate_preserves_the_state() {
                 1 => dd.mat_single_qubit(n, target, t_gate()),
                 _ => dd.mat_controlled(n, &[Control::pos(control)], target, x_gate()),
             };
-            let next = dd.mat_vec_mul(m, state);
+            let next = dd.mat_vec_mul(m, state).unwrap();
             dd.inc_ref_vec(next);
             dd.dec_ref_vec(state);
             state = next;
@@ -69,7 +69,7 @@ fn collect_after_every_gate_preserves_the_state() {
                 1 => dd2.mat_single_qubit(n, target, t_gate()),
                 _ => dd2.mat_controlled(n, &[Control::pos(control)], target, x_gate()),
             };
-            let next = dd2.mat_vec_mul(m, replay);
+            let next = dd2.mat_vec_mul(m, replay).unwrap();
             dd2.inc_ref_vec(next);
             dd2.dec_ref_vec(replay);
             replay = next;
@@ -99,14 +99,14 @@ fn aggressive_gc_threshold_still_computes_correctly() {
     // Build a GHZ state with constant collections.
     let h = dd.mat_single_qubit(n, 0, h_gate());
     dd.inc_ref_mat(h);
-    let next = dd.mat_vec_mul(h, state);
+    let next = dd.mat_vec_mul(h, state).unwrap();
     dd.inc_ref_vec(next);
     dd.dec_ref_vec(state);
     state = next;
     dd.maybe_collect();
     for q in 1..n {
         let cx = dd.mat_controlled(n, &[Control::pos(q - 1)], q, x_gate());
-        let next = dd.mat_vec_mul(cx, state);
+        let next = dd.mat_vec_mul(cx, state).unwrap();
         dd.inc_ref_vec(next);
         dd.dec_ref_vec(state);
         state = next;
@@ -192,7 +192,7 @@ fn collapse_then_collect_is_safe() {
     let mut dd = DdManager::new();
     let h = dd.mat_single_qubit(3, 0, h_gate());
     let z = dd.vec_zero_state(3);
-    let s = dd.mat_vec_mul(h, z);
+    let s = dd.mat_vec_mul(h, z).unwrap();
     dd.inc_ref_vec(s);
     let collapsed = dd.collapse(s, 0, true);
     dd.inc_ref_vec(collapsed);

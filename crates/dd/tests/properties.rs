@@ -70,7 +70,7 @@ proptest! {
         let mut dd = DdManager::new();
         let m_dd = dd.mat_from_dense(&m);
         let v_dd = dd.vec_from_amplitudes(&v);
-        let r_dd = dd.mat_vec_mul(m_dd, v_dd);
+        let r_dd = dd.mat_vec_mul(m_dd, v_dd).unwrap();
         let got = dd.vec_to_amplitudes(r_dd);
 
         let mut dense = DenseVector::from_amplitudes(v.clone());
@@ -85,7 +85,7 @@ proptest! {
         let mut dd = DdManager::new();
         let a_dd = dd.mat_from_dense(&a);
         let b_dd = dd.mat_from_dense(&b);
-        let p_dd = dd.mat_mat_mul(a_dd, b_dd);
+        let p_dd = dd.mat_mat_mul(a_dd, b_dd).unwrap();
         let got = DenseMatrix::from_rows(dd.mat_to_dense(p_dd));
         let want = DenseMatrix::from_rows(a).mul(&DenseMatrix::from_rows(b));
         prop_assert!(want.max_deviation(&got) < 1e-5);
@@ -99,12 +99,12 @@ proptest! {
         let m2_dd = dd.mat_from_dense(&m2);
         let v_dd = dd.vec_from_amplitudes(&v);
         let seq = {
-            let t = dd.mat_vec_mul(m1_dd, v_dd);
-            dd.mat_vec_mul(m2_dd, t)
+            let t = dd.mat_vec_mul(m1_dd, v_dd).unwrap();
+            dd.mat_vec_mul(m2_dd, t).unwrap()
         };
         let combined = {
-            let p = dd.mat_mat_mul(m2_dd, m1_dd);
-            dd.mat_vec_mul(p, v_dd)
+            let p = dd.mat_mat_mul(m2_dd, m1_dd).unwrap();
+            dd.mat_vec_mul(p, v_dd).unwrap()
         };
         let xs = dd.vec_to_amplitudes(seq);
         let ys = dd.vec_to_amplitudes(combined);
@@ -122,7 +122,7 @@ proptest! {
         let mut dd = DdManager::new();
         let g = dd.mat_single_qubit(N, target, u);
         let v_dd = dd.vec_from_amplitudes(&v);
-        let r = dd.mat_vec_mul(g, v_dd);
+        let r = dd.mat_vec_mul(g, v_dd).unwrap();
         let got = dd.vec_to_amplitudes(r);
 
         let mut dense = DenseVector::from_amplitudes(v);
@@ -141,7 +141,7 @@ proptest! {
         let mut dd = DdManager::new();
         let g = dd.mat_controlled(N, &[Control::pos(control)], target, u);
         let v_dd = dd.vec_from_amplitudes(&v);
-        let r = dd.mat_vec_mul(g, v_dd);
+        let r = dd.mat_vec_mul(g, v_dd).unwrap();
         let got = dd.vec_to_amplitudes(r);
 
         let mut dense = DenseVector::from_amplitudes(v);
@@ -158,7 +158,7 @@ proptest! {
         let mut dd = DdManager::new();
         let g = dd.mat_single_qubit(N, target, u);
         let v_dd = dd.vec_from_amplitudes(&v);
-        let r = dd.mat_vec_mul(g, v_dd);
+        let r = dd.mat_vec_mul(g, v_dd).unwrap();
         let after = dd.vec_norm_sqr(r);
         prop_assert!((after - norm).abs() / norm < 1e-6);
     }
@@ -167,8 +167,8 @@ proptest! {
     fn gate_unitarity_u_dagger_u(u in gate2(), target in 0u32..N) {
         let mut dd = DdManager::new();
         let g = dd.mat_single_qubit(N, target, u);
-        let gd = dd.mat_conj_transpose(g);
-        let p = dd.mat_mat_mul(gd, g);
+        let gd = dd.mat_conj_transpose(g).unwrap();
+        let p = dd.mat_mat_mul(gd, g).unwrap();
         let id = dd.mat_identity(N);
         let dense_p = DenseMatrix::from_rows(dd.mat_to_dense(p));
         let dense_id = DenseMatrix::from_rows(dd.mat_to_dense(id));
@@ -180,8 +180,8 @@ proptest! {
         let mut dd = DdManager::new();
         let a_dd = dd.vec_from_amplitudes(&a);
         let b_dd = dd.vec_from_amplitudes(&b);
-        let ab = dd.add_vec(a_dd, b_dd);
-        let ba = dd.add_vec(b_dd, a_dd);
+        let ab = dd.add_vec(a_dd, b_dd).unwrap();
+        let ba = dd.add_vec(b_dd, a_dd).unwrap();
         prop_assert_eq!(ab, ba);
         let got = dd.vec_to_amplitudes(ab);
         for i in 0..a.len() {
@@ -212,8 +212,8 @@ proptest! {
         }
         let mut dd = DdManager::new();
         let m = dd.mat_permutation(N, |x| perm[x as usize]);
-        let md = dd.mat_conj_transpose(m);
-        let p = dd.mat_mat_mul(md, m);
+        let md = dd.mat_conj_transpose(m).unwrap();
+        let p = dd.mat_mat_mul(md, m).unwrap();
         let id = dd.mat_identity(N);
         prop_assert_eq!(p, id);
     }
@@ -294,7 +294,7 @@ fn run_ops(
             Some(c) if c != target => dd.mat_controlled(N, &[Control::pos(*c)], *target, *u),
             _ => dd.mat_single_qubit(N, *target, *u),
         };
-        let next = dd.mat_vec_mul(gate, state);
+        let next = dd.mat_vec_mul(gate, state).unwrap();
         dd.dec_ref_vec(state);
         dd.inc_ref_vec(next);
         state = next;
@@ -385,15 +385,15 @@ proptest! {
                     let ctrls = [Control::pos(*c)];
                     (
                         dd.mat_controlled(N, &ctrls, *target, *u),
-                        dd.apply_controlled(&ctrls, *target, *u, fast),
+                        dd.apply_controlled(&ctrls, *target, *u, fast).unwrap(),
                     )
                 }
                 _ => (
                     dd.mat_single_qubit(N, *target, *u),
-                    dd.apply_single_qubit(*target, *u, fast),
+                    dd.apply_single_qubit(*target, *u, fast).unwrap(),
                 ),
             };
-            let next_generic = dd.mat_vec_mul(gate, generic);
+            let next_generic = dd.mat_vec_mul(gate, generic).unwrap();
             dd.dec_ref_vec(generic);
             dd.dec_ref_vec(fast);
             dd.inc_ref_vec(next_generic);

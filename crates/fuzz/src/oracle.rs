@@ -19,10 +19,11 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use ddsim_circuit::{lower_swap, Circuit, Operation};
 use ddsim_core::equivalence::{circuit_unitary, mat_equivalence};
-use ddsim_core::{DdConfig, FaultKind, SimOptions, Simulator, Strategy};
+use ddsim_core::{DdConfig, FaultKind, SimError, SimOptions, Simulator, Strategy};
 use ddsim_dd::reference::DenseVector;
 use ddsim_dd::{DdManager, MatEdge};
 use rand::rngs::StdRng;
@@ -41,8 +42,22 @@ pub struct LatticePoint {
     pub strategy: Strategy,
     /// DD-manager configuration.
     pub dd_config: DdConfig,
+    /// Wall-clock deadline for the run (budget-axis points only).
+    pub deadline: Option<Duration>,
     /// Human-readable name used in failure reports.
     pub label: String,
+}
+
+impl LatticePoint {
+    /// Whether this point runs under a resource budget. Governed points
+    /// are allowed to end in a *clean* governor error ([`SimError`]
+    /// budget/deadline variants); everything else must succeed and agree
+    /// with the dense reference.
+    pub fn governed(&self) -> bool {
+        self.dd_config.max_live_nodes.is_some()
+            || self.dd_config.max_table_bytes.is_some()
+            || self.deadline.is_some()
+    }
 }
 
 /// Settings for [`check_circuit`].
@@ -144,8 +159,41 @@ fn dd_variants(full: bool) -> Vec<(&'static str, DdConfig)> {
     variants
 }
 
+/// The budget axis: configurations whose resource governor is armed
+/// aggressively enough to trip on realistic fuzz circuits. Each point must
+/// end in `Ok` (then agree with the dense reference) or a clean typed
+/// governor error — never a panic or an inconsistent manager.
+fn budget_variants(full: bool) -> Vec<(&'static str, DdConfig, Option<Duration>)> {
+    let base = DdConfig::default();
+    let mut variants = vec![(
+        "budget=nodes256",
+        DdConfig {
+            max_live_nodes: Some(256),
+            ..base
+        },
+        None,
+    )];
+    if full {
+        variants.extend([
+            (
+                "budget=bytes64k",
+                DdConfig {
+                    compute_table_bits: 4,
+                    unique_table_bits: 4,
+                    max_table_bytes: Some(64 * 1024),
+                    ..base
+                },
+                None,
+            ),
+            ("budget=deadline1ms", base, Some(Duration::from_millis(1))),
+        ]);
+    }
+    variants
+}
+
 /// The engine-configuration lattice: every combining strategy crossed with
-/// the DD-manager variants (quick: 5 × 4 = 20 points; full: 5 × 7 = 35).
+/// the DD-manager variants plus the budget axis (quick: 5 × (4 + 1) = 25
+/// points; full: 5 × (7 + 3) = 50).
 pub fn config_lattice(full: bool) -> Vec<LatticePoint> {
     let strategies = [
         Strategy::Sequential,
@@ -160,6 +208,15 @@ pub fn config_lattice(full: bool) -> Vec<LatticePoint> {
             points.push(LatticePoint {
                 strategy,
                 dd_config,
+                deadline: None,
+                label: format!("{} {}", strategy.label(), name),
+            });
+        }
+        for (name, dd_config, deadline) in budget_variants(full) {
+            points.push(LatticePoint {
+                strategy,
+                dd_config,
+                deadline,
                 label: format!("{} {}", strategy.label(), name),
             });
         }
@@ -250,16 +307,33 @@ fn check_point(
             fault: settings.fault,
             ..point.dd_config
         },
+        deadline: point.deadline,
     };
     let run = probe(|| {
         let mut sim = Simulator::with_options(circuit.qubits(), options);
-        sim.run(circuit).map_err(|e| e.to_string())?;
+        if let Err(e) = sim.run(circuit) {
+            // Even after a governor unwind the simulator must stay
+            // consistent and queryable — exercise it before reporting.
+            let _ = sim.state_nodes();
+            let _ = sim.amplitude(0);
+            return Err(e);
+        }
         let dim = 1u64 << circuit.qubits();
         let amplitudes: Vec<_> = (0..dim).map(|i| sim.amplitude(i)).collect();
-        Ok::<_, String>((amplitudes, sim.classical_bits().to_vec()))
+        Ok::<_, SimError>((amplitudes, sim.classical_bits().to_vec()))
     });
     let (amplitudes, bits) = match run {
         Ok(Ok(out)) => out,
+        Ok(Err(
+            e
+            @ (SimError::BudgetExceeded { .. } | SimError::DeadlineExceeded | SimError::Cancelled),
+        )) if point.governed() => {
+            // A governed point ending in a clean typed governor error is a
+            // pass: the whole claim under test is "Ok or clean error,
+            // never a panic or inconsistent state".
+            let _ = e;
+            return None;
+        }
         Ok(Err(e)) => {
             return Some(Failure {
                 lattice_label: point.label.clone(),
@@ -492,8 +566,38 @@ mod tests {
 
     #[test]
     fn lattice_sizes() {
-        assert_eq!(config_lattice(false).len(), 20);
-        assert_eq!(config_lattice(true).len(), 35);
+        assert_eq!(config_lattice(false).len(), 25);
+        assert_eq!(config_lattice(true).len(), 50);
+    }
+
+    #[test]
+    fn budget_points_end_cleanly_on_heavy_circuits() {
+        // A QFT-like all-to-all circuit at 10 qubits blows straight through
+        // a 256-live-node budget; the governed lattice points must swallow
+        // that as a clean typed error (or degrade and succeed) while the
+        // ungoverned points still agree with the dense oracle.
+        let n = 10u32;
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.h(q);
+            for p in (q + 1)..n {
+                c.controlled_gate(
+                    ddsim_circuit::StandardGate::Phase(
+                        std::f64::consts::PI / f64::from(1u32 << (p - q)),
+                    ),
+                    vec![ddsim_dd::Control::pos(p)],
+                    q,
+                );
+            }
+        }
+        let failures = check_circuit(
+            &c,
+            &CheckSettings {
+                full_lattice: true,
+                ..CheckSettings::default()
+            },
+        );
+        assert!(failures.is_empty(), "unexpected failures: {failures:?}");
     }
 
     #[test]

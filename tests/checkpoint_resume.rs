@@ -1,0 +1,232 @@
+//! Checkpoint/resume round-trip properties: interrupting a run at a
+//! checkpoint and resuming from the snapshot must be *bitwise* identical
+//! to the uninterrupted run — amplitudes, classical bits, and the
+//! measurement RNG stream all included.
+//!
+//! A checkpoint acts as a barrier (the pending gate product is flushed
+//! before the snapshot is taken) followed by a reload: the writer
+//! continues from the exact manager state a resumer will rebuild, which
+//! is what makes the round trip bitwise rather than merely
+//! within-tolerance. Semantically it is equivalent to a `Barrier` at
+//! each checkpoint position.
+
+use ddsim_fuzz::generator::{generate, GenConfig, Profile};
+use ddsim_repro::circuit::{Circuit, Operation};
+use ddsim_repro::core::{CheckpointConfig, SimOptions, Simulator, Strategy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn amplitudes_bits(sim: &Simulator) -> Vec<(u64, u64)> {
+    let dim = 1u64 << sim.qubits();
+    (0..dim)
+        .map(|i| {
+            let a = sim.amplitude(i);
+            (a.re.to_bits(), a.im.to_bits())
+        })
+        .collect()
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ddsim-ckpt-{name}-{}", std::process::id()));
+    p
+}
+
+/// Runs `circuit` to completion while checkpointing every `cut` ops, then
+/// resumes from the *last written* snapshot and runs to completion again.
+/// Both runs must agree bitwise (same flush schedule: resumed checkpoints
+/// land on the same op indices because the resume point is a multiple of
+/// `cut`).
+fn assert_resume_matches(circuit: &Circuit, strategy: Strategy, seed: u64, cut: u64, tag: &str) {
+    let options = SimOptions {
+        strategy,
+        seed,
+        ..SimOptions::default()
+    };
+    let path = scratch(&format!("{tag}-a"));
+    let cfg = CheckpointConfig {
+        every_ops: cut,
+        path: path.clone(),
+    };
+
+    let mut full = Simulator::with_options(circuit.qubits(), options);
+    full.run_from(circuit, 0, Some(&cfg))
+        .expect("uninterrupted run");
+    let reference_amps = amplitudes_bits(&full);
+    let reference_bits = full.classical_bits().to_vec();
+    let reference_samples: Vec<u64> = (0..16).map(|_| full.sample()).collect();
+
+    let (mut resumed, next_op) =
+        Simulator::resume_from(&path, circuit, options).expect("snapshot loads");
+    assert!(next_op > 0, "a checkpoint must have been written");
+    assert!(
+        next_op < circuit.flattened().ops().len() as u64,
+        "checkpoint must interrupt mid-circuit"
+    );
+    // Same cadence, scratch destination: the flush schedule must line up
+    // with the first run's for the comparison to be bitwise.
+    let path_b = scratch(&format!("{tag}-b"));
+    let cfg_b = CheckpointConfig {
+        every_ops: cut,
+        path: path_b.clone(),
+    };
+    resumed
+        .run_from(circuit, next_op, Some(&cfg_b))
+        .expect("resumed run");
+
+    assert_eq!(
+        amplitudes_bits(&resumed),
+        reference_amps,
+        "{tag}: amplitudes drifted across resume"
+    );
+    assert_eq!(
+        resumed.classical_bits(),
+        &reference_bits[..],
+        "{tag}: classical bits drifted across resume"
+    );
+    let resumed_samples: Vec<u64> = (0..16).map(|_| resumed.sample()).collect();
+    assert_eq!(
+        resumed_samples, reference_samples,
+        "{tag}: measurement RNG stream drifted across resume"
+    );
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&path_b);
+}
+
+#[test]
+fn random_circuits_resume_bitwise_identically() {
+    let strategies = [
+        Strategy::Sequential,
+        Strategy::KOperations { k: 4 },
+        Strategy::MaxSize { s_max: 32 },
+        Strategy::adaptive(),
+    ];
+    let mut rng = StdRng::seed_from_u64(0xC0DE);
+    let mut cases = 0u32;
+    for round in 0..24u64 {
+        let profile = Profile::ALL[(round % 5) as usize];
+        let cfg = GenConfig::sample(&mut rng, profile, true);
+        let circuit = generate(&mut rng, &cfg);
+        let total = circuit.flattened().ops().len() as u64;
+        if total < 2 {
+            continue;
+        }
+        let cut = rng.gen_range(1..total);
+        let strategy = strategies[(round % 4) as usize];
+        assert_resume_matches(&circuit, strategy, round, cut, &format!("random-{round}"));
+        cases += 1;
+    }
+    assert!(cases >= 16, "generator produced too many trivial circuits");
+}
+
+#[test]
+fn mid_circuit_measurement_pins_the_rng_position() {
+    // Measurements on BOTH sides of the checkpoint: the outcome drawn
+    // after resume must come from the restored RNG position, not a
+    // reseeded stream. Every seed is exercised so both outcome branches
+    // of the pre-checkpoint measurement occur.
+    let mut c = Circuit::with_cbits(3, 3);
+    c.h(0).cx(0, 1).rx(0.7, 2);
+    c.measure(0, 0);
+    c.h(2).cx(1, 2).t(1).h(1);
+    c.measure(1, 1);
+    c.rx(1.1, 0);
+    c.measure(2, 2);
+    let total = c.flattened().ops().len() as u64;
+    for seed in 0..12u64 {
+        for cut in [2u64, 4, total - 1] {
+            assert_resume_matches(
+                &c,
+                Strategy::KOperations { k: 3 },
+                seed,
+                cut,
+                &format!("measure-{seed}-{cut}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn checkpoint_is_exactly_a_barrier() {
+    // An interrupted-and-resumed combining run equals, bit for bit, an
+    // uninterrupted run of the same flattened circuit with explicit
+    // barriers at the checkpoint positions.
+    let n = 6u32;
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for q in 1..n {
+        c.cx(q - 1, q);
+        c.rz(0.31 * f64::from(q), q);
+    }
+    for q in 0..n {
+        c.t(q);
+    }
+    let flat = c.flattened();
+    let total = flat.ops().len() as u64;
+    let cut = 5u64;
+    let strategy = Strategy::KOperations { k: 4 };
+    let options = SimOptions {
+        strategy,
+        seed: 3,
+        ..SimOptions::default()
+    };
+
+    // Reference: explicit barriers, plain `run`.
+    let mut with_barriers = Circuit::new(n);
+    for (i, op) in flat.ops().iter().enumerate() {
+        with_barriers.push(op.clone());
+        let done = i as u64 + 1;
+        if done.is_multiple_of(cut) && done < total {
+            with_barriers.push(Operation::Barrier);
+        }
+    }
+    let mut reference = Simulator::with_options(n, options);
+    reference.run(&with_barriers).expect("reference run");
+
+    // Interrupted + resumed run of the barrier-free circuit.
+    let path = scratch("barrier-equiv");
+    let cfg = CheckpointConfig {
+        every_ops: cut,
+        path: path.clone(),
+    };
+    let mut first = Simulator::with_options(n, options);
+    first.run_from(&c, 0, Some(&cfg)).expect("checkpointed run");
+    let (mut resumed, next_op) =
+        Simulator::resume_from(&path, &c, options).expect("snapshot loads");
+    resumed
+        .run_from(&c, next_op, Some(&cfg))
+        .expect("resumed run");
+
+    assert_eq!(
+        amplitudes_bits(&resumed),
+        amplitudes_bits(&reference),
+        "resumed run differs from the barrier reference"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn snapshots_reject_the_wrong_circuit() {
+    let mut a = Circuit::new(3);
+    a.h(0).cx(0, 1).cx(1, 2).t(0).h(1).s(2).cx(0, 2);
+    let options = SimOptions::default();
+    let path = scratch("wrong-circuit");
+    let cfg = CheckpointConfig {
+        every_ops: 3,
+        path: path.clone(),
+    };
+    let mut sim = Simulator::with_options(3, options);
+    sim.run_from(&a, 0, Some(&cfg)).expect("run");
+
+    let mut b = Circuit::new(3);
+    b.h(0).cx(0, 1).cx(1, 2).t(0).h(1).s(2).cx(1, 0);
+    let err = Simulator::resume_from(&path, &b, options).expect_err("must reject");
+    assert!(
+        matches!(err, ddsim_repro::core::SimError::Snapshot(_)),
+        "got {err:?}"
+    );
+    let _ = std::fs::remove_file(&path);
+}

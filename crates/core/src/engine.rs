@@ -372,7 +372,7 @@ impl Simulator {
             self.active_circuit_hash,
             self.rng.state(),
             self.classical.clone(),
-        );
+        )?;
         snap.save(path)?;
         // Reload in place (see above). The governor's deadline and cancel
         // token live on the manager and must carry over unchanged.

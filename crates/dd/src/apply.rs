@@ -25,6 +25,7 @@ use ddsim_complex::{Complex, ComplexId};
 
 use crate::edge::{Level, NodeId, VecEdge};
 use crate::error::DdError;
+use crate::govern::{gtry, Governance, Governed, Ungoverned};
 use crate::manager::DdManager;
 use crate::matrix::{Control, ControlPolarity, Matrix2};
 use crate::ops::live;
@@ -139,11 +140,19 @@ impl DdManager {
         }
         self.stats.mat_vec_mults += 1;
         self.stats.specialized_applies += 1;
-        // Entry-point charge: a fully cache-served gate stream must still
-        // observe budgets/deadline/cancellation within one interval.
-        self.charge()?;
-        let op = self.intern_apply_op(n, controls, target, u);
-        self.apply_op_edge(&op, state)
+        // One dispatch per top-level gate application, like the entry
+        // points in `ops.rs`.
+        if self.is_governed() {
+            // Entry-point charge: a fully cache-served gate stream must
+            // still observe budgets/deadline/cancellation within one
+            // interval.
+            self.charge()?;
+            let op = self.intern_apply_op(n, controls, target, u);
+            self.apply_op_edge::<Governed>(&op, state)
+        } else {
+            let op = self.intern_apply_op(n, controls, target, u);
+            Ok(self.apply_op_edge::<Ungoverned>(&op, state))
+        }
     }
 
     /// Interns the operation signature, allocating a fresh tag pair on
@@ -209,9 +218,9 @@ impl DdManager {
 
     /// Weight-factored, memoized application of `op` to a state edge at or
     /// above the target level.
-    fn apply_op_edge(&mut self, op: &ApplyOp, v: VecEdge) -> Result<VecEdge, DdError> {
+    fn apply_op_edge<G: Governance>(&mut self, op: &ApplyOp, v: VecEdge) -> G::Res<VecEdge> {
         if v.is_zero() {
-            return Ok(VecEdge::ZERO);
+            return G::wrap(VecEdge::ZERO);
         }
         debug_assert!(self.vec_level(v) >= op.target_level);
         let outer = v.weight;
@@ -224,20 +233,20 @@ impl DdManager {
         {
             cached
         } else {
-            let computed = self.apply_op_rec(op, v.node)?;
+            let computed = gtry!(self.apply_op_rec::<G>(op, v.node));
             let epoch = self.epoch;
             self.compute.apply_gate.insert(key, computed, epoch);
             computed
         };
-        Ok(VecEdge {
+        G::wrap(VecEdge {
             node: unit.node,
             weight: self.complex.mul(unit.weight, outer),
         })
     }
 
-    fn apply_op_rec(&mut self, op: &ApplyOp, id: NodeId) -> Result<VecEdge, DdError> {
+    fn apply_op_rec<G: Governance>(&mut self, op: &ApplyOp, id: NodeId) -> G::Res<VecEdge> {
         self.stats.mult_recursions += 1;
-        self.charge()?;
+        gtry!(G::charge(self));
         let node = *self.vec_node(id);
         let [v0, v1] = node.edges;
         if node.level == op.target_level {
@@ -247,32 +256,32 @@ impl DdManager {
                 // target is visited.
                 let x0 = self.scale_vec(op.w[0], v0);
                 let y0 = self.scale_vec(op.w[1], v1);
-                let lo = self.add_vec_inner(x0, y0)?;
+                let lo = gtry!(self.add_vec_inner::<G>(x0, y0));
                 let x1 = self.scale_vec(op.w[2], v0);
                 let y1 = self.scale_vec(op.w[3], v1);
-                (lo, self.add_vec_inner(x1, y1)?)
+                (lo, gtry!(self.add_vec_inner::<G>(x1, y1)))
             } else {
                 // M = I + P ⊗ (U − I) restricted to the state: with pᵢ the
                 // projection of vᵢ onto the firing control pattern,
                 //   lo = v0 + (u00−1)·p0 + u01·p1
                 //   hi = v1 + u10·p0 + (u11−1)·p1.
-                let p0 = self.apply_project_edge(op, v0)?;
-                let p1 = self.apply_project_edge(op, v1)?;
+                let p0 = gtry!(self.apply_project_edge::<G>(op, v0));
+                let p1 = gtry!(self.apply_project_edge::<G>(op, v1));
                 let lo = {
                     let a = self.scale_vec(op.d[0], p0);
-                    let a = self.add_vec_inner(v0, a)?;
+                    let a = gtry!(self.add_vec_inner::<G>(v0, a));
                     let b = self.scale_vec(op.d[1], p1);
-                    self.add_vec_inner(a, b)?
+                    gtry!(self.add_vec_inner::<G>(a, b))
                 };
                 let hi = {
                     let a = self.scale_vec(op.d[2], p0);
-                    let a = self.add_vec_inner(v1, a)?;
+                    let a = gtry!(self.add_vec_inner::<G>(v1, a));
                     let b = self.scale_vec(op.d[3], p1);
-                    self.add_vec_inner(a, b)?
+                    gtry!(self.add_vec_inner::<G>(a, b))
                 };
                 (lo, hi)
             };
-            return Ok(self.make_vec_node(node.level, [lo, hi]));
+            return G::wrap(self.make_vec_node(node.level, [lo, hi]));
         }
         let ctrl = op
             .ctrls_above
@@ -281,22 +290,22 @@ impl DdManager {
         let (lo, hi) = match ctrl {
             // The gate fires only in the matching branch; the other child
             // passes through untouched.
-            Some(&(_, true)) => (v0, self.apply_op_edge(op, v1)?),
-            Some(&(_, false)) => (self.apply_op_edge(op, v0)?, v1),
+            Some(&(_, true)) => (v0, gtry!(self.apply_op_edge::<G>(op, v1))),
+            Some(&(_, false)) => (gtry!(self.apply_op_edge::<G>(op, v0)), v1),
             None => {
-                let lo = self.apply_op_edge(op, v0)?;
-                (lo, self.apply_op_edge(op, v1)?)
+                let lo = gtry!(self.apply_op_edge::<G>(op, v0));
+                (lo, gtry!(self.apply_op_edge::<G>(op, v1)))
             }
         };
-        Ok(self.make_vec_node(node.level, [lo, hi]))
+        G::wrap(self.make_vec_node(node.level, [lo, hi]))
     }
 
     /// Weight-factored, memoized projection of a below-target state edge
     /// onto `op`'s firing control pattern. Below the lowest control the
     /// projection is the identity and the edge is returned as-is.
-    fn apply_project_edge(&mut self, op: &ApplyOp, v: VecEdge) -> Result<VecEdge, DdError> {
+    fn apply_project_edge<G: Governance>(&mut self, op: &ApplyOp, v: VecEdge) -> G::Res<VecEdge> {
         if v.is_zero() {
-            return Ok(VecEdge::ZERO);
+            return G::wrap(VecEdge::ZERO);
         }
         // Invariant (not a reachable failure): callers only enter the
         // projection recursion when `ctrls_below` is non-empty — see
@@ -307,7 +316,7 @@ impl DdManager {
             .expect("projection without below-target controls")
             .0;
         if self.vec_level(v) < lowest {
-            return Ok(v);
+            return G::wrap(v);
         }
         let outer = v.weight;
         let key = (op.tag + 1, v.node);
@@ -319,20 +328,20 @@ impl DdManager {
         {
             cached
         } else {
-            let computed = self.apply_project_rec(op, v.node)?;
+            let computed = gtry!(self.apply_project_rec::<G>(op, v.node));
             let epoch = self.epoch;
             self.compute.apply_gate.insert(key, computed, epoch);
             computed
         };
-        Ok(VecEdge {
+        G::wrap(VecEdge {
             node: unit.node,
             weight: self.complex.mul(unit.weight, outer),
         })
     }
 
-    fn apply_project_rec(&mut self, op: &ApplyOp, id: NodeId) -> Result<VecEdge, DdError> {
+    fn apply_project_rec<G: Governance>(&mut self, op: &ApplyOp, id: NodeId) -> G::Res<VecEdge> {
         self.stats.mult_recursions += 1;
-        self.charge()?;
+        gtry!(G::charge(self));
         let node = *self.vec_node(id);
         let [v0, v1] = node.edges;
         let ctrl = op
@@ -340,14 +349,14 @@ impl DdManager {
             .iter()
             .find(|&&(level, _)| level == node.level);
         let (lo, hi) = match ctrl {
-            Some(&(_, true)) => (VecEdge::ZERO, self.apply_project_edge(op, v1)?),
-            Some(&(_, false)) => (self.apply_project_edge(op, v0)?, VecEdge::ZERO),
+            Some(&(_, true)) => (VecEdge::ZERO, gtry!(self.apply_project_edge::<G>(op, v1))),
+            Some(&(_, false)) => (gtry!(self.apply_project_edge::<G>(op, v0)), VecEdge::ZERO),
             None => {
-                let lo = self.apply_project_edge(op, v0)?;
-                (lo, self.apply_project_edge(op, v1)?)
+                let lo = gtry!(self.apply_project_edge::<G>(op, v0));
+                (lo, gtry!(self.apply_project_edge::<G>(op, v1)))
             }
         };
-        Ok(self.make_vec_node(node.level, [lo, hi]))
+        G::wrap(self.make_vec_node(node.level, [lo, hi]))
     }
 
     #[inline]

@@ -1,0 +1,133 @@
+//! Zero-sized governance policies for the DD operation kernels.
+//!
+//! PR 4's resource governor threaded `Result<Edge, DdError>` through every
+//! recursion in `ops.rs` / `apply.rs`, which cost measurable time even on
+//! runs that never configure a budget (+13% MxV, +23% MxM; see
+//! BENCH_PR4.json): the fallible signature forces a discriminant check and
+//! a wider return on every step of the hottest loops in the repo.
+//!
+//! The fix is to compile the kernels **twice**, monomorphized over a
+//! [`Governance`] policy:
+//!
+//! * [`Governed`] — the result carrier is `Result<T, DdError>`, and
+//!   [`Governance::charge`] performs the amortized governor step exactly as
+//!   in PR 4 (decrement-and-branch, full check every `CHARGE_INTERVAL`
+//!   steps, `last_breach` recording, unwind-safe tables).
+//! * [`Ungoverned`] — the result carrier is the bare `T`, `charge` is a
+//!   no-op, and `raise` is statically unreachable. The kernels compile back
+//!   to infallible `Edge`-returning recursions with zero charge branches —
+//!   byte-for-byte the pre-governor code shape.
+//!
+//! Dispatch between the two happens **once per top-level operation** (in
+//! the public entry points of `ops.rs` / `apply.rs`), on
+//! `DdManager::is_governed()` — never per recursion step. A limit armed
+//! between operations ([`DdManager::set_deadline`] /
+//! [`DdManager::set_cancel_token`](crate::DdManager::set_cancel_token), or
+//! budgets in [`DdConfig`](crate::DdConfig)) therefore flips the *next*
+//! operation onto the governed instantiation; an operation already in
+//! flight on the ungoverned instantiation runs to completion, which is the
+//! same promptness contract the amortized countdown already gave.
+//!
+//! Both instantiations build identical diagrams — the policy only decides
+//! whether the governor is consulted — and the property tests in `ops.rs`
+//! and `tests/random_circuits_vs_dense.rs` pin that down bitwise.
+
+use std::ops::ControlFlow;
+
+use crate::error::DdError;
+use crate::manager::DdManager;
+
+/// A compile-time governance policy. Implemented by the two uninhabited
+/// marker types [`Governed`] and [`Ungoverned`]; all methods are
+/// `#[inline(always)]` so the policy fully dissolves at monomorphization.
+pub(crate) trait Governance {
+    /// The result carrier: `Result<T, DdError>` when governed, bare `T`
+    /// when not.
+    type Res<T>;
+
+    /// Wraps a success value into the carrier.
+    fn wrap<T>(v: T) -> Self::Res<T>;
+
+    /// Splits a carrier into continue-with-value or break-with-error, for
+    /// the [`gtry!`] macro.
+    fn branch<T>(r: Self::Res<T>) -> ControlFlow<DdError, T>;
+
+    /// Injects an error into the carrier. Statically unreachable for
+    /// [`Ungoverned`] (its `branch` never breaks).
+    fn raise<T>(e: DdError) -> Self::Res<T>;
+
+    /// One amortized governor step ([`DdManager::charge`] when governed, a
+    /// no-op otherwise).
+    fn charge(dd: &mut DdManager) -> Self::Res<()>;
+}
+
+/// The governed instantiation: fallible recursions with PR 4's amortized
+/// charge semantics.
+pub(crate) enum Governed {}
+
+impl Governance for Governed {
+    type Res<T> = Result<T, DdError>;
+
+    #[inline(always)]
+    fn wrap<T>(v: T) -> Result<T, DdError> {
+        Ok(v)
+    }
+
+    #[inline(always)]
+    fn branch<T>(r: Result<T, DdError>) -> ControlFlow<DdError, T> {
+        match r {
+            Ok(v) => ControlFlow::Continue(v),
+            Err(e) => ControlFlow::Break(e),
+        }
+    }
+
+    #[inline(always)]
+    fn raise<T>(e: DdError) -> Result<T, DdError> {
+        Err(e)
+    }
+
+    #[inline(always)]
+    fn charge(dd: &mut DdManager) -> Result<(), DdError> {
+        dd.charge()
+    }
+}
+
+/// The ungoverned instantiation: infallible recursions, zero charge
+/// branches.
+pub(crate) enum Ungoverned {}
+
+impl Governance for Ungoverned {
+    type Res<T> = T;
+
+    #[inline(always)]
+    fn wrap<T>(v: T) -> T {
+        v
+    }
+
+    #[inline(always)]
+    fn branch<T>(r: T) -> ControlFlow<DdError, T> {
+        ControlFlow::Continue(r)
+    }
+
+    #[inline(always)]
+    fn raise<T>(e: DdError) -> T {
+        unreachable!("ungoverned kernels cannot fail: {e}")
+    }
+
+    #[inline(always)]
+    fn charge(_dd: &mut DdManager) {}
+}
+
+/// `?` for [`Governance`] carriers: unwraps the continue value, or
+/// early-returns `G::raise(e)` from the enclosing `G`-generic function.
+/// Resolves `G` at the expansion site, so it is only usable inside
+/// functions with a `G: Governance` parameter (which is every kernel).
+macro_rules! gtry {
+    ($e:expr) => {
+        match G::branch($e) {
+            ::std::ops::ControlFlow::Continue(v) => v,
+            ::std::ops::ControlFlow::Break(e) => return G::raise(e),
+        }
+    };
+}
+pub(crate) use gtry;

@@ -45,6 +45,7 @@ mod edge;
 mod error;
 mod export;
 mod fault;
+mod govern;
 mod hash;
 mod manager;
 mod matrix;

@@ -267,9 +267,10 @@ pub struct DdManager {
     /// per call is O(qubits) and therefore cannot run away.
     governor_suspended: u32,
     /// Cached "any limit configured?" flag: true iff a budget, deadline,
-    /// or cancel token is set. When false, [`charge`](Self::charge) is a
-    /// single predictable branch with no store — ungoverned runs pay
-    /// (nearly) nothing for the governor's existence.
+    /// or cancel token is set. Read once per top-level operation by the
+    /// entry points in `ops.rs` / `apply.rs` to pick the governed or
+    /// ungoverned kernel instantiation (see `govern.rs`) — when false,
+    /// the recursions carry no charge branches at all.
     governed: bool,
     /// Details of the most recent budget trip (the matching
     /// [`DdError::BudgetExceeded`] is a bare discriminant; see
@@ -443,14 +444,26 @@ impl DdManager {
             + self.compute.bytes()
     }
 
-    /// One amortized governor step, called from every operation recursion:
-    /// a decrement-and-branch on the hot path, with a full budget /
-    /// deadline / cancellation check every [`CHARGE_INTERVAL`] steps.
+    /// Whether any limit (budget, deadline, or cancel token) is configured.
+    /// The public entry points in `ops.rs` / `apply.rs` read this **once
+    /// per top-level operation** to pick the [`Governed`](crate::govern)
+    /// or [`Ungoverned`](crate::govern) kernel instantiation.
+    #[inline]
+    pub(crate) fn is_governed(&self) -> bool {
+        self.governed
+    }
+
+    /// One amortized governor step, called from every *governed* operation
+    /// recursion: a decrement-and-branch on the hot path, with a full
+    /// budget / deadline / cancellation check every [`CHARGE_INTERVAL`]
+    /// steps. The ungoverned kernel instantiation compiles to code that
+    /// never calls this (see `govern.rs`).
     #[inline]
     pub(crate) fn charge(&mut self) -> Result<(), DdError> {
-        if !self.governed {
-            return Ok(());
-        }
+        debug_assert!(
+            self.governed,
+            "charge reached through the ungoverned dispatch"
+        );
         self.charge_countdown -= 1;
         if self.charge_countdown == 0 {
             self.charge_countdown = CHARGE_INTERVAL;
@@ -533,13 +546,24 @@ impl DdManager {
     /// matrix addition), whose work is O(qubits) per call and therefore
     /// cannot blow past a budget by more than a gate's worth of nodes —
     /// the next governed operation observes any excess.
+    ///
+    /// The suspension depth is restored by an RAII guard, so a panic
+    /// inside `f` (reachable via the fuzz harness's `catch_unwind` replay
+    /// of a reused manager) cannot leave the governor permanently
+    /// suspended.
     pub(crate) fn with_governor_suspended<R>(
         &mut self,
         f: impl FnOnce(&mut Self) -> Result<R, DdError>,
     ) -> R {
+        struct Suspend<'a>(&'a mut DdManager);
+        impl Drop for Suspend<'_> {
+            fn drop(&mut self) {
+                self.0.governor_suspended -= 1;
+            }
+        }
         self.governor_suspended += 1;
-        let result = f(self);
-        self.governor_suspended -= 1;
+        let guard = Suspend(self);
+        let result = f(&mut *guard.0);
         match result {
             Ok(r) => r,
             // Unreachable: charge_full returns Ok while suspended.
@@ -941,5 +965,62 @@ impl std::fmt::Debug for DdManager {
             .field("epoch", &self.epoch)
             .field("stats", &self.stats)
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Regression test for the suspension leak: a panic inside the closure
+    /// used to skip the depth decrement, leaving a reused manager's
+    /// governor permanently suspended (budgets silently stopped tripping).
+    /// The RAII guard must restore the depth on unwind.
+    #[test]
+    fn governor_suspension_unwinds_on_panic_and_budgets_still_trip() {
+        let config = DdConfig {
+            max_live_nodes: Some(8),
+            ..DdConfig::default()
+        };
+        let mut dd = DdManager::with_config(config);
+        let unwound = catch_unwind(AssertUnwindSafe(|| {
+            dd.with_governor_suspended::<()>(|_| panic!("injected panic inside suspension"));
+        }));
+        assert!(unwound.is_err(), "the injected panic must propagate");
+        assert_eq!(
+            dd.governor_suspended, 0,
+            "RAII guard must restore the suspension depth on unwind"
+        );
+
+        // The reused manager still enforces budgets: a 10-node basis state
+        // exceeds the 8-node limit, and both the immediate check and the
+        // amortized in-operation check observe it.
+        let v = dd.vec_basis(10, 0);
+        assert_eq!(dd.check_interrupts(), Err(DdError::BudgetExceeded));
+
+        let s = Complex::SQRT2_INV;
+        let h = dd.mat_single_qubit(10, 0, [[s, s], [s, -s]]);
+        dd.charge_countdown = 1; // next charge performs the full check
+        assert_eq!(dd.mat_vec_mul(h, v), Err(DdError::BudgetExceeded));
+        let breach = dd.last_breach().expect("breach details recorded");
+        assert_eq!(breach.resource, Resource::LiveNodes);
+        assert_eq!(breach.limit, 8);
+    }
+
+    /// Non-panicking suspensions still balance (nesting included).
+    #[test]
+    fn governor_suspension_balances_when_nested() {
+        let mut dd = DdManager::new();
+        let out = dd.with_governor_suspended(|dd| {
+            let inner = dd.with_governor_suspended(|dd| {
+                assert_eq!(dd.governor_suspended, 2);
+                Ok(21)
+            });
+            assert_eq!(dd.governor_suspended, 1);
+            Ok(inner * 2)
+        });
+        assert_eq!(out, 42);
+        assert_eq!(dd.governor_suspended, 0);
     }
 }

@@ -10,17 +10,24 @@
 //! steps *per node* but touches far fewer nodes than MxV through a large
 //! state DD.
 //!
-//! Every operation is *governed*: each recursion step charges the manager's
-//! amortized resource counter and unwinds with a [`DdError`] once a budget,
-//! deadline, or cancellation trips. An unwound operation leaves no dangling
-//! state — partially built nodes carry no external references (the next GC
-//! reclaims them) and every compute-table entry already written is a
-//! complete, valid result, so retrying after recovery is bitwise-safe.
+//! Every operation is *governable*: the public entry points dispatch once
+//! per top-level call — never per recursion step — onto one of two
+//! monomorphized kernel instantiations (see `govern.rs`). When a budget,
+//! deadline, or cancel token is configured, the governed instantiation
+//! charges the manager's amortized resource counter at each recursion step
+//! and unwinds with a [`DdError`] once a limit trips; otherwise the
+//! ungoverned instantiation runs infallible recursions with zero charge
+//! branches. An unwound operation leaves no dangling state — partially
+//! built nodes carry no external references (the next GC reclaims them)
+//! and every compute-table entry already written is a complete, valid
+//! result, so retrying after recovery is bitwise-safe. Both instantiations
+//! build identical diagrams (property-tested below).
 
 use ddsim_complex::ComplexId;
 
 use crate::edge::{MatEdge, NodeId, VecEdge};
 use crate::error::DdError;
+use crate::govern::{gtry, Governance, Governed, Ungoverned};
 use crate::manager::DdManager;
 
 /// Whether a node referenced by a compute-table entry is still the node the
@@ -59,31 +66,39 @@ impl DdManager {
             self.vec_level(b),
             "adding vectors of different levels"
         );
-        self.add_vec_inner(a, b)
+        if self.is_governed() {
+            self.add_vec_inner::<Governed>(a, b)
+        } else {
+            Ok(self.add_vec_inner::<Ungoverned>(a, b))
+        }
     }
 
-    fn add_vec_rec(&mut self, a: VecEdge, b: VecEdge) -> Result<VecEdge, DdError> {
+    fn add_vec_rec<G: Governance>(&mut self, a: VecEdge, b: VecEdge) -> G::Res<VecEdge> {
         self.stats.add_recursions += 1;
-        self.charge()?;
+        gtry!(G::charge(self));
         if a.node.is_terminal() && b.node.is_terminal() {
-            return Ok(VecEdge::terminal(self.complex.add(a.weight, b.weight)));
+            return G::wrap(VecEdge::terminal(self.complex.add(a.weight, b.weight)));
         }
         let level = self.vec_level(a);
         let ac = self.vec_children_weighted(a);
         let bc = self.vec_children_weighted(b);
-        let lo = self.add_vec_inner(ac[0], bc[0])?;
-        let hi = self.add_vec_inner(ac[1], bc[1])?;
-        Ok(self.make_vec_node(level, [lo, hi]))
+        let lo = gtry!(self.add_vec_inner::<G>(ac[0], bc[0]));
+        let hi = gtry!(self.add_vec_inner::<G>(ac[1], bc[1]));
+        G::wrap(self.make_vec_node(level, [lo, hi]))
     }
 
     /// Like [`add_vec`](Self::add_vec) but without the level assertion
     /// (children of validated parents are already consistent).
-    pub(crate) fn add_vec_inner(&mut self, a: VecEdge, b: VecEdge) -> Result<VecEdge, DdError> {
+    pub(crate) fn add_vec_inner<G: Governance>(
+        &mut self,
+        a: VecEdge,
+        b: VecEdge,
+    ) -> G::Res<VecEdge> {
         if a.is_zero() {
-            return Ok(b);
+            return G::wrap(b);
         }
         if b.is_zero() {
-            return Ok(a);
+            return G::wrap(a);
         }
         // Commutative: canonical operand order doubles the cache hit rate.
         let (a, b) = if (a.node, a.weight) <= (b.node, b.weight) {
@@ -108,15 +123,15 @@ impl DdManager {
         if let Some(cached) = self.compute.add_vec.lookup(&key, |k, v, ep| {
             live(fe, k.0.node, ep) && live(fe, k.1.node, ep) && live(fe, v.node, ep)
         }) {
-            return Ok(VecEdge {
+            return G::wrap(VecEdge {
                 node: cached.node,
                 weight: self.complex.mul(cached.weight, a.weight),
             });
         }
-        let result = self.add_vec_rec(key.0, key.1)?;
+        let result = gtry!(self.add_vec_rec::<G>(key.0, key.1));
         let epoch = self.epoch;
         self.compute.add_vec.insert(key, result, epoch);
-        Ok(VecEdge {
+        G::wrap(VecEdge {
             node: result.node,
             weight: self.complex.mul(result.weight, a.weight),
         })
@@ -144,15 +159,23 @@ impl DdManager {
             self.mat_level(b),
             "adding matrices of different levels"
         );
-        self.add_mat_inner(a, b)
+        if self.is_governed() {
+            self.add_mat_inner::<Governed>(a, b)
+        } else {
+            Ok(self.add_mat_inner::<Ungoverned>(a, b))
+        }
     }
 
-    pub(crate) fn add_mat_inner(&mut self, a: MatEdge, b: MatEdge) -> Result<MatEdge, DdError> {
+    pub(crate) fn add_mat_inner<G: Governance>(
+        &mut self,
+        a: MatEdge,
+        b: MatEdge,
+    ) -> G::Res<MatEdge> {
         if a.is_zero() {
-            return Ok(b);
+            return G::wrap(b);
         }
         if b.is_zero() {
-            return Ok(a);
+            return G::wrap(a);
         }
         let (a, b) = if (a.node, a.weight) <= (b.node, b.weight) {
             (a, b)
@@ -174,34 +197,34 @@ impl DdManager {
         if let Some(cached) = self.compute.add_mat.lookup(&key, |k, v, ep| {
             live(fe, k.0.node, ep) && live(fe, k.1.node, ep) && live(fe, v.node, ep)
         }) {
-            return Ok(MatEdge {
+            return G::wrap(MatEdge {
                 node: cached.node,
                 weight: self.complex.mul(cached.weight, a.weight),
             });
         }
-        let result = self.add_mat_rec(key.0, key.1)?;
+        let result = gtry!(self.add_mat_rec::<G>(key.0, key.1));
         let epoch = self.epoch;
         self.compute.add_mat.insert(key, result, epoch);
-        Ok(MatEdge {
+        G::wrap(MatEdge {
             node: result.node,
             weight: self.complex.mul(result.weight, a.weight),
         })
     }
 
-    fn add_mat_rec(&mut self, a: MatEdge, b: MatEdge) -> Result<MatEdge, DdError> {
+    fn add_mat_rec<G: Governance>(&mut self, a: MatEdge, b: MatEdge) -> G::Res<MatEdge> {
         self.stats.add_recursions += 1;
-        self.charge()?;
+        gtry!(G::charge(self));
         if a.node.is_terminal() && b.node.is_terminal() {
-            return Ok(MatEdge::terminal(self.complex.add(a.weight, b.weight)));
+            return G::wrap(MatEdge::terminal(self.complex.add(a.weight, b.weight)));
         }
         let level = self.mat_level(a);
         let ac = self.mat_children_weighted(a);
         let bc = self.mat_children_weighted(b);
         let mut children = [MatEdge::ZERO; 4];
         for i in 0..4 {
-            children[i] = self.add_mat_inner(ac[i], bc[i])?;
+            children[i] = gtry!(self.add_mat_inner::<G>(ac[i], bc[i]));
         }
-        Ok(self.make_mat_node(level, children))
+        G::wrap(self.make_mat_node(level, children))
     }
 
     // ------------------------------------------------------------------
@@ -228,24 +251,30 @@ impl DdManager {
             "matrix and vector levels differ"
         );
         self.stats.mat_vec_mults += 1;
-        self.charge()?;
-        self.mat_vec_inner(m, v)
+        // Entry-point dispatch: one `is_governed` read decides which
+        // monomorphized recursion runs the whole operation.
+        if self.is_governed() {
+            self.charge()?;
+            self.mat_vec_inner::<Governed>(m, v)
+        } else {
+            Ok(self.mat_vec_inner::<Ungoverned>(m, v))
+        }
     }
 
-    fn mat_vec_inner(&mut self, m: MatEdge, v: VecEdge) -> Result<VecEdge, DdError> {
+    fn mat_vec_inner<G: Governance>(&mut self, m: MatEdge, v: VecEdge) -> G::Res<VecEdge> {
         if m.is_zero() || v.is_zero() {
-            return Ok(VecEdge::ZERO);
+            return G::wrap(VecEdge::ZERO);
         }
         // Weights factor out: cache on the node pair with unit tops.
         let outer = self.complex.mul(m.weight, v.weight);
         if m.node.is_terminal() && v.node.is_terminal() {
-            return Ok(VecEdge::terminal(outer));
+            return G::wrap(VecEdge::terminal(outer));
         }
         // I·v = v: the scalar already lives in `outer`, so an identity
         // operand needs no recursion, no cache entry, and no new nodes.
         if self.config.identity_skip && self.is_identity_node(m.node) {
             self.stats.identity_skips += 1;
-            return Ok(VecEdge {
+            return G::wrap(VecEdge {
                 node: v.node,
                 weight: outer,
             });
@@ -270,24 +299,24 @@ impl DdManager {
         }) {
             cached
         } else {
-            let computed = self.mat_vec_rec(m.node, v.node)?;
+            let computed = gtry!(self.mat_vec_rec::<G>(m.node, v.node));
             let epoch = self.epoch;
             self.compute.mat_vec.insert(key, computed, epoch);
             computed
         };
-        Ok(VecEdge {
+        G::wrap(VecEdge {
             node: unit.node,
             weight: self.complex.mul(unit.weight, outer),
         })
     }
 
-    fn mat_vec_rec(
+    fn mat_vec_rec<G: Governance>(
         &mut self,
         m_node: crate::edge::NodeId,
         v_node: crate::edge::NodeId,
-    ) -> Result<VecEdge, DdError> {
+    ) -> G::Res<VecEdge> {
         self.stats.mult_recursions += 1;
-        self.charge()?;
+        gtry!(G::charge(self));
         let mn = *self.mat_node(m_node);
         let vn = *self.vec_node(v_node);
         debug_assert_eq!(mn.level, vn.level);
@@ -300,24 +329,24 @@ impl DdManager {
         // children, so this is the common shape — and `x + 0 = x` keeps the
         // result bitwise identical to the unelided recursion.
         let lo = if mn.edges[1].is_zero() {
-            self.mat_vec_inner(mn.edges[0], vn.edges[0])?
+            gtry!(self.mat_vec_inner::<G>(mn.edges[0], vn.edges[0]))
         } else if mn.edges[0].is_zero() {
-            self.mat_vec_inner(mn.edges[1], vn.edges[1])?
+            gtry!(self.mat_vec_inner::<G>(mn.edges[1], vn.edges[1]))
         } else {
-            let x0 = self.mat_vec_inner(mn.edges[0], vn.edges[0])?;
-            let y0 = self.mat_vec_inner(mn.edges[1], vn.edges[1])?;
-            self.add_vec_inner(x0, y0)?
+            let x0 = gtry!(self.mat_vec_inner::<G>(mn.edges[0], vn.edges[0]));
+            let y0 = gtry!(self.mat_vec_inner::<G>(mn.edges[1], vn.edges[1]));
+            gtry!(self.add_vec_inner::<G>(x0, y0))
         };
         let hi = if mn.edges[3].is_zero() {
-            self.mat_vec_inner(mn.edges[2], vn.edges[0])?
+            gtry!(self.mat_vec_inner::<G>(mn.edges[2], vn.edges[0]))
         } else if mn.edges[2].is_zero() {
-            self.mat_vec_inner(mn.edges[3], vn.edges[1])?
+            gtry!(self.mat_vec_inner::<G>(mn.edges[3], vn.edges[1]))
         } else {
-            let x1 = self.mat_vec_inner(mn.edges[2], vn.edges[0])?;
-            let y1 = self.mat_vec_inner(mn.edges[3], vn.edges[1])?;
-            self.add_vec_inner(x1, y1)?
+            let x1 = gtry!(self.mat_vec_inner::<G>(mn.edges[2], vn.edges[0]));
+            let y1 = gtry!(self.mat_vec_inner::<G>(mn.edges[3], vn.edges[1]));
+            gtry!(self.add_vec_inner::<G>(x1, y1))
         };
-        Ok(self.make_vec_node(level, [lo, hi]))
+        G::wrap(self.make_vec_node(level, [lo, hi]))
     }
 
     // ------------------------------------------------------------------
@@ -344,30 +373,34 @@ impl DdManager {
             "matrix operand levels differ"
         );
         self.stats.mat_mat_mults += 1;
-        self.charge()?;
-        self.mat_mat_inner(a, b)
+        if self.is_governed() {
+            self.charge()?;
+            self.mat_mat_inner::<Governed>(a, b)
+        } else {
+            Ok(self.mat_mat_inner::<Ungoverned>(a, b))
+        }
     }
 
-    fn mat_mat_inner(&mut self, a: MatEdge, b: MatEdge) -> Result<MatEdge, DdError> {
+    fn mat_mat_inner<G: Governance>(&mut self, a: MatEdge, b: MatEdge) -> G::Res<MatEdge> {
         if a.is_zero() || b.is_zero() {
-            return Ok(MatEdge::ZERO);
+            return G::wrap(MatEdge::ZERO);
         }
         let outer = self.complex.mul(a.weight, b.weight);
         if a.node.is_terminal() && b.node.is_terminal() {
-            return Ok(MatEdge::terminal(outer));
+            return G::wrap(MatEdge::terminal(outer));
         }
         // I·B = B and A·I = A, with the scalars already folded into `outer`.
         if self.config.identity_skip {
             if self.is_identity_node(a.node) {
                 self.stats.identity_skips += 1;
-                return Ok(MatEdge {
+                return G::wrap(MatEdge {
                     node: b.node,
                     weight: outer,
                 });
             }
             if self.is_identity_node(b.node) {
                 self.stats.identity_skips += 1;
-                return Ok(MatEdge {
+                return G::wrap(MatEdge {
                     node: a.node,
                     weight: outer,
                 });
@@ -380,24 +413,24 @@ impl DdManager {
         }) {
             cached
         } else {
-            let computed = self.mat_mat_rec(a.node, b.node)?;
+            let computed = gtry!(self.mat_mat_rec::<G>(a.node, b.node));
             let epoch = self.epoch;
             self.compute.mat_mat.insert(key, computed, epoch);
             computed
         };
-        Ok(MatEdge {
+        G::wrap(MatEdge {
             node: unit.node,
             weight: self.complex.mul(unit.weight, outer),
         })
     }
 
-    fn mat_mat_rec(
+    fn mat_mat_rec<G: Governance>(
         &mut self,
         a_node: crate::edge::NodeId,
         b_node: crate::edge::NodeId,
-    ) -> Result<MatEdge, DdError> {
+    ) -> G::Res<MatEdge> {
         self.stats.mult_recursions += 1;
-        self.charge()?;
+        gtry!(G::charge(self));
         let an = *self.mat_node(a_node);
         let bn = *self.mat_node(b_node);
         debug_assert_eq!(an.level, bn.level);
@@ -410,17 +443,17 @@ impl DdManager {
                 // (gate DDs are mostly zeros, and `x + 0 = x` bitwise).
                 children[2 * r + c] = if an.edges[2 * r + 1].is_zero() || bn.edges[2 + c].is_zero()
                 {
-                    self.mat_mat_inner(an.edges[2 * r], bn.edges[c])?
+                    gtry!(self.mat_mat_inner::<G>(an.edges[2 * r], bn.edges[c]))
                 } else if an.edges[2 * r].is_zero() || bn.edges[c].is_zero() {
-                    self.mat_mat_inner(an.edges[2 * r + 1], bn.edges[2 + c])?
+                    gtry!(self.mat_mat_inner::<G>(an.edges[2 * r + 1], bn.edges[2 + c]))
                 } else {
-                    let p0 = self.mat_mat_inner(an.edges[2 * r], bn.edges[c])?;
-                    let p1 = self.mat_mat_inner(an.edges[2 * r + 1], bn.edges[2 + c])?;
-                    self.add_mat_inner(p0, p1)?
+                    let p0 = gtry!(self.mat_mat_inner::<G>(an.edges[2 * r], bn.edges[c]));
+                    let p1 = gtry!(self.mat_mat_inner::<G>(an.edges[2 * r + 1], bn.edges[2 + c]));
+                    gtry!(self.add_mat_inner::<G>(p0, p1))
                 };
             }
         }
-        Ok(self.make_mat_node(level, children))
+        G::wrap(self.make_mat_node(level, children))
     }
 
     // ------------------------------------------------------------------
@@ -435,22 +468,30 @@ impl DdManager {
     /// Returns a [`DdError`] if a resource budget, the deadline, or a
     /// cancellation trips mid-operation; the manager stays consistent.
     pub fn mat_conj_transpose(&mut self, m: MatEdge) -> Result<MatEdge, DdError> {
+        if self.is_governed() {
+            self.conj_transpose_inner::<Governed>(m)
+        } else {
+            Ok(self.conj_transpose_inner::<Ungoverned>(m))
+        }
+    }
+
+    fn conj_transpose_inner<G: Governance>(&mut self, m: MatEdge) -> G::Res<MatEdge> {
         if m.is_zero() {
-            return Ok(MatEdge::ZERO);
+            return G::wrap(MatEdge::ZERO);
         }
         let w = self.complex.conj(m.weight);
         if m.node.is_terminal() {
-            return Ok(MatEdge::terminal(w));
+            return G::wrap(MatEdge::terminal(w));
         }
         // The identity is Hermitian: I† = I, only the weight conjugates.
         if self.config.identity_skip && self.is_identity_node(m.node) {
             self.stats.identity_skips += 1;
-            return Ok(MatEdge {
+            return G::wrap(MatEdge {
                 node: m.node,
                 weight: w,
             });
         }
-        self.charge()?;
+        gtry!(G::charge(self));
         let fe = &self.mat_arena.free_epoch;
         let unit = if let Some(cached) = self
             .compute
@@ -461,18 +502,18 @@ impl DdManager {
         } else {
             let node = *self.mat_node(m.node);
             let children = [
-                self.mat_conj_transpose(node.edges[0])?,
+                gtry!(self.conj_transpose_inner::<G>(node.edges[0])),
                 // Transpose swaps the off-diagonal quadrants.
-                self.mat_conj_transpose(node.edges[2])?,
-                self.mat_conj_transpose(node.edges[1])?,
-                self.mat_conj_transpose(node.edges[3])?,
+                gtry!(self.conj_transpose_inner::<G>(node.edges[2])),
+                gtry!(self.conj_transpose_inner::<G>(node.edges[1])),
+                gtry!(self.conj_transpose_inner::<G>(node.edges[3])),
             ];
             let computed = self.make_mat_node(node.level, children);
             let epoch = self.epoch;
             self.compute.conj_transpose.insert(m.node, computed, epoch);
             computed
         };
-        Ok(MatEdge {
+        G::wrap(MatEdge {
             node: unit.node,
             weight: self.complex.mul(unit.weight, w),
         })
@@ -489,46 +530,54 @@ impl DdManager {
     /// Returns a [`DdError`] if a resource budget, the deadline, or a
     /// cancellation trips mid-operation; the manager stays consistent.
     pub fn kron_vec(&mut self, a: VecEdge, b: VecEdge) -> Result<VecEdge, DdError> {
+        if self.is_governed() {
+            self.kron_vec_inner::<Governed>(a, b)
+        } else {
+            Ok(self.kron_vec_inner::<Ungoverned>(a, b))
+        }
+    }
+
+    fn kron_vec_inner<G: Governance>(&mut self, a: VecEdge, b: VecEdge) -> G::Res<VecEdge> {
         if a.is_zero() || b.is_zero() {
-            return Ok(VecEdge::ZERO);
+            return G::wrap(VecEdge::ZERO);
         }
         let outer = a.weight;
-        let unit = self.kron_vec_unit(
+        let unit = gtry!(self.kron_vec_unit::<G>(
             VecEdge {
                 node: a.node,
                 weight: ComplexId::ONE,
             },
             b,
-        )?;
-        Ok(VecEdge {
+        ));
+        G::wrap(VecEdge {
             node: unit.node,
             weight: self.complex.mul(unit.weight, outer),
         })
     }
 
-    fn kron_vec_unit(&mut self, a: VecEdge, b: VecEdge) -> Result<VecEdge, DdError> {
+    fn kron_vec_unit<G: Governance>(&mut self, a: VecEdge, b: VecEdge) -> G::Res<VecEdge> {
         if a.node.is_terminal() {
-            return Ok(VecEdge {
+            return G::wrap(VecEdge {
                 node: b.node,
                 weight: self.complex.mul(a.weight, b.weight),
             });
         }
-        self.charge()?;
+        gtry!(G::charge(self));
         let key = (a.node, b);
         let fe = &self.vec_arena.free_epoch;
         if let Some(cached) = self.compute.kron_vec.lookup(&key, |k, v, ep| {
             live(fe, k.0, ep) && live(fe, k.1.node, ep) && live(fe, v.node, ep)
         }) {
-            return Ok(cached);
+            return G::wrap(cached);
         }
         let node = *self.vec_node(a.node);
         let b_level = self.vec_level(b);
-        let lo = self.kron_vec_unit(node.edges[0], b)?;
-        let hi = self.kron_vec_unit(node.edges[1], b)?;
+        let lo = gtry!(self.kron_vec_unit::<G>(node.edges[0], b));
+        let hi = gtry!(self.kron_vec_unit::<G>(node.edges[1], b));
         let result = self.make_vec_node(node.level + b_level, [lo, hi]);
         let epoch = self.epoch;
         self.compute.kron_vec.insert(key, result, epoch);
-        Ok(result)
+        G::wrap(result)
     }
 
     /// Computes `a ⊗ b` for matrices (`a` supplies the upper levels) — the
@@ -539,8 +588,16 @@ impl DdManager {
     /// Returns a [`DdError`] if a resource budget, the deadline, or a
     /// cancellation trips mid-operation; the manager stays consistent.
     pub fn kron_mat(&mut self, a: MatEdge, b: MatEdge) -> Result<MatEdge, DdError> {
+        if self.is_governed() {
+            self.kron_mat_inner::<Governed>(a, b)
+        } else {
+            Ok(self.kron_mat_inner::<Ungoverned>(a, b))
+        }
+    }
+
+    fn kron_mat_inner<G: Governance>(&mut self, a: MatEdge, b: MatEdge) -> G::Res<MatEdge> {
         if a.is_zero() || b.is_zero() {
-            return Ok(MatEdge::ZERO);
+            return G::wrap(MatEdge::ZERO);
         }
         // I(k) ⊗ I(l) = I(k+l): serve the canonical identity from the
         // per-level cache instead of recursing (hash-consing makes the
@@ -553,50 +610,50 @@ impl DdManager {
             let levels = self.mat_level(a) + self.mat_level(b);
             let id = self.mat_identity(levels);
             let weight = self.complex.mul(a.weight, b.weight);
-            return Ok(MatEdge {
+            return G::wrap(MatEdge {
                 node: id.node,
                 weight,
             });
         }
         let outer = a.weight;
-        let unit = self.kron_mat_unit(
+        let unit = gtry!(self.kron_mat_unit::<G>(
             MatEdge {
                 node: a.node,
                 weight: ComplexId::ONE,
             },
             b,
-        )?;
-        Ok(MatEdge {
+        ));
+        G::wrap(MatEdge {
             node: unit.node,
             weight: self.complex.mul(unit.weight, outer),
         })
     }
 
-    fn kron_mat_unit(&mut self, a: MatEdge, b: MatEdge) -> Result<MatEdge, DdError> {
+    fn kron_mat_unit<G: Governance>(&mut self, a: MatEdge, b: MatEdge) -> G::Res<MatEdge> {
         if a.node.is_terminal() {
-            return Ok(MatEdge {
+            return G::wrap(MatEdge {
                 node: b.node,
                 weight: self.complex.mul(a.weight, b.weight),
             });
         }
-        self.charge()?;
+        gtry!(G::charge(self));
         let key = (a.node, b);
         let fe = &self.mat_arena.free_epoch;
         if let Some(cached) = self.compute.kron_mat.lookup(&key, |k, v, ep| {
             live(fe, k.0, ep) && live(fe, k.1.node, ep) && live(fe, v.node, ep)
         }) {
-            return Ok(cached);
+            return G::wrap(cached);
         }
         let node = *self.mat_node(a.node);
         let b_level = self.mat_level(b);
         let mut children = [MatEdge::ZERO; 4];
         for (child, &edge) in children.iter_mut().zip(node.edges.iter()) {
-            *child = self.kron_mat_unit(edge, b)?;
+            *child = gtry!(self.kron_mat_unit::<G>(edge, b));
         }
         let result = self.make_mat_node(node.level + b_level, children);
         let epoch = self.epoch;
         self.compute.kron_mat.insert(key, result, epoch);
-        Ok(result)
+        G::wrap(result)
     }
 }
 
@@ -964,6 +1021,118 @@ mod tests {
             }
         }
         result
+    }
+
+    /// One pass over the full kernel surface: generic and specialized
+    /// multiplication, addition, Kronecker products, conjugate transpose,
+    /// plus a mid-stream garbage collection. Used to compare the two
+    /// governance instantiations bit for bit.
+    fn full_surface_workload(dd: &mut DdManager) -> (VecEdge, MatEdge) {
+        let n = 6;
+        let mut v = dd.vec_basis(n, 0b010110);
+        for q in 0..n {
+            let h = dd.mat_single_qubit(n, q, h_gate());
+            v = dd.mat_vec_mul(h, v).unwrap();
+        }
+        for q in 1..n {
+            let theta = 0.41 * q as f64;
+            let p: Matrix2 = [
+                [Complex::ONE, Complex::ZERO],
+                [Complex::ZERO, Complex::from_polar(1.0, theta)],
+            ];
+            let g = dd.mat_controlled(n, &[Control::pos(q - 1)], q, p);
+            v = dd.mat_vec_mul(g, v).unwrap();
+        }
+        v = dd.apply_single_qubit(2, h_gate(), v).unwrap();
+        v = dd
+            .apply_controlled(&[Control::pos(0), Control::neg(4)], 3, x_gate(), v)
+            .unwrap();
+        dd.inc_ref_vec(v);
+        dd.collect_garbage();
+        dd.dec_ref_vec(v);
+        let b = dd.vec_basis(n, 0b000111);
+        let sum = dd.add_vec(v, b).unwrap();
+        let a3 = dd.vec_basis(3, 0b101);
+        let k = dd.kron_vec(a3, a3).unwrap();
+        let v2 = dd.add_vec(sum, k).unwrap();
+        let h = dd.mat_single_qubit(n, 1, h_gate());
+        let cx = dd.mat_controlled(n, &[Control::pos(4)], 2, x_gate());
+        let prod = dd.mat_mat_mul(cx, h).unwrap();
+        let dag = dd.mat_conj_transpose(prod).unwrap();
+        let h3 = dd.mat_single_qubit(3, 0, h_gate());
+        let km = dd.kron_mat(h3, h3).unwrap();
+        let m = dd.mat_mat_mul(dag, km).unwrap();
+        let v3 = dd.mat_vec_mul(m, v2).unwrap();
+        (v3, m)
+    }
+
+    /// Tentpole property: the governed and ungoverned instantiations build
+    /// byte-identical diagrams. With deterministic arena allocation, the
+    /// same operation replay must yield the same edges (node ids *and*
+    /// interned weight ids), the same statistics, and the same live node
+    /// counts — the governance policy only decides whether the governor is
+    /// consulted, never what gets built.
+    #[test]
+    fn governed_and_ungoverned_instantiations_are_bitwise_identical() {
+        let mut ungoverned = DdManager::new();
+        // A budget far above anything the workload allocates: the manager
+        // dispatches every operation onto the governed instantiation, but
+        // no limit ever trips.
+        let mut governed = DdManager::with_config(DdConfig {
+            max_live_nodes: Some(usize::MAX),
+            ..DdConfig::default()
+        });
+        assert!(!ungoverned.is_governed());
+        assert!(governed.is_governed());
+
+        let (vu, mu) = full_surface_workload(&mut ungoverned);
+        let (vg, mg) = full_surface_workload(&mut governed);
+        assert_eq!(vu, vg, "state edges must be bitwise identical");
+        assert_eq!(mu, mg, "matrix edges must be bitwise identical");
+        assert_eq!(ungoverned.stats(), governed.stats());
+        assert_eq!(ungoverned.live_vec_nodes(), governed.live_vec_nodes());
+        assert_eq!(ungoverned.live_mat_nodes(), governed.live_mat_nodes());
+        assert_eq!(ungoverned.distinct_weights(), governed.distinct_weights());
+
+        let au = ungoverned.vec_to_amplitudes(vu);
+        let ag = governed.vec_to_amplitudes(vg);
+        for (i, (x, y)) in au.iter().zip(ag.iter()).enumerate() {
+            assert_eq!(x.re.to_bits(), y.re.to_bits(), "amplitude {i} (re)");
+            assert_eq!(x.im.to_bits(), y.im.to_bits(), "amplitude {i} (im)");
+        }
+    }
+
+    /// Satellite: a limit armed *between* top-level operations must flip
+    /// the next operation onto the governed instantiation — the dispatch
+    /// reads `is_governed()` per call, so nothing is latched at manager
+    /// construction.
+    #[test]
+    fn deadline_armed_mid_run_flips_dispatch_to_governed() {
+        let mut dd = DdManager::new();
+        assert!(!dd.is_governed());
+        // The first gates run on the ungoverned instantiation.
+        budget_workload(&mut dd, 10, 0).unwrap();
+        // Arm an already-expired deadline between operations…
+        dd.set_deadline(Some(std::time::Instant::now()));
+        assert!(dd.is_governed());
+        // …and the very next operation observes it.
+        let h = dd.mat_single_qubit(10, 0, h_gate());
+        let s = dd.vec_basis(10, 0);
+        assert_eq!(dd.mat_vec_mul(h, s), Err(DdError::DeadlineExceeded));
+        // Clearing the deadline restores the ungoverned fast path.
+        dd.set_deadline(None);
+        assert!(!dd.is_governed());
+        budget_workload(&mut dd, 10, 0).unwrap();
+
+        // Same contract for a cancel token registered mid-run.
+        let token = crate::CancelToken::new();
+        token.cancel();
+        dd.set_cancel_token(Some(token));
+        assert!(dd.is_governed());
+        let err = run_until_err(&mut dd, 10, 4).unwrap_err();
+        assert_eq!(err, DdError::Cancelled);
+        dd.set_cancel_token(None);
+        assert!(!dd.is_governed());
     }
 
     #[test]

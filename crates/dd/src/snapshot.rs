@@ -109,6 +109,16 @@ pub enum SnapshotError {
     /// Structural validation failed (checksum, dangling reference, bad
     /// complex table, …). The message names the first violation.
     Corrupt(String),
+    /// The in-memory state exceeds a version-1 format capacity (a section
+    /// count no longer fits in its `u32` field). Writing anyway would
+    /// silently truncate the count and produce a checksummed-but-corrupt
+    /// file, so capture/write refuse instead.
+    TooLarge {
+        /// Which section overflowed ("nodes", "weights", …).
+        what: &'static str,
+        /// The count that does not fit.
+        count: usize,
+    },
     /// The snapshot's circuit hash does not match the circuit it is being
     /// resumed against.
     CircuitMismatch {
@@ -128,6 +138,10 @@ impl std::fmt::Display for SnapshotError {
                 write!(f, "unsupported snapshot version {v} (supported: {VERSION})")
             }
             SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            SnapshotError::TooLarge { what, count } => write!(
+                f,
+                "snapshot too large: {count} {what} exceed the format's u32 section limit"
+            ),
             SnapshotError::CircuitMismatch { expected, actual } => write!(
                 f,
                 "snapshot was taken from a different circuit \
@@ -152,6 +166,12 @@ impl From<std::io::Error> for SnapshotError {
     }
 }
 
+/// Checked `usize → u32` for the format's section counts; refuses with
+/// [`SnapshotError::TooLarge`] instead of silently truncating.
+fn len_u32(count: usize, what: &'static str) -> Result<u32, SnapshotError> {
+    u32::try_from(count).map_err(|_| SnapshotError::TooLarge { what, count })
+}
+
 /// FNV-1a over a byte slice; also used for the circuit-text hash.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -168,6 +188,10 @@ impl Snapshot {
     ///
     /// The node list is produced by an iterative post-order walk so deep
     /// (wide-register) diagrams cannot overflow the thread stack.
+    ///
+    /// Fails with [`SnapshotError::TooLarge`] if any section count no
+    /// longer fits the version-1 format's `u32` fields; truncating instead
+    /// would produce a checksummed-but-corrupt file.
     pub fn capture(
         dd: &DdManager,
         root: VecEdge,
@@ -176,7 +200,7 @@ impl Snapshot {
         circuit_hash: u64,
         rng_state: [u64; 4],
         classical_bits: Vec<bool>,
-    ) -> Snapshot {
+    ) -> Result<Snapshot, SnapshotError> {
         let mut order: Vec<NodeId> = Vec::new();
         let mut index_of: std::collections::HashMap<NodeId, u32> = std::collections::HashMap::new();
         if !root.node.is_terminal() && !root.is_zero() {
@@ -187,6 +211,14 @@ impl Snapshot {
                     continue;
                 }
                 if expanded {
+                    // Node indices must stay below TERMINAL_REF, which is
+                    // reserved for the terminal.
+                    if order.len() >= TERMINAL_REF as usize {
+                        return Err(SnapshotError::TooLarge {
+                            what: "nodes",
+                            count: order.len() + 1,
+                        });
+                    }
                     index_of.insert(id, order.len() as u32);
                     order.push(id);
                 } else {
@@ -199,6 +231,10 @@ impl Snapshot {
                 }
             }
         }
+        // Every interned weight id is below the table length, so checking
+        // the length once covers every `weight.index() as u32` below.
+        len_u32(dd.complex.values().len(), "weights")?;
+        len_u32(classical_bits.len(), "classical bits")?;
         let encode = |e: VecEdge| SnapEdge {
             node: if e.node.is_terminal() {
                 TERMINAL_REF
@@ -217,7 +253,7 @@ impl Snapshot {
                 }
             })
             .collect();
-        Snapshot {
+        Ok(Snapshot {
             qubits,
             next_op,
             circuit_hash,
@@ -227,7 +263,7 @@ impl Snapshot {
             weights: dd.complex.values().to_vec(),
             nodes,
             root: encode(root),
-        }
+        })
     }
 
     /// Rebuilds a fresh manager holding the captured state.
@@ -337,14 +373,14 @@ impl Snapshot {
             buf.extend_from_slice(&word.to_le_bytes());
         }
         buf.extend_from_slice(&self.tolerance.to_bits().to_le_bytes());
-        buf.extend_from_slice(&(self.classical_bits.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&len_u32(self.classical_bits.len(), "classical bits")?.to_le_bytes());
         buf.extend(self.classical_bits.iter().map(|&b| b as u8));
-        buf.extend_from_slice(&(self.weights.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&len_u32(self.weights.len(), "weights")?.to_le_bytes());
         for c in &self.weights {
             buf.extend_from_slice(&c.re.to_bits().to_le_bytes());
             buf.extend_from_slice(&c.im.to_bits().to_le_bytes());
         }
-        buf.extend_from_slice(&(self.nodes.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&len_u32(self.nodes.len(), "nodes")?.to_le_bytes());
         for node in &self.nodes {
             buf.extend_from_slice(&node.level.to_le_bytes());
             for child in node.children {
@@ -387,12 +423,18 @@ impl Snapshot {
         let circuit_hash = cur.u64()?;
         let rng_state = [cur.u64()?, cur.u64()?, cur.u64()?, cur.u64()?];
         let tolerance = f64::from_bits(cur.u64()?);
+        // Each section count is bounds-checked against the bytes actually
+        // left in the body BEFORE the allocation it sizes: a forged count
+        // (with a recomputed checksum) must not drive `with_capacity` into
+        // a multi-gigabyte allocation.
         let n_cbits = cur.u32()? as usize;
+        cur.expect_elems(n_cbits, 1, "classical-bit")?;
         let mut classical_bits = Vec::with_capacity(n_cbits);
         for _ in 0..n_cbits {
             classical_bits.push(cur.u8()? != 0);
         }
         let n_weights = cur.u32()? as usize;
+        cur.expect_elems(n_weights, 16, "weight")?;
         let mut weights = Vec::with_capacity(n_weights);
         for _ in 0..n_weights {
             let re = f64::from_bits(cur.u64()?);
@@ -400,6 +442,7 @@ impl Snapshot {
             weights.push(Complex::new(re, im));
         }
         let n_nodes = cur.u32()? as usize;
+        cur.expect_elems(n_nodes, 20, "node")?;
         let mut nodes = Vec::with_capacity(n_nodes);
         for _ in 0..n_nodes {
             let level = cur.u32()?;
@@ -472,6 +515,26 @@ impl Cursor<'_> {
         Ok(s)
     }
 
+    /// Rejects a section count whose `count × elem_size` exceeds the bytes
+    /// remaining in the body, so callers can size allocations from it.
+    fn expect_elems(
+        &self,
+        count: usize,
+        elem_size: usize,
+        what: &str,
+    ) -> Result<(), SnapshotError> {
+        let remaining = self.buf.len() - self.pos;
+        let fits = count
+            .checked_mul(elem_size)
+            .is_some_and(|need| need <= remaining);
+        if !fits {
+            return Err(SnapshotError::Corrupt(format!(
+                "{what} count {count} exceeds the {remaining} bytes left in the body"
+            )));
+        }
+        Ok(())
+    }
+
     fn u8(&mut self) -> Result<u8, SnapshotError> {
         Ok(self.take(1)?[0])
     }
@@ -519,7 +582,7 @@ mod tests {
     }
 
     fn capture_of(dd: &DdManager, root: VecEdge, n: u32) -> Snapshot {
-        Snapshot::capture(dd, root, n, 7, 0xfeed, [1, 2, 3, 4], vec![true, false])
+        Snapshot::capture(dd, root, n, 7, 0xfeed, [1, 2, 3, 4], vec![true, false]).unwrap()
     }
 
     #[test]
@@ -567,7 +630,7 @@ mod tests {
     #[test]
     fn zero_and_terminal_roots_round_trip() {
         let dd = DdManager::new();
-        let snap = Snapshot::capture(&dd, VecEdge::ZERO, 3, 0, 0, [9, 9, 9, 9], vec![]);
+        let snap = Snapshot::capture(&dd, VecEdge::ZERO, 3, 0, 0, [9, 9, 9, 9], vec![]).unwrap();
         assert!(snap.nodes.is_empty());
         let mut bytes = Vec::new();
         snap.write_to(&mut bytes).unwrap();
@@ -617,6 +680,63 @@ mod tests {
             Snapshot::read_from(&mut bad.as_slice()),
             Err(SnapshotError::UnsupportedVersion(99))
         ));
+    }
+
+    /// Recomputes the trailing FNV-1a checksum after a deliberate edit, so
+    /// a test reaches the section parser instead of the checksum gate.
+    fn reseal(bytes: &mut [u8]) {
+        let body_len = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+    }
+
+    #[test]
+    fn forged_section_counts_are_rejected_before_allocation() {
+        // A forged count with a valid checksum must be refused by the
+        // count-vs-remaining-bytes guard, not fed to `Vec::with_capacity`
+        // (a count of ~4 billion nodes would ask for an 80 GB allocation).
+        let mut dd = DdManager::new();
+        let state = entangled_state(&mut dd, 3);
+        let snap = capture_of(&dd, state, 3);
+        let mut bytes = Vec::new();
+        snap.write_to(&mut bytes).unwrap();
+
+        // Fixed header: magic 8 + version 4 + qubits 4 + next_op 8 +
+        // circ_hash 8 + rng 32 + tolerance 8 = 72 bytes.
+        let cbits_at = 72;
+        let weights_at = cbits_at + 4 + snap.classical_bits.len();
+        let nodes_at = weights_at + 4 + 16 * snap.weights.len();
+        for off in [cbits_at, weights_at, nodes_at] {
+            let mut bad = bytes.clone();
+            bad[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+            reseal(&mut bad);
+            match Snapshot::read_from(&mut bad.as_slice()) {
+                Err(SnapshotError::Corrupt(msg)) => {
+                    assert!(
+                        msg.contains("exceeds"),
+                        "count at offset {off} should trip the size guard, got: {msg}"
+                    );
+                }
+                other => panic!("forged count at offset {off} accepted: {other:?}"),
+            }
+        }
+    }
+
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    fn oversized_section_counts_refuse_to_serialize() {
+        // Writing a count that does not fit u32 must fail typed instead of
+        // silently truncating into a checksummed-but-corrupt file.
+        match len_u32(u32::MAX as usize + 1, "nodes") {
+            Err(SnapshotError::TooLarge {
+                what: "nodes",
+                count,
+            }) => {
+                assert_eq!(count, u32::MAX as usize + 1);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        assert_eq!(len_u32(17, "weights").unwrap(), 17);
     }
 
     #[test]

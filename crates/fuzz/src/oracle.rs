@@ -126,6 +126,18 @@ fn dd_variants(full: bool) -> Vec<(&'static str, DdConfig)> {
                 ..base
             },
         ),
+        // A budget lax enough to never trip: the run takes the *governed*
+        // kernel instantiation end to end but must still agree with the
+        // dense reference amplitude-for-amplitude, pinning down that the
+        // governed and ungoverned monomorphizations build identical
+        // diagrams (the budget axis below only checks clean-error exits).
+        (
+            "dd=governed-lax",
+            DdConfig {
+                max_live_nodes: Some(1 << 30),
+                ..base
+            },
+        ),
     ];
     if full {
         variants.extend([
@@ -192,8 +204,8 @@ fn budget_variants(full: bool) -> Vec<(&'static str, DdConfig, Option<Duration>)
 }
 
 /// The engine-configuration lattice: every combining strategy crossed with
-/// the DD-manager variants plus the budget axis (quick: 5 × (4 + 1) = 25
-/// points; full: 5 × (7 + 3) = 50).
+/// the DD-manager variants plus the budget axis (quick: 5 × (5 + 1) = 30
+/// points; full: 5 × (8 + 3) = 55).
 pub fn config_lattice(full: bool) -> Vec<LatticePoint> {
     let strategies = [
         Strategy::Sequential,
@@ -566,8 +578,8 @@ mod tests {
 
     #[test]
     fn lattice_sizes() {
-        assert_eq!(config_lattice(false).len(), 25);
-        assert_eq!(config_lattice(true).len(), 50);
+        assert_eq!(config_lattice(false).len(), 30);
+        assert_eq!(config_lattice(true).len(), 55);
     }
 
     #[test]

@@ -204,6 +204,72 @@ fn no_cache_no_identity_skip_matches_dense() {
 }
 
 #[test]
+fn governed_and_ungoverned_runs_are_bitwise_identical() {
+    // The governed and ungoverned kernel instantiations must build the
+    // SAME diagrams — not merely tolerance-equal ones. A lax budget
+    // (never trips) forces the governed instantiation end to end; the
+    // default config takes the ungoverned fast path. Amplitudes must
+    // match bit for bit and the machine-independent run statistics must
+    // be identical, under both a gate-at-a-time and a matrix-combining
+    // strategy.
+    for seed in 0..4u64 {
+        for strategy in [Strategy::Sequential, Strategy::KOperations { k: 5 }] {
+            let circuit = random_circuit(6, 60, seed);
+            let ungoverned = SimOptions::with_strategy(strategy);
+            let governed = SimOptions {
+                strategy,
+                dd_config: DdConfig {
+                    max_live_nodes: Some(usize::MAX),
+                    ..DdConfig::default()
+                },
+                ..SimOptions::default()
+            };
+            let (sim_u, stats_u) = simulate(&circuit, ungoverned).expect("ungoverned run");
+            let (sim_g, stats_g) = simulate(&circuit, governed).expect("governed run");
+            for i in 0..(1u64 << 6) {
+                let a = sim_u.amplitude(i);
+                let b = sim_g.amplitude(i);
+                assert_eq!(
+                    (a.re.to_bits(), a.im.to_bits()),
+                    (b.re.to_bits(), b.im.to_bits()),
+                    "seed {seed}, {strategy}, amplitude {i}: {a} vs {b}"
+                );
+            }
+            let shape_u = (
+                stats_u.elementary_gates,
+                stats_u.mat_vec_mults,
+                stats_u.mat_mat_mults,
+                stats_u.identity_skips,
+                stats_u.specialized_applies,
+                stats_u.mult_recursions,
+                stats_u.add_recursions,
+                stats_u.peak_state_nodes,
+                stats_u.peak_matrix_nodes,
+                stats_u.final_state_nodes,
+                stats_u.gc_runs,
+            );
+            let shape_g = (
+                stats_g.elementary_gates,
+                stats_g.mat_vec_mults,
+                stats_g.mat_mat_mults,
+                stats_g.identity_skips,
+                stats_g.specialized_applies,
+                stats_g.mult_recursions,
+                stats_g.add_recursions,
+                stats_g.peak_state_nodes,
+                stats_g.peak_matrix_nodes,
+                stats_g.final_state_nodes,
+                stats_g.gc_runs,
+            );
+            assert_eq!(
+                shape_u, shape_g,
+                "seed {seed}, {strategy}: run statistics diverged between instantiations"
+            );
+        }
+    }
+}
+
+#[test]
 fn deep_circuit_stays_normalized() {
     let circuit = random_circuit(8, 400, 123);
     let (sim, _) = simulate(

@@ -35,12 +35,16 @@
 
 use std::fmt;
 use std::path::Path;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ddsim_circuit::{lower_swap, Circuit, GateOp, Operation};
 use ddsim_complex::Complex;
 use ddsim_dd::snapshot::fnv1a;
-use ddsim_dd::{CancelToken, DdConfig, DdError, DdManager, MatEdge, Snapshot, VecEdge};
+use ddsim_dd::{
+    CancelToken, DdConfig, DdError, DdManager, FxHashMap, MatEdge, Par, Snapshot, ThreadPool,
+    VecEdge,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -65,6 +69,14 @@ pub struct SimOptions {
     /// start. `None` disables the deadline. On expiry the run unwinds with
     /// [`SimError::DeadlineExceeded`]; a resumed run gets a fresh window.
     pub deadline: Option<Duration>,
+    /// Worker threads for the DD kernels and shot sampling. `1` (the
+    /// default) runs strictly sequentially — bitwise identical to the
+    /// pre-threading engine. `0` uses all available cores. At `≥ 2` the
+    /// simulator owns a work-stealing pool: large multiplications fork
+    /// their quadrant products and [`Simulator::sample_counts`] spreads
+    /// shots across lanes (threaded amplitudes agree with sequential
+    /// within the weight-unification tolerance; see DESIGN.md §12).
+    pub threads: u32,
 }
 
 impl Default for SimOptions {
@@ -75,7 +87,26 @@ impl Default for SimOptions {
             collect_trace: false,
             dd_config: DdConfig::default(),
             deadline: None,
+            threads: 1,
         }
+    }
+}
+
+/// Resolves a [`SimOptions::threads`] value to a concrete lane count
+/// (`0` means all available cores).
+pub(crate) fn effective_threads(threads: u32) -> usize {
+    match threads {
+        0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+        n => n as usize,
+    }
+}
+
+/// Builds the shared pool for a `threads` setting, or `None` when the
+/// setting resolves to sequential execution.
+pub(crate) fn build_pool(threads: u32) -> Option<Arc<ThreadPool>> {
+    match effective_threads(threads) {
+        0 | 1 => None,
+        p => Some(Arc::new(ThreadPool::new(p))),
     }
 }
 
@@ -150,6 +181,9 @@ pub struct Simulator {
     // Fingerprint of the circuit the current/last run executed.
     active_circuit_hash: u64,
     stats: RunStats,
+    // The work-stealing pool behind `SimOptions::threads ≥ 2`; shared with
+    // the DD manager (fork-join kernels) and the shot-sampling loop.
+    pool: Option<Arc<ThreadPool>>,
 }
 
 impl Simulator {
@@ -169,6 +203,10 @@ impl Simulator {
     /// Panics if `n` is 0 or greater than 63.
     pub fn with_options(n: u32, options: SimOptions) -> Self {
         let mut dd = DdManager::with_config(options.dd_config);
+        let pool = build_pool(options.threads);
+        if let Some(pool) = &pool {
+            dd.set_par(Par::Threaded(Arc::clone(pool)));
+        }
         let state = dd.vec_zero_state(n);
         dd.inc_ref_vec(state);
         Simulator {
@@ -187,6 +225,7 @@ impl Simulator {
             ops_executed: 0,
             active_circuit_hash: 0,
             stats: RunStats::default(),
+            pool,
         }
     }
 
@@ -264,10 +303,61 @@ impl Simulator {
 
     /// Samples `shots` full measurements and returns outcome counts —
     /// the typical read-out a hardware backend would give.
-    pub fn sample_counts(&mut self, shots: u32) -> std::collections::HashMap<u64, u32> {
-        let mut counts = std::collections::HashMap::new();
+    ///
+    /// At `threads ≤ 1` the shots draw from the simulator's RNG stream one
+    /// by one, exactly as before threading existed. With a pool, each shot
+    /// gets a deterministic substream derived from one draw of the main
+    /// stream, and the shots run across the pool's lanes; the resulting
+    /// histogram depends only on the seed (counts merge commutatively),
+    /// never on worker scheduling.
+    pub fn sample_counts(&mut self, shots: u32) -> FxHashMap<u64, u32> {
+        if shots >= 2 {
+            if let Some(pool) = self.pool.clone() {
+                return self.sample_counts_par(shots, &pool);
+            }
+        }
+        let mut counts = FxHashMap::default();
         for _ in 0..shots {
             *counts.entry(self.sample()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    fn sample_counts_par(&mut self, shots: u32, pool: &Arc<ThreadPool>) -> FxHashMap<u64, u32> {
+        // One draw advances the main stream; each shot derives its own
+        // substream from it (Weyl-sequence increment, the SplitMix64
+        // constant), so outcomes are a pure function of (seed, shot index).
+        let base = self.rng.gen::<u64>();
+        let lanes = pool.parallelism().min(shots as usize).max(1);
+        let slots: Vec<Mutex<FxHashMap<u64, u32>>> = (0..lanes)
+            .map(|_| Mutex::new(FxHashMap::default()))
+            .collect();
+        let dd = &self.dd;
+        let state = self.state;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..lanes)
+            .map(|lane| {
+                let slots = &slots;
+                Box::new(move || {
+                    let mut local: FxHashMap<u64, u32> = FxHashMap::default();
+                    let mut shot = lane as u32;
+                    while shot < shots {
+                        let mut rng = StdRng::seed_from_u64(
+                            base.wrapping_add(u64::from(shot).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                        );
+                        let mut draw = || rng.gen::<f64>();
+                        *local.entry(dd.sample(state, &mut draw)).or_insert(0) += 1;
+                        shot += lanes as u32;
+                    }
+                    *slots[lane].lock().expect("sample lane poisoned") = local;
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_batch(tasks);
+        let mut counts = FxHashMap::default();
+        for slot in slots {
+            for (outcome, c) in slot.into_inner().expect("sample lane poisoned") {
+                *counts.entry(outcome).or_insert(0) += c;
+            }
         }
         counts
     }
@@ -375,7 +465,8 @@ impl Simulator {
         )?;
         snap.save(path)?;
         // Reload in place (see above). The governor's deadline and cancel
-        // token live on the manager and must carry over unchanged.
+        // token live on the manager and must carry over unchanged, as must
+        // the execution policy (the restored manager defaults to `Seq`).
         let deadline = self.dd.deadline();
         let cancel = self.dd.cancel_token();
         let (dd, state) = snap.restore(self.options.dd_config)?;
@@ -383,6 +474,9 @@ impl Simulator {
         self.state = state;
         self.dd.set_deadline(deadline);
         self.dd.set_cancel_token(cancel);
+        if let Some(pool) = &self.pool {
+            self.dd.set_par(Par::Threaded(Arc::clone(pool)));
+        }
         self.cached_state_nodes = self.dd.vec_node_count(self.state);
         self.stats.checkpoints_written += 1;
         Ok(())
@@ -425,7 +519,11 @@ impl Simulator {
                 snap.circuit_hash
             )));
         }
-        let (dd, state) = snap.restore(options.dd_config)?;
+        let (mut dd, state) = snap.restore(options.dd_config)?;
+        let pool = build_pool(options.threads);
+        if let Some(pool) = &pool {
+            dd.set_par(Par::Threaded(Arc::clone(pool)));
+        }
         let cached_state_nodes = dd.vec_node_count(state);
         let sim = Simulator {
             dd,
@@ -443,6 +541,7 @@ impl Simulator {
             ops_executed: snap.next_op,
             active_circuit_hash: snap.circuit_hash,
             stats: RunStats::default(),
+            pool,
         };
         Ok((sim, snap.next_op))
     }

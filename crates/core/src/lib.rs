@@ -47,8 +47,8 @@ mod stats;
 mod strategy;
 
 pub use ddsim_dd::{
-    CacheStats, CancelToken, DdConfig, FaultKind, Resource, Snapshot, SnapshotError, TableStats,
-    UniqueTableStats,
+    CacheStats, CancelToken, DdConfig, FaultKind, FxHashMap, Par, Resource, Snapshot,
+    SnapshotError, TableStats, ThreadPool, UniqueTableStats,
 };
 pub use engine::{circuit_fingerprint, simulate, CheckpointConfig, SimOptions, Simulator};
 pub use error::SimError;

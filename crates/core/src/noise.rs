@@ -6,6 +6,8 @@
 //! while each individual trajectory stays a pure state (and thus a plain
 //! vector DD).
 
+use std::sync::Mutex;
+
 use ddsim_circuit::{Circuit, Operation, StandardGate};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -107,8 +109,27 @@ pub fn run_noisy_ensemble(
     trajectories: u32,
     seed: u64,
 ) -> Result<NoisyEnsemble, SimError> {
-    let mut counts = std::collections::HashMap::new();
-    for t in 0..trajectories {
+    run_noisy_ensemble_threaded(circuit, noise, trajectories, seed, 1)
+}
+
+/// [`run_noisy_ensemble`] with the trajectory loop spread across a
+/// work-stealing pool of `threads` lanes (`0` = all cores, `≤ 1` = the
+/// sequential loop). Every trajectory's circuit, run, and sample derive
+/// from `seed + t` alone, so the aggregated counts are identical at every
+/// thread count — parallelism changes wall-clock time, never the result.
+///
+/// # Errors
+///
+/// Returns the first failing trajectory's [`SimError`] (lowest `t`),
+/// matching what the sequential loop would report.
+pub fn run_noisy_ensemble_threaded(
+    circuit: &Circuit,
+    noise: DepolarizingNoise,
+    trajectories: u32,
+    seed: u64,
+    threads: u32,
+) -> Result<NoisyEnsemble, SimError> {
+    let one_trajectory = |t: u32| -> Result<u64, SimError> {
         let trajectory_seed = seed.wrapping_add(u64::from(t));
         let noisy = sample_noisy_circuit(circuit, noise, trajectory_seed);
         let mut sim = Simulator::with_options(
@@ -119,7 +140,41 @@ pub fn run_noisy_ensemble(
             },
         );
         sim.run(&noisy)?;
-        *counts.entry(sim.sample()).or_insert(0) += 1;
+        Ok(sim.sample())
+    };
+    let pool = if trajectories >= 2 {
+        crate::engine::build_pool(threads)
+    } else {
+        None
+    };
+    let mut counts = std::collections::HashMap::new();
+    match pool {
+        None => {
+            for t in 0..trajectories {
+                *counts.entry(one_trajectory(t)?).or_insert(0) += 1;
+            }
+        }
+        Some(pool) => {
+            let outcomes: Vec<Mutex<Option<Result<u64, SimError>>>> =
+                (0..trajectories).map(|_| Mutex::new(None)).collect();
+            {
+                let outcomes = &outcomes;
+                let one_trajectory = &one_trajectory;
+                pool.par_for_each_index(trajectories as usize, move |t| {
+                    *outcomes[t].lock().expect("trajectory slot poisoned") =
+                        Some(one_trajectory(t as u32));
+                });
+            }
+            // Trajectory order, so the reported error matches the
+            // sequential loop's (counts themselves merge commutatively).
+            for slot in outcomes {
+                let outcome = slot
+                    .into_inner()
+                    .expect("trajectory slot poisoned")
+                    .expect("trajectory did not run")?;
+                *counts.entry(outcome).or_insert(0) += 1;
+            }
+        }
     }
     Ok(NoisyEnsemble {
         trajectories,

@@ -107,7 +107,15 @@ impl std::error::Error for DdError {}
 /// assert!(watcher.is_cancelled());
 /// ```
 #[derive(Clone, Debug, Default)]
-pub struct CancelToken(Arc<AtomicBool>);
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    /// A parent whose cancellation this token also observes (but never
+    /// latches). Used by the fork-join kernels: each parallel operation
+    /// hands its workers a child of the user's token, so a breach in one
+    /// worker can unwind its siblings without permanently cancelling the
+    /// caller's token.
+    parent: Option<Arc<CancelToken>>,
+}
 
 impl CancelToken {
     /// A fresh, un-cancelled token.
@@ -115,15 +123,25 @@ impl CancelToken {
         Self::default()
     }
 
-    /// Latches the token; every clone observes the cancellation.
-    pub fn cancel(&self) {
-        self.0.store(true, Ordering::Release);
+    /// A token that is cancelled when either it or `self` is cancelled.
+    /// Cancelling the child never latches the parent.
+    pub fn child(&self) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            parent: Some(Arc::new(self.clone())),
+        }
     }
 
-    /// Whether the token has been cancelled.
+    /// Latches this token (not its parent); every clone observes the
+    /// cancellation.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether this token or any ancestor has been cancelled.
     #[inline]
     pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::Acquire)
+        self.flag.load(Ordering::Acquire) || self.parent.as_ref().is_some_and(|p| p.is_cancelled())
     }
 }
 
@@ -138,6 +156,20 @@ mod tests {
         assert!(!t.is_cancelled() && !c.is_cancelled());
         c.cancel();
         assert!(t.is_cancelled() && c.is_cancelled());
+    }
+
+    #[test]
+    fn child_tokens_observe_but_never_latch_the_parent() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        assert!(!child.is_cancelled());
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled(), "child cancel must not latch parent");
+        let second = parent.child();
+        assert!(!second.is_cancelled());
+        parent.cancel();
+        assert!(second.is_cancelled(), "parent cancel reaches children");
     }
 
     #[test]

@@ -74,6 +74,11 @@ pub fn fx_hash<T: Hash>(value: &T) -> u64 {
     h.finish()
 }
 
+/// A `HashMap` keyed by [`FxHasher`] — the drop-in replacement for the
+/// standard SipHash map wherever a DoS-resistant hash is unnecessary
+/// (shot-count histograms, export walks, other small-key hot loops).
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, std::hash::BuildHasherDefault<FxHasher>>;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -51,6 +51,8 @@ mod manager;
 mod matrix;
 mod measure;
 mod ops;
+mod par;
+pub mod pool;
 pub mod reference;
 pub mod snapshot;
 mod unique;
@@ -60,6 +62,9 @@ pub use compute::{CacheStats, TableStats, UniqueTableStats};
 pub use edge::{Level, MatEdge, NodeId, VecEdge};
 pub use error::{BudgetBreach, CancelToken, DdError, Resource};
 pub use fault::FaultKind;
+pub use hash::{fx_hash, FxHashMap, FxHasher};
 pub use manager::{DdConfig, DdManager, DdStats};
 pub use matrix::{Control, ControlPolarity, Matrix2};
+pub use par::Par;
+pub use pool::ThreadPool;
 pub use snapshot::{Snapshot, SnapshotError};

@@ -1,0 +1,1017 @@
+//! The [`Par`] execution policy and the fork-join multiplication kernels.
+//!
+//! # Parallelism model: isolated worker shards, deterministic merge
+//!
+//! The paper's combining strategies widen the top of the MxV/MxM recursion
+//! into independent quadrant products — exactly the shape a multi-core
+//! engine can exploit. But the manager's canonical state is deeply
+//! history-dependent: the arenas are reallocating `Vec`s, and the
+//! tolerance-bucketed complex table makes interning order-sensitive (the
+//! first value in a bucket becomes its representative). Sharing those
+//! tables across threads under fine-grained locks would either race on
+//! arena reallocation or make node ids scheduling-dependent, destroying
+//! the run-to-run determinism the rest of the workspace is built on.
+//!
+//! The sharding strategy here keeps every mutable table **thread-private**
+//! instead:
+//!
+//! 1. a *split planner* mirrors the top levels of the sequential recursion
+//!    (including its structural-zero elisions and identity skips) down to a
+//!    size cutoff, producing a task list of independent sub-products plus a
+//!    join plan;
+//! 2. each task's operand sub-DDs are **exported** to a portable form
+//!    (children-before-parents node list with exact `f64` weights, the
+//!    snapshot format's in-memory sibling);
+//! 3. pool workers import the operands into **private managers** — their
+//!    own arenas, unique tables, caches, and complex table — and run the
+//!    ordinary sequential kernels;
+//! 4. the coordinator imports the results back into the main manager **in
+//!    fixed task order** and resolves the join plan with the ordinary
+//!    `add`/`make_node` path.
+//!
+//! Hash-consing makes the merge canonical: importing a worker's result
+//! rebuilds it through `make_vec_node`/`make_mat_node`, so shared
+//! structure dedupes exactly as if the main manager had computed it.
+//! Because the merge order is fixed, threaded runs are deterministic
+//! run-to-run; they may differ from the sequential result only within the
+//! weight-unification tolerance (a worker's fresh complex table can pick
+//! different bucket representatives). A pool of parallelism 1 — and
+//! [`Par::Seq`], the default — never enters this module's code paths at
+//! all, so single-threaded results stay bitwise identical to the
+//! pre-parallel engine.
+//!
+//! # Governance under parallelism
+//!
+//! Workers inherit the coordinator's deadline and observe its cancel token
+//! through a [`CancelToken::child`], so a user cancellation reaches every
+//! worker while a *sibling* cancellation (raised internally when one
+//! worker errors) never latches the user's token. A `max_live_nodes`
+//! budget becomes a shared atomic counter: each worker flushes its private
+//! arena count into it at the amortized charge interval and trips on the
+//! combined total, so the global budget is enforced (with the same
+//! one-interval overshoot bound as sequential runs) and surfaces as the
+//! same typed [`DdError`]s with the breach recorded on the main manager.
+
+use std::sync::atomic::AtomicUsize;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use ddsim_complex::{Complex, ComplexId};
+
+use crate::edge::{Level, MatEdge, NodeId, VecEdge};
+use crate::error::{BudgetBreach, CancelToken, DdError};
+use crate::hash::FxHashMap;
+use crate::manager::{DdConfig, DdManager, DdStats};
+use crate::pool::ThreadPool;
+
+/// Execution policy for the DD kernels, in the style of faer-rs's `Par`
+/// parameter: a capability passed down to the engine rather than threads
+/// spawned at use sites. [`Par::Seq`] (the default) runs today's exact
+/// sequential code; [`Par::Threaded`] lets the top-level MxV/MxM entry
+/// points fork quadrant products across the pool.
+#[derive(Clone, Debug, Default)]
+pub enum Par {
+    /// Strictly sequential execution (bitwise identical to the
+    /// pre-parallel engine).
+    #[default]
+    Seq,
+    /// Fork-join execution on the given pool. A pool of parallelism 1
+    /// behaves exactly like [`Par::Seq`].
+    Threaded(Arc<ThreadPool>),
+}
+
+/// Minimum operand level at which the entry points consider forking: below
+/// this the whole product is cheaper than exporting its operands.
+pub(crate) const PAR_MIN_LEVEL: Level = 6;
+
+/// The split planner stops descending at this level and emits the
+/// remaining subtree as one task.
+const SPLIT_FLOOR_LEVEL: Level = 3;
+
+/// Portable-edge marker for the terminal node.
+const TERMINAL: u32 = u32::MAX;
+
+/// Table-size caps for worker managers. A worker lives for one task and
+/// sees a subproblem at least SPLIT_FLOOR_LEVEL levels smaller than the
+/// coordinator's operand, so its tables are clamped well below the
+/// coordinator's (allocating a fresh 2^16-slot cache set per task would
+/// dominate small forks). Capacity never changes the diagrams produced.
+const WORKER_CT_BITS: u32 = 12;
+const WORKER_UT_BITS: u32 = 10;
+
+/// How many planner levels to expand for a pool of the given parallelism.
+/// Each level multiplies the task count by up to 4 (MxV) / 8 (MxM), so two
+/// levels saturate any pool this crate targets.
+fn split_depth(parallelism: usize) -> u32 {
+    if parallelism <= 2 {
+        1
+    } else {
+        2
+    }
+}
+
+/// A manager-independent edge: an index into a portable node list (or
+/// [`TERMINAL`]) plus the exact complex weight value.
+#[derive(Clone, Copy, Debug)]
+struct PortableEdge {
+    node: u32,
+    weight: Complex,
+}
+
+/// A vector sub-DD in transferable form (children before parents).
+#[derive(Clone, Debug)]
+pub(crate) struct PortableVec {
+    nodes: Vec<(Level, [PortableEdge; 2])>,
+    root: PortableEdge,
+}
+
+/// A matrix sub-DD in transferable form (children before parents).
+#[derive(Clone, Debug)]
+pub(crate) struct PortableMat {
+    nodes: Vec<(Level, [PortableEdge; 4])>,
+    root: PortableEdge,
+}
+
+/// A worker's view of the coordinator's `max_live_nodes` budget: the
+/// shared counter holds the fleet-wide live-node total, `flushed` the
+/// portion this manager has already contributed. Each amortized charge
+/// pushes the delta and trips on the combined total.
+pub(crate) struct SharedLiveBudget {
+    pub(crate) counter: Arc<AtomicUsize>,
+    pub(crate) limit: usize,
+    pub(crate) flushed: usize,
+}
+
+// ----------------------------------------------------------------------
+// Split plans
+// ----------------------------------------------------------------------
+
+/// One operand of a quadrant sum in a matrix-vector split plan.
+enum VSum {
+    One(VPlan),
+    Two(VPlan, VPlan),
+}
+
+/// A node of the matrix-vector split plan. `Join` scales the rebuilt node
+/// by `outer` — the product of the operand edge weights — exactly as the
+/// sequential kernel factors weights out of its cache keys.
+enum VPlan {
+    Done(VecEdge),
+    Task(usize),
+    Join {
+        level: Level,
+        outer: ComplexId,
+        lo: Box<VSum>,
+        hi: Box<VSum>,
+    },
+}
+
+enum MSum {
+    One(MPlan),
+    Two(MPlan, MPlan),
+}
+
+enum MPlan {
+    Done(MatEdge),
+    Task(usize),
+    Join {
+        level: Level,
+        outer: ComplexId,
+        quads: Vec<MSum>,
+    },
+}
+
+// ----------------------------------------------------------------------
+// Fork-join scaffolding
+// ----------------------------------------------------------------------
+
+/// Everything a worker manager inherits from the coordinator.
+struct ForkCtx {
+    config: DdConfig,
+    deadline: Option<Instant>,
+    token: Option<CancelToken>,
+    shared_live: Option<(Arc<AtomicUsize>, usize)>,
+}
+
+/// One worker's outcome: its (portable) result, its statistics for
+/// merging, and its breach details if a budget tripped.
+struct WorkerOut<T> {
+    result: Result<T, DdError>,
+    stats: DdStats,
+    breach: Option<BudgetBreach>,
+}
+
+/// Runs one job per worker manager on the pool and collects every outcome
+/// in task order. A failing worker cancels its siblings through the
+/// context's (internal, child) token; panics propagate after the batch
+/// drains (see `pool.rs`).
+fn run_fork_join<J: Sync, T: Send>(
+    pool: &ThreadPool,
+    ctx: &ForkCtx,
+    jobs: &[J],
+    run: impl Fn(&mut DdManager, &J) -> Result<T, DdError> + Sync,
+) -> Vec<WorkerOut<T>> {
+    let slots: Vec<Mutex<Option<WorkerOut<T>>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    {
+        let run = &run;
+        let slots = &slots;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..jobs.len())
+            .map(|i| {
+                Box::new(move || {
+                    let mut worker = DdManager::with_config(ctx.config);
+                    if ctx.deadline.is_some() {
+                        worker.set_deadline(ctx.deadline);
+                    }
+                    if let Some(token) = &ctx.token {
+                        worker.set_cancel_token(Some(token.clone()));
+                    }
+                    if let Some((counter, limit)) = &ctx.shared_live {
+                        worker.install_shared_live(Arc::clone(counter), *limit);
+                    }
+                    let result = run(&mut worker, &jobs[i]);
+                    if result.is_err() {
+                        // Unwind the siblings; latching the child token
+                        // never cancels the user's token.
+                        if let Some(token) = &ctx.token {
+                            token.cancel();
+                        }
+                    }
+                    *slots[i].lock().expect("fork-join slot poisoned") = Some(WorkerOut {
+                        result,
+                        stats: worker.stats(),
+                        breach: worker.last_breach(),
+                    });
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_batch(tasks);
+    }
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("fork-join slot poisoned")
+                .expect("fork-join task did not run")
+        })
+        .collect()
+}
+
+impl DdManager {
+    /// The pool to fork on, if the policy, pool width, and operand size all
+    /// justify it.
+    pub(crate) fn par_pool(&self, level: Level) -> Option<Arc<ThreadPool>> {
+        match self.par() {
+            Par::Threaded(pool) if pool.parallelism() > 1 && level >= PAR_MIN_LEVEL => {
+                Some(Arc::clone(pool))
+            }
+            _ => None,
+        }
+    }
+
+    /// Builds the governance context workers inherit. Ungoverned runs fork
+    /// fully ungoverned workers (zero charge overhead); governed runs hand
+    /// every worker the deadline, a child of the user's cancel token, and
+    /// a shared view of the live-node budget seeded with the coordinator's
+    /// current consumption.
+    fn fork_ctx(&self) -> ForkCtx {
+        let governed = self.is_governed();
+        ForkCtx {
+            // Worker-local budgets are meaningless (their arenas start
+            // empty); the global live-node budget is enforced through the
+            // shared counter instead, and the coordinator's table bytes
+            // are still checked on its own next charge.
+            config: DdConfig {
+                max_live_nodes: None,
+                max_table_bytes: None,
+                // Workers solve subproblems SPLIT_FLOOR_LEVEL+ levels below
+                // the coordinator's operand and live for one task, so
+                // coordinator-sized tables are pure allocation overhead per
+                // task. Capacity only affects speed, never the diagrams.
+                compute_table_bits: self.config.compute_table_bits.min(WORKER_CT_BITS),
+                unique_table_bits: self.config.unique_table_bits.min(WORKER_UT_BITS),
+                ..self.config
+            },
+            deadline: if governed { self.deadline() } else { None },
+            token: if governed {
+                Some(self.cancel_token().map(|t| t.child()).unwrap_or_default())
+            } else {
+                None
+            },
+            shared_live: if governed {
+                self.config.max_live_nodes.map(|limit| {
+                    let live = self.live_vec_nodes() + self.live_mat_nodes();
+                    (Arc::new(AtomicUsize::new(live)), limit)
+                })
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Merges every worker's statistics, resolves the failure to report
+    /// (first budget/deadline error in task order outranks a sibling
+    /// cancellation), and returns the successful results in task order.
+    fn harvest<T>(&mut self, outs: Vec<WorkerOut<T>>) -> Result<Vec<T>, DdError> {
+        let mut failure: Option<(DdError, Option<BudgetBreach>)> = None;
+        let mut results = Vec::with_capacity(outs.len());
+        for out in outs {
+            self.absorb_worker(&out.stats);
+            match out.result {
+                Ok(value) => results.push(value),
+                Err(e) => {
+                    let replace = match &failure {
+                        None => true,
+                        // A sibling's Cancelled is collateral damage; the
+                        // root cause (budget/deadline) outranks it.
+                        Some((DdError::Cancelled, _)) => e != DdError::Cancelled,
+                        Some(_) => false,
+                    };
+                    if replace {
+                        failure = Some((e, out.breach));
+                    }
+                }
+            }
+        }
+        if let Some((e, breach)) = failure {
+            if let Some(b) = breach {
+                self.record_breach(b);
+            }
+            return Err(e);
+        }
+        Ok(results)
+    }
+
+    // ------------------------------------------------------------------
+    // Matrix-vector fork-join
+    // ------------------------------------------------------------------
+
+    /// Fork-join `M × v`: plan, export, run on the pool, merge. Falls back
+    /// to the sequential kernel when the planner finds fewer than two
+    /// tasks (nothing to parallelize).
+    pub(crate) fn mat_vec_mul_par(
+        &mut self,
+        m: MatEdge,
+        v: VecEdge,
+        pool: &Arc<ThreadPool>,
+    ) -> Result<VecEdge, DdError> {
+        let mut tasks: Vec<(MatEdge, VecEdge)> = Vec::new();
+        let plan = self.split_mat_vec(m, v, split_depth(pool.parallelism()), &mut tasks);
+        if tasks.len() < 2 {
+            return self.mat_vec_mul_seq(m, v);
+        }
+        let jobs: Vec<(PortableMat, PortableVec)> = tasks
+            .iter()
+            .map(|&(tm, tv)| (self.export_mat(tm), self.export_vec(tv)))
+            .collect();
+        let ctx = self.fork_ctx();
+        let outs = run_fork_join(pool, &ctx, &jobs, |worker, (jm, jv)| {
+            let wm = worker.import_mat(jm);
+            let wv = worker.import_vec(jv);
+            let r = worker.mat_vec_mul(wm, wv)?;
+            Ok(worker.export_vec(r))
+        });
+        let portables = self.harvest(outs)?;
+        // Fixed-order import keeps threaded runs deterministic: node ids
+        // and bucket representatives depend only on the task order, never
+        // on worker scheduling.
+        let results: Vec<VecEdge> = portables.iter().map(|p| self.import_vec(p)).collect();
+        self.resolve_vplan(plan, &results)
+    }
+
+    /// Mirrors `mat_vec_rec`'s structure — the same structural-zero
+    /// elisions and identity skips — but emits tasks instead of recursing
+    /// past the split depth.
+    fn split_mat_vec(
+        &mut self,
+        m: MatEdge,
+        v: VecEdge,
+        depth: u32,
+        tasks: &mut Vec<(MatEdge, VecEdge)>,
+    ) -> VPlan {
+        if m.is_zero() || v.is_zero() {
+            return VPlan::Done(VecEdge::ZERO);
+        }
+        let outer = self.complex.mul(m.weight, v.weight);
+        if m.node.is_terminal() && v.node.is_terminal() {
+            return VPlan::Done(VecEdge::terminal(outer));
+        }
+        if self.config.identity_skip && self.is_identity_node(m.node) {
+            self.stats.identity_skips += 1;
+            return VPlan::Done(VecEdge {
+                node: v.node,
+                weight: outer,
+            });
+        }
+        if depth == 0 || self.mat_level(m) <= SPLIT_FLOOR_LEVEL {
+            tasks.push((m, v));
+            return VPlan::Task(tasks.len() - 1);
+        }
+        let mn = *self.mat_node(m.node);
+        let vn = *self.vec_node(v.node);
+        let lo = if mn.edges[1].is_zero() {
+            VSum::One(self.split_mat_vec(mn.edges[0], vn.edges[0], depth - 1, tasks))
+        } else if mn.edges[0].is_zero() {
+            VSum::One(self.split_mat_vec(mn.edges[1], vn.edges[1], depth - 1, tasks))
+        } else {
+            VSum::Two(
+                self.split_mat_vec(mn.edges[0], vn.edges[0], depth - 1, tasks),
+                self.split_mat_vec(mn.edges[1], vn.edges[1], depth - 1, tasks),
+            )
+        };
+        let hi = if mn.edges[3].is_zero() {
+            VSum::One(self.split_mat_vec(mn.edges[2], vn.edges[0], depth - 1, tasks))
+        } else if mn.edges[2].is_zero() {
+            VSum::One(self.split_mat_vec(mn.edges[3], vn.edges[1], depth - 1, tasks))
+        } else {
+            VSum::Two(
+                self.split_mat_vec(mn.edges[2], vn.edges[0], depth - 1, tasks),
+                self.split_mat_vec(mn.edges[3], vn.edges[1], depth - 1, tasks),
+            )
+        };
+        VPlan::Join {
+            level: mn.level,
+            outer,
+            lo: Box::new(lo),
+            hi: Box::new(hi),
+        }
+    }
+
+    fn resolve_vsum(&mut self, sum: VSum, results: &[VecEdge]) -> Result<VecEdge, DdError> {
+        match sum {
+            VSum::One(p) => self.resolve_vplan(p, results),
+            VSum::Two(a, b) => {
+                let a = self.resolve_vplan(a, results)?;
+                let b = self.resolve_vplan(b, results)?;
+                self.add_vec(a, b)
+            }
+        }
+    }
+
+    fn resolve_vplan(&mut self, plan: VPlan, results: &[VecEdge]) -> Result<VecEdge, DdError> {
+        match plan {
+            VPlan::Done(e) => Ok(e),
+            VPlan::Task(i) => Ok(results[i]),
+            VPlan::Join {
+                level,
+                outer,
+                lo,
+                hi,
+            } => {
+                let lo = self.resolve_vsum(*lo, results)?;
+                let hi = self.resolve_vsum(*hi, results)?;
+                let e = self.make_vec_node(level, [lo, hi]);
+                Ok(VecEdge {
+                    node: e.node,
+                    weight: self.complex.mul(e.weight, outer),
+                })
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Matrix-matrix fork-join
+    // ------------------------------------------------------------------
+
+    /// Fork-join `A × B`, the matrix sibling of
+    /// [`mat_vec_mul_par`](Self::mat_vec_mul_par).
+    pub(crate) fn mat_mat_mul_par(
+        &mut self,
+        a: MatEdge,
+        b: MatEdge,
+        pool: &Arc<ThreadPool>,
+    ) -> Result<MatEdge, DdError> {
+        let mut tasks: Vec<(MatEdge, MatEdge)> = Vec::new();
+        let plan = self.split_mat_mat(a, b, split_depth(pool.parallelism()), &mut tasks);
+        if tasks.len() < 2 {
+            return self.mat_mat_mul_seq(a, b);
+        }
+        let jobs: Vec<(PortableMat, PortableMat)> = tasks
+            .iter()
+            .map(|&(ta, tb)| (self.export_mat(ta), self.export_mat(tb)))
+            .collect();
+        let ctx = self.fork_ctx();
+        let outs = run_fork_join(pool, &ctx, &jobs, |worker, (ja, jb)| {
+            let wa = worker.import_mat(ja);
+            let wb = worker.import_mat(jb);
+            let r = worker.mat_mat_mul(wa, wb)?;
+            Ok(worker.export_mat(r))
+        });
+        let portables = self.harvest(outs)?;
+        let results: Vec<MatEdge> = portables.iter().map(|p| self.import_mat(p)).collect();
+        self.resolve_mplan(plan, &results)
+    }
+
+    /// Mirrors `mat_mat_rec` (quadrant products with structural-zero
+    /// elision, identity skips on either operand) down to the split depth.
+    fn split_mat_mat(
+        &mut self,
+        a: MatEdge,
+        b: MatEdge,
+        depth: u32,
+        tasks: &mut Vec<(MatEdge, MatEdge)>,
+    ) -> MPlan {
+        if a.is_zero() || b.is_zero() {
+            return MPlan::Done(MatEdge::ZERO);
+        }
+        let outer = self.complex.mul(a.weight, b.weight);
+        if a.node.is_terminal() && b.node.is_terminal() {
+            return MPlan::Done(MatEdge::terminal(outer));
+        }
+        if self.config.identity_skip {
+            if self.is_identity_node(a.node) {
+                self.stats.identity_skips += 1;
+                return MPlan::Done(MatEdge {
+                    node: b.node,
+                    weight: outer,
+                });
+            }
+            if self.is_identity_node(b.node) {
+                self.stats.identity_skips += 1;
+                return MPlan::Done(MatEdge {
+                    node: a.node,
+                    weight: outer,
+                });
+            }
+        }
+        if depth == 0 || self.mat_level(a) <= SPLIT_FLOOR_LEVEL {
+            tasks.push((a, b));
+            return MPlan::Task(tasks.len() - 1);
+        }
+        let an = *self.mat_node(a.node);
+        let bn = *self.mat_node(b.node);
+        let mut quads = Vec::with_capacity(4);
+        for r in 0..2usize {
+            for c in 0..2usize {
+                let quad = if an.edges[2 * r + 1].is_zero() || bn.edges[2 + c].is_zero() {
+                    MSum::One(self.split_mat_mat(an.edges[2 * r], bn.edges[c], depth - 1, tasks))
+                } else if an.edges[2 * r].is_zero() || bn.edges[c].is_zero() {
+                    MSum::One(self.split_mat_mat(
+                        an.edges[2 * r + 1],
+                        bn.edges[2 + c],
+                        depth - 1,
+                        tasks,
+                    ))
+                } else {
+                    MSum::Two(
+                        self.split_mat_mat(an.edges[2 * r], bn.edges[c], depth - 1, tasks),
+                        self.split_mat_mat(an.edges[2 * r + 1], bn.edges[2 + c], depth - 1, tasks),
+                    )
+                };
+                quads.push(quad);
+            }
+        }
+        MPlan::Join {
+            level: an.level,
+            outer,
+            quads,
+        }
+    }
+
+    fn resolve_msum(&mut self, sum: MSum, results: &[MatEdge]) -> Result<MatEdge, DdError> {
+        match sum {
+            MSum::One(p) => self.resolve_mplan(p, results),
+            MSum::Two(a, b) => {
+                let a = self.resolve_mplan(a, results)?;
+                let b = self.resolve_mplan(b, results)?;
+                self.add_mat(a, b)
+            }
+        }
+    }
+
+    fn resolve_mplan(&mut self, plan: MPlan, results: &[MatEdge]) -> Result<MatEdge, DdError> {
+        match plan {
+            MPlan::Done(e) => Ok(e),
+            MPlan::Task(i) => Ok(results[i]),
+            MPlan::Join {
+                level,
+                outer,
+                quads,
+            } => {
+                let mut children = [MatEdge::ZERO; 4];
+                for (child, quad) in children.iter_mut().zip(quads) {
+                    *child = self.resolve_msum(quad, results)?;
+                }
+                let e = self.make_mat_node(level, children);
+                Ok(MatEdge {
+                    node: e.node,
+                    weight: self.complex.mul(e.weight, outer),
+                })
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sub-DD transfer
+    // ------------------------------------------------------------------
+
+    /// Exports the sub-DD under `root` as a portable node list (children
+    /// before parents, exact weight values). Iterative post-order walk, so
+    /// wide-register diagrams cannot overflow the stack.
+    pub(crate) fn export_vec(&self, root: VecEdge) -> PortableVec {
+        let mut nodes: Vec<(Level, [PortableEdge; 2])> = Vec::new();
+        let mut index_of: FxHashMap<NodeId, u32> = FxHashMap::default();
+        if !root.is_zero() && !root.node.is_terminal() {
+            let mut stack: Vec<(NodeId, bool)> = vec![(root.node, false)];
+            while let Some((id, expanded)) = stack.pop() {
+                if index_of.contains_key(&id) {
+                    continue;
+                }
+                if expanded {
+                    let n = self.vec_node(id);
+                    let children = [
+                        self.portable_edge(n.edges[0].node, n.edges[0].weight, &index_of),
+                        self.portable_edge(n.edges[1].node, n.edges[1].weight, &index_of),
+                    ];
+                    index_of.insert(id, nodes.len() as u32);
+                    nodes.push((n.level, children));
+                } else {
+                    stack.push((id, true));
+                    for child in self.vec_node(id).edges {
+                        if !child.node.is_terminal() && !index_of.contains_key(&child.node) {
+                            stack.push((child.node, false));
+                        }
+                    }
+                }
+            }
+        }
+        let root = self.portable_edge(root.node, root.weight, &index_of);
+        PortableVec { nodes, root }
+    }
+
+    /// Matrix sibling of [`export_vec`](Self::export_vec).
+    pub(crate) fn export_mat(&self, root: MatEdge) -> PortableMat {
+        let mut nodes: Vec<(Level, [PortableEdge; 4])> = Vec::new();
+        let mut index_of: FxHashMap<NodeId, u32> = FxHashMap::default();
+        if !root.is_zero() && !root.node.is_terminal() {
+            let mut stack: Vec<(NodeId, bool)> = vec![(root.node, false)];
+            while let Some((id, expanded)) = stack.pop() {
+                if index_of.contains_key(&id) {
+                    continue;
+                }
+                if expanded {
+                    let n = self.mat_node(id);
+                    let children = [
+                        self.portable_edge(n.edges[0].node, n.edges[0].weight, &index_of),
+                        self.portable_edge(n.edges[1].node, n.edges[1].weight, &index_of),
+                        self.portable_edge(n.edges[2].node, n.edges[2].weight, &index_of),
+                        self.portable_edge(n.edges[3].node, n.edges[3].weight, &index_of),
+                    ];
+                    index_of.insert(id, nodes.len() as u32);
+                    nodes.push((n.level, children));
+                } else {
+                    stack.push((id, true));
+                    for child in self.mat_node(id).edges {
+                        if !child.node.is_terminal() && !index_of.contains_key(&child.node) {
+                            stack.push((child.node, false));
+                        }
+                    }
+                }
+            }
+        }
+        let root = self.portable_edge(root.node, root.weight, &index_of);
+        PortableMat { nodes, root }
+    }
+
+    fn portable_edge(
+        &self,
+        node: NodeId,
+        weight: ComplexId,
+        index_of: &FxHashMap<NodeId, u32>,
+    ) -> PortableEdge {
+        PortableEdge {
+            node: if node.is_terminal() {
+                TERMINAL
+            } else {
+                index_of[&node]
+            },
+            weight: self.complex.value(weight),
+        }
+    }
+
+    /// Rebuilds an exported vector sub-DD in this manager, children first
+    /// through the normalizing constructor, so shared structure hash-conses
+    /// against whatever this manager already holds.
+    pub(crate) fn import_vec(&mut self, p: &PortableVec) -> VecEdge {
+        let mut built: Vec<VecEdge> = Vec::with_capacity(p.nodes.len());
+        for (level, children) in &p.nodes {
+            let decoded = [
+                self.decode_vec_edge(children[0], &built),
+                self.decode_vec_edge(children[1], &built),
+            ];
+            built.push(self.make_vec_node(*level, decoded));
+        }
+        self.decode_vec_edge(p.root, &built)
+    }
+
+    /// Matrix sibling of [`import_vec`](Self::import_vec).
+    pub(crate) fn import_mat(&mut self, p: &PortableMat) -> MatEdge {
+        let mut built: Vec<MatEdge> = Vec::with_capacity(p.nodes.len());
+        for (level, children) in &p.nodes {
+            let decoded = [
+                self.decode_mat_edge(children[0], &built),
+                self.decode_mat_edge(children[1], &built),
+                self.decode_mat_edge(children[2], &built),
+                self.decode_mat_edge(children[3], &built),
+            ];
+            built.push(self.make_mat_node(*level, decoded));
+        }
+        self.decode_mat_edge(p.root, &built)
+    }
+
+    /// Exported nodes are canonical, so re-normalization is usually the
+    /// identity and `built` edges carry weight ONE; multiplying the built
+    /// edge's weight back in keeps the import exact even if this manager's
+    /// historied complex table snaps a weight to a different bucket
+    /// representative.
+    fn decode_vec_edge(&mut self, e: PortableEdge, built: &[VecEdge]) -> VecEdge {
+        let weight = self.intern(e.weight);
+        if e.node == TERMINAL {
+            VecEdge {
+                node: NodeId::TERMINAL,
+                weight,
+            }
+        } else {
+            let base = built[e.node as usize];
+            VecEdge {
+                node: base.node,
+                weight: self.complex.mul(weight, base.weight),
+            }
+        }
+    }
+
+    fn decode_mat_edge(&mut self, e: PortableEdge, built: &[MatEdge]) -> MatEdge {
+        let weight = self.intern(e.weight);
+        if e.node == TERMINAL {
+            MatEdge {
+                node: NodeId::TERMINAL,
+                weight,
+            }
+        } else {
+            let base = built[e.node as usize];
+            MatEdge {
+                node: base.node,
+                weight: self.complex.mul(weight, base.weight),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Resource;
+    use crate::matrix::{Control, Matrix2};
+    use ddsim_complex::Complex;
+
+    fn h_gate() -> Matrix2 {
+        let h = Complex::SQRT2_INV;
+        [[h, h], [h, -h]]
+    }
+
+    fn x_gate() -> Matrix2 {
+        [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]]
+    }
+
+    /// A dense, structured n-qubit state: H everywhere, then a phase
+    /// ladder and a CX chain for asymmetry.
+    fn dense_state(dd: &mut DdManager, n: u32) -> VecEdge {
+        let mut v = dd.vec_basis(n, 0b1);
+        for q in 0..n {
+            v = dd.apply_single_qubit(q, h_gate(), v).unwrap();
+        }
+        for q in 1..n {
+            let phase = Complex::from_polar(1.0, 0.31 * q as f64);
+            let p: Matrix2 = [[Complex::ONE, Complex::ZERO], [Complex::ZERO, phase]];
+            v = dd
+                .apply_controlled(&[Control::pos(q - 1)], q, p, v)
+                .unwrap();
+        }
+        v
+    }
+
+    fn pooled(parallelism: usize) -> Par {
+        Par::Threaded(Arc::new(ThreadPool::new(parallelism)))
+    }
+
+    #[test]
+    fn export_import_round_trip_is_bit_exact() {
+        let mut dd = DdManager::new();
+        let n = 7;
+        let state = dense_state(&mut dd, n);
+        let before = dd.vec_to_amplitudes(state);
+        let portable = dd.export_vec(state);
+
+        let mut fresh = DdManager::new();
+        let restored = fresh.import_vec(&portable);
+        let after = fresh.vec_to_amplitudes(restored);
+        assert_eq!(before.len(), after.len());
+        for (i, (a, b)) in before.iter().zip(&after).enumerate() {
+            assert_eq!(a.re.to_bits(), b.re.to_bits(), "amplitude {i} (re)");
+            assert_eq!(a.im.to_bits(), b.im.to_bits(), "amplitude {i} (im)");
+        }
+
+        // Re-import into the ORIGINAL manager hash-conses onto the
+        // existing diagram: same node, same weight.
+        let again = dd.import_vec(&portable);
+        assert_eq!(again, state);
+    }
+
+    #[test]
+    fn export_import_handles_zero_and_terminal_roots() {
+        let mut dd = DdManager::new();
+        let z = dd.export_vec(VecEdge::ZERO);
+        assert!(dd.import_vec(&z).is_zero());
+        let m = dd.export_mat(MatEdge::ZERO);
+        assert!(dd.import_mat(&m).is_zero());
+    }
+
+    #[test]
+    fn mat_export_round_trips_through_a_fresh_manager() {
+        let mut dd = DdManager::new();
+        let n = 6;
+        let h = dd.mat_single_qubit(n, 2, h_gate());
+        let cx = dd.mat_controlled(n, &[Control::pos(1)], 4, x_gate());
+        let u = dd.mat_mat_mul(cx, h).unwrap();
+        let portable = dd.export_mat(u);
+        let mut fresh = DdManager::new();
+        let restored = fresh.import_mat(&portable);
+        let a = dd.mat_to_dense(u);
+        let b = fresh.mat_to_dense(restored);
+        for (r, (ra, rb)) in a.iter().zip(&b).enumerate() {
+            for (c, (x, y)) in ra.iter().zip(rb).enumerate() {
+                assert!(x.approx_eq(*y, 1e-12), "({r},{c}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_mat_vec_matches_sequential() {
+        let n = 8;
+        let mut seq = DdManager::new();
+        let mut par = DdManager::new();
+        par.set_par(pooled(4));
+
+        let run = |dd: &mut DdManager| {
+            let mut v = dense_state(dd, n);
+            for q in 0..n {
+                let g = dd.mat_single_qubit(n, q, h_gate());
+                v = dd.mat_vec_mul(g, v).unwrap();
+            }
+            let cx = dd.mat_controlled(n, &[Control::pos(0)], n - 1, x_gate());
+            dd.mat_vec_mul(cx, v).unwrap()
+        };
+        let vs = run(&mut seq);
+        let vp = run(&mut par);
+        let a = seq.vec_to_amplitudes(vs);
+        let b = par.vec_to_amplitudes(vp);
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert!(x.approx_eq(*y, 1e-9), "amplitude {i}: {x} vs {y}");
+        }
+        // Threaded runs must be deterministic run-to-run: repeat and
+        // require the exact same edge.
+        let vp2 = run(&mut par);
+        let b2 = par.vec_to_amplitudes(vp2);
+        for (i, (x, y)) in b.iter().zip(&b2).enumerate() {
+            assert_eq!(x.re.to_bits(), y.re.to_bits(), "rerun amplitude {i} (re)");
+            assert_eq!(x.im.to_bits(), y.im.to_bits(), "rerun amplitude {i} (im)");
+        }
+    }
+
+    #[test]
+    fn threaded_mat_mat_matches_sequential() {
+        let n = 8;
+        let mut seq = DdManager::new();
+        let mut par = DdManager::new();
+        par.set_par(pooled(4));
+
+        let run = |dd: &mut DdManager| {
+            let h = dd.mat_single_qubit(n, 3, h_gate());
+            let cx = dd.mat_controlled(n, &[Control::pos(2)], 6, x_gate());
+            let phase: Matrix2 = [
+                [Complex::ONE, Complex::ZERO],
+                [Complex::ZERO, Complex::from_polar(1.0, 0.7)],
+            ];
+            let p = dd.mat_single_qubit(n, 5, phase);
+            let u1 = dd.mat_mat_mul(cx, h).unwrap();
+            dd.mat_mat_mul(p, u1).unwrap()
+        };
+        let a = {
+            let u = run(&mut seq);
+            seq.mat_to_dense(u)
+        };
+        let b = {
+            let u = run(&mut par);
+            par.mat_to_dense(u)
+        };
+        for (r, (ra, rb)) in a.iter().zip(&b).enumerate() {
+            for (c, (x, y)) in ra.iter().zip(rb).enumerate() {
+                assert!(x.approx_eq(*y, 1e-9), "({r},{c}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_lane_pool_never_forks() {
+        let mut dd = DdManager::new();
+        dd.set_par(pooled(1));
+        assert!(
+            dd.par_pool(12).is_none(),
+            "parallelism 1 must stay sequential"
+        );
+        let n = 8;
+        let v = dense_state(&mut dd, n);
+        let h = dd.mat_single_qubit(n, 1, h_gate());
+        // Runs through the ordinary sequential entry point.
+        let _ = dd.mat_vec_mul(h, v).unwrap();
+    }
+
+    #[test]
+    fn deadline_trips_mid_fork_join_and_manager_stays_consistent() {
+        let n = 8;
+        let mut dd = DdManager::new();
+        dd.set_par(pooled(4));
+        let v = dense_state(&mut dd, n);
+        dd.inc_ref_vec(v);
+        let h = dd.mat_single_qubit(n, 3, h_gate());
+        dd.inc_ref_mat(h);
+
+        // Arm an already-expired deadline: the par entry point does not
+        // charge up front, so the trip happens inside the workers.
+        dd.set_deadline(Some(Instant::now()));
+        assert_eq!(dd.mat_vec_mul(h, v), Err(DdError::DeadlineExceeded));
+
+        // The manager is still consistent: GC runs and the same operation
+        // succeeds after the deadline is lifted.
+        dd.set_deadline(None);
+        dd.collect_garbage();
+        let r = dd.mat_vec_mul(h, v).unwrap();
+        assert!((dd.vec_norm_sqr(r) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_live_node_budget_trips_across_workers() {
+        let n = 8;
+        let mut dd = DdManager::new();
+        dd.set_par(pooled(4));
+        let v = dense_state(&mut dd, n);
+        dd.inc_ref_vec(v);
+        // Build a non-local gate so the product allocates real work.
+        let h = dd.mat_single_qubit(n, 3, h_gate());
+        dd.inc_ref_mat(h);
+
+        // Arm a budget the workers' combined allocations must blow
+        // through; refresh via set_deadline(None), which recomputes the
+        // governed flag.
+        let live = dd.live_vec_nodes() + dd.live_mat_nodes();
+        dd.config.max_live_nodes = Some(live + 2);
+        dd.set_deadline(None);
+        assert!(dd.is_governed());
+
+        match dd.mat_vec_mul(h, v) {
+            Err(DdError::BudgetExceeded) => {
+                let b = dd
+                    .last_breach()
+                    .expect("breach recorded on the coordinator");
+                assert_eq!(b.resource, Resource::LiveNodes);
+                assert_eq!(b.limit, (live + 2) as u64);
+                assert!(b.observed > b.limit);
+            }
+            // A sibling cancelled before its own first charge also
+            // reports as Cancelled if the budget worker finished last —
+            // harvest ordering guarantees the budget error wins whenever
+            // one was raised, so anything else is a failure.
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+
+        // Recovery: lift the budget, GC, retry.
+        dd.config.max_live_nodes = None;
+        dd.set_deadline(None);
+        dd.collect_garbage();
+        let r = dd.mat_vec_mul(h, v).unwrap();
+        assert!((dd.vec_norm_sqr(r) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn user_cancel_token_survives_internal_sibling_cancellation() {
+        let n = 8;
+        let mut dd = DdManager::new();
+        dd.set_par(pooled(4));
+        let v = dense_state(&mut dd, n);
+        dd.inc_ref_vec(v);
+        let h = dd.mat_single_qubit(n, 3, h_gate());
+        dd.inc_ref_mat(h);
+
+        let token = CancelToken::new();
+        dd.set_cancel_token(Some(token.clone()));
+        // Trip a deadline inside the workers; the internal child token
+        // they cancel must NOT latch the user's token.
+        dd.set_deadline(Some(Instant::now()));
+        assert_eq!(dd.mat_vec_mul(h, v), Err(DdError::DeadlineExceeded));
+        assert!(
+            !token.is_cancelled(),
+            "sibling cancellation leaked into the user's token"
+        );
+        dd.set_deadline(None);
+        let _ = dd.mat_vec_mul(h, v).unwrap();
+    }
+}

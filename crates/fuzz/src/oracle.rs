@@ -8,26 +8,41 @@
 //!    `draw < P(1)`), so even non-unitary circuits compare exactly.
 //! 2. **Config lattice** — [`config_lattice`] enumerates engine
 //!    configurations across every combining strategy, caches on/off,
-//!    identity skipping on/off, shrunken table capacities, and an
-//!    aggressive GC threshold. All points must agree with the dense
-//!    reference amplitude-for-amplitude; the lattice is what turns a
-//!    single differential test into a schedule/caching/GC cross-check.
+//!    identity skipping on/off, shrunken table capacities, an aggressive
+//!    GC threshold, and a `par` axis running the fork-join kernels on a
+//!    worker pool. All points must agree with the dense reference
+//!    amplitude-for-amplitude; the lattice is what turns a single
+//!    differential test into a schedule/caching/GC/parallelism
+//!    cross-check. The points themselves run on a shared work-stealing
+//!    pool, with failures reported in deterministic lattice order.
 //! 3. **Equivalence** — for unitary circuits the full unitary DD is built
 //!    and checked against structural identities (flattening invariance and
 //!    `C·C⁻¹ ≈ I`), catching matrix-construction defects that a single
 //!    state-vector comparison can miss.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 use ddsim_circuit::{lower_swap, Circuit, Operation};
 use ddsim_core::equivalence::{circuit_unitary, mat_equivalence};
-use ddsim_core::{DdConfig, FaultKind, SimError, SimOptions, Simulator, Strategy};
+use ddsim_core::{DdConfig, FaultKind, SimError, SimOptions, Simulator, Strategy, ThreadPool};
 use ddsim_dd::reference::DenseVector;
 use ddsim_dd::{DdManager, MatEdge};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// The pool the lattice points run on, shared across every circuit the
+/// harness checks (spawning threads per circuit would dominate small
+/// probes). Sized to the machine; a single-core host degenerates to the
+/// sequential sweep.
+fn lattice_pool() -> &'static Arc<ThreadPool> {
+    static POOL: OnceLock<Arc<ThreadPool>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let lanes = std::thread::available_parallelism().map_or(1, |p| p.get());
+        Arc::new(ThreadPool::new(lanes))
+    })
+}
 
 /// Maximum width for the dense amplitude sweep. The generator never
 /// exceeds this, but replayed circuits might.
@@ -44,6 +59,8 @@ pub struct LatticePoint {
     pub dd_config: DdConfig,
     /// Wall-clock deadline for the run (budget-axis points only).
     pub deadline: Option<Duration>,
+    /// Worker threads for the engine (`par` axis; 1 = sequential).
+    pub threads: u32,
     /// Human-readable name used in failure reports.
     pub label: String,
 }
@@ -203,9 +220,32 @@ fn budget_variants(full: bool) -> Vec<(&'static str, DdConfig, Option<Duration>)
     variants
 }
 
+/// The `par` axis: points running the engine with a worker pool, so the
+/// fork-join kernels and isolated-worker result merging are differentially
+/// fuzzed against the sequential recursion (and the dense reference) on
+/// every generated circuit. Thread counts stay small and odd-shaped on
+/// purpose: 3 lanes leaves quadrant splits uneven, and 2 lanes with an
+/// aggressive GC threshold imports worker results under collection
+/// pressure.
+fn par_variants(full: bool) -> Vec<(&'static str, DdConfig, u32)> {
+    let base = DdConfig::default();
+    let mut variants = vec![("par=threads3", base, 3)];
+    if full {
+        variants.push((
+            "par=threads2-tiny-gc",
+            DdConfig {
+                gc_threshold: 64,
+                ..base
+            },
+            2,
+        ));
+    }
+    variants
+}
+
 /// The engine-configuration lattice: every combining strategy crossed with
-/// the DD-manager variants plus the budget axis (quick: 5 × (5 + 1) = 30
-/// points; full: 5 × (8 + 3) = 55).
+/// the DD-manager variants plus the budget and `par` axes (quick:
+/// 5 × (5 + 1 + 1) = 35 points; full: 5 × (8 + 3 + 2) = 65).
 pub fn config_lattice(full: bool) -> Vec<LatticePoint> {
     let strategies = [
         Strategy::Sequential,
@@ -221,6 +261,7 @@ pub fn config_lattice(full: bool) -> Vec<LatticePoint> {
                 strategy,
                 dd_config,
                 deadline: None,
+                threads: 1,
                 label: format!("{} {}", strategy.label(), name),
             });
         }
@@ -229,6 +270,16 @@ pub fn config_lattice(full: bool) -> Vec<LatticePoint> {
                 strategy,
                 dd_config,
                 deadline,
+                threads: 1,
+                label: format!("{} {}", strategy.label(), name),
+            });
+        }
+        for (name, dd_config, threads) in par_variants(full) {
+            points.push(LatticePoint {
+                strategy,
+                dd_config,
+                deadline: None,
+                threads,
                 label: format!("{} {}", strategy.label(), name),
             });
         }
@@ -284,24 +335,34 @@ pub fn dense_run(circuit: &Circuit, seed: u64) -> (DenseVector, Vec<bool>) {
 /// concurrent probes (e.g. parallel tests) must not race on swapping it.
 static PANIC_HOOK_LOCK: Mutex<()> = Mutex::new(());
 
+fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked".to_string()
+    }
+}
+
+/// [`catch_unwind`] with payload formatting but **no** hook manipulation —
+/// for call sites that already hold the quiet hook ([`probe`], or the
+/// pooled lattice sweep in [`check_circuit`], which quiets the hook once
+/// around the whole batch so points don't serialize on the hook lock).
+fn quiet_catch<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(payload_to_string)
+}
+
 fn probe<R>(f: impl FnOnce() -> R) -> Result<R, String> {
     let guard = PANIC_HOOK_LOCK
         .lock()
         .unwrap_or_else(|poisoned| poisoned.into_inner());
     let saved = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
-    let result = catch_unwind(AssertUnwindSafe(f));
+    let result = quiet_catch(f);
     std::panic::set_hook(saved);
     drop(guard);
-    result.map_err(|payload| {
-        if let Some(s) = payload.downcast_ref::<&str>() {
-            format!("panicked: {s}")
-        } else if let Some(s) = payload.downcast_ref::<String>() {
-            format!("panicked: {s}")
-        } else {
-            "panicked".to_string()
-        }
-    })
+    result
 }
 
 fn check_point(
@@ -320,8 +381,9 @@ fn check_point(
             ..point.dd_config
         },
         deadline: point.deadline,
+        threads: point.threads,
     };
-    let run = probe(|| {
+    let run = quiet_catch(|| {
         let mut sim = Simulator::with_options(circuit.qubits(), options);
         if let Err(e) = sim.run(circuit) {
             // Even after a governor unwind the simulator must stay
@@ -509,12 +571,35 @@ pub fn check_circuit(circuit: &Circuit, settings: &CheckSettings) -> Vec<Failure
             }]
         }
     };
-    let mut failures = Vec::new();
-    for point in config_lattice(settings.full_lattice) {
-        if let Some(f) = check_point(circuit, &point, settings, &reference, &reference_bits) {
-            failures.push(f);
+    let points = config_lattice(settings.full_lattice);
+    let slots: Vec<Mutex<Option<Failure>>> = points.iter().map(|_| Mutex::new(None)).collect();
+    {
+        // Quiet the process-global panic hook once for the whole pooled
+        // sweep; per-point swapping (what `probe` does) would serialize
+        // the lattice on the hook lock.
+        let guard = PANIC_HOOK_LOCK
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let saved = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let sweep = catch_unwind(AssertUnwindSafe(|| {
+            lattice_pool().par_for_each_index(points.len(), |i| {
+                *slots[i].lock().expect("lattice slot poisoned") =
+                    check_point(circuit, &points[i], settings, &reference, &reference_bits);
+            });
+        }));
+        std::panic::set_hook(saved);
+        drop(guard);
+        if let Err(p) = sweep {
+            resume_unwind(p);
         }
     }
+    // Slots are harvested in lattice order, so failure reports stay
+    // deterministic no matter how the pool interleaved the points.
+    let mut failures: Vec<Failure> = slots
+        .into_iter()
+        .filter_map(|slot| slot.into_inner().expect("lattice slot poisoned"))
+        .collect();
     if let Some(f) = check_equivalence_oracle(circuit, settings) {
         failures.push(f);
     }
@@ -578,8 +663,18 @@ mod tests {
 
     #[test]
     fn lattice_sizes() {
-        assert_eq!(config_lattice(false).len(), 30);
-        assert_eq!(config_lattice(true).len(), 55);
+        assert_eq!(config_lattice(false).len(), 35);
+        assert_eq!(config_lattice(true).len(), 65);
+    }
+
+    #[test]
+    fn lattice_carries_a_par_axis() {
+        let threaded: Vec<_> = config_lattice(true)
+            .into_iter()
+            .filter(|p| p.threads > 1)
+            .collect();
+        assert_eq!(threaded.len(), 10, "2 par variants × 5 strategies");
+        assert!(threaded.iter().all(|p| !p.governed()));
     }
 
     #[test]

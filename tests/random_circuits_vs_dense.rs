@@ -270,6 +270,170 @@ fn governed_and_ungoverned_runs_are_bitwise_identical() {
 }
 
 #[test]
+fn explicit_single_thread_is_bitwise_identical_to_default() {
+    // `threads: 1` is the documented sequential contract: no pool is
+    // built, the `Par::Seq` kernels run, and the results — amplitudes AND
+    // machine-independent statistics — must be bit-for-bit what the
+    // default options produce. This pins the promise that turning the
+    // threading knob to 1 can never change behavior.
+    for seed in 0..4u64 {
+        for strategy in [Strategy::Sequential, Strategy::KOperations { k: 5 }] {
+            let circuit = random_circuit(6, 60, seed);
+            let single = SimOptions {
+                strategy,
+                threads: 1,
+                ..SimOptions::default()
+            };
+            let (sim_d, stats_d) =
+                simulate(&circuit, SimOptions::with_strategy(strategy)).expect("default run");
+            let (sim_s, stats_s) = simulate(&circuit, single).expect("threads=1 run");
+            for i in 0..(1u64 << 6) {
+                let a = sim_d.amplitude(i);
+                let b = sim_s.amplitude(i);
+                assert_eq!(
+                    (a.re.to_bits(), a.im.to_bits()),
+                    (b.re.to_bits(), b.im.to_bits()),
+                    "seed {seed}, {strategy}, amplitude {i}: {a} vs {b}"
+                );
+            }
+            let shape = |s: &ddsim_repro::core::RunStats| {
+                (
+                    s.elementary_gates,
+                    s.mat_vec_mults,
+                    s.mat_mat_mults,
+                    s.identity_skips,
+                    s.specialized_applies,
+                    s.mult_recursions,
+                    s.add_recursions,
+                    s.peak_state_nodes,
+                    s.peak_matrix_nodes,
+                    s.final_state_nodes,
+                    s.gc_runs,
+                )
+            };
+            assert_eq!(
+                shape(&stats_d),
+                shape(&stats_s),
+                "seed {seed}, {strategy}: threads=1 changed the run statistics"
+            );
+        }
+    }
+}
+
+#[test]
+fn threaded_runs_match_dense_on_random_circuits() {
+    // A 3-lane pool on 6-qubit circuits (top level ≥ the fork cutoff, so
+    // the fork-join kernels genuinely engage) must agree with the dense
+    // reference under every combining strategy.
+    for seed in 0..4 {
+        for strategy in [
+            Strategy::Sequential,
+            Strategy::KOperations { k: 5 },
+            Strategy::MaxSize { s_max: 48 },
+            Strategy::adaptive(),
+        ] {
+            let options = SimOptions {
+                strategy,
+                threads: 3,
+                ..SimOptions::default()
+            };
+            check_agreement_with(6, 60, seed, options);
+        }
+    }
+}
+
+#[test]
+fn threaded_and_sequential_agree_to_normalization_tolerance() {
+    // Threaded results are tolerance-equal to sequential, not bitwise:
+    // worker managers intern complex values in a different order, so
+    // representatives within a tolerance bucket can differ by ~1e-15.
+    // The agreement bound here (1e-9) is far tighter than the dense
+    // cross-check (1e-6) — any merge bug shows up as a gross mismatch,
+    // not a rounding artifact.
+    for seed in 0..4u64 {
+        for strategy in [Strategy::Sequential, Strategy::KOperations { k: 5 }] {
+            let circuit = random_circuit(6, 60, seed);
+            let threaded = SimOptions {
+                strategy,
+                threads: 3,
+                ..SimOptions::default()
+            };
+            let (sim_s, _) =
+                simulate(&circuit, SimOptions::with_strategy(strategy)).expect("sequential run");
+            let (sim_t, _) = simulate(&circuit, threaded).expect("threaded run");
+            for i in 0..(1u64 << 6) {
+                let a = sim_s.amplitude(i);
+                let b = sim_t.amplitude(i);
+                assert!(
+                    a.approx_eq(b, 1e-9),
+                    "seed {seed}, {strategy}, amplitude {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn threaded_runs_are_deterministic_across_reruns() {
+    // Parallelism must not introduce run-to-run nondeterminism: the fork
+    // planner, task order, and fixed-order result merge make two threaded
+    // runs of the same circuit bit-for-bit identical even though worker
+    // scheduling differs.
+    for seed in 0..3u64 {
+        let circuit = random_circuit(6, 60, seed);
+        let options = SimOptions {
+            strategy: Strategy::KOperations { k: 5 },
+            threads: 3,
+            ..SimOptions::default()
+        };
+        let (sim_a, _) = simulate(&circuit, options).expect("first threaded run");
+        let (sim_b, _) = simulate(&circuit, options).expect("second threaded run");
+        for i in 0..(1u64 << 6) {
+            let a = sim_a.amplitude(i);
+            let b = sim_b.amplitude(i);
+            assert_eq!(
+                (a.re.to_bits(), a.im.to_bits()),
+                (b.re.to_bits(), b.im.to_bits()),
+                "seed {seed}, amplitude {i}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn threaded_sampling_is_reproducible_and_conserves_shots() {
+    // The pooled sampler derives every shot's RNG stream from
+    // (base draw, shot index) alone and merges lane histograms
+    // commutatively, so at a fixed engine seed the histogram is exactly
+    // reproducible across runs — worker scheduling can never change
+    // counts — and every shot lands in exactly one bucket.
+    let circuit = random_circuit(6, 60, 9);
+    let run = || {
+        let options = SimOptions {
+            threads: 3,
+            ..SimOptions::default()
+        };
+        let (mut sim, _) = simulate(&circuit, options).expect("run");
+        sim.sample_counts(512)
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first.values().sum::<u32>(), 512, "shots lost or duplicated");
+    assert_eq!(
+        first.len(),
+        second.len(),
+        "distinct-outcome counts diverged"
+    );
+    for (outcome, count) in &first {
+        assert_eq!(
+            second.get(outcome),
+            Some(count),
+            "outcome {outcome:#b} count diverged across reruns"
+        );
+    }
+}
+
+#[test]
 fn deep_circuit_stays_normalized() {
     let circuit = random_circuit(8, 400, 123);
     let (sim, _) = simulate(

@@ -358,6 +358,17 @@ pub fn cache_json(cache: &CacheStats) -> String {
             u.rebuilds
         ));
     }
+    let c = &cache.complex;
+    parts.push(format!(
+        "\"complex_table\":{{\"lookups\":{},\"unified\":{},\"unify_rate\":{:.4},\"inserts\":{},\"buckets_probed\":{},\"probe_entries\":{},\"mean_probe_len\":{:.4}}}",
+        c.lookups,
+        c.unified,
+        c.unify_rate(),
+        c.inserts,
+        c.buckets_probed,
+        c.probe_entries,
+        c.mean_probe_len()
+    ));
     format!("{{{}}}", parts.join(","))
 }
 

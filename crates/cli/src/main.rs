@@ -214,6 +214,20 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                     u.rebuilds
                 );
             }
+            let c = &stats.cache.complex;
+            if c.lookups > 0 {
+                let (buckets, longest) = sim.dd().complex_table_occupancy();
+                println!(
+                    "complex_table        lookups {} unified {} ({:.1}%) inserts {} mean_probe {:.2} buckets {} longest {}",
+                    c.lookups,
+                    c.unified,
+                    100.0 * c.unify_rate(),
+                    c.inserts,
+                    c.mean_probe_len(),
+                    buckets,
+                    longest
+                );
+            }
         }
     }
 

@@ -225,7 +225,7 @@ impl DdManager {
         debug_assert!(self.vec_level(v) >= op.target_level);
         let outer = v.weight;
         let key = (op.tag, v.node);
-        let vfe = &self.vec_arena.free_epoch;
+        let vfe = &self.vec_arena;
         let unit = if let Some(cached) = self
             .compute
             .apply_gate
@@ -320,7 +320,7 @@ impl DdManager {
         }
         let outer = v.weight;
         let key = (op.tag + 1, v.node);
-        let vfe = &self.vec_arena.free_epoch;
+        let vfe = &self.vec_arena;
         let unit = if let Some(cached) = self
             .compute
             .apply_gate

@@ -24,6 +24,7 @@
 
 use crate::edge::{MatEdge, NodeId, VecEdge};
 use crate::hash::fx_hash;
+use ddsim_complex::ComplexTableStats;
 use std::hash::Hash;
 
 /// Counters of one cache table. All counters are cumulative; use
@@ -146,6 +147,9 @@ pub struct CacheStats {
     pub vec_unique: UniqueTableStats,
     /// Matrix unique (hash-consing) table.
     pub mat_unique: UniqueTableStats,
+    /// Complex-weight interning table (probe-length / unification
+    /// telemetry; see [`ComplexTableStats`]).
+    pub complex: ComplexTableStats,
 }
 
 impl CacheStats {
@@ -195,6 +199,7 @@ impl CacheStats {
             apply_gate: self.apply_gate.delta(&before.apply_gate),
             vec_unique: self.vec_unique.delta(&before.vec_unique),
             mat_unique: self.mat_unique.delta(&before.mat_unique),
+            complex: self.complex.delta(&before.complex),
         }
     }
 
@@ -210,6 +215,7 @@ impl CacheStats {
         self.apply_gate.accumulate(&other.apply_gate);
         self.vec_unique.accumulate(&other.vec_unique);
         self.mat_unique.accumulate(&other.mat_unique);
+        self.complex.accumulate(&other.complex);
     }
 }
 

@@ -31,6 +31,11 @@ use crate::par::{Par, SharedLiveBudget};
 use crate::unique::UniqueTable;
 
 /// A vector-DD node: two successors (upper / lower half of the sub-vector).
+///
+/// 24 bytes: level + two (node, weight) edges. With the slot's `free_epoch`
+/// alongside (see [`Slot`]), a node and everything the kernels read about
+/// it — children, weights, cache-validation epoch — sit in 28 contiguous
+/// bytes, at most one cache-line boundary away from each other.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct VecNode {
     pub level: Level,
@@ -53,63 +58,111 @@ pub(crate) struct MatNode {
     pub identity: bool,
 }
 
-/// One arena slot; freed slots are chained through the free list.
+/// Node types the [`Arena`] can store: they designate a sentinel value for
+/// freed slots (a level no real node can have — levels start at 1), so the
+/// arena needs no `Option`/enum discriminant around the node payload.
+pub(crate) trait ArenaNode: Copy {
+    /// The freed-slot sentinel.
+    const FREE: Self;
+    /// Whether this is the freed-slot sentinel.
+    fn is_free(&self) -> bool;
+}
+
+impl ArenaNode for VecNode {
+    const FREE: VecNode = VecNode {
+        level: Level::MAX,
+        edges: [VecEdge::ZERO; 2],
+    };
+
+    #[inline]
+    fn is_free(&self) -> bool {
+        self.level == Level::MAX
+    }
+}
+
+impl ArenaNode for MatNode {
+    const FREE: MatNode = MatNode {
+        level: Level::MAX,
+        edges: [MatEdge::ZERO; 4],
+        identity: false,
+    };
+
+    #[inline]
+    fn is_free(&self) -> bool {
+        self.level == Level::MAX
+    }
+}
+
+/// One arena slot: the node plus the epoch at which this slot was last
+/// freed (0 = never). Freed slots hold [`ArenaNode::FREE`] and are chained
+/// through the free list.
+///
+/// `free_epoch` lives *in* the slot (PR 7; it used to be a separate
+/// parallel vector): the compute-table validity check reads a node's
+/// `free_epoch` immediately before or after the kernels read the node's
+/// edges, so keeping them on the same cache line turns two random accesses
+/// per child into one. It is deliberately **not** reset when a slot is
+/// reused — stale compute entries must never alias a new resident.
 #[derive(Clone, Copy, Debug)]
-pub(crate) enum Slot<N> {
-    Occupied(N),
-    Free,
+pub(crate) struct Slot<N> {
+    pub(crate) node: N,
+    pub(crate) free_epoch: u32,
 }
 
 pub(crate) struct Arena<N> {
     pub(crate) slots: Vec<Slot<N>>,
     pub(crate) refcounts: Vec<u32>,
     pub(crate) free: Vec<u32>,
-    /// Epoch at which each slot was last freed (0 = never). Checked by the
-    /// compute tables to invalidate entries referencing reclaimed nodes;
-    /// deliberately *not* reset when a slot is reused, so stale entries
-    /// can never alias a new resident.
-    pub(crate) free_epoch: Vec<u32>,
 }
 
-impl<N: Copy> Arena<N> {
+impl<N: ArenaNode> Arena<N> {
     fn new() -> Self {
         Arena {
             slots: Vec::new(),
             refcounts: Vec::new(),
             free: Vec::new(),
-            free_epoch: Vec::new(),
         }
     }
 
     fn get(&self, id: NodeId) -> &N {
-        match &self.slots[id.index()] {
-            Slot::Occupied(n) => n,
-            Slot::Free => panic!("use-after-free of DD node {id:?}"),
-        }
+        let slot = &self.slots[id.index()];
+        assert!(!slot.node.is_free(), "use-after-free of DD node {id:?}");
+        &slot.node
+    }
+
+    /// Whether a compute-table entry written at `entry_epoch` may still
+    /// reference `id`: the slot has not been freed (and possibly reused by
+    /// an unrelated node) since the entry was written.
+    #[inline]
+    pub(crate) fn is_live(&self, id: NodeId, entry_epoch: u32) -> bool {
+        id.is_terminal() || self.slots[id.index()].free_epoch < entry_epoch
     }
 
     fn alloc(&mut self, node: N) -> NodeId {
         if let Some(idx) = self.free.pop() {
-            self.slots[idx as usize] = Slot::Occupied(node);
+            // Keep the old free_epoch: entries cached before the previous
+            // occupant was freed must stay invalid for the new resident.
+            self.slots[idx as usize].node = node;
             self.refcounts[idx as usize] = 0;
             NodeId(idx)
         } else {
             let idx = u32::try_from(self.slots.len()).expect("DD arena overflow");
-            self.slots.push(Slot::Occupied(node));
+            self.slots.push(Slot {
+                node,
+                free_epoch: 0,
+            });
             self.refcounts.push(0);
-            self.free_epoch.push(0);
             NodeId(idx)
         }
     }
 
     fn free_slot(&mut self, id: NodeId, epoch: u32) -> N {
-        let slot = std::mem::replace(&mut self.slots[id.index()], Slot::Free);
+        let slot = &mut self.slots[id.index()];
+        assert!(!slot.node.is_free(), "double free of DD node {id:?}");
+        let node = std::mem::replace(&mut slot.node, N::FREE);
+        slot.free_epoch = epoch;
         self.free.push(id.0);
-        self.free_epoch[id.index()] = epoch;
-        match slot {
-            Slot::Occupied(n) => n,
-            Slot::Free => panic!("double free of DD node {id:?}"),
-        }
+        node
     }
 
     fn live_count(&self) -> usize {
@@ -122,7 +175,6 @@ impl<N: Copy> Arena<N> {
         self.slots.capacity() * std::mem::size_of::<Slot<N>>()
             + self.refcounts.capacity() * std::mem::size_of::<u32>()
             + self.free.capacity() * std::mem::size_of::<u32>()
-            + self.free_epoch.capacity() * std::mem::size_of::<u32>()
     }
 
     /// `(key, id)` pairs of every occupied slot, for unique-table rebuilds.
@@ -133,13 +185,13 @@ impl<N: Copy> Arena<N> {
     where
         K: 'static,
     {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(move |(i, slot)| match slot {
-                Slot::Occupied(n) => Some((key_of(n), NodeId(i as u32))),
-                Slot::Free => None,
-            })
+        self.slots.iter().enumerate().filter_map(move |(i, slot)| {
+            if slot.node.is_free() {
+                None
+            } else {
+                Some((key_of(&slot.node), NodeId(i as u32)))
+            }
+        })
     }
 }
 
@@ -205,6 +257,16 @@ pub struct DdConfig {
     /// the budget is enforced at the next amortized check; overshoot is
     /// bounded by one capacity doubling of the largest table.
     pub max_table_bytes: Option<usize>,
+    /// Uses the SIMD (SSE2/AVX) leaf kernels for complex-table probes and
+    /// batched edge-weight arithmetic when `true` (the default) and the
+    /// hardware supports them. The scalar fallback is **bitwise
+    /// identical** — every diagram, amplitude, and statistics counter is
+    /// the same either way (property-tested) — so this is purely a
+    /// performance switch. Dispatch is resolved once at manager (or
+    /// snapshot-restore) construction, never per recursion step. No-op
+    /// when the `simd` cargo feature is compiled out or on non-x86-64
+    /// targets.
+    pub simd: bool,
     /// Test-only fault injection used by the fuzzing harness's
     /// `--self-check` to prove its oracles catch engine defects. Must stay
     /// [`FaultKind::None`] everywhere else.
@@ -222,6 +284,7 @@ impl Default for DdConfig {
             identity_skip: true,
             max_live_nodes: None,
             max_table_bytes: None,
+            simd: true,
             fault: crate::FaultKind::None,
         }
     }
@@ -301,11 +364,11 @@ impl DdManager {
     /// Creates a manager with an explicit configuration.
     pub fn with_config(config: DdConfig) -> Self {
         DdManager {
-            complex: ComplexTable::with_tolerance(config.tolerance),
+            complex: ComplexTable::with_tolerance_and_simd(config.tolerance, config.simd),
             vec_arena: Arena::new(),
             mat_arena: Arena::new(),
-            vec_unique: UniqueTable::with_bits(config.unique_table_bits),
-            mat_unique: UniqueTable::with_bits(config.unique_table_bits),
+            vec_unique: UniqueTable::with_bits(config.unique_table_bits, (0, [VecEdge::ZERO; 2])),
+            mat_unique: UniqueTable::with_bits(config.unique_table_bits, (0, [MatEdge::ZERO; 4])),
             compute: ComputeTables::new(config.compute_table_bits, config.cache_enabled),
             epoch: 1,
             stats: DdStats::default(),
@@ -366,7 +429,16 @@ impl DdManager {
             apply_gate: self.compute.apply_gate.stats,
             vec_unique: self.vec_unique.stats,
             mat_unique: self.mat_unique.stats,
+            complex: self.complex.stats(),
         }
+    }
+
+    /// Live occupancy of the complex-weight interning table:
+    /// `(occupied grid buckets, longest bucket)`. Reported by `--stats`
+    /// alongside the [`ComplexTableStats`](ddsim_complex::ComplexTableStats)
+    /// counters; computed on demand (O(buckets)), not kept hot.
+    pub fn complex_table_occupancy(&self) -> (usize, usize) {
+        (self.complex.bucket_count(), self.complex.max_bucket_len())
     }
 
     /// Merges a fork-join worker's statistics into this manager's, so a
@@ -399,6 +471,7 @@ impl DdManager {
             .accumulate(&w.cache.apply_gate);
         self.vec_unique.stats.accumulate(&w.cache.vec_unique);
         self.mat_unique.stats.accumulate(&w.cache.mat_unique);
+        self.complex.stats_mut().accumulate(&w.cache.complex);
     }
 
     /// Resets the statistics counters (the diagrams are untouched).
@@ -407,6 +480,7 @@ impl DdManager {
         self.compute.reset_stats();
         self.vec_unique.stats = Default::default();
         self.mat_unique.stats = Default::default();
+        *self.complex.stats_mut() = Default::default();
     }
 
     /// Interns a raw complex value, returning its canonical id.
@@ -706,25 +780,38 @@ impl DdManager {
     }
 
     /// The two children of a vector edge's node, with the edge weight
-    /// already multiplied in.
+    /// already multiplied in. A unit incoming weight (the common case after
+    /// normalization) returns the stored edges untouched; otherwise both
+    /// products go through the dispatched batched-multiply kernel.
     pub(crate) fn vec_children_weighted(&mut self, e: VecEdge) -> [VecEdge; 2] {
         debug_assert!(!e.node.is_terminal());
         let node = *self.vec_node(e.node);
-        let mut out = node.edges;
-        for child in &mut out {
-            child.weight = self.complex.mul(e.weight, child.weight);
+        if e.weight.is_one() {
+            return node.edges;
         }
+        let mut out = node.edges;
+        let weights = self.complex.mul2(e.weight, [out[0].weight, out[1].weight]);
+        out[0].weight = weights[0];
+        out[1].weight = weights[1];
         out
     }
 
     /// The four children of a matrix edge's node, with the edge weight
-    /// already multiplied in.
+    /// already multiplied in. Same batching as
+    /// [`vec_children_weighted`](Self::vec_children_weighted).
     pub(crate) fn mat_children_weighted(&mut self, e: MatEdge) -> [MatEdge; 4] {
         debug_assert!(!e.node.is_terminal());
         let node = *self.mat_node(e.node);
+        if e.weight.is_one() {
+            return node.edges;
+        }
         let mut out = node.edges;
-        for child in &mut out {
-            child.weight = self.complex.mul(e.weight, child.weight);
+        let weights = self.complex.mul4(
+            e.weight,
+            [out[0].weight, out[1].weight, out[2].weight, out[3].weight],
+        );
+        for (child, w) in out.iter_mut().zip(weights) {
+            child.weight = w;
         }
         out
     }
@@ -766,11 +853,9 @@ impl DdManager {
             Some(w) => w,
             None => return VecEdge::ZERO,
         };
-        for e in &mut edges {
-            if !e.is_zero() {
-                e.weight = self.complex.div(e.weight, top);
-            }
-        }
+        let weights = self.complex.div2([edges[0].weight, edges[1].weight], top);
+        edges[0].weight = weights[0];
+        edges[1].weight = weights[1];
         let key = (level, edges);
         let node = match self.vec_unique.get(&key) {
             Some(id) => id,
@@ -811,10 +896,17 @@ impl DdManager {
             Some(w) => w,
             None => return MatEdge::ZERO,
         };
-        for e in &mut edges {
-            if !e.is_zero() {
-                e.weight = self.complex.div(e.weight, top);
-            }
+        let weights = self.complex.div4(
+            [
+                edges[0].weight,
+                edges[1].weight,
+                edges[2].weight,
+                edges[3].weight,
+            ],
+            top,
+        );
+        for (e, w) in edges.iter_mut().zip(weights) {
+            e.weight = w;
         }
         let key = (level, edges);
         let node = match self.mat_unique.get(&key) {
@@ -975,13 +1067,13 @@ impl DdManager {
         let mut freed_vec: Vec<(Level, [VecEdge; 2])> = Vec::new();
         let mut worklist: Vec<u32> = (0..self.vec_arena.slots.len() as u32)
             .filter(|&i| {
-                matches!(self.vec_arena.slots[i as usize], Slot::Occupied(_))
+                !self.vec_arena.slots[i as usize].node.is_free()
                     && self.vec_arena.refcounts[i as usize] == 0
             })
             .collect();
         while let Some(idx) = worklist.pop() {
             let id = NodeId(idx);
-            if matches!(self.vec_arena.slots[idx as usize], Slot::Free)
+            if self.vec_arena.slots[idx as usize].node.is_free()
                 || self.vec_arena.refcounts[idx as usize] != 0
             {
                 continue;
@@ -1003,13 +1095,13 @@ impl DdManager {
         let mut freed_mat: Vec<(Level, [MatEdge; 4])> = Vec::new();
         let mut worklist: Vec<u32> = (0..self.mat_arena.slots.len() as u32)
             .filter(|&i| {
-                matches!(self.mat_arena.slots[i as usize], Slot::Occupied(_))
+                !self.mat_arena.slots[i as usize].node.is_free()
                     && self.mat_arena.refcounts[i as usize] == 0
             })
             .collect();
         while let Some(idx) = worklist.pop() {
             let id = NodeId(idx);
-            if matches!(self.mat_arena.slots[idx as usize], Slot::Free)
+            if self.mat_arena.slots[idx as usize].node.is_free()
                 || self.mat_arena.refcounts[idx as usize] != 0
             {
                 continue;
@@ -1031,11 +1123,15 @@ impl DdManager {
         // free stamps.
         self.epoch += 1;
 
-        // A sweep that killed few nodes deletes exactly those keys
-        // (backward-shift, no allocation); a large churn rebuilds the
-        // table over the survivors, which also shrinks it back toward
-        // the configured floor.
-        if freed_vec.len() * 4 >= self.vec_unique.len().max(1) {
+        // A rebuild refills the whole slot array, so it only pays when it
+        // can shrink the table back toward the configured floor; any other
+        // sweep deletes exactly the freed keys (backward-shift, no
+        // allocation — the steady-state GC-per-op path touches only the
+        // freed keys' probe clusters instead of `O(capacity)` slots).
+        let live_vec = self.vec_unique.len() - freed_vec.len();
+        if freed_vec.len() * 4 >= self.vec_unique.len().max(1)
+            && self.vec_unique.would_shrink(live_vec)
+        {
             self.vec_unique
                 .rebuild(self.vec_arena.live_entries(|n| (n.level, n.edges)));
         } else {
@@ -1043,7 +1139,10 @@ impl DdManager {
                 self.vec_unique.remove(key);
             }
         }
-        if freed_mat.len() * 4 >= self.mat_unique.len().max(1) {
+        let live_mat = self.mat_unique.len() - freed_mat.len();
+        if freed_mat.len() * 4 >= self.mat_unique.len().max(1)
+            && self.mat_unique.would_shrink(live_mat)
+        {
             self.mat_unique
                 .rebuild(self.mat_arena.live_entries(|n| (n.level, n.edges)));
         } else {

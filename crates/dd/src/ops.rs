@@ -28,15 +28,16 @@ use ddsim_complex::ComplexId;
 use crate::edge::{MatEdge, NodeId, VecEdge};
 use crate::error::DdError;
 use crate::govern::{gtry, Governance, Governed, Ungoverned};
-use crate::manager::DdManager;
+use crate::manager::{Arena, ArenaNode, DdManager};
 
 /// Whether a node referenced by a compute-table entry is still the node the
 /// entry saw: its slot must not have been freed at or after the entry was
-/// written (terminals are never freed). See the epoch scheme documented on
-/// [`DdManager::collect_garbage`].
+/// written (terminals are never freed). The free-epoch stamp lives inside
+/// the arena slot (same cache line as the node, PR 7). See the epoch
+/// scheme documented on [`DdManager::collect_garbage`].
 #[inline]
-pub(crate) fn live(free_epoch: &[u32], id: NodeId, entry_epoch: u32) -> bool {
-    id.is_terminal() || free_epoch[id.index()] < entry_epoch
+pub(crate) fn live<N: ArenaNode>(arena: &Arena<N>, id: NodeId, entry_epoch: u32) -> bool {
+    arena.is_live(id, entry_epoch)
 }
 
 impl DdManager {
@@ -119,7 +120,7 @@ impl DdManager {
                 weight: ratio,
             },
         );
-        let fe = &self.vec_arena.free_epoch;
+        let fe = &self.vec_arena;
         if let Some(cached) = self.compute.add_vec.lookup(&key, |k, v, ep| {
             live(fe, k.0.node, ep) && live(fe, k.1.node, ep) && live(fe, v.node, ep)
         }) {
@@ -193,7 +194,7 @@ impl DdManager {
                 weight: ratio,
             },
         );
-        let fe = &self.mat_arena.free_epoch;
+        let fe = &self.mat_arena;
         if let Some(cached) = self.compute.add_mat.lookup(&key, |k, v, ep| {
             live(fe, k.0.node, ep) && live(fe, k.1.node, ep) && live(fe, v.node, ep)
         }) {
@@ -301,8 +302,8 @@ impl DdManager {
         } else {
             (m.node, v.node)
         };
-        let mfe = &self.mat_arena.free_epoch;
-        let vfe = &self.vec_arena.free_epoch;
+        let mfe = &self.mat_arena;
+        let vfe = &self.vec_arena;
         let unit = if let Some(cached) = self.compute.mat_vec.lookup(&key, |k, v, ep| {
             let second_live = if faulted {
                 live(mfe, k.1, ep)
@@ -433,7 +434,7 @@ impl DdManager {
             }
         }
         let key = (a.node, b.node);
-        let fe = &self.mat_arena.free_epoch;
+        let fe = &self.mat_arena;
         let unit = if let Some(cached) = self.compute.mat_mat.lookup(&key, |k, v, ep| {
             live(fe, k.0, ep) && live(fe, k.1, ep) && live(fe, v.node, ep)
         }) {
@@ -518,7 +519,7 @@ impl DdManager {
             });
         }
         gtry!(G::charge(self));
-        let fe = &self.mat_arena.free_epoch;
+        let fe = &self.mat_arena;
         let unit = if let Some(cached) = self
             .compute
             .conj_transpose
@@ -590,7 +591,7 @@ impl DdManager {
         }
         gtry!(G::charge(self));
         let key = (a.node, b);
-        let fe = &self.vec_arena.free_epoch;
+        let fe = &self.vec_arena;
         if let Some(cached) = self.compute.kron_vec.lookup(&key, |k, v, ep| {
             live(fe, k.0, ep) && live(fe, k.1.node, ep) && live(fe, v.node, ep)
         }) {
@@ -664,7 +665,7 @@ impl DdManager {
         }
         gtry!(G::charge(self));
         let key = (a.node, b);
-        let fe = &self.mat_arena.free_epoch;
+        let fe = &self.mat_arena;
         if let Some(cached) = self.compute.kron_mat.lookup(&key, |k, v, ep| {
             live(fe, k.0, ep) && live(fe, k.1.node, ep) && live(fe, v.node, ep)
         }) {
@@ -1123,6 +1124,42 @@ mod tests {
         let au = ungoverned.vec_to_amplitudes(vu);
         let ag = governed.vec_to_amplitudes(vg);
         for (i, (x, y)) in au.iter().zip(ag.iter()).enumerate() {
+            assert_eq!(x.re.to_bits(), y.re.to_bits(), "amplitude {i} (re)");
+            assert_eq!(x.im.to_bits(), y.im.to_bits(), "amplitude {i} (im)");
+        }
+    }
+
+    /// The scalar leaf kernels are the semantic reference: with `simd`
+    /// disabled the same workload must build bitwise-identical diagrams —
+    /// same edges (node ids *and* interned weight ids), same statistics
+    /// (including the complex-table probe counters), same amplitudes to
+    /// the bit. The SIMD paths avoid FMA and re-order nothing, so the two
+    /// instantiations are not merely close: they are the same computation.
+    #[test]
+    fn simd_and_scalar_instantiations_are_bitwise_identical() {
+        let mut vectorized = DdManager::new();
+        let mut scalar = DdManager::with_config(DdConfig {
+            simd: false,
+            ..DdConfig::default()
+        });
+
+        let (vs, ms) = full_surface_workload(&mut vectorized);
+        let (vc, mc) = full_surface_workload(&mut scalar);
+        assert_eq!(vs, vc, "state edges must be bitwise identical");
+        assert_eq!(ms, mc, "matrix edges must be bitwise identical");
+        assert_eq!(vectorized.stats(), scalar.stats());
+        assert_eq!(vectorized.cache_stats(), scalar.cache_stats());
+        assert_eq!(vectorized.live_vec_nodes(), scalar.live_vec_nodes());
+        assert_eq!(vectorized.live_mat_nodes(), scalar.live_mat_nodes());
+        assert_eq!(vectorized.distinct_weights(), scalar.distinct_weights());
+        assert_eq!(
+            vectorized.complex_table_occupancy(),
+            scalar.complex_table_occupancy()
+        );
+
+        let av = vectorized.vec_to_amplitudes(vs);
+        let ac = scalar.vec_to_amplitudes(vc);
+        for (i, (x, y)) in av.iter().zip(ac.iter()).enumerate() {
             assert_eq!(x.re.to_bits(), y.re.to_bits(), "amplitude {i} (re)");
             assert_eq!(x.im.to_bits(), y.im.to_bits(), "amplitude {i} (im)");
         }

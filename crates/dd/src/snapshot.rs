@@ -260,7 +260,7 @@ impl Snapshot {
             rng_state,
             classical_bits,
             tolerance: dd.complex.tolerance(),
-            weights: dd.complex.values().to_vec(),
+            weights: dd.complex.values(),
             nodes,
             root: encode(root),
         })
@@ -278,6 +278,10 @@ impl Snapshot {
         let mut dd = DdManager::with_config(config);
         dd.complex = ComplexTable::from_values(self.tolerance, &self.weights)
             .map_err(SnapshotError::Corrupt)?;
+        // `from_values` builds with the default SIMD tier; re-apply the
+        // caller's choice (the results are bitwise identical either way —
+        // this only selects which kernels compute them).
+        dd.complex.set_simd_enabled(config.simd);
         let weight_of = |w: u32| ComplexId::from_index(w as usize);
         let mut built: Vec<VecEdge> = Vec::with_capacity(self.nodes.len());
         for node in &self.nodes {

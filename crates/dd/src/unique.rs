@@ -6,6 +6,15 @@
 //! they use FxHash instead of the standard `HashMap`'s SipHash, with
 //! linear probing and power-of-two capacities.
 //!
+//! # Slot layout (PR 7, DESIGN.md §13)
+//!
+//! Slots are bare `(K, NodeId)` pairs with [`NodeId::TERMINAL`] as the
+//! *empty* sentinel instead of `Option<(K, NodeId)>`: real entries can
+//! never map a key to the terminal (nodes are arena-allocated), so keying
+//! emptiness on the id costs nothing and drops the `Option` discriminant +
+//! padding from every slot (28 → 24 bytes for vector keys, 44 → 40 for
+//! matrix keys) — more slots per cache line on the probe path.
+//!
 //! Deletions only ever happen at garbage collection, so there are no
 //! tombstones: a sweep that kills few nodes removes exactly those keys
 //! with backward-shift deletion ([`UniqueTable::remove`]), while a large
@@ -22,25 +31,37 @@ use crate::hash::fx_hash;
 const MAX_LOAD_NUM: usize = 3;
 const MAX_LOAD_DEN: usize = 4;
 
+/// The slot-is-empty sentinel. Legal because the table only ever stores
+/// arena-allocated node ids, and the arena can never hand out the
+/// terminal's reserved index.
+const EMPTY: NodeId = NodeId::TERMINAL;
+
 /// An open-addressed hash-consing table from node keys to node ids.
 #[derive(Debug)]
 pub(crate) struct UniqueTable<K> {
-    slots: Vec<Option<(K, NodeId)>>,
+    /// `(key, id)` pairs; a slot is empty iff its id is [`EMPTY`]. The key
+    /// stored in an empty slot is an arbitrary placeholder (`empty_key`).
+    slots: Vec<(K, NodeId)>,
     mask: u64,
     len: usize,
     min_bits: u32,
+    /// Placeholder key written into vacated slots.
+    empty_key: K,
     pub stats: UniqueTableStats,
 }
 
 impl<K: Copy + PartialEq + Hash> UniqueTable<K> {
     /// An empty table with `2^bits` slots (also the floor for rebuilds).
-    pub fn with_bits(bits: u32) -> Self {
+    /// `empty_key` is the placeholder stored in vacant slots; any value of
+    /// `K` works (vacancy is keyed on the id sentinel, never on the key).
+    pub fn with_bits(bits: u32, empty_key: K) -> Self {
         let capacity = 1usize << bits;
         UniqueTable {
-            slots: vec![None; capacity],
+            slots: vec![(empty_key, EMPTY); capacity],
             mask: (capacity - 1) as u64,
             len: 0,
             min_bits: bits,
+            empty_key,
             stats: UniqueTableStats::default(),
         }
     }
@@ -51,23 +72,23 @@ impl<K: Copy + PartialEq + Hash> UniqueTable<K> {
         self.stats.lookups += 1;
         let mut slot = (fx_hash(key) & self.mask) as usize;
         loop {
-            match &self.slots[slot] {
-                None => return None,
-                Some((k, id)) if k == key => {
-                    self.stats.hits += 1;
-                    return Some(*id);
-                }
-                Some(_) => {
-                    self.stats.probes += 1;
-                    slot = (slot + 1) & self.mask as usize;
-                }
+            let (k, id) = &self.slots[slot];
+            if *id == EMPTY {
+                return None;
             }
+            if k == key {
+                self.stats.hits += 1;
+                return Some(*id);
+            }
+            self.stats.probes += 1;
+            slot = (slot + 1) & self.mask as usize;
         }
     }
 
     /// Registers `id` as the canonical node for `key`. The caller has
     /// already established the key is absent (via [`get`](Self::get)).
     pub fn insert(&mut self, key: K, id: NodeId) {
+        debug_assert!(id != EMPTY, "cannot register the terminal");
         if (self.len + 1) * MAX_LOAD_DEN > self.slots.len() * MAX_LOAD_NUM {
             self.grow();
         }
@@ -78,24 +99,24 @@ impl<K: Copy + PartialEq + Hash> UniqueTable<K> {
     /// Probe-and-place without load accounting (capacity already ensured).
     fn insert_unchecked(&mut self, key: K, id: NodeId) {
         let mut slot = (fx_hash(&key) & self.mask) as usize;
-        while self.slots[slot].is_some() {
-            debug_assert!(
-                self.slots[slot].map(|(k, _)| k != key).unwrap_or(true),
-                "duplicate unique-table insert"
-            );
+        while self.slots[slot].1 != EMPTY {
+            debug_assert!(self.slots[slot].0 != key, "duplicate unique-table insert");
             self.stats.probes += 1;
             slot = (slot + 1) & self.mask as usize;
         }
-        self.slots[slot] = Some((key, id));
+        self.slots[slot] = (key, id);
     }
 
     fn grow(&mut self) {
         self.stats.grows += 1;
-        let old = std::mem::replace(&mut self.slots, vec![None; 0]);
-        self.slots = vec![None; old.len() * 2];
+        let empty = (self.empty_key, EMPTY);
+        let old = std::mem::take(&mut self.slots);
+        self.slots = vec![empty; old.len() * 2];
         self.mask = (self.slots.len() - 1) as u64;
-        for entry in old.into_iter().flatten() {
-            self.insert_unchecked(entry.0, entry.1);
+        for (key, id) in old {
+            if id != EMPTY {
+                self.insert_unchecked(key, id);
+            }
         }
     }
 
@@ -106,23 +127,40 @@ impl<K: Copy + PartialEq + Hash> UniqueTable<K> {
         let mask = self.mask as usize;
         let mut slot = (fx_hash(key) & self.mask) as usize;
         loop {
-            match &self.slots[slot] {
-                None => return,
-                Some((k, _)) if k == key => break,
-                Some(_) => slot = (slot + 1) & mask,
+            let (k, id) = &self.slots[slot];
+            if *id == EMPTY {
+                return;
             }
+            if k == key {
+                break;
+            }
+            slot = (slot + 1) & mask;
         }
-        self.slots[slot] = None;
+        self.slots[slot] = (self.empty_key, EMPTY);
         self.len -= 1;
         let mut next = (slot + 1) & mask;
-        while let Some((k, id)) = self.slots[next].take() {
+        while self.slots[next].1 != EMPTY {
+            let (k, id) = std::mem::replace(&mut self.slots[next], (self.empty_key, EMPTY));
             let mut dest = (fx_hash(&k) & self.mask) as usize;
-            while self.slots[dest].is_some() {
+            while self.slots[dest].1 != EMPTY {
                 dest = (dest + 1) & mask;
             }
-            self.slots[dest] = Some((k, id));
+            self.slots[dest] = (k, id);
             next = (next + 1) & mask;
         }
+    }
+
+    /// Whether rebuilding around `live` survivors would shrink the slot
+    /// array. A rebuild that cannot shrink (the floor or the load bound
+    /// pins the current capacity) refills every slot for nothing — the
+    /// GC uses this to take the per-key removal path instead, which only
+    /// touches the freed keys' probe clusters.
+    pub fn would_shrink(&self, live: usize) -> bool {
+        let mut bits = self.min_bits;
+        while (live * MAX_LOAD_DEN) > ((1usize << bits) * MAX_LOAD_NUM) {
+            bits += 1;
+        }
+        (1usize << bits) < self.slots.len()
     }
 
     /// Replaces the contents with `live` (the nodes surviving a GC sweep),
@@ -135,7 +173,7 @@ impl<K: Copy + PartialEq + Hash> UniqueTable<K> {
         while (entries.len() * MAX_LOAD_DEN) > ((1usize << bits) * MAX_LOAD_NUM) {
             bits += 1;
         }
-        self.slots = vec![None; 1usize << bits];
+        self.slots = vec![(self.empty_key, EMPTY); 1usize << bits];
         self.mask = (self.slots.len() - 1) as u64;
         self.len = entries.len();
         for (key, id) in entries {
@@ -156,7 +194,7 @@ impl<K: Copy + PartialEq + Hash> UniqueTable<K> {
     /// budget is enforced by the manager's amortized governor check right
     /// after the growth lands, with overshoot bounded by one doubling.
     pub fn bytes(&self) -> usize {
-        self.slots.capacity() * std::mem::size_of::<Option<(K, NodeId)>>()
+        self.slots.capacity() * std::mem::size_of::<(K, NodeId)>()
     }
 
     /// Current slot capacity.
@@ -171,7 +209,7 @@ mod tests {
     use super::*;
 
     fn table() -> UniqueTable<(u32, u32)> {
-        UniqueTable::with_bits(2) // 4 slots: growth kicks in fast
+        UniqueTable::with_bits(2, (0, 0)) // 4 slots: growth kicks in fast
     }
 
     #[test]
@@ -183,6 +221,19 @@ mod tests {
         assert_eq!(t.len(), 1);
         assert_eq!(t.stats.hits, 1);
         assert_eq!(t.stats.lookups, 2);
+    }
+
+    #[test]
+    fn the_placeholder_key_is_still_a_usable_key() {
+        // Vacancy is keyed on the id sentinel, so inserting the key that
+        // doubles as the empty-slot placeholder must work.
+        let mut t = table();
+        assert_eq!(t.get(&(0, 0)), None);
+        t.insert((0, 0), NodeId(3));
+        assert_eq!(t.get(&(0, 0)), Some(NodeId(3)));
+        t.remove(&(0, 0));
+        assert_eq!(t.get(&(0, 0)), None);
+        assert_eq!(t.len(), 0);
     }
 
     #[test]

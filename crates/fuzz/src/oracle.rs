@@ -155,6 +155,17 @@ fn dd_variants(full: bool) -> Vec<(&'static str, DdConfig)> {
                 ..base
             },
         ),
+        // The scalar leaf kernels must be bitwise-identical to the SIMD
+        // ones, so this point must agree with the dense reference exactly
+        // as the default point does — and any divergence between the two
+        // code paths shows up as a lattice disagreement.
+        (
+            "dd=scalar",
+            DdConfig {
+                simd: false,
+                ..base
+            },
+        ),
     ];
     if full {
         variants.extend([
@@ -180,6 +191,17 @@ fn dd_variants(full: bool) -> Vec<(&'static str, DdConfig)> {
                     compute_table_bits: 4,
                     unique_table_bits: 3,
                     gc_threshold: 64,
+                    ..base
+                },
+            ),
+            // Scalar kernels under table pressure: rebuilds and re-probes
+            // of the complex table must land on the same interned ids.
+            (
+                "dd=scalar-tiny-tables",
+                DdConfig {
+                    simd: false,
+                    compute_table_bits: 4,
+                    unique_table_bits: 3,
                     ..base
                 },
             ),
@@ -245,7 +267,7 @@ fn par_variants(full: bool) -> Vec<(&'static str, DdConfig, u32)> {
 
 /// The engine-configuration lattice: every combining strategy crossed with
 /// the DD-manager variants plus the budget and `par` axes (quick:
-/// 5 × (5 + 1 + 1) = 35 points; full: 5 × (8 + 3 + 2) = 65).
+/// 5 × (6 + 1 + 1) = 40 points; full: 5 × (10 + 3 + 2) = 75).
 pub fn config_lattice(full: bool) -> Vec<LatticePoint> {
     let strategies = [
         Strategy::Sequential,
@@ -663,8 +685,8 @@ mod tests {
 
     #[test]
     fn lattice_sizes() {
-        assert_eq!(config_lattice(false).len(), 35);
-        assert_eq!(config_lattice(true).len(), 65);
+        assert_eq!(config_lattice(false).len(), 40);
+        assert_eq!(config_lattice(true).len(), 75);
     }
 
     #[test]

@@ -20,6 +20,42 @@ fn x_gate() -> ddsim_dd::Matrix2 {
     [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]]
 }
 
+fn t_gate() -> ddsim_dd::Matrix2 {
+    [
+        [Complex::ONE, Complex::ZERO],
+        [Complex::ZERO, Complex::cis(std::f64::consts::FRAC_PI_4)],
+    ]
+}
+
+/// Order-sensitive ladder state: H(i); CX(i, i+k); T(i) pairs qubit `i`
+/// with qubit `i+k`, so under the circuit (identity) order every pair
+/// spans the register's upper half and the state DD holds ~2^k nodes —
+/// while the interleaved order sifting finds is linear in `k`.
+fn ladder_state(dd: &mut DdManager, k: u32) -> VecEdge {
+    let mut state = dd.vec_zero_state(2 * k);
+    dd.inc_ref_vec(state);
+    let step = |dd: &mut DdManager, state: &mut VecEdge, next: VecEdge| {
+        dd.inc_ref_vec(next);
+        dd.dec_ref_vec(*state);
+        *state = next;
+    };
+    for i in 0..k {
+        let next = dd
+            .apply_single_qubit(i, h_gate(), state)
+            .expect("ungoverned");
+        step(dd, &mut state, next);
+        let next = dd
+            .apply_controlled(&[Control::pos(i)], i + k, x_gate(), state)
+            .expect("ungoverned");
+        step(dd, &mut state, next);
+        let next = dd
+            .apply_single_qubit(i, t_gate(), state)
+            .expect("ungoverned");
+        step(dd, &mut state, next);
+    }
+    state
+}
+
 /// A "large" state DD: final state of a supremacy-style circuit.
 fn dense_state(dd: &mut DdManager, n: u32) -> VecEdge {
     let rows = 2;
@@ -199,6 +235,52 @@ fn mxv_threaded(c: &mut Criterion) {
     group.finish();
 }
 
+/// The same cross-half CNOT applied to the same ladder state before and
+/// after a full sifting pass: identical function, identical multiply —
+/// the only difference is the variable order, ~2^k nodes in circuit
+/// order vs. ~2k after sifting. This is the reordering payoff the
+/// `--reorder sifting` flag buys at whole-run scale.
+fn mxv_reordered(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mxv_reordered");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let k = 7u32;
+    let n = 2 * k;
+
+    group.bench_function("ladder_circuit_order", |b| {
+        let mut dd = DdManager::new();
+        let state = ladder_state(&mut dd, k);
+        let gate = dd.mat_controlled(n, &[Control::pos(0)], k, x_gate());
+        dd.inc_ref_mat(gate);
+        b.iter(|| {
+            dd.collect_garbage();
+            dd.mat_vec_mul(gate, state)
+        });
+    });
+
+    group.bench_function("ladder_sifted_order", |b| {
+        let mut dd = DdManager::new();
+        let raw = ladder_state(&mut dd, k);
+        let (state, stats) = dd.sift_state(raw, usize::MAX);
+        assert!(
+            stats.nodes_after * 2 <= stats.nodes_before,
+            "sifting must at least halve the ladder ({} -> {})",
+            stats.nodes_before,
+            stats.nodes_after
+        );
+        // Built AFTER the sift: matrix construction maps external qubits
+        // through the live variable order.
+        let gate = dd.mat_controlled(n, &[Control::pos(0)], k, x_gate());
+        dd.inc_ref_mat(gate);
+        b.iter(|| {
+            dd.collect_garbage();
+            dd.mat_vec_mul(gate, state)
+        });
+    });
+    group.finish();
+}
+
 /// Whole-run simulation under frequent garbage collection: many Grover
 /// iterations with a tiny `gc_threshold`, so the run's cost is dominated by
 /// how much memoized work survives each collection. Before the epoch
@@ -236,6 +318,7 @@ criterion_group!(
     mxv_vs_mxm,
     mxv_identity_heavy,
     mxv_threaded,
+    mxv_reordered,
     specialized_vs_generic,
     cache_pressure
 );
@@ -268,12 +351,20 @@ criterion_group!(
 ///    note otherwise): a pool as wide as the machine must deliver at
 ///    least `DDSIM_SMOKE_SPEEDUP` (default 2.0) × over sequential on at
 ///    least one of large-state MxV and shot sampling.
+///
+/// A fifth gate covers dynamic reordering:
+///
+/// 5. **Reorder leg**: sifting OFF is the shipped default, so the
+///    whole-run `simulate` cost of an order-sensitive ladder is held to
+///    the checked-in baseline (`sim_ladder_reorder_off`, same
+///    `DDSIM_SMOKE_ABS_TOL` drift window); and sifting ON must earn its
+///    keep on the same circuit by shrinking the final state DD ≥ 2×.
 mod smoke {
     use std::sync::Arc;
     use std::time::{Duration, Instant};
 
     use ddsim_complex::Complex;
-    use ddsim_core::{simulate, DdConfig, SimOptions};
+    use ddsim_core::{simulate, DdConfig, ReorderMode, SimOptions};
     use ddsim_dd::{Control, DdManager, Par, ThreadPool};
 
     const BASELINE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/dd_ops_smoke.json");
@@ -491,6 +582,45 @@ mod smoke {
         )
     }
 
+    /// The order-sensitive ladder circuit behind gate 5 — the same shape
+    /// the dd crate's sifting unit tests prove ≥2× on.
+    fn ladder_circuit(k: u32) -> ddsim_circuit::Circuit {
+        let mut c = ddsim_circuit::Circuit::new(2 * k);
+        for i in 0..k {
+            c.h(i);
+            c.cx(i, i + k);
+            c.t(i);
+        }
+        c
+    }
+
+    /// Interleaved whole-run `simulate` of the ladder with sifting off
+    /// vs. on. Returns `(off_ns, on_ns, final_nodes_off, final_nodes_on)`.
+    fn measure_reorder_sim(k: u32) -> (f64, f64, usize, usize) {
+        let circuit = ladder_circuit(k);
+        let off = SimOptions::default();
+        let on = SimOptions {
+            reorder: ReorderMode::Sifting,
+            ..SimOptions::default()
+        };
+        let (_, stats_off) = simulate(&circuit, off).expect("width matches");
+        let (_, stats_on) = simulate(&circuit, on).expect("width matches");
+        let (off_ns, on_ns) = measure_pair(
+            &mut || {
+                std::hint::black_box(simulate(&circuit, off).expect("width matches"));
+            },
+            &mut || {
+                std::hint::black_box(simulate(&circuit, on).expect("width matches"));
+            },
+        );
+        (
+            off_ns,
+            on_ns,
+            stats_off.final_state_nodes,
+            stats_on.final_state_nodes,
+        )
+    }
+
     /// Runs the smoke gate; returns a process exit code.
     pub fn run() -> i32 {
         let rel_tol = env_f64("DDSIM_SMOKE_REL_TOL", 1.05);
@@ -585,6 +715,50 @@ mod smoke {
                 "smoke threaded-speedup: skipped ({cores} hardware thread(s) < 4; the \
                  >=2x gate needs a multi-core host)"
             );
+        }
+        // Gate 5: the reorder leg (see the module docs).
+        {
+            let (off_ns, on_ns, nodes_off, nodes_on) = measure_reorder_sim(5);
+            println!(
+                "smoke sim_ladder_reorder_off: {off_ns:.0} ns (sifting on: {on_ns:.0} ns); \
+                 final state nodes {nodes_off} -> {nodes_on}"
+            );
+            match baseline
+                .as_deref()
+                .ok()
+                .and_then(|t| baseline_ns(t, "sim_ladder_reorder_off"))
+            {
+                Some(base) => {
+                    let drift = off_ns / base;
+                    println!(
+                        "smoke sim_ladder_reorder_off: baseline {base:.0} ns, drift x{drift:.3} \
+                         (gate <= {:.2})",
+                        1.0 + abs_tol
+                    );
+                    if drift > 1.0 + abs_tol {
+                        println!(
+                            "SMOKE FAIL sim_ladder_reorder_off: the sifting-off run regressed \
+                             {:.1}% vs {BASELINE} (the reorder plumbing must be free when off)",
+                            (drift - 1.0) * 100.0
+                        );
+                        failed = true;
+                    }
+                }
+                None => {
+                    println!(
+                        "SMOKE FAIL sim_ladder_reorder_off: no baseline entry readable \
+                         from {BASELINE}"
+                    );
+                    failed = true;
+                }
+            }
+            if nodes_off < 2 * nodes_on {
+                println!(
+                    "SMOKE FAIL reorder-effectiveness: sifting shrank the ladder's final DD \
+                     only {nodes_off} -> {nodes_on} nodes (< 2x)"
+                );
+                failed = true;
+            }
         }
         if failed {
             1

@@ -4,7 +4,7 @@
 use std::fmt;
 use std::time::Duration;
 
-use ddsim_core::{DdConfig, Strategy};
+use ddsim_core::{DdConfig, ReorderMode, Strategy};
 
 /// Where the circuit comes from.
 #[derive(Clone, Debug, PartialEq)]
@@ -35,6 +35,8 @@ pub struct Args {
     pub source: CircuitSource,
     /// Combining strategy.
     pub strategy: Strategy,
+    /// Dynamic variable reordering policy.
+    pub reorder: ReorderMode,
     /// Measurement seed.
     pub seed: u64,
     /// Shots for `--counts`.
@@ -89,6 +91,10 @@ CIRCUIT SOURCES:
 OPTIONS:
     --strategy sequential | kops:K | maxsize:S | ddrepeating:K | adaptive
                              combining strategy [default: sequential]
+    --reorder none | sifting dynamic variable reordering: sifting shrinks
+                             the state DD when it outgrows its post-sift
+                             baseline (amplitudes are unchanged)
+                             [default: none]
     --seed N                 measurement seed [default: 0]
     --shots N                samples for --counts [default: 1024]
     --counts | --amplitudes | --stats
@@ -143,6 +149,7 @@ EXIT CODES:
 pub fn parse(argv: &[String]) -> Result<Args, ParseArgsError> {
     let mut source: Option<CircuitSource> = None;
     let mut strategy = Strategy::Sequential;
+    let mut reorder = ReorderMode::None;
     let mut seed = 0u64;
     let mut shots = 1024u32;
     let mut output = OutputMode::Counts;
@@ -172,6 +179,15 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseArgsError> {
                     .get(i + 1)
                     .ok_or_else(|| ParseArgsError("--strategy needs a value".into()))?;
                 strategy = parse_strategy(spec)?;
+                i += 1;
+            }
+            "--reorder" => {
+                let spec = argv
+                    .get(i + 1)
+                    .ok_or_else(|| ParseArgsError("--reorder needs a value".into()))?;
+                reorder = ReorderMode::parse(spec).ok_or_else(|| {
+                    ParseArgsError(format!("unknown reorder mode `{spec}` (see --help)"))
+                })?;
                 i += 1;
             }
             "--seed" => {
@@ -286,6 +302,7 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseArgsError> {
     Ok(Args {
         source,
         strategy,
+        reorder,
         seed,
         shots,
         output,
@@ -375,6 +392,19 @@ mod tests {
             let a = parse(&argv(&["x.qasm", "--strategy", spec])).expect("valid");
             assert_eq!(a.strategy, want, "{spec}");
         }
+    }
+
+    #[test]
+    fn reorder_flag() {
+        let a = parse(&argv(&["x.qasm"])).expect("valid");
+        assert_eq!(a.reorder, ReorderMode::None, "reordering off by default");
+        let b = parse(&argv(&["x.qasm", "--reorder", "sifting"])).expect("valid");
+        assert_eq!(b.reorder, ReorderMode::Sifting);
+        let c = parse(&argv(&["x.qasm", "--reorder", "none"])).expect("valid");
+        assert_eq!(c.reorder, ReorderMode::None);
+        let e = parse(&argv(&["x.qasm", "--reorder", "bubble"])).expect_err("invalid");
+        assert!(e.0.contains("unknown reorder mode"));
+        assert!(parse(&argv(&["x.qasm", "--reorder"])).is_err());
     }
 
     #[test]

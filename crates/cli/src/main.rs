@@ -77,6 +77,7 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 
     let options = SimOptions {
         strategy: args.strategy,
+        reorder: args.reorder,
         seed: args.seed,
         collect_trace: args.trace,
         dd_config: args.dd_config,
@@ -185,6 +186,8 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             println!("ladder_gc_rescues  {}", stats.ladder_gc_rescues);
             println!("ladder_cache_flushes {}", stats.ladder_cache_flushes);
             println!("ladder_downgrades  {}", stats.ladder_strategy_downgrades);
+            println!("reorders           {}", stats.reorders);
+            println!("ladder_reorders    {}", stats.ladder_reorders);
             println!("degraded           {}", stats.degraded);
             println!("checkpoints_written {}", stats.checkpoints_written);
             for (name, t) in stats.cache.named_compute() {

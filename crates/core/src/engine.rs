@@ -52,6 +52,43 @@ use crate::error::{widen_dd_error, SimError};
 use crate::stats::{RunStats, StepTrace};
 use crate::strategy::Strategy;
 
+/// Dynamic variable-reordering policy for a run.
+///
+/// Reordering exchanges the DD's qubit↔level assignment via adjacent-level
+/// swaps ([`DdManager::swap_levels`]) so that strongly correlated qubits
+/// sit on neighboring levels, which can shrink the state DD exponentially
+/// on order-sensitive circuits. All public accessors stay qubit-indexed —
+/// a reorder changes the diagram, never the observable amplitudes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReorderMode {
+    /// Keep the circuit's variable order for the whole run.
+    #[default]
+    None,
+    /// Sift the state (Rudell-style) whenever it has grown past twice its
+    /// size at the previous sift, and once more before the run seals, so
+    /// every successful run reorders at least once.
+    Sifting,
+}
+
+impl ReorderMode {
+    /// Stable CLI label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReorderMode::None => "none",
+            ReorderMode::Sifting => "sifting",
+        }
+    }
+
+    /// Parses a CLI label back into a mode.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "none" => Some(ReorderMode::None),
+            "sifting" => Some(ReorderMode::Sifting),
+            _ => None,
+        }
+    }
+}
+
 /// Options controlling a simulation run.
 #[derive(Clone, Copy, Debug)]
 pub struct SimOptions {
@@ -77,6 +114,11 @@ pub struct SimOptions {
     /// shots across lanes (threaded amplitudes agree with sequential
     /// within the weight-unification tolerance; see DESIGN.md §12).
     pub threads: u32,
+    /// Dynamic variable-reordering policy (see [`ReorderMode`]).
+    /// Independent of this setting, the degradation ladder sifts once
+    /// before falling to the strategy downgrade when a state application
+    /// exhausts rungs 1–2.
+    pub reorder: ReorderMode,
 }
 
 impl Default for SimOptions {
@@ -88,6 +130,7 @@ impl Default for SimOptions {
             dd_config: DdConfig::default(),
             deadline: None,
             threads: 1,
+            reorder: ReorderMode::None,
         }
     }
 }
@@ -174,6 +217,15 @@ pub struct Simulator {
     pending_ops: Vec<GateOp>,
     // State DD size as of the last application (drives Strategy::Adaptive).
     cached_state_nodes: usize,
+    // Reference state size for the reorder growth trigger: node count as of
+    // the last sift (or the last checkpoint barrier, which resets it the
+    // same way on the writer and on resume, keeping the two bitwise in
+    // lockstep).
+    sift_baseline: usize,
+    // Non-zero while a cached repeating-block matrix may be re-applied;
+    // reordering is blocked for its duration (the block is a level-space
+    // diagram built under the order current at construction).
+    reorder_holds: u32,
     // Ladder rung 3 latches this; the rest of the run is sequential.
     degraded: bool,
     // Ops of the flattened stream executed so far (checkpoint cursor).
@@ -221,6 +273,8 @@ impl Simulator {
             pending_single: None,
             pending_ops: Vec::new(),
             cached_state_nodes: 1,
+            sift_baseline: 1,
+            reorder_holds: 0,
             degraded: false,
             ops_executed: 0,
             active_circuit_hash: 0,
@@ -478,6 +532,7 @@ impl Simulator {
             self.dd.set_par(Par::Threaded(Arc::clone(pool)));
         }
         self.cached_state_nodes = self.dd.vec_node_count(self.state);
+        self.sift_baseline = self.cached_state_nodes.max(1);
         self.stats.checkpoints_written += 1;
         Ok(())
     }
@@ -537,6 +592,8 @@ impl Simulator {
             pending_single: None,
             pending_ops: Vec::new(),
             cached_state_nodes,
+            sift_baseline: cached_state_nodes.max(1),
+            reorder_holds: 0,
             degraded: false,
             ops_executed: snap.next_op,
             active_circuit_hash: snap.circuit_hash,
@@ -579,6 +636,15 @@ impl Simulator {
     ) -> Result<RunStats, SimError> {
         if result.is_err() {
             self.abandon_pending();
+        } else if self.options.reorder == ReorderMode::Sifting
+            && self.stats.reorders == 0
+            && self.can_sift()
+        {
+            // Every successful sifting-mode run reorders at least once, so
+            // the policy's effect (and any fault injected into the swap) is
+            // observable even on runs that never tripped the growth
+            // trigger.
+            self.sift_now(false);
         }
         self.stats.wall_time = started.elapsed();
         self.stats.final_state_nodes = self.dd.vec_node_count(self.state);
@@ -597,6 +663,58 @@ impl Simulator {
         self.pending_gates = 0;
         self.pending_single = None;
         self.pending_ops.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic variable reordering
+    // ------------------------------------------------------------------
+
+    /// State-size floor below which the growth trigger never fires —
+    /// sifting a trivially small diagram cannot pay for itself.
+    const SIFT_FLOOR_NODES: usize = 32;
+
+    /// Whether the state may be reordered right now. A pending gate
+    /// product (or a cached repeating block — released before its
+    /// sequential fallback) is a level-space diagram built under the
+    /// *current* order; reordering underneath it would silently retarget
+    /// its gates, so sifting waits for the product to be applied.
+    fn can_sift(&self) -> bool {
+        self.n >= 2 && self.pending.is_none() && self.reorder_holds == 0
+    }
+
+    /// One sifting pass over the state (the simulator's pin transfers to
+    /// the sifted edge). Runs outside the governed recursion: the pass is
+    /// node-bounded by construction (never grows the state) and must stay
+    /// available exactly when budgets are exhausted.
+    fn sift_now(&mut self, ladder: bool) {
+        debug_assert!(self.can_sift());
+        let budget = 4 * (self.n as usize) * (self.n as usize);
+        let (next, rs) = self.dd.sift_state(self.state, budget);
+        self.state = next;
+        self.sift_baseline = rs.nodes_after.max(1);
+        if matches!(self.options.strategy, Strategy::Adaptive { .. }) {
+            self.cached_state_nodes = rs.nodes_after;
+        }
+        if ladder {
+            self.stats.ladder_reorders += 1;
+        } else {
+            self.stats.reorders += 1;
+        }
+        // The displaced old-order nodes are garbage now.
+        self.collect_if_needed();
+    }
+
+    /// Growth trigger for the explicit [`ReorderMode::Sifting`] policy:
+    /// sift once the state has doubled since the last sift (or past the
+    /// floor).
+    fn maybe_sift_for_growth(&mut self) {
+        if self.options.reorder != ReorderMode::Sifting || !self.can_sift() {
+            return;
+        }
+        let nodes = self.dd.vec_node_count(self.state);
+        if nodes > 2 * self.sift_baseline.max(Self::SIFT_FLOOR_NODES) {
+            self.sift_now(false);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -705,42 +823,59 @@ impl Simulator {
         let reuse = matches!(self.effective_strategy(), Strategy::DdRepeating { .. });
         if reuse {
             if let Some(block) = self.combine_unitary_block(body)? {
-                // DD-repeating: one combined matrix, re-applied for every
-                // iteration with zero further matrix-matrix work. The block
-                // arrives holding one reference, released below.
-                self.flush()?;
-                let block_gates: u64 = body.iter().map(|op| op.elementary_count()).sum();
-                for done in 0..times {
-                    self.stats.elementary_gates += block_gates;
-                    match self.apply_now(block, block_gates) {
-                        Ok(()) => {}
-                        Err(SimError::BudgetExceeded { .. }) => {
-                            // Rung 3 for the repeating path: drop the block,
-                            // finish this and the remaining iterations gate
-                            // by gate (they re-count their own gates).
-                            self.stats.elementary_gates -= block_gates;
-                            self.stats.ladder_strategy_downgrades += 1;
-                            self.degraded = true;
-                            self.dd.dec_ref_mat(block);
-                            for _ in done..times {
-                                self.process_ops(body)?;
-                            }
-                            return Ok(());
-                        }
-                        Err(e) => {
-                            self.dd.dec_ref_mat(block);
-                            return Err(e);
-                        }
-                    }
-                }
-                self.dd.dec_ref_mat(block);
-                return Ok(());
+                // Reordering is blocked while the block may be re-applied —
+                // a sift underneath it would silently retarget its gates.
+                self.reorder_holds += 1;
+                let r = self.run_repeating_block(block, body, times);
+                self.reorder_holds -= 1;
+                return r;
             }
         }
         // Fallback: expand the block.
         for _ in 0..times {
             self.process_ops(body)?;
         }
+        Ok(())
+    }
+
+    /// DD-repeating core: one combined matrix, re-applied for every
+    /// iteration with zero further matrix-matrix work. The block arrives
+    /// holding one reference, released before return on every path.
+    fn run_repeating_block(
+        &mut self,
+        block: MatEdge,
+        body: &[Operation],
+        times: u32,
+    ) -> Result<(), SimError> {
+        if let Err(e) = self.flush() {
+            self.dd.dec_ref_mat(block);
+            return Err(e);
+        }
+        let block_gates: u64 = body.iter().map(|op| op.elementary_count()).sum();
+        for done in 0..times {
+            self.stats.elementary_gates += block_gates;
+            match self.apply_now(block, block_gates) {
+                Ok(()) => {}
+                Err(SimError::BudgetExceeded { .. }) => {
+                    // Rung 3 for the repeating path: drop the block,
+                    // finish this and the remaining iterations gate
+                    // by gate (they re-count their own gates).
+                    self.stats.elementary_gates -= block_gates;
+                    self.stats.ladder_strategy_downgrades += 1;
+                    self.degraded = true;
+                    self.dd.dec_ref_mat(block);
+                    for _ in done..times {
+                        self.process_ops(body)?;
+                    }
+                    return Ok(());
+                }
+                Err(e) => {
+                    self.dd.dec_ref_mat(block);
+                    return Err(e);
+                }
+            }
+        }
+        self.dd.dec_ref_mat(block);
         Ok(())
     }
 
@@ -982,6 +1117,7 @@ impl Simulator {
             Ok(()) => {
                 self.dd.dec_ref_mat(p);
                 self.pending_ops.clear();
+                self.maybe_sift_for_growth();
                 Ok(())
             }
             Err(SimError::BudgetExceeded { .. }) => {
@@ -1008,21 +1144,44 @@ impl Simulator {
             self.dd.inc_ref_mat(m);
             let r = self.apply_now(m, 1);
             self.dd.dec_ref_mat(m);
+            if r.is_ok() {
+                self.maybe_sift_for_growth();
+            }
             return r;
         }
-        let before = self.dd.stats();
         let u = g.gate.matrix();
         // `state` is ref-pinned by the simulator, so the ladder may collect
-        // between retries.
-        let next = self.recover(|sim| {
+        // between retries. The closure re-reads `sim.state` and re-derives
+        // the gate's levels from the live variable order on every attempt,
+        // which is what makes the sift rung below sound.
+        let apply = |sim: &mut Self| {
             if g.controls.is_empty() {
                 sim.dd.apply_single_qubit(g.target, u, sim.state)
             } else {
                 sim.dd.apply_controlled(&g.controls, g.target, u, sim.state)
             }
-        });
+        };
+        let before = self.dd.stats();
+        let next = self.recover(apply);
         let after = self.dd.stats();
         self.stats.absorb_dd_delta(before, after);
+        let next = match next {
+            Err(SimError::BudgetExceeded { .. }) if self.can_sift() => {
+                // Ladder sift rung: rungs 1–2 could not fit the
+                // application, so shrink the *state* by reordering and give
+                // the full ladder one more try before the caller falls to
+                // the strategy downgrade. Sequential replay (rung 3)
+                // reaches this rung per replayed gate, so combining runs
+                // benefit too.
+                self.sift_now(true);
+                let before = self.dd.stats();
+                let retried = self.recover(apply);
+                let after = self.dd.stats();
+                self.stats.absorb_dd_delta(before, after);
+                retried
+            }
+            other => other,
+        };
         let next = next?;
         self.dd.inc_ref_vec(next);
         self.dd.dec_ref_vec(self.state);
@@ -1031,6 +1190,7 @@ impl Simulator {
             self.cached_state_nodes = self.dd.vec_node_count(self.state);
         }
         self.collect_if_needed();
+        self.maybe_sift_for_growth();
         Ok(())
     }
 

@@ -47,10 +47,12 @@ mod stats;
 mod strategy;
 
 pub use ddsim_dd::{
-    CacheStats, CancelToken, DdConfig, FaultKind, FxHashMap, Par, Resource, Snapshot,
-    SnapshotError, TableStats, ThreadPool, UniqueTableStats,
+    CacheStats, CancelToken, DdConfig, FaultKind, FxHashMap, Par, ReorderStats, Resource, Snapshot,
+    SnapshotError, TableStats, ThreadPool, UniqueTableStats, VarOrder,
 };
-pub use engine::{circuit_fingerprint, simulate, CheckpointConfig, SimOptions, Simulator};
+pub use engine::{
+    circuit_fingerprint, simulate, CheckpointConfig, ReorderMode, SimOptions, Simulator,
+};
 pub use error::SimError;
 #[allow(deprecated)]
 pub use error::SimulateCircuitError;

@@ -56,6 +56,15 @@ pub struct RunStats {
     /// Degradation-ladder rung 3: combining abandoned in favor of
     /// sequential replay through the specialized kernels.
     pub ladder_strategy_downgrades: u64,
+    /// Sifting reorders taken by the explicit [`ReorderMode::Sifting`]
+    /// policy (growth trigger plus the end-of-run pass).
+    ///
+    /// [`ReorderMode::Sifting`]: crate::ReorderMode::Sifting
+    pub reorders: u64,
+    /// Degradation-ladder reorders: sifting passes taken after rungs 1–2
+    /// failed, to shrink the state before falling to the strategy
+    /// downgrade.
+    pub ladder_reorders: u64,
     /// Whether rung 3 latched (the rest of the run executed sequentially).
     pub degraded: bool,
     /// Checkpoints written during the run.

@@ -164,14 +164,14 @@ impl DdManager {
         target: u32,
         u: Matrix2,
     ) -> ApplyOp {
-        let target_level = n - target;
+        let target_level = self.var_order.level_of(n, target);
         let force_positive = self.config.fault == crate::FaultKind::NegativeControlsIgnored;
         let mut ctrls: Vec<(Level, bool)> = controls
             .iter()
             .map(|c| {
                 // Injected fault: every control fires on |1⟩.
                 (
-                    n - c.qubit,
+                    self.var_order.level_of(n, c.qubit),
                     force_positive || c.polarity == ControlPolarity::Positive,
                 )
             })

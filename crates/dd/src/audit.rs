@@ -1,0 +1,349 @@
+//! Manager invariant auditor: a full walk of the arenas, unique tables,
+//! and complex table that re-derives every structural invariant the
+//! kernels rely on. O(nodes) and allocation-heavy — strictly a test/debug
+//! facility, called explicitly (never from production paths).
+//!
+//! Checks, per the canonicity contract in `manager.rs`:
+//!
+//! 1. **Hash-cons uniqueness** — every live node's `(level, children)` key
+//!    maps back to exactly that node in its unique table, no two live
+//!    nodes share a key, and the table holds no stale entries (its
+//!    population equals the live population).
+//! 2. **Normalization** — stored child weights are a *fixpoint* of the
+//!    normalization convention: some lane is exactly `ComplexId::ONE`
+//!    (the divide's pivot shortcut), all magnitudes are ≤ 1 up to
+//!    tolerance-bucketing slack, zero children are the canonical `ZERO`
+//!    edge, and no node is all-zero.
+//! 3. **Structure** — children sit exactly one level below their parent
+//!    (QMDDs never skip levels) and are live (no dangling edges).
+//! 4. **Identity flags** — each matrix node's stamped `identity` bit
+//!    equals the structural predicate recomputed from its children.
+//! 5. **Refcount consistency** — each node's stored count is at least the
+//!    number of live parent edges referencing it (the surplus being
+//!    external pins), so GC can never reclaim a reachable node.
+//! 6. **Complex-table interning** — every edge weight id is in range and
+//!    its interned `norm_sqr` matches the value it denotes.
+
+use ddsim_complex::ComplexId;
+
+use crate::edge::{MatEdge, NodeId, VecEdge};
+use crate::manager::{ArenaNode as _, DdManager};
+
+/// Collects violations, capping the report so a badly corrupted manager
+/// doesn't drown the test output.
+struct Report {
+    violations: Vec<String>,
+}
+
+const MAX_VIOLATIONS: usize = 20;
+
+impl Report {
+    fn push(&mut self, v: String) {
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(v);
+        }
+    }
+}
+
+impl DdManager {
+    /// Audits every manager invariant (see the module docs for the list).
+    ///
+    /// Returns `Err` with a newline-separated description of each
+    /// violation found (capped at 20). Takes `&mut self` only because
+    /// unique-table probes update hit/lookup telemetry; the diagrams are
+    /// never modified.
+    pub fn audit(&mut self) -> Result<(), String> {
+        let mut report = Report {
+            violations: Vec::new(),
+        };
+        self.audit_vec(&mut report);
+        self.audit_mat(&mut report);
+        if report.violations.is_empty() {
+            Ok(())
+        } else {
+            Err(report.violations.join("\n"))
+        }
+    }
+
+    /// Whether `w`'s interned norm matches its value, and `w` is in range.
+    fn audit_weight(&self, what: &str, w: ComplexId, report: &mut Report) {
+        if w.index() >= self.complex.len() {
+            report.push(format!(
+                "{what}: weight id {} out of range ({} interned)",
+                w.index(),
+                self.complex.len()
+            ));
+            return;
+        }
+        let value = self.complex.value(w);
+        let interned = self.complex.norm_sqr(w);
+        if (interned - value.norm_sqr()).abs() > 1e-12 * (1.0 + interned) {
+            report.push(format!(
+                "{what}: interned norm_sqr {interned} disagrees with value {value}"
+            ));
+        }
+    }
+
+    /// The normalization-fixpoint check shared by both node kinds:
+    /// `weights` are the stored child weights in slot order.
+    ///
+    /// Construction divides every child weight by the pivot, and the
+    /// divide's `a == b` shortcut makes the pivot lane *exactly*
+    /// `ComplexId::ONE` — but the other quotients re-intern, and
+    /// tolerance bucketing can land one on a representative whose norm
+    /// sits an ulp above 1, usurping the recomputed-pivot position. The
+    /// guaranteed fixpoint is therefore: some lane is exactly `ONE`, and
+    /// no lane's magnitude exceeds 1 beyond bucketing slack.
+    fn audit_normalization(
+        &self,
+        what: &str,
+        weights: impl Iterator<Item = ComplexId> + Clone,
+        report: &mut Report,
+    ) {
+        match self.pivot_weight(weights.clone()) {
+            None => report.push(format!("{what}: all-zero node survived construction")),
+            Some(pivot) if pivot != ComplexId::ONE => {
+                if !weights.clone().any(|w| w == ComplexId::ONE) {
+                    report.push(format!(
+                        "{what}: stored weights are not normalized (no exact unit lane)"
+                    ));
+                }
+                let mag = self.complex.norm_sqr(pivot);
+                if mag > 1.0 + 1e-9 {
+                    report.push(format!(
+                        "{what}: stored weights are not normalized (pivot {:?}, magnitude² {mag})",
+                        self.complex.value(pivot)
+                    ));
+                }
+            }
+            Some(_) => {}
+        }
+        for (slot, w) in weights.enumerate() {
+            if !w.is_zero() && self.complex.norm_sqr(w) > 1.0 + 1e-9 {
+                report.push(format!(
+                    "{what}: slot {slot} magnitude² {} exceeds 1",
+                    self.complex.norm_sqr(w)
+                ));
+            }
+        }
+    }
+
+    fn audit_vec(&mut self, report: &mut Report) {
+        let slots = self.vec_arena.slots.len();
+        let mut structural = vec![0u32; slots];
+        let mut live = 0usize;
+        for idx in 0..slots {
+            if self.vec_arena.slots[idx].node.is_free() {
+                continue;
+            }
+            live += 1;
+            let id = NodeId(idx as u32);
+            let node = *self.vec_node(id);
+            let what = format!("vec node {idx} (level {})", node.level);
+            if node.level < 1 {
+                report.push(format!("{what}: illegal level"));
+            }
+            for (slot, e) in node.edges.iter().enumerate() {
+                if e.weight.is_zero() && *e != VecEdge::ZERO {
+                    report.push(format!(
+                        "{what}: slot {slot} zero edge is not canonical ZERO"
+                    ));
+                }
+                if e.is_zero() {
+                    continue;
+                }
+                self.audit_weight(&what, e.weight, report);
+                if e.node.is_terminal() {
+                    if node.level != 1 {
+                        report.push(format!("{what}: slot {slot} skips to the terminal"));
+                    }
+                } else if e.node.index() >= slots
+                    || self.vec_arena.slots[e.node.index()].node.is_free()
+                {
+                    report.push(format!("{what}: slot {slot} dangles"));
+                } else {
+                    structural[e.node.index()] += 1;
+                    let child_level = self.vec_arena.slots[e.node.index()].node.level;
+                    if child_level != node.level - 1 {
+                        report.push(format!(
+                            "{what}: slot {slot} child at level {child_level}, expected {}",
+                            node.level - 1
+                        ));
+                    }
+                }
+            }
+            self.audit_normalization(&what, node.edges.iter().map(|e| e.weight), report);
+            let key = (node.level, node.edges);
+            if self.vec_unique.get(&key) != Some(id) {
+                report.push(format!("{what}: unique table does not map its key to it"));
+            }
+        }
+        if self.vec_unique.len() != live {
+            report.push(format!(
+                "vec unique table holds {} entries for {live} live nodes",
+                self.vec_unique.len()
+            ));
+        }
+        for (idx, &expect) in structural.iter().enumerate() {
+            if self.vec_arena.slots[idx].node.is_free() {
+                continue;
+            }
+            let stored = self.vec_arena.refcounts[idx];
+            if stored < expect {
+                report.push(format!(
+                    "vec node {idx}: refcount {stored} below structural parent count {expect}"
+                ));
+            }
+        }
+    }
+
+    fn audit_mat(&mut self, report: &mut Report) {
+        let slots = self.mat_arena.slots.len();
+        let mut structural = vec![0u32; slots];
+        let mut live = 0usize;
+        for idx in 0..slots {
+            if self.mat_arena.slots[idx].node.is_free() {
+                continue;
+            }
+            live += 1;
+            let id = NodeId(idx as u32);
+            let node = *self.mat_node(id);
+            let what = format!("mat node {idx} (level {})", node.level);
+            if node.level < 1 {
+                report.push(format!("{what}: illegal level"));
+            }
+            for (slot, e) in node.edges.iter().enumerate() {
+                if e.weight.is_zero() && *e != MatEdge::ZERO {
+                    report.push(format!(
+                        "{what}: slot {slot} zero edge is not canonical ZERO"
+                    ));
+                }
+                if e.is_zero() {
+                    continue;
+                }
+                self.audit_weight(&what, e.weight, report);
+                if e.node.is_terminal() {
+                    if node.level != 1 {
+                        report.push(format!("{what}: slot {slot} skips to the terminal"));
+                    }
+                } else if e.node.index() >= slots
+                    || self.mat_arena.slots[e.node.index()].node.is_free()
+                {
+                    report.push(format!("{what}: slot {slot} dangles"));
+                } else {
+                    structural[e.node.index()] += 1;
+                    let child_level = self.mat_arena.slots[e.node.index()].node.level;
+                    if child_level != node.level - 1 {
+                        report.push(format!(
+                            "{what}: slot {slot} child at level {child_level}, expected {}",
+                            node.level - 1
+                        ));
+                    }
+                }
+            }
+            self.audit_normalization(&what, node.edges.iter().map(|e| e.weight), report);
+            // Recompute the identity predicate exactly as construction
+            // stamps it (children's flags are themselves audited, so a
+            // wrong bit is reported at the lowest level it appears).
+            let e = &node.edges;
+            let expect_identity = e[1].is_zero()
+                && e[2].is_zero()
+                && e[0] == e[3]
+                && !e[0].is_zero()
+                && e[0].weight.is_one()
+                && self.is_identity_node(e[0].node);
+            if node.identity != expect_identity
+                && self.config.fault != crate::FaultKind::DiagonalCountsAsIdentity
+            {
+                report.push(format!(
+                    "{what}: identity flag {} but structure says {expect_identity}",
+                    node.identity
+                ));
+            }
+            let key = (node.level, node.edges);
+            if self.mat_unique.get(&key) != Some(id) {
+                report.push(format!("{what}: unique table does not map its key to it"));
+            }
+        }
+        if self.mat_unique.len() != live {
+            report.push(format!(
+                "mat unique table holds {} entries for {live} live nodes",
+                self.mat_unique.len()
+            ));
+        }
+        for (idx, &expect) in structural.iter().enumerate() {
+            if self.mat_arena.slots[idx].node.is_free() {
+                continue;
+            }
+            let stored = self.mat_arena.refcounts[idx];
+            if stored < expect {
+                report.push(format!(
+                    "mat node {idx}: refcount {stored} below structural parent count {expect}"
+                ));
+            }
+        }
+    }
+
+    /// Test-only corruption hooks so `tests/manager_invariants.rs` can
+    /// prove the auditor actually fires on each violation class.
+    #[doc(hidden)]
+    pub fn corrupt_for_audit_test(&mut self, which: &str) {
+        match which {
+            "refcount" => {
+                let idx = self
+                    .vec_arena
+                    .slots
+                    .iter()
+                    .position(|s| !s.node.is_free())
+                    .expect("a live vec node to corrupt");
+                // Zero a refcount that structure says must be positive.
+                let victim =
+                    self.vec_arena
+                        .slots
+                        .iter()
+                        .find_map(|s| {
+                            if s.node.is_free() {
+                                return None;
+                            }
+                            s.node.edges.iter().find_map(|e| {
+                                (!e.is_zero() && !e.node.is_terminal()).then_some(e.node)
+                            })
+                        })
+                        .map(|id| id.index())
+                        .unwrap_or(idx);
+                self.vec_arena.refcounts[victim] = 0;
+            }
+            "weight" => {
+                let unnormalized = self
+                    .complex
+                    .lookup(ddsim_complex::Complex { re: 3.0, im: 0.25 });
+                let slot = self
+                    .vec_arena
+                    .slots
+                    .iter_mut()
+                    .find(|s| !s.node.is_free())
+                    .expect("a live vec node to corrupt");
+                slot.node.edges[0].weight = unnormalized;
+            }
+            "identity" => {
+                let slot = self
+                    .mat_arena
+                    .slots
+                    .iter_mut()
+                    .find(|s| !s.node.is_free() && !s.node.identity)
+                    .expect("a live non-identity mat node to corrupt");
+                slot.node.identity = true;
+            }
+            "unique" => {
+                let node = self
+                    .vec_arena
+                    .slots
+                    .iter()
+                    .find_map(|s| (!s.node.is_free()).then_some(s.node))
+                    .expect("a live vec node to corrupt");
+                self.vec_unique.remove(&(node.level, node.edges));
+            }
+            other => panic!("unknown corruption {other:?}"),
+        }
+    }
+}

@@ -13,7 +13,8 @@ impl DdManager {
         let mut out = String::from("digraph vectordd {\n  rankdir=TB;\n");
         let _ = writeln!(out, "  root [shape=point];");
         let mut names = HashMap::new();
-        self.vec_dot_node(e.node, &mut names, &mut out);
+        let width = self.vec_level(e);
+        self.vec_dot_node(e.node, width, &mut names, &mut out);
         let w = self.complex_value(e.weight);
         let _ = writeln!(
             out,
@@ -24,21 +25,28 @@ impl DdManager {
         out
     }
 
-    fn vec_dot_node(&self, node: NodeId, names: &mut HashMap<NodeId, usize>, out: &mut String) {
+    fn vec_dot_node(
+        &self,
+        node: NodeId,
+        width: u32,
+        names: &mut HashMap<NodeId, usize>,
+        out: &mut String,
+    ) {
         if node.is_terminal() || names.contains_key(&node) {
             return;
         }
         let id = names.len();
         names.insert(node, id);
         let n = *self.vec_node(node);
-        let _ = writeln!(out, "  n{id} [label=\"q (level {})\"];", n.level);
+        let qubit = self.var_order.qubit_at(width, n.level);
+        let _ = writeln!(out, "  n{id} [label=\"q{qubit} (level {})\"];", n.level);
         for (i, child) in n.edges.iter().enumerate() {
             if child.is_zero() {
                 let _ = writeln!(out, "  z{id}_{i} [label=\"0\", shape=box];");
                 let _ = writeln!(out, "  n{id} -> z{id}_{i} [style=dashed];");
                 continue;
             }
-            self.vec_dot_node(child.node, names, out);
+            self.vec_dot_node(child.node, width, names, out);
             let w = self.complex_value(child.weight);
             let _ = writeln!(
                 out,
@@ -54,7 +62,8 @@ impl DdManager {
         let mut out = String::from("digraph matrixdd {\n  rankdir=TB;\n");
         let _ = writeln!(out, "  root [shape=point];");
         let mut names = HashMap::new();
-        self.mat_dot_node(e.node, &mut names, &mut out);
+        let width = self.mat_level(e);
+        self.mat_dot_node(e.node, width, &mut names, &mut out);
         let w = self.complex_value(e.weight);
         let _ = writeln!(
             out,
@@ -65,19 +74,26 @@ impl DdManager {
         out
     }
 
-    fn mat_dot_node(&self, node: NodeId, names: &mut HashMap<NodeId, usize>, out: &mut String) {
+    fn mat_dot_node(
+        &self,
+        node: NodeId,
+        width: u32,
+        names: &mut HashMap<NodeId, usize>,
+        out: &mut String,
+    ) {
         if node.is_terminal() || names.contains_key(&node) {
             return;
         }
         let id = names.len();
         names.insert(node, id);
         let n = *self.mat_node(node);
-        let _ = writeln!(out, "  n{id} [label=\"q (level {})\"];", n.level);
+        let qubit = self.var_order.qubit_at(width, n.level);
+        let _ = writeln!(out, "  n{id} [label=\"q{qubit} (level {})\"];", n.level);
         for (i, child) in n.edges.iter().enumerate() {
             if child.is_zero() {
                 continue;
             }
-            self.mat_dot_node(child.node, names, out);
+            self.mat_dot_node(child.node, width, names, out);
             let w = self.complex_value(child.weight);
             let _ = writeln!(
                 out,

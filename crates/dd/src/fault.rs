@@ -43,15 +43,27 @@ pub enum FaultKind {
     /// `identity_skip` (which routes gates through the specialized path)
     /// and a circuit with negative controls to manifest.
     NegativeControlsIgnored,
+    /// The adjacent-level swap primitive skips folding the child's edge
+    /// weight into the re-routed grandchildren, corrupting every amplitude
+    /// whose two top-level branches carry different weights. Manifests only
+    /// when a reorder actually runs (the fuzz lattice's `reorder` axis).
+    ///
+    /// This is the reorder analogue of the issue's "swap drops
+    /// identity-flag recomputation": the vector swap touches no identity
+    /// flags (those live on matrix nodes, which are never swapped — gates
+    /// are rebuilt per order), so the fault targets the equivalent
+    /// invariant the swap *does* maintain.
+    SwapDropsChildWeight,
 }
 
 impl FaultKind {
     /// Every injectable fault (excluding `None`).
-    pub const ALL: [FaultKind; 4] = [
+    pub const ALL: [FaultKind; 5] = [
         FaultKind::MatVecCacheKeyDropsVector,
         FaultKind::DiagonalCountsAsIdentity,
         FaultKind::CollapseSkipsRenormalize,
         FaultKind::NegativeControlsIgnored,
+        FaultKind::SwapDropsChildWeight,
     ];
 
     /// Stable lowercase label for CLI output and repro file names.
@@ -62,6 +74,7 @@ impl FaultKind {
             FaultKind::DiagonalCountsAsIdentity => "diagonal-counts-as-identity",
             FaultKind::CollapseSkipsRenormalize => "collapse-skips-renormalize",
             FaultKind::NegativeControlsIgnored => "negative-controls-ignored",
+            FaultKind::SwapDropsChildWeight => "swap-drops-child-weight",
         }
     }
 
@@ -73,6 +86,7 @@ impl FaultKind {
             "diagonal-counts-as-identity" => Some(FaultKind::DiagonalCountsAsIdentity),
             "collapse-skips-renormalize" => Some(FaultKind::CollapseSkipsRenormalize),
             "negative-controls-ignored" => Some(FaultKind::NegativeControlsIgnored),
+            "swap-drops-child-weight" => Some(FaultKind::SwapDropsChildWeight),
             _ => None,
         }
     }

@@ -40,6 +40,7 @@
 //! ```
 
 mod apply;
+mod audit;
 mod compute;
 mod edge;
 mod error;
@@ -54,6 +55,7 @@ mod ops;
 mod par;
 pub mod pool;
 pub mod reference;
+mod reorder;
 pub mod snapshot;
 mod unique;
 mod vector;
@@ -67,4 +69,5 @@ pub use manager::{DdConfig, DdManager, DdStats};
 pub use matrix::{Control, ControlPolarity, Matrix2};
 pub use par::Par;
 pub use pool::ThreadPool;
+pub use reorder::{ReorderStats, VarOrder};
 pub use snapshot::{Snapshot, SnapshotError};

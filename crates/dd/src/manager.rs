@@ -306,8 +306,8 @@ pub struct DdManager {
     pub(crate) complex: ComplexTable,
     pub(crate) vec_arena: Arena<VecNode>,
     pub(crate) mat_arena: Arena<MatNode>,
-    vec_unique: UniqueTable<(Level, [VecEdge; 2])>,
-    mat_unique: UniqueTable<(Level, [MatEdge; 4])>,
+    pub(crate) vec_unique: UniqueTable<(Level, [VecEdge; 2])>,
+    pub(crate) mat_unique: UniqueTable<(Level, [MatEdge; 4])>,
     pub(crate) compute: ComputeTables,
     /// Current epoch (starts at 1; 0 is the compute tables' empty
     /// sentinel). Incremented by every garbage collection.
@@ -348,6 +348,10 @@ pub struct DdManager {
     /// Worker-side view of a fork-join coordinator's shared live-node
     /// budget (see [`SharedLiveBudget`]); `None` outside fork-join workers.
     shared_live: Option<SharedLiveBudget>,
+    /// The qubit↔level permutation (see `reorder.rs`). Identity until a
+    /// [`swap_levels`](Self::swap_levels) / [`sift_state`](Self::sift_state)
+    /// changes it; every qubit-indexed accessor translates through it.
+    pub(crate) var_order: crate::VarOrder,
 }
 
 /// Recursion steps between full governor checks. Keeps the per-step cost
@@ -383,7 +387,22 @@ impl DdManager {
             last_breach: None,
             par: Par::default(),
             shared_live: None,
+            var_order: crate::VarOrder::identity(),
         }
+    }
+
+    /// The active qubit↔level permutation (identity unless a reorder ran).
+    pub fn var_order(&self) -> &crate::VarOrder {
+        &self.var_order
+    }
+
+    /// Installs a qubit↔level permutation directly, **without** rebuilding
+    /// any diagram. Only sound on a manager whose vector diagrams were
+    /// built under (or already denote) that order — snapshot restore and
+    /// tests; everyone else goes through
+    /// [`swap_levels`](Self::swap_levels) / [`sift_state`](Self::sift_state).
+    pub fn set_var_order(&mut self, order: crate::VarOrder) {
+        self.var_order = order;
     }
 
     /// Sets the execution policy for subsequent multiplication kernels.
@@ -966,7 +985,10 @@ impl DdManager {
     /// The normalization pivot: the first weight of strictly maximal
     /// magnitude (`None` if all are zero). Deterministic given interned
     /// child ids, which keeps node construction canonical.
-    fn pivot_weight(&self, weights: impl Iterator<Item = ComplexId>) -> Option<ComplexId> {
+    pub(crate) fn pivot_weight(
+        &self,
+        weights: impl Iterator<Item = ComplexId>,
+    ) -> Option<ComplexId> {
         let mut best: Option<(ComplexId, f64)> = None;
         for w in weights {
             if w.is_zero() {

@@ -85,7 +85,7 @@ impl DdManager {
     /// Panics if `target >= n`.
     pub fn mat_single_qubit(&mut self, n: u32, target: u32, u: Matrix2) -> MatEdge {
         assert!(target < n, "target qubit out of range");
-        let target_level = n - target;
+        let target_level = self.var_order.level_of(n, target);
         let w = [
             self.intern(u[0][0]),
             self.intern(u[0][1]),
@@ -135,7 +135,7 @@ impl DdManager {
         if controls.is_empty() {
             return self.mat_single_qubit(n, target, u);
         }
-        let target_level = n - target;
+        let target_level = self.var_order.level_of(n, target);
         // Difference gate D = U - I on the target, projected on controls,
         // identity elsewhere. Built bottom-up like a single-qubit gate.
         let d = [
@@ -146,7 +146,7 @@ impl DdManager {
         ];
         let mut edge = MatEdge::terminal(ComplexId::ONE);
         for level in 1..=n {
-            let qubit = n - level;
+            let qubit = self.var_order.qubit_at(n, level);
             if level == target_level {
                 let children = [
                     scaled(edge, d[0]),
@@ -234,7 +234,9 @@ impl DdManager {
             .iter()
             .map(|&(i, v)| {
                 assert!(i < size, "diagonal exception out of range");
-                (i, self.intern(v))
+                // The recursion splits on path (level) bits, so exception
+                // indices move to internal order first.
+                (self.var_order.internal_index(n, i), self.intern(v))
             })
             .collect();
         sorted.sort_unstable_by_key(|&(i, _)| i);
@@ -322,7 +324,13 @@ impl DdManager {
             .iter()
             .map(|&(r, c, v)| {
                 assert!(r < size && c < size, "sparse entry out of range");
-                (r, c, self.intern(v))
+                // Row/column indices are external; the recursion splits on
+                // path (level) bits.
+                (
+                    self.var_order.internal_index(n, r),
+                    self.var_order.internal_index(n, c),
+                    self.intern(v),
+                )
             })
             .filter(|&(_, _, v)| !v.is_zero())
             .collect();
@@ -402,12 +410,26 @@ impl DdManager {
         self.mat_from_sparse(n, &entries)
     }
 
-    /// Materializes the full dense matrix (tests / small instances only).
+    /// Materializes the full dense matrix, indexed by the external basis
+    /// convention (tests / small instances only).
     pub fn mat_to_dense(&self, e: MatEdge) -> Vec<Vec<Complex>> {
         let level = self.mat_level(e);
         let dim = 1usize << level;
         let mut out = vec![vec![Complex::ZERO; dim]; dim];
         self.fill_dense(e, Complex::ONE, 0, 0, level, &mut out);
+        if !self.var_order.is_identity() && level > 0 {
+            // `fill_dense` indexes by paths (internal order): scatter rows
+            // and columns to external basis indices.
+            let mut external = vec![vec![Complex::ZERO; dim]; dim];
+            for (r, row) in out.iter().enumerate() {
+                let er = self.var_order.external_index(level, r as u64) as usize;
+                for (c, v) in row.iter().enumerate() {
+                    let ec = self.var_order.external_index(level, c as u64) as usize;
+                    external[er][ec] = *v;
+                }
+            }
+            out = external;
+        }
         out
     }
 
@@ -449,6 +471,8 @@ impl DdManager {
             row < (1u64 << level) && col < (1u64 << level),
             "matrix index out of range"
         );
+        let row = self.var_order.internal_index(level, row);
+        let col = self.var_order.internal_index(level, col);
         let mut weight = self.complex_value(e.weight);
         let mut node_id = e.node;
         let mut lvl = level;

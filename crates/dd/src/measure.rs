@@ -23,7 +23,7 @@ impl DdManager {
     pub fn prob_one(&self, v: VecEdge, qubit: u32) -> f64 {
         let n = self.vec_level(v);
         assert!(qubit < n, "measured qubit out of range");
-        let target_level = n - qubit;
+        let target_level = self.var_order.level_of(n, qubit);
         let mut norm_cache = HashMap::new();
         let mut prob_cache = HashMap::new();
         let w2 = self.complex_value(v.weight).norm_sqr();
@@ -82,7 +82,7 @@ impl DdManager {
             p > 1e-15,
             "collapse onto an outcome with zero probability (p = {p})"
         );
-        let target_level = n - qubit;
+        let target_level = self.var_order.level_of(n, qubit);
         let mut memo = HashMap::new();
         let projected = self.project_rec(v, target_level, outcome, &mut memo);
         if self.config.fault == crate::FaultKind::CollapseSkipsRenormalize {
@@ -157,7 +157,8 @@ impl DdManager {
         let mut norm_cache = HashMap::new();
         let mut index = 0u64;
         let mut node = v.node;
-        let mut level = self.vec_level(v);
+        let width = self.vec_level(v);
+        let mut level = width;
         while !node.is_terminal() {
             let n = *self.vec_node(node);
             let w0 = if n.edges[0].is_zero() {
@@ -181,7 +182,9 @@ impl DdManager {
                 0
             };
             if bit == 1 {
-                index |= 1 << (level - 1);
+                // Level `level` decides the qubit the order puts there; the
+                // returned index is always externally (qubit-)indexed.
+                index |= 1 << (width - 1 - self.var_order.qubit_at(width, level));
                 node = n.edges[1].node;
             } else {
                 node = n.edges[0].node;

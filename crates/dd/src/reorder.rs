@@ -1,0 +1,579 @@
+//! Dynamic variable reordering: the qubit↔level permutation ([`VarOrder`]),
+//! the adjacent-level swap primitive, and the sifting driver.
+//!
+//! # Why the swap is a rebuild, not an in-place splice
+//!
+//! In an edge-weighted DD the classic BDD trick — patch the two affected
+//! unique-table levels in place — is unsound without parent lists: after
+//! shuffling grandchildren, the rebuilt upper node can need a *pure-phase*
+//! normalization factor (e.g. amplitudes `[0.5, 1, i, 0]` rebuild to
+//! children whose pivot is `i`), and that factor would have to cascade into
+//! every parent edge. Instead, [`DdManager::swap_levels`] is *functional*:
+//! it returns a **new** canonical edge denoting the same quantum state under
+//! the exchanged order, built through [`DdManager::make_vec_node`] so
+//! hash-consing, normalization, and `norm_sqr` interning hold by
+//! construction. Nodes strictly below the swapped pair are shared untouched;
+//! the two affected levels are locally rebuilt; levels above are re-created
+//! transparently (and usually re-found in the unique table). Cost is
+//! O(nodes at or above the lower swapped level); the displaced old nodes
+//! become garbage and are reclaimed by the next collection, with the
+//! epoch scheme keeping the compute tables sound as always.
+//!
+//! No matrix-DD swap is needed: matrices are built *per gate* at the levels
+//! the current [`VarOrder`] dictates, and the engine never reorders while a
+//! matrix product is pending. Compute-table entries and interned apply-ops
+//! are pure level-space facts about diagrams, so they stay valid across a
+//! reorder — only the qubit→level *interpretation* changes.
+
+use std::collections::HashMap;
+
+use crate::edge::{Level, NodeId, VecEdge};
+use crate::manager::DdManager;
+
+/// The qubit↔level permutation of a manager.
+///
+/// Level `n` is the topmost; under the *identity* order qubit `q` (0-based
+/// from the top, as everywhere in this codebase) lives at level `n - q`.
+/// The identity order is stored as an empty vector and is *parametric* in
+/// the width; a non-identity order pins the width `n` and every qubit-indexed
+/// accessor asserts it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VarOrder {
+    /// `level_to_qubit[ℓ - 1]` is the qubit at level `ℓ`; empty = identity.
+    level_to_qubit: Vec<u32>,
+    /// `qubit_to_level[q]` is the level of qubit `q`; empty = identity.
+    qubit_to_level: Vec<Level>,
+}
+
+impl VarOrder {
+    /// The identity order (qubit `q` at level `n - q`, any width).
+    pub fn identity() -> Self {
+        VarOrder::default()
+    }
+
+    /// Builds an order from an explicit level→qubit map
+    /// (`level_to_qubit[ℓ - 1]` = qubit at level `ℓ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map is not a permutation of `0..len`.
+    pub fn from_level_map(level_to_qubit: Vec<u32>) -> Self {
+        let n = level_to_qubit.len();
+        let mut qubit_to_level = vec![Level::MAX; n];
+        for (i, &q) in level_to_qubit.iter().enumerate() {
+            assert!(
+                (q as usize) < n && qubit_to_level[q as usize] == Level::MAX,
+                "level map is not a permutation"
+            );
+            qubit_to_level[q as usize] = i as Level + 1;
+        }
+        let mut order = VarOrder {
+            level_to_qubit,
+            qubit_to_level,
+        };
+        order.normalize();
+        order
+    }
+
+    /// Collapses an explicit map that equals the identity back to the
+    /// parametric (empty) representation, so "reordered back to circuit
+    /// order" and "never reordered" compare equal and serialize identically.
+    fn normalize(&mut self) {
+        let n = self.level_to_qubit.len() as u32;
+        let identity = self
+            .level_to_qubit
+            .iter()
+            .enumerate()
+            .all(|(i, &q)| q == n - 1 - i as u32);
+        if identity {
+            self.level_to_qubit.clear();
+            self.qubit_to_level.clear();
+        }
+    }
+
+    /// Whether this is the identity order.
+    pub fn is_identity(&self) -> bool {
+        self.level_to_qubit.is_empty()
+    }
+
+    /// The pinned width, or `None` for the parametric identity order.
+    pub fn width(&self) -> Option<u32> {
+        if self.is_identity() {
+            None
+        } else {
+            Some(self.level_to_qubit.len() as u32)
+        }
+    }
+
+    #[inline]
+    fn check_width(&self, n: u32) {
+        debug_assert!(
+            self.is_identity() || self.level_to_qubit.len() == n as usize,
+            "variable order is pinned to width {}, used with width {n}",
+            self.level_to_qubit.len()
+        );
+    }
+
+    /// The qubit living at `level` in an `n`-qubit system.
+    #[inline]
+    pub fn qubit_at(&self, n: u32, level: Level) -> u32 {
+        debug_assert!(level >= 1 && level <= n);
+        if self.is_identity() {
+            n - level
+        } else {
+            self.check_width(n);
+            self.level_to_qubit[level as usize - 1]
+        }
+    }
+
+    /// The level where `qubit` lives in an `n`-qubit system.
+    #[inline]
+    pub fn level_of(&self, n: u32, qubit: u32) -> Level {
+        debug_assert!(qubit < n);
+        if self.is_identity() {
+            n - qubit
+        } else {
+            self.check_width(n);
+            self.qubit_to_level[qubit as usize]
+        }
+    }
+
+    /// The explicit level→qubit map for width `n` (materialized even for
+    /// the identity order). Entry `ℓ - 1` is the qubit at level `ℓ`.
+    pub fn level_map(&self, n: u32) -> Vec<u32> {
+        (1..=n).map(|l| self.qubit_at(n, l)).collect()
+    }
+
+    /// Exchanges the qubits at levels `l` and `l + 1` (bookkeeping only —
+    /// [`DdManager::swap_levels`] is what rebuilds the diagrams).
+    pub(crate) fn swap_adjacent(&mut self, n: u32, l: Level) {
+        assert!(l >= 1 && l < n, "swap level out of range");
+        if self.is_identity() {
+            self.level_to_qubit = (0..n).map(|i| n - 1 - i).collect();
+            self.qubit_to_level = (0..n).map(|q| n - q).collect();
+        } else {
+            self.check_width(n);
+        }
+        self.level_to_qubit.swap(l as usize - 1, l as usize);
+        let (qa, qb) = (
+            self.level_to_qubit[l as usize - 1],
+            self.level_to_qubit[l as usize],
+        );
+        self.qubit_to_level[qa as usize] = l;
+        self.qubit_to_level[qb as usize] = l + 1;
+        self.normalize();
+    }
+
+    /// Maps an external basis index (qubit `q` in bit `n - 1 - q`, the
+    /// convention of every public accessor) to the internal path index the
+    /// DD's levels spell out (level `ℓ`'s branch in bit `ℓ - 1`). The two
+    /// coincide under the identity order.
+    #[inline]
+    pub fn internal_index(&self, n: u32, external: u64) -> u64 {
+        if self.is_identity() {
+            return external;
+        }
+        self.check_width(n);
+        let mut internal = 0u64;
+        for level in 1..=n {
+            let q = self.level_to_qubit[level as usize - 1];
+            internal |= ((external >> (n - 1 - q)) & 1) << (level - 1);
+        }
+        internal
+    }
+
+    /// Inverse of [`internal_index`](Self::internal_index).
+    #[inline]
+    pub fn external_index(&self, n: u32, internal: u64) -> u64 {
+        if self.is_identity() {
+            return internal;
+        }
+        self.check_width(n);
+        let mut external = 0u64;
+        for level in 1..=n {
+            let q = self.level_to_qubit[level as usize - 1];
+            external |= ((internal >> (level - 1)) & 1) << (n - 1 - q);
+        }
+        external
+    }
+}
+
+/// What a [`DdManager::sift_state`] run did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReorderStats {
+    /// Adjacent-level swaps performed.
+    pub swaps: usize,
+    /// State node count on entry.
+    pub nodes_before: usize,
+    /// State node count on return (never greater than `nodes_before`).
+    pub nodes_after: usize,
+}
+
+impl DdManager {
+    /// Rebuilds `state` with the variables at levels `l` and `l + 1`
+    /// exchanged, and records the exchange in the manager's [`VarOrder`].
+    ///
+    /// Returns a new canonical edge denoting the *same quantum state* under
+    /// the new order. Does **not** touch external reference counts: callers
+    /// pin the returned edge and release the old one as usual. Any other
+    /// vector edges the caller holds still denote their old diagrams but
+    /// are interpreted under the *new* order by the qubit-indexed
+    /// accessors — rebuild or discard them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is 0 or `l + 1` exceeds the state's level.
+    pub fn swap_levels(&mut self, state: VecEdge, l: Level) -> VecEdge {
+        let n = self.vec_level(state);
+        assert!(l >= 1 && l < n, "swap level out of range for state");
+        let mut memo: HashMap<NodeId, VecEdge> = HashMap::new();
+        let unit = self.swap_unit(state.node, l, &mut memo);
+        let weight = self.complex.mul(unit.weight, state.weight);
+        self.var_order.swap_adjacent(n, l);
+        VecEdge {
+            node: unit.node,
+            weight,
+        }
+    }
+
+    /// Memoized functional swap below one node (incoming weight factored
+    /// out, like the projection recursion in `measure.rs`).
+    fn swap_unit(&mut self, id: NodeId, l: Level, memo: &mut HashMap<NodeId, VecEdge>) -> VecEdge {
+        if let Some(&unit) = memo.get(&id) {
+            return unit;
+        }
+        let node = *self.vec_node(id);
+        debug_assert!(node.level > l, "swap recursion descended past the pair");
+        let unit = if node.level == l + 1 {
+            // The local 2x2 shuffle: with children a = edges[0], b = edges[1]
+            // at level l, the swapped node's branch-y child is
+            // [f(a, y), f(b, y)] where f(child, y) = child.weight ·
+            // child.edges[y]. QMDDs never skip levels, so the children are
+            // real nodes (or zero) exactly at level l.
+            let [a, b] = node.edges;
+            let drop_weight = self.config.fault == crate::FaultKind::SwapDropsChildWeight;
+            let f = |dd: &mut Self, child: VecEdge, y: usize| -> VecEdge {
+                if child.is_zero() {
+                    return VecEdge::ZERO;
+                }
+                let g = dd.vec_node(child.node).edges[y];
+                if g.is_zero() {
+                    return VecEdge::ZERO;
+                }
+                let weight = if drop_weight {
+                    // Injected fault: the child's edge weight is not folded
+                    // into the grandchildren, corrupting every amplitude
+                    // whose path weight differs from the sibling's.
+                    g.weight
+                } else {
+                    dd.complex.mul(child.weight, g.weight)
+                };
+                VecEdge {
+                    node: g.node,
+                    weight,
+                }
+            };
+            let f00 = f(self, a, 0);
+            let f10 = f(self, b, 0);
+            let f01 = f(self, a, 1);
+            let f11 = f(self, b, 1);
+            let lo = self.make_vec_node(l, [f00, f10]);
+            let hi = self.make_vec_node(l, [f01, f11]);
+            self.make_vec_node(l + 1, [lo, hi])
+        } else {
+            let mut swapped = [VecEdge::ZERO; 2];
+            for (i, child) in node.edges.iter().enumerate() {
+                if child.is_zero() {
+                    continue;
+                }
+                let unit = self.swap_unit(child.node, l, memo);
+                swapped[i] = VecEdge {
+                    node: unit.node,
+                    weight: self.complex.mul(unit.weight, child.weight),
+                };
+            }
+            self.make_vec_node(node.level, swapped)
+        };
+        memo.insert(id, unit);
+        unit
+    }
+
+    /// Sifting (Rudell-style) over the state: each variable in turn is
+    /// moved through every level via adjacent swaps, the total node count is
+    /// tracked at each position, and the variable settles at the best
+    /// position seen (its entry position wins ties). The best diagram is
+    /// kept pinned and returned *as built* — not re-derived through reverse
+    /// swaps, whose slightly different weight-product paths could re-bucket
+    /// near-equal weights in the tolerance-based complex table and change
+    /// the node count. The result is therefore never larger than the entry
+    /// diagram, exactly.
+    ///
+    /// `max_swaps` bounds the effort: no new per-variable pass starts once
+    /// the budget is spent (a pass in flight completes, so the overshoot is
+    /// at most `3n` swaps). A full sift costs at most `~3n²` swaps. Pass
+    /// `usize::MAX` for an unbounded sift.
+    ///
+    /// Reference handling: the caller's pin on `state` is transferred to
+    /// the returned edge (the input is released unless no swap happened
+    /// and the input is returned unchanged).
+    pub fn sift_state(&mut self, state: VecEdge, max_swaps: usize) -> (VecEdge, ReorderStats) {
+        let n = self.vec_level(state);
+        let nodes_before = self.vec_node_count(state);
+        let mut stats = ReorderStats {
+            swaps: 0,
+            nodes_before,
+            nodes_after: nodes_before,
+        };
+        if n < 2 || state.is_zero() || max_swaps == 0 {
+            return (state, stats);
+        }
+        let mut cur = state;
+        let mut cur_count = nodes_before;
+        for q in 0..n {
+            if stats.swaps >= max_swaps {
+                break;
+            }
+            let start = self.var_order.level_of(n, q);
+            // Pin the best diagram seen (entry position wins ties) together
+            // with its order, and jump back to it at pass end.
+            let mut best = cur;
+            let mut best_order = self.var_order.clone();
+            let mut best_count = cur_count;
+            self.inc_ref_vec(best);
+            let mut pos = start;
+            // Down to level 1 …
+            for l in (1..start).rev() {
+                cur = self.swap_step(cur, l, &mut stats);
+                pos = l;
+                cur_count = self.vec_node_count(cur);
+                if cur_count < best_count {
+                    self.dec_ref_vec(best);
+                    best = cur;
+                    best_order = self.var_order.clone();
+                    best_count = cur_count;
+                    self.inc_ref_vec(best);
+                }
+            }
+            // … up to level n …
+            for l in pos..n {
+                cur = self.swap_step(cur, l, &mut stats);
+                cur_count = self.vec_node_count(cur);
+                if cur_count < best_count {
+                    self.dec_ref_vec(best);
+                    best = cur;
+                    best_order = self.var_order.clone();
+                    best_count = cur_count;
+                    self.inc_ref_vec(best);
+                }
+            }
+            // … and back to the best diagram, releasing the walk's endpoint
+            // (if the endpoint IS the best, it simply sheds its extra pin).
+            self.dec_ref_vec(cur);
+            cur = best;
+            cur_count = best_count;
+            self.var_order = best_order;
+        }
+        stats.nodes_after = cur_count;
+        (cur, stats)
+    }
+
+    /// Restores the identity (circuit) order by bubbling each variable back
+    /// to its home level. Used by tests to prove the round trip is
+    /// bitwise-identical; same reference-handling contract as
+    /// [`sift_state`](Self::sift_state).
+    pub fn restore_identity_order(&mut self, state: VecEdge) -> VecEdge {
+        let n = self.vec_level(state);
+        let mut cur = state;
+        let mut stats = ReorderStats::default();
+        // Selection-sort the order: put qubit 0 at level n, then qubit 1 at
+        // level n-1, and so on.
+        for q in 0..n {
+            let home = n - q;
+            while self.var_order.level_of(n, q) < home {
+                let l = self.var_order.level_of(n, q);
+                cur = self.swap_step(cur, l, &mut stats);
+            }
+        }
+        debug_assert!(self.var_order.is_identity());
+        cur
+    }
+
+    fn swap_step(&mut self, cur: VecEdge, l: Level, stats: &mut ReorderStats) -> VecEdge {
+        let next = self.swap_levels(cur, l);
+        self.inc_ref_vec(next);
+        self.dec_ref_vec(cur);
+        stats.swaps += 1;
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddsim_complex::Complex;
+
+    /// Amplitudes with distinct magnitudes and phases on every index, so
+    /// any dropped weight or misrouted path shows up.
+    fn ragged_state(dd: &mut DdManager, n: u32) -> (VecEdge, Vec<Complex>) {
+        let dim = 1usize << n;
+        let amps: Vec<Complex> = (0..dim)
+            .map(|i| Complex::from_polar(0.1 + i as f64, 0.31 * i as f64))
+            .collect();
+        let e = dd.vec_from_amplitudes(&amps);
+        (e, amps)
+    }
+
+    #[test]
+    fn var_order_identity_is_parametric_and_normalized() {
+        let order = VarOrder::identity();
+        assert!(order.is_identity());
+        assert_eq!(order.qubit_at(5, 5), 0);
+        assert_eq!(order.level_of(5, 4), 1);
+        assert_eq!(order.qubit_at(3, 3), 0); // any width
+        let explicit = VarOrder::from_level_map(vec![2, 1, 0]);
+        assert!(explicit.is_identity(), "identity map collapses to empty");
+        let mut swapped = VarOrder::identity();
+        swapped.swap_adjacent(3, 1);
+        assert!(!swapped.is_identity());
+        assert_eq!(swapped.qubit_at(3, 1), 1);
+        assert_eq!(swapped.qubit_at(3, 2), 2);
+        swapped.swap_adjacent(3, 1);
+        assert!(swapped.is_identity(), "swap-back re-normalizes");
+    }
+
+    #[test]
+    fn index_mapping_round_trips() {
+        let mut order = VarOrder::identity();
+        order.swap_adjacent(4, 2);
+        order.swap_adjacent(4, 1);
+        for i in 0..16u64 {
+            assert_eq!(order.external_index(4, order.internal_index(4, i)), i);
+            assert_eq!(order.internal_index(4, order.external_index(4, i)), i);
+        }
+    }
+
+    #[test]
+    fn swap_preserves_amplitudes_through_order_aware_accessors() {
+        let mut dd = DdManager::new();
+        let n = 4;
+        let (mut e, amps) = ragged_state(&mut dd, n);
+        dd.inc_ref_vec(e);
+        for l in [1, 3, 2, 2, 1] {
+            let next = dd.swap_levels(e, l);
+            dd.inc_ref_vec(next);
+            dd.dec_ref_vec(e);
+            e = next;
+            dd.audit().unwrap();
+            for (i, want) in amps.iter().enumerate() {
+                let got = dd.vec_amplitude(e, i as u64);
+                assert!(
+                    got.approx_eq(*want, 1e-9),
+                    "index {i} after swap {l}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn double_swap_is_bitwise_identity() {
+        let mut dd = DdManager::new();
+        let (e, _) = ragged_state(&mut dd, 5);
+        dd.inc_ref_vec(e);
+        let once = dd.swap_levels(e, 3);
+        let twice = dd.swap_levels(once, 3);
+        assert_eq!(e, twice, "swap-swap must reproduce the identical edge");
+        assert!(dd.var_order().is_identity());
+    }
+
+    #[test]
+    fn sift_never_increases_and_round_trip_is_bitwise_identical() {
+        let mut dd = DdManager::new();
+        let (e, amps) = ragged_state(&mut dd, 4);
+        dd.inc_ref_vec(e);
+        let original = e;
+        // Keep the original pinned so the round trip can re-find its nodes.
+        dd.inc_ref_vec(original);
+        let (sifted, stats) = dd.sift_state(e, usize::MAX);
+        assert!(stats.nodes_after <= stats.nodes_before);
+        dd.audit().unwrap();
+        for (i, want) in amps.iter().enumerate() {
+            let got = dd.vec_amplitude(sifted, i as u64);
+            assert!(got.approx_eq(*want, 1e-9), "index {i}");
+        }
+        let back = dd.restore_identity_order(sifted);
+        assert_eq!(back, original, "round trip must be bitwise-identical");
+        dd.audit().unwrap();
+    }
+
+    /// Bell-pair ladder between qubit i and qubit i+k: linear-size DD when
+    /// partners are adjacent, exponential in circuit order. Sifting must
+    /// find a ≥2× smaller order.
+    #[test]
+    fn sifting_shrinks_a_bell_ladder_at_least_2x() {
+        let mut dd = DdManager::new();
+        let k = 5;
+        let n = 2 * k;
+        let h = Complex::SQRT2_INV;
+        let mut state = dd.vec_zero_state(n);
+        for i in 0..k {
+            state = dd.apply_single_qubit(i, [[h, h], [h, -h]], state).unwrap();
+            state = dd
+                .apply_controlled(
+                    &[crate::Control::pos(i)],
+                    i + k,
+                    [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]],
+                    state,
+                )
+                .unwrap();
+            // A phase so child weights are not all ONE.
+            let phase = Complex::from_polar(1.0, 0.2 + 0.3 * i as f64);
+            state = dd
+                .apply_single_qubit(
+                    i,
+                    [[Complex::ONE, Complex::ZERO], [Complex::ZERO, phase]],
+                    state,
+                )
+                .unwrap();
+        }
+        dd.inc_ref_vec(state);
+        let before = dd.vec_node_count(state);
+        let (sifted, stats) = dd.sift_state(state, usize::MAX);
+        dd.audit().unwrap();
+        assert!(
+            stats.nodes_after * 2 <= before,
+            "sifting must at least halve the Bell ladder: {before} -> {}",
+            stats.nodes_after
+        );
+        let norm = dd.vec_norm_sqr(sifted);
+        assert!((norm - 1.0).abs() < 1e-9, "norm drifted to {norm}");
+    }
+
+    #[test]
+    fn sift_effort_bound_limits_swaps() {
+        let mut dd = DdManager::new();
+        let (e, _) = ragged_state(&mut dd, 6);
+        dd.inc_ref_vec(e);
+        let (_, stats) = dd.sift_state(e, 5);
+        // One pass may overshoot by up to 3n, but a second must not start.
+        assert!(stats.swaps <= 5 + 3 * 6, "swaps: {}", stats.swaps);
+    }
+
+    #[test]
+    fn swap_survives_garbage_collection() {
+        let mut dd = DdManager::new();
+        let (mut e, amps) = ragged_state(&mut dd, 4);
+        dd.inc_ref_vec(e);
+        for l in [1, 2, 3] {
+            let next = dd.swap_levels(e, l);
+            dd.inc_ref_vec(next);
+            dd.dec_ref_vec(e);
+            e = next;
+            dd.collect_garbage();
+            dd.audit().unwrap();
+        }
+        for (i, want) in amps.iter().enumerate() {
+            let got = dd.vec_amplitude(e, i as u64);
+            assert!(got.approx_eq(*want, 1e-9), "index {i}");
+        }
+    }
+}

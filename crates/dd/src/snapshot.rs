@@ -20,13 +20,17 @@
 //! * a hash of the circuit source, so a snapshot cannot silently be resumed
 //!   against a different circuit.
 //!
-//! # On-disk format (version 1)
+//! * the **variable order** (version 2), so a snapshot taken after a
+//!   dynamic reorder restores both the diagram *and* its qubit↔level
+//!   interpretation bitwise.
+//!
+//! # On-disk format (version 2)
 //!
 //! Little-endian throughout:
 //!
 //! ```text
 //! magic      8 bytes  "DDSNAP01"
-//! version    u32      1
+//! version    u32      2
 //! qubits     u32
 //! next_op    u64      index into the flattened op stream
 //! circ_hash  u64      FNV-1a of the circuit's canonical text
@@ -37,8 +41,15 @@
 //! #nodes     u32      then per node: level u32, 2 × (child u32, weight u32)
 //!                     child == 0xFFFF_FFFF means the terminal node
 //! root       child u32, weight u32
+//! #order     u32      then one u32 per level: the qubit at level ℓ is
+//!                     entry ℓ - 1; count 0 means the identity order
 //! checksum   u64      FNV-1a over every preceding byte
 //! ```
+//!
+//! Version 1 files are identical minus the `#order` section; the reader
+//! accepts them and restores the identity order. The order section sits at
+//! the *end* of the body precisely so every version-1 field keeps its
+//! offset.
 
 use std::io::{Read, Write};
 use std::path::Path;
@@ -50,8 +61,9 @@ use crate::manager::{DdConfig, DdManager};
 
 /// File magic: snapshot format, version baked into the tag for `file(1)`.
 const MAGIC: &[u8; 8] = b"DDSNAP01";
-/// Current format version.
-const VERSION: u32 = 1;
+/// Current format version. Version 1 (no variable-order section) is still
+/// accepted on read.
+const VERSION: u32 = 2;
 /// Child reference denoting the terminal node.
 const TERMINAL_REF: u32 = u32::MAX;
 
@@ -95,6 +107,10 @@ pub struct Snapshot {
     pub nodes: Vec<SnapNode>,
     /// The root edge of the state DD.
     pub root: SnapEdge,
+    /// Level→qubit map of the captured variable order (entry `ℓ - 1` is
+    /// the qubit at level `ℓ`); empty means the identity order. Version-1
+    /// files always restore as empty.
+    pub order: Vec<u32>,
 }
 
 /// Failure to read, validate, or restore a snapshot.
@@ -109,7 +125,7 @@ pub enum SnapshotError {
     /// Structural validation failed (checksum, dangling reference, bad
     /// complex table, …). The message names the first violation.
     Corrupt(String),
-    /// The in-memory state exceeds a version-1 format capacity (a section
+    /// The in-memory state exceeds a format capacity (a section
     /// count no longer fits in its `u32` field). Writing anyway would
     /// silently truncate the count and produce a checksummed-but-corrupt
     /// file, so capture/write refuse instead.
@@ -135,7 +151,10 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
             SnapshotError::BadMagic => f.write_str("not a DD snapshot (bad magic)"),
             SnapshotError::UnsupportedVersion(v) => {
-                write!(f, "unsupported snapshot version {v} (supported: {VERSION})")
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (supported: 1..={VERSION})"
+                )
             }
             SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
             SnapshotError::TooLarge { what, count } => write!(
@@ -190,7 +209,7 @@ impl Snapshot {
     /// (wide-register) diagrams cannot overflow the thread stack.
     ///
     /// Fails with [`SnapshotError::TooLarge`] if any section count no
-    /// longer fits the version-1 format's `u32` fields; truncating instead
+    /// longer fits the format's `u32` fields; truncating instead
     /// would produce a checksummed-but-corrupt file.
     pub fn capture(
         dd: &DdManager,
@@ -263,6 +282,11 @@ impl Snapshot {
             weights: dd.complex.values(),
             nodes,
             root: encode(root),
+            order: if dd.var_order().is_identity() {
+                Vec::new()
+            } else {
+                dd.var_order().level_map(qubits)
+            },
         })
     }
 
@@ -276,6 +300,11 @@ impl Snapshot {
         self.validate()?;
         config.tolerance = self.tolerance;
         let mut dd = DdManager::with_config(config);
+        if !self.order.is_empty() {
+            // Validated as a permutation of 0..qubits above; node levels are
+            // order-independent, so the install order does not matter.
+            dd.set_var_order(crate::VarOrder::from_level_map(self.order.clone()));
+        }
         dd.complex = ComplexTable::from_values(self.tolerance, &self.weights)
             .map_err(SnapshotError::Corrupt)?;
         // `from_values` builds with the default SIMD tier; re-apply the
@@ -283,40 +312,47 @@ impl Snapshot {
         // this only selects which kernels compute them).
         dd.complex.set_simd_enabled(config.simd);
         let weight_of = |w: u32| ComplexId::from_index(w as usize);
+        // Captured nodes are usually a fixpoint of make_vec_node's
+        // normalization (pivot child weight exactly ONE), so rebuilding
+        // returns weight-ONE edges and the restore is bitwise. The
+        // exception: a quotient lane whose interned norm sits an ulp
+        // above 1 can usurp the recomputed pivot, making re-normalization
+        // return a non-ONE edge weight — which must be folded into the
+        // referencing edge, not dropped, or the restored state is wrong.
         let mut built: Vec<VecEdge> = Vec::with_capacity(self.nodes.len());
-        for node in &self.nodes {
-            let decode = |e: SnapEdge| -> VecEdge {
-                if e.node == TERMINAL_REF {
-                    VecEdge {
-                        node: NodeId::TERMINAL,
-                        weight: weight_of(e.weight),
-                    }
-                } else {
-                    let base = built[e.node as usize];
-                    VecEdge {
-                        node: base.node,
-                        weight: weight_of(e.weight),
-                    }
+        fn decode(
+            dd: &mut DdManager,
+            built: &[VecEdge],
+            e: SnapEdge,
+            weight_of: impl Fn(u32) -> ComplexId,
+        ) -> VecEdge {
+            if e.node == TERMINAL_REF {
+                VecEdge {
+                    node: NodeId::TERMINAL,
+                    weight: weight_of(e.weight),
                 }
-            };
-            let children = [decode(node.children[0]), decode(node.children[1])];
-            // Captured nodes are canonical (pivot child weight exactly ONE),
-            // so make_vec_node's normalization is the identity and the edge
-            // it returns has weight ONE: no drift is introduced.
-            built.push(dd.make_vec_node(node.level, children));
+            } else {
+                let base = built[e.node as usize];
+                let stored = weight_of(e.weight);
+                VecEdge {
+                    node: base.node,
+                    weight: if base.weight.is_one() {
+                        stored
+                    } else {
+                        dd.complex.mul(stored, base.weight)
+                    },
+                }
+            }
         }
-        let root = if self.root.node == TERMINAL_REF {
-            VecEdge {
-                node: NodeId::TERMINAL,
-                weight: weight_of(self.root.weight),
-            }
-        } else {
-            let base = built[self.root.node as usize];
-            VecEdge {
-                node: base.node,
-                weight: weight_of(self.root.weight),
-            }
-        };
+        for node in &self.nodes {
+            let children = [
+                decode(&mut dd, &built, node.children[0], weight_of),
+                decode(&mut dd, &built, node.children[1], weight_of),
+            ];
+            let rebuilt = dd.make_vec_node(node.level, children);
+            built.push(rebuilt);
+        }
+        let root = decode(&mut dd, &built, self.root, weight_of);
         dd.inc_ref_vec(root);
         Ok((dd, root))
     }
@@ -362,10 +398,26 @@ impl Snapshot {
         if self.rng_state == [0; 4] {
             return corrupt("all-zero RNG state".into());
         }
+        if !self.order.is_empty() {
+            if self.order.len() != self.qubits as usize {
+                return corrupt(format!(
+                    "variable order has {} entries for {} qubits",
+                    self.order.len(),
+                    self.qubits
+                ));
+            }
+            let mut seen = vec![false; self.order.len()];
+            for &q in &self.order {
+                if q as usize >= seen.len() || seen[q as usize] {
+                    return corrupt(format!("variable order is not a permutation (qubit {q})"));
+                }
+                seen[q as usize] = true;
+            }
+        }
         Ok(())
     }
 
-    /// Serializes to the version-1 binary format.
+    /// Serializes to the version-2 binary format.
     pub fn write_to(&self, w: &mut impl Write) -> Result<(), SnapshotError> {
         let mut buf: Vec<u8> = Vec::new();
         buf.extend_from_slice(MAGIC);
@@ -394,13 +446,18 @@ impl Snapshot {
         }
         buf.extend_from_slice(&self.root.node.to_le_bytes());
         buf.extend_from_slice(&self.root.weight.to_le_bytes());
+        buf.extend_from_slice(&len_u32(self.order.len(), "order entries")?.to_le_bytes());
+        for &q in &self.order {
+            buf.extend_from_slice(&q.to_le_bytes());
+        }
         let checksum = fnv1a(&buf);
         buf.extend_from_slice(&checksum.to_le_bytes());
         w.write_all(&buf)?;
         Ok(())
     }
 
-    /// Deserializes and validates a version-1 snapshot.
+    /// Deserializes and validates a snapshot (format versions 1 and 2;
+    /// version-1 files restore the identity variable order).
     pub fn read_from(r: &mut impl Read) -> Result<Snapshot, SnapshotError> {
         let mut buf = Vec::new();
         r.read_to_end(&mut buf)?;
@@ -419,7 +476,7 @@ impl Snapshot {
             pos: MAGIC.len(),
         };
         let version = cur.u32()?;
-        if version != VERSION {
+        if version == 0 || version > VERSION {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
         let qubits = cur.u32()?;
@@ -464,6 +521,15 @@ impl Snapshot {
             node: cur.u32()?,
             weight: cur.u32()?,
         };
+        let mut order = Vec::new();
+        if version >= 2 {
+            let n_order = cur.u32()? as usize;
+            cur.expect_elems(n_order, 4, "order entry")?;
+            order.reserve(n_order);
+            for _ in 0..n_order {
+                order.push(cur.u32()?);
+            }
+        }
         if cur.pos != body.len() {
             return Err(SnapshotError::Corrupt(format!(
                 "{} trailing bytes",
@@ -480,6 +546,7 @@ impl Snapshot {
             weights,
             nodes,
             root,
+            order,
         };
         snapshot.validate()?;
         Ok(snapshot)
@@ -710,7 +777,8 @@ mod tests {
         let cbits_at = 72;
         let weights_at = cbits_at + 4 + snap.classical_bits.len();
         let nodes_at = weights_at + 4 + 16 * snap.weights.len();
-        for off in [cbits_at, weights_at, nodes_at] {
+        let order_at = nodes_at + 4 + 20 * snap.nodes.len() + 8;
+        for off in [cbits_at, weights_at, nodes_at, order_at] {
             let mut bad = bytes.clone();
             bad[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
             reseal(&mut bad);
@@ -750,6 +818,76 @@ mod tests {
         let mut snap = capture_of(&dd, state, 3);
         // Forward reference breaks topological order.
         snap.nodes[0].children[0].node = snap.nodes.len() as u32 - 1;
+        assert!(matches!(
+            snap.restore(DdConfig::default()),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn reordered_state_round_trips_with_its_order() {
+        let mut dd = DdManager::new();
+        let n = 5;
+        let mut state = entangled_state(&mut dd, n);
+        dd.inc_ref_vec(state);
+        for l in [1, 3, 2] {
+            let next = dd.swap_levels(state, l);
+            dd.inc_ref_vec(next);
+            dd.dec_ref_vec(state);
+            state = next;
+        }
+        assert!(!dd.var_order().is_identity());
+        let before = dd.vec_to_amplitudes(state);
+
+        let snap = capture_of(&dd, state, n);
+        assert_eq!(snap.order, dd.var_order().level_map(n));
+        let mut bytes = Vec::new();
+        snap.write_to(&mut bytes).unwrap();
+        let read = Snapshot::read_from(&mut bytes.as_slice()).unwrap();
+        assert_eq!(read, snap);
+
+        let (restored, root) = read.restore(DdConfig::default()).unwrap();
+        assert_eq!(restored.var_order(), dd.var_order());
+        let after = restored.vec_to_amplitudes(root);
+        for (a, b) in before.iter().zip(&after) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits(), "real part drifted");
+            assert_eq!(a.im.to_bits(), b.im.to_bits(), "imaginary part drifted");
+        }
+    }
+
+    #[test]
+    fn version_1_files_without_order_section_still_load() {
+        // Forge a v1 file from a v2 one: drop the (empty) order section's
+        // 4-byte count, rewrite the version field, reseal the checksum.
+        let mut dd = DdManager::new();
+        let state = entangled_state(&mut dd, 3);
+        let snap = capture_of(&dd, state, 3);
+        assert!(snap.order.is_empty());
+        let mut bytes = Vec::new();
+        snap.write_to(&mut bytes).unwrap();
+        let checksum_at = bytes.len() - 8;
+        let order_count_at = checksum_at - 4;
+        bytes.drain(order_count_at..checksum_at);
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        reseal(&mut bytes);
+        let read = Snapshot::read_from(&mut bytes.as_slice()).unwrap();
+        assert!(read.order.is_empty(), "v1 files restore the identity order");
+        assert_eq!(read.nodes, snap.nodes);
+        let (restored, _) = read.restore(DdConfig::default()).unwrap();
+        assert!(restored.var_order().is_identity());
+    }
+
+    #[test]
+    fn non_permutation_order_section_is_rejected() {
+        let mut dd = DdManager::new();
+        let state = entangled_state(&mut dd, 3);
+        let mut snap = capture_of(&dd, state, 3);
+        snap.order = vec![0, 0, 2];
+        assert!(matches!(
+            snap.restore(DdConfig::default()),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        snap.order = vec![0, 1];
         assert!(matches!(
             snap.restore(DdConfig::default()),
             Err(SnapshotError::Corrupt(_))

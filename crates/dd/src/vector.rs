@@ -11,7 +11,9 @@ impl DdManager {
     /// Builds the computational-basis state `|index⟩` over `n` qubits.
     ///
     /// Bit `n-1-q` of `index` is the value of qubit `q` (qubit 0 is the
-    /// topmost / most significant, as in the paper's figures).
+    /// topmost / most significant, as in the paper's figures) — regardless
+    /// of the manager's current variable order, which only changes which
+    /// *level* hosts each qubit.
     ///
     /// # Panics
     ///
@@ -21,7 +23,7 @@ impl DdManager {
         assert!(index < (1u64 << n), "basis index out of range");
         let mut edge = VecEdge::terminal(ComplexId::ONE);
         for level in 1..=n {
-            let bit = (index >> (level - 1)) & 1;
+            let bit = (index >> (n - 1 - self.var_order.qubit_at(n, level))) & 1;
             let children = if bit == 0 {
                 [edge, VecEdge::ZERO]
             } else {
@@ -70,7 +72,15 @@ impl DdManager {
             "amplitude vector length must be a power of two >= 2"
         );
         let n = amplitudes.len().trailing_zeros();
-        self.vec_from_slice(amplitudes, n)
+        if self.var_order.is_identity() {
+            return self.vec_from_slice(amplitudes, n);
+        }
+        // Gather into internal path order (level ℓ's branch in bit ℓ-1),
+        // then run the plain half-split recursion.
+        let permuted: Vec<Complex> = (0..amplitudes.len() as u64)
+            .map(|p| amplitudes[self.var_order.external_index(n, p) as usize])
+            .collect();
+        self.vec_from_slice(&permuted, n)
     }
 
     fn vec_from_slice(&mut self, amplitudes: &[Complex], level: Level) -> VecEdge {
@@ -96,12 +106,13 @@ impl DdManager {
     pub fn vec_amplitude(&self, e: VecEdge, index: u64) -> Complex {
         let level = self.vec_level(e);
         assert!(index < (1u64 << level), "basis index out of range");
+        let internal = self.var_order.internal_index(level, index);
         let mut weight = self.complex_value(e.weight);
         let mut node_id = e.node;
         let mut lvl = level;
         while !node_id.is_terminal() {
             let node = self.vec_node(node_id);
-            let bit = (index >> (lvl - 1)) & 1;
+            let bit = (internal >> (lvl - 1)) & 1;
             let child = node.edges[bit as usize];
             weight *= self.complex_value(child.weight);
             node_id = child.node;
@@ -113,11 +124,21 @@ impl DdManager {
         weight
     }
 
-    /// Materializes all `2^level` amplitudes (tests / small instances only).
+    /// Materializes all `2^level` amplitudes, indexed by the external basis
+    /// convention (tests / small instances only).
     pub fn vec_to_amplitudes(&self, e: VecEdge) -> Vec<Complex> {
         let level = self.vec_level(e);
         let mut out = vec![Complex::ZERO; 1usize << level];
         self.fill_amplitudes(e, Complex::ONE, 0, level, &mut out);
+        if !self.var_order.is_identity() && level > 0 {
+            // `fill_amplitudes` walks paths, i.e. internal order: scatter
+            // to external basis indices.
+            let mut external = vec![Complex::ZERO; out.len()];
+            for (p, amp) in out.iter().enumerate() {
+                external[self.var_order.external_index(level, p as u64) as usize] = *amp;
+            }
+            out = external;
+        }
         out
     }
 

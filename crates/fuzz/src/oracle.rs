@@ -9,8 +9,9 @@
 //! 2. **Config lattice** — [`config_lattice`] enumerates engine
 //!    configurations across every combining strategy, caches on/off,
 //!    identity skipping on/off, shrunken table capacities, an aggressive
-//!    GC threshold, and a `par` axis running the fork-join kernels on a
-//!    worker pool. All points must agree with the dense reference
+//!    GC threshold, a `par` axis running the fork-join kernels on a
+//!    worker pool, and a `reorder` axis running sifting-based dynamic
+//!    variable reordering. All points must agree with the dense reference
 //!    amplitude-for-amplitude; the lattice is what turns a single
 //!    differential test into a schedule/caching/GC/parallelism
 //!    cross-check. The points themselves run on a shared work-stealing
@@ -26,7 +27,9 @@ use std::time::Duration;
 
 use ddsim_circuit::{lower_swap, Circuit, Operation};
 use ddsim_core::equivalence::{circuit_unitary, mat_equivalence};
-use ddsim_core::{DdConfig, FaultKind, SimError, SimOptions, Simulator, Strategy, ThreadPool};
+use ddsim_core::{
+    DdConfig, FaultKind, ReorderMode, SimError, SimOptions, Simulator, Strategy, ThreadPool,
+};
 use ddsim_dd::reference::DenseVector;
 use ddsim_dd::{DdManager, MatEdge};
 use rand::rngs::StdRng;
@@ -61,6 +64,8 @@ pub struct LatticePoint {
     pub deadline: Option<Duration>,
     /// Worker threads for the engine (`par` axis; 1 = sequential).
     pub threads: u32,
+    /// Dynamic variable reordering policy (`reorder` axis).
+    pub reorder: ReorderMode,
     /// Human-readable name used in failure reports.
     pub label: String,
 }
@@ -265,9 +270,35 @@ fn par_variants(full: bool) -> Vec<(&'static str, DdConfig, u32)> {
     variants
 }
 
+/// The `reorder` axis: points running with sifting-based dynamic variable
+/// reordering. Every amplitude and classical bit must still match the
+/// dense reference exactly — amplitude queries translate through the live
+/// variable order, so a reordered diagram that disagrees means a swap or
+/// an order-translating accessor is broken. The engine guarantees at
+/// least one sifting pass per run in this mode (end-of-run pass when the
+/// growth trigger never fired), so the axis genuinely exercises
+/// `swap_levels` on every generated circuit. The tiny-GC variant forces
+/// collections between sifting passes, cross-checking that reordered
+/// diagrams survive the mark phase.
+fn reorder_variants(full: bool) -> Vec<(&'static str, DdConfig)> {
+    let base = DdConfig::default();
+    let mut variants = vec![("reorder=sifting", base)];
+    if full {
+        variants.push((
+            "reorder=sifting-tiny-gc",
+            DdConfig {
+                gc_threshold: 64,
+                ..base
+            },
+        ));
+    }
+    variants
+}
+
 /// The engine-configuration lattice: every combining strategy crossed with
-/// the DD-manager variants plus the budget and `par` axes (quick:
-/// 5 × (6 + 1 + 1) = 40 points; full: 5 × (10 + 3 + 2) = 75).
+/// the DD-manager variants plus the budget, `par`, and `reorder` axes
+/// (quick: 5 × (6 + 1 + 1 + 1) = 45 points; full:
+/// 5 × (10 + 3 + 2 + 2) = 85).
 pub fn config_lattice(full: bool) -> Vec<LatticePoint> {
     let strategies = [
         Strategy::Sequential,
@@ -284,6 +315,7 @@ pub fn config_lattice(full: bool) -> Vec<LatticePoint> {
                 dd_config,
                 deadline: None,
                 threads: 1,
+                reorder: ReorderMode::None,
                 label: format!("{} {}", strategy.label(), name),
             });
         }
@@ -293,6 +325,7 @@ pub fn config_lattice(full: bool) -> Vec<LatticePoint> {
                 dd_config,
                 deadline,
                 threads: 1,
+                reorder: ReorderMode::None,
                 label: format!("{} {}", strategy.label(), name),
             });
         }
@@ -302,6 +335,17 @@ pub fn config_lattice(full: bool) -> Vec<LatticePoint> {
                 dd_config,
                 deadline: None,
                 threads,
+                reorder: ReorderMode::None,
+                label: format!("{} {}", strategy.label(), name),
+            });
+        }
+        for (name, dd_config) in reorder_variants(full) {
+            points.push(LatticePoint {
+                strategy,
+                dd_config,
+                deadline: None,
+                threads: 1,
+                reorder: ReorderMode::Sifting,
                 label: format!("{} {}", strategy.label(), name),
             });
         }
@@ -404,6 +448,7 @@ fn check_point(
         },
         deadline: point.deadline,
         threads: point.threads,
+        reorder: point.reorder,
     };
     let run = quiet_catch(|| {
         let mut sim = Simulator::with_options(circuit.qubits(), options);
@@ -685,8 +730,8 @@ mod tests {
 
     #[test]
     fn lattice_sizes() {
-        assert_eq!(config_lattice(false).len(), 40);
-        assert_eq!(config_lattice(true).len(), 75);
+        assert_eq!(config_lattice(false).len(), 45);
+        assert_eq!(config_lattice(true).len(), 85);
     }
 
     #[test]
@@ -697,6 +742,21 @@ mod tests {
             .collect();
         assert_eq!(threaded.len(), 10, "2 par variants × 5 strategies");
         assert!(threaded.iter().all(|p| !p.governed()));
+    }
+
+    #[test]
+    fn lattice_carries_a_reorder_axis() {
+        let quick: Vec<_> = config_lattice(false)
+            .into_iter()
+            .filter(|p| p.reorder == ReorderMode::Sifting)
+            .collect();
+        assert_eq!(quick.len(), 5, "1 quick reorder variant × 5 strategies");
+        let full: Vec<_> = config_lattice(true)
+            .into_iter()
+            .filter(|p| p.reorder == ReorderMode::Sifting)
+            .collect();
+        assert_eq!(full.len(), 10, "2 full reorder variants × 5 strategies");
+        assert!(full.iter().all(|p| !p.governed() && p.threads == 1));
     }
 
     #[test]

@@ -45,13 +45,19 @@ pub struct SelfCheckOutcome {
 /// * skipping renormalization needs a measurement with outcome
 ///   probability strictly between 0 and 1 — non-unitary circuits;
 /// * ignoring control polarity needs negative controls — the oracle-like
-///   profile draws them with probability one half.
+///   profile draws them with probability one half;
+/// * the swap fault (a level swap that keeps the grandchild's raw weight
+///   instead of folding in the child's) needs an actual sifting pass over
+///   a diagram with non-unit child weights — the lattice's `reorder` axis
+///   guarantees at least one sift per run, and the mixed profile's
+///   T/S/Rz-rich unitary stream supplies the phase-bearing edges.
 fn hunting_ground(fault: FaultKind) -> (Profile, bool) {
     match fault {
         FaultKind::MatVecCacheKeyDropsVector => (Profile::DeepNarrow, false),
         FaultKind::DiagonalCountsAsIdentity => (Profile::Mixed, false),
         FaultKind::CollapseSkipsRenormalize => (Profile::Mixed, true),
         FaultKind::NegativeControlsIgnored => (Profile::OracleLike, false),
+        FaultKind::SwapDropsChildWeight => (Profile::Mixed, false),
         FaultKind::None => (Profile::Mixed, true),
     }
 }

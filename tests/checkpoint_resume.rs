@@ -12,7 +12,7 @@
 
 use ddsim_fuzz::generator::{generate, GenConfig, Profile};
 use ddsim_repro::circuit::{Circuit, Operation};
-use ddsim_repro::core::{CheckpointConfig, SimOptions, Simulator, Strategy};
+use ddsim_repro::core::{CheckpointConfig, ReorderMode, SimOptions, Simulator, Strategy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -204,6 +204,134 @@ fn checkpoint_is_exactly_a_barrier() {
         amplitudes_bits(&resumed),
         amplitudes_bits(&reference),
         "resumed run differs from the barrier reference"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The order-sensitive Bell-ladder: H(i); CX(i, i+k); T(i) over 2k
+/// qubits. In circuit order the state DD grows exponentially in k, so
+/// the sifting growth trigger genuinely fires mid-run.
+fn bell_ladder(k: u32) -> Circuit {
+    let mut c = Circuit::new(2 * k);
+    for i in 0..k {
+        c.h(i);
+        c.cx(i, i + k);
+        c.t(i);
+    }
+    c
+}
+
+#[test]
+fn post_reorder_snapshots_resume_bitwise_identically() {
+    // A checkpoint written AFTER a sifting pass must carry the live
+    // variable order, and resuming from it must land bitwise on the
+    // uninterrupted run — order section, sift baseline, and all.
+    let circuit = bell_ladder(7);
+    let total = circuit.flattened().ops().len() as u64;
+    let options = SimOptions {
+        strategy: Strategy::Sequential,
+        reorder: ReorderMode::Sifting,
+        seed: 5,
+        ..SimOptions::default()
+    };
+    let path = scratch("post-reorder-a");
+    let cut = total - 3;
+    let cfg = CheckpointConfig {
+        every_ops: cut,
+        path: path.clone(),
+    };
+    let mut full = Simulator::with_options(circuit.qubits(), options);
+    let stats = full
+        .run_from(&circuit, 0, Some(&cfg))
+        .expect("uninterrupted run");
+    assert!(
+        stats.reorders + stats.ladder_reorders > 0,
+        "the ladder must have triggered at least one sift"
+    );
+    assert!(
+        !full.dd().var_order().is_identity(),
+        "sifting an order-sensitive ladder must move some variable"
+    );
+    let reference_amps = amplitudes_bits(&full);
+
+    let (mut resumed, next_op) =
+        Simulator::resume_from(&path, &circuit, options).expect("snapshot loads");
+    assert!(next_op > 0 && next_op < total, "checkpoint mid-circuit");
+    assert!(
+        !resumed.dd().var_order().is_identity(),
+        "the snapshot was written after the sift, so the restored order is non-identity"
+    );
+    let path_b = scratch("post-reorder-b");
+    let cfg_b = CheckpointConfig {
+        every_ops: cut,
+        path: path_b.clone(),
+    };
+    resumed
+        .run_from(&circuit, next_op, Some(&cfg_b))
+        .expect("resumed run");
+    assert_eq!(
+        amplitudes_bits(&resumed),
+        reference_amps,
+        "post-reorder resume drifted from the uninterrupted run"
+    );
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&path_b);
+}
+
+#[test]
+fn version_1_snapshots_without_order_section_still_resume() {
+    // Pre-reordering snapshots (format v1) have no order section. The
+    // engine must keep loading them: downgrade a fresh v2 file by
+    // dropping the (empty) order count, stamping version 1, and
+    // resealing the checksum — then resume and finish bitwise.
+    let mut c = Circuit::new(5);
+    for q in 0..5 {
+        c.h(q);
+    }
+    for q in 1..5 {
+        c.cx(q - 1, q);
+        c.rz(0.4 * f64::from(q), q);
+    }
+    let total = c.flattened().ops().len() as u64;
+    let options = SimOptions {
+        strategy: Strategy::KOperations { k: 3 },
+        seed: 9,
+        ..SimOptions::default()
+    };
+    let path = scratch("v1-compat");
+    let cut = total - 2;
+    let cfg = CheckpointConfig {
+        every_ops: cut,
+        path: path.clone(),
+    };
+    let mut full = Simulator::with_options(5, options);
+    full.run_from(&c, 0, Some(&cfg)).expect("uninterrupted run");
+    let reference_amps = amplitudes_bits(&full);
+
+    // Downgrade the file in place. Layout: MAGIC(8) version(4) ...
+    // body ... order-count(4, = 0 at identity order) checksum(8).
+    let mut bytes = std::fs::read(&path).expect("snapshot file");
+    let len = bytes.len();
+    assert_eq!(
+        &bytes[len - 12..len - 8],
+        &0u32.to_le_bytes(),
+        "identity-order snapshot must have an empty order section"
+    );
+    bytes.drain(len - 12..len - 8);
+    bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+    let body = bytes.len() - 8;
+    let sum = ddsim_repro::dd::snapshot::fnv1a(&bytes[..body]);
+    bytes[body..].copy_from_slice(&sum.to_le_bytes());
+    std::fs::write(&path, &bytes).expect("rewrite v1 snapshot");
+
+    let (mut resumed, next_op) =
+        Simulator::resume_from(&path, &c, options).expect("v1 snapshot loads");
+    assert!(next_op > 0 && next_op < total);
+    resumed.run_from(&c, next_op, None).expect("resumed run");
+    assert_eq!(
+        amplitudes_bits(&resumed),
+        reference_amps,
+        "v1 resume drifted from the uninterrupted run"
     );
     let _ = std::fs::remove_file(&path);
 }

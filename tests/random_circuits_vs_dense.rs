@@ -3,9 +3,9 @@
 
 use ddsim_repro::circuit::{Circuit, StandardGate};
 use ddsim_repro::complex::Complex;
-use ddsim_repro::core::{simulate, DdConfig, SimOptions, Strategy};
+use ddsim_repro::core::{simulate, DdConfig, ReorderMode, SimOptions, Strategy};
 use ddsim_repro::dd::reference::DenseVector;
-use ddsim_repro::dd::Control;
+use ddsim_repro::dd::{Control, DdManager};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -495,6 +495,131 @@ fn threaded_sampling_is_reproducible_and_conserves_shots() {
             Some(count),
             "outcome {outcome:#b} count diverged across reruns"
         );
+    }
+}
+
+#[test]
+fn sifting_matches_dense_on_random_circuits() {
+    // Dynamic variable reordering must be invisible in the amplitudes:
+    // every qubit-indexed accessor translates through the live variable
+    // order, so a sifted run agrees with the dense reference exactly as
+    // an unsifted one does — under every combining strategy.
+    let strategies = [
+        Strategy::Sequential,
+        Strategy::KOperations { k: 5 },
+        Strategy::MaxSize { s_max: 48 },
+        Strategy::DdRepeating { k: 4 },
+        Strategy::adaptive(),
+    ];
+    for seed in 0..3 {
+        for strategy in strategies {
+            let options = SimOptions {
+                strategy,
+                reorder: ReorderMode::Sifting,
+                ..SimOptions::default()
+            };
+            check_agreement_with(6, 60, seed, options);
+        }
+    }
+}
+
+#[test]
+fn sifted_and_unsifted_runs_agree_to_tight_tolerance() {
+    // Sifted amplitudes are tolerance-equal to unsifted ones, not
+    // bitwise: swap normalization re-derives edge weights, so
+    // representatives within a complex-table tolerance bucket can move by
+    // ~1e-15. The 1e-9 bound here is far tighter than the dense
+    // cross-check — a broken swap shows up as a gross mismatch. Checked
+    // across strategies and on the threaded engine.
+    for seed in 0..3u64 {
+        for strategy in [Strategy::Sequential, Strategy::KOperations { k: 5 }] {
+            for threads in [1u32, 3] {
+                let circuit = random_circuit(6, 60, seed);
+                let plain = SimOptions {
+                    strategy,
+                    threads,
+                    ..SimOptions::default()
+                };
+                let sifted = SimOptions {
+                    strategy,
+                    threads,
+                    reorder: ReorderMode::Sifting,
+                    ..SimOptions::default()
+                };
+                let (sim_p, _) = simulate(&circuit, plain).expect("plain run");
+                let (sim_r, stats_r) = simulate(&circuit, sifted).expect("sifted run");
+                assert!(
+                    stats_r.reorders + stats_r.ladder_reorders > 0,
+                    "seed {seed}, {strategy}, threads {threads}: sifting mode never sifted"
+                );
+                for i in 0..(1u64 << 6) {
+                    let a = sim_p.amplitude(i);
+                    let b = sim_r.amplitude(i);
+                    assert!(
+                        a.approx_eq(b, 1e-9),
+                        "seed {seed}, {strategy}, threads {threads}, amplitude {i}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sifting_never_increases_node_count_on_random_states() {
+    // `sift_state` is monotone by construction (it pins the smallest
+    // diagram seen and jumps back to it), and a sift-then-restore round
+    // trip through the identity order must reproduce the original
+    // amplitudes bit for bit through the order-aware accessor.
+    let mut rng = StdRng::seed_from_u64(0x51F7);
+    for _ in 0..6 {
+        let n = 6u32;
+        let dim = 1usize << n;
+        let amps: Vec<Complex> = (0..dim)
+            .map(|_| {
+                // A sparse-ish random vector so the DD has genuine
+                // structure for sifting to exploit.
+                if rng.gen_bool(0.4) {
+                    Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+                } else {
+                    Complex::ZERO
+                }
+            })
+            .collect();
+        if amps.iter().all(|a| a.norm_sqr() == 0.0) {
+            continue;
+        }
+        let mut dd = DdManager::new();
+        let state = dd.vec_from_amplitudes(&amps);
+        dd.inc_ref_vec(state);
+        let before: Vec<Complex> = (0..dim as u64)
+            .map(|i| dd.vec_amplitude(state, i))
+            .collect();
+        let count_before = dd.vec_node_count(state);
+        let (sifted, stats) = dd.sift_state(state, usize::MAX);
+        assert!(
+            stats.nodes_after <= stats.nodes_before,
+            "sifting grew the DD: {} -> {}",
+            stats.nodes_before,
+            stats.nodes_after
+        );
+        assert!(dd.vec_node_count(sifted) <= count_before);
+        // Amplitudes are preserved at the sifted order...
+        for (i, want) in before.iter().enumerate() {
+            let got = dd.vec_amplitude(sifted, i as u64);
+            assert!(got.approx_eq(*want, 1e-9), "amplitude {i}: {got} vs {want}");
+        }
+        // ...and restoring the identity order is an exact round trip.
+        let restored = dd.restore_identity_order(sifted);
+        assert!(dd.var_order().is_identity());
+        for (i, want) in before.iter().enumerate() {
+            let got = dd.vec_amplitude(restored, i as u64);
+            assert_eq!(
+                (got.re.to_bits(), got.im.to_bits()),
+                (want.re.to_bits(), want.im.to_bits()),
+                "amplitude {i} not bitwise after round trip: {got} vs {want}"
+            );
+        }
     }
 }
 

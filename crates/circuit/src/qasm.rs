@@ -31,6 +31,25 @@ pub struct ParseQasmError {
     pub line: usize,
     /// Human-readable description.
     pub message: String,
+    /// Typed classification, so callers serving untrusted input can
+    /// distinguish malformed programs from limit trips without string
+    /// matching.
+    pub kind: ParseErrorKind,
+}
+
+/// Why a QASM program was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Malformed or unsupported input.
+    Syntax,
+    /// A [`ParseLimits`] bound was exceeded (adversarial-input guard).
+    LimitExceeded {
+        /// Which limit tripped (`"ops"`, `"expression depth"`,
+        /// `"qubits"`, `"classical bits"`).
+        what: &'static str,
+        /// The configured bound.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for ParseQasmError {
@@ -49,6 +68,64 @@ fn err(line: usize, message: impl Into<String>) -> ParseQasmError {
     ParseQasmError {
         line,
         message: message.into(),
+        kind: ParseErrorKind::Syntax,
+    }
+}
+
+fn limit_err(line: usize, what: &'static str, limit: u64) -> ParseQasmError {
+    ParseQasmError {
+        line,
+        message: format!("input exceeds the configured limit of {limit} {what}"),
+        kind: ParseErrorKind::LimitExceeded { what, limit },
+    }
+}
+
+/// Resource bounds for parsing untrusted QASM.
+///
+/// The grammar itself is regular per statement, but two surfaces scale
+/// with attacker-controlled input: the parameter-expression evaluator
+/// recurses on nested parentheses and unary-minus chains (stack
+/// overflow), and the op stream / register sizes drive allocation
+/// (`2^qubits` dense amplitudes downstream, one `Operation` per
+/// statement). [`parse`] uses [`ParseLimits::unbounded`] — trusted local
+/// files keep their exact historical behavior — while a server front-end
+/// parses with [`ParseLimits::UNTRUSTED`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum total operations in the parsed circuit.
+    pub max_ops: u64,
+    /// Maximum recursion depth inside one parameter expression.
+    pub max_expr_depth: u64,
+    /// Maximum `qreg` size.
+    pub max_qubits: u64,
+    /// Maximum `creg` size.
+    pub max_cbits: u64,
+}
+
+impl ParseLimits {
+    /// Defaults for untrusted network input: far above anything a DD
+    /// simulation can actually execute, far below anything that hurts.
+    pub const UNTRUSTED: ParseLimits = ParseLimits {
+        max_ops: 1_000_000,
+        max_expr_depth: 64,
+        max_qubits: 63,
+        max_cbits: 4096,
+    };
+
+    /// No bounds — the historical behavior of [`parse`].
+    pub const fn unbounded() -> ParseLimits {
+        ParseLimits {
+            max_ops: u64::MAX,
+            max_expr_depth: u64::MAX,
+            max_qubits: u64::MAX,
+            max_cbits: u64::MAX,
+        }
+    }
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits::UNTRUSTED
     }
 }
 
@@ -72,6 +149,17 @@ fn err(line: usize, message: impl Into<String>) -> ParseQasmError {
 /// # }
 /// ```
 pub fn parse(source: &str) -> Result<Circuit, ParseQasmError> {
+    parse_with_limits(source, &ParseLimits::unbounded())
+}
+
+/// Like [`parse`], but enforcing [`ParseLimits`] — the entry point for
+/// untrusted input (a server's `SUBMIT` payload).
+///
+/// # Errors
+///
+/// Everything [`parse`] returns, plus
+/// [`ParseErrorKind::LimitExceeded`]-kinded errors when a bound trips.
+pub fn parse_with_limits(source: &str, limits: &ParseLimits) -> Result<Circuit, ParseQasmError> {
     let mut circuit: Option<Circuit> = None;
     let mut qreg_name = String::new();
     let mut creg_name = String::new();
@@ -96,6 +184,9 @@ pub fn parse(source: &str) -> Result<Circuit, ParseQasmError> {
                 if circuit.is_some() {
                     return Err(err(line_no, "multiple qreg declarations are not supported"));
                 }
+                if size as u64 > limits.max_qubits {
+                    return Err(limit_err(line_no, "qubits", limits.max_qubits));
+                }
                 qreg_name = name;
                 circuit = Some(Circuit::with_cbits(
                     u32::try_from(size).map_err(|_| err(line_no, "qreg too large"))?,
@@ -105,6 +196,9 @@ pub fn parse(source: &str) -> Result<Circuit, ParseQasmError> {
             }
             if let Some(rest) = stmt.strip_prefix("creg") {
                 let (name, size) = parse_reg_decl(rest, line_no)?;
+                if size as u64 > limits.max_cbits {
+                    return Err(limit_err(line_no, "classical bits", limits.max_cbits));
+                }
                 creg_name = name;
                 creg_size = size;
                 if let Some(c) = circuit.take() {
@@ -124,7 +218,14 @@ pub fn parse(source: &str) -> Result<Circuit, ParseQasmError> {
                 &creg_name,
                 creg_size,
                 circuit_ref,
+                limits,
             )?;
+            // Checked after every statement so a pathological program is
+            // rejected as soon as it crosses the line, not after the full
+            // allocation has happened.
+            if circuit_ref.ops().len() as u64 > limits.max_ops {
+                return Err(limit_err(line_no, "ops", limits.max_ops));
+            }
         }
     }
     circuit.ok_or_else(|| err(0, "no qreg declaration found"))
@@ -156,6 +257,7 @@ fn parse_statement(
     creg: &str,
     creg_size: usize,
     circuit: &mut Circuit,
+    limits: &ParseLimits,
 ) -> Result<(), ParseQasmError> {
     // Conditional: if (c == k) or if (c[j] == k), then a gate statement.
     if let Some(rest) = stmt.strip_prefix("if") {
@@ -194,7 +296,7 @@ fn parse_statement(
             return Err(err(line, "conditional value must be 0 or 1"));
         }
         let (gate, args) = parse_gate_call(body, line)?;
-        let (kind, params) = split_params(&gate, line)?;
+        let (kind, params) = split_params(&gate, line, limits)?;
         let standard = standard_gate(&kind, &params, line)?;
         let targets = parse_qubit_args(&args, qreg, line)?;
         if targets.len() != 1 {
@@ -250,7 +352,7 @@ fn parse_statement(
     }
 
     let (gate, args) = parse_gate_call(body.trim_start(), line)?;
-    let (kind, params) = split_params(&gate, line)?;
+    let (kind, params) = split_params(&gate, line, limits)?;
     let qubits = parse_qubit_args(&args, qreg, line)?;
 
     if !polarities.is_empty() {
@@ -334,7 +436,11 @@ fn parse_gate_call(stmt: &str, line: usize) -> Result<(String, String), ParseQas
     Err(err(line, "gate statement missing operands"))
 }
 
-fn split_params(gate: &str, line: usize) -> Result<(String, Vec<f64>), ParseQasmError> {
+fn split_params(
+    gate: &str,
+    line: usize,
+    limits: &ParseLimits,
+) -> Result<(String, Vec<f64>), ParseQasmError> {
     match gate.find('(') {
         None => Ok((gate.to_string(), Vec::new())),
         Some(open) => {
@@ -344,7 +450,7 @@ fn split_params(gate: &str, line: usize) -> Result<(String, Vec<f64>), ParseQasm
             let kind = gate[..open].trim().to_string();
             let params = gate[open + 1..close]
                 .split(',')
-                .map(|p| eval_expr(p.trim(), line))
+                .map(|p| eval_expr(p.trim(), line, limits))
                 .collect::<Result<Vec<f64>, _>>()?;
             Ok((kind, params))
         }
@@ -428,10 +534,10 @@ fn parse_indexed(text: &str, reg: &str, line: usize) -> Result<u32, ParseQasmErr
 // Tiny arithmetic-expression evaluator for gate parameters.
 // ----------------------------------------------------------------------
 
-fn eval_expr(text: &str, line: usize) -> Result<f64, ParseQasmError> {
+fn eval_expr(text: &str, line: usize, limits: &ParseLimits) -> Result<f64, ParseQasmError> {
     let tokens = tokenize(text, line)?;
     let mut pos = 0usize;
-    let value = eval_sum(&tokens, &mut pos, line)?;
+    let value = eval_sum(&tokens, &mut pos, line, limits, 0)?;
     if pos != tokens.len() {
         return Err(err(line, format!("trailing tokens in expression `{text}`")));
     }
@@ -509,17 +615,23 @@ fn tokenize(text: &str, line: usize) -> Result<Vec<Token>, ParseQasmError> {
     Ok(out)
 }
 
-fn eval_sum(tokens: &[Token], pos: &mut usize, line: usize) -> Result<f64, ParseQasmError> {
-    let mut value = eval_product(tokens, pos, line)?;
+fn eval_sum(
+    tokens: &[Token],
+    pos: &mut usize,
+    line: usize,
+    limits: &ParseLimits,
+    depth: u64,
+) -> Result<f64, ParseQasmError> {
+    let mut value = eval_product(tokens, pos, line, limits, depth)?;
     while *pos < tokens.len() {
         match tokens[*pos] {
             Token::Plus => {
                 *pos += 1;
-                value += eval_product(tokens, pos, line)?;
+                value += eval_product(tokens, pos, line, limits, depth)?;
             }
             Token::Minus => {
                 *pos += 1;
-                value -= eval_product(tokens, pos, line)?;
+                value -= eval_product(tokens, pos, line, limits, depth)?;
             }
             _ => break,
         }
@@ -527,17 +639,23 @@ fn eval_sum(tokens: &[Token], pos: &mut usize, line: usize) -> Result<f64, Parse
     Ok(value)
 }
 
-fn eval_product(tokens: &[Token], pos: &mut usize, line: usize) -> Result<f64, ParseQasmError> {
-    let mut value = eval_atom(tokens, pos, line)?;
+fn eval_product(
+    tokens: &[Token],
+    pos: &mut usize,
+    line: usize,
+    limits: &ParseLimits,
+    depth: u64,
+) -> Result<f64, ParseQasmError> {
+    let mut value = eval_atom(tokens, pos, line, limits, depth)?;
     while *pos < tokens.len() {
         match tokens[*pos] {
             Token::Star => {
                 *pos += 1;
-                value *= eval_atom(tokens, pos, line)?;
+                value *= eval_atom(tokens, pos, line, limits, depth)?;
             }
             Token::Slash => {
                 *pos += 1;
-                let divisor = eval_atom(tokens, pos, line)?;
+                let divisor = eval_atom(tokens, pos, line, limits, depth)?;
                 if divisor == 0.0 {
                     return Err(err(line, "division by zero in parameter"));
                 }
@@ -549,7 +667,19 @@ fn eval_product(tokens: &[Token], pos: &mut usize, line: usize) -> Result<f64, P
     Ok(value)
 }
 
-fn eval_atom(tokens: &[Token], pos: &mut usize, line: usize) -> Result<f64, ParseQasmError> {
+fn eval_atom(
+    tokens: &[Token],
+    pos: &mut usize,
+    line: usize,
+    limits: &ParseLimits,
+    depth: u64,
+) -> Result<f64, ParseQasmError> {
+    // Every recursion edge of the evaluator passes through here (nested
+    // parens via `eval_sum`, unary sign chains directly), so one depth
+    // check bounds the whole call tree against stack overflow.
+    if depth >= limits.max_expr_depth {
+        return Err(limit_err(line, "expression depth", limits.max_expr_depth));
+    }
     match tokens.get(*pos) {
         Some(Token::Number(v)) => {
             *pos += 1;
@@ -557,15 +687,15 @@ fn eval_atom(tokens: &[Token], pos: &mut usize, line: usize) -> Result<f64, Pars
         }
         Some(Token::Minus) => {
             *pos += 1;
-            Ok(-eval_atom(tokens, pos, line)?)
+            Ok(-eval_atom(tokens, pos, line, limits, depth + 1)?)
         }
         Some(Token::Plus) => {
             *pos += 1;
-            eval_atom(tokens, pos, line)
+            eval_atom(tokens, pos, line, limits, depth + 1)
         }
         Some(Token::Open) => {
             *pos += 1;
-            let value = eval_sum(tokens, pos, line)?;
+            let value = eval_sum(tokens, pos, line, limits, depth + 1)?;
             if tokens.get(*pos) != Some(&Token::Close) {
                 return Err(err(line, "missing ) in expression"));
             }
@@ -869,5 +999,105 @@ mod tests {
         let qasm = write(&c).expect("serializable");
         let back = parse(&qasm).expect("sy/sydg parse");
         assert_eq!(back.ops(), c.ops());
+    }
+
+    // ------------------------------------------------------------------
+    // Adversarial-input limits (server attack surface)
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn deep_paren_nesting_is_rejected_not_overflowed() {
+        // 200k nested parens would overflow the recursion stack without
+        // the depth guard; with it, the parse fails typed and fast.
+        let depth = 200_000;
+        let expr = format!("{}pi{}", "(".repeat(depth), ")".repeat(depth));
+        let src = format!("OPENQASM 2.0;\nqreg q[1];\nrz({expr}) q[0];\n");
+        let e = parse_with_limits(&src, &ParseLimits::UNTRUSTED).expect_err("must refuse");
+        assert_eq!(
+            e.kind,
+            ParseErrorKind::LimitExceeded {
+                what: "expression depth",
+                limit: ParseLimits::UNTRUSTED.max_expr_depth,
+            },
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn unary_minus_chains_are_depth_limited() {
+        let src = format!(
+            "OPENQASM 2.0;\nqreg q[1];\nrz({}1) q[0];\n",
+            "-".repeat(200_000)
+        );
+        let e = parse_with_limits(&src, &ParseLimits::UNTRUSTED).expect_err("must refuse");
+        assert!(
+            matches!(e.kind, ParseErrorKind::LimitExceeded { .. }),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn op_count_limit_stops_allocation_early() {
+        let limits = ParseLimits {
+            max_ops: 100,
+            ..ParseLimits::UNTRUSTED
+        };
+        let mut src = String::from("OPENQASM 2.0;\nqreg q[1];\n");
+        for _ in 0..1_000 {
+            src.push_str("h q[0];\n");
+        }
+        let e = parse_with_limits(&src, &limits).expect_err("must refuse");
+        assert_eq!(
+            e.kind,
+            ParseErrorKind::LimitExceeded {
+                what: "ops",
+                limit: 100
+            }
+        );
+        // Rejected at the boundary: the error line proves parsing stopped
+        // right after op 101, not at the end of the 1000-op program.
+        assert_eq!(e.line, 103, "rejection must be prompt, got line {}", e.line);
+    }
+
+    #[test]
+    fn register_size_limits_are_enforced() {
+        let e = parse_with_limits("OPENQASM 2.0;\nqreg q[64];\n", &ParseLimits::UNTRUSTED)
+            .expect_err("64 qubits over the 63 cap");
+        assert!(matches!(
+            e.kind,
+            ParseErrorKind::LimitExceeded { what: "qubits", .. }
+        ));
+        let e = parse_with_limits(
+            "OPENQASM 2.0;\nqreg q[2];\ncreg c[1000000];\n",
+            &ParseLimits::UNTRUSTED,
+        )
+        .expect_err("creg over the cap");
+        assert!(matches!(
+            e.kind,
+            ParseErrorKind::LimitExceeded {
+                what: "classical bits",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn limits_admit_reasonable_programs_and_parse_stays_unbounded() {
+        // A deep-but-sane expression and a mid-sized program both pass
+        // under UNTRUSTED, and `parse` (trusted path) accepts input that
+        // UNTRUSTED would refuse.
+        let src = "OPENQASM 2.0;\nqreg q[2];\nrz(-(-(-(pi/2)))) q[0];\ncx q[0],q[1];\n";
+        let c = parse_with_limits(src, &ParseLimits::UNTRUSTED).expect("sane program");
+        assert_eq!(c.qubits(), 2);
+        let deep = format!(
+            "OPENQASM 2.0;\nqreg q[1];\nrz({}pi{}) q[0];\n",
+            "(".repeat(80),
+            ")".repeat(80)
+        );
+        assert!(parse_with_limits(&deep, &ParseLimits::UNTRUSTED).is_err());
+        parse(&deep).expect("trusted parse stays unbounded");
+        // Limit errors render the bound for the operator.
+        let e = parse_with_limits(&deep, &ParseLimits::UNTRUSTED).unwrap_err();
+        assert!(e.to_string().contains("64"), "{e}");
     }
 }

@@ -80,6 +80,8 @@ ddsim — DD-based quantum-circuit simulator (DATE'19 reproduction)
 
 USAGE:
     ddsim <circuit.qasm | --generate SPEC> [OPTIONS]
+    ddsim serve [SERVER OPTIONS]      run as a multi-tenant TCP daemon
+                                      (see `ddsim serve --help`)
 
 CIRCUIT SOURCES:
     circuit.qasm             OpenQASM 2.0 subset file
@@ -139,6 +141,7 @@ EXIT CODES:
     4  cancelled
     5  circuit/simulator width mismatch
     6  checkpoint error (unreadable, corrupt, or wrong circuit)
+    7  suspended at an op boundary (resumable; server eviction)
 ";
 
 /// Parses argv (excluding the program name).
@@ -327,26 +330,10 @@ fn parse_value<T: std::str::FromStr>(
 }
 
 fn parse_strategy(spec: &str) -> Result<Strategy, ParseArgsError> {
-    let parts: Vec<&str> = spec.split(':').collect();
-    match parts.as_slice() {
-        ["sequential"] => Ok(Strategy::Sequential),
-        ["kops", k] => k
-            .parse()
-            .map(|k| Strategy::KOperations { k })
-            .map_err(|_| ParseArgsError("bad k for kops".into())),
-        ["maxsize", s] => s
-            .parse()
-            .map(|s_max| Strategy::MaxSize { s_max })
-            .map_err(|_| ParseArgsError("bad s_max for maxsize".into())),
-        ["ddrepeating", k] => k
-            .parse()
-            .map(|k| Strategy::DdRepeating { k })
-            .map_err(|_| ParseArgsError("bad k for ddrepeating".into())),
-        ["adaptive"] => Ok(Strategy::adaptive()),
-        _ => Err(ParseArgsError(format!(
-            "unknown strategy `{spec}` (see --help)"
-        ))),
-    }
+    // The grammar lives on `Strategy` itself (`FromStr`), shared with the
+    // server's SUBMIT option parser.
+    spec.parse()
+        .map_err(|e: ddsim_core::ParseStrategyError| ParseArgsError(format!("{e} (see --help)")))
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@ use crate::args::{Args, CircuitSource, OutputMode};
 
 /// Maps a simulation error onto the documented exit codes (see
 /// `args::USAGE`): 2 budget, 3 deadline, 4 cancelled, 5 width mismatch,
-/// 6 checkpoint, 1 everything else.
+/// 6 checkpoint, 7 suspended (resumable), 1 everything else.
 fn exit_code_for(e: &SimError) -> u8 {
     match e {
         SimError::BudgetExceeded { .. } => 2,
@@ -27,12 +27,18 @@ fn exit_code_for(e: &SimError) -> u8 {
         SimError::Cancelled => 4,
         SimError::WidthMismatch { .. } => 5,
         SimError::Snapshot(_) => 6,
+        SimError::Suspended => 7,
         SimError::Internal(_) => 1,
     }
 }
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    // `ddsim serve ...` delegates wholesale to the server crate; every
+    // other invocation goes through the regular argument parser.
+    if argv.first().map(String::as_str) == Some("serve") {
+        return ExitCode::from(ddsim_server::run_cli(&argv[1..]) as u8);
+    }
     let parsed = match args::parse(&argv) {
         Ok(parsed) => parsed,
         Err(e) => {

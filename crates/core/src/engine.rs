@@ -236,6 +236,11 @@ pub struct Simulator {
     // The work-stealing pool behind `SimOptions::threads ≥ 2`; shared with
     // the DD manager (fork-join kernels) and the shot-sampling loop.
     pool: Option<Arc<ThreadPool>>,
+    // Cooperative suspend request, observed at op boundaries in `run_from`
+    // (checkpoint-then-park, see `set_suspend_token`). Kept separate from
+    // the manager's cancel token: cancellation unwinds mid-multiply and is
+    // terminal, suspension must stop at a resumable barrier.
+    suspend: Option<CancelToken>,
 }
 
 impl Simulator {
@@ -280,6 +285,7 @@ impl Simulator {
             active_circuit_hash: 0,
             stats: RunStats::default(),
             pool,
+            suspend: None,
         }
     }
 
@@ -346,6 +352,20 @@ impl Simulator {
     /// token latches; the per-op loop observes it immediately.
     pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
         self.dd.set_cancel_token(token);
+    }
+
+    /// Registers (or clears) a cooperative *suspend* token, observed by
+    /// [`run_from`](Self::run_from) at every op boundary. When the token
+    /// latches, the engine writes a checkpoint (if a
+    /// [`CheckpointConfig`] was supplied to `run_from`) and returns
+    /// [`SimError::Suspended`]; the checkpoint resumes bitwise-identically
+    /// via [`resume_from`](Self::resume_from). Suspension latency is one
+    /// op: a latch mid-multiply takes effect before the *next* op starts.
+    ///
+    /// This is the eviction mechanism for a multi-tenant server shedding
+    /// memory pressure — unlike cancellation, no work is lost.
+    pub fn set_suspend_token(&mut self, token: Option<CancelToken>) {
+        self.suspend = token;
     }
 
     /// Samples a full measurement (without collapsing).
@@ -447,7 +467,10 @@ impl Simulator {
     ///
     /// Everything [`run`](Self::run) returns, plus
     /// [`SimError::Snapshot`] when a checkpoint cannot be written or
-    /// `start_op` lies beyond the circuit.
+    /// `start_op` lies beyond the circuit, plus [`SimError::Suspended`]
+    /// when a registered suspend token
+    /// ([`set_suspend_token`](Self::set_suspend_token)) latches — after
+    /// writing a final checkpoint if checkpointing is configured.
     pub fn run_from(
         &mut self,
         circuit: &Circuit,
@@ -466,6 +489,16 @@ impl Simulator {
         self.ops_executed = start_op;
         let result = (|| {
             for (i, op) in flat.ops().iter().enumerate().skip(start_op as usize) {
+                // Cooperative suspension: park at this op boundary, after
+                // persisting a resume point when checkpointing is on. The
+                // cursor (`ops_executed`) already names op `i` as next, so
+                // the checkpoint resumes exactly here.
+                if self.suspend.as_ref().is_some_and(|t| t.is_cancelled()) {
+                    if let Some(cfg) = checkpoint {
+                        self.checkpoint(&cfg.path)?;
+                    }
+                    return Err(SimError::Suspended);
+                }
                 // Prompt per-op governor check: deadline and cancellation
                 // are observed here even if every DD op is cache-served.
                 self.dd
@@ -599,6 +632,7 @@ impl Simulator {
             active_circuit_hash: snap.circuit_hash,
             stats: RunStats::default(),
             pool,
+            suspend: None,
         };
         Ok((sim, snap.next_op))
     }

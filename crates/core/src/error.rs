@@ -38,6 +38,13 @@ pub enum SimError {
         /// Qubits the circuit acts on.
         found_qubits: u32,
     },
+    /// The run was suspended through its suspend token
+    /// ([`Simulator::set_suspend_token`](crate::Simulator::set_suspend_token)):
+    /// the engine stopped at an op boundary — after writing a checkpoint if
+    /// one was configured — so the job can be resumed later. Unlike
+    /// [`Cancelled`](Self::Cancelled) this is not a terminal outcome; a
+    /// server evicting a job under memory pressure uses it to park work.
+    Suspended,
     /// Reading, writing, validating, or resuming a checkpoint failed. The
     /// message carries the underlying [`SnapshotError`]
     /// (ddsim_dd::SnapshotError) rendering.
@@ -61,6 +68,9 @@ impl std::fmt::Display for SimError {
             ),
             SimError::DeadlineExceeded => f.write_str("wall-clock deadline exceeded"),
             SimError::Cancelled => f.write_str("simulation cancelled"),
+            SimError::Suspended => {
+                f.write_str("simulation suspended at an op boundary (resumable)")
+            }
             SimError::WidthMismatch {
                 expected_qubits,
                 found_qubits,

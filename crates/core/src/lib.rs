@@ -61,4 +61,4 @@ pub use shor_construct::{
     factor_with_dd_construct, run_shor_dd_construct, ShorDdConstruct, ShorOutcome,
 };
 pub use stats::{RunStats, StepTrace};
-pub use strategy::Strategy;
+pub use strategy::{ParseStrategyError, Strategy};

@@ -80,6 +80,45 @@ impl fmt::Display for Strategy {
     }
 }
 
+/// Error from [`Strategy::from_str`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseStrategyError(pub String);
+
+impl fmt::Display for ParseStrategyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseStrategyError {}
+
+impl std::str::FromStr for Strategy {
+    type Err = ParseStrategyError;
+
+    /// Parses the compact CLI/server spelling: `sequential`, `kops:K`,
+    /// `maxsize:S`, `ddrepeating:K`, or `adaptive`.
+    fn from_str(spec: &str) -> Result<Strategy, ParseStrategyError> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        match parts.as_slice() {
+            ["sequential"] => Ok(Strategy::Sequential),
+            ["kops", k] => k
+                .parse()
+                .map(|k| Strategy::KOperations { k })
+                .map_err(|_| ParseStrategyError("bad k for kops".into())),
+            ["maxsize", s] => s
+                .parse()
+                .map(|s_max| Strategy::MaxSize { s_max })
+                .map_err(|_| ParseStrategyError("bad s_max for maxsize".into())),
+            ["ddrepeating", k] => k
+                .parse()
+                .map(|k| Strategy::DdRepeating { k })
+                .map_err(|_| ParseStrategyError("bad k for ddrepeating".into())),
+            ["adaptive"] => Ok(Strategy::adaptive()),
+            _ => Err(ParseStrategyError(format!("unknown strategy `{spec}`"))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -70,4 +70,4 @@ pub use matrix::{Control, ControlPolarity, Matrix2};
 pub use par::Par;
 pub use pool::ThreadPool;
 pub use reorder::{ReorderStats, VarOrder};
-pub use snapshot::{Snapshot, SnapshotError};
+pub use snapshot::{fnv1a, sync_parent_dir, Snapshot, SnapshotError};

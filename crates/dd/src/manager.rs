@@ -729,12 +729,32 @@ impl DdManager {
         Ok(())
     }
 
-    /// An immediate full governor check, for callers that sit between
-    /// operations (e.g. the engine's per-op loop) and want prompt deadline
-    /// and cancellation observation without waiting out the amortization
-    /// interval.
+    /// An immediate interrupt check (cancellation and deadline), for
+    /// callers that sit between operations (e.g. the engine's per-op
+    /// loop) and want prompt observation without waiting out the
+    /// amortization interval.
+    ///
+    /// Deliberately does NOT include the resource budgets: between ops
+    /// the arena legitimately carries garbage that the next governed
+    /// operation's degradation ladder would collect, so a budget check
+    /// here would turn recoverable pressure into a hard
+    /// `BudgetExceeded` with no rescue path (it did, before checkpointed
+    /// runs under a live-node budget exposed it).
     pub fn check_interrupts(&mut self) -> Result<(), DdError> {
-        self.charge_full()
+        if self.governor_suspended > 0 {
+            return Ok(());
+        }
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(DdError::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(DdError::DeadlineExceeded);
+            }
+        }
+        Ok(())
     }
 
     /// Runs `f` with the governor suspended: `charge` cannot fail inside.
@@ -1219,10 +1239,13 @@ mod tests {
         );
 
         // The reused manager still enforces budgets: a 10-node basis state
-        // exceeds the 8-node limit, and both the immediate check and the
-        // amortized in-operation check observe it.
+        // exceeds the 8-node limit, and both the full charge and the
+        // amortized in-operation check observe it. (`check_interrupts`
+        // deliberately skips budgets — between-ops garbage is the
+        // ladder's to collect, not an error.)
         let v = dd.vec_basis(10, 0);
-        assert_eq!(dd.check_interrupts(), Err(DdError::BudgetExceeded));
+        assert_eq!(dd.charge_full(), Err(DdError::BudgetExceeded));
+        assert_eq!(dd.check_interrupts(), Ok(()));
 
         let s = Complex::SQRT2_INV;
         let h = dd.mat_single_qubit(10, 0, [[s, s], [s, -s]]);

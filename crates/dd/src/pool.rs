@@ -252,6 +252,36 @@ impl ThreadPool {
         }
     }
 
+    /// Submits one fire-and-forget job to the pool's injector queue and
+    /// returns immediately. Unlike [`run_batch`](Self::run_batch) there is
+    /// no completion barrier, so the job must own its data (`'static`).
+    ///
+    /// The job is wrapped in `catch_unwind` *here*: worker threads run
+    /// injector jobs bare, and a helping `run_batch` submitter can pick
+    /// them up too, so an unwrapped panic would either kill a worker
+    /// thread or tear through an unrelated batch. The panic payload is
+    /// dropped — callers that need to observe panics (e.g. a supervisor)
+    /// must install their own `catch_unwind` inside the job.
+    ///
+    /// A pool with parallelism 1 has no worker threads and nothing ever
+    /// drains the injector between batches; in that case the job runs
+    /// inline on the calling thread before `submit` returns.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        let wrapped: Job = Box::new(move || {
+            let _ = catch_unwind(AssertUnwindSafe(job));
+        });
+        if self.shared.queues.is_empty() {
+            wrapped();
+            return;
+        }
+        self.shared
+            .injector
+            .lock()
+            .expect("pool injector poisoned")
+            .push_back(wrapped);
+        self.shared.notify();
+    }
+
     /// Applies `f` to every index in `0..n` in parallel: one task per lane
     /// pulls indices from a shared counter, so uneven per-index costs
     /// rebalance automatically. Order of execution is unspecified; `f`
@@ -393,6 +423,53 @@ mod tests {
         for (i, r) in results.iter().enumerate() {
             assert_eq!(*r.lock().unwrap(), (i as u64) * 3);
         }
+    }
+
+    #[test]
+    fn submitted_jobs_run_and_panics_are_contained() {
+        let pool = ThreadPool::new(4);
+        let done = Arc::new(AtomicUsize::new(0));
+        for i in 0..32 {
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                if i % 8 == 3 {
+                    panic!("boom in submitted job {i}");
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // No barrier on submit: poll until the non-panicking jobs land.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while done.load(Ordering::Relaxed) < 28 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "submitted jobs did not drain: {}/28",
+                done.load(Ordering::Relaxed)
+            );
+            std::thread::yield_now();
+        }
+        // The panicking jobs killed no worker: a batch still completes and
+        // its own panic protocol is unaffected.
+        let sum = AtomicUsize::new(0);
+        pool.par_for_each_index(100, |i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn submit_on_single_lane_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        pool.submit(move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+        // Inline execution: visible immediately, no polling needed.
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+        let r = Arc::clone(&ran);
+        pool.submit(move || panic!("inline panic must not escape {r:p}"));
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
     }
 
     #[test]

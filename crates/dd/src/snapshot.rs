@@ -191,6 +191,28 @@ fn len_u32(count: usize, what: &'static str) -> Result<u32, SnapshotError> {
     u32::try_from(count).map_err(|_| SnapshotError::TooLarge { what, count })
 }
 
+/// Fsyncs the directory containing `path` so a rename into it is durable.
+///
+/// On non-Unix platforms this is a no-op: directory handles cannot be
+/// opened for syncing portably, and the rename itself is still atomic.
+/// Errors opening/syncing the directory are surfaced — a checkpoint that
+/// claims durability must not silently skip the directory entry.
+pub fn sync_parent_dir(path: &Path) -> Result<(), SnapshotError> {
+    #[cfg(unix)]
+    {
+        let dir = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        std::fs::File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = path;
+    }
+    Ok(())
+}
+
 /// FNV-1a over a byte slice; also used for the circuit-text hash.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -552,14 +574,26 @@ impl Snapshot {
         Ok(snapshot)
     }
 
-    /// Writes the snapshot to `path` atomically (temp file + rename), so a
-    /// crash mid-checkpoint never leaves a truncated snapshot behind.
+    /// Writes the snapshot to `path` atomically and *durably*: the bytes
+    /// are written to a temp file, the temp file is fsynced, the rename
+    /// replaces `path`, and on Unix the parent directory is fsynced too —
+    /// so after `save` returns, a `kill -9` (or power loss ordering the
+    /// directory entry before the data) cannot leave a truncated or
+    /// unlinked snapshot behind. A failed write removes the temp file.
     pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
         let tmp = path.with_extension("tmp");
-        let mut file = std::fs::File::create(&tmp)?;
-        self.write_to(&mut file)?;
-        file.sync_all()?;
+        let write = (|| -> Result<(), SnapshotError> {
+            let mut file = std::fs::File::create(&tmp)?;
+            self.write_to(&mut file)?;
+            file.sync_all()?;
+            Ok(())
+        })();
+        if let Err(e) = write {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
         std::fs::rename(&tmp, path)?;
+        sync_parent_dir(path)?;
         Ok(())
     }
 
@@ -906,5 +940,58 @@ mod tests {
         let read = Snapshot::load(&path).unwrap();
         assert_eq!(read, snap);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_leaves_no_temp_file_and_replaces_atomically() {
+        let mut dd = DdManager::new();
+        let state = entangled_state(&mut dd, 4);
+        let snap = capture_of(&dd, state, 4);
+        let dir = std::env::temp_dir().join("ddsim-snapshot-write-path");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.ddsnap");
+        let tmp = path.with_extension("tmp");
+
+        // First save: the temp file must not survive a successful write.
+        snap.save(&path).unwrap();
+        assert!(path.exists());
+        assert!(!tmp.exists(), "temp file left behind after save");
+
+        // Overwrite with a different snapshot: the old file is replaced,
+        // never appended to or left torn, and loads as the new content.
+        let mut dd2 = DdManager::new();
+        let state2 = entangled_state(&mut dd2, 6);
+        let snap2 = capture_of(&dd2, state2, 6);
+        snap2.save(&path).unwrap();
+        assert!(!tmp.exists());
+        let read = Snapshot::load(&path).unwrap();
+        assert_eq!(read, snap2);
+        assert_ne!(read, snap);
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn save_into_missing_directory_fails_without_droppings() {
+        let mut dd = DdManager::new();
+        let state = entangled_state(&mut dd, 3);
+        let snap = capture_of(&dd, state, 3);
+        let dir = std::env::temp_dir().join("ddsim-snapshot-no-such-dir");
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("ckpt.ddsnap");
+        assert!(matches!(snap.save(&path), Err(SnapshotError::Io(_))));
+        assert!(!path.with_extension("tmp").exists());
+    }
+
+    #[test]
+    fn sync_parent_dir_handles_bare_and_nested_paths() {
+        // A bare filename has no parent component; the helper must fall
+        // back to "." instead of erroring.
+        sync_parent_dir(Path::new("just-a-name.ddsnap")).unwrap();
+        let dir = std::env::temp_dir().join("ddsim-snapshot-syncdir");
+        std::fs::create_dir_all(&dir).unwrap();
+        sync_parent_dir(&dir.join("f.ddsnap")).unwrap();
+        std::fs::remove_dir(&dir).ok();
     }
 }

@@ -30,9 +30,18 @@ Modes (default: bounded fuzz run):
   --smoke              time-boxed sweep over the full config lattice
   --self-check         verify every injected engine fault is caught
   --replay FILE        re-check one OpenQASM repro against the oracles
+  --load ADDR          submit a seed-deterministic multi-tenant workload
+                       to a running ddsim-server and report p50/p99
+                       latency + throughput (--cases jobs, --tenants
+                       tenants, --json FILE for a machine-readable report)
 
 Options:
   --cases N            circuits to try (default 200; ignored by --smoke)
+  --tenants N          tenants for --load (default 4)
+  --shots N            shots per --load job (default 64)
+  --json FILE          write the --load report as JSON
+  --gate-p99-ms N      fail --load if p99 latency exceeds N ms
+  --gate-min-jps X     fail --load if throughput drops below X jobs/sec
   --seed SEED          base seed, decimal or 0x-hex (default 0xDD51)
   --profile NAME       fix the shape profile: mixed | shallow-wide |
                        deep-narrow | clifford-heavy | oracle-like
@@ -57,6 +66,12 @@ struct Options {
     self_check: bool,
     replay: Option<PathBuf>,
     repro_dir: PathBuf,
+    load: Option<String>,
+    tenants: usize,
+    shots: u32,
+    json: Option<PathBuf>,
+    gate_p99_ms: Option<f64>,
+    gate_min_jps: Option<f64>,
 }
 
 impl Default for Options {
@@ -73,6 +88,12 @@ impl Default for Options {
             self_check: false,
             replay: None,
             repro_dir: PathBuf::from("."),
+            load: None,
+            tenants: 4,
+            shots: 64,
+            json: None,
+            gate_p99_ms: None,
+            gate_min_jps: None,
         }
     }
 }
@@ -124,6 +145,24 @@ fn parse_args() -> Result<Options, String> {
                 opts.shrink_budget = v.parse().map_err(|_| format!("invalid budget '{v}'"))?;
             }
             "--self-check" => opts.self_check = true,
+            "--load" => opts.load = Some(value("--load", &mut args)?),
+            "--tenants" => {
+                let v = value("--tenants", &mut args)?;
+                opts.tenants = v.parse().map_err(|_| format!("invalid tenants '{v}'"))?;
+            }
+            "--shots" => {
+                let v = value("--shots", &mut args)?;
+                opts.shots = v.parse().map_err(|_| format!("invalid shots '{v}'"))?;
+            }
+            "--json" => opts.json = Some(PathBuf::from(value("--json", &mut args)?)),
+            "--gate-p99-ms" => {
+                let v = value("--gate-p99-ms", &mut args)?;
+                opts.gate_p99_ms = Some(v.parse().map_err(|_| format!("invalid gate '{v}'"))?);
+            }
+            "--gate-min-jps" => {
+                let v = value("--gate-min-jps", &mut args)?;
+                opts.gate_min_jps = Some(v.parse().map_err(|_| format!("invalid gate '{v}'"))?);
+            }
             "--replay" => opts.replay = Some(PathBuf::from(value("--replay", &mut args)?)),
             "--repro-dir" => opts.repro_dir = PathBuf::from(value("--repro-dir", &mut args)?),
             "--help" | "-h" => {
@@ -327,6 +366,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(addr) = &opts.load {
+        return load_run(addr, &opts);
+    }
     if let Some(path) = &opts.replay {
         return replay(path, &opts);
     }
@@ -334,4 +376,48 @@ fn main() -> ExitCode {
         return self_check(&opts);
     }
     fuzz_loop(&opts)
+}
+
+/// `--load`: drive a running ddsim-server with a deterministic workload.
+fn load_run(addr: &str, opts: &Options) -> ExitCode {
+    let cfg = ddsim_fuzz::load::LoadConfig {
+        addr: addr.to_string(),
+        jobs: opts.cases,
+        tenants: opts.tenants.max(1),
+        seed: opts.seed,
+        shots: opts.shots,
+    };
+    match ddsim_fuzz::load::run_and_report(&cfg, opts.json.as_deref()) {
+        Ok(report) => {
+            println!("{}", report.summary());
+            if let Some(path) = &opts.json {
+                println!("report written to {}", path.display());
+            }
+            if report.failed > 0 {
+                eprintln!("load: {} job(s) ended FAILED/CANCELLED", report.failed);
+                return ExitCode::from(1);
+            }
+            let p99_ms = report.p99.as_secs_f64() * 1e3;
+            if let Some(gate) = opts.gate_p99_ms {
+                if p99_ms > gate {
+                    eprintln!("load: p99 {p99_ms:.1} ms exceeds the {gate:.1} ms gate");
+                    return ExitCode::from(1);
+                }
+            }
+            if let Some(gate) = opts.gate_min_jps {
+                if report.jobs_per_sec < gate {
+                    eprintln!(
+                        "load: {:.2} jobs/s below the {gate:.2} jobs/s gate",
+                        report.jobs_per_sec
+                    );
+                    return ExitCode::from(1);
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("load: {e}");
+            ExitCode::from(2)
+        }
+    }
 }

@@ -22,15 +22,22 @@
 //!   each [`FaultKind`](ddsim_core::FaultKind) into the engine and
 //!   asserting the oracles flag it.
 //!
+//! The same seed-deterministic generator doubles as a [`load`]
+//! generator for `ddsim-server`: `fuzz --load ADDR` submits a fixed
+//! multi-tenant workload over the wire and reports p50/p99 latency and
+//! throughput.
+//!
 //! The `fuzz` binary wires these together (`fuzz --smoke`,
-//! `fuzz --replay repro.qasm`, `fuzz --self-check`).
+//! `fuzz --replay repro.qasm`, `fuzz --self-check`, `fuzz --load`).
 
 pub mod generator;
+pub mod load;
 pub mod oracle;
 pub mod selfcheck;
 pub mod shrink;
 
 pub use generator::{generate, GenConfig, Profile};
+pub use load::{run_load, LoadConfig, LoadReport};
 pub use oracle::{check_circuit, config_lattice, dense_run, CheckSettings, Failure};
 pub use selfcheck::{run_self_check, SelfCheckOutcome};
 pub use shrink::shrink_circuit;

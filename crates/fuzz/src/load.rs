@@ -1,0 +1,305 @@
+//! Seed-deterministic load generation against a running `ddsim-server`.
+//!
+//! Reuses the differential harness's circuit generator to produce a
+//! mixed multi-tenant workload: the same `--seed` always yields the same
+//! job stream (circuits, options, tenants, submission order), so two
+//! runs against the same server build measure the same work. Latency is
+//! measured per job from the `OK <id>` acknowledgement to the first
+//! observed terminal state — i.e. it includes queueing, which is the
+//! number a client actually experiences.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use ddsim_circuit::qasm;
+use ddsim_server::protocol::{read_frame, write_frame};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::generator::{generate, GenConfig, Profile};
+
+/// Load-run parameters.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Server address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Jobs to submit.
+    pub jobs: usize,
+    /// Distinct tenants to spread the jobs over (round-robin).
+    pub tenants: usize,
+    /// Base seed: fixes circuits, options, and submission order.
+    pub seed: u64,
+    /// Shots per job.
+    pub shots: u32,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:7878".into(),
+            jobs: 50,
+            tenants: 4,
+            seed: 0xDD51,
+            shots: 64,
+        }
+    }
+}
+
+/// Aggregated outcome of one load run.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Jobs acknowledged by the server.
+    pub submitted: usize,
+    /// Jobs that reached `DONE`.
+    pub done: usize,
+    /// Jobs that reached `FAILED` or `CANCELLED`.
+    pub failed: usize,
+    /// `BUSY` responses absorbed while submitting (load shedding).
+    pub shed_retries: usize,
+    /// Median acknowledge→terminal latency.
+    pub p50: Duration,
+    /// 99th-percentile acknowledge→terminal latency.
+    pub p99: Duration,
+    /// Wall-clock for the whole run (first submit → last terminal).
+    pub wall: Duration,
+    /// Completed jobs per wall-clock second.
+    pub jobs_per_sec: f64,
+}
+
+impl LoadReport {
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "load: {} submitted, {} done, {} failed, {} shed-retries, \
+             p50 {:.1} ms, p99 {:.1} ms, {:.1} jobs/s in {:.2}s",
+            self.submitted,
+            self.done,
+            self.failed,
+            self.shed_retries,
+            self.p50.as_secs_f64() * 1e3,
+            self.p99.as_secs_f64() * 1e3,
+            self.jobs_per_sec,
+            self.wall.as_secs_f64()
+        )
+    }
+
+    /// Serializes the report as a small JSON document (hand-rolled: the
+    /// workspace is dependency-free by design).
+    pub fn to_json(&self, cfg: &LoadConfig) -> String {
+        format!(
+            "{{\n  \"workload\": {{\"jobs\": {}, \"tenants\": {}, \"seed\": {}, \"shots\": {}}},\n  \
+             \"submitted\": {},\n  \"done\": {},\n  \"failed\": {},\n  \"shed_retries\": {},\n  \
+             \"p50_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"wall_secs\": {:.3},\n  \
+             \"jobs_per_sec\": {:.3}\n}}\n",
+            cfg.jobs,
+            cfg.tenants,
+            cfg.seed,
+            cfg.shots,
+            self.submitted,
+            self.done,
+            self.failed,
+            self.shed_retries,
+            self.p50.as_secs_f64() * 1e3,
+            self.p99.as_secs_f64() * 1e3,
+            self.wall.as_secs_f64(),
+            self.jobs_per_sec
+        )
+    }
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    fn open(addr: &str) -> Result<Conn, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("cannot clone stream: {e}"))?,
+        );
+        Ok(Conn {
+            reader,
+            writer: stream,
+        })
+    }
+
+    fn request(&mut self, payload: &str) -> Result<String, String> {
+        write_frame(&mut self.writer, payload).map_err(|e| format!("send failed: {e}"))?;
+        read_frame(&mut self.reader)
+            .map_err(|e| format!("recv failed: {e}"))?
+            .ok_or_else(|| "server closed the connection".into())
+    }
+}
+
+fn case_seed(base: u64, case: usize) -> u64 {
+    base.wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// The deterministic job stream: `(tenant, options, qasm)` per job.
+pub fn workload(cfg: &LoadConfig) -> Vec<(String, String, String)> {
+    (0..cfg.jobs)
+        .map(|i| {
+            let seed = case_seed(cfg.seed, i);
+            let profile = Profile::ALL[i % Profile::ALL.len()];
+            let mut rng = StdRng::seed_from_u64(seed);
+            let gen_cfg = GenConfig::sample(&mut rng, profile, true);
+            let circuit = generate(&mut rng, &gen_cfg);
+            let qasm_text = qasm::write(&circuit).expect("generated circuits serialize");
+            let tenant = format!("tenant-{}", i % cfg.tenants.max(1));
+            let options = format!("seed={seed} shots={}", cfg.shots);
+            (tenant, options, qasm_text)
+        })
+        .collect()
+}
+
+/// Runs the workload against a live server and gathers latency stats.
+///
+/// `BUSY` responses are retried after the server's `retry-after` hint
+/// (capped at 100 ms so a short smoke run cannot stall); each counts as
+/// one shed retry in the report.
+pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, String> {
+    let stream = workload(cfg);
+    let mut conn = Conn::open(&cfg.addr)?;
+    let started = Instant::now();
+    let mut pending: Vec<(u64, Instant)> = Vec::with_capacity(stream.len());
+    let mut shed_retries = 0usize;
+
+    for (tenant, options, qasm_text) in &stream {
+        loop {
+            let reply = conn.request(&format!("SUBMIT {tenant} {options}\n{qasm_text}"))?;
+            if let Some(id) = reply.strip_prefix("OK ") {
+                let id = id
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad job id in `{reply}`"))?;
+                pending.push((id, Instant::now()));
+                break;
+            }
+            if let Some(rest) = reply.strip_prefix("BUSY retry-after=") {
+                shed_retries += 1;
+                let secs: u64 = rest
+                    .split_whitespace()
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(1);
+                std::thread::sleep(Duration::from_secs(secs).min(Duration::from_millis(100)));
+                continue;
+            }
+            return Err(format!("submission rejected: {reply}"));
+        }
+    }
+    let submitted = pending.len();
+
+    // Drain: poll each outstanding job round-robin until terminal.
+    let mut latencies: Vec<Duration> = Vec::with_capacity(submitted);
+    let mut done = 0usize;
+    let mut failed = 0usize;
+    let deadline = Instant::now() + Duration::from_secs(600);
+    while !pending.is_empty() {
+        if Instant::now() > deadline {
+            return Err(format!("{} job(s) never became terminal", pending.len()));
+        }
+        let mut still_pending = Vec::with_capacity(pending.len());
+        for (id, submitted_at) in pending {
+            let reply = conn.request(&format!("RESULT {id}"))?;
+            if reply.starts_with("PENDING") {
+                still_pending.push((id, submitted_at));
+            } else {
+                latencies.push(submitted_at.elapsed());
+                if reply.starts_with("DONE") {
+                    done += 1;
+                } else {
+                    failed += 1;
+                }
+            }
+        }
+        pending = still_pending;
+        if !pending.is_empty() {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    let wall = started.elapsed();
+
+    latencies.sort_unstable();
+    let percentile = |p: f64| -> Duration {
+        if latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx.min(latencies.len() - 1)]
+    };
+    Ok(LoadReport {
+        submitted,
+        done,
+        failed,
+        shed_retries,
+        p50: percentile(0.50),
+        p99: percentile(0.99),
+        wall,
+        jobs_per_sec: done as f64 / wall.as_secs_f64().max(1e-9),
+    })
+}
+
+/// Runs the load and writes the JSON report if a path was given.
+pub fn run_and_report(cfg: &LoadConfig, json_path: Option<&Path>) -> Result<LoadReport, String> {
+    let report = run_load(cfg)?;
+    if let Some(path) = json_path {
+        std::fs::write(path, report.to_json(cfg))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_seed_deterministic_and_mixed() {
+        let cfg = LoadConfig {
+            jobs: 10,
+            tenants: 3,
+            ..LoadConfig::default()
+        };
+        let a = workload(&cfg);
+        let b = workload(&cfg);
+        assert_eq!(a, b, "same seed must produce the identical stream");
+        let tenants: std::collections::BTreeSet<_> = a.iter().map(|(t, _, _)| t.clone()).collect();
+        assert_eq!(tenants.len(), 3, "jobs must spread over the tenants");
+        let other = workload(&LoadConfig {
+            jobs: 10,
+            tenants: 3,
+            seed: 1,
+            ..LoadConfig::default()
+        });
+        assert_ne!(a, other, "different seeds must differ");
+        for (_, _, qasm_text) in &a {
+            assert!(qasm_text.starts_with("OPENQASM 2.0;"));
+        }
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let cfg = LoadConfig::default();
+        let report = LoadReport {
+            submitted: 5,
+            done: 4,
+            failed: 1,
+            shed_retries: 2,
+            p50: Duration::from_millis(12),
+            p99: Duration::from_millis(80),
+            wall: Duration::from_secs(2),
+            jobs_per_sec: 2.0,
+        };
+        let json = report.to_json(&cfg);
+        assert!(json.contains("\"p50_ms\": 12.000"));
+        assert!(json.contains("\"jobs_per_sec\": 2.000"));
+        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,143 @@
+//! Crash-safe simulation-as-a-service on top of the DD engine.
+//!
+//! `ddsim-server` turns the single-shot simulator into a supervised
+//! multi-tenant daemon: jobs arrive over a length-prefixed text protocol
+//! ([`protocol`]), are journaled durably before acknowledgement
+//! ([`journal`]), executed deterministically on a worker pool
+//! ([`jobs`]), and supervised with retry/backoff, panic containment,
+//! and checkpoint-based eviction ([`server`]). Everything is `std`-only
+//! blocking I/O — see DESIGN.md §15 for the full design rationale.
+
+pub mod jobs;
+pub mod journal;
+pub mod protocol;
+pub mod server;
+
+pub use server::{Server, ServerConfig, Stats};
+
+/// Parses `--flag value` style server options and runs the daemon.
+/// Shared by the `ddsim-server` binary and the `ddsim serve` verb.
+/// Returns a process exit code.
+pub fn run_cli(args: &[String]) -> i32 {
+    let mut cfg = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parsed: Result<(), String> = (|| {
+            match arg.as_str() {
+                "--addr" => cfg.addr = take("--addr")?,
+                "--data-dir" => cfg.data_dir = take("--data-dir")?.into(),
+                "--workers" => {
+                    cfg.workers = take("--workers")?
+                        .parse()
+                        .map_err(|_| "--workers needs an integer".to_string())?
+                }
+                "--queue-cap" => {
+                    cfg.queue_cap = take("--queue-cap")?
+                        .parse()
+                        .map_err(|_| "--queue-cap needs an integer".to_string())?
+                }
+                "--tenant-max-active" => {
+                    cfg.tenant_max_active = take("--tenant-max-active")?
+                        .parse()
+                        .map_err(|_| "--tenant-max-active needs an integer".to_string())?
+                }
+                "--max-total-nodes" => {
+                    cfg.max_total_nodes = take("--max-total-nodes")?
+                        .parse()
+                        .map_err(|_| "--max-total-nodes needs an integer".to_string())?
+                }
+                "--default-max-nodes" => {
+                    cfg.default_max_nodes = take("--default-max-nodes")?
+                        .parse()
+                        .map_err(|_| "--default-max-nodes needs an integer".to_string())?
+                }
+                "--retry-max" => {
+                    cfg.retry_max = take("--retry-max")?
+                        .parse()
+                        .map_err(|_| "--retry-max needs an integer".to_string())?
+                }
+                "--retry-base-ms" => {
+                    cfg.retry_base_ms = take("--retry-base-ms")?
+                        .parse()
+                        .map_err(|_| "--retry-base-ms needs an integer".to_string())?
+                }
+                "--enable-test-faults" => cfg.enable_test_faults = true,
+                "--help" | "-h" => {
+                    println!("{USAGE}");
+                    return Err(String::new());
+                }
+                other => return Err(format!("unknown option `{other}`")),
+            }
+            Ok(())
+        })();
+        if let Err(msg) = parsed {
+            if msg.is_empty() {
+                return 0; // --help
+            }
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            return 64;
+        }
+    }
+    if cfg.workers == 0 {
+        eprintln!("error: --workers must be at least 1");
+        return 64;
+    }
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: failed to start server: {e}");
+            return 1;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => {
+            // Single flushed line so wrappers (tests, orchestrators) can
+            // discover the port when bound to `:0`.
+            println!("listening on {addr}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("error: no local address: {e}");
+            return 1;
+        }
+    }
+    match server.run() {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: server failed: {e}");
+            1
+        }
+    }
+}
+
+const USAGE: &str = "\
+ddsim-server — crash-safe multi-tenant simulation daemon
+
+USAGE:
+    ddsim-server [OPTIONS]
+    ddsim serve  [OPTIONS]
+
+OPTIONS:
+    --addr <host:port>          bind address (default 127.0.0.1:0)
+    --data-dir <path>           journal + checkpoint dir (default ddsim-server-data)
+    --workers <n>               concurrent worker lanes (default 2)
+    --queue-cap <n>             max queued jobs before BUSY (default 64)
+    --tenant-max-active <n>     per-tenant active-job cap (default 16)
+    --max-total-nodes <n>       global node budget, 0 = off (default 0)
+    --default-max-nodes <n>     budget for jobs without max_nodes (default 4194304)
+    --retry-max <n>             retry attempts before Failed (default 3)
+    --retry-base-ms <ms>        backoff base, doubles per attempt (default 50)
+    --enable-test-faults        accept fault= job options (tests only)
+    --help                      show this help
+
+PROTOCOL (length-prefixed text frames; see crate docs):
+    SUBMIT <tenant> [seed=N shots=N strategy=S max_nodes=N deadline_ms=N ckpt_every=N]
+    <QASM body>
+    STATUS <id> | RESULT <id> | CANCEL <id> | HEALTH | STATS | SHUTDOWN";

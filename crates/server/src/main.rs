@@ -1,0 +1,6 @@
+//! `ddsim-server` binary: thin wrapper over [`ddsim_server::run_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(ddsim_server::run_cli(&args));
+}

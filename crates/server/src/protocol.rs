@@ -1,0 +1,228 @@
+//! The wire protocol: length-prefixed UTF-8 text frames over TCP.
+//!
+//! A frame is the ASCII decimal byte length of the payload, a newline,
+//! then exactly that many payload bytes. Both directions use the same
+//! framing. The payload grammar is line-oriented:
+//!
+//! ```text
+//! SUBMIT <tenant> [key=value ...]      first line
+//! <OpenQASM program>                   remaining lines
+//!
+//! STATUS <job-id>
+//! RESULT <job-id>
+//! CANCEL <job-id>
+//! HEALTH
+//! STATS
+//! SHUTDOWN
+//! ```
+//!
+//! Responses: `OK ...`, `BUSY retry-after=<secs>`, `ERR <message>`,
+//! `DONE\n<result>`, `FAILED <code> <message>`, `CANCELLED <message>`,
+//! `PENDING <state>`. Text framing over blocking sockets keeps the
+//! protocol debuggable with five lines of netcat scripting and needs no
+//! serialization dependency — deliberate under the std-only constraint.
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on one frame's payload. Bounds per-connection memory
+/// against adversarial length prefixes; generous enough for a 1M-op QASM
+/// program (the parser's own op limit trips first on real circuits).
+pub const MAX_FRAME: usize = 32 << 20;
+
+/// Writes one frame.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    w.write_all(payload.len().to_string().as_bytes())?;
+    w.write_all(b"\n")?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame. Returns `Ok(None)` on clean EOF before the first
+/// length byte (the peer closed between requests).
+pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut len_line = String::new();
+    if r.read_line(&mut len_line)? == 0 {
+        return Ok(None);
+    }
+    let len: usize = len_line
+        .trim()
+        .parse()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad frame length"))?;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Submit a QASM job for `tenant` with `key=value` options.
+    Submit {
+        /// Tenant name (validated: short, alphanumeric + `-_`).
+        tenant: String,
+        /// Raw option pairs from the header line, in order.
+        options: Vec<(String, String)>,
+        /// The QASM program (everything after the header line).
+        qasm: String,
+    },
+    /// Query a job's state.
+    Status(u64),
+    /// Fetch a job's result (or its terminal error).
+    Result(u64),
+    /// Cancel a queued or running job.
+    Cancel(u64),
+    /// Liveness probe.
+    Health,
+    /// Counters snapshot.
+    Stats,
+    /// Graceful shutdown (used by tests and orchestrators).
+    Shutdown,
+}
+
+fn parse_id(rest: &str, verb: &str) -> Result<u64, String> {
+    rest.trim()
+        .parse()
+        .map_err(|_| format!("{verb} needs a numeric job id"))
+}
+
+/// Validates a tenant name: 1–32 chars of `[A-Za-z0-9_-]`. Tenant names
+/// appear in journal filenames' metadata and stats keys, so the grammar
+/// is strict.
+pub fn valid_tenant(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 32
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+}
+
+/// Parses one request frame.
+pub fn parse_request(frame: &str) -> Result<Request, String> {
+    let (header, body) = match frame.find('\n') {
+        Some(pos) => (&frame[..pos], &frame[pos + 1..]),
+        None => (frame, ""),
+    };
+    let mut words = header.split_whitespace();
+    let verb = words.next().ok_or("empty request")?;
+    match verb {
+        "SUBMIT" => {
+            let tenant = words.next().ok_or("SUBMIT needs a tenant")?.to_string();
+            if !valid_tenant(&tenant) {
+                return Err(format!(
+                    "bad tenant `{tenant}` (1-32 chars, alphanumeric/-/_)"
+                ));
+            }
+            let mut options = Vec::new();
+            for w in words {
+                let (k, v) = w
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad option `{w}` (expected key=value)"))?;
+                options.push((k.to_string(), v.to_string()));
+            }
+            if body.trim().is_empty() {
+                return Err("SUBMIT needs a QASM body after the header line".into());
+            }
+            Ok(Request::Submit {
+                tenant,
+                options,
+                qasm: body.to_string(),
+            })
+        }
+        "STATUS" => Ok(Request::Status(parse_id(
+            header.strip_prefix("STATUS").unwrap_or(""),
+            "STATUS",
+        )?)),
+        "RESULT" => Ok(Request::Result(parse_id(
+            header.strip_prefix("RESULT").unwrap_or(""),
+            "RESULT",
+        )?)),
+        "CANCEL" => Ok(Request::Cancel(parse_id(
+            header.strip_prefix("CANCEL").unwrap_or(""),
+            "CANCEL",
+        )?)),
+        "HEALTH" => Ok(Request::Health),
+        "STATS" => Ok(Request::Stats),
+        "SHUTDOWN" => Ok(Request::Shutdown),
+        other => Err(format!("unknown verb `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "HEALTH").unwrap();
+        write_frame(&mut buf, "STATS").unwrap();
+        let mut r = io::BufReader::new(&buf[..]);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("HEALTH"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("STATS"));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_and_malformed_frames_are_rejected() {
+        let huge = format!("{}\n", MAX_FRAME + 1);
+        let mut r = io::BufReader::new(huge.as_bytes());
+        assert!(read_frame(&mut r).is_err());
+        let mut r = io::BufReader::new("notanumber\nxx".as_bytes());
+        assert!(read_frame(&mut r).is_err());
+        let mut r = io::BufReader::new(b"3\n\xff\xfe\xfd".as_slice());
+        assert!(read_frame(&mut r).is_err(), "non-UTF-8 payload");
+    }
+
+    #[test]
+    fn submit_parses_header_and_body() {
+        let req = parse_request("SUBMIT alice seed=7 shots=16\nOPENQASM 2.0;\nqreg q[1];\nh q[0];")
+            .unwrap();
+        match req {
+            Request::Submit {
+                tenant,
+                options,
+                qasm,
+            } => {
+                assert_eq!(tenant, "alice");
+                assert_eq!(
+                    options,
+                    vec![
+                        ("seed".to_string(), "7".to_string()),
+                        ("shots".to_string(), "16".to_string())
+                    ]
+                );
+                assert!(qasm.starts_with("OPENQASM"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_requests_are_typed_errors() {
+        assert!(parse_request("SUBMIT bad tenant!\nx").is_err());
+        assert!(parse_request("SUBMIT ok-tenant\n").is_err(), "empty body");
+        assert!(parse_request("STATUS abc").is_err());
+        assert!(parse_request("NONSENSE").is_err());
+        assert!(parse_request("SUBMIT t oops\nqreg").is_err(), "bad option");
+        let too_long = "x".repeat(33);
+        assert!(!valid_tenant(&too_long));
+        assert!(valid_tenant("tenant-0_9"));
+    }
+
+    #[test]
+    fn simple_verbs_parse() {
+        assert_eq!(parse_request("STATUS 12").unwrap(), Request::Status(12));
+        assert_eq!(parse_request("RESULT 3").unwrap(), Request::Result(3));
+        assert_eq!(parse_request("CANCEL 9").unwrap(), Request::Cancel(9));
+        assert_eq!(parse_request("HEALTH").unwrap(), Request::Health);
+        assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
+    }
+}

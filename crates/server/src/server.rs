@@ -1,0 +1,644 @@
+//! The daemon: acceptor, dispatcher/supervisor, and worker lanes.
+//!
+//! Thread model (all `std`, all blocking — see DESIGN.md §15 for why):
+//!
+//! * the **acceptor** (the thread inside [`Server::run`]) blocks on
+//!   `TcpListener::accept` and spawns one short-lived handler thread per
+//!   connection;
+//! * the **dispatcher** owns admission: it moves due retries back into
+//!   the queue, launches queued jobs onto the worker pool while lanes
+//!   and the node budget allow, and latches suspend tokens to evict the
+//!   heaviest running job when the budget blocks the queue;
+//! * **worker lanes** are the [`ThreadPool`]'s threads (`workers + 1`
+//!   parallelism, submission via the injector). Each job attempt runs
+//!   under `catch_unwind`: a panic is *contained* — journaled, counted,
+//!   retried with exponential backoff, and turned into a typed
+//!   `Failed` once the retry budget is gone. The server never dies with
+//!   a job.
+//!
+//! Every state transition is durably journaled *before* it is
+//! acknowledged or acted on (WAL discipline, see `journal.rs`), which is
+//! what makes `kill -9` at any instant recoverable: on restart,
+//! non-terminal jobs re-enter the queue and resume from their last
+//! checkpoint (bitwise-identically) or from scratch (same result, by
+//! determinism).
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use ddsim_circuit::qasm::{parse_with_limits, ParseLimits};
+use ddsim_core::{CancelToken, SimError, ThreadPool};
+
+use crate::jobs::{self, JobOptions, JobState};
+use crate::journal::{self, JobRecord};
+use crate::protocol::{parse_request, read_frame, write_frame, Request};
+
+/// Server tuning knobs (all have serviceable defaults).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Journal + checkpoint directory.
+    pub data_dir: PathBuf,
+    /// Worker lanes (concurrent jobs).
+    pub workers: usize,
+    /// Queued-job cap; submissions beyond it are shed with `BUSY`.
+    pub queue_cap: usize,
+    /// Per-tenant cap on queued + running jobs.
+    pub tenant_max_active: usize,
+    /// Global node budget across *running* jobs; 0 disables admission
+    /// control and eviction.
+    pub max_total_nodes: u64,
+    /// Node budget assigned to jobs that do not set `max_nodes`.
+    pub default_max_nodes: u64,
+    /// Attempts after the first before a retryable failure turns
+    /// terminal.
+    pub retry_max: u32,
+    /// Backoff base: attempt `n` waits `retry_base_ms << (n-1)`.
+    pub retry_base_ms: u64,
+    /// Accept `fault=` options (integration tests only).
+    pub enable_test_faults: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            data_dir: PathBuf::from("ddsim-server-data"),
+            workers: 2,
+            queue_cap: 64,
+            tenant_max_active: 16,
+            max_total_nodes: 0,
+            default_max_nodes: 1 << 22,
+            retry_max: 3,
+            retry_base_ms: 50,
+            enable_test_faults: false,
+        }
+    }
+}
+
+/// Monotonic counters, surfaced by `STATS`.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Jobs accepted (journaled + acknowledged).
+    pub submitted: u64,
+    /// Jobs completed successfully.
+    pub done: u64,
+    /// Jobs that reached `Failed`.
+    pub failed: u64,
+    /// Jobs cancelled by clients.
+    pub cancelled: u64,
+    /// Retry attempts scheduled.
+    pub retries: u64,
+    /// Worker panics contained by the supervisor.
+    pub panics_contained: u64,
+    /// Suspend-and-requeue evictions under memory pressure.
+    pub evictions: u64,
+    /// Submissions shed with `BUSY`.
+    pub shed: u64,
+    /// Non-terminal jobs re-queued by crash recovery at startup.
+    pub recovered: u64,
+    /// Corrupt journal records quarantined at startup.
+    pub quarantined: u64,
+}
+
+/// One live job: its durable record plus in-memory control handles.
+struct Job {
+    rec: JobRecord,
+    cancel: CancelToken,
+    suspend: CancelToken,
+    /// An eviction latch is pending (cleared when the attempt lands).
+    evicting: bool,
+}
+
+impl Job {
+    fn from_record(rec: JobRecord) -> Job {
+        Job {
+            rec,
+            cancel: CancelToken::new(),
+            suspend: CancelToken::new(),
+            evicting: false,
+        }
+    }
+}
+
+/// Mutable server state under the one lock.
+struct Inner {
+    jobs: HashMap<u64, Job>,
+    /// Runnable job ids, FIFO; evicted jobs re-enter at the front.
+    queue: VecDeque<u64>,
+    /// Backoff parking lot: `(due, id)`, scanned linearly (small).
+    retries: Vec<(Instant, u64)>,
+    /// Ids currently on a worker lane.
+    running: Vec<u64>,
+    next_id: u64,
+    shutdown: bool,
+    stats: Stats,
+}
+
+/// State shared by every thread.
+struct Shared {
+    cfg: ServerConfig,
+    state: Mutex<Inner>,
+    /// Dispatcher wake-up (submission, completion, cancel, shutdown).
+    work: Condvar,
+    pool: ThreadPool,
+    started: Instant,
+}
+
+/// A bound, recovered server ready to [`run`](Server::run).
+pub struct Server {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+}
+
+impl Server {
+    /// Creates the data directory, replays the journal (crash recovery),
+    /// and binds the listener. No traffic is served until
+    /// [`run`](Server::run).
+    pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
+        std::fs::create_dir_all(&cfg.data_dir)?;
+        let scan = journal::scan(&cfg.data_dir)?;
+        let mut inner = Inner {
+            jobs: HashMap::new(),
+            queue: VecDeque::new(),
+            retries: Vec::new(),
+            running: Vec::new(),
+            next_id: 1,
+            shutdown: false,
+            stats: Stats {
+                quarantined: scan.quarantined as u64,
+                ..Stats::default()
+            },
+        };
+        for mut rec in scan.records {
+            inner.next_id = inner.next_id.max(rec.id + 1);
+            if !rec.state.is_terminal() {
+                // `running` at crash time means the attempt died with the
+                // process; both `queued` and `running` re-enter the queue
+                // with their attempt counter intact. The transition is
+                // journaled now so a crash during recovery converges.
+                if rec.state != JobState::Queued {
+                    rec.state = JobState::Queued;
+                    rec.save(&cfg.data_dir)?;
+                }
+                inner.stats.recovered += 1;
+                inner.queue.push_back(rec.id);
+            } else {
+                // Terminal jobs keep serving RESULT from the journal; a
+                // leftover checkpoint is dead weight.
+                let _ = std::fs::remove_file(JobRecord::ckpt_path_in(&cfg.data_dir, rec.id));
+            }
+            inner.jobs.insert(rec.id, Job::from_record(rec));
+        }
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let pool = ThreadPool::new(cfg.workers.max(1) + 1);
+        Ok(Server {
+            shared: Arc::new(Shared {
+                cfg,
+                state: Mutex::new(inner),
+                work: Condvar::new(),
+                pool,
+                started: Instant::now(),
+            }),
+            listener,
+        })
+    }
+
+    /// The bound address (useful with `addr: "127.0.0.1:0"`).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a `SHUTDOWN` request arrives; returns after the
+    /// dispatcher has drained running work.
+    pub fn run(self) -> std::io::Result<()> {
+        let addr = self.local_addr()?;
+        let dispatcher = {
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name("ddsim-dispatch".into())
+                .spawn(move || dispatcher_loop(&shared))
+                .expect("spawn dispatcher")
+        };
+        // Nudge the dispatcher once: recovery may have filled the queue.
+        self.shared.work.notify_all();
+        for stream in self.listener.incoming() {
+            if self.shared.state.lock().expect("server lock").shutdown {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let shared = Arc::clone(&self.shared);
+            let _ = std::thread::Builder::new()
+                .name("ddsim-conn".into())
+                .spawn(move || handle_connection(&shared, stream, addr));
+        }
+        let _ = dispatcher.join();
+        Ok(())
+    }
+}
+
+/// Serves one client connection (any number of frames until EOF).
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, addr: SocketAddr) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(f)) => f,
+            Ok(None) => return,
+            Err(e) => {
+                let _ = write_frame(&mut writer, &format!("ERR {e}"));
+                return;
+            }
+        };
+        let reply = match parse_request(&frame) {
+            Ok(req) => {
+                let is_shutdown = req == Request::Shutdown;
+                let reply = dispatch_request(shared, req);
+                if is_shutdown {
+                    let _ = write_frame(&mut writer, &reply);
+                    let _ = writer.flush();
+                    // Unblock the acceptor so `Server::run` observes the
+                    // flag and exits its accept loop.
+                    let _ = TcpStream::connect(addr);
+                    return;
+                }
+                reply
+            }
+            Err(e) => format!("ERR {e}"),
+        };
+        if write_frame(&mut writer, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+/// Executes one request against the shared state, returning the reply
+/// payload.
+fn dispatch_request(shared: &Arc<Shared>, req: Request) -> String {
+    match req {
+        Request::Submit {
+            tenant,
+            options,
+            qasm,
+        } => submit(shared, tenant, &options, qasm),
+        Request::Status(id) => {
+            let st = shared.state.lock().expect("server lock");
+            match st.jobs.get(&id) {
+                Some(job) => format!(
+                    "STATUS {id} {} attempt={}",
+                    job.rec.state.as_str(),
+                    job.rec.attempt
+                ),
+                None => format!("ERR unknown job {id}"),
+            }
+        }
+        Request::Result(id) => {
+            let st = shared.state.lock().expect("server lock");
+            match st.jobs.get(&id) {
+                Some(job) => match job.rec.state {
+                    JobState::Done => format!("DONE\n{}", job.rec.result),
+                    JobState::Failed => format!("FAILED {} {}", job.rec.code, job.rec.error),
+                    JobState::Cancelled => format!("CANCELLED {}", job.rec.error),
+                    state => format!("PENDING {}", state.as_str()),
+                },
+                None => format!("ERR unknown job {id}"),
+            }
+        }
+        Request::Cancel(id) => cancel(shared, id),
+        Request::Health => {
+            let st = shared.state.lock().expect("server lock");
+            format!(
+                "OK uptime_ms={} queued={} running={} jobs={}",
+                shared.started.elapsed().as_millis(),
+                st.queue.len() + st.retries.len(),
+                st.running.len(),
+                st.jobs.len()
+            )
+        }
+        Request::Stats => {
+            let st = shared.state.lock().expect("server lock");
+            let s = &st.stats;
+            format!(
+                "OK\nsubmitted={}\ndone={}\nfailed={}\ncancelled={}\nretries={}\n\
+                 panics_contained={}\nevictions={}\nshed={}\nrecovered={}\nquarantined={}\n\
+                 queued={}\nrunning={}",
+                s.submitted,
+                s.done,
+                s.failed,
+                s.cancelled,
+                s.retries,
+                s.panics_contained,
+                s.evictions,
+                s.shed,
+                s.recovered,
+                s.quarantined,
+                st.queue.len() + st.retries.len(),
+                st.running.len()
+            )
+        }
+        Request::Shutdown => {
+            let mut st = shared.state.lock().expect("server lock");
+            st.shutdown = true;
+            shared.work.notify_all();
+            "OK shutting down".into()
+        }
+    }
+}
+
+/// Admission control + WAL append for one submission.
+fn submit(
+    shared: &Arc<Shared>,
+    tenant: String,
+    options: &[(String, String)],
+    qasm: String,
+) -> String {
+    let opts = match JobOptions::parse(options, shared.cfg.enable_test_faults) {
+        Ok(o) => o,
+        Err(e) => return format!("ERR {e}"),
+    };
+    // Parse up front with the untrusted limits: malformed or adversarial
+    // programs are rejected before they cost a journal write or a lane.
+    if let Err(e) = parse_with_limits(&qasm, &ParseLimits::UNTRUSTED) {
+        return format!("ERR {e}");
+    }
+
+    let mut st = shared.state.lock().expect("server lock");
+    if st.shutdown {
+        return "ERR shutting down".into();
+    }
+    let waiting = st.queue.len() + st.retries.len();
+    if waiting >= shared.cfg.queue_cap {
+        st.stats.shed += 1;
+        // Hint scales with backlog depth: each worker lane drains jobs
+        // at an unknown rate, so this is a pacing signal, not a promise.
+        let hint = 1 + waiting as u64 / shared.cfg.workers.max(1) as u64;
+        return format!("BUSY retry-after={hint}");
+    }
+    let active = st
+        .jobs
+        .values()
+        .filter(|j| j.rec.tenant == tenant && !j.rec.state.is_terminal())
+        .count();
+    if active >= shared.cfg.tenant_max_active {
+        st.stats.shed += 1;
+        return format!(
+            "BUSY retry-after=2 tenant-cap={}",
+            shared.cfg.tenant_max_active
+        );
+    }
+
+    let id = st.next_id;
+    let rec = JobRecord::new(id, tenant, opts, qasm);
+    // WAL ordering: the record must be durable before the client hears
+    // `OK` — an acknowledged job survives any crash from here on.
+    if let Err(e) = rec.save(&shared.cfg.data_dir) {
+        return format!("ERR journal write failed: {e}");
+    }
+    st.next_id += 1;
+    st.stats.submitted += 1;
+    st.jobs.insert(id, Job::from_record(rec));
+    st.queue.push_back(id);
+    shared.work.notify_all();
+    format!("OK {id}")
+}
+
+/// Cancels a job in any non-terminal state.
+fn cancel(shared: &Arc<Shared>, id: u64) -> String {
+    let mut st = shared.state.lock().expect("server lock");
+    let Some(job) = st.jobs.get_mut(&id) else {
+        return format!("ERR unknown job {id}");
+    };
+    if job.rec.state.is_terminal() {
+        return format!("ERR job {id} is already {}", job.rec.state.as_str());
+    }
+    job.cancel.cancel();
+    let was_waiting = job.rec.state == JobState::Queued;
+    if was_waiting {
+        // Not on a lane: transition directly (a running job instead
+        // observes the token and lands as Cancelled via its worker).
+        job.rec.state = JobState::Cancelled;
+        job.rec.error = "cancelled by client".into();
+        let _ = job.rec.save(&shared.cfg.data_dir);
+        st.queue.retain(|&q| q != id);
+        st.retries.retain(|&(_, q)| q != id);
+        st.stats.cancelled += 1;
+    }
+    shared.work.notify_all();
+    format!("OK cancel {id}")
+}
+
+/// The dispatcher/supervisor: retry clock, lane scheduling, eviction.
+fn dispatcher_loop(shared: &Arc<Shared>) {
+    let mut st = shared.state.lock().expect("server lock");
+    loop {
+        if st.shutdown && st.running.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        // Promote due retries (stable order: earliest due first).
+        st.retries.sort_by_key(|&(due, _)| due);
+        while let Some(&(due, id)) = st.retries.first() {
+            if due > now {
+                break;
+            }
+            st.retries.remove(0);
+            st.queue.push_back(id);
+        }
+        if !st.shutdown {
+            dispatch_ready(shared, &mut st);
+        }
+        let next_due = st.retries.first().map(|&(due, _)| due);
+        let wait = next_due
+            .map(|d| d.saturating_duration_since(now))
+            .unwrap_or(Duration::from_millis(50))
+            .min(Duration::from_millis(50))
+            .max(Duration::from_millis(1));
+        let (guard, _) = shared
+            .work
+            .wait_timeout(st, wait)
+            .expect("server lock poisoned");
+        st = guard;
+    }
+}
+
+/// Effective node budget used for admission accounting.
+fn effective_nodes(cfg: &ServerConfig, opts: &JobOptions) -> u64 {
+    if opts.max_nodes > 0 {
+        opts.max_nodes
+    } else {
+        cfg.default_max_nodes
+    }
+}
+
+/// Launches queued jobs while lanes and the node budget allow; latches
+/// an eviction when the budget (not the lanes) is what blocks the queue.
+fn dispatch_ready(shared: &Arc<Shared>, st: &mut MutexGuard<'_, Inner>) {
+    while st.running.len() < shared.cfg.workers {
+        let Some(&candidate) = st.queue.front() else {
+            return;
+        };
+        let admitted: u64 = st
+            .running
+            .iter()
+            .filter_map(|id| st.jobs.get(id))
+            .map(|j| effective_nodes(&shared.cfg, &j.rec.opts))
+            .sum();
+        let need = st
+            .jobs
+            .get(&candidate)
+            .map(|j| effective_nodes(&shared.cfg, &j.rec.opts))
+            .unwrap_or(0);
+        let budget = shared.cfg.max_total_nodes;
+        if budget > 0 && !st.running.is_empty() && admitted + need > budget {
+            // Memory pressure: shed load by checkpoint-and-evicting the
+            // heaviest running job (largest admitted budget). Its suspend
+            // token parks it at the next op boundary with a checkpoint;
+            // the worker then re-queues it at the back, yielding its
+            // budget to the lighter jobs, and it resumes from the
+            // checkpoint once pressure clears. Eviction only fires when
+            // the evictee is strictly heavier than the blocked job, so
+            // it cannot ping-pong between two equal jobs. The per-job
+            // degradation ladder (GC → cache flush → sift → downgrade)
+            // has already run inside the engine by the time budgets
+            // matter here.
+            let heaviest = st
+                .running
+                .iter()
+                .filter_map(|id| st.jobs.get(id))
+                .filter(|j| !j.evicting)
+                .max_by_key(|j| effective_nodes(&shared.cfg, &j.rec.opts))
+                .map(|j| j.rec.id);
+            if let Some(hid) = heaviest {
+                let job = st.jobs.get_mut(&hid).expect("running job exists");
+                if effective_nodes(&shared.cfg, &job.rec.opts) > need {
+                    job.evicting = true;
+                    job.suspend.cancel();
+                    st.stats.evictions += 1;
+                }
+            }
+            return; // wait for the eviction (or a completion) to land
+        }
+
+        let id = st.queue.pop_front().expect("checked front");
+        let job = st.jobs.get_mut(&id).expect("queued job exists");
+        // A cancel raced the dispatch: the token is latched but the job
+        // never reached a lane.
+        if job.cancel.is_cancelled() {
+            job.rec.state = JobState::Cancelled;
+            job.rec.error = "cancelled by client".into();
+            let _ = job.rec.save(&shared.cfg.data_dir);
+            st.stats.cancelled += 1;
+            continue;
+        }
+        job.rec.state = JobState::Running;
+        job.suspend = CancelToken::new();
+        job.evicting = false;
+        let _ = job.rec.save(&shared.cfg.data_dir);
+        let attempt = job.rec.attempt;
+        let qasm = job.rec.qasm.clone();
+        let opts = job.rec.opts.clone();
+        let suspend = job.suspend.clone();
+        let cancel = job.cancel.clone();
+        let nodes = effective_nodes(&shared.cfg, &opts);
+        st.running.push(id);
+
+        let shared2 = Arc::clone(shared);
+        shared.pool.submit(move || {
+            let ckpt = JobRecord::ckpt_path_in(&shared2.cfg.data_dir, id);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                jobs::execute(&qasm, &opts, &ckpt, suspend, cancel, nodes, attempt)
+            }));
+            land(&shared2, id, outcome);
+        });
+    }
+}
+
+/// Applies one finished attempt's outcome to the job's state machine.
+fn land(
+    shared: &Arc<Shared>,
+    id: u64,
+    outcome: Result<Result<String, SimError>, Box<dyn std::any::Any + Send>>,
+) {
+    let mut st = shared.state.lock().expect("server lock");
+    st.running.retain(|&r| r != id);
+    let data_dir = shared.cfg.data_dir.clone();
+    let Some(job) = st.jobs.get_mut(&id) else {
+        return;
+    };
+    match outcome {
+        Ok(Ok(result)) => {
+            job.rec.state = JobState::Done;
+            job.rec.result = result;
+            let _ = job.rec.save(&data_dir);
+            let _ = std::fs::remove_file(JobRecord::ckpt_path_in(&data_dir, id));
+            st.stats.done += 1;
+        }
+        Ok(Err(SimError::Suspended)) => {
+            // Eviction landed: progress is checkpointed, no attempt is
+            // consumed (this was the supervisor's doing, not a failure).
+            // The evictee re-enters at the *back* so the lighter jobs
+            // that triggered the eviction get their lane first; putting
+            // it at the front would re-dispatch it immediately and
+            // evict it again — a livelock.
+            job.rec.state = JobState::Queued;
+            job.evicting = false;
+            let _ = job.rec.save(&data_dir);
+            st.queue.push_back(id);
+        }
+        Ok(Err(SimError::Cancelled)) => {
+            job.rec.state = JobState::Cancelled;
+            job.rec.error = "cancelled by client".into();
+            let _ = job.rec.save(&data_dir);
+            let _ = std::fs::remove_file(JobRecord::ckpt_path_in(&data_dir, id));
+            st.stats.cancelled += 1;
+        }
+        Ok(Err(e)) => {
+            retry_or_fail(&shared.cfg, &mut st, id, e);
+        }
+        Err(payload) => {
+            st.stats.panics_contained += 1;
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            retry_or_fail(
+                &shared.cfg,
+                &mut st,
+                id,
+                SimError::Internal(format!("worker panicked: {msg}")),
+            );
+        }
+    }
+    shared.work.notify_all();
+}
+
+/// Retry-with-backoff bookkeeping for one failed attempt.
+fn retry_or_fail(cfg: &ServerConfig, st: &mut MutexGuard<'_, Inner>, id: u64, e: SimError) {
+    let job = st.jobs.get_mut(&id).expect("failed job exists");
+    let next_attempt = job.rec.attempt + 1;
+    if jobs::retryable(&e) && next_attempt <= cfg.retry_max {
+        job.rec.attempt = next_attempt;
+        job.rec.state = JobState::Queued;
+        let _ = job.rec.save(&cfg.data_dir);
+        let backoff = Duration::from_millis(cfg.retry_base_ms << (next_attempt - 1).min(16));
+        st.retries.push((Instant::now() + backoff, id));
+        st.stats.retries += 1;
+    } else {
+        job.rec.state = JobState::Failed;
+        job.rec.code = jobs::error_code(&e);
+        job.rec.error = e.to_string();
+        let _ = job.rec.save(&cfg.data_dir);
+        let _ = std::fs::remove_file(JobRecord::ckpt_path_in(&cfg.data_dir, id));
+        st.stats.failed += 1;
+    }
+}

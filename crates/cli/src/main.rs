@@ -8,6 +8,8 @@
 
 mod args;
 mod generate;
+mod noisy;
+mod trotter;
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -38,6 +40,12 @@ fn main() -> ExitCode {
     // other invocation goes through the regular argument parser.
     if argv.first().map(String::as_str) == Some("serve") {
         return ExitCode::from(ddsim_server::run_cli(&argv[1..]) as u8);
+    }
+    if argv.first().map(String::as_str) == Some("trotter") {
+        return trotter::run_cli(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("noisy") {
+        return noisy::run_cli(&argv[1..]);
     }
     let parsed = match args::parse(&argv) {
         Ok(parsed) => parsed,

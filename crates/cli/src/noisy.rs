@@ -1,0 +1,393 @@
+//! `ddsim noisy` — depolarizing-noise workloads, two ways.
+//!
+//! The default mode samples a Monte-Carlo trajectory ensemble
+//! ([`run_noisy_ensemble_with`]): each trajectory inserts Pauli errors
+//! after gates and runs through the ordinary pure-state engine. With
+//! `--exact` the verb instead evolves the density matrix ρ as a matrix DD
+//! ([`DensitySimulator`]), applying each depolarizing channel as a Kraus
+//! sum through the same matrix-matrix kernels the combining strategies
+//! use. `--compare` runs both and reports the largest per-qubit marginal
+//! deviation, which is the convergence check the fuzzing oracle applies.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use ddsim_circuit::{qasm, Circuit};
+use ddsim_core::density::{simulate_density, DensitySimulator};
+use ddsim_core::noise::{run_noisy_ensemble_with, DepolarizingNoise, NoisyEnsemble};
+use ddsim_core::{SimError, SimOptions};
+
+use crate::args::ParseArgsError;
+use crate::exit_code_for;
+use crate::generate;
+
+const USAGE: &str = "\
+ddsim noisy — depolarizing-noise simulation (trajectories or exact density matrix)
+
+USAGE:
+    ddsim noisy <circuit.qasm> [OPTIONS]
+    ddsim noisy --generate SPEC [OPTIONS]
+
+OPTIONS:
+    --generate SPEC        built-in circuit generator (same specs as ddsim)
+    -p, --probability P    depolarizing probability per touched qubit [default: 0.01]
+    --trajectories N       Monte-Carlo trajectories [default: 1024]
+    --seed N               base RNG seed [default: 0]
+    --threads N            trajectory-level worker threads (0 = auto) [default: 0]
+    --deadline SECS        abort the whole run after SECS seconds
+    --exact                evolve the density matrix exactly instead of sampling
+    --compare              run both paths and report the largest marginal deviation
+    --help                 show this text
+
+Exit codes follow the main binary (see `ddsim --help`).
+";
+
+struct NoisyArgs {
+    source: Option<String>,
+    generate: Option<String>,
+    probability: f64,
+    trajectories: u32,
+    seed: u64,
+    threads: u32,
+    deadline: Option<Duration>,
+    exact: bool,
+    compare: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<NoisyArgs, ParseArgsError> {
+    let mut args = NoisyArgs {
+        source: None,
+        generate: None,
+        probability: 0.01,
+        trajectories: 1024,
+        seed: 0,
+        threads: 0,
+        deadline: None,
+        exact: false,
+        compare: false,
+    };
+    let mut i = 0usize;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--help" | "-h" => return Err(ParseArgsError(USAGE.to_string())),
+            "--generate" => {
+                args.generate = Some(required(argv.get(i + 1), "--generate")?);
+                i += 1;
+            }
+            "-p" | "--probability" => {
+                args.probability = parse_num(argv.get(i + 1), "--probability")?;
+                if !(0.0..=1.0).contains(&args.probability) {
+                    return Err(ParseArgsError("--probability must be in [0, 1]".into()));
+                }
+                i += 1;
+            }
+            "--trajectories" => {
+                args.trajectories = parse_num(argv.get(i + 1), "--trajectories")?;
+                if args.trajectories == 0 {
+                    return Err(ParseArgsError("--trajectories must be positive".into()));
+                }
+                i += 1;
+            }
+            "--seed" => {
+                args.seed = parse_num(argv.get(i + 1), "--seed")?;
+                i += 1;
+            }
+            "--threads" => {
+                args.threads = parse_num(argv.get(i + 1), "--threads")?;
+                i += 1;
+            }
+            "--deadline" => {
+                let secs: f64 = parse_num(argv.get(i + 1), "--deadline")?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(ParseArgsError("--deadline must be non-negative".into()));
+                }
+                args.deadline = Some(Duration::from_secs_f64(secs));
+                i += 1;
+            }
+            "--exact" => args.exact = true,
+            "--compare" => args.compare = true,
+            other if !other.starts_with('-') && args.source.is_none() => {
+                args.source = Some(other.to_string());
+            }
+            other => return Err(ParseArgsError(format!("unknown option `{other}`"))),
+        }
+        i += 1;
+    }
+    if args.source.is_some() && args.generate.is_some() {
+        return Err(ParseArgsError(
+            "give either a QASM file or --generate, not both".into(),
+        ));
+    }
+    if args.source.is_none() && args.generate.is_none() {
+        return Err(ParseArgsError(USAGE.to_string()));
+    }
+    Ok(args)
+}
+
+fn required(raw: Option<&String>, flag: &str) -> Result<String, ParseArgsError> {
+    raw.cloned()
+        .ok_or_else(|| ParseArgsError(format!("{flag} needs a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(raw: Option<&String>, flag: &str) -> Result<T, ParseArgsError> {
+    raw.ok_or_else(|| ParseArgsError(format!("{flag} needs a value")))?
+        .parse()
+        .map_err(|_| ParseArgsError(format!("bad value for {flag}")))
+}
+
+fn load(args: &NoisyArgs) -> Result<Circuit, String> {
+    if let Some(spec) = &args.generate {
+        return generate::generate(spec).map_err(|e| e.to_string());
+    }
+    let path = args.source.as_deref().expect("checked in parse_args");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    qasm::parse(&text).map_err(|e| e.to_string())
+}
+
+fn template(args: &NoisyArgs) -> SimOptions {
+    SimOptions {
+        seed: args.seed,
+        deadline: args.deadline,
+        threads: args.threads,
+        ..SimOptions::default()
+    }
+}
+
+fn run_exact(
+    circuit: &Circuit,
+    noise: DepolarizingNoise,
+    options: SimOptions,
+) -> Result<DensitySimulator, SimError> {
+    let (sim, stats) = simulate_density(circuit, noise, options)?;
+    eprintln!(
+        "exact density: {:?}, {} MxM, ρ has {} nodes, trace {:.9}",
+        stats.wall_time,
+        stats.mat_mat_mults,
+        sim.rho_nodes(),
+        sim.trace()
+    );
+    Ok(sim)
+}
+
+fn run_trajectories(
+    circuit: &Circuit,
+    noise: DepolarizingNoise,
+    args: &NoisyArgs,
+) -> Result<NoisyEnsemble, SimError> {
+    run_noisy_ensemble_with(circuit, noise, args.trajectories, &template(args), None)
+}
+
+/// Per-qubit marginal P(qubit = 1) from the exact diagonal.
+fn exact_marginals(sim: &DensitySimulator) -> Vec<f64> {
+    let n = sim.qubits();
+    let diag = sim.diagonal();
+    (0..n)
+        .map(|q| {
+            diag.iter()
+                .enumerate()
+                .filter(|(idx, _)| (*idx >> q) & 1 == 1)
+                .map(|(_, p)| p)
+                .sum()
+        })
+        .collect()
+}
+
+/// Per-qubit marginal estimates from ensemble counts.
+fn ensemble_marginals(ensemble: &NoisyEnsemble, n: u32) -> Vec<f64> {
+    let total: u64 = ensemble.counts.values().map(|&c| u64::from(c)).sum();
+    (0..n)
+        .map(|q| {
+            let ones: u64 = ensemble
+                .counts
+                .iter()
+                .filter(|(outcome, _)| (**outcome >> q) & 1 == 1)
+                .map(|(_, &c)| u64::from(c))
+                .sum();
+            ones as f64 / total.max(1) as f64
+        })
+        .collect()
+}
+
+fn print_counts(ensemble: &NoisyEnsemble, n: u32) {
+    let mut counts: Vec<(u64, u32)> = ensemble.counts.iter().map(|(&k, &v)| (k, v)).collect();
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    println!(
+        "outcome  count  (of {} trajectories)",
+        ensemble.trajectories
+    );
+    for (outcome, count) in counts.iter().take(32) {
+        println!("{outcome:0width$b}  {count}", width = n as usize);
+    }
+    if counts.len() > 32 {
+        println!("… {} more distinct outcomes", counts.len() - 32);
+    }
+}
+
+fn print_diagonal(sim: &DensitySimulator) {
+    let n = sim.qubits();
+    let mut diag: Vec<(usize, f64)> = sim
+        .diagonal()
+        .into_iter()
+        .enumerate()
+        .filter(|(_, p)| *p > 1e-9)
+        .collect();
+    diag.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    println!("outcome  probability");
+    for (idx, p) in diag.iter().take(32) {
+        println!("{idx:0width$b}  {p:.9}", width = n as usize);
+    }
+    if diag.len() > 32 {
+        println!("… {} more outcomes above 1e-9", diag.len() - 32);
+    }
+}
+
+fn run_verb(args: &NoisyArgs) -> Result<(), (String, u8)> {
+    let circuit = load(args).map_err(|e| (e, 1u8))?;
+    let n = circuit.qubits();
+    eprintln!(
+        "{}: {} qubits, {} elementary gates, depolarizing p = {}",
+        if circuit.name().is_empty() {
+            "circuit"
+        } else {
+            circuit.name()
+        },
+        n,
+        circuit.elementary_count(),
+        args.probability
+    );
+    let noise = DepolarizingNoise::new(args.probability);
+    let sim_err = |e: SimError| (e.to_string(), exit_code_for(&e));
+
+    if args.compare {
+        if n > 12 {
+            return Err(("--compare is limited to 12 qubits".into(), 1));
+        }
+        let exact = run_exact(&circuit, noise, template(args)).map_err(sim_err)?;
+        let ensemble = run_trajectories(&circuit, noise, args).map_err(sim_err)?;
+        let em = exact_marginals(&exact);
+        let tm = ensemble_marginals(&ensemble, n);
+        println!("qubit  exact_P1     trajectory_P1  |delta|");
+        let mut worst = 0.0f64;
+        for q in 0..n as usize {
+            let delta = (em[q] - tm[q]).abs();
+            worst = worst.max(delta);
+            println!("{q:<6} {:.9}  {:.9}    {delta:.6}", em[q], tm[q]);
+        }
+        println!(
+            "largest marginal deviation {worst:.6} over {} trajectories",
+            ensemble.trajectories
+        );
+        return Ok(());
+    }
+
+    if args.exact {
+        if n > 12 {
+            return Err((
+                "--exact prints the full diagonal and is limited to 12 qubits".into(),
+                1,
+            ));
+        }
+        let sim = run_exact(&circuit, noise, template(args)).map_err(sim_err)?;
+        print_diagonal(&sim);
+        return Ok(());
+    }
+
+    let ensemble = run_trajectories(&circuit, noise, args).map_err(sim_err)?;
+    print_counts(&ensemble, n);
+    Ok(())
+}
+
+/// Entry point for `ddsim noisy`.
+pub fn run_cli(argv: &[String]) -> ExitCode {
+    let args = match parse_args(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_verb(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err((msg, code)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(code)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn requires_a_circuit() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&argv(&["a.qasm", "--generate", "ghz:3"])).is_err());
+    }
+
+    #[test]
+    fn flags_parse() {
+        let a = parse_args(&argv(&[
+            "--generate",
+            "ghz:3",
+            "-p",
+            "0.05",
+            "--trajectories",
+            "64",
+            "--seed",
+            "7",
+            "--exact",
+        ]))
+        .expect("valid");
+        assert_eq!(a.generate.as_deref(), Some("ghz:3"));
+        assert!((a.probability - 0.05).abs() < 1e-12);
+        assert_eq!(a.trajectories, 64);
+        assert_eq!(a.seed, 7);
+        assert!(a.exact);
+        assert!(parse_args(&argv(&["--generate", "ghz:3", "-p", "1.5"])).is_err());
+    }
+
+    #[test]
+    fn exact_and_trajectory_marginals_agree_on_a_small_instance() {
+        let a = parse_args(&argv(&[
+            "--generate",
+            "ghz:3",
+            "-p",
+            "0.02",
+            "--trajectories",
+            "600",
+            "--seed",
+            "11",
+        ]))
+        .expect("valid");
+        let circuit = load(&a).expect("generator");
+        let noise = DepolarizingNoise::new(a.probability);
+        let exact = run_exact(&circuit, noise, template(&a)).expect("density run");
+        let ensemble = run_trajectories(&circuit, noise, &a).expect("ensemble");
+        let em = exact_marginals(&exact);
+        let tm = ensemble_marginals(&ensemble, circuit.qubits());
+        for (e, t) in em.iter().zip(&tm) {
+            assert!((e - t).abs() < 0.08, "marginal {e} vs estimate {t}");
+        }
+        assert!((exact.trace() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deadline_surfaces_the_documented_exit_code() {
+        let a = parse_args(&argv(&[
+            "--generate",
+            "ghz:6",
+            "--trajectories",
+            "64",
+            "--deadline",
+            "0",
+        ]))
+        .expect("valid");
+        let err = run_verb(&a).expect_err("deadline must trip");
+        assert_eq!(err.1, 3);
+    }
+}

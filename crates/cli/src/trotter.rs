@@ -1,0 +1,369 @@
+//! `ddsim trotter` — Trotterized Hamiltonian evolution swept across the
+//! paper's combining strategies.
+//!
+//! A Trotter step is a long stream of small rotations (basis changes, CX
+//! ladders, one Rz per term), repeated `--steps` times — exactly the shape
+//! where matrix-matrix combining can pay: k-operations and max-size fold
+//! the step's gates into few applied matrices, and DD-repeating caches the
+//! whole step matrix once. This verb runs one instance under each
+//! requested strategy and prints the split side by side.
+
+use std::process::ExitCode;
+
+use ddsim_algorithms::hamiltonian::{
+    hamiltonian_matrix, trotter_circuit, PauliHamiltonian, TrotterOrder,
+};
+use ddsim_core::{RunStats, SimOptions, Simulator, Strategy};
+use ddsim_dd::DdManager;
+
+use crate::args::ParseArgsError;
+use crate::exit_code_for;
+
+const USAGE: &str = "\
+ddsim trotter — Trotterized Hamiltonian evolution across combining strategies
+
+USAGE:
+    ddsim trotter [OPTIONS]
+
+OPTIONS:
+    --model ising:N:J:H      transverse-field Ising chain on N qubits,
+                             H = -J Σ Z·Z - H Σ X  [default: ising:8:1.0:0.8]
+    --model heisenberg:N:J   isotropic Heisenberg chain on N qubits
+    --time T                 total evolution time [default: 1.0]
+    --steps N                Trotter steps [default: 10]
+    --order 1 | 2            product-formula order (Lie / Strang) [default: 1]
+    --strategies LIST        comma-separated strategy specs to sweep
+                             [default: sequential,kops:4,kops:16,maxsize:4096,ddrepeating:8]
+    --seed N                 measurement seed [default: 0]
+    --json FILE              append machine-readable results as JSON
+    --help                   show this text
+
+Exit codes follow the main binary (see `ddsim --help`).
+";
+
+struct TrotterArgs {
+    model: String,
+    time: f64,
+    steps: u32,
+    order: TrotterOrder,
+    strategies: Vec<Strategy>,
+    seed: u64,
+    json: Option<String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<TrotterArgs, ParseArgsError> {
+    let mut args = TrotterArgs {
+        model: "ising:8:1.0:0.8".to_string(),
+        time: 1.0,
+        steps: 10,
+        order: TrotterOrder::First,
+        strategies: vec![
+            Strategy::Sequential,
+            Strategy::KOperations { k: 4 },
+            Strategy::KOperations { k: 16 },
+            Strategy::MaxSize { s_max: 4096 },
+            Strategy::DdRepeating { k: 8 },
+        ],
+        seed: 0,
+        json: None,
+    };
+    let mut i = 0usize;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--help" | "-h" => return Err(ParseArgsError(USAGE.to_string())),
+            "--model" => {
+                args.model = required(argv.get(i + 1), "--model")?;
+                i += 1;
+            }
+            "--time" => {
+                args.time = parse_num(argv.get(i + 1), "--time")?;
+                if !args.time.is_finite() {
+                    return Err(ParseArgsError("--time must be finite".into()));
+                }
+                i += 1;
+            }
+            "--steps" => {
+                args.steps = parse_num(argv.get(i + 1), "--steps")?;
+                if args.steps == 0 {
+                    return Err(ParseArgsError("--steps must be positive".into()));
+                }
+                i += 1;
+            }
+            "--order" => {
+                let spec = required(argv.get(i + 1), "--order")?;
+                args.order = TrotterOrder::parse(&spec)
+                    .ok_or_else(|| ParseArgsError(format!("unknown Trotter order `{spec}`")))?;
+                i += 1;
+            }
+            "--strategies" => {
+                let list = required(argv.get(i + 1), "--strategies")?;
+                args.strategies = list
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<Strategy>()
+                            .map_err(|e| ParseArgsError(e.to_string()))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if args.strategies.is_empty() {
+                    return Err(ParseArgsError(
+                        "--strategies needs at least one spec".into(),
+                    ));
+                }
+                i += 1;
+            }
+            "--seed" => {
+                args.seed = parse_num(argv.get(i + 1), "--seed")?;
+                i += 1;
+            }
+            "--json" => {
+                args.json = Some(required(argv.get(i + 1), "--json")?);
+                i += 1;
+            }
+            other => return Err(ParseArgsError(format!("unknown option `{other}`"))),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn required(raw: Option<&String>, flag: &str) -> Result<String, ParseArgsError> {
+    raw.cloned()
+        .ok_or_else(|| ParseArgsError(format!("{flag} needs a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(raw: Option<&String>, flag: &str) -> Result<T, ParseArgsError> {
+    raw.ok_or_else(|| ParseArgsError(format!("{flag} needs a value")))?
+        .parse()
+        .map_err(|_| ParseArgsError(format!("bad value for {flag}")))
+}
+
+/// Parses a `--model` spec into a Hamiltonian.
+pub fn parse_model(spec: &str) -> Result<PauliHamiltonian, ParseArgsError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let bad = || {
+        ParseArgsError(format!(
+            "bad model spec `{spec}` (see ddsim trotter --help)"
+        ))
+    };
+    match parts.as_slice() {
+        ["ising", n, j, h] => {
+            let n: u32 = n.parse().map_err(|_| bad())?;
+            let j: f64 = j.parse().map_err(|_| bad())?;
+            let h: f64 = h.parse().map_err(|_| bad())?;
+            if n < 2 {
+                return Err(bad());
+            }
+            Ok(PauliHamiltonian::ising_chain(n, j, h))
+        }
+        ["heisenberg", n, j] => {
+            let n: u32 = n.parse().map_err(|_| bad())?;
+            let j: f64 = j.parse().map_err(|_| bad())?;
+            if n < 2 {
+                return Err(bad());
+            }
+            Ok(PauliHamiltonian::heisenberg_chain(n, j))
+        }
+        _ => Err(bad()),
+    }
+}
+
+struct StrategyResult {
+    strategy: Strategy,
+    stats: RunStats,
+}
+
+fn sweep(args: &TrotterArgs) -> Result<(PauliHamiltonian, Vec<StrategyResult>), ParseArgsError> {
+    let ham = parse_model(&args.model)?;
+    let circuit = trotter_circuit(&ham, args.time, args.steps, args.order);
+    eprintln!(
+        "{}: {} qubits, {} terms, {} steps (order {}), {} elementary gates",
+        circuit.name(),
+        ham.qubits(),
+        ham.terms().len(),
+        args.steps,
+        args.order.label(),
+        circuit.elementary_count()
+    );
+    // The Hamiltonian itself as a matrix DD, through the governed
+    // MxM/add construction path — its node count is the compactness
+    // claim the Pauli-string representation makes.
+    let mut dd = DdManager::new();
+    match hamiltonian_matrix(&mut dd, &ham) {
+        Ok(h) => eprintln!("H as matrix DD: {} nodes", dd.mat_node_count(h)),
+        Err(e) => eprintln!("H construction failed: {e:?}"),
+    }
+    let mut results = Vec::new();
+    for &strategy in &args.strategies {
+        let options = SimOptions {
+            strategy,
+            seed: args.seed,
+            ..SimOptions::default()
+        };
+        let mut sim = Simulator::with_options(ham.qubits(), options);
+        match sim.run(&circuit) {
+            Ok(stats) => results.push(StrategyResult { strategy, stats }),
+            Err(e) => {
+                return Err(ParseArgsError(format!(
+                    "strategy {strategy} failed: {e} (exit {})",
+                    exit_code_for(&e)
+                )))
+            }
+        }
+    }
+    Ok((ham, results))
+}
+
+fn render_json(args: &TrotterArgs, ham: &PauliHamiltonian, results: &[StrategyResult]) -> String {
+    let mut entries = Vec::new();
+    for r in results {
+        entries.push(format!(
+            "    {{\"strategy\": \"{}\", \"wall_time_s\": {:.6}, \"mat_vec_mults\": {}, \
+             \"mat_mat_mults\": {}, \"mult_recursions\": {}, \"add_recursions\": {}, \
+             \"peak_state_nodes\": {}, \"peak_matrix_nodes\": {}, \"final_state_nodes\": {}}}",
+            r.strategy,
+            r.stats.wall_time.as_secs_f64(),
+            r.stats.mat_vec_mults,
+            r.stats.mat_mat_mults,
+            r.stats.mult_recursions,
+            r.stats.add_recursions,
+            r.stats.peak_state_nodes,
+            r.stats.peak_matrix_nodes,
+            r.stats.final_state_nodes,
+        ));
+    }
+    format!(
+        "{{\n  \"workload\": \"trotter\",\n  \"model\": \"{}\",\n  \"qubits\": {},\n  \
+         \"terms\": {},\n  \"time\": {},\n  \"steps\": {},\n  \"order\": \"{}\",\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        args.model,
+        ham.qubits(),
+        ham.terms().len(),
+        args.time,
+        args.steps,
+        args.order.label(),
+        entries.join(",\n")
+    )
+}
+
+/// Entry point for `ddsim trotter`.
+pub fn run_cli(argv: &[String]) -> ExitCode {
+    let args = match parse_args(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (ham, results) = match sweep(&args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{:<22} {:>10} {:>8} {:>8} {:>12} {:>10} {:>10}",
+        "strategy", "wall_ms", "MxV", "MxM", "recursions", "peak_mat", "final_dd"
+    );
+    for r in &results {
+        println!(
+            "{:<22} {:>10.3} {:>8} {:>8} {:>12} {:>10} {:>10}",
+            r.strategy.to_string(),
+            r.stats.wall_time.as_secs_f64() * 1e3,
+            r.stats.mat_vec_mults,
+            r.stats.mat_mat_mults,
+            r.stats.mult_recursions + r.stats.add_recursions,
+            r.stats.peak_matrix_nodes,
+            r.stats.final_state_nodes,
+        );
+    }
+    if let Some(path) = &args.json {
+        let json = render_json(&args, &ham, &results);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("results written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_parse() {
+        let a = parse_args(&[]).expect("valid");
+        assert_eq!(a.model, "ising:8:1.0:0.8");
+        assert_eq!(a.steps, 10);
+        assert_eq!(a.order, TrotterOrder::First);
+        assert_eq!(a.strategies.len(), 5);
+    }
+
+    #[test]
+    fn model_specs_parse() {
+        assert_eq!(parse_model("ising:6:1.0:0.5").expect("valid").qubits(), 6);
+        assert_eq!(parse_model("heisenberg:5:0.3").expect("valid").qubits(), 5);
+        assert!(parse_model("ising:1:1:1").is_err());
+        assert!(parse_model("xy:4:1").is_err());
+    }
+
+    #[test]
+    fn strategy_list_parses() {
+        let a = parse_args(&argv(&["--strategies", "sequential, kops:2"])).expect("valid");
+        assert_eq!(
+            a.strategies,
+            vec![Strategy::Sequential, Strategy::KOperations { k: 2 }]
+        );
+        assert!(parse_args(&argv(&["--strategies", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn small_sweep_runs_and_strategies_agree() {
+        let a = parse_args(&argv(&[
+            "--model",
+            "ising:4:1.0:0.7",
+            "--steps",
+            "3",
+            "--strategies",
+            "sequential,kops:8,maxsize:4096,ddrepeating:8",
+        ]))
+        .expect("valid");
+        let (_, results) = sweep(&a).expect("sweep");
+        assert_eq!(results.len(), 4);
+        // Combining strategies must actually combine on this workload…
+        assert!(results[1].stats.mat_mat_mults > 0, "kops performed no MxM");
+        // …and sequential must not.
+        assert_eq!(results[0].stats.mat_mat_mults, 0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let a = parse_args(&argv(&[
+            "--model",
+            "ising:3:1.0:0.5",
+            "--steps",
+            "2",
+            "--strategies",
+            "sequential",
+        ]))
+        .expect("valid");
+        let (ham, results) = sweep(&a).expect("sweep");
+        let json = render_json(&a, &ham, &results);
+        assert!(json.contains("\"workload\": \"trotter\""));
+        assert!(json.contains("\"strategy\": \"sequential\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn errors_map_to_documented_exit_code() {
+        let e = ddsim_core::SimError::DeadlineExceeded;
+        assert_eq!(exit_code_for(&e), 3);
+    }
+}

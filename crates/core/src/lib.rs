@@ -37,6 +37,7 @@
 //! # }
 //! ```
 
+pub mod density;
 mod engine;
 pub mod equivalence;
 mod error;

@@ -6,9 +6,11 @@
 //! while each individual trajectory stays a pure state (and thus a plain
 //! vector DD).
 
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
 
 use ddsim_circuit::{Circuit, Operation, StandardGate};
+use ddsim_dd::{CancelToken, FxHashMap};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -18,6 +20,15 @@ use crate::error::SimError;
 /// A depolarizing-noise model: with probability `probability` after each
 /// elementary gate, each qubit the gate touched suffers a uniformly random
 /// Pauli error (X, Y, or Z).
+///
+/// Noise attaches to *unitary* operations only ([`Operation::Gate`] and
+/// [`Operation::Swap`], the latter treated as one elementary op touching
+/// controls plus both swapped qubits). `Measure` and `Reset` are ideal
+/// instruments in this model — no error is inserted after them, even at
+/// probability 1.0 — matching the exact density-matrix path
+/// ([`DensitySimulator`](crate::density::DensitySimulator)), which applies
+/// their Kraus maps without a depolarizing step. Model readout error by
+/// appending explicit gates before measurement if needed.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DepolarizingNoise {
     /// Per-gate, per-touched-qubit error probability.
@@ -46,7 +57,7 @@ pub struct NoisyEnsemble {
     pub trajectories: u32,
     /// Counts of sampled outcomes across all trajectories (one sample per
     /// trajectory).
-    pub counts: std::collections::HashMap<u64, u32>,
+    pub counts: FxHashMap<u64, u32>,
 }
 
 impl NoisyEnsemble {
@@ -80,7 +91,13 @@ fn insert_noise(ops: &[Operation], noise: DepolarizingNoise, rng: &mut StdRng, o
             Operation::Swap { a, b, controls } => {
                 controls.iter().map(|c| c.qubit).chain([*a, *b]).collect()
             }
-            _ => Vec::new(),
+            // Measure/Reset are ideal instruments (see the model rustdoc);
+            // classical ops and barriers touch no quantum state.
+            Operation::Measure { .. }
+            | Operation::Reset { .. }
+            | Operation::Classical { .. }
+            | Operation::Repeat { .. }
+            | Operation::Barrier => Vec::new(),
         };
         for q in touched {
             if rng.gen::<f64>() < noise.probability {
@@ -109,19 +126,20 @@ pub fn run_noisy_ensemble(
     trajectories: u32,
     seed: u64,
 ) -> Result<NoisyEnsemble, SimError> {
-    run_noisy_ensemble_threaded(circuit, noise, trajectories, seed, 1)
+    let template = SimOptions {
+        seed,
+        ..SimOptions::default()
+    };
+    run_noisy_ensemble_with(circuit, noise, trajectories, &template, None)
 }
 
 /// [`run_noisy_ensemble`] with the trajectory loop spread across a
 /// work-stealing pool of `threads` lanes (`0` = all cores, `≤ 1` = the
-/// sequential loop). Every trajectory's circuit, run, and sample derive
-/// from `seed + t` alone, so the aggregated counts are identical at every
-/// thread count — parallelism changes wall-clock time, never the result.
+/// sequential loop).
 ///
 /// # Errors
 ///
-/// Returns the first failing trajectory's [`SimError`] (lowest `t`),
-/// matching what the sequential loop would report.
+/// As [`run_noisy_ensemble_with`].
 pub fn run_noisy_ensemble_threaded(
     circuit: &Circuit,
     noise: DepolarizingNoise,
@@ -129,25 +147,83 @@ pub fn run_noisy_ensemble_threaded(
     seed: u64,
     threads: u32,
 ) -> Result<NoisyEnsemble, SimError> {
+    let template = SimOptions {
+        seed,
+        threads,
+        ..SimOptions::default()
+    };
+    run_noisy_ensemble_with(circuit, noise, trajectories, &template, None)
+}
+
+/// The fully governed ensemble runner: every per-trajectory simulator is
+/// built from `template` — strategy, DD configuration (budgets, tolerance,
+/// fault injection), reorder mode — with only the seed overridden to
+/// `template.seed + t`. `template.threads` parallelizes the *trajectory*
+/// loop on a work-stealing pool (`0` = all cores, `≤ 1` = sequential);
+/// each inner simulator runs single-threaded, since the trajectory level
+/// is where the parallelism pays. Every trajectory's circuit, run, and
+/// sample derive from its seed alone, so the aggregated counts are
+/// identical at every thread count — parallelism changes wall-clock time,
+/// never the result.
+///
+/// `template.deadline` bounds the *whole ensemble*: the budget is
+/// converted to an absolute instant up front and each trajectory gets
+/// only the remaining window, so a deadline actually stops the ensemble
+/// rather than re-arming per trajectory. A `cancel` token is observed
+/// before each trajectory and inside the DD recursions of the running
+/// ones.
+///
+/// # Errors
+///
+/// Returns the failing trajectory's [`SimError`]. When several lanes fail
+/// concurrently, the error with the lowest trajectory index among those
+/// attempted is reported (the sequential loop's choice); remaining lanes
+/// stop at their next trajectory boundary.
+pub fn run_noisy_ensemble_with(
+    circuit: &Circuit,
+    noise: DepolarizingNoise,
+    trajectories: u32,
+    template: &SimOptions,
+    cancel: Option<&CancelToken>,
+) -> Result<NoisyEnsemble, SimError> {
+    let ensemble_deadline = template.deadline.map(|d| Instant::now() + d);
     let one_trajectory = |t: u32| -> Result<u64, SimError> {
-        let trajectory_seed = seed.wrapping_add(u64::from(t));
+        if let Some(token) = cancel {
+            if token.is_cancelled() {
+                return Err(SimError::Cancelled);
+            }
+        }
+        let remaining = match ensemble_deadline {
+            Some(at) => {
+                let now = Instant::now();
+                if now >= at {
+                    return Err(SimError::DeadlineExceeded);
+                }
+                Some(at - now)
+            }
+            None => None,
+        };
+        let trajectory_seed = template.seed.wrapping_add(u64::from(t));
         let noisy = sample_noisy_circuit(circuit, noise, trajectory_seed);
         let mut sim = Simulator::with_options(
             circuit.qubits(),
             SimOptions {
                 seed: trajectory_seed,
-                ..SimOptions::default()
+                deadline: remaining,
+                threads: 1,
+                ..*template
             },
         );
+        sim.set_cancel_token(cancel.cloned());
         sim.run(&noisy)?;
         Ok(sim.sample())
     };
     let pool = if trajectories >= 2 {
-        crate::engine::build_pool(threads)
+        crate::engine::build_pool(template.threads)
     } else {
         None
     };
-    let mut counts = std::collections::HashMap::new();
+    let mut counts = FxHashMap::default();
     match pool {
         None => {
             for t in 0..trajectories {
@@ -155,24 +231,56 @@ pub fn run_noisy_ensemble_threaded(
             }
         }
         Some(pool) => {
-            let outcomes: Vec<Mutex<Option<Result<u64, SimError>>>> =
-                (0..trajectories).map(|_| Mutex::new(None)).collect();
+            // Lane-sharded harvest (the `sample_counts_par` layout): one
+            // histogram slot per lane instead of one mutex per trajectory.
+            // Lanes own disjoint slots, so plain indexed writes through
+            // `iter_mut` suffice — no locking anywhere.
+            // A lane's histogram plus its first failure, if any.
+            type LaneSlot = (FxHashMap<u64, u32>, Option<(u32, SimError)>);
+            let lanes = pool.parallelism().min(trajectories as usize).max(1);
+            let mut slots: Vec<LaneSlot> =
+                (0..lanes).map(|_| (FxHashMap::default(), None)).collect();
+            let stop = AtomicBool::new(false);
             {
-                let outcomes = &outcomes;
+                let stop = &stop;
                 let one_trajectory = &one_trajectory;
-                pool.par_for_each_index(trajectories as usize, move |t| {
-                    *outcomes[t].lock().expect("trajectory slot poisoned") =
-                        Some(one_trajectory(t as u32));
-                });
+                let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(lane, slot)| {
+                        Box::new(move || {
+                            let mut t = lane as u32;
+                            while t < trajectories && !stop.load(Ordering::Relaxed) {
+                                match one_trajectory(t) {
+                                    Ok(outcome) => {
+                                        *slot.0.entry(outcome).or_insert(0) += 1;
+                                    }
+                                    Err(e) => {
+                                        slot.1 = Some((t, e));
+                                        stop.store(true, Ordering::Relaxed);
+                                        break;
+                                    }
+                                }
+                                t += lanes as u32;
+                            }
+                        }) as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                pool.run_batch(tasks);
             }
-            // Trajectory order, so the reported error matches the
-            // sequential loop's (counts themselves merge commutatively).
-            for slot in outcomes {
-                let outcome = slot
-                    .into_inner()
-                    .expect("trajectory slot poisoned")
-                    .expect("trajectory did not run")?;
-                *counts.entry(outcome).or_insert(0) += 1;
+            let mut first_error: Option<(u32, SimError)> = None;
+            for (lane_counts, lane_error) in slots {
+                if let Some((t, e)) = lane_error {
+                    if first_error.as_ref().is_none_or(|(bt, _)| t < *bt) {
+                        first_error = Some((t, e));
+                    }
+                }
+                for (outcome, c) in lane_counts {
+                    *counts.entry(outcome).or_insert(0) += c;
+                }
+            }
+            if let Some((_, e)) = first_error {
+                return Err(e);
             }
         }
     }
@@ -251,5 +359,122 @@ mod tests {
     #[should_panic(expected = "must lie in [0, 1]")]
     fn invalid_probability_rejected() {
         let _ = DepolarizingNoise::new(1.5);
+    }
+
+    #[test]
+    fn measure_and_reset_are_noiseless_even_at_p_one() {
+        // The documented model exclusion: ideal instruments. At p = 1.0
+        // every gate-touched qubit gains a Pauli, but measure/reset do not.
+        let mut c = Circuit::with_cbits(2, 1);
+        c.h(0); // 1 touched qubit → 1 inserted Pauli
+        c.measure(0, 0); // 0 inserted
+        c.reset(1); // 0 inserted
+        c.cx(0, 1); // 2 touched qubits → 2 inserted
+        let noisy = sample_noisy_circuit(&c, DepolarizingNoise::new(1.0), 9);
+        assert_eq!(noisy.elementary_count(), c.elementary_count() + 3);
+    }
+
+    #[test]
+    fn ensemble_deadline_stops_runs_at_every_thread_count() {
+        let mut c = Circuit::new(3);
+        for _ in 0..30 {
+            c.h(0).cx(0, 1).cx(1, 2).t(2);
+        }
+        for threads in [1u32, 3] {
+            let template = SimOptions {
+                deadline: Some(std::time::Duration::ZERO),
+                threads,
+                ..SimOptions::default()
+            };
+            let err = run_noisy_ensemble_with(&c, DepolarizingNoise::new(0.1), 64, &template, None)
+                .map(|_| ())
+                .expect_err("zero ensemble deadline must trip");
+            assert_eq!(err, SimError::DeadlineExceeded, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn ensemble_cancel_stops_runs_at_every_thread_count() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        for threads in [1u32, 3] {
+            let token = CancelToken::new();
+            token.cancel();
+            let template = SimOptions {
+                threads,
+                ..SimOptions::default()
+            };
+            let err = run_noisy_ensemble_with(
+                &c,
+                DepolarizingNoise::new(0.0),
+                64,
+                &template,
+                Some(&token),
+            )
+            .map(|_| ())
+            .expect_err("pre-cancelled ensemble must trip");
+            assert_eq!(err, SimError::Cancelled, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn ensemble_respects_template_budgets() {
+        // The bug this PR fixes: the threaded runner used to rebuild
+        // SimOptions::default() per trajectory, silently dropping every
+        // caller-configured budget. A 1-node budget must now fail the
+        // ensemble at every thread count.
+        // Deep enough that the amortized governor performs full checks and
+        // the entangled state cannot fit in the budget at any ladder rung.
+        let mut c = Circuit::new(10);
+        for layer in 0..12 {
+            for q in 0..10 {
+                c.h(q);
+                c.t(q);
+            }
+            for q in 0..9 {
+                c.cx(q, (q + 1 + layer) % 10);
+            }
+        }
+        for threads in [1u32, 3] {
+            let template = SimOptions {
+                dd_config: ddsim_dd::DdConfig {
+                    max_live_nodes: Some(4),
+                    ..ddsim_dd::DdConfig::default()
+                },
+                threads,
+                ..SimOptions::default()
+            };
+            let err = run_noisy_ensemble_with(&c, DepolarizingNoise::new(0.0), 8, &template, None)
+                .map(|_| ())
+                .expect_err("4-node budget must trip");
+            assert!(
+                matches!(err, SimError::BudgetExceeded { .. }),
+                "threads={threads}: {err:?}"
+            );
+        }
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        // Satellite coverage: ensemble counts are bitwise-identical
+        // across thread counts, at p = 0 and under real noise alike
+        // (every trajectory derives from `seed + t` only).
+        #[test]
+        fn ensemble_counts_identical_across_thread_counts(
+            seed in 0u64..u64::MAX,
+            p in prop_oneof![Just(0.0), Just(0.25)],
+        ) {
+            let mut c = Circuit::new(3);
+            c.h(0).cx(0, 1).cx(1, 2).t(1);
+            let noise = DepolarizingNoise::new(p);
+            let single =
+                run_noisy_ensemble_threaded(&c, noise, 24, seed, 1).expect("threads=1");
+            let triple =
+                run_noisy_ensemble_threaded(&c, noise, 24, seed, 3).expect("threads=3");
+            prop_assert_eq!(&single.counts, &triple.counts);
+        }
     }
 }

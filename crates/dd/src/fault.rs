@@ -54,16 +54,24 @@ pub enum FaultKind {
     /// are rebuilt per order), so the fault targets the equivalent
     /// invariant the swap *does* maintain.
     SwapDropsChildWeight,
+    /// The exact density-matrix path's depolarizing channel drops its
+    /// `ZρZ` Kraus term, making the map non-trace-preserving (each faulty
+    /// application loses `p/3` of the trace). Lives in `ddsim-core`'s
+    /// `DensitySimulator` — this crate only carries the knob — and
+    /// manifests only on exact noisy runs, where the trace oracle and the
+    /// exact-vs-trajectory cross-check both flag it.
+    KrausDropsChannel,
 }
 
 impl FaultKind {
     /// Every injectable fault (excluding `None`).
-    pub const ALL: [FaultKind; 5] = [
+    pub const ALL: [FaultKind; 6] = [
         FaultKind::MatVecCacheKeyDropsVector,
         FaultKind::DiagonalCountsAsIdentity,
         FaultKind::CollapseSkipsRenormalize,
         FaultKind::NegativeControlsIgnored,
         FaultKind::SwapDropsChildWeight,
+        FaultKind::KrausDropsChannel,
     ];
 
     /// Stable lowercase label for CLI output and repro file names.
@@ -75,6 +83,7 @@ impl FaultKind {
             FaultKind::CollapseSkipsRenormalize => "collapse-skips-renormalize",
             FaultKind::NegativeControlsIgnored => "negative-controls-ignored",
             FaultKind::SwapDropsChildWeight => "swap-drops-child-weight",
+            FaultKind::KrausDropsChannel => "kraus-drops-channel",
         }
     }
 
@@ -87,6 +96,7 @@ impl FaultKind {
             "collapse-skips-renormalize" => Some(FaultKind::CollapseSkipsRenormalize),
             "negative-controls-ignored" => Some(FaultKind::NegativeControlsIgnored),
             "swap-drops-child-weight" => Some(FaultKind::SwapDropsChildWeight),
+            "kraus-drops-channel" => Some(FaultKind::KrausDropsChannel),
             _ => None,
         }
     }

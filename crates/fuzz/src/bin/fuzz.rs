@@ -44,8 +44,8 @@ Options:
   --gate-min-jps X     fail --load if throughput drops below X jobs/sec
   --seed SEED          base seed, decimal or 0x-hex (default 0xDD51)
   --profile NAME       fix the shape profile: mixed | shallow-wide |
-                       deep-narrow | clifford-heavy | oracle-like
-                       (default: cycle through all)
+                       deep-narrow | clifford-heavy | oracle-like |
+                       trotterized (default: cycle through all)
   --unitary-only       generate no measurement / reset / classical control
   --lattice KIND       quick | full (default: quick; --smoke forces full)
   --budget-secs S      wall-clock budget for --smoke (default 60)

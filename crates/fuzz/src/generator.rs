@@ -10,6 +10,9 @@
 
 use std::f64::consts::PI;
 
+use ddsim_algorithms::hamiltonian::{
+    trotter_circuit, Pauli, PauliHamiltonian, PauliString, TrotterOrder,
+};
 use ddsim_circuit::{Circuit, GateOp, Operation, StandardGate};
 use ddsim_dd::Control;
 use rand::rngs::StdRng;
@@ -32,16 +35,22 @@ pub enum Profile {
     CliffordHeavy,
     /// Dominated by multi-controlled X/Z with mixed control polarities.
     OracleLike,
+    /// A Trotterized random Pauli-string Hamiltonian: structured repeat
+    /// blocks of basis changes, CX parity ladders, and small Rz rotations
+    /// — the workload the DD-repeating strategy caches and the rotation
+    /// stream the complex table must keep canonical.
+    Trotterized,
 }
 
 impl Profile {
     /// Every profile, in the order the fuzz loop cycles through them.
-    pub const ALL: [Profile; 5] = [
+    pub const ALL: [Profile; 6] = [
         Profile::Mixed,
         Profile::ShallowWide,
         Profile::DeepNarrow,
         Profile::CliffordHeavy,
         Profile::OracleLike,
+        Profile::Trotterized,
     ];
 
     /// CLI name of the profile.
@@ -52,6 +61,7 @@ impl Profile {
             Profile::DeepNarrow => "deep-narrow",
             Profile::CliffordHeavy => "clifford-heavy",
             Profile::OracleLike => "oracle-like",
+            Profile::Trotterized => "trotterized",
         }
     }
 
@@ -85,6 +95,9 @@ impl GenConfig {
             Profile::DeepNarrow => (rng.gen_range(1u32..=3), rng.gen_range(30usize..=80)),
             Profile::CliffordHeavy => (rng.gen_range(2u32..=6), rng.gen_range(8usize..=40)),
             Profile::OracleLike => (rng.gen_range(3u32..=7), rng.gen_range(6usize..=24)),
+            // `ops` doubles as the Trotter step count here; the body is a
+            // whole Hamiltonian sweep, so a handful of steps is plenty.
+            Profile::Trotterized => (rng.gen_range(2u32..=5), rng.gen_range(1usize..=3)),
         };
         let cbits = if allow_nonunitary {
             (ops / 6).max(1)
@@ -160,7 +173,51 @@ fn weights(profile: Profile) -> Weights {
             reset: 2,
             classical: 3,
         },
+        // Trotterized circuits are built structurally, never from the
+        // weighted gate stream.
+        Profile::Trotterized => Weights {
+            controlled: 0,
+            swap: 0,
+            repeat: 0,
+            barrier: 0,
+            measure: 0,
+            reset: 0,
+            classical: 0,
+        },
     }
+}
+
+/// Generates a random Pauli-string Hamiltonian and Trotterizes it. The
+/// result is always unitary (one `Repeat` block of exponential windows),
+/// so `allow_nonunitary` has no effect on this profile.
+fn generate_trotterized(rng: &mut StdRng, cfg: &GenConfig) -> Circuit {
+    let n = cfg.qubits.max(2);
+    let mut ham = PauliHamiltonian::new(n);
+    let terms = rng.gen_range(2usize..=6);
+    for _ in 0..terms {
+        let support = rng.gen_range(1usize..=(n as usize).min(3));
+        let mut pool: Vec<u32> = (0..n).collect();
+        let mut sites = Vec::with_capacity(support);
+        for i in 0..support {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+            let pauli = match rng.gen_range(0u32..3) {
+                0 => Pauli::X,
+                1 => Pauli::Y,
+                _ => Pauli::Z,
+            };
+            sites.push((pool[i], pauli));
+        }
+        let coefficient = rng.gen::<f64>() * 2.0 - 1.0;
+        ham.push(PauliString::from_sites(coefficient, n, &sites));
+    }
+    let time = random_angle(rng) / 2.0;
+    let order = if rng.gen_bool(0.5) {
+        TrotterOrder::First
+    } else {
+        TrotterOrder::Second
+    };
+    trotter_circuit(&ham, time, cfg.ops.max(1) as u32, order)
 }
 
 fn random_angle(rng: &mut StdRng) -> f64 {
@@ -316,6 +373,9 @@ fn random_repeat(rng: &mut StdRng, cfg: &GenConfig) -> Operation {
 
 /// Generates one circuit. Deterministic in `(rng state, cfg)`.
 pub fn generate(rng: &mut StdRng, cfg: &GenConfig) -> Circuit {
+    if cfg.profile == Profile::Trotterized {
+        return generate_trotterized(rng, cfg);
+    }
     let mut w = weights(cfg.profile);
     if !cfg.allow_nonunitary || cfg.cbits == 0 {
         w.measure = 0;

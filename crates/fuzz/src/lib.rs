@@ -38,6 +38,8 @@ pub mod shrink;
 
 pub use generator::{generate, GenConfig, Profile};
 pub use load::{run_load, LoadConfig, LoadReport};
-pub use oracle::{check_circuit, config_lattice, dense_run, CheckSettings, Failure};
+pub use oracle::{
+    check_circuit, check_noisy_circuit, config_lattice, dense_run, CheckSettings, Failure,
+};
 pub use selfcheck::{run_self_check, SelfCheckOutcome};
 pub use shrink::shrink_circuit;

@@ -26,7 +26,9 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 use ddsim_circuit::{lower_swap, Circuit, Operation};
+use ddsim_core::density::simulate_density;
 use ddsim_core::equivalence::{circuit_unitary, mat_equivalence};
+use ddsim_core::noise::{run_noisy_ensemble_with, DepolarizingNoise};
 use ddsim_core::{
     DdConfig, FaultKind, ReorderMode, SimError, SimOptions, Simulator, Strategy, ThreadPool,
 };
@@ -53,6 +55,10 @@ const MAX_DENSE_QUBITS: u32 = 14;
 
 /// Maximum width for building full unitary DDs in the equivalence oracle.
 const MAX_EQUIV_QUBITS: u32 = 7;
+
+/// Maximum width for the exact density-matrix oracles (ρ is a 2n-level
+/// matrix DD and the diagonal sweep walks 2ⁿ entries).
+const MAX_DENSITY_QUBITS: u32 = 6;
 
 /// One engine configuration in the cross-check lattice.
 pub struct LatticePoint {
@@ -616,6 +622,192 @@ fn check_equivalence_oracle(circuit: &Circuit, settings: &CheckSettings) -> Opti
     }
 }
 
+/// The noiseless density pseudo-oracle: at `p = 0` the density matrix is
+/// the pure-state projector, so its diagonal must reproduce the dense
+/// reference probabilities entry-for-entry. This drags the Kraus/conjugation
+/// path (matrix-matrix products, conjugate transpose, matrix addition)
+/// through every ordinary fuzz iteration on fully unitary circuits, where
+/// the two backends share no measurement stream to diverge on.
+fn check_density_p0_oracle(
+    circuit: &Circuit,
+    settings: &CheckSettings,
+    reference: &DenseVector,
+) -> Option<Failure> {
+    if circuit.has_nonunitary() || circuit.qubits() > MAX_DENSITY_QUBITS {
+        return None;
+    }
+    let label = "density-p0".to_string();
+    let fault = settings.fault;
+    let options = SimOptions {
+        dd_config: DdConfig {
+            fault,
+            ..DdConfig::default()
+        },
+        ..SimOptions::default()
+    };
+    let result = probe(|| {
+        simulate_density(circuit, DepolarizingNoise::new(0.0), options)
+            .map(|(sim, _)| sim.diagonal())
+    });
+    let diagonal = match result {
+        Ok(Ok(d)) => d,
+        Ok(Err(e)) => {
+            return Some(Failure {
+                lattice_label: label,
+                detail: format!("density engine error: {e}"),
+            })
+        }
+        Err(panic) => {
+            return Some(Failure {
+                lattice_label: label,
+                detail: panic,
+            })
+        }
+    };
+    for (index, (&amplitude, &p)) in reference
+        .amplitudes()
+        .iter()
+        .zip(diagonal.iter())
+        .enumerate()
+    {
+        let expected = amplitude.norm_sqr();
+        let deviation = (p - expected).abs();
+        if deviation.is_nan() || deviation > settings.tolerance {
+            return Some(Failure {
+                lattice_label: label,
+                detail: format!(
+                    "diagonal {index:#b}: density={p} dense={expected} (|Δ|={deviation:.3e})"
+                ),
+            });
+        }
+    }
+    None
+}
+
+/// Trajectory count used by [`check_noisy_circuit`]'s statistical
+/// cross-check. Small enough to keep shrinking cheap; the deterministic
+/// trace oracle does the heavy lifting.
+const NOISY_TRAJECTORIES: u32 = 256;
+
+/// Depolarizing probability injected by [`check_noisy_circuit`].
+const NOISY_P: f64 = 0.08;
+
+/// Oracles for the exact density-matrix noise path. The injected fault
+/// goes into the *density* run only; the trajectory ensemble is the honest
+/// statistical reference (it shares no code with the Kraus path).
+///
+/// 1. **Exact vs. trajectories** — per-qubit marginals from the exact
+///    diagonal must bound the Monte-Carlo estimates within five standard
+///    errors (plus slack for the finite sample).
+/// 2. **Trace** — a depolarizing channel is trace-preserving, so
+///    `tr ρ = 1` to near machine precision. Dropping a Kraus term (the
+///    [`FaultKind::KrausDropsChannel`] injection) loses exactly `p/3` of
+///    the trace per application and trips this deterministically.
+///
+/// Circuits wider than [`MAX_DENSITY_QUBITS`] or carrying classical
+/// control (which the exact path rejects by design) check out vacuously.
+pub fn check_noisy_circuit(circuit: &Circuit, settings: &CheckSettings) -> Vec<Failure> {
+    if circuit.qubits() > MAX_DENSITY_QUBITS
+        || circuit
+            .flattened()
+            .ops()
+            .iter()
+            .any(|op| matches!(op, Operation::Classical { .. }))
+    {
+        return Vec::new();
+    }
+    let noise = DepolarizingNoise::new(NOISY_P);
+    let options = SimOptions {
+        seed: settings.seed,
+        dd_config: DdConfig {
+            fault: settings.fault,
+            ..DdConfig::default()
+        },
+        ..SimOptions::default()
+    };
+    let exact = probe(|| {
+        simulate_density(circuit, noise, options).map(|(sim, _)| (sim.trace(), sim.diagonal()))
+    });
+    let (trace, diagonal) = match exact {
+        Ok(Ok(out)) => out,
+        Ok(Err(e)) => {
+            return vec![Failure {
+                lattice_label: "density-exact".to_string(),
+                detail: format!("density engine error: {e}"),
+            }]
+        }
+        Err(panic) => {
+            return vec![Failure {
+                lattice_label: "density-exact".to_string(),
+                detail: panic,
+            }]
+        }
+    };
+    let mut failures = Vec::new();
+    let trace_deviation = (trace - 1.0).abs();
+    if trace_deviation.is_nan() || trace_deviation > 1e-6 {
+        failures.push(Failure {
+            lattice_label: "density-trace".to_string(),
+            detail: format!("tr ρ = {trace} (must be 1 ± 1e-6)"),
+        });
+    }
+    // The honest trajectory reference: default engine config, no fault.
+    let template = SimOptions {
+        seed: settings.seed,
+        threads: 1,
+        ..SimOptions::default()
+    };
+    let ensemble =
+        probe(|| run_noisy_ensemble_with(circuit, noise, NOISY_TRAJECTORIES, &template, None));
+    let ensemble = match ensemble {
+        Ok(Ok(e)) => e,
+        Ok(Err(e)) => {
+            failures.push(Failure {
+                lattice_label: "density-vs-trajectories".to_string(),
+                detail: format!("trajectory reference error: {e}"),
+            });
+            return failures;
+        }
+        Err(panic) => {
+            failures.push(Failure {
+                lattice_label: "density-vs-trajectories".to_string(),
+                detail: panic,
+            });
+            return failures;
+        }
+    };
+    let n = circuit.qubits();
+    let shots = f64::from(NOISY_TRAJECTORIES);
+    for q in 0..n {
+        let exact_p1: f64 = diagonal
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| (*idx >> q) & 1 == 1)
+            .map(|(_, p)| p)
+            .sum();
+        let ones: u64 = ensemble
+            .counts
+            .iter()
+            .filter(|(outcome, _)| (**outcome >> q) & 1 == 1)
+            .map(|(_, &c)| u64::from(c))
+            .sum();
+        let estimate = ones as f64 / shots;
+        let sigma = (exact_p1.clamp(0.0, 1.0) * (1.0 - exact_p1.clamp(0.0, 1.0)) / shots).sqrt();
+        let bound = 5.0 * sigma + 0.03;
+        let deviation = (exact_p1 - estimate).abs();
+        if deviation.is_nan() || deviation > bound {
+            failures.push(Failure {
+                lattice_label: "density-vs-trajectories".to_string(),
+                detail: format!(
+                    "qubit {q}: exact P(1)={exact_p1:.6} trajectory estimate={estimate:.6} \
+                     (|Δ|={deviation:.4} > bound {bound:.4} at {NOISY_TRAJECTORIES} trajectories)"
+                ),
+            });
+        }
+    }
+    failures
+}
+
 /// Runs every oracle against one circuit and returns all disagreements
 /// (empty = the circuit checks out everywhere).
 pub fn check_circuit(circuit: &Circuit, settings: &CheckSettings) -> Vec<Failure> {
@@ -668,6 +860,9 @@ pub fn check_circuit(circuit: &Circuit, settings: &CheckSettings) -> Vec<Failure
         .filter_map(|slot| slot.into_inner().expect("lattice slot poisoned"))
         .collect();
     if let Some(f) = check_equivalence_oracle(circuit, settings) {
+        failures.push(f);
+    }
+    if let Some(f) = check_density_p0_oracle(circuit, settings, &reference) {
         failures.push(f);
     }
     failures
@@ -786,6 +981,54 @@ mod tests {
                 ..CheckSettings::default()
             },
         );
+        assert!(failures.is_empty(), "unexpected failures: {failures:?}");
+    }
+
+    #[test]
+    fn noisy_oracle_passes_on_a_healthy_engine() {
+        let mut c = Circuit::with_cbits(3, 1);
+        c.h(0).cx(0, 1).rz(0.4, 2).measure(2, 0);
+        let failures = check_noisy_circuit(&c, &CheckSettings::default());
+        assert!(failures.is_empty(), "unexpected failures: {failures:?}");
+    }
+
+    #[test]
+    fn noisy_oracle_flags_the_dropped_kraus_term() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let failures = check_noisy_circuit(
+            &c,
+            &CheckSettings {
+                fault: FaultKind::KrausDropsChannel,
+                ..CheckSettings::default()
+            },
+        );
+        assert!(
+            failures.iter().any(|f| f.lattice_label == "density-trace"),
+            "trace oracle missed the dropped channel: {failures:?}"
+        );
+    }
+
+    #[test]
+    fn noisy_oracle_skips_classically_controlled_circuits() {
+        // The exact path rejects classical feedback by design, so the
+        // battery must check out vacuously instead of reporting the typed
+        // rejection as a disagreement.
+        let mut c = Circuit::with_cbits(2, 1);
+        c.h(0).measure(0, 0);
+        c.classical_gate(ddsim_circuit::StandardGate::X, 1, 0, true);
+        assert!(check_noisy_circuit(&c, &CheckSettings::default()).is_empty());
+    }
+
+    #[test]
+    fn trotterized_circuits_pass_every_oracle() {
+        use crate::generator::{generate, GenConfig, Profile};
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = GenConfig::sample(&mut rng, Profile::Trotterized, false);
+        let circuit = generate(&mut rng, &cfg);
+        assert!(!circuit.has_nonunitary());
+        let failures = check_circuit(&circuit, &CheckSettings::default());
         assert!(failures.is_empty(), "unexpected failures: {failures:?}");
     }
 

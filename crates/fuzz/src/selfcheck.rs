@@ -13,8 +13,10 @@ use ddsim_core::FaultKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use ddsim_circuit::Circuit;
+
 use crate::generator::{generate, GenConfig, Profile};
-use crate::oracle::{check_circuit, CheckSettings};
+use crate::oracle::{check_circuit, check_noisy_circuit, CheckSettings, Failure};
 use crate::shrink::shrink_circuit;
 
 /// Result of hunting one injected fault.
@@ -46,6 +48,12 @@ pub struct SelfCheckOutcome {
 ///   probability strictly between 0 and 1 — non-unitary circuits;
 /// * ignoring control polarity needs negative controls — the oracle-like
 ///   profile draws them with probability one half;
+/// * the dropped Kraus term lives in the exact density-matrix path, so it
+///   is hunted with the *noisy* oracle battery
+///   ([`check_noisy_circuit`]) on unitary mixed circuits: any circuit
+///   with at least one depolarized gate loses `p/3` of the trace per
+///   faulty channel application, which the trace oracle flags
+///   deterministically;
 /// * the swap fault (a level swap that keeps the grandchild's raw weight
 ///   instead of folding in the child's) needs an actual sifting pass over
 ///   a diagram with non-unit child weights — the lattice's `reorder` axis
@@ -58,7 +66,19 @@ fn hunting_ground(fault: FaultKind) -> (Profile, bool) {
         FaultKind::CollapseSkipsRenormalize => (Profile::Mixed, true),
         FaultKind::NegativeControlsIgnored => (Profile::OracleLike, false),
         FaultKind::SwapDropsChildWeight => (Profile::Mixed, false),
+        FaultKind::KrausDropsChannel => (Profile::Mixed, false),
         FaultKind::None => (Profile::Mixed, true),
+    }
+}
+
+/// The oracle battery hunting a fault: the density-path fault is only
+/// reachable through the noisy battery; everything else goes through the
+/// standard lattice + equivalence + density-p0 battery.
+fn battery(fault: FaultKind, circuit: &Circuit, settings: &CheckSettings) -> Vec<Failure> {
+    if fault == FaultKind::KrausDropsChannel {
+        check_noisy_circuit(circuit, settings)
+    } else {
+        check_circuit(circuit, settings)
     }
 }
 
@@ -85,14 +105,14 @@ pub fn hunt_fault(
             fault,
             ..CheckSettings::default()
         };
-        let failures = check_circuit(&circuit, &settings);
+        let failures = battery(fault, &circuit, &settings);
         if failures.is_empty() {
             continue;
         }
         let before = circuit.ops().len();
         let minimal = shrink_circuit(
             &circuit,
-            |c| !check_circuit(c, &settings).is_empty(),
+            |c| !battery(fault, c, &settings).is_empty(),
             shrink_budget,
         );
         let repro_qasm = qasm::write(&minimal).ok();
